@@ -1,0 +1,130 @@
+// Ablation: error-function behaviour, including the paper's Example 4.
+//
+// Part 1 — Example 4 microbenchmark: R JOIN S JOIN T (both key-foreign
+// key), filter on S.a. SIT(S.a | R JOIN S) carries real information;
+// SIT(S.a | S JOIN T) is distribution-preserving (referential integrity
+// holds), so its diff is ~0 and Diff refuses to prefer it, while nInd
+// scores both identically and must tie-break blindly.
+//
+// Part 2 — full-workload comparison of nInd / Diff / Opt rankings.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "condsel/common/zipf.h"
+#include "condsel/selectivity/get_selectivity.h"
+#include "condsel/sit/sit_matcher.h"
+
+using namespace condsel;        // NOLINT: bench brevity
+using namespace condsel::bench; // NOLINT: bench brevity
+
+namespace {
+
+void Example4() {
+  // Build R(fk -> S) and T with S -> T a clean FK join, S.a correlated
+  // with R's reference skew.
+  Catalog catalog;
+  Rng rng(11);
+  {
+    TableSchema s;
+    s.name = "S";
+    s.columns = {{"pk", 0, 499, true}, {"a", 0, 99, false},
+                 {"t_fk", 0, 49, true}};
+    Table t(s);
+    for (int64_t k = 0; k < 500; ++k) {
+      // S.a tracks the key: popular (low) keys have low a.
+      t.AppendRow({k, k / 5, rng.NextInRange(0, 49)});
+    }
+    catalog.AddTable(std::move(t));
+  }
+  {
+    TableSchema s;
+    s.name = "R";
+    s.columns = {{"s_fk", 0, 499, true}, {"x", 0, 9, false}};
+    Table t(s);
+    ZipfSampler zipf(500, 1.2);
+    for (int64_t k = 0; k < 5000; ++k) {
+      t.AppendRow({zipf.Next(rng), rng.NextInRange(0, 9)});
+    }
+    catalog.AddTable(std::move(t));
+  }
+  {
+    TableSchema s;
+    s.name = "T";
+    s.columns = {{"pk", 0, 49, true}, {"y", 0, 9, false}};
+    Table t(s);
+    for (int64_t k = 0; k < 50; ++k) {
+      t.AppendRow({k, rng.NextInRange(0, 9)});
+    }
+    catalog.AddTable(std::move(t));
+  }
+
+  CardinalityCache cache;
+  Evaluator evaluator(&catalog, &cache);
+  SitBuilder builder(&evaluator, SitBuildOptions{});
+
+  const ColumnRef s_pk = catalog.ResolveColumn("S", "pk");
+  const ColumnRef s_a = catalog.ResolveColumn("S", "a");
+  const ColumnRef s_tfk = catalog.ResolveColumn("S", "t_fk");
+  const ColumnRef r_fk = catalog.ResolveColumn("R", "s_fk");
+  const ColumnRef t_pk = catalog.ResolveColumn("T", "pk");
+
+  const Query query({Predicate::Join(r_fk, s_pk),    // 0: R JOIN S
+                     Predicate::Join(s_tfk, t_pk),   // 1: S JOIN T (FK)
+                     Predicate::Filter(s_a, 0, 9)}); // 2: S.a < 10
+
+  const Sit h1 = builder.Build(s_a, {query.predicate(0)});
+  const Sit h2 = builder.Build(s_a, {query.predicate(1)});
+  std::printf("Example 4: candidate SITs for Sel(S.a<10 | RS, ST)\n");
+  std::printf("  H1 = SIT(S.a | R JOIN S): diff = %.4f  <- informative\n",
+              h1.diff);
+  std::printf("  H2 = SIT(S.a | S JOIN T): diff = %.4f  <- FK join, no info\n",
+              h2.diff);
+
+  const double truth =
+      evaluator.TrueConditionalSelectivity(query, 0b100, 0b011);
+  std::printf("  true Sel(S.a<10 | RS, ST) = %.4f\n", truth);
+  std::printf("  estimate via H1 = %.4f, via H2 = %.4f\n",
+              h1.histogram.RangeSelectivity(0, 9),
+              h2.histogram.RangeSelectivity(0, 9));
+  std::printf(
+      "  nInd scores both 1/2 (tie); Diff ranks H1 first because\n"
+      "  diff(H2) ~ 0 means H2 adds nothing over the base histogram.\n\n");
+}
+
+void WorkloadComparison() {
+  BenchEnv env;
+  const int num_queries = EnvInt("CONDSEL_QUERIES", 10);
+  const std::vector<Query> workload = env.Workload(5, num_queries);
+  Runner runner(&env.catalog, env.evaluator.get());
+
+  std::printf("error-function ablation, 5-way joins, pools J0..J5:\n\n");
+  std::vector<std::string> header = {"pool", "GS-nInd", "GS-Diff", "GS-Opt",
+                                     "Diff/Opt ratio"};
+  std::vector<std::vector<std::string>> rows;
+  for (int j = 0; j <= 5; ++j) {
+    const SitPool pool = GenerateSitPool(workload, j, *env.builder);
+    const double e_n =
+        runner.Run(workload, pool, Technique::kGsNInd).avg_abs_error;
+    const double e_d =
+        runner.Run(workload, pool, Technique::kGsDiff).avg_abs_error;
+    const double e_o =
+        runner.Run(workload, pool, Technique::kGsOpt).avg_abs_error;
+    rows.push_back({"J" + std::to_string(j), FormatDouble(e_n, 1),
+                    FormatDouble(e_d, 1), FormatDouble(e_o, 1),
+                    FormatDouble(e_o > 0 ? e_d / e_o : 1.0, 2)});
+  }
+  PrintTable(header, rows);
+  std::printf(
+      "\nExpected shape: Diff stays within a small factor of the Opt\n"
+      "oracle; nInd is looser, especially on sparse pools where its\n"
+      "syntactic ties hide bad choices.\n");
+}
+
+}  // namespace
+
+int main() {
+  Example4();
+  WorkloadComparison();
+  return 0;
+}

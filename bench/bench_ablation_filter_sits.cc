@@ -1,0 +1,87 @@
+// Ablation (extension): SITs whose generating expressions contain FILTER
+// predicates, not just joins.
+//
+// The paper's pools condition only on join expressions; the framework
+// (and ours) allows arbitrary expressions. When a workload keeps reusing
+// the same filter — "region = X" style — a SIT conditioned on
+// (joins AND that filter) models the remaining predicates' distribution
+// on exactly the relevant slice, eliminating one more independence
+// assumption than any join-only SIT can.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "condsel/harness/metrics.h"
+#include "condsel/selectivity/get_selectivity.h"
+
+using namespace condsel;        // NOLINT: bench brevity
+using namespace condsel::bench; // NOLINT: bench brevity
+
+int main() {
+  // Scenario: fact joins dim1; the workload always filters
+  // dim1.a_corr to the "premium" slice (correlated with key popularity),
+  // and varies a second filter on fact.a_corr1.
+  BenchEnv env;
+  const Catalog& catalog = env.catalog;
+  const ColumnRef d1_pk = catalog.ResolveColumn("dim1", "pk");
+  const ColumnRef f_fk1 = catalog.ResolveColumn("fact", "fk_d1");
+  const ColumnRef d1_corr = catalog.ResolveColumn("dim1", "a_corr");
+  const ColumnRef f_corr = catalog.ResolveColumn("fact", "a_corr1");
+
+  const Predicate join = Predicate::Join(f_fk1, d1_pk);
+  const Predicate premium = Predicate::Filter(d1_corr, 0, 99);  // popular
+
+  // Pools: bases; + join SITs; + the filter-bearing SIT.
+  SitPool bases;
+  for (const ColumnRef& c : {d1_pk, f_fk1, d1_corr, f_corr}) {
+    bases.Add(env.builder->Build(c, {}));
+  }
+  SitPool join_sits = bases;
+  join_sits.Add(env.builder->Build(d1_corr, {join}));
+  join_sits.Add(env.builder->Build(f_corr, {join}));
+  SitPool filter_sits = join_sits;
+  filter_sits.Add(env.builder->Build(f_corr, {join, premium}));
+
+  DiffError diff;
+  auto avg_err = [&](const SitPool& pool) {
+    double total = 0.0;
+    int n = 0;
+    for (int64_t lo = 0; lo <= 800; lo += 100) {
+      const Query q({join, premium,
+                     Predicate::Filter(f_corr, lo, lo + 149)});
+      SitMatcher matcher(&pool);
+      matcher.BindQuery(&q);
+      FactorApproximator fa(&matcher, &diff);
+      GetSelectivity gs(&q, &fa);
+      const double cross =
+          CrossProductCardinality(catalog, q, q.all_predicates());
+      const double truth =
+          env.evaluator->Cardinality(q, q.all_predicates());
+      total += std::abs(
+          gs.Compute(q.all_predicates()).selectivity * cross - truth);
+      ++n;
+    }
+    return total / n;
+  };
+
+  const double e_base = avg_err(bases);
+  const double e_join = avg_err(join_sits);
+  const double e_filter = avg_err(filter_sits);
+  std::printf("\nfilter-bearing SIT expressions (premium-slice workload)\n\n");
+  std::vector<std::string> header = {"pool", "avg abs error", "vs bases"};
+  std::vector<std::vector<std::string>> rows = {
+      {"base histograms", FormatDouble(e_base, 1), "1.00"},
+      {"+ join SITs", FormatDouble(e_join, 1),
+       FormatDouble(e_base > 0 ? e_join / e_base : 1.0, 2)},
+      {"+ SIT(fact.a | join, premium-filter)", FormatDouble(e_filter, 1),
+       FormatDouble(e_base > 0 ? e_filter / e_base : 1.0, 2)},
+  };
+  PrintTable(header, rows);
+  std::printf(
+      "\nExpected shape: join SITs fix the filter-vs-join assumptions; the\n"
+      "filter-bearing SIT additionally captures the dependence between the\n"
+      "two filters through the join, cutting the error further. The\n"
+      "matcher needs no changes — rule 2 (Q' subset of Q) covers it.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: histogram type (MaxDiff vs equi-depth vs equi-width) and
+// bucket budget. The paper standardizes on MaxDiff with 200 buckets;
+// this bench shows how much of the result depends on that choice.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace condsel;        // NOLINT: bench brevity
+using namespace condsel::bench; // NOLINT: bench brevity
+
+int main() {
+  BenchEnv env;
+  const int num_queries = EnvInt("CONDSEL_QUERIES", 10);
+  const std::vector<Query> workload = env.Workload(4, num_queries);
+  Runner runner(&env.catalog, env.evaluator.get());
+
+  std::printf(
+      "\nhistogram ablation, 4-way joins, J2 pools, GS-Diff error:\n\n");
+  std::vector<std::string> header = {"type", "buckets", "#SITs", "GS-Diff",
+                                     "noSit"};
+  std::vector<std::vector<std::string>> rows;
+  for (const HistogramType type :
+       {HistogramType::kMaxDiff, HistogramType::kEquiDepth,
+        HistogramType::kEquiWidth, HistogramType::kEndBiased}) {
+    for (const int buckets : {20, 50, 200}) {
+      SitBuilder builder(env.evaluator.get(), {type, buckets});
+      const SitPool pool = GenerateSitPool(workload, 2, builder);
+      rows.push_back(
+          {HistogramTypeName(type), std::to_string(buckets),
+           std::to_string(pool.size()),
+           FormatDouble(
+               runner.Run(workload, pool, Technique::kGsDiff).avg_abs_error,
+               1),
+           FormatDouble(
+               runner.Run(workload, pool, Technique::kNoSit).avg_abs_error,
+               1)});
+    }
+  }
+  PrintTable(header, rows);
+  std::printf(
+      "\nExpected shape: MaxDiff degrades most gracefully as buckets\n"
+      "shrink (it spends boundaries on frequency jumps); with a 200-bucket\n"
+      "budget all types land close together on this data.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Ablation (extension): multidimensional SITs for correlated filters.
+//
+// The paper's Assumption 1 argues unidimensional histograms suffice when
+// attributes are independent; this bench quantifies the converse. A table
+// carries filter-attribute pairs with controlled correlation; queries
+// place range filters on both attributes (plus a join). We compare pools
+// with and without the 2-d SIT over the pair, sweeping the correlation
+// noise from "deterministic dependence" to "independent".
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "condsel/selectivity/get_selectivity.h"
+#include "condsel/sit/sit_matcher.h"
+
+using namespace condsel;        // NOLINT: bench brevity
+using namespace condsel::bench; // NOLINT: bench brevity
+
+int main() {
+  std::printf(
+      "multidimensional-SIT ablation: two correlated filters + join\n\n");
+  std::vector<std::string> header = {"corr noise", "pair diff",
+                                     "err (1-d pool)", "err (+2-d SIT)",
+                                     "improvement"};
+  std::vector<std::vector<std::string>> rows;
+
+  for (const double noise : {0.0, 0.05, 0.15, 0.40, 1.0}) {
+    // Build: fact(a, b, fk) with b tracking a up to `noise`; dim(pk, c).
+    Catalog catalog;
+    Rng rng(97);
+    {
+      TableSchema s;
+      s.name = "fact";
+      s.columns = {{"a", 0, 199, false},
+                   {"b", 0, 199, false},
+                   {"fk", 0, 99, true}};
+      Table t(s);
+      const int64_t amp = static_cast<int64_t>(noise * 200.0);
+      for (int64_t i = 0; i < 20000; ++i) {
+        const int64_t a = rng.NextInRange(0, 199);
+        int64_t b = a;
+        if (amp > 0) b += rng.NextInRange(-amp, amp);
+        t.AppendRow({a, std::clamp<int64_t>(b, 0, 199),
+                     rng.NextInRange(0, 99)});
+      }
+      catalog.AddTable(std::move(t));
+    }
+    {
+      TableSchema s;
+      s.name = "dim";
+      s.columns = {{"pk", 0, 99, true}, {"c", 0, 99, false}};
+      Table t(s);
+      for (int64_t i = 0; i < 100; ++i) {
+        t.AppendRow({i, rng.NextInRange(0, 99)});
+      }
+      catalog.AddTable(std::move(t));
+    }
+    CardinalityCache cache;
+    Evaluator evaluator(&catalog, &cache);
+    SitBuilder builder(&evaluator, SitBuildOptions{});
+
+    const ColumnRef fa = catalog.ResolveColumn("fact", "a");
+    const ColumnRef fb = catalog.ResolveColumn("fact", "b");
+    const ColumnRef fk = catalog.ResolveColumn("fact", "fk");
+    const ColumnRef pk = catalog.ResolveColumn("dim", "pk");
+
+    SitPool pool_1d;
+    for (const ColumnRef& c : {fa, fb, fk, pk}) {
+      pool_1d.Add(builder.Build(c, {}));
+    }
+    SitPool pool_2d = pool_1d;
+    const Sit pair_sit = builder.Build2d(fa, fb, {});
+    pool_2d.Add(pair_sit);
+
+    // Queries: sliding correlated boxes plus the join.
+    DiffError diff;
+    double err_1d = 0.0, err_2d = 0.0;
+    int n = 0;
+    for (int64_t lo = 0; lo <= 160; lo += 20) {
+      const Query q({Predicate::Filter(fa, lo, lo + 39),
+                     Predicate::Filter(fb, lo, lo + 39),
+                     Predicate::Join(fk, pk)});
+      const double cross = 20000.0 * 100.0;
+      const double truth =
+          evaluator.Cardinality(q, q.all_predicates());
+      for (const SitPool* pool : {&pool_1d, &pool_2d}) {
+        SitMatcher matcher(pool);
+        matcher.BindQuery(&q);
+        FactorApproximator approx(&matcher, &diff);
+        GetSelectivity gs(&q, &approx);
+        const double est =
+            gs.Compute(q.all_predicates()).selectivity * cross;
+        (pool == &pool_1d ? err_1d : err_2d) += std::abs(est - truth);
+      }
+      ++n;
+    }
+    err_1d /= n;
+    err_2d /= n;
+    char noise_s[16];
+    std::snprintf(noise_s, sizeof(noise_s), "%.2f", noise);
+    rows.push_back({noise_s, FormatDouble(pair_sit.diff, 3),
+                    FormatDouble(err_1d, 1), FormatDouble(err_2d, 1),
+                    FormatDouble(err_2d > 0 ? err_1d / err_2d : 1.0, 1)});
+  }
+  PrintTable(header, rows);
+  std::printf(
+      "\nExpected shape: the tighter the correlation (high pair diff), the\n"
+      "larger the win from the 2-d SIT; at independence (noise 1.0) the\n"
+      "unidimensional pool is already adequate (Assumption 1).\n");
+  return 0;
+}

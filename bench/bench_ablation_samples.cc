@@ -1,0 +1,79 @@
+// Ablation (extension): histogram SITs vs sample SITs.
+//
+// The paper's framework is estimator-agnostic; this bench compares the
+// two concrete estimators on the same conditional-selectivity task:
+// Sel(filter | join expression), sweeping the space budget. Histograms
+// spend their budget on bucket boundaries (low variance, smoothing bias);
+// samples spend it on rows (unbiased, variance grows as selectivities
+// shrink).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "condsel/sampling/sample.h"
+
+using namespace condsel;        // NOLINT: bench brevity
+using namespace condsel::bench; // NOLINT: bench brevity
+
+int main() {
+  BenchEnv env;
+  const int num_queries = EnvInt("CONDSEL_QUERIES", 15);
+  const std::vector<Query> workload = env.Workload(3, num_queries);
+
+  // Task: for each query, estimate Sel(f | all joins) for each filter f,
+  // using (a) a MaxDiff SIT and (b) a sample SIT over the join result.
+  std::printf(
+      "\nhistogram vs sample SITs: avg |est - true| of Sel(filter | "
+      "joins)\n\n");
+  std::vector<std::string> header = {"budget", "histogram err",
+                                     "sample err", "sample/hist"};
+  std::vector<std::vector<std::string>> rows;
+
+  for (const int budget : {50, 200, 1000, 4000}) {
+    // Budget: histogram buckets vs sample rows (a bucket stores ~4
+    // numbers vs 1-3 per sample row; close enough for the shape).
+    double hist_err = 0.0, sample_err = 0.0;
+    int n = 0;
+    SitBuilder hist_builder(env.evaluator.get(),
+                            {HistogramType::kMaxDiff, budget});
+    SampleSitBuilder sample_builder(env.evaluator.get(),
+                                    static_cast<size_t>(budget));
+    for (const Query& q : workload) {
+      const PredSet joins = q.join_predicates();
+      const std::vector<Predicate> expr = q.CanonicalSubset(joins);
+      for (int f : SetElements(q.filter_predicates())) {
+        const Predicate& filter = q.predicate(f);
+        const double truth = env.evaluator->TrueConditionalSelectivity(
+            q, 1u << f, joins);
+
+        const Sit hist = hist_builder.Build(filter.column(), expr);
+        const double h_est =
+            hist.histogram.RangeSelectivity(filter.lo(), filter.hi());
+
+        const SampleSit sample =
+            sample_builder.Build({filter.column()}, expr);
+        const double s_est = sample.Selectivity({filter});
+
+        hist_err += std::abs(h_est - truth);
+        sample_err += std::abs(s_est - truth);
+        ++n;
+      }
+    }
+    hist_err /= n;
+    sample_err /= n;
+    rows.push_back({std::to_string(budget), FormatDouble(hist_err, 4),
+                    FormatDouble(sample_err, 4),
+                    hist_err > 1e-6
+                        ? FormatDouble(sample_err / hist_err, 2)
+                        : std::string("- (hist exact)")});
+  }
+  PrintTable(header, rows);
+  std::printf(
+      "\nExpected shape: histograms win at every budget here (attribute\n"
+      "domains are small enough that a few hundred buckets are exact),\n"
+      "while sample error shrinks as ~1/sqrt(budget); samples' advantage\n"
+      "— capturing cross-attribute correlation — shows in\n"
+      "bench_ablation_multidim-style workloads instead.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation: search-strategy cost. Compares, per query size n:
+//  - the exhaustive decomposition search (reference; factorial),
+//  - the getSelectivity DP (memoized; <= 3^n),
+//  - the optimizer-coupled search (entry-induced decompositions only),
+// in nodes explored / subproblems / memo entries, plus the achieved
+// error, quantifying what each level of pruning costs.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "condsel/optimizer/integration.h"
+#include "condsel/selectivity/exhaustive.h"
+#include "condsel/selectivity/get_selectivity.h"
+#include "condsel/sit/sit_matcher.h"
+
+using namespace condsel;        // NOLINT: bench brevity
+using namespace condsel::bench; // NOLINT: bench brevity
+
+int main() {
+  BenchEnv env;
+  DiffError diff;
+
+  std::printf("\nsearch-strategy ablation (GS-Diff ranking):\n\n");
+  std::vector<std::string> header = {
+      "n (preds)", "exhaustive nodes", "DP subproblems",
+      "memo entries",  "exh err",         "DP err",
+      "coupled err"};
+  std::vector<std::vector<std::string>> rows;
+
+  for (int joins = 2; joins <= 5; ++joins) {
+    const Query query = env.Workload(joins, 1, 777).front();
+    const SitPool pool = GenerateSitPool({query}, 2, *env.builder);
+    SitMatcher matcher(&pool);
+    matcher.BindQuery(&query);
+
+    FactorApproximator fa_ex(&matcher, &diff);
+    const ExhaustiveResult ex =
+        ExhaustiveBest(query, query.all_predicates(), &fa_ex, true);
+
+    FactorApproximator fa_dp(&matcher, &diff);
+    GetSelectivity gs(&query, &fa_dp);
+    const SelEstimate dp = gs.Compute(query.all_predicates());
+
+    FactorApproximator fa_cp(&matcher, &diff);
+    OptimizerCoupledEstimator coupled(&query, &fa_cp);
+    const SelEstimate cp = coupled.Estimate(query.all_predicates());
+
+    rows.push_back({std::to_string(query.num_predicates()),
+                    std::to_string(ex.nodes_explored),
+                    std::to_string(gs.stats().subproblems),
+                    std::to_string(coupled.memo().num_groups()),
+                    FormatDouble(ex.error, 3), FormatDouble(dp.error, 3),
+                    FormatDouble(cp.error, 3)});
+  }
+  PrintTable(header, rows);
+  std::printf(
+      "\nExpected shape: exhaustive node counts explode with n while the\n"
+      "DP's subproblem count stays polynomial in the visited subsets; the\n"
+      "DP matches the exhaustive error exactly (Theorem 1), and the\n"
+      "optimizer-coupled search is close with far fewer entries.\n");
+
+  // Memoization payoff inside one query: cost of answering every
+  // sub-plan request after the first full computation.
+  std::printf("\nmemoization payoff (7-way query):\n");
+  const Query query = env.Workload(7, 1, 778).front();
+  const SitPool pool = GenerateSitPool({query}, 3, *env.builder);
+  SitMatcher matcher(&pool);
+  matcher.BindQuery(&query);
+  FactorApproximator fa(&matcher, &diff);
+  GetSelectivity gs(&query, &fa);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  gs.Compute(query.all_predicates());
+  const auto t1 = std::chrono::steady_clock::now();
+  for (PredSet p = 1; p <= query.all_predicates(); ++p) {
+    if (IsSubset(p, query.all_predicates())) gs.Compute(p);
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  std::printf(
+      "  first full computation: %.3f ms; all %u subset requests after: "
+      "%.3f ms (memo hits: %llu)\n",
+      std::chrono::duration<double, std::milli>(t1 - t0).count(),
+      query.all_predicates(),
+      std::chrono::duration<double, std::milli>(t2 - t1).count(),
+      static_cast<unsigned long long>(gs.stats().memo_hits));
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation (extension): estimator families under one space budget.
+//
+// MaxDiff histograms vs Haar wavelet synopses vs reservoir samples on
+// the same task — range selectivity over base attributes with varying
+// skew — at matched budgets (buckets ~= coefficients ~= rows/4, roughly
+// equal bytes). Complements bench_ablation_samples (which conditions on
+// join expressions).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "condsel/common/zipf.h"
+#include "condsel/histogram/builders.h"
+#include "condsel/sampling/sample.h"
+#include "condsel/wavelet/wavelet.h"
+
+using namespace condsel;        // NOLINT: bench brevity
+using namespace condsel::bench; // NOLINT: bench brevity
+
+namespace {
+
+double ExactRangeSel(const std::vector<int64_t>& values, double total,
+                     int64_t lo, int64_t hi) {
+  size_t c = 0;
+  for (int64_t v : values) c += (v >= lo && v <= hi);
+  return static_cast<double>(c) / total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "estimator families: avg |est - true| over 60 random ranges\n\n");
+  std::vector<std::string> header = {"skew theta", "budget", "maxdiff",
+                                     "wavelet", "sample(4x rows)"};
+  std::vector<std::vector<std::string>> rows;
+
+  Rng rng(2025);
+  for (const double theta : {0.0, 0.8, 1.4}) {
+    std::vector<int64_t> vals(60000);
+    ZipfSampler z(2000, theta);
+    for (auto& v : vals) v = z.Next(rng);
+    const double total = static_cast<double>(vals.size());
+
+    for (const int budget : {16, 64, 256}) {
+      const Histogram h = BuildMaxDiff(vals, total, budget);
+      const WaveletSynopsis w = BuildWavelet(vals, total, budget);
+      // A histogram bucket stores 4 numbers; give the sample 4x rows.
+      Rng srng(7);
+      std::vector<int64_t> sample;
+      for (int i = 0; i < budget * 4; ++i) {
+        sample.push_back(
+            vals[static_cast<size_t>(srng.NextBelow(vals.size()))]);
+      }
+
+      double e_h = 0.0, e_w = 0.0, e_s = 0.0;
+      const int kRanges = 60;
+      Rng qrng(13);
+      for (int i = 0; i < kRanges; ++i) {
+        const int64_t lo = qrng.NextInRange(0, 1900);
+        const int64_t hi = lo + qrng.NextInRange(10, 400);
+        const double truth = ExactRangeSel(vals, total, lo, hi);
+        e_h += std::abs(h.RangeSelectivity(lo, hi) - truth);
+        e_w += std::abs(w.RangeSelectivity(lo, hi) - truth);
+        e_s += std::abs(ExactRangeSel(sample,
+                                      static_cast<double>(sample.size()),
+                                      lo, hi) -
+                        truth);
+      }
+      char theta_s[16];
+      std::snprintf(theta_s, sizeof(theta_s), "%.1f", theta);
+      rows.push_back({theta_s, std::to_string(budget),
+                      FormatDouble(e_h / kRanges, 4),
+                      FormatDouble(e_w / kRanges, 4),
+                      FormatDouble(e_s / kRanges, 4)});
+    }
+  }
+  PrintTable(header, rows);
+  std::printf(
+      "\nExpected shape: histograms and wavelets are both near-exact on\n"
+      "uniform data; on Zipfian data the energy concentrates in few Haar\n"
+      "coefficients, letting wavelets beat MaxDiff at very small budgets,\n"
+      "while both converge once buckets ~ distinct spikes; sample error\n"
+      "tracks ~1/sqrt(rows) regardless of skew.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Related-work comparison (paper Section 6): LEO-style feedback vs SITs.
+//
+// Both approaches consume the same "training" information budget — the
+// executed training workload — then estimate (a) the training queries
+// themselves and (b) a fresh test workload over different join contexts.
+// The paper's argument: feedback folds corrections into one adjusted
+// statistic per attribute and keeps assuming independence, so it helps
+// exactly where it was trained and can mislead elsewhere; SITs keep
+// context-specific statistics and generalize across queries that share
+// query expressions.
+
+#include <cmath>
+#include <functional>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "condsel/baselines/feedback.h"
+#include "condsel/harness/metrics.h"
+#include "condsel/selectivity/get_selectivity.h"
+
+using namespace condsel;        // NOLINT: bench brevity
+using namespace condsel::bench; // NOLINT: bench brevity
+
+namespace {
+
+double AvgError(const std::vector<Query>& queries, BenchEnv& env,
+                const std::function<double(const Query&, PredSet)>& est) {
+  double total = 0.0;
+  int n = 0;
+  for (const Query& q : queries) {
+    for (PredSet plan : SubPlanFamily(q)) {
+      const double cross = CrossProductCardinality(env.catalog, q, plan);
+      const double truth = env.evaluator->Cardinality(q, plan);
+      total += std::abs(est(q, plan) * cross - truth);
+      ++n;
+    }
+  }
+  return total / n;
+}
+
+}  // namespace
+
+int main() {
+  BenchEnv env;
+  const int num_queries = EnvInt("CONDSEL_QUERIES", 12);
+  const std::vector<Query> train = env.Workload(4, num_queries, 111);
+  const std::vector<Query> test = env.Workload(4, num_queries, 777);
+
+  // Base-only pool for noSit and feedback (bases must cover the test
+  // queries' columns too — any system has base statistics everywhere).
+  std::vector<Query> both = train;
+  both.insert(both.end(), test.begin(), test.end());
+  const SitPool bases = GenerateSitPool(both, 0, *env.builder);
+  // SIT side: bases plus SITs generated from the *training* workload only.
+  SitPool pool = bases;
+  const SitPool trained = GenerateSitPool(train, 2, *env.builder);
+  for (const Sit& s : trained.sits()) {
+    pool.Add(s);
+  }
+
+  // Feedback side: observe every training query's execution.
+  SitMatcher fb_matcher(&bases);
+  FeedbackEstimator feedback(&fb_matcher);
+  for (const Query& q : train) {
+    feedback.Observe(q, env.evaluator.get());
+  }
+
+  DiffError diff;
+  auto gs_est = [&](const Query& q, PredSet p) {
+    SitMatcher matcher(&pool);
+    matcher.BindQuery(&q);
+    FactorApproximator fa(&matcher, &diff);
+    GetSelectivity gs(&q, &fa);
+    return gs.Compute(p).selectivity;
+  };
+  auto fb_est = [&](const Query& q, PredSet p) {
+    fb_matcher.BindQuery(&q);
+    return feedback.Estimate(q, p);
+  };
+  auto no_est = [&](const Query& q, PredSet p) {
+    SitMatcher matcher(&bases);
+    matcher.BindQuery(&q);
+    NIndError n_ind;
+    FactorApproximator fa(&matcher, &n_ind);
+    GetSelectivity gs(&q, &fa);
+    return gs.Compute(p).selectivity;
+  };
+
+  std::vector<std::string> header = {"workload", "noSit", "feedback (LEO)",
+                                     "SITs (GS-Diff)"};
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"training", FormatDouble(AvgError(train, env, no_est), 2),
+                  FormatDouble(AvgError(train, env, fb_est), 2),
+                  FormatDouble(AvgError(train, env, gs_est), 2)});
+  rows.push_back({"test (unseen)",
+                  FormatDouble(AvgError(test, env, no_est), 2),
+                  FormatDouble(AvgError(test, env, fb_est), 2),
+                  FormatDouble(AvgError(test, env, gs_est), 2)});
+  std::printf("\nfeedback vs SITs: avg abs sub-plan error (4-way joins)\n\n");
+  PrintTable(header, rows);
+  std::printf(
+      "\nExpected shape: feedback beats noSit on the training workload but\n"
+      "generalizes poorly (one adjustment per attribute, independence\n"
+      "retained); SITs improve both workloads because test queries reuse\n"
+      "the same join expressions.\n");
+  return 0;
+}

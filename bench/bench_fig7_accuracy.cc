@@ -1,0 +1,50 @@
+// Figure 7 (a, b, c): average absolute cardinality error for 3-, 5-, and
+// 7-way join workloads, for every technique, as the SIT pool grows from
+// J_0 (base histograms only) to J_J (every join expression present in
+// the workload).
+//
+// Paper's shape: the error collapses by roughly an order of magnitude
+// from J_0 to the full pool; GS-Diff tracks GS-Opt closely and beats
+// GS-nInd; most of the gain arrives with the 2- and 3-way join SITs.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace condsel;        // NOLINT: bench brevity
+using namespace condsel::bench; // NOLINT: bench brevity
+
+int main() {
+  BenchEnv env;
+  const int num_queries = EnvInt("CONDSEL_QUERIES", 20);
+
+  for (int j : {3, 5, 7}) {
+    const std::vector<Query> workload = env.Workload(j, num_queries);
+    Runner runner(&env.catalog, env.evaluator.get());
+
+    std::printf("\nFigure 7(%c): %d-way join queries (%d queries)\n\n",
+                j == 3 ? 'a' : (j == 5 ? 'b' : 'c'), j, num_queries);
+    std::vector<std::string> header = {"pool",    "#SITs",   "noSit",
+                                       "GVM",     "GS-nInd", "GS-Diff",
+                                       "GS-Opt"};
+    std::vector<std::vector<std::string>> rows;
+    for (int pool_j = 0; pool_j <= j; ++pool_j) {
+      const SitPool pool = GenerateSitPool(workload, pool_j, *env.builder);
+      std::vector<std::string> row = {"J" + std::to_string(pool_j),
+                                      std::to_string(pool.size())};
+      for (Technique t : {Technique::kNoSit, Technique::kGvm,
+                          Technique::kGsNInd, Technique::kGsDiff,
+                          Technique::kGsOpt}) {
+        row.push_back(
+            FormatDouble(runner.Run(workload, pool, t).avg_abs_error, 1));
+      }
+      rows.push_back(std::move(row));
+    }
+    PrintTable(header, rows);
+  }
+  std::printf(
+      "\nExpected shape: noSit is flat (it ignores SITs); all SIT-aware\n"
+      "techniques drop sharply once 1-3 join expressions are available;\n"
+      "GS-Diff ~ GS-Opt <= GVM, with GS-nInd in between on rich pools.\n");
+  return 0;
+}

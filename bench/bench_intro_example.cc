@@ -1,0 +1,93 @@
+// Figures 1 and 2: the introduction's TPC-H example as a table.
+//
+// Reports the cardinality estimate of
+//   lineitem JOIN orders JOIN customer
+//   WHERE o_totalprice > P AND c_nation = 'USA'
+// under four statistics configurations, sweeping the price cutoff (the
+// deeper into the skewed tail, the worse the independence assumption).
+
+#include <cstdio>
+
+#include "condsel/datagen/tpch_lite.h"
+#include "condsel/exec/evaluator.h"
+#include "condsel/harness/metrics.h"
+#include "condsel/harness/report.h"
+#include "condsel/selectivity/get_selectivity.h"
+#include "condsel/sit/sit_builder.h"
+#include "condsel/sit/sit_pool.h"
+
+using namespace condsel;  // NOLINT: bench brevity
+
+int main() {
+  TpchLiteOptions opt;
+  opt.scale = 0.05;
+  opt.zipf_theta = 1.2;
+  const Catalog catalog = BuildTpchLite(opt);
+  CardinalityCache cache;
+  Evaluator evaluator(&catalog, &cache);
+  SitBuilder builder(&evaluator, SitBuildOptions{});
+
+  const ColumnRef l_okey = catalog.ResolveColumn("lineitem", "l_orderkey");
+  const ColumnRef o_okey = catalog.ResolveColumn("orders", "o_orderkey");
+  const ColumnRef o_ckey = catalog.ResolveColumn("orders", "o_custkey");
+  const ColumnRef c_ckey = catalog.ResolveColumn("customer", "c_custkey");
+  const ColumnRef o_price = catalog.ResolveColumn("orders", "o_totalprice");
+  const ColumnRef c_nation = catalog.ResolveColumn("customer", "c_nation");
+
+  std::printf(
+      "Figures 1-2: estimate of |L JOIN O JOIN C WHERE price>P AND "
+      "nation=USA|\n(values are estimate/true ratios; 1.00 is perfect)\n\n");
+  std::vector<std::string> header = {"price cutoff", "true",  "no SITs",
+                                     "SIT(b) only",  "SIT(c) only",
+                                     "both (Fig.2)"};
+  std::vector<std::vector<std::string>> rows;
+
+  for (const int64_t cutoff : {25000, 50000, 75000, 90000}) {
+    const Query query({Predicate::Join(l_okey, o_okey),      // 0
+                       Predicate::Join(o_ckey, c_ckey),      // 1
+                       Predicate::Filter(o_price, cutoff, 2000000),
+                       Predicate::Equals(c_nation, 0)});
+    const double truth =
+        evaluator.Cardinality(query, query.all_predicates());
+    const double cross =
+        CrossProductCardinality(catalog, query, query.all_predicates());
+
+    SitPool bases;
+    for (const ColumnRef& c :
+         {l_okey, o_okey, o_ckey, c_ckey, o_price, c_nation}) {
+      bases.Add(builder.Build(c, {}));
+    }
+    const Sit sit_b = builder.Build(o_price, {query.predicate(0)});
+    const Sit sit_c = builder.Build(c_nation, {query.predicate(1)});
+
+    auto ratio = [&](const SitPool& pool) {
+      SitMatcher matcher(&pool);
+      matcher.BindQuery(&query);
+      DiffError diff;
+      FactorApproximator approx(&matcher, &diff);
+      GetSelectivity gs(&query, &approx);
+      const double est =
+          gs.Compute(query.all_predicates()).selectivity * cross;
+      return truth > 0 ? est / truth : 0.0;
+    };
+
+    SitPool pool_b = bases;
+    pool_b.Add(sit_b);
+    SitPool pool_c = bases;
+    pool_c.Add(sit_c);
+    SitPool pool_both = pool_b;
+    pool_both.Add(sit_c);
+
+    rows.push_back({std::to_string(cutoff), FormatCount(truth),
+                    FormatDouble(ratio(bases), 2),
+                    FormatDouble(ratio(pool_b), 2),
+                    FormatDouble(ratio(pool_c), 2),
+                    FormatDouble(ratio(pool_both), 2)});
+  }
+  PrintTable(header, rows);
+  std::printf(
+      "\nExpected shape: the traditional estimate degrades with the cutoff\n"
+      "(independence between price and the L-O join); each SIT fixes one\n"
+      "assumption; using both together is closest to the truth.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Lemma 1: the number of decompositions T(n) and its bounds
+//   0.5 * (n+1)!  <=  T(n)  <=  1.5^n * n!
+// together with the DP's O(3^n) subproblem bound — the exponential gap
+// the paper's Section 3.4 highlights.
+
+#include <cmath>
+#include <cstdio>
+
+#include "condsel/harness/report.h"
+#include "condsel/selectivity/decomposition.h"
+
+using namespace condsel;  // NOLINT: bench brevity
+
+int main() {
+  std::printf("Lemma 1: decomposition counts vs the DP search space\n\n");
+  std::vector<std::string> header = {"n",        "T(n)",      "0.5*(n+1)!",
+                                     "1.5^n*n!", "3^n (DP)",  "T(n)/3^n"};
+  std::vector<std::vector<std::string>> rows;
+  for (int n = 1; n <= 12; ++n) {
+    const double t = static_cast<double>(CountDecompositions(n));
+    const double lo = 0.5 * static_cast<double>(Factorial(n + 1));
+    const double hi = std::pow(1.5, n) * static_cast<double>(Factorial(n));
+    const double dp = std::pow(3.0, n);
+    rows.push_back({std::to_string(n), FormatCount(t), FormatCount(lo),
+                    FormatCount(std::floor(hi)), FormatCount(dp),
+                    FormatDouble(t / dp, 1)});
+    if (!Lemma1LowerBoundHolds(n) || !Lemma1UpperBoundHolds(n)) {
+      std::printf("BOUND VIOLATION at n=%d\n", n);
+      return 1;
+    }
+  }
+  PrintTable(header, rows);
+
+  // Cross-check the recurrence against explicit enumeration.
+  std::printf("\nenumeration cross-check (n = 1..6): ");
+  for (int n = 1; n <= 6; ++n) {
+    const PredSet full = (1u << n) - 1;
+    if (CountChainDecompositions(full) != CountDecompositions(n)) {
+      std::printf("MISMATCH at n=%d\n", n);
+      return 1;
+    }
+  }
+  std::printf("ok\n");
+  std::printf(
+      "\nT(n) outgrows the DP's 3^n exponentially: memoization + the\n"
+      "monotone error principle give the exponential saving of Sec 3.4.\n");
+  return 0;
+}

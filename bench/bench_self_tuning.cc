@@ -1,0 +1,135 @@
+// Related-work comparison: self-tuning base statistics ([1, 5]) vs SITs
+// under data drift. Fact rows referencing keys beyond the dimension's
+// range are dangling (and, being the high-fk rows, carry the largest
+// attribute values), so the join genuinely reshapes the attribute's
+// distribution — base statistics cannot express that even when fresh.
+//
+// Scenario: statistics are built, then the fact table's correlated
+// attribute drifts (values shift upward). Static statistics go stale;
+// the self-tuning histogram repairs its *base* distribution from query
+// feedback — but, as Section 6 argues, it still owns one distribution
+// per attribute and keeps the independence assumption, so it cannot fix
+// the filter-vs-join interaction that SITs capture. Rebuilt SITs fix
+// both.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "condsel/common/zipf.h"
+#include "condsel/selftuning/self_tuning_histogram.h"
+
+using namespace condsel;        // NOLINT: bench brevity
+using namespace condsel::bench; // NOLINT: bench brevity
+
+int main() {
+  // fact(fk, a) joining dim(pk): a correlates with fk popularity.
+  Rng rng(11);
+  auto build_catalog = [&](int64_t shift) {
+    Catalog catalog;
+    {
+      TableSchema s;
+      s.name = "fact";
+      s.columns = {{"fk", 0, 249, true}, {"a", 0, 999, false}};
+      Table t(s);
+      // fk ranges over 0..249 but the dimension only holds 0..199: the
+      // tail (which carries the largest `a` values) dangles.
+      ZipfSampler z(250, 0.4);
+      for (int i = 0; i < 20000; ++i) {
+        const int64_t fk = z.Next(rng);
+        const int64_t a =
+            std::clamp<int64_t>(fk * 3 + rng.NextInRange(0, 99) + shift, 0,
+                                999);
+        t.AppendRow({fk, a});
+      }
+      catalog.AddTable(std::move(t));
+    }
+    {
+      TableSchema s;
+      s.name = "dim";
+      s.columns = {{"pk", 0, 199, true}, {"c", 0, 9, false}};
+      Table t(s);
+      for (int64_t i = 0; i < 200; ++i) {
+        t.AppendRow({i, rng.NextInRange(0, 9)});
+      }
+      catalog.AddTable(std::move(t));
+    }
+    return catalog;
+  };
+
+  // Statistics built on the ORIGINAL data.
+  Catalog original = build_catalog(0);
+  CardinalityCache cache0;
+  Evaluator eval0(&original, &cache0);
+  SitBuilder builder0(&eval0, SitBuildOptions{});
+  const ColumnRef f_a{0, 1};
+  const Sit stale_base = builder0.Build(f_a, {});
+
+  // The DRIFTED world the queries actually run against.
+  Catalog drifted = build_catalog(400);
+  CardinalityCache cache1;
+  Evaluator eval1(&drifted, &cache1);
+
+  // Self-tuning histogram trained by feedback from drifted executions.
+  SelfTuningHistogram tuned(0, 999, 200);
+  {
+    Rng qrng(23);
+    const Table& fact = drifted.table(0);
+    for (int i = 0; i < 300; ++i) {
+      const int64_t lo = qrng.NextInRange(0, 900);
+      const int64_t hi = lo + qrng.NextInRange(20, 99);
+      size_t c = 0;
+      for (int64_t v : fact.column(1).values()) c += (v >= lo && v <= hi);
+      tuned.Observe(lo, hi,
+                    static_cast<double>(c) /
+                        static_cast<double>(fact.num_rows()));
+    }
+  }
+
+  // Fresh statistics on the drifted data (what SIT rebuild gives).
+  SitBuilder builder1(&eval1, SitBuildOptions{});
+  const Sit fresh_base = builder1.Build(f_a, {});
+  const Query probe({Predicate::Join({0, 0}, {1, 0}),
+                     Predicate::Filter(f_a, 0, 0)});  // shape only
+  const Predicate join = probe.predicate(0);
+  const Sit fresh_sit = builder1.Build(f_a, {join});
+
+  // Task: estimate Sel(a in R | join) over the drifted data for a sweep
+  // of ranges (the join skews the distribution of `a`).
+  std::printf("\nself-tuning vs SITs under data drift\n\n");
+  std::vector<std::string> header = {"estimator", "avg |est - true|",
+                                     "notes"};
+  double e_stale = 0.0, e_tuned = 0.0, e_fresh = 0.0, e_sit = 0.0;
+  int n = 0;
+  for (int64_t lo = 0; lo <= 900; lo += 100) {
+    const int64_t hi = lo + 99;
+    const Query q({join, Predicate::Filter(f_a, lo, hi)});
+    const double truth =
+        eval1.TrueConditionalSelectivity(q, 0b10, 0b01);
+    e_stale += std::abs(stale_base.histogram.RangeSelectivity(lo, hi) -
+                        truth);
+    e_tuned += std::abs(tuned.RangeSelectivity(lo, hi) - truth);
+    e_fresh += std::abs(fresh_base.histogram.RangeSelectivity(lo, hi) -
+                        truth);
+    e_sit += std::abs(fresh_sit.histogram.RangeSelectivity(lo, hi) - truth);
+    ++n;
+  }
+  std::vector<std::vector<std::string>> rows = {
+      {"stale base histogram", FormatDouble(e_stale / n, 4),
+       "built pre-drift"},
+      {"self-tuning histogram", FormatDouble(e_tuned / n, 4),
+       "feedback-repaired base, independence kept"},
+      {"fresh base histogram", FormatDouble(e_fresh / n, 4),
+       "rebuilt, independence kept"},
+      {"fresh SIT(a | join)", FormatDouble(e_sit / n, 4),
+       "rebuilt, conditioning captured"},
+  };
+  PrintTable(header, rows);
+  std::printf(
+      "\nExpected shape: feedback repairs the *base* distribution (close\n"
+      "to the fresh rebuild, far better than stale), but only the SIT\n"
+      "models the join's effect on the attribute — Section 6's argument\n"
+      "for statistics per query expression.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Extension: budget-constrained SIT selection.
+//
+// The advisor greedily materializes the SITs that most reduce the
+// workload's Diff score (no ground truth consulted). This bench tracks,
+// per budget step, the *true* average absolute error — validating that a
+// handful of well-chosen SITs capture most of the full pool's benefit.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "condsel/sit/sit_advisor.h"
+
+using namespace condsel;        // NOLINT: bench brevity
+using namespace condsel::bench; // NOLINT: bench brevity
+
+int main() {
+  BenchEnv env;
+  const int num_queries = EnvInt("CONDSEL_QUERIES", 10);
+  const std::vector<Query> workload = env.Workload(5, num_queries);
+  Runner runner(&env.catalog, env.evaluator.get());
+
+  AdvisorOptions opt;
+  opt.budget = 12;
+  opt.max_join_preds = 3;
+  const AdvisorResult advised = AdviseSits(workload, *env.builder, opt);
+
+  const SitPool bases = GenerateSitPool(workload, 0, *env.builder);
+  const SitPool full = GenerateSitPool(workload, 3, *env.builder);
+  const double base_err =
+      runner.Run(workload, bases, Technique::kGsDiff).avg_abs_error;
+  const double full_err =
+      runner.Run(workload, full, Technique::kGsDiff).avg_abs_error;
+
+  std::printf("\nSIT advisor on a 5-way join workload (%d queries)\n",
+              num_queries);
+  std::printf("base histograms only: err %.2f; full J3 pool (%d SITs): "
+              "err %.2f\n\n",
+              base_err, full.size(), full_err);
+
+  std::vector<std::string> header = {"step", "SIT chosen", "Diff score",
+                                     "true err", "gap closed"};
+  std::vector<std::vector<std::string>> rows;
+  // Re-run the true error for each prefix of the advisor's choices.
+  SitPool prefix = bases;
+  int step = 0;
+  for (const AdvisorStep& s : advised.steps) {
+    prefix.Add(advised.pool.sit(s.chosen));
+    const double err =
+        runner.Run(workload, prefix, Technique::kGsDiff).avg_abs_error;
+    const double closed =
+        base_err - full_err > 0
+            ? (base_err - err) / (base_err - full_err)
+            : 1.0;
+    rows.push_back({std::to_string(++step),
+                    advised.pool.sit(s.chosen).ToString(env.catalog),
+                    FormatDouble(s.score_after, 2), FormatDouble(err, 2),
+                    FormatDouble(100.0 * closed, 0) + "%"});
+  }
+  PrintTable(header, rows);
+  std::printf(
+      "\nExpected shape: the first few chosen SITs close most of the gap\n"
+      "between base-only and the full pool, guided purely by the Diff\n"
+      "statistic (no query execution needed).\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Quickstart: the condsel public API in ~80 lines.
+//
+// Builds a tiny two-table database, creates base statistics and one SIT,
+// and shows how getSelectivity exploits the SIT to fix a cardinality
+// estimate that the independence assumption gets wrong.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "condsel/catalog/catalog.h"
+#include "condsel/exec/evaluator.h"
+#include "condsel/selectivity/get_selectivity.h"
+#include "condsel/sit/sit_builder.h"
+#include "condsel/sit/sit_pool.h"
+
+using namespace condsel;  // NOLINT: example brevity
+
+int main() {
+  // 1. Define a database: orders(key, price) and items(order_fk, qty).
+  //    Expensive orders have many items (count = price / 100).
+  Catalog catalog;
+  {
+    TableSchema s;
+    s.name = "orders";
+    s.columns = {{"key", 0, 99, true}, {"price", 100, 1000, false}};
+    Table orders(s);
+    for (int64_t k = 0; k < 100; ++k) {
+      orders.AppendRow({k, 100 + (k % 10) * 100});
+    }
+    catalog.AddTable(std::move(orders));
+
+    TableSchema si;
+    si.name = "items";
+    si.columns = {{"order_fk", 0, 99, true}, {"qty", 1, 10, false}};
+    Table items(si);
+    for (int64_t k = 0; k < 100; ++k) {
+      const int64_t count = 1 + (k % 10);  // tracks the price
+      for (int64_t i = 0; i < count; ++i) {
+        items.AppendRow({k, 1 + (i % 10)});
+      }
+    }
+    catalog.AddTable(std::move(items));
+  }
+
+  // 2. The query: items JOIN orders WHERE price >= 800.
+  const ColumnRef o_key = catalog.ResolveColumn("orders", "key");
+  const ColumnRef o_price = catalog.ResolveColumn("orders", "price");
+  const ColumnRef i_fk = catalog.ResolveColumn("items", "order_fk");
+  const Query query({Predicate::Join(i_fk, o_key),        // 0
+                     Predicate::Filter(o_price, 800, 1000)});  // 1
+
+  // 3. Exact ground truth via the built-in executor.
+  CardinalityCache cache;
+  Evaluator evaluator(&catalog, &cache);
+  const double truth = evaluator.Cardinality(query, query.all_predicates());
+
+  // 4. Statistics: base histograms only vs. base + SIT(price | join).
+  SitBuilder builder(&evaluator, SitBuildOptions{});
+  SitPool base_only;
+  base_only.Add(builder.Build(o_key, {}));
+  base_only.Add(builder.Build(o_price, {}));
+  base_only.Add(builder.Build(i_fk, {}));
+
+  SitPool with_sit = base_only;
+  with_sit.Add(builder.Build(o_price, {query.predicate(0)}));
+
+  // 5. Estimate with each pool.
+  const double cross = 100.0 * static_cast<double>(
+                                   catalog.table(i_fk.table).num_rows());
+  for (const auto& [name, pool] :
+       {std::pair<const char*, const SitPool*>{"base histograms", &base_only},
+        {"base + SIT(price | join)", &with_sit}}) {
+    SitMatcher matcher(pool);
+    matcher.BindQuery(&query);
+    DiffError diff;
+    FactorApproximator approx(&matcher, &diff);
+    GetSelectivity gs(&query, &approx);
+    const SelEstimate est = gs.Compute(query.all_predicates());
+    std::printf("%-28s -> estimated %7.1f rows (true %.0f)\n", name,
+                est.selectivity * cross, truth);
+  }
+  std::printf(
+      "\nThe SIT models how the filter's selectivity changes over the join\n"
+      "result (expensive orders join with more items), removing the\n"
+      "independence assumption that caused the underestimate.\n");
+  return 0;
+}

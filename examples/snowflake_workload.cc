@@ -1,0 +1,75 @@
+// Full workload walk-through on the synthetic snowflake database:
+// generates the Section 5 setup at a reduced scale, builds SIT pools
+// J_0..J_3, runs every estimation technique, and prints the accuracy
+// and overhead summary (a miniature of Figures 7 and 8).
+//
+//   $ ./snowflake_workload            # default reduced scale
+//   $ CONDSEL_SCALE=0.05 ./snowflake_workload
+
+#include <cstdio>
+
+#include "condsel/datagen/snowflake.h"
+#include "condsel/datagen/workload.h"
+#include "condsel/harness/report.h"
+#include "condsel/harness/runner.h"
+#include "condsel/sit/sit_builder.h"
+#include "condsel/sit/sit_pool.h"
+
+using namespace condsel;  // NOLINT: example brevity
+
+int main() {
+  SnowflakeOptions opt = SnowflakeOptionsFromEnv();
+  opt.scale = opt.scale * 0.1;  // example runs lighter than the benches
+  std::printf("building snowflake database (scale %.3f)...\n", opt.scale);
+  const Catalog catalog = BuildSnowflake(opt);
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    std::printf("  %-6s %8zu rows, %d columns\n",
+                catalog.table(t).schema().name.c_str(),
+                catalog.table(t).num_rows(), catalog.table(t).num_columns());
+  }
+
+  CardinalityCache cache;
+  Evaluator evaluator(&catalog, &cache);
+
+  WorkloadOptions wopt;
+  wopt.num_queries = 12;
+  wopt.num_joins = 4;
+  wopt.num_filters = 3;
+  std::printf("\ngenerating %d queries (J=%d, F=%d, target sel %.2f)...\n",
+              wopt.num_queries, wopt.num_joins, wopt.num_filters,
+              wopt.filter_selectivity);
+  const std::vector<Query> workload =
+      GenerateWorkload(catalog, &evaluator, wopt);
+  std::printf("example query: %s\n", workload[0].ToString(catalog).c_str());
+
+  SitBuilder builder(&evaluator, SitBuildOptions{});
+  Runner runner(&catalog, &evaluator);
+
+  std::vector<std::string> header = {"pool", "#SITs", "noSit", "GVM",
+                                     "GS-nInd", "GS-Diff", "GS-Opt",
+                                     "GS ms/query"};
+  std::vector<std::vector<std::string>> rows;
+  for (int j = 0; j <= 3; ++j) {
+    const SitPool pool = GenerateSitPool(workload, j, builder);
+    std::vector<std::string> row = {"J" + std::to_string(j),
+                                    std::to_string(pool.size())};
+    double gs_ms = 0.0;
+    for (Technique t : {Technique::kNoSit, Technique::kGvm,
+                        Technique::kGsNInd, Technique::kGsDiff,
+                        Technique::kGsOpt}) {
+      const WorkloadRunResult r = runner.Run(workload, pool, t);
+      row.push_back(FormatDouble(r.avg_abs_error, 1));
+      if (t == Technique::kGsDiff) {
+        gs_ms = r.avg_analysis_ms + r.avg_histogram_ms;
+      }
+    }
+    row.push_back(FormatDouble(gs_ms, 3));
+    rows.push_back(std::move(row));
+  }
+  std::printf("\naverage absolute cardinality error over all sub-plans:\n\n");
+  PrintTable(header, rows);
+  std::printf(
+      "\nRicher SIT pools cut the error; GS-Diff tracks the GS-Opt oracle\n"
+      "at milliseconds of overhead per query.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// The paper's introduction (Figures 1 and 2), end to end.
+//
+// Query: lineitem JOIN orders JOIN customer
+//        WHERE o_totalprice > P AND c_nation = 'USA'
+// on a TPC-H-flavoured database where the number of line-items per order
+// is Zipfian and tracks o_totalprice, and most customers are in one
+// nation. Compares:
+//   - the traditional estimate (independence everywhere);
+//   - each SIT used alone via view-matching-style rewriting (Fig. 1 b,c);
+//   - both SITs together, which no view-matching rewrite can do but the
+//     conditional-selectivity framework does naturally (Fig. 2).
+//
+//   $ ./tpch_skew
+
+#include <cmath>
+#include <cstdio>
+
+#include "condsel/datagen/tpch_lite.h"
+#include "condsel/exec/evaluator.h"
+#include "condsel/harness/metrics.h"
+#include "condsel/selectivity/get_selectivity.h"
+#include "condsel/sit/sit_builder.h"
+#include "condsel/sit/sit_pool.h"
+
+using namespace condsel;  // NOLINT: example brevity
+
+int main() {
+  TpchLiteOptions opt;
+  opt.scale = 0.05;
+  opt.zipf_theta = 1.2;
+  const Catalog catalog = BuildTpchLite(opt);
+
+  const ColumnRef l_orderkey = catalog.ResolveColumn("lineitem", "l_orderkey");
+  const ColumnRef o_orderkey = catalog.ResolveColumn("orders", "o_orderkey");
+  const ColumnRef o_custkey = catalog.ResolveColumn("orders", "o_custkey");
+  const ColumnRef c_custkey = catalog.ResolveColumn("customer", "c_custkey");
+  const ColumnRef o_price = catalog.ResolveColumn("orders", "o_totalprice");
+  const ColumnRef c_nation = catalog.ResolveColumn("customer", "c_nation");
+
+  // total_price > 50000 (orders with ~20+ line-items); nation = 0 (USA).
+  const Query query({Predicate::Join(l_orderkey, o_orderkey),   // 0: L-O
+                     Predicate::Join(o_custkey, c_custkey),     // 1: O-C
+                     Predicate::Filter(o_price, 50000, 2000000),  // 2
+                     Predicate::Equals(c_nation, 0)});            // 3
+
+  CardinalityCache cache;
+  Evaluator evaluator(&catalog, &cache);
+  const double truth = evaluator.Cardinality(query, query.all_predicates());
+  const double cross =
+      CrossProductCardinality(catalog, query, query.all_predicates());
+
+  // Base histograms for everything.
+  SitBuilder builder(&evaluator, SitBuildOptions{});
+  SitPool bases;
+  for (const ColumnRef& c : {l_orderkey, o_orderkey, o_custkey, c_custkey,
+                             o_price, c_nation}) {
+    bases.Add(builder.Build(c, {}));
+  }
+  // The two SITs from the introduction.
+  const Sit sit_price_lo =
+      builder.Build(o_price, {query.predicate(0)});  // price | L JOIN O
+  const Sit sit_nation_oc =
+      builder.Build(c_nation, {query.predicate(1)});  // nation | O JOIN C
+
+  auto estimate = [&](const SitPool& pool) {
+    SitMatcher matcher(&pool);
+    matcher.BindQuery(&query);
+    DiffError diff;
+    FactorApproximator approx(&matcher, &diff);
+    GetSelectivity gs(&query, &approx);
+    return gs.Compute(query.all_predicates()).selectivity * cross;
+  };
+
+  SitPool pool_b = bases;
+  pool_b.Add(sit_price_lo);
+  SitPool pool_c = bases;
+  pool_c.Add(sit_nation_oc);
+  SitPool pool_both = bases;
+  pool_both.Add(sit_price_lo);
+  pool_both.Add(sit_nation_oc);
+
+  struct Row {
+    const char* label;
+    double estimate;
+  };
+  const Row rows[] = {
+      {"no SITs (traditional, Fig. 1a)", estimate(bases)},
+      {"SIT(price | L JOIN O) only (Fig. 1b)", estimate(pool_b)},
+      {"SIT(nation | O JOIN C) only (Fig. 1c)", estimate(pool_c)},
+      {"both SITs together (Fig. 2)", estimate(pool_both)},
+  };
+  std::printf("true cardinality: %.0f rows\n\n", truth);
+  std::printf("%-40s %12s %10s\n", "statistics available", "estimate",
+              "ratio");
+  for (const Row& r : rows) {
+    std::printf("%-40s %12.1f %9.2fx\n", r.label, r.estimate,
+                truth > 0 ? r.estimate / truth : 0.0);
+  }
+  std::printf(
+      "\nEach SIT fixes one independence assumption; only the conditional\n"
+      "selectivity framework can use both simultaneously (no view-matching\n"
+      "rewrite covers both, as the introduction argues).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "condsel/api.h"
+
+#include <algorithm>
+
+#include "condsel/common/macros.h"
+#include "condsel/harness/metrics.h"
+#include "condsel/selectivity/error_function.h"
+#include "condsel/selectivity/factor_approx.h"
+
+namespace condsel {
+
+struct Estimator::Session {
+  // The query must live as long as its memoized search: keep a copy the
+  // matcher and DP point at.
+  explicit Session(Query q) : query(std::move(q)) {}
+
+  Query query;
+  std::unique_ptr<SitMatcher> matcher;
+  std::unique_ptr<FactorApproximator> approximator;
+  std::unique_ptr<GetSelectivity> gs;
+};
+
+Estimator::Estimator(const Catalog* catalog, const SitPool* pool,
+                     Ranking ranking)
+    : catalog_(catalog), pool_(pool), ranking_(ranking) {
+  CONDSEL_CHECK(catalog != nullptr);
+  CONDSEL_CHECK(pool != nullptr);
+}
+
+Estimator::~Estimator() = default;
+
+Estimator::Session& Estimator::SessionFor(const Query& query) {
+  // Keyed by the *ordered* predicate list: PredSet masks are positional,
+  // so only queries with identical predicate ordering may share a
+  // memoized search.
+  const std::vector<Predicate>& key = query.predicates();
+  auto it = sessions_.find(key);
+  if (it != sessions_.end()) return *it->second;
+
+  auto session = std::make_unique<Session>(query);
+  session->matcher = std::make_unique<SitMatcher>(pool_);
+  session->matcher->BindQuery(&session->query);
+  // Leaked singletons: error functions are stateless, and static objects
+  // with non-trivial destructors are avoided (see style guide).
+  static const NIndError& n_ind = *new NIndError();
+  static const DiffError& diff = *new DiffError();
+  const ErrorFunction* fn =
+      ranking_ == Ranking::kNInd
+          ? static_cast<const ErrorFunction*>(&n_ind)
+          : static_cast<const ErrorFunction*>(&diff);
+  session->approximator =
+      std::make_unique<FactorApproximator>(session->matcher.get(), fn);
+  session->gs = std::make_unique<GetSelectivity>(
+      &session->query, session->approximator.get());
+  return *sessions_.emplace(key, std::move(session)).first->second;
+}
+
+double Estimator::EstimateSelectivity(const Query& query, PredSet p) {
+  return SessionFor(query).gs->Compute(p).selectivity;
+}
+
+double Estimator::EstimateSelectivity(const Query& query) {
+  return EstimateSelectivity(query, query.all_predicates());
+}
+
+double Estimator::EstimateCardinality(const Query& query, PredSet p) {
+  return EstimateSelectivity(query, p) *
+         CrossProductCardinality(*catalog_, query, p);
+}
+
+double Estimator::EstimateCardinality(const Query& query) {
+  return EstimateCardinality(query, query.all_predicates());
+}
+
+std::string Estimator::Explain(const Query& query) {
+  Session& s = SessionFor(query);
+  s.gs->Compute(query.all_predicates());
+  return s.gs->Explain(query.all_predicates());
+}
+
+void Estimator::ClearCache() { sessions_.clear(); }
+
+}  // namespace condsel

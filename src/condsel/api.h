@@ -1,0 +1,74 @@
+// condsel/api.h — the one-stop facade.
+//
+// Wraps the catalog + SIT pool + matcher + getSelectivity wiring behind a
+// single object, the way an optimizer would embed the library:
+//
+//   Estimator est(&catalog, &pool, Ranking::kDiff);
+//   double rows = est.EstimateCardinality(query);
+//   std::string why = est.Explain(query);
+//
+// The estimator keeps one memoized DP per distinct query (keyed by the
+// query's canonical predicate list), so an optimizer issuing many
+// sub-plan requests against the same query pays for one search.
+// Lower-level control (custom error functions, direct factor access)
+// remains available through the individual headers.
+
+#ifndef CONDSEL_API_H_
+#define CONDSEL_API_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "condsel/catalog/catalog.h"
+#include "condsel/exec/evaluator.h"
+#include "condsel/query/query.h"
+#include "condsel/selectivity/get_selectivity.h"
+#include "condsel/sit/sit_matcher.h"
+#include "condsel/sit/sit_pool.h"
+
+namespace condsel {
+
+// Which decomposition-ranking error function to use (Sections 3.2, 3.5).
+enum class Ranking { kNInd, kDiff };
+
+class Estimator {
+ public:
+  // Both pointers are borrowed and must outlive the estimator. The pool
+  // must contain base histograms for every column the queries reference.
+  Estimator(const Catalog* catalog, const SitPool* pool,
+            Ranking ranking = Ranking::kDiff);
+  ~Estimator();
+
+  Estimator(const Estimator&) = delete;
+  Estimator& operator=(const Estimator&) = delete;
+
+  // Estimated Sel(P) for a predicate subset of `query` (default: all).
+  double EstimateSelectivity(const Query& query, PredSet p);
+  double EstimateSelectivity(const Query& query);
+
+  // Estimated |sigma_P(tables(P)^x)|.
+  double EstimateCardinality(const Query& query, PredSet p);
+  double EstimateCardinality(const Query& query);
+
+  // The chosen decomposition for the full query, human-readable.
+  std::string Explain(const Query& query);
+
+  // Number of distinct queries with a live memoized search.
+  size_t cached_queries() const { return sessions_.size(); }
+  void ClearCache();
+
+ private:
+  // Per-query session: owns the bound matcher, approximator, and DP.
+  struct Session;
+  Session& SessionFor(const Query& query);
+
+  const Catalog* catalog_;
+  const SitPool* pool_;
+  Ranking ranking_;
+  std::map<std::vector<Predicate>, std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_API_H_

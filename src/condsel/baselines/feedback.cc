@@ -1,0 +1,56 @@
+#include "condsel/baselines/feedback.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "condsel/common/macros.h"
+
+namespace condsel {
+
+FeedbackEstimator::FeedbackEstimator(SitMatcher* matcher)
+    : matcher_(matcher), approximator_(matcher, &error_fn_) {
+  CONDSEL_CHECK(matcher != nullptr);
+}
+
+void FeedbackEstimator::Observe(const Query& query, Evaluator* evaluator) {
+  CONDSEL_CHECK(evaluator != nullptr);
+  matcher_->BindQuery(&query);
+  const PredSet joins = query.join_predicates();
+  for (int f : SetElements(query.filter_predicates())) {
+    const Predicate& pred = query.predicate(f);
+    const double truth =
+        evaluator->TrueConditionalSelectivity(query, 1u << f, joins);
+    FactorChoice base = approximator_.Score(query, 1u << f, /*cond=*/0);
+    if (!base.feasible) continue;
+    const double est = approximator_.Estimate(query, 1u << f, base);
+    if (truth <= 0.0 || est <= 0.0) continue;
+    Adjustment& adj = adjustments_[pred.column()];
+    adj.log_ratio_sum += std::log(truth / est);
+    ++adj.observations;
+  }
+}
+
+double FeedbackEstimator::AdjustmentFor(ColumnRef col) const {
+  auto it = adjustments_.find(col);
+  if (it == adjustments_.end() || it->second.observations == 0) return 1.0;
+  return std::exp(it->second.log_ratio_sum /
+                  static_cast<double>(it->second.observations));
+}
+
+double FeedbackEstimator::Estimate(const Query& query, PredSet p) {
+  double sel = 1.0;
+  for (int i : SetElements(p)) {
+    FactorChoice choice = approximator_.Score(query, 1u << i, /*cond=*/0);
+    CONDSEL_CHECK_MSG(choice.feasible,
+                      "feedback estimation requires base histograms");
+    double factor = approximator_.Estimate(query, 1u << i, choice);
+    if (query.predicate(i).is_filter()) {
+      factor =
+          std::min(1.0, factor * AdjustmentFor(query.predicate(i).column()));
+    }
+    sel *= factor;
+  }
+  return sel;
+}
+
+}  // namespace condsel

@@ -1,0 +1,59 @@
+// LEO-style query-feedback estimation (related work, paper [25]).
+//
+// Section 6 contrasts SITs with feedback-driven approaches: LEO monitors
+// executed queries and *adjusts* base statistics so the observed queries
+// would have been estimated correctly, but "maintains a single adjusted
+// histogram per attribute and still relies on the independence assumption",
+// whereas SITs keep context-specific statistics per query expression.
+//
+// This baseline reconstructs that idea at the granularity the comparison
+// needs: from a training workload with observed true cardinalities it
+// learns, per filter column, a multiplicative adjustment — the geometric
+// mean of (true conditional selectivity given the query's joins) /
+// (base-histogram selectivity) — and applies it to future base estimates.
+// One number per attribute, independence everywhere: exactly the
+// structural limitation the paper attributes to [25].
+
+#ifndef CONDSEL_BASELINES_FEEDBACK_H_
+#define CONDSEL_BASELINES_FEEDBACK_H_
+
+#include <map>
+
+#include "condsel/exec/evaluator.h"
+#include "condsel/query/query.h"
+#include "condsel/selectivity/factor_approx.h"
+
+namespace condsel {
+
+class FeedbackEstimator {
+ public:
+  // The matcher's pool must contain base histograms (any J_i pool).
+  explicit FeedbackEstimator(SitMatcher* matcher);
+
+  // Observes a training query with execution feedback: for each filter,
+  // compares the true conditional selectivity (given the query's joins)
+  // with the base estimate and accumulates the log-ratio.
+  void Observe(const Query& query, Evaluator* evaluator);
+
+  // Estimated Sel(P): independent product of per-predicate estimates,
+  // filters multiplied by their learned adjustment factors.
+  double Estimate(const Query& query, PredSet p);
+
+  // Learned multiplicative adjustment for a column (1.0 if unseen).
+  double AdjustmentFor(ColumnRef col) const;
+
+ private:
+  struct Adjustment {
+    double log_ratio_sum = 0.0;
+    int observations = 0;
+  };
+
+  SitMatcher* matcher_;
+  NIndError error_fn_;
+  FactorApproximator approximator_;
+  std::map<ColumnRef, Adjustment> adjustments_;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_BASELINES_FEEDBACK_H_

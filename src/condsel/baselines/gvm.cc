@@ -1,0 +1,97 @@
+#include "condsel/baselines/gvm.h"
+
+#include <map>
+
+#include "condsel/common/macros.h"
+
+namespace condsel {
+
+GvmEstimator::GvmEstimator(SitMatcher* matcher)
+    : matcher_(matcher), approximator_(matcher, &error_fn_) {
+  CONDSEL_CHECK(matcher != nullptr);
+}
+
+double GvmEstimator::Estimate(const Query& query, PredSet p) {
+  // Current SIT assignment per filter predicate; absent = base histogram.
+  std::map<int, SitCandidate> chosen;
+  std::vector<int> filters;
+  std::vector<int> joins;
+  for (int i : SetElements(p)) {
+    (query.predicate(i).is_filter() ? filters : joins).push_back(i);
+  }
+
+  auto compatible = [&](int pred, const SitCandidate& cand) {
+    // A single rewritten plan must realize every chosen SIT: expressions
+    // must nest or be table-disjoint.
+    for (const auto& [other, oc] : chosen) {
+      if (other == pred) continue;
+      if (IsSubset(cand.expr_mask, oc.expr_mask) ||
+          IsSubset(oc.expr_mask, cand.expr_mask)) {
+        continue;
+      }
+      const TableSet t1 = query.TablesOfSubset(cand.expr_mask);
+      const TableSet t2 = query.TablesOfSubset(oc.expr_mask);
+      if ((t1 & t2) == 0) continue;
+      return false;
+    }
+    return true;
+  };
+
+  // Greedy: repeatedly commit the (filter, SIT) application that removes
+  // the most independence assumptions, until no application helps.
+  while (true) {
+    int best_pred = -1;
+    SitCandidate best_cand;
+    int best_benefit = 0;
+    for (int f : filters) {
+      const PredSet context = p & ~(1u << f);
+      const int current_size =
+          chosen.count(f) ? SetSize(chosen[f].expr_mask) : 0;
+      for (const SitCandidate& cand : matcher_->Candidates(
+               query.predicate(f).column(), context,
+               SitMatcher::CallAccounting::kPerSit)) {
+        const int benefit = SetSize(cand.expr_mask) - current_size;
+        if (benefit <= 0) continue;
+        if (!compatible(f, cand)) continue;
+        if (benefit > best_benefit ||
+            (benefit == best_benefit && best_pred >= 0 && f < best_pred)) {
+          best_benefit = benefit;
+          best_pred = f;
+          best_cand = cand;
+        }
+      }
+    }
+    if (best_pred < 0) break;
+    chosen[best_pred] = best_cand;
+  }
+
+  // Estimate the rewritten plan: joins from base histograms, filters from
+  // their assigned SITs; independence everywhere else.
+  double sel = 1.0;
+  double n_ind = 0.0;
+  for (int j : joins) {
+    FactorChoice choice = approximator_.Score(query, 1u << j, /*cond=*/0);
+    CONDSEL_CHECK_MSG(choice.feasible, "GVM requires base histograms");
+    sel *= approximator_.Estimate(query, 1u << j, choice);
+    n_ind += static_cast<double>(SetSize(p) - 1);
+  }
+  for (int f : filters) {
+    const PredSet context = p & ~(1u << f);
+    if (chosen.count(f)) {
+      const SitCandidate& cand = chosen[f];
+      sel *= cand.sit->histogram.RangeSelectivity(
+          query.predicate(f).lo(), query.predicate(f).hi());
+      n_ind += static_cast<double>(SetSize(context & ~cand.expr_mask));
+    } else {
+      FactorChoice choice =
+          approximator_.Score(query, 1u << f, /*cond=*/0);
+      CONDSEL_CHECK_MSG(choice.feasible, "GVM requires base histograms");
+      sel *= approximator_.Estimate(query, 1u << f, choice);
+      n_ind += static_cast<double>(SetSize(context));
+    }
+  }
+  last_n_ind_ = n_ind;
+  return sel;
+}
+
+}  // namespace condsel

@@ -1,0 +1,47 @@
+// GVM — Greedy View Matching, the prior-art baseline (paper [4]).
+//
+// Reconstruction of "Exploiting statistics on query expressions for
+// optimization" (Bruno & Chaudhuri, SIGMOD 2002) as this paper describes
+// it: for each selectivity request, a greedy procedure repeatedly picks
+// the SIT application that removes the most independence assumptions and
+// rewrites the plan to use it. Because the rewriting is a single query
+// plan, the chosen SITs must be *simultaneously* realizable by view
+// matching: their generating expressions must nest (one a sub-plan of the
+// other) or touch disjoint tables — the Figure 1 limitation this paper's
+// framework removes. Two further properties of GVM matter experimentally:
+//   * its search space is a strict subset of the decomposition space
+//     explored by getSelectivity (Fig. 5), and
+//   * it re-runs from scratch on every sub-plan request, with no
+//     cross-request memoization (Fig. 6).
+
+#ifndef CONDSEL_BASELINES_GVM_H_
+#define CONDSEL_BASELINES_GVM_H_
+
+#include "condsel/query/query.h"
+#include "condsel/selectivity/factor_approx.h"
+
+namespace condsel {
+
+class GvmEstimator {
+ public:
+  explicit GvmEstimator(SitMatcher* matcher);
+
+  // Estimated Sel(P). Runs the greedy procedure afresh (per [4], once per
+  // optimizer selectivity request).
+  double Estimate(const Query& query, PredSet p);
+
+  // Number of independence assumptions of the plan chosen for the last
+  // Estimate() call (nInd of the induced decomposition) — exposed for
+  // tests and the ablation bench.
+  double last_n_ind() const { return last_n_ind_; }
+
+ private:
+  SitMatcher* matcher_;
+  NIndError error_fn_;
+  FactorApproximator approximator_;
+  double last_n_ind_ = 0.0;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_BASELINES_GVM_H_

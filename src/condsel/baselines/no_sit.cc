@@ -1,0 +1,23 @@
+#include "condsel/baselines/no_sit.h"
+
+#include "condsel/common/macros.h"
+
+namespace condsel {
+
+NoSitEstimator::NoSitEstimator(SitMatcher* matcher)
+    : approximator_(matcher, &error_fn_) {}
+
+double NoSitEstimator::Estimate(const Query& query, PredSet p) {
+  double sel = 1.0;
+  for (int i : SetElements(p)) {
+    // Conditioning on the empty set restricts the candidates to base
+    // histograms (expr ⊆ ∅), which is exactly the traditional estimator.
+    FactorChoice choice = approximator_.Score(query, 1u << i, /*cond=*/0);
+    CONDSEL_CHECK_MSG(choice.feasible,
+                      "noSit requires base histograms for every column");
+    sel *= approximator_.Estimate(query, 1u << i, choice);
+  }
+  return sel;
+}
+
+}  // namespace condsel

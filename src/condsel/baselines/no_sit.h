@@ -1,0 +1,32 @@
+// The traditional estimator ("noSit" in Section 5).
+//
+// Mimics a classical optimizer: every predicate is estimated from base
+// table histograms in isolation and the selectivities are multiplied,
+// assuming full independence — the estimator SITs exist to improve on.
+
+#ifndef CONDSEL_BASELINES_NO_SIT_H_
+#define CONDSEL_BASELINES_NO_SIT_H_
+
+#include "condsel/query/query.h"
+#include "condsel/selectivity/factor_approx.h"
+
+namespace condsel {
+
+class NoSitEstimator {
+ public:
+  // The matcher's pool must contain base histograms for every column the
+  // queries reference (any J_i pool qualifies).
+  explicit NoSitEstimator(SitMatcher* matcher);
+
+  // Estimated Sel(P): product over predicates of their base-histogram
+  // selectivity (filters via range lookup, joins via histogram join).
+  double Estimate(const Query& query, PredSet p);
+
+ private:
+  NIndError error_fn_;
+  FactorApproximator approximator_;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_BASELINES_NO_SIT_H_

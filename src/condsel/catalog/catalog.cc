@@ -1,0 +1,53 @@
+#include "condsel/catalog/catalog.h"
+
+#include "condsel/common/macros.h"
+
+namespace condsel {
+
+TableId Catalog::AddTable(Table table) {
+  tables_.push_back(std::move(table));
+  return static_cast<TableId>(tables_.size() - 1);
+}
+
+void Catalog::AddForeignKey(const ForeignKey& fk) {
+  CONDSEL_CHECK(fk.fk_table >= 0 && fk.fk_table < num_tables());
+  CONDSEL_CHECK(fk.pk_table >= 0 && fk.pk_table < num_tables());
+  foreign_keys_.push_back(fk);
+}
+
+const Table& Catalog::table(TableId id) const {
+  CONDSEL_CHECK(id >= 0 && id < num_tables());
+  return tables_[static_cast<size_t>(id)];
+}
+
+Table& Catalog::mutable_table(TableId id) {
+  CONDSEL_CHECK(id >= 0 && id < num_tables());
+  return tables_[static_cast<size_t>(id)];
+}
+
+TableId Catalog::FindTable(const std::string& name) const {
+  for (TableId i = 0; i < num_tables(); ++i) {
+    if (tables_[static_cast<size_t>(i)].schema().name == name) return i;
+  }
+  return kInvalidTableId;
+}
+
+ColumnRef Catalog::ResolveColumn(const std::string& table_name,
+                                 const std::string& column_name) const {
+  const TableId t = FindTable(table_name);
+  CONDSEL_CHECK_MSG(t != kInvalidTableId, table_name.c_str());
+  const ColumnId c = table(t).schema().FindColumn(column_name);
+  CONDSEL_CHECK_MSG(c >= 0, column_name.c_str());
+  return ColumnRef{t, c};
+}
+
+double Catalog::CartesianCardinality(
+    const std::vector<TableId>& tables) const {
+  double card = 1.0;
+  for (TableId t : tables) {
+    card *= static_cast<double>(table(t).num_rows());
+  }
+  return card;
+}
+
+}  // namespace condsel

@@ -1,0 +1,52 @@
+// Catalog: the database instance handed to every other subsystem.
+//
+// Owns the tables (metadata + data) and the declared foreign keys. Exposes
+// the same lookups a real system catalog would: table/column resolution by
+// name, base cardinalities, and the foreign-key graph the workload
+// generator draws join predicates from.
+
+#ifndef CONDSEL_CATALOG_CATALOG_H_
+#define CONDSEL_CATALOG_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "condsel/catalog/schema.h"
+#include "condsel/storage/table.h"
+
+namespace condsel {
+
+class Catalog {
+ public:
+  // Registers a table and returns its id.
+  TableId AddTable(Table table);
+
+  void AddForeignKey(const ForeignKey& fk);
+
+  int32_t num_tables() const { return static_cast<int32_t>(tables_.size()); }
+
+  const Table& table(TableId id) const;
+  Table& mutable_table(TableId id);
+
+  const std::vector<ForeignKey>& foreign_keys() const {
+    return foreign_keys_;
+  }
+
+  // Returns the table id for `name`, or kInvalidTableId.
+  TableId FindTable(const std::string& name) const;
+
+  // Resolves "table.column"; aborts if either part is unknown.
+  ColumnRef ResolveColumn(const std::string& table_name,
+                          const std::string& column_name) const;
+
+  // |R1 x ... x Rk| for the given table ids (product of cardinalities).
+  double CartesianCardinality(const std::vector<TableId>& tables) const;
+
+ private:
+  std::vector<Table> tables_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_CATALOG_CATALOG_H_

@@ -1,0 +1,12 @@
+#include "condsel/catalog/schema.h"
+
+namespace condsel {
+
+ColumnId TableSchema::FindColumn(const std::string& column_name) const {
+  for (ColumnId i = 0; i < num_columns(); ++i) {
+    if (columns[static_cast<size_t>(i)].name == column_name) return i;
+  }
+  return -1;
+}
+
+}  // namespace condsel

@@ -1,0 +1,70 @@
+// Logical schema descriptors: tables, columns, and foreign keys.
+//
+// The schema is purely logical metadata; tuple data lives in
+// storage/table.h. Column values are int64 throughout the library (see
+// DESIGN.md): the paper's experiments use synthetic discrete domains, and
+// integer domains keep histograms, predicates and the executor simple
+// without losing any behaviour the paper studies.
+
+#ifndef CONDSEL_CATALOG_SCHEMA_H_
+#define CONDSEL_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace condsel {
+
+// Index of a table within a Catalog.
+using TableId = int32_t;
+// Index of a column within its table.
+using ColumnId = int32_t;
+
+inline constexpr TableId kInvalidTableId = -1;
+
+// Globally identifies a column as (table, column) pair.
+struct ColumnRef {
+  TableId table = kInvalidTableId;
+  ColumnId column = -1;
+
+  friend bool operator==(const ColumnRef&, const ColumnRef&) = default;
+  friend auto operator<=>(const ColumnRef&, const ColumnRef&) = default;
+};
+
+struct ColumnSchema {
+  std::string name;
+  // Declared domain [min_value, max_value]; generators honor this and
+  // histogram builders use it as a fallback when a column is empty.
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  // Primary/foreign key columns are join material; the workload generator
+  // only places filter predicates on non-key columns.
+  bool is_key = false;
+};
+
+// A declared foreign-key relationship: fk_table.fk_column references
+// pk_table.pk_column. The paper deliberately breaks referential integrity
+// for some of these (dangling tuples get NULLs); the declaration is still
+// useful to the workload generator, which draws join predicates from FK
+// edges.
+struct ForeignKey {
+  TableId fk_table = kInvalidTableId;
+  ColumnId fk_column = -1;
+  TableId pk_table = kInvalidTableId;
+  ColumnId pk_column = -1;
+};
+
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnSchema> columns;
+
+  ColumnId num_columns() const {
+    return static_cast<ColumnId>(columns.size());
+  }
+  // Returns the column index for `name`, or -1 if absent.
+  ColumnId FindColumn(const std::string& name) const;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_CATALOG_SCHEMA_H_

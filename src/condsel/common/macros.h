@@ -1,0 +1,40 @@
+// Invariant-checking macros used across the library.
+//
+// The library does not use exceptions. Programming errors (violated
+// preconditions, broken invariants) abort the process with a message that
+// points at the failing expression. CONDSEL_CHECK is always active;
+// CONDSEL_DCHECK compiles away in NDEBUG builds and is meant for hot paths.
+
+#ifndef CONDSEL_COMMON_MACROS_H_
+#define CONDSEL_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CONDSEL_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define CONDSEL_CHECK_MSG(cond, msg)                                      \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, (msg));                               \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define CONDSEL_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define CONDSEL_DCHECK(cond) CONDSEL_CHECK(cond)
+#endif
+
+#endif  // CONDSEL_COMMON_MACROS_H_

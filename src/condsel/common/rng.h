@@ -1,0 +1,42 @@
+// Deterministic pseudo-random number generation.
+//
+// All data generation and workload generation in this library is seeded
+// explicitly so experiments are reproducible run-to-run. We use a
+// xoshiro256** generator: fast, high quality, and independent of the
+// standard library's unspecified distributions (std::uniform_int_distribution
+// is not guaranteed to produce the same stream across implementations).
+
+#ifndef CONDSEL_COMMON_RNG_H_
+#define CONDSEL_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace condsel {
+
+// A small, fast, deterministic PRNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  uint64_t NextU64();
+
+  // Uniform in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Bernoulli with probability p of returning true.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_COMMON_RNG_H_

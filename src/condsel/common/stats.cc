@@ -1,0 +1,48 @@
+#include "condsel/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "condsel/common/macros.h"
+
+namespace condsel {
+
+void Accumulator::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++count_;
+}
+
+double Accumulator::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Accumulator::min() const { return min_; }
+double Accumulator::max() const { return max_; }
+
+double Median(std::vector<double> xs) { return Percentile(std::move(xs), 50.0); }
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  CONDSEL_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double GeometricMean(const std::vector<double>& xs, double floor) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(std::max(x, floor));
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace condsel

@@ -1,0 +1,42 @@
+// Small aggregate helpers used by the experiment harness and tests.
+
+#ifndef CONDSEL_COMMON_STATS_H_
+#define CONDSEL_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace condsel {
+
+// Online accumulator for mean / min / max / count of a stream of doubles.
+class Accumulator {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Median of a sample (copies and sorts; intended for reporting, not hot
+// paths). Returns 0 for an empty sample.
+double Median(std::vector<double> xs);
+
+// p-th percentile (0 <= p <= 100) with linear interpolation.
+double Percentile(std::vector<double> xs, double p);
+
+// Geometric mean of strictly positive samples; entries <= 0 are clamped to
+// `floor` first so that a single zero error does not collapse the mean.
+double GeometricMean(const std::vector<double>& xs, double floor = 1e-9);
+
+}  // namespace condsel
+
+#endif  // CONDSEL_COMMON_STATS_H_

@@ -1,0 +1,35 @@
+#include "condsel/common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "condsel/common/macros.h"
+
+namespace condsel {
+
+ZipfSampler::ZipfSampler(int64_t n, double theta) : n_(n), theta_(theta) {
+  CONDSEL_CHECK(n > 0);
+  CONDSEL_CHECK(theta >= 0.0);
+  cdf_.resize(static_cast<size_t>(n));
+  double sum = 0.0;
+  for (int64_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[static_cast<size_t>(k)] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+int64_t ZipfSampler::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(int64_t k) const {
+  CONDSEL_DCHECK(k >= 0 && k < n_);
+  const double prev = (k == 0) ? 0.0 : cdf_[static_cast<size_t>(k - 1)];
+  return cdf_[static_cast<size_t>(k)] - prev;
+}
+
+}  // namespace condsel

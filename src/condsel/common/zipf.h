@@ -1,0 +1,40 @@
+// Zipfian sampling over a finite integer domain.
+//
+// The paper's experiments generate attribute values "with different degrees
+// of skew"; its motivating example makes the number of line-items per order
+// Zipfian. ZipfSampler draws from {0, .., n-1} with P(k) proportional to
+// 1/(k+1)^theta using an inverse-CDF table (O(log n) per draw).
+
+#ifndef CONDSEL_COMMON_ZIPF_H_
+#define CONDSEL_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "condsel/common/rng.h"
+
+namespace condsel {
+
+class ZipfSampler {
+ public:
+  // `n` ranks, skew parameter `theta` >= 0. theta == 0 is uniform.
+  ZipfSampler(int64_t n, double theta);
+
+  // Draws a rank in [0, n). Rank 0 is the most frequent.
+  int64_t Next(Rng& rng) const;
+
+  int64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // Probability mass of rank k.
+  double Pmf(int64_t k) const;
+
+ private:
+  int64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_COMMON_ZIPF_H_

@@ -1,0 +1,95 @@
+#include "condsel/datagen/column_gen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "condsel/common/macros.h"
+#include "condsel/common/zipf.h"
+#include "condsel/storage/column.h"
+
+namespace condsel {
+
+std::vector<int64_t> GenUniform(Rng& rng, size_t n, int64_t lo, int64_t hi) {
+  CONDSEL_CHECK(lo <= hi);
+  std::vector<int64_t> out(n);
+  for (auto& v : out) v = rng.NextInRange(lo, hi);
+  return out;
+}
+
+std::vector<int64_t> GenZipf(Rng& rng, size_t n, int64_t lo, int64_t hi,
+                             double theta) {
+  CONDSEL_CHECK(lo <= hi);
+  const ZipfSampler zipf(hi - lo + 1, theta);
+  std::vector<int64_t> out(n);
+  for (auto& v : out) v = lo + zipf.Next(rng);
+  return out;
+}
+
+std::vector<int64_t> GenCorrelated(Rng& rng,
+                                   const std::vector<int64_t>& driver,
+                                   int64_t lo, int64_t hi,
+                                   double noise_frac) {
+  CONDSEL_CHECK(lo <= hi);
+  int64_t dlo = 0, dhi = 0;
+  bool seen = false;
+  for (int64_t v : driver) {
+    if (IsNull(v)) continue;
+    if (!seen) {
+      dlo = dhi = v;
+      seen = true;
+    } else {
+      dlo = std::min(dlo, v);
+      dhi = std::max(dhi, v);
+    }
+  }
+  const double span = static_cast<double>(hi - lo);
+  const double dspan = seen ? static_cast<double>(dhi - dlo) : 0.0;
+  const int64_t noise =
+      std::max<int64_t>(0, static_cast<int64_t>(noise_frac * span));
+
+  std::vector<int64_t> out(driver.size());
+  for (size_t i = 0; i < driver.size(); ++i) {
+    if (IsNull(driver[i]) || !seen) {
+      out[i] = rng.NextInRange(lo, hi);
+      continue;
+    }
+    const double norm =
+        dspan > 0.0 ? static_cast<double>(driver[i] - dlo) / dspan : 0.5;
+    int64_t v = lo + static_cast<int64_t>(norm * span);
+    if (noise > 0) v += rng.NextInRange(-noise, noise);
+    out[i] = std::clamp(v, lo, hi);
+  }
+  return out;
+}
+
+void InjectDangling(Rng& rng, std::vector<int64_t>& fk, double fraction,
+                    const std::vector<int64_t>* correlate_with) {
+  CONDSEL_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  const size_t n = fk.size();
+  const size_t k = static_cast<size_t>(fraction * static_cast<double>(n));
+  if (k == 0) return;
+
+  if (correlate_with != nullptr) {
+    CONDSEL_CHECK(correlate_with->size() == n);
+    // NULL the rows with the k largest correlated values.
+    std::vector<size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), 0);
+    std::nth_element(idx.begin(), idx.begin() + static_cast<long>(n - k),
+                     idx.end(), [&](size_t a, size_t b) {
+                       return (*correlate_with)[a] < (*correlate_with)[b];
+                     });
+    for (size_t i = n - k; i < n; ++i) fk[idx[i]] = kNullValue;
+    return;
+  }
+  // Random selection without replacement (Floyd-like simple loop).
+  size_t nulled = 0;
+  while (nulled < k) {
+    const size_t i = static_cast<size_t>(rng.NextBelow(n));
+    if (!IsNull(fk[i])) {
+      fk[i] = kNullValue;
+      ++nulled;
+    }
+  }
+}
+
+}  // namespace condsel

@@ -1,0 +1,46 @@
+// Column value generators used by the synthetic databases.
+//
+// The paper's data generator produces attributes "with different degrees
+// of skew and correlation"; these primitives realize that: uniform and
+// Zipfian draws over an integer domain, values correlated with a driver
+// column, and dangling-foreign-key injection (NULLing a slice of an FK
+// column, chosen randomly or correlated with another attribute).
+
+#ifndef CONDSEL_DATAGEN_COLUMN_GEN_H_
+#define CONDSEL_DATAGEN_COLUMN_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "condsel/common/rng.h"
+
+namespace condsel {
+
+// n values uniform in [lo, hi].
+std::vector<int64_t> GenUniform(Rng& rng, size_t n, int64_t lo, int64_t hi);
+
+// n values Zipf-distributed over [lo, hi]: rank r (0 most likely) maps to
+// value lo + r, so low values are the popular ones. theta = 0 is uniform.
+std::vector<int64_t> GenZipf(Rng& rng, size_t n, int64_t lo, int64_t hi,
+                             double theta);
+
+// Values correlated with `driver`: each output is the driver value
+// affinely rescaled from [driver_lo, driver_hi] into [lo, hi], plus
+// uniform noise of amplitude noise_frac * (hi - lo). NULL driver entries
+// produce independent uniform values.
+std::vector<int64_t> GenCorrelated(Rng& rng,
+                                   const std::vector<int64_t>& driver,
+                                   int64_t lo, int64_t hi,
+                                   double noise_frac);
+
+// Sets `fraction` of the entries of `fk` to NULL. When `correlate_with`
+// is non-null, the NULLed entries are those with the largest correlated
+// values (deterministic, value-correlated dangling tuples); otherwise the
+// choice is random.
+void InjectDangling(Rng& rng, std::vector<int64_t>& fk, double fraction,
+                    const std::vector<int64_t>* correlate_with);
+
+}  // namespace condsel
+
+#endif  // CONDSEL_DATAGEN_COLUMN_GEN_H_

@@ -1,0 +1,188 @@
+#include "condsel/datagen/snowflake.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "condsel/common/macros.h"
+#include "condsel/common/rng.h"
+#include "condsel/datagen/column_gen.h"
+
+namespace condsel {
+namespace {
+
+size_t Scaled(double scale, size_t paper_rows) {
+  return std::max<size_t>(
+      50, static_cast<size_t>(scale * static_cast<double>(paper_rows)));
+}
+
+TableSchema MakeSchema(const std::string& name,
+                       const std::vector<std::pair<std::string, bool>>&
+                           columns_and_keyness,
+                       int64_t attr_domain) {
+  TableSchema s;
+  s.name = name;
+  for (const auto& [col, is_key] : columns_and_keyness) {
+    ColumnSchema c;
+    c.name = col;
+    c.is_key = is_key;
+    c.min_value = 0;
+    c.max_value = attr_domain - 1;
+    s.columns.push_back(c);
+  }
+  return s;
+}
+
+Table MakeTable(TableSchema schema,
+                std::vector<std::vector<int64_t>> columns) {
+  Table t(std::move(schema));
+  for (size_t c = 0; c < columns.size(); ++c) {
+    t.mutable_column(static_cast<ColumnId>(c)).mutable_values() =
+        std::move(columns[c]);
+  }
+  t.SealRows();
+  return t;
+}
+
+// Sequential primary key column 0..n-1.
+std::vector<int64_t> Pk(size_t n) {
+  std::vector<int64_t> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<int64_t>(i);
+  return v;
+}
+
+}  // namespace
+
+SnowflakeOptions SnowflakeOptionsFromEnv(SnowflakeOptions base) {
+  if (const char* s = std::getenv("CONDSEL_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) base.scale = v;
+  }
+  return base;
+}
+
+Catalog BuildSnowflake(const SnowflakeOptions& opt) {
+  Rng rng(opt.seed);
+  const int64_t dom = opt.attr_domain;
+  const double noise = opt.correlation_noise;
+
+  const size_t n_fact = Scaled(opt.scale, 1000000);
+  const size_t n_dim1 = Scaled(opt.scale, 100000);
+  const size_t n_dim2 = Scaled(opt.scale, 50000);
+  const size_t n_dim3 = Scaled(opt.scale, 20000);
+  const size_t n_dim4 = Scaled(opt.scale, 10000);
+  const size_t n_sub1 = Scaled(opt.scale, 5000);
+  const size_t n_sub2 = Scaled(opt.scale, 2000);
+  const size_t n_sub3 = Scaled(opt.scale, 1000);
+
+  Catalog catalog;
+
+  // --- Sub-dimensions: pk + 3 attributes each. Attributes correlate
+  // with the pk so that a filter on them carves out a popularity slice.
+  auto build_sub = [&](const std::string& name, size_t n) {
+    const std::vector<int64_t> pk = Pk(n);
+    std::vector<std::vector<int64_t>> cols;
+    cols.push_back(pk);
+    cols.push_back(GenCorrelated(rng, pk, 0, dom - 1, noise));
+    cols.push_back(GenZipf(rng, n, 0, dom - 1, opt.zipf_theta));
+    cols.push_back(GenUniform(rng, n, 0, dom - 1));
+    return MakeTable(MakeSchema(name,
+                                {{"pk", true},
+                                 {"a_corr", false},
+                                 {"a_zipf", false},
+                                 {"a_unif", false}},
+                                dom),
+                     std::move(cols));
+  };
+  const TableId sub1 = catalog.AddTable(build_sub("sub1", n_sub1));
+  const TableId sub2 = catalog.AddTable(build_sub("sub2", n_sub2));
+  const TableId sub3 = catalog.AddTable(build_sub("sub3", n_sub3));
+
+  // --- Dimensions: pk, (optional fk to a sub-dimension), attributes.
+  // fk draws are Zipfian, so popular sub-rows dominate; a_corr correlates
+  // with the pk (i.e. with the fact table's popularity ranking of this
+  // dimension), which is what makes SITs on dim attributes valuable.
+  auto build_dim = [&](const std::string& name, size_t n, bool with_sub,
+                       size_t sub_n, bool dangle, bool dangle_correlated) {
+    const std::vector<int64_t> pk = Pk(n);
+    std::vector<std::vector<int64_t>> cols;
+    std::vector<std::pair<std::string, bool>> schema_cols = {{"pk", true}};
+    cols.push_back(pk);
+    std::vector<int64_t> corr = GenCorrelated(rng, pk, 0, dom - 1, noise);
+    if (with_sub) {
+      std::vector<int64_t> fk = GenZipf(
+          rng, n, 0, static_cast<int64_t>(sub_n) - 1, opt.zipf_theta);
+      if (dangle) {
+        InjectDangling(rng, fk, opt.dangling_fraction,
+                       dangle_correlated ? &corr : nullptr);
+      }
+      schema_cols.emplace_back("fk_sub", true);
+      cols.push_back(std::move(fk));
+    }
+    schema_cols.emplace_back("a_corr", false);
+    cols.push_back(std::move(corr));
+    schema_cols.emplace_back("a_zipf", false);
+    cols.push_back(GenZipf(rng, n, 0, dom - 1, opt.zipf_theta));
+    schema_cols.emplace_back("a_unif", false);
+    cols.push_back(GenUniform(rng, n, 0, dom - 1));
+    return MakeTable(MakeSchema(name, schema_cols, dom), std::move(cols));
+  };
+  const TableId dim1 = catalog.AddTable(build_dim(
+      "dim1", n_dim1, true, n_sub1, true, opt.correlated_dangling));
+  const TableId dim2 =
+      catalog.AddTable(build_dim("dim2", n_dim2, true, n_sub2, false, false));
+  const TableId dim3 =
+      catalog.AddTable(build_dim("dim3", n_dim3, true, n_sub3, false, false));
+  const TableId dim4 =
+      catalog.AddTable(build_dim("dim4", n_dim4, false, 0, false, false));
+
+  // --- Fact table: four Zipf-skewed FKs + four attributes (8 columns).
+  // a_corr1 correlates with fk_d1, tying a fact attribute to the joined
+  // dimension's popularity.
+  {
+    std::vector<std::vector<int64_t>> cols;
+    std::vector<int64_t> fk1 = GenZipf(
+        rng, n_fact, 0, static_cast<int64_t>(n_dim1) - 1, opt.zipf_theta);
+    std::vector<int64_t> fk2 = GenZipf(
+        rng, n_fact, 0, static_cast<int64_t>(n_dim2) - 1, opt.zipf_theta);
+    std::vector<int64_t> fk3 = GenZipf(
+        rng, n_fact, 0, static_cast<int64_t>(n_dim3) - 1, opt.zipf_theta);
+    std::vector<int64_t> fk4 = GenZipf(
+        rng, n_fact, 0, static_cast<int64_t>(n_dim4) - 1, opt.zipf_theta);
+    InjectDangling(rng, fk2, opt.dangling_fraction, nullptr);
+    std::vector<int64_t> a_corr1 =
+        GenCorrelated(rng, fk1, 0, dom - 1, noise);
+    cols.push_back(std::move(fk1));
+    cols.push_back(std::move(fk2));
+    cols.push_back(std::move(fk3));
+    cols.push_back(std::move(fk4));
+    cols.push_back(std::move(a_corr1));
+    cols.push_back(GenZipf(rng, n_fact, 0, dom - 1, opt.zipf_theta));
+    cols.push_back(GenUniform(rng, n_fact, 0, dom - 1));
+    cols.push_back(GenUniform(rng, n_fact, 0, dom - 1));
+    catalog.AddTable(MakeTable(MakeSchema("fact",
+                                          {{"fk_d1", true},
+                                           {"fk_d2", true},
+                                           {"fk_d3", true},
+                                           {"fk_d4", true},
+                                           {"a_corr1", false},
+                                           {"a_zipf", false},
+                                           {"a_unif1", false},
+                                           {"a_unif2", false}},
+                                          dom),
+                               std::move(cols)));
+  }
+  const TableId fact = catalog.FindTable("fact");
+
+  // --- Foreign-key edges (the join graph).
+  catalog.AddForeignKey({fact, 0, dim1, 0});
+  catalog.AddForeignKey({fact, 1, dim2, 0});
+  catalog.AddForeignKey({fact, 2, dim3, 0});
+  catalog.AddForeignKey({fact, 3, dim4, 0});
+  catalog.AddForeignKey({dim1, 1, sub1, 0});
+  catalog.AddForeignKey({dim2, 1, sub2, 0});
+  catalog.AddForeignKey({dim3, 1, sub3, 0});
+
+  return catalog;
+}
+
+}  // namespace condsel

@@ -1,0 +1,46 @@
+// The synthetic snowflake database of Section 5.
+//
+// Eight tables — a fact table, four dimensions, three sub-dimensions —
+// with 1K to 1M tuples (at scale = 1.0) and 4 to 8 attributes each.
+// Foreign keys from the fact table are Zipf-skewed, dimension attributes
+// correlate with key popularity (so base-table histograms mispredict
+// selectivities over joins — the effect SITs capture), and a slice of the
+// foreign keys dangles (NULL), chosen randomly or correlated with an
+// attribute, breaking referential integrity as in the paper.
+//
+// Layout (arrows are FK edges; 7 edges, supporting up to 7-way joins):
+//
+//   fact ──> dim1 ──> sub1
+//     ├────> dim2 ──> sub2
+//     ├────> dim3 ──> sub3
+//     └────> dim4
+
+#ifndef CONDSEL_DATAGEN_SNOWFLAKE_H_
+#define CONDSEL_DATAGEN_SNOWFLAKE_H_
+
+#include <cstdint>
+
+#include "condsel/catalog/catalog.h"
+
+namespace condsel {
+
+struct SnowflakeOptions {
+  uint64_t seed = 42;
+  // 1.0 reproduces the paper's 1K..1M table sizes; the default keeps the
+  // single-core benchmark run tractable. Override via CONDSEL_SCALE.
+  double scale = 0.1;
+  double zipf_theta = 1.0;          // FK and attribute skew
+  double dangling_fraction = 0.10;  // the paper uses 5%..20%
+  bool correlated_dangling = false;
+  int64_t attr_domain = 1000;       // non-key attributes live in [0, this)
+  double correlation_noise = 0.05;  // noise on correlated attributes
+};
+
+// Reads CONDSEL_SCALE from the environment (if set) into options.scale.
+SnowflakeOptions SnowflakeOptionsFromEnv(SnowflakeOptions base = {});
+
+Catalog BuildSnowflake(const SnowflakeOptions& options);
+
+}  // namespace condsel
+
+#endif  // CONDSEL_DATAGEN_SNOWFLAKE_H_

@@ -1,0 +1,103 @@
+#include "condsel/datagen/tpch_lite.h"
+
+#include <algorithm>
+
+#include "condsel/common/macros.h"
+#include "condsel/common/rng.h"
+#include "condsel/common/zipf.h"
+#include "condsel/datagen/column_gen.h"
+
+namespace condsel {
+
+Catalog BuildTpchLite(const TpchLiteOptions& opt) {
+  Rng rng(opt.seed);
+  const size_t n_customer = std::max<size_t>(
+      100, static_cast<size_t>(15000.0 * opt.scale));
+  const size_t n_orders = std::max<size_t>(
+      200, static_cast<size_t>(150000.0 * opt.scale));
+
+  Catalog catalog;
+
+  // customer: most customers in nation 0 ("USA"), the rest uniform.
+  std::vector<int64_t> usa_keys;
+  std::vector<int64_t> other_keys;
+  {
+    TableSchema s;
+    s.name = "customer";
+    s.columns = {{"c_custkey", 0, static_cast<int64_t>(n_customer) - 1, true},
+                 {"c_nation", 0, opt.num_nations - 1, false},
+                 {"c_acctbal", 0, 9999, false}};
+    Table t(s);
+    for (size_t i = 0; i < n_customer; ++i) {
+      const bool usa = rng.NextBool(opt.usa_fraction);
+      const int64_t nation =
+          usa ? 0 : rng.NextInRange(1, opt.num_nations - 1);
+      (usa ? usa_keys : other_keys).push_back(static_cast<int64_t>(i));
+      t.AppendRow({static_cast<int64_t>(i), nation,
+                   rng.NextInRange(0, 9999)});
+    }
+    catalog.AddTable(std::move(t));
+    // Degenerate draws could leave a side empty; fall back to everyone.
+    if (usa_keys.empty() || other_keys.empty()) {
+      usa_keys.clear();
+      other_keys.clear();
+      for (size_t i = 0; i < n_customer; ++i) {
+        usa_keys.push_back(static_cast<int64_t>(i));
+        other_keys.push_back(static_cast<int64_t>(i));
+      }
+    }
+  }
+
+  // orders: Zipfian line-item count per order; totalprice tracks it.
+  std::vector<int64_t> items_per_order(n_orders);
+  {
+    const ZipfSampler zipf(opt.max_lineitems_per_order, opt.zipf_theta);
+    TableSchema s;
+    s.name = "orders";
+    s.columns = {{"o_orderkey", 0, static_cast<int64_t>(n_orders) - 1, true},
+                 {"o_custkey", 0, static_cast<int64_t>(n_customer) - 1, true},
+                 {"o_totalprice", 0, 1000000, false}};
+    Table t(s);
+    for (size_t i = 0; i < n_orders; ++i) {
+      // Rank 0 (one line-item) is most probable; a thin Zipf tail of
+      // orders carries up to max_lineitems_per_order items.
+      const int64_t count = 1 + zipf.Next(rng);
+      items_per_order[i] = count;
+      const int64_t price =
+          count * 2500 + rng.NextInRange(0, 2499);  // grows with count
+      // Orders skew toward dominant-nation customers.
+      const std::vector<int64_t>& pick =
+          rng.NextBool(opt.usa_order_fraction) ? usa_keys : other_keys;
+      const int64_t cust =
+          pick[static_cast<size_t>(rng.NextBelow(pick.size()))];
+      t.AppendRow({static_cast<int64_t>(i), cust, price});
+    }
+    catalog.AddTable(std::move(t));
+  }
+
+  // lineitem: items_per_order[i] rows per order i.
+  {
+    TableSchema s;
+    s.name = "lineitem";
+    s.columns = {{"l_orderkey", 0, static_cast<int64_t>(n_orders) - 1, true},
+                 {"l_quantity", 1, 50, false},
+                 {"l_extendedprice", 1, 5000, false}};
+    Table t(s);
+    for (size_t i = 0; i < n_orders; ++i) {
+      for (int64_t k = 0; k < items_per_order[i]; ++k) {
+        t.AppendRow({static_cast<int64_t>(i), rng.NextInRange(1, 50),
+                     rng.NextInRange(1, 5000)});
+      }
+    }
+    catalog.AddTable(std::move(t));
+  }
+
+  const TableId customer = catalog.FindTable("customer");
+  const TableId orders = catalog.FindTable("orders");
+  const TableId lineitem = catalog.FindTable("lineitem");
+  catalog.AddForeignKey({orders, 1, customer, 0});
+  catalog.AddForeignKey({lineitem, 0, orders, 0});
+  return catalog;
+}
+
+}  // namespace condsel

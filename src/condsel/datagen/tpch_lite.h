@@ -1,0 +1,39 @@
+// A TPC-H-flavoured micro-schema reproducing the paper's introduction.
+//
+// customer(c_custkey, c_nation, c_acctbal)
+// orders(o_orderkey, o_custkey -> customer, o_totalprice)
+// lineitem(l_orderkey -> orders, l_quantity, l_extendedprice)
+//
+// The skew matches Figure 1's discussion: the number of line-items per
+// order is Zipfian and o_totalprice grows with that count, so expensive
+// orders join with disproportionately many line-items (base-table
+// histograms underestimate sigma_{totalprice>c}(lineitem x orders) badly);
+// and most customers live in one nation (c_nation = 0, "USA").
+
+#ifndef CONDSEL_DATAGEN_TPCH_LITE_H_
+#define CONDSEL_DATAGEN_TPCH_LITE_H_
+
+#include <cstdint>
+
+#include "condsel/catalog/catalog.h"
+
+namespace condsel {
+
+struct TpchLiteOptions {
+  uint64_t seed = 7;
+  double scale = 0.1;        // 1.0 -> 150K orders
+  double zipf_theta = 1.2;   // line-items-per-order skew
+  double usa_fraction = 0.7; // customers in the dominant nation
+  // Fraction of orders placed by dominant-nation customers; above
+  // usa_fraction, nation correlates with the orders-customer join (the
+  // effect SIT(nation | O JOIN C) captures in Figure 1c).
+  double usa_order_fraction = 0.9;
+  int64_t max_lineitems_per_order = 40;
+  int64_t num_nations = 25;
+};
+
+Catalog BuildTpchLite(const TpchLiteOptions& options);
+
+}  // namespace condsel
+
+#endif  // CONDSEL_DATAGEN_TPCH_LITE_H_

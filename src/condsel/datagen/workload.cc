@@ -1,0 +1,159 @@
+#include "condsel/datagen/workload.h"
+
+#include <algorithm>
+#include <set>
+
+#include "condsel/common/macros.h"
+
+namespace condsel {
+namespace {
+
+// Picks a random connected subset of `num_joins` FK edges: seed with a
+// random edge, then repeatedly attach a random edge adjacent to the
+// tables reached so far.
+std::vector<ForeignKey> RandomConnectedEdges(const Catalog& catalog,
+                                             int num_joins, Rng& rng) {
+  const std::vector<ForeignKey>& fks = catalog.foreign_keys();
+  CONDSEL_CHECK_MSG(static_cast<int>(fks.size()) >= num_joins,
+                    "not enough FK edges for the requested join count");
+
+  std::vector<ForeignKey> chosen;
+  std::set<size_t> used;
+  TableSet reached = 0;
+  const size_t first = static_cast<size_t>(rng.NextBelow(fks.size()));
+  chosen.push_back(fks[first]);
+  used.insert(first);
+  reached |= (1u << fks[first].fk_table) | (1u << fks[first].pk_table);
+
+  while (static_cast<int>(chosen.size()) < num_joins) {
+    std::vector<size_t> frontier;
+    for (size_t i = 0; i < fks.size(); ++i) {
+      if (used.count(i)) continue;
+      if (Contains(reached, fks[i].fk_table) ||
+          Contains(reached, fks[i].pk_table)) {
+        frontier.push_back(i);
+      }
+    }
+    CONDSEL_CHECK_MSG(!frontier.empty(),
+                      "FK graph too small/disconnected for join count");
+    const size_t pick =
+        frontier[static_cast<size_t>(rng.NextBelow(frontier.size()))];
+    chosen.push_back(fks[pick]);
+    used.insert(pick);
+    reached |=
+        (1u << fks[pick].fk_table) | (1u << fks[pick].pk_table);
+  }
+  return chosen;
+}
+
+// Sorted non-NULL values of a column (for selectivity-targeted ranges).
+std::vector<int64_t> SortedValues(const Catalog& catalog, ColumnRef col) {
+  const Column& c = catalog.table(col.table).column(col.column);
+  std::vector<int64_t> vals;
+  vals.reserve(c.size());
+  for (int64_t v : c.values()) {
+    if (!IsNull(v)) vals.push_back(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  return vals;
+}
+
+struct FilterSpec {
+  ColumnRef col;
+  size_t start = 0;   // index into the sorted values
+  size_t span = 1;    // number of sorted values covered
+  std::vector<int64_t> sorted;
+
+  Predicate ToPredicate() const {
+    const size_t end = std::min(start + span, sorted.size()) - 1;
+    return Predicate::Filter(col, sorted[start], sorted[end]);
+  }
+};
+
+}  // namespace
+
+Query GenerateQuery(const Catalog& catalog, Evaluator* evaluator,
+                    const WorkloadOptions& opt, Rng& rng) {
+  const std::vector<ForeignKey> edges =
+      RandomConnectedEdges(catalog, opt.num_joins, rng);
+
+  std::vector<Predicate> preds;
+  TableSet joined = 0;
+  for (const ForeignKey& fk : edges) {
+    preds.push_back(Predicate::Join(ColumnRef{fk.fk_table, fk.fk_column},
+                                    ColumnRef{fk.pk_table, fk.pk_column}));
+    joined |= (1u << fk.fk_table) | (1u << fk.pk_table);
+  }
+
+  // Candidate filter columns: non-key columns of the joined tables.
+  std::vector<ColumnRef> candidates;
+  for (int t : SetElements(joined)) {
+    const TableSchema& schema = catalog.table(t).schema();
+    for (ColumnId c = 0; c < schema.num_columns(); ++c) {
+      if (!schema.columns[static_cast<size_t>(c)].is_key) {
+        candidates.push_back(ColumnRef{t, c});
+      }
+    }
+  }
+  CONDSEL_CHECK_MSG(static_cast<int>(candidates.size()) >= opt.num_filters,
+                    "not enough non-key columns for the filter count");
+
+  // Choose distinct filter columns and selectivity-targeted ranges.
+  std::vector<FilterSpec> filters;
+  std::set<std::pair<TableId, ColumnId>> taken;
+  while (static_cast<int>(filters.size()) < opt.num_filters) {
+    const ColumnRef col =
+        candidates[static_cast<size_t>(rng.NextBelow(candidates.size()))];
+    if (!taken.insert({col.table, col.column}).second) continue;
+    FilterSpec spec;
+    spec.col = col;
+    spec.sorted = SortedValues(catalog, col);
+    CONDSEL_CHECK(!spec.sorted.empty());
+    const size_t n = spec.sorted.size();
+    spec.span = std::max<size_t>(
+        1, static_cast<size_t>(opt.filter_selectivity *
+                               static_cast<double>(n)));
+    spec.start = static_cast<size_t>(
+        rng.NextBelow(n - std::min(n - 1, spec.span) ));
+    filters.push_back(std::move(spec));
+  }
+
+  // Assemble; progressively stretch the ranges until the result is
+  // non-empty (the paper's rule).
+  for (int round = 0; round <= opt.max_stretch_rounds; ++round) {
+    std::vector<Predicate> all = preds;
+    for (const FilterSpec& f : filters) all.push_back(f.ToPredicate());
+    Query q(std::move(all));
+    if (evaluator == nullptr) return q;
+    if (evaluator->Cardinality(q, q.all_predicates()) > 0.0) return q;
+    for (FilterSpec& f : filters) {
+      f.span = std::min(f.sorted.size(), f.span * 2);
+      if (f.start + f.span > f.sorted.size()) {
+        f.start = f.sorted.size() - f.span;
+      }
+    }
+  }
+  // Give up stretching: fall back to full-domain filters (selectivity 1
+  // on each filter; the joins alone determine the result).
+  std::vector<Predicate> all = preds;
+  for (FilterSpec& f : filters) {
+    f.start = 0;
+    f.span = f.sorted.size();
+    all.push_back(f.ToPredicate());
+  }
+  return Query(std::move(all));
+}
+
+std::vector<Query> GenerateWorkload(const Catalog& catalog,
+                                    Evaluator* evaluator,
+                                    const WorkloadOptions& opt) {
+  Rng rng(opt.seed);
+  std::vector<Query> out;
+  out.reserve(static_cast<size_t>(opt.num_queries));
+  for (int i = 0; i < opt.num_queries; ++i) {
+    out.push_back(GenerateQuery(catalog, evaluator, opt, rng));
+  }
+  return out;
+}
+
+}  // namespace condsel

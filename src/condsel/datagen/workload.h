@@ -1,0 +1,41 @@
+// Random SPJ workload generation (Section 5 "Workloads").
+//
+// Each query has J join predicates — a random connected subgraph of the
+// catalog's foreign-key graph — and F filter predicates over non-key
+// attributes of the joined tables, each sized for a target selectivity
+// (the paper uses ~0.05). Queries with empty results have their filter
+// ranges progressively stretched until at least one tuple survives.
+
+#ifndef CONDSEL_DATAGEN_WORKLOAD_H_
+#define CONDSEL_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "condsel/catalog/catalog.h"
+#include "condsel/common/rng.h"
+#include "condsel/exec/evaluator.h"
+#include "condsel/query/query.h"
+
+namespace condsel {
+
+struct WorkloadOptions {
+  int num_queries = 100;
+  int num_joins = 3;               // J
+  int num_filters = 3;             // F
+  double filter_selectivity = 0.05;
+  uint64_t seed = 1234;
+  int max_stretch_rounds = 12;
+};
+
+std::vector<Query> GenerateWorkload(const Catalog& catalog,
+                                    Evaluator* evaluator,
+                                    const WorkloadOptions& options);
+
+// A single random query (exposed for tests).
+Query GenerateQuery(const Catalog& catalog, Evaluator* evaluator,
+                    const WorkloadOptions& options, Rng& rng);
+
+}  // namespace condsel
+
+#endif  // CONDSEL_DATAGEN_WORKLOAD_H_

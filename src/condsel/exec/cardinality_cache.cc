@@ -1,0 +1,26 @@
+#include "condsel/exec/cardinality_cache.h"
+
+namespace condsel {
+
+const double* CardinalityCache::Lookup(
+    const std::vector<Predicate>& key) const {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void CardinalityCache::Insert(const std::vector<Predicate>& key,
+                              double cardinality) {
+  cache_.emplace(key, cardinality);
+}
+
+void CardinalityCache::ResetCounters() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace condsel

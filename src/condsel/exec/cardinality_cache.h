@@ -1,0 +1,42 @@
+// Cross-query cache of exact cardinalities.
+//
+// Ground-truth evaluation is the dominant cost of the experiments: every
+// technique is scored against exact sub-query cardinalities, and GS-Opt
+// additionally consults them during search. Sub-queries repeat heavily both
+// within one query (the DP touches many subsets) and across workload
+// queries (same join sub-expressions), so results are memoized keyed by the
+// canonical (sorted) predicate list.
+
+#ifndef CONDSEL_EXEC_CARDINALITY_CACHE_H_
+#define CONDSEL_EXEC_CARDINALITY_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "condsel/query/predicate.h"
+
+namespace condsel {
+
+class CardinalityCache {
+ public:
+  // Returns the cached cardinality for `key`, or nullptr.
+  const double* Lookup(const std::vector<Predicate>& key) const;
+
+  void Insert(const std::vector<Predicate>& key, double cardinality);
+
+  size_t size() const { return cache_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetCounters();
+
+ private:
+  std::map<std::vector<Predicate>, double> cache_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_EXEC_CARDINALITY_CACHE_H_

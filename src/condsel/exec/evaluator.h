@@ -1,0 +1,95 @@
+// Exact SPJ evaluation over the in-memory catalog.
+//
+// The evaluator answers three questions the rest of the system depends on:
+//  - exact cardinality of sigma_P(tables(P)^x) for any predicate subset
+//    (ground truth for the error metric, and the oracle behind GS-Opt);
+//  - exact conditional selectivities Sel_R(P|Q) (Definition 1);
+//  - materialized projections of one column over a query-expression result
+//    (the input to SIT construction and to the diff metric of Sec 3.5).
+//
+// Evaluation strategy: predicates are split into connected components
+// (standard decomposition); per component, filters are applied per table
+// and the component's tables — which are necessarily linked by its join
+// predicates — are combined with hash joins, materializing row-id tuples.
+// Component cardinalities multiply. Results are memoized per component in
+// a shared CardinalityCache.
+
+#ifndef CONDSEL_EXEC_EVALUATOR_H_
+#define CONDSEL_EXEC_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "condsel/catalog/catalog.h"
+#include "condsel/exec/cardinality_cache.h"
+#include "condsel/query/query.h"
+
+namespace condsel {
+
+// Materialized join result: `tuple_rows` is row-major with one row index
+// per table in `tables` for each output tuple.
+struct JoinResult {
+  std::vector<TableId> tables;
+  std::vector<uint32_t> tuple_rows;
+  size_t num_tuples = 0;
+
+  // Position of `t` within `tables`; -1 when absent.
+  int TableSlot(TableId t) const;
+};
+
+// A column projected over a query-expression result: the non-NULL values
+// (with multiplicity) plus the total tuple count of the result, so callers
+// can normalize frequencies against the full result including NULLs.
+struct ColumnProjection {
+  std::vector<int64_t> values;
+  size_t total_tuples = 0;
+};
+
+class Evaluator {
+ public:
+  // `cache` may be nullptr to disable memoization (tests). Both pointers
+  // must outlive the evaluator.
+  Evaluator(const Catalog* catalog, CardinalityCache* cache);
+
+  // |sigma_P(tables(P)^x)| for P = the predicates of `q` selected by
+  // `subset`. An empty subset yields 1.0 (empty product of components).
+  double Cardinality(const Query& q, PredSet subset);
+
+  // Sel_R(P) with R = tables(q) (Definition 1 with Q empty):
+  // Cardinality(P) scaled by the cross-product of tables(q).
+  double TrueSelectivity(const Query& q, PredSet p);
+
+  // Sel_R(P|Q) (Definition 1). Tables referenced by P but not by Q enter
+  // the denominator as unconstrained cross-product factors.
+  double TrueConditionalSelectivity(const Query& q, PredSet p, PredSet q_set);
+
+  // Fully evaluates one *connected* predicate subset (a single component).
+  JoinResult EvaluateComponent(const Query& q, PredSet component);
+
+  // Exact count of distinct non-NULL values of `col` over
+  // sigma_subset(...) — ground truth for GROUP BY cardinalities.
+  double CountDistinct(const Query& q, PredSet subset, ColumnRef col);
+
+  // Projects `col` over sigma_subset(...). `col.table` must belong to
+  // tables(subset), or `subset` must be empty (base-table projection).
+  // Only the component containing `col.table` is materialized: the other
+  // components scale every frequency uniformly and cancel out of any
+  // normalized distribution.
+  ColumnProjection ProjectColumn(const Query& q, PredSet subset,
+                                 ColumnRef col);
+
+  const Catalog& catalog() const { return *catalog_; }
+
+ private:
+  // Row indices of `table` passing all filters in `filters` (bitmask over
+  // q's predicates; only filters on `table` are applied).
+  std::vector<uint32_t> FilteredRows(const Query& q, PredSet filters,
+                                     TableId table) const;
+
+  const Catalog* catalog_;
+  CardinalityCache* cache_;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_EXEC_EVALUATOR_H_

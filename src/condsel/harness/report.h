@@ -1,0 +1,21 @@
+// Plain-text table formatting for the benchmark binaries.
+
+#ifndef CONDSEL_HARNESS_REPORT_H_
+#define CONDSEL_HARNESS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace condsel {
+
+// Prints a fixed-width table to stdout. Column widths adapt to content.
+void PrintTable(const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+// Number formatting helpers.
+std::string FormatDouble(double v, int precision = 3);
+std::string FormatCount(double v);  // 1234567 -> "1234567", keeps integers
+
+}  // namespace condsel
+
+#endif  // CONDSEL_HARNESS_REPORT_H_

@@ -1,0 +1,72 @@
+#include "condsel/histogram/diff_metric.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace condsel {
+
+double ExactDiff(const std::vector<int64_t>& base_values,
+                 const std::vector<int64_t>& expr_values) {
+  if (base_values.empty() || expr_values.empty()) return 0.0;
+  std::vector<int64_t> a = base_values;
+  std::vector<int64_t> b = expr_values;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+
+  double l1 = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    int64_t v;
+    if (j >= b.size() || (i < a.size() && a[i] < b[j])) {
+      v = a[i];
+    } else if (i >= a.size() || b[j] < a[i]) {
+      v = b[j];
+    } else {
+      v = a[i];
+    }
+    size_t ca = 0, cb = 0;
+    while (i < a.size() && a[i] == v) {
+      ++ca;
+      ++i;
+    }
+    while (j < b.size() && b[j] == v) {
+      ++cb;
+      ++j;
+    }
+    l1 += std::abs(static_cast<double>(ca) / na -
+                   static_cast<double>(cb) / nb);
+  }
+  return 0.5 * l1;
+}
+
+double HistogramDiff(const Histogram& h1, const Histogram& h2) {
+  if (h1.empty() || h2.empty()) return 0.0;
+  const double f1 = h1.total_frequency();
+  const double f2 = h2.total_frequency();
+  if (f1 <= 0.0 || f2 <= 0.0) return 0.0;
+
+  std::vector<int64_t> cuts;
+  for (const Histogram* h : {&h1, &h2}) {
+    for (const Bucket& b : h->buckets()) {
+      cuts.push_back(b.lo);
+      cuts.push_back(b.hi + 1);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  double l1 = 0.0;
+  for (size_t k = 0; k + 1 < cuts.size(); ++k) {
+    const int64_t lo = cuts[k];
+    const int64_t hi = cuts[k + 1] - 1;
+    // Mass of each normalized distribution in [lo, hi].
+    const double p1 = h1.RangeSelectivity(lo, hi) / f1;
+    const double p2 = h2.RangeSelectivity(lo, hi) / f2;
+    l1 += std::abs(p1 - p2);
+  }
+  return std::min(1.0, 0.5 * l1);
+}
+
+}  // namespace condsel

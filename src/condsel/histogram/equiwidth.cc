@@ -1,0 +1,74 @@
+#include <cstdint>
+
+#include "condsel/common/macros.h"
+#include "condsel/histogram/builders.h"
+#include "condsel/histogram/internal.h"
+
+namespace condsel {
+
+Histogram BuildEquiWidth(std::vector<int64_t> values,
+                         double source_cardinality, int max_buckets) {
+  using histogram_internal::MakeBucket;
+  const auto runs =
+      histogram_internal::PrepareRuns(values, source_cardinality, max_buckets);
+  if (runs.empty()) return Histogram({}, source_cardinality);
+
+  const int64_t lo = runs.front().first;
+  const int64_t hi = runs.back().first;
+  const double width =
+      static_cast<double>(hi - lo + 1) / static_cast<double>(max_buckets);
+
+  std::vector<Bucket> buckets;
+  size_t begin = 0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const bool last = (i + 1 == runs.size());
+    // Close the bucket when the next run falls past this bucket's right
+    // edge (value-domain based, unlike equi-depth's count-based rule).
+    const int64_t bucket_index = static_cast<int64_t>(
+        static_cast<double>(runs[i].first - lo) / width);
+    const bool next_outside =
+        !last && static_cast<int64_t>(static_cast<double>(runs[i + 1].first -
+                                                          lo) /
+                                      width) > bucket_index;
+    if (last || next_outside) {
+      buckets.push_back(MakeBucket(runs, begin, i + 1, source_cardinality));
+      begin = i + 1;
+    }
+  }
+  return Histogram(std::move(buckets), source_cardinality);
+}
+
+Histogram BuildHistogram(HistogramType type, std::vector<int64_t> values,
+                         double source_cardinality, int max_buckets) {
+  switch (type) {
+    case HistogramType::kMaxDiff:
+      return BuildMaxDiff(std::move(values), source_cardinality, max_buckets);
+    case HistogramType::kEquiDepth:
+      return BuildEquiDepth(std::move(values), source_cardinality,
+                            max_buckets);
+    case HistogramType::kEquiWidth:
+      return BuildEquiWidth(std::move(values), source_cardinality,
+                            max_buckets);
+    case HistogramType::kEndBiased:
+      return BuildEndBiased(std::move(values), source_cardinality,
+                            max_buckets);
+  }
+  CONDSEL_CHECK(false);
+  return Histogram({}, 0.0);
+}
+
+const char* HistogramTypeName(HistogramType type) {
+  switch (type) {
+    case HistogramType::kMaxDiff:
+      return "maxdiff";
+    case HistogramType::kEquiDepth:
+      return "equidepth";
+    case HistogramType::kEquiWidth:
+      return "equiwidth";
+    case HistogramType::kEndBiased:
+      return "endbiased";
+  }
+  return "?";
+}
+
+}  // namespace condsel

@@ -1,0 +1,89 @@
+#include "condsel/histogram/histogram2d.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "condsel/common/macros.h"
+#include "condsel/histogram/builders.h"
+
+namespace condsel {
+
+Histogram2d::Histogram2d(std::vector<Bucket2d> buckets,
+                         double source_cardinality)
+    : buckets_(std::move(buckets)), source_cardinality_(source_cardinality) {
+  for (const Bucket2d& b : buckets_) {
+    CONDSEL_CHECK(b.x_lo <= b.x_hi);
+    CONDSEL_CHECK(b.y_lo <= b.y_hi);
+    CONDSEL_CHECK(b.frequency >= 0.0);
+    total_frequency_ += b.frequency;
+  }
+}
+
+double Histogram2d::RangeSelectivity(int64_t x_lo, int64_t x_hi,
+                                     int64_t y_lo, int64_t y_hi) const {
+  if (x_lo > x_hi || y_lo > y_hi) return 0.0;
+  double sel = 0.0;
+  for (const Bucket2d& b : buckets_) {
+    const int64_t ox_lo = std::max(x_lo, b.x_lo);
+    const int64_t ox_hi = std::min(x_hi, b.x_hi);
+    const int64_t oy_lo = std::max(y_lo, b.y_lo);
+    const int64_t oy_hi = std::min(y_hi, b.y_hi);
+    if (ox_lo > ox_hi || oy_lo > oy_hi) continue;
+    const double fx = static_cast<double>(ox_hi - ox_lo + 1) /
+                      static_cast<double>(b.x_hi - b.x_lo + 1);
+    const double fy = static_cast<double>(oy_hi - oy_lo + 1) /
+                      static_cast<double>(b.y_hi - b.y_lo + 1);
+    sel += b.frequency * fx * fy;
+  }
+  return sel;
+}
+
+std::string Histogram2d::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "Histogram2d(card=%g, cells=%zu, f=%.4f)",
+                source_cardinality_, buckets_.size(), total_frequency_);
+  return buf;
+}
+
+Histogram2d BuildHistogram2d(const std::vector<int64_t>& xs,
+                             const std::vector<int64_t>& ys,
+                             double source_cardinality, int max_buckets) {
+  CONDSEL_CHECK(xs.size() == ys.size());
+  CONDSEL_CHECK(max_buckets >= 1);
+  if (xs.empty()) return Histogram2d({}, source_cardinality);
+
+  // Phase 1: MaxDiff over x with ~sqrt(budget) buckets.
+  const int x_buckets = std::max(
+      1, static_cast<int>(std::sqrt(static_cast<double>(max_buckets))));
+  const int y_buckets = std::max(1, max_buckets / x_buckets);
+  const Histogram hx =
+      BuildMaxDiff(xs, static_cast<double>(xs.size()), x_buckets);
+
+  // Phase 2: per x-slice, MaxDiff over the y values falling in it.
+  std::vector<Bucket2d> cells;
+  for (const Bucket& bx : hx.buckets()) {
+    std::vector<int64_t> slice_ys;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      if (xs[i] >= bx.lo && xs[i] <= bx.hi) slice_ys.push_back(ys[i]);
+    }
+    if (slice_ys.empty()) continue;
+    const double slice_count = static_cast<double>(slice_ys.size());
+    const Histogram hy = BuildMaxDiff(slice_ys, slice_count, y_buckets);
+    for (const Bucket& by : hy.buckets()) {
+      Bucket2d cell;
+      cell.x_lo = bx.lo;
+      cell.x_hi = bx.hi;
+      cell.y_lo = by.lo;
+      cell.y_hi = by.hi;
+      cell.frequency =
+          by.frequency * slice_count /
+          (source_cardinality > 0.0 ? source_cardinality : 1.0);
+      cells.push_back(cell);
+    }
+  }
+  return Histogram2d(std::move(cells), source_cardinality);
+}
+
+}  // namespace condsel

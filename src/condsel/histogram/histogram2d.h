@@ -1,0 +1,65 @@
+// Two-dimensional histograms (MHIST-style phased partitioning).
+//
+// The paper's framework allows SITs over attribute *sets* —
+// SIT_R(a1, .., aj | Q) — and its Assumption 1 reasons about replacing a
+// two-dimensional histogram with unidimensional ones when independence
+// holds. This histogram supports the converse case: when two filter
+// attributes are correlated, a 2-d SIT approximates the joint factor
+// Sel(f_a, f_b | Q) directly, with no independence assumption between
+// the filters.
+//
+// Construction partitions the x attribute with MaxDiff, then partitions
+// each x-slice's y values with MaxDiff (the "phased" MHIST-2 strategy),
+// so the bucket budget is split ~sqrt/sqrt across the dimensions.
+
+#ifndef CONDSEL_HISTOGRAM_HISTOGRAM2D_H_
+#define CONDSEL_HISTOGRAM_HISTOGRAM2D_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "condsel/histogram/histogram.h"
+
+namespace condsel {
+
+struct Bucket2d {
+  int64_t x_lo = 0, x_hi = 0;  // inclusive
+  int64_t y_lo = 0, y_hi = 0;  // inclusive
+  double frequency = 0.0;      // fraction of source tuples in the cell
+};
+
+class Histogram2d {
+ public:
+  Histogram2d() = default;
+  Histogram2d(std::vector<Bucket2d> buckets, double source_cardinality);
+
+  const std::vector<Bucket2d>& buckets() const { return buckets_; }
+  size_t num_buckets() const { return buckets_.size(); }
+  bool empty() const { return buckets_.empty(); }
+  double source_cardinality() const { return source_cardinality_; }
+  double total_frequency() const { return total_frequency_; }
+
+  // Estimated fraction of source tuples with x in [x_lo, x_hi] and
+  // y in [y_lo, y_hi] (continuous assumption within a cell).
+  double RangeSelectivity(int64_t x_lo, int64_t x_hi, int64_t y_lo,
+                          int64_t y_hi) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Bucket2d> buckets_;
+  double source_cardinality_ = 0.0;
+  double total_frequency_ = 0.0;
+};
+
+// Builds a 2-d histogram from paired samples (xs[i], ys[i]) — rows where
+// either attribute is NULL must be excluded by the caller; they still
+// count into source_cardinality. `max_buckets` is the total cell budget.
+Histogram2d BuildHistogram2d(const std::vector<int64_t>& xs,
+                             const std::vector<int64_t>& ys,
+                             double source_cardinality, int max_buckets);
+
+}  // namespace condsel
+
+#endif  // CONDSEL_HISTOGRAM_HISTOGRAM2D_H_

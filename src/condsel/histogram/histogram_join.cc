@@ -1,0 +1,88 @@
+#include "condsel/histogram/histogram_join.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace condsel {
+namespace {
+
+// Sub-bucket of `h` restricted to [lo, hi] under the continuous-values
+// assumption.
+struct Slice {
+  double frequency = 0.0;
+  double distinct = 0.0;
+};
+
+Slice SliceBucket(const Bucket& b, int64_t lo, int64_t hi) {
+  Slice s;
+  const int64_t olo = std::max(lo, b.lo);
+  const int64_t ohi = std::min(hi, b.hi);
+  if (olo > ohi) return s;
+  const double frac = static_cast<double>(ohi - olo + 1) / b.Width();
+  s.frequency = b.frequency * frac;
+  s.distinct = b.distinct * frac;
+  return s;
+}
+
+}  // namespace
+
+JoinEstimate JoinHistograms(const Histogram& h1, const Histogram& h2) {
+  JoinEstimate out;
+  if (h1.empty() || h2.empty()) {
+    out.result = Histogram({}, 0.0);
+    return out;
+  }
+
+  // Collect the union of bucket boundaries; aligned intervals are the
+  // half-open spans between consecutive cut points. Using value cut points
+  // [lo, hi] inclusive: interval k is [cuts[k], cuts[k+1] - 1].
+  std::vector<int64_t> cuts;
+  for (const Histogram* h : {&h1, &h2}) {
+    for (const Bucket& b : h->buckets()) {
+      cuts.push_back(b.lo);
+      cuts.push_back(b.hi + 1);  // exclusive end
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<Bucket> result_buckets;
+  double sel = 0.0;
+  size_t i1 = 0, i2 = 0;
+  for (size_t k = 0; k + 1 < cuts.size(); ++k) {
+    const int64_t lo = cuts[k];
+    const int64_t hi = cuts[k + 1] - 1;
+    // Advance bucket cursors (buckets are sorted).
+    while (i1 < h1.num_buckets() && h1.buckets()[i1].hi < lo) ++i1;
+    while (i2 < h2.num_buckets() && h2.buckets()[i2].hi < lo) ++i2;
+    if (i1 >= h1.num_buckets() || i2 >= h2.num_buckets()) break;
+    const Bucket& b1 = h1.buckets()[i1];
+    const Bucket& b2 = h2.buckets()[i2];
+    if (b1.lo > hi || b2.lo > hi) continue;
+
+    const Slice s1 = SliceBucket(b1, lo, hi);
+    const Slice s2 = SliceBucket(b2, lo, hi);
+    const double dmax = std::max(s1.distinct, s2.distinct);
+    if (dmax <= 0.0 || s1.frequency <= 0.0 || s2.frequency <= 0.0) continue;
+    const double contrib = s1.frequency * s2.frequency / dmax;
+    sel += contrib;
+
+    Bucket rb;
+    rb.lo = lo;
+    rb.hi = hi;
+    rb.frequency = contrib;  // normalized below
+    rb.distinct = std::min(s1.distinct, s2.distinct);
+    result_buckets.push_back(rb);
+  }
+
+  out.selectivity = sel;
+  if (sel > 0.0) {
+    for (Bucket& b : result_buckets) b.frequency /= sel;
+  }
+  const double join_card =
+      h1.source_cardinality() * h2.source_cardinality() * sel;
+  out.result = Histogram(std::move(result_buckets), join_card);
+  return out;
+}
+
+}  // namespace condsel

@@ -1,0 +1,27 @@
+// Shared helpers for the histogram builders. Internal to
+// condsel/histogram; do not include from outside the module.
+
+#ifndef CONDSEL_HISTOGRAM_INTERNAL_H_
+#define CONDSEL_HISTOGRAM_INTERNAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "condsel/histogram/histogram.h"
+
+namespace condsel {
+namespace histogram_internal {
+
+// Builds one bucket from the distinct-value runs [begin, end).
+Bucket MakeBucket(const std::vector<std::pair<int64_t, uint64_t>>& runs,
+                  size_t begin, size_t end, double source_cardinality);
+
+// Sorts values and verifies builder preconditions; returns the
+// distinct-value runs. Empty result for empty input.
+std::vector<std::pair<int64_t, uint64_t>> PrepareRuns(
+    std::vector<int64_t>& values, double source_cardinality, int max_buckets);
+
+}  // namespace histogram_internal
+}  // namespace condsel
+
+#endif  // CONDSEL_HISTOGRAM_INTERNAL_H_

@@ -1,0 +1,398 @@
+#include "condsel/io/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace condsel {
+namespace {
+
+constexpr uint32_t kCatalogMagic = 0x43435444;  // "CCTD"
+constexpr uint32_t kPoolMagic = 0x43435354;     // "CCST"
+constexpr uint32_t kVersion = 2;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+// --- primitive writers/readers (little-endian host assumed; checked by
+// the magic number on read) ---
+
+class Writer {
+ public:
+  explicit Writer(std::FILE* f) : f_(f) {}
+
+  bool ok() const { return ok_; }
+
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void I64Vec(const std::vector<int64_t>& v) {
+    U64(v.size());
+    Raw(v.data(), v.size() * sizeof(int64_t));
+  }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    if (ok_ && n > 0 && std::fwrite(p, 1, n, f_) != n) ok_ = false;
+  }
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::FILE* f) : f_(f) {}
+
+  bool ok() const { return ok_; }
+
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int64_t I64() {
+    int64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    const uint32_t n = U32();
+    if (!ok_ || n > (1u << 20)) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(n, '\0');
+    Raw(s.data(), n);
+    return s;
+  }
+  std::vector<int64_t> I64Vec() {
+    const uint64_t n = U64();
+    if (!ok_ || n > (1ull << 32)) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<int64_t> v(n);
+    Raw(v.data(), n * sizeof(int64_t));
+    return v;
+  }
+
+ private:
+  void Raw(void* p, size_t n) {
+    if (ok_ && n > 0 && std::fread(p, 1, n, f_) != n) ok_ = false;
+  }
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+// --- shared sub-structures ---
+
+void WriteHistogram(Writer& w, const Histogram& h) {
+  w.F64(h.source_cardinality());
+  w.U64(h.num_buckets());
+  for (const Bucket& b : h.buckets()) {
+    w.I64(b.lo);
+    w.I64(b.hi);
+    w.F64(b.frequency);
+    w.F64(b.distinct);
+  }
+}
+
+bool ReadHistogram(Reader& r, Histogram* out) {
+  const double card = r.F64();
+  const uint64_t n = r.U64();
+  if (!r.ok() || n > (1u << 24)) return false;
+  std::vector<Bucket> buckets(n);
+  for (auto& b : buckets) {
+    b.lo = r.I64();
+    b.hi = r.I64();
+    b.frequency = r.F64();
+    b.distinct = r.F64();
+    if (!r.ok() || b.lo > b.hi || b.frequency < 0) return false;
+  }
+  // Ordering is re-checked by the Histogram constructor's CHECKs; guard
+  // here so corrupt files fail softly instead.
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    if (buckets[i - 1].hi >= buckets[i].lo) return false;
+  }
+  *out = Histogram(std::move(buckets), card);
+  return true;
+}
+
+void WriteHistogram2d(Writer& w, const Histogram2d& h) {
+  w.F64(h.source_cardinality());
+  w.U64(h.num_buckets());
+  for (const Bucket2d& b : h.buckets()) {
+    w.I64(b.x_lo);
+    w.I64(b.x_hi);
+    w.I64(b.y_lo);
+    w.I64(b.y_hi);
+    w.F64(b.frequency);
+  }
+}
+
+bool ReadHistogram2d(Reader& r, Histogram2d* out) {
+  const double card = r.F64();
+  const uint64_t n = r.U64();
+  if (!r.ok() || n > (1u << 24)) return false;
+  std::vector<Bucket2d> buckets(n);
+  for (auto& b : buckets) {
+    b.x_lo = r.I64();
+    b.x_hi = r.I64();
+    b.y_lo = r.I64();
+    b.y_hi = r.I64();
+    b.frequency = r.F64();
+    if (!r.ok() || b.x_lo > b.x_hi || b.y_lo > b.y_hi || b.frequency < 0) {
+      return false;
+    }
+  }
+  *out = Histogram2d(std::move(buckets), card);
+  return true;
+}
+
+void WritePredicate(Writer& w, const Predicate& p) {
+  w.U32(p.is_join() ? 1 : 0);
+  if (p.is_join()) {
+    w.U32(static_cast<uint32_t>(p.left().table));
+    w.U32(static_cast<uint32_t>(p.left().column));
+    w.U32(static_cast<uint32_t>(p.right().table));
+    w.U32(static_cast<uint32_t>(p.right().column));
+  } else {
+    w.U32(static_cast<uint32_t>(p.column().table));
+    w.U32(static_cast<uint32_t>(p.column().column));
+    w.I64(p.lo());
+    w.I64(p.hi());
+  }
+}
+
+bool ValidColumn(const Catalog& catalog, ColumnRef c) {
+  return c.table >= 0 && c.table < catalog.num_tables() && c.column >= 0 &&
+         c.column < catalog.table(c.table).num_columns();
+}
+
+bool ReadPredicate(Reader& r, const Catalog& catalog, Predicate* out) {
+  const uint32_t is_join = r.U32();
+  if (is_join == 1) {
+    const ColumnRef l{static_cast<TableId>(r.U32()),
+                      static_cast<ColumnId>(r.U32())};
+    const ColumnRef rt{static_cast<TableId>(r.U32()),
+                       static_cast<ColumnId>(r.U32())};
+    if (!r.ok() || !ValidColumn(catalog, l) || !ValidColumn(catalog, rt) ||
+        l.table == rt.table) {
+      return false;
+    }
+    *out = Predicate::Join(l, rt);
+    return true;
+  }
+  if (is_join != 0) return false;
+  const ColumnRef c{static_cast<TableId>(r.U32()),
+                    static_cast<ColumnId>(r.U32())};
+  const int64_t lo = r.I64();
+  const int64_t hi = r.I64();
+  if (!r.ok() || !ValidColumn(catalog, c) || lo > hi) return false;
+  *out = Predicate::Filter(c, lo, hi);
+  return true;
+}
+
+}  // namespace
+
+IoResult WriteCatalog(const Catalog& catalog, const std::string& path) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) return IoResult::Fail("cannot open '" + path + "' for writing");
+  Writer w(f.get());
+  w.U32(kCatalogMagic);
+  w.U32(kVersion);
+  w.U32(static_cast<uint32_t>(catalog.num_tables()));
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    const Table& table = catalog.table(t);
+    w.Str(table.schema().name);
+    w.U32(static_cast<uint32_t>(table.num_columns()));
+    for (const ColumnSchema& c : table.schema().columns) {
+      w.Str(c.name);
+      w.I64(c.min_value);
+      w.I64(c.max_value);
+      w.U32(c.is_key ? 1 : 0);
+    }
+    for (ColumnId c = 0; c < table.num_columns(); ++c) {
+      w.I64Vec(table.column(c).values());
+    }
+  }
+  w.U32(static_cast<uint32_t>(catalog.foreign_keys().size()));
+  for (const ForeignKey& fk : catalog.foreign_keys()) {
+    w.U32(static_cast<uint32_t>(fk.fk_table));
+    w.U32(static_cast<uint32_t>(fk.fk_column));
+    w.U32(static_cast<uint32_t>(fk.pk_table));
+    w.U32(static_cast<uint32_t>(fk.pk_column));
+  }
+  if (!w.ok()) return IoResult::Fail("write failed for '" + path + "'");
+  return IoResult::Ok();
+}
+
+IoResult ReadCatalog(const std::string& path, Catalog* out) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return IoResult::Fail("cannot open '" + path + "'");
+  Reader r(f.get());
+  if (r.U32() != kCatalogMagic) {
+    return IoResult::Fail("'" + path + "' is not a condsel catalog file");
+  }
+  if (r.U32() != kVersion) {
+    return IoResult::Fail("unsupported catalog version in '" + path + "'");
+  }
+  Catalog catalog;
+  const uint32_t num_tables = r.U32();
+  if (!r.ok() || num_tables > 1024) {
+    return IoResult::Fail("corrupt table count");
+  }
+  for (uint32_t t = 0; t < num_tables; ++t) {
+    TableSchema schema;
+    schema.name = r.Str();
+    const uint32_t num_cols = r.U32();
+    if (!r.ok() || num_cols > 4096) {
+      return IoResult::Fail("corrupt column count");
+    }
+    for (uint32_t c = 0; c < num_cols; ++c) {
+      ColumnSchema cs;
+      cs.name = r.Str();
+      cs.min_value = r.I64();
+      cs.max_value = r.I64();
+      cs.is_key = r.U32() == 1;
+      schema.columns.push_back(std::move(cs));
+    }
+    Table table(schema);
+    for (uint32_t c = 0; c < num_cols; ++c) {
+      table.mutable_column(static_cast<ColumnId>(c)).mutable_values() =
+          r.I64Vec();
+    }
+    if (!r.ok()) return IoResult::Fail("corrupt column data");
+    table.SealRows();
+    catalog.AddTable(std::move(table));
+  }
+  const uint32_t num_fks = r.U32();
+  if (!r.ok() || num_fks > 4096) {
+    return IoResult::Fail("corrupt foreign-key count");
+  }
+  for (uint32_t i = 0; i < num_fks; ++i) {
+    ForeignKey fk;
+    fk.fk_table = static_cast<TableId>(r.U32());
+    fk.fk_column = static_cast<ColumnId>(r.U32());
+    fk.pk_table = static_cast<TableId>(r.U32());
+    fk.pk_column = static_cast<ColumnId>(r.U32());
+    if (!r.ok()) return IoResult::Fail("corrupt foreign key");
+    catalog.AddForeignKey(fk);
+  }
+  *out = std::move(catalog);
+  return IoResult::Ok();
+}
+
+IoResult WriteSitPool(const SitPool& pool, const std::string& path) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) return IoResult::Fail("cannot open '" + path + "' for writing");
+  Writer w(f.get());
+  w.U32(kPoolMagic);
+  w.U32(kVersion);
+  w.U32(static_cast<uint32_t>(pool.size()));
+  for (const Sit& s : pool.sits()) {
+    w.U32(static_cast<uint32_t>(s.attr.table));
+    w.U32(static_cast<uint32_t>(s.attr.column));
+    w.U32(s.is_multidim() ? 1 : 0);
+    if (s.is_multidim()) {
+      w.U32(static_cast<uint32_t>(s.attr2.table));
+      w.U32(static_cast<uint32_t>(s.attr2.column));
+    }
+    w.U32(static_cast<uint32_t>(s.expression.size()));
+    for (const Predicate& p : s.expression) WritePredicate(w, p);
+    w.F64(s.diff);
+    if (s.is_multidim()) {
+      WriteHistogram2d(w, s.histogram2d);
+    } else {
+      WriteHistogram(w, s.histogram);
+    }
+  }
+  if (!w.ok()) return IoResult::Fail("write failed for '" + path + "'");
+  return IoResult::Ok();
+}
+
+IoResult ReadSitPool(const std::string& path, const Catalog& catalog,
+                     SitPool* out) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return IoResult::Fail("cannot open '" + path + "'");
+  Reader r(f.get());
+  if (r.U32() != kPoolMagic) {
+    return IoResult::Fail("'" + path + "' is not a condsel SIT pool file");
+  }
+  if (r.U32() != kVersion) {
+    return IoResult::Fail("unsupported pool version in '" + path + "'");
+  }
+  SitPool pool;
+  const uint32_t num_sits = r.U32();
+  if (!r.ok() || num_sits > (1u << 20)) {
+    return IoResult::Fail("corrupt SIT count");
+  }
+  for (uint32_t i = 0; i < num_sits; ++i) {
+    Sit sit;
+    sit.attr = ColumnRef{static_cast<TableId>(r.U32()),
+                         static_cast<ColumnId>(r.U32())};
+    if (!ValidColumn(catalog, sit.attr)) {
+      return IoResult::Fail("SIT attribute does not exist in the catalog");
+    }
+    const uint32_t multidim = r.U32();
+    if (multidim == 1) {
+      sit.attr2 = ColumnRef{static_cast<TableId>(r.U32()),
+                            static_cast<ColumnId>(r.U32())};
+      if (!ValidColumn(catalog, sit.attr2)) {
+        return IoResult::Fail(
+            "SIT second attribute does not exist in the catalog");
+      }
+    } else if (multidim != 0) {
+      return IoResult::Fail("corrupt SIT header");
+    }
+    const uint32_t num_preds = r.U32();
+    if (!r.ok() || num_preds > 64) {
+      return IoResult::Fail("corrupt SIT expression");
+    }
+    for (uint32_t p = 0; p < num_preds; ++p) {
+      Predicate pred = Predicate::Filter(ColumnRef{0, 0}, 0, 0);
+      if (!ReadPredicate(r, catalog, &pred)) {
+        return IoResult::Fail("corrupt SIT expression predicate");
+      }
+      sit.expression.push_back(pred);
+    }
+    sit.diff = r.F64();
+    if (multidim == 1) {
+      if (!ReadHistogram2d(r, &sit.histogram2d)) {
+        return IoResult::Fail("corrupt 2-d histogram");
+      }
+    } else {
+      if (!ReadHistogram(r, &sit.histogram)) {
+        return IoResult::Fail("corrupt histogram");
+      }
+    }
+    if (!r.ok() || sit.diff < 0.0 || sit.diff > 1.0) {
+      return IoResult::Fail("corrupt SIT payload");
+    }
+    pool.Add(std::move(sit));
+  }
+  *out = std::move(pool);
+  return IoResult::Ok();
+}
+
+}  // namespace condsel

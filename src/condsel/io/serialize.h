@@ -1,0 +1,41 @@
+// Binary (de)serialization for catalogs and SIT pools.
+//
+// A real deployment builds SITs offline and ships them to the optimizer;
+// this module provides that persistence: a versioned little-endian binary
+// format for Catalog (schemas + column data) and SitPool (expressions,
+// 1-d and 2-d histograms, diff values). Readers validate magic numbers,
+// version, and structural invariants, and report failures by value.
+
+#ifndef CONDSEL_IO_SERIALIZE_H_
+#define CONDSEL_IO_SERIALIZE_H_
+
+#include <string>
+
+#include "condsel/catalog/catalog.h"
+#include "condsel/sit/sit_pool.h"
+
+namespace condsel {
+
+struct IoResult {
+  bool ok = false;
+  std::string error;
+
+  static IoResult Ok() { return {true, ""}; }
+  static IoResult Fail(std::string message) {
+    return {false, std::move(message)};
+  }
+};
+
+// Catalog <-> file.
+IoResult WriteCatalog(const Catalog& catalog, const std::string& path);
+IoResult ReadCatalog(const std::string& path, Catalog* out);
+
+// SitPool <-> file. Reading validates that every SIT's tables/columns
+// exist in `catalog` (a pool is only meaningful against its database).
+IoResult WriteSitPool(const SitPool& pool, const std::string& path);
+IoResult ReadSitPool(const std::string& path, const Catalog& catalog,
+                     SitPool* out);
+
+}  // namespace condsel
+
+#endif  // CONDSEL_IO_SERIALIZE_H_

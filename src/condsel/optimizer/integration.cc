@@ -1,0 +1,74 @@
+#include "condsel/optimizer/integration.h"
+
+#include "condsel/common/macros.h"
+#include "condsel/optimizer/rules.h"
+
+namespace condsel {
+
+OptimizerCoupledEstimator::OptimizerCoupledEstimator(
+    const Query* query, FactorApproximator* approximator)
+    : query_(query), approximator_(approximator), memo_(query) {
+  CONDSEL_CHECK(query != nullptr);
+  CONDSEL_CHECK(approximator != nullptr);
+}
+
+SelEstimate OptimizerCoupledEstimator::Estimate(PredSet preds) {
+  const int id = BuildAndExplore(&memo_, preds);
+  return EstimateGroup(id);
+}
+
+SelEstimate OptimizerCoupledEstimator::EstimateGroup(int group_id) {
+  auto it = best_.find(group_id);
+  if (it != best_.end()) return it->second;
+
+  const Group& g = memo_.group(group_id);
+  SelEstimate best;
+  best.error = kInfiniteError;
+  best.selectivity = 1.0;
+
+  if (g.preds == 0) {
+    best = SelEstimate{1.0, 0.0};
+    best_.emplace(group_id, best);
+    return best;
+  }
+
+  for (const MemoExpr& e : g.exprs) {
+    if (e.op == OpKind::kScan) continue;
+    ++entries_considered_;
+
+    // Sel(Q_E): separable product over the entry's inputs.
+    double input_sel = 1.0;
+    double input_err = 0.0;
+    for (int in : e.inputs) {
+      const SelEstimate ie = EstimateGroup(in);
+      input_sel *= ie.selectivity;
+      input_err = ErrorFunction::Merge(input_err, ie.error);
+    }
+
+    if (e.predicate < 0) {
+      // Cartesian product entry: no factor on top, exact by Property 2.
+      if (input_err < best.error) {
+        best.error = input_err;
+        best.selectivity = input_sel;
+      }
+      continue;
+    }
+
+    const PredSet p_e = 1u << e.predicate;
+    const PredSet q_e = g.preds & ~p_e;
+    FactorChoice choice = approximator_->Score(*query_, p_e, q_e);
+    if (!choice.feasible) continue;
+    const double err = ErrorFunction::Merge(choice.error, input_err);
+    if (err < best.error) {
+      best.error = err;
+      best.selectivity =
+          approximator_->Estimate(*query_, p_e, choice) * input_sel;
+    }
+  }
+  CONDSEL_CHECK_MSG(best.error != kInfiniteError,
+                    "memo group has no estimable entry");
+  best_.emplace(group_id, best);
+  return best;
+}
+
+}  // namespace condsel

@@ -1,0 +1,48 @@
+// Coupling getSelectivity with the optimizer's search (Section 4.2).
+//
+// Instead of exploring every atomic decomposition, the coupled estimator
+// only considers the decompositions *induced by memo entries*: an entry E
+// of the group for predicate set P splits P into the entry's own
+// predicate p_E and the inputs' predicates Q_E, inducing
+//   Sel(P) = Sel(p_E | Q_E) * Sel(Q_E),
+// where Sel(Q_E) factors separably across E's inputs (each input group's
+// own best estimate). The search is thereby pruned by the optimizer's own
+// enumeration — cheaper, at the cost of possibly missing the optimum the
+// full DP would find (the trade-off Section 4.2 describes).
+
+#ifndef CONDSEL_OPTIMIZER_INTEGRATION_H_
+#define CONDSEL_OPTIMIZER_INTEGRATION_H_
+
+#include <map>
+
+#include "condsel/optimizer/memo.h"
+#include "condsel/selectivity/get_selectivity.h"
+
+namespace condsel {
+
+class OptimizerCoupledEstimator {
+ public:
+  // The approximator's matcher must be bound to `query`.
+  OptimizerCoupledEstimator(const Query* query,
+                            FactorApproximator* approximator);
+
+  // Best estimate for the sub-plan applying `preds`, per the entry-induced
+  // decompositions. Lazily builds and explores the memo.
+  SelEstimate Estimate(PredSet preds);
+
+  const Memo& memo() const { return memo_; }
+  uint64_t entries_considered() const { return entries_considered_; }
+
+ private:
+  SelEstimate EstimateGroup(int group_id);
+
+  const Query* query_;
+  FactorApproximator* approximator_;
+  Memo memo_;
+  std::map<int, SelEstimate> best_;  // group id -> best estimate
+  uint64_t entries_considered_ = 0;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_OPTIMIZER_INTEGRATION_H_

@@ -1,0 +1,175 @@
+#include "condsel/optimizer/join_ordering.h"
+
+#include <limits>
+#include <unordered_map>
+
+#include "condsel/catalog/catalog.h"
+#include "condsel/common/macros.h"
+#include "condsel/query/join_graph.h"
+
+namespace condsel {
+namespace {
+
+// Joins of the query with both endpoints inside `tables`.
+PredSet JoinsInside(const Query& q, TableSet tables) {
+  PredSet s = 0;
+  for (int i : SetElements(q.join_predicates())) {
+    if (IsSubset(q.predicate(i).tables(), tables)) s = With(s, i);
+  }
+  return s;
+}
+
+// Filters of the query on tables inside `tables`.
+PredSet FiltersOn(const Query& q, TableSet tables) {
+  PredSet s = 0;
+  for (int i : SetElements(q.filter_predicates())) {
+    if (Contains(tables, q.predicate(i).column().table)) s = With(s, i);
+  }
+  return s;
+}
+
+// The plan node's predicate set for table set `tables`.
+PredSet PlanPreds(const Query& q, TableSet tables) {
+  return JoinsInside(q, tables) | FiltersOn(q, tables);
+}
+
+// True if the joins inside `tables` connect all of them.
+bool Connected(const Query& q, TableSet tables) {
+  if (SetSize(tables) <= 1) return true;
+  UnionFind uf(32);
+  for (int i : SetElements(JoinsInside(q, tables))) {
+    uf.Union(q.predicate(i).left().table, q.predicate(i).right().table);
+  }
+  const std::vector<int> ids = SetElements(tables);
+  for (size_t k = 1; k < ids.size(); ++k) {
+    if (!uf.Connected(ids[0], ids[k])) return false;
+  }
+  return true;
+}
+
+// True if some query join has one endpoint in t1 and the other in t2.
+bool JoinBetween(const Query& q, TableSet t1, TableSet t2) {
+  for (int i : SetElements(q.join_predicates())) {
+    const Predicate& p = q.predicate(i);
+    const bool l1 = Contains(t1, p.left().table);
+    const bool r1 = Contains(t1, p.right().table);
+    const bool l2 = Contains(t2, p.left().table);
+    const bool r2 = Contains(t2, p.right().table);
+    if ((l1 && r2) || (l2 && r1)) return true;
+  }
+  return false;
+}
+
+struct DpEntry {
+  double cost = std::numeric_limits<double>::infinity();
+  TableSet left = 0;  // winning split (left side); 0 for leaves
+};
+
+}  // namespace
+
+std::string JoinTree::ToString(const Query& query,
+                               const Catalog& catalog) const {
+  std::string out;
+  std::function<void(int)> rec = [&](int id) {
+    const Node& n = nodes[static_cast<size_t>(id)];
+    if (n.is_leaf) {
+      out += catalog.table(n.table).schema().name;
+      return;
+    }
+    out += "(";
+    rec(n.left);
+    out += " JOIN ";
+    rec(n.right);
+    out += ")";
+    (void)query;
+  };
+  if (root >= 0) rec(root);
+  return out;
+}
+
+JoinOrderOptimizer::JoinOrderOptimizer(const Query* query,
+                                       const Catalog* catalog)
+    : query_(query), catalog_(catalog) {
+  CONDSEL_CHECK(query != nullptr);
+  CONDSEL_CHECK(catalog != nullptr);
+  CONDSEL_CHECK_MSG(Connected(*query, query->tables()),
+                    "join graph must connect every referenced table");
+}
+
+PlanResult JoinOrderOptimizer::Optimize(const CardinalityFn& estimate) const {
+  const Query& q = *query_;
+  const TableSet all = q.tables();
+
+  // DP over table subsets. Subsets are enumerated in increasing-popcount
+  // order implicitly: any split's sides are proper subsets, and we use a
+  // map filled bottom-up by recursion instead.
+  std::unordered_map<TableSet, DpEntry> dp;
+
+  std::function<double(TableSet)> solve = [&](TableSet tables) -> double {
+    auto it = dp.find(tables);
+    if (it != dp.end()) return it->second.cost;
+    DpEntry entry;
+    if (SetSize(tables) == 1) {
+      entry.cost = 0.0;  // C_out counts join intermediates only
+      dp.emplace(tables, entry);
+      return entry.cost;
+    }
+    if (Connected(q, tables)) {
+      const double node_card = estimate(PlanPreds(q, tables));
+      // Enumerate splits; fixing the lowest table on the left halves the
+      // symmetric space.
+      const int lowest = std::countr_zero(tables);
+      const TableSet rest = Without(tables, lowest);
+      for (TableSet sub = rest;; sub = PrevSubmask(rest, sub)) {
+        const TableSet left = With(sub, lowest);
+        const TableSet right = tables & ~left;
+        if (right != 0 && Connected(q, left) && Connected(q, right) &&
+            JoinBetween(q, left, right)) {
+          const double c = solve(left) + solve(right) + node_card;
+          if (c < entry.cost) {
+            entry.cost = c;
+            entry.left = left;
+          }
+        }
+        if (sub == 0) break;
+      }
+    }
+    dp.emplace(tables, entry);
+    return entry.cost;
+  };
+  const double total = solve(all);
+  CONDSEL_CHECK_MSG(total < std::numeric_limits<double>::infinity(),
+                    "no valid plan (disconnected join graph?)");
+
+  // Reconstruct the winning tree.
+  PlanResult result;
+  result.estimated_cost = total;
+  std::function<int(TableSet)> build = [&](TableSet tables) -> int {
+    JoinTree::Node node;
+    node.preds = PlanPreds(q, tables);
+    if (SetSize(tables) == 1) {
+      node.is_leaf = true;
+      node.table = static_cast<TableId>(std::countr_zero(tables));
+    } else {
+      const DpEntry& e = dp.at(tables);
+      node.is_leaf = false;
+      node.left = build(e.left);
+      node.right = build(tables & ~e.left);
+    }
+    result.tree.nodes.push_back(node);
+    return static_cast<int>(result.tree.nodes.size() - 1);
+  };
+  result.tree.root = build(all);
+  return result;
+}
+
+double JoinOrderOptimizer::Cost(const JoinTree& tree,
+                                const CardinalityFn& cardinality) const {
+  double cost = 0.0;
+  for (const JoinTree::Node& n : tree.nodes) {
+    if (!n.is_leaf) cost += cardinality(n.preds);
+  }
+  return cost;
+}
+
+}  // namespace condsel

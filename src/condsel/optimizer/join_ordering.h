@@ -1,0 +1,74 @@
+// Cost-based join ordering on top of pluggable cardinality estimates.
+//
+// The paper defers "how plans are affected by the estimation techniques"
+// to future work; this module provides that study's machinery. A
+// Selinger-style dynamic program enumerates bushy join trees over the
+// query's (acyclic or cyclic) join graph, costing plans with the C_out
+// model — the sum of estimated intermediate-result cardinalities, the
+// standard estimator-sensitivity metric. Feeding it estimates from
+// different techniques (noSit, GVM, GS-*) and re-costing the chosen plans
+// with exact cardinalities quantifies how much better plans get when the
+// optimizer believes better numbers (bench/bench_plan_quality).
+
+#ifndef CONDSEL_OPTIMIZER_JOIN_ORDERING_H_
+#define CONDSEL_OPTIMIZER_JOIN_ORDERING_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "condsel/query/query.h"
+
+namespace condsel {
+
+class Catalog;
+
+// Maps a plan node (a predicate subset: its joins plus the filters
+// applied below/at it) to an estimated cardinality.
+using CardinalityFn = std::function<double(PredSet)>;
+
+// A binary join tree. Node 0..n-1 are in `nodes`; `root` indexes it.
+struct JoinTree {
+  struct Node {
+    bool is_leaf = true;
+    TableId table = kInvalidTableId;  // leaves
+    int left = -1;                    // internal nodes
+    int right = -1;
+    // Plan-node predicate set: joins of the subtree + applicable filters.
+    PredSet preds = 0;
+  };
+  std::vector<Node> nodes;
+  int root = -1;
+
+  std::string ToString(const Query& query, const Catalog& catalog) const;
+};
+
+struct PlanResult {
+  JoinTree tree;
+  // C_out under the estimates the optimizer used.
+  double estimated_cost = 0.0;
+};
+
+class JoinOrderOptimizer {
+ public:
+  // `query` must have a connected join graph covering all its tables.
+  JoinOrderOptimizer(const Query* query, const Catalog* catalog);
+
+  // Best bushy join tree under `estimate`, by exhaustive DP over
+  // connected sub-join-graphs (fine for the paper's <= 7 joins).
+  PlanResult Optimize(const CardinalityFn& estimate) const;
+
+  // C_out of `tree` under `cardinality` (sum over internal nodes of the
+  // node's cardinality). Pass exact cardinalities to obtain a plan's true
+  // cost.
+  double Cost(const JoinTree& tree, const CardinalityFn& cardinality) const;
+
+ private:
+  const Query* query_;
+  const Catalog* catalog_;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_OPTIMIZER_JOIN_ORDERING_H_

@@ -1,0 +1,70 @@
+#include "condsel/optimizer/memo.h"
+
+#include <cstdio>
+
+#include "condsel/common/macros.h"
+
+namespace condsel {
+
+Memo::Memo(const Query* query) : query_(query) {
+  CONDSEL_CHECK(query != nullptr);
+}
+
+int Memo::GetOrCreateGroup(PredSet preds, TableSet tables) {
+  const auto key = std::make_pair(preds, tables);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  Group g;
+  g.preds = preds;
+  g.tables = tables;
+  const int id = static_cast<int>(groups_.size());
+  groups_.push_back(std::move(g));
+  index_.emplace(key, id);
+  return id;
+}
+
+Group& Memo::group(int id) {
+  CONDSEL_CHECK(id >= 0 && id < num_groups());
+  return groups_[static_cast<size_t>(id)];
+}
+
+const Group& Memo::group(int id) const {
+  CONDSEL_CHECK(id >= 0 && id < num_groups());
+  return groups_[static_cast<size_t>(id)];
+}
+
+int Memo::num_exprs() const {
+  int n = 0;
+  for (const Group& g : groups_) n += static_cast<int>(g.exprs.size());
+  return n;
+}
+
+std::string Memo::ToString() const {
+  std::string out;
+  for (int id = 0; id < num_groups(); ++id) {
+    const Group& g = groups_[static_cast<size_t>(id)];
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "group %d (preds=%#x tables=%#x):\n",
+                  id, g.preds, g.tables);
+    out += buf;
+    for (const MemoExpr& e : g.exprs) {
+      const char* op = e.op == OpKind::kScan
+                           ? "SCAN"
+                           : (e.op == OpKind::kSelect ? "SELECT" : "JOIN");
+      out += "  [";
+      out += op;
+      if (e.predicate >= 0) {
+        out += ", " + query_->predicate(e.predicate).ToString();
+      }
+      out += ", inputs={";
+      for (size_t i = 0; i < e.inputs.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(e.inputs[i]);
+      }
+      out += "}]\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace condsel

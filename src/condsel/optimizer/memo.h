@@ -1,0 +1,62 @@
+// A Cascades-style memoization table (Section 4.1).
+//
+// Groups collect logically equivalent sub-plans of one SPJ query. In the
+// canonical predicate-set representation, a group is identified by the
+// predicate subset it applies plus the tables it covers (scan groups
+// apply no predicates). Each group entry records a *last operator*:
+//   [SELECT, {p}, {input}]  or  [JOIN, {j}, {left, right}]
+// with inputs pointing at other groups — exactly the paper's
+// [op, parms, inputs] shape, and exactly what induces the decomposition
+// Sel(p_E | Q_E) * Sel(Q_E) used by the Section 4.2 integration.
+
+#ifndef CONDSEL_OPTIMIZER_MEMO_H_
+#define CONDSEL_OPTIMIZER_MEMO_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "condsel/query/query.h"
+
+namespace condsel {
+
+enum class OpKind { kScan, kSelect, kJoin };
+
+struct MemoExpr {
+  OpKind op = OpKind::kScan;
+  int predicate = -1;       // query predicate index for kSelect / kJoin
+  std::vector<int> inputs;  // group ids
+};
+
+struct Group {
+  PredSet preds = 0;    // predicates applied by this sub-plan
+  TableSet tables = 0;  // tables covered
+  std::vector<MemoExpr> exprs;
+  bool explored = false;
+};
+
+class Memo {
+ public:
+  explicit Memo(const Query* query);
+
+  // Returns the id of the group for (preds, tables), creating it if new.
+  int GetOrCreateGroup(PredSet preds, TableSet tables);
+
+  Group& group(int id);
+  const Group& group(int id) const;
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+  int num_exprs() const;
+
+  const Query& query() const { return *query_; }
+
+  std::string ToString() const;
+
+ private:
+  const Query* query_;
+  std::map<std::pair<PredSet, TableSet>, int> index_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_OPTIMIZER_MEMO_H_

@@ -1,0 +1,42 @@
+// A rule-driven Cascades exploration engine (Section 4.1, faithful form).
+//
+// rules.cc generates each group's entries in closed form (every predicate
+// that can be applied last); a real Cascades optimizer instead *derives*
+// that fixpoint by seeding the memo with one initial plan and repeatedly
+// applying transformation rules until nothing new appears:
+//
+//   [SELECT-COMMUTE]   sigma_p(sigma_q(T))        => sigma_q(sigma_p(T))
+//   [SELECT-PUSH]      sigma_p(T1 join T2)        => sigma_p(T1) join T2
+//                                                     (p touches only T1)
+//   [SELECT-PULL]      sigma_p(T1) join T2        => sigma_p(T1 join T2)
+//   [JOIN-COMMUTE]     T1 join T2                 => T2 join T1
+//   [JOIN-ASSOC]       (T1 join_a T2) join_b T3   => T1 join_a (T2 join_b T3)
+//                                                     (b touches T2/T3 only)
+//
+// The engine exists both as a faithful reconstruction and as a validator:
+// optimizer tests assert its fixpoint contains exactly the closed-form
+// exploration's logical entries.
+
+#ifndef CONDSEL_OPTIMIZER_RULE_ENGINE_H_
+#define CONDSEL_OPTIMIZER_RULE_ENGINE_H_
+
+#include <cstdint>
+
+#include "condsel/optimizer/memo.h"
+
+namespace condsel {
+
+struct RuleEngineStats {
+  uint64_t rule_applications = 0;  // rule firings that produced anything
+  uint64_t entries_added = 0;      // new memo entries discovered
+  int rounds = 0;                  // fixpoint iterations
+};
+
+// Seeds the memo with a canonical initial plan for `preds` (filters over a
+// left-deep join chain in predicate order) and applies the rule set to
+// fixpoint. Returns the root group id.
+int ExploreWithRules(Memo* memo, PredSet preds, RuleEngineStats* stats);
+
+}  // namespace condsel
+
+#endif  // CONDSEL_OPTIMIZER_RULE_ENGINE_H_

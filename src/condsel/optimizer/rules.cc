@@ -1,0 +1,151 @@
+#include "condsel/optimizer/rules.h"
+
+#include "condsel/common/macros.h"
+#include "condsel/query/join_graph.h"
+
+namespace condsel {
+
+void ExploreGroup(Memo* memo, int group_id) {
+  // Copy the identifying fields: exploring inputs may grow the group
+  // vector and invalidate references.
+  const PredSet preds = memo->group(group_id).preds;
+  const TableSet tables = memo->group(group_id).tables;
+  if (memo->group(group_id).explored) return;
+  memo->group(group_id).explored = true;
+
+  const Query& q = memo->query();
+
+  if (preds == 0) {
+    // Leaf: a base-table scan.
+    CONDSEL_CHECK_MSG(SetSize(tables) == 1,
+                      "predicate-free group must be a single scan");
+    MemoExpr scan;
+    scan.op = OpKind::kScan;
+    memo->group(group_id).exprs.push_back(scan);
+    return;
+  }
+
+  // Disconnected groups (cartesian sub-plans) get a single product entry
+  // whose inputs are the connected pieces; predicate == -1 marks "no join
+  // condition". Tables touched by no predicate are their own piece.
+  {
+    UnionFind uf(32);
+    for (int r : SetElements(preds)) {
+      const Predicate& rp = q.predicate(r);
+      if (rp.is_join()) uf.Union(rp.left().table, rp.right().table);
+    }
+    std::vector<int> roots;
+    std::vector<TableSet> piece_tables;
+    for (int t : SetElements(tables)) {
+      const int root = uf.Find(t);
+      size_t k = 0;
+      for (; k < roots.size(); ++k) {
+        if (roots[k] == root) break;
+      }
+      if (k == roots.size()) {
+        roots.push_back(root);
+        piece_tables.push_back(0);
+      }
+      piece_tables[k] |= 1u << t;
+    }
+    if (piece_tables.size() >= 2) {
+      MemoExpr e;
+      e.op = OpKind::kJoin;
+      e.predicate = -1;
+      for (const TableSet side : piece_tables) {
+        PredSet side_preds = 0;
+        for (int r : SetElements(preds)) {
+          if (IsSubset(q.predicate(r).tables(), side)) {
+            side_preds = With(side_preds, r);
+          }
+        }
+        e.inputs.push_back(memo->GetOrCreateGroup(side_preds, side));
+      }
+      memo->group(group_id).exprs.push_back(e);
+      const std::vector<int> inputs = memo->group(group_id).exprs.back().inputs;
+      for (int in : inputs) ExploreGroup(memo, in);
+      return;
+    }
+  }
+
+  for (int p : SetElements(preds)) {
+    const Predicate& pred = q.predicate(p);
+    const PredSet rest = Without(preds, p);
+
+    if (pred.is_filter()) {
+      // [SELECT, p, {group(rest over the same tables)}].
+      MemoExpr e;
+      e.op = OpKind::kSelect;
+      e.predicate = p;
+      e.inputs = {memo->GetOrCreateGroup(rest, tables)};
+      memo->group(group_id).exprs.push_back(e);
+      continue;
+    }
+
+    // A join can be last only if removing it splits the group's tables
+    // into exactly two sides connected by the remaining joins.
+    UnionFind uf(32);
+    for (int r : SetElements(rest)) {
+      const Predicate& rp = q.predicate(r);
+      if (rp.is_join()) uf.Union(rp.left().table, rp.right().table);
+    }
+    const std::vector<int> table_ids = SetElements(tables);
+    std::vector<int> roots;
+    std::vector<TableSet> side_tables;
+    for (int t : table_ids) {
+      const int root = uf.Find(t);
+      size_t k = 0;
+      for (; k < roots.size(); ++k) {
+        if (roots[k] == root) break;
+      }
+      if (k == roots.size()) {
+        roots.push_back(root);
+        side_tables.push_back(0);
+      }
+      side_tables[k] |= 1u << t;
+    }
+    if (side_tables.size() == 1) {
+      // Cycle edge: the remaining joins still connect every table, so
+      // this join can be applied last as a *residual* predicate over the
+      // rest (a select-shaped entry carrying a join predicate).
+      MemoExpr e;
+      e.op = OpKind::kSelect;
+      e.predicate = p;
+      e.inputs = {memo->GetOrCreateGroup(rest, tables)};
+      memo->group(group_id).exprs.push_back(e);
+      continue;
+    }
+    if (side_tables.size() != 2) continue;  // join not applicable last
+
+    MemoExpr e;
+    e.op = OpKind::kJoin;
+    e.predicate = p;
+    for (const TableSet side : side_tables) {
+      PredSet side_preds = 0;
+      for (int r : SetElements(rest)) {
+        if (IsSubset(q.predicate(r).tables(), side)) {
+          side_preds = With(side_preds, r);
+        }
+      }
+      e.inputs.push_back(memo->GetOrCreateGroup(side_preds, side));
+    }
+    memo->group(group_id).exprs.push_back(e);
+  }
+
+  // Recurse into every input group created above.
+  const size_t n_exprs = memo->group(group_id).exprs.size();
+  for (size_t i = 0; i < n_exprs; ++i) {
+    const std::vector<int> inputs =
+        memo->group(group_id).exprs[i].inputs;
+    for (int in : inputs) ExploreGroup(memo, in);
+  }
+}
+
+int BuildAndExplore(Memo* memo, PredSet preds) {
+  const int id = memo->GetOrCreateGroup(
+      preds, memo->query().TablesOfSubset(preds));
+  ExploreGroup(memo, id);
+  return id;
+}
+
+}  // namespace condsel

@@ -1,0 +1,30 @@
+// Logical exploration rules.
+//
+// A Cascades optimizer populates memo groups by applying transformation
+// rules (join commutativity/associativity, filter pull-up/push-down)
+// until fixpoint. For SPJ queries in canonical predicate-set form, that
+// fixpoint has a closed form: a group for predicate set P holds one entry
+// per predicate that can be applied *last* —
+//   - every filter p of P:  [SELECT, p, {group(P - p)}];
+//   - every join j of P whose removal splits the group's tables in two:
+//     [JOIN, j, {group(side1), group(side2)}];
+// plus [SCAN] entries at the leaves. ExploreGroup generates exactly that
+// fixpoint, recursively.
+
+#ifndef CONDSEL_OPTIMIZER_RULES_H_
+#define CONDSEL_OPTIMIZER_RULES_H_
+
+#include "condsel/optimizer/memo.h"
+
+namespace condsel {
+
+// Fully explores `group_id` and (transitively) its inputs.
+void ExploreGroup(Memo* memo, int group_id);
+
+// Creates and fully explores the group for predicate subset `preds` of
+// the memo's query. Returns its id.
+int BuildAndExplore(Memo* memo, PredSet preds);
+
+}  // namespace condsel
+
+#endif  // CONDSEL_OPTIMIZER_RULES_H_

@@ -1,0 +1,40 @@
+// A small SQL-ish parser producing canonical SPJ queries.
+//
+// Accepted grammar (keywords case-insensitive):
+//
+//   query  := SELECT COUNT(*) FROM table (, table)* WHERE pred (AND pred)*
+//   pred   := col = col                      -- equi-join (different tables)
+//           | col = INT | col != ...         -- (only =, ranges below)
+//           | col < INT | col <= INT | col > INT | col >= INT
+//           | col BETWEEN INT AND INT
+//   col    := table.column
+//
+// Range predicates over the same column are *not* merged — each becomes
+// one predicate, matching the paper's canonical form where every p_i is
+// its own conjunct. Open-ended comparisons use the column's declared
+// domain bounds for the missing endpoint.
+//
+// The parser reports errors by value (no exceptions), with a message
+// pointing at the offending token.
+
+#ifndef CONDSEL_PARSER_PARSER_H_
+#define CONDSEL_PARSER_PARSER_H_
+
+#include <string>
+
+#include "condsel/catalog/catalog.h"
+#include "condsel/query/query.h"
+
+namespace condsel {
+
+struct ParseResult {
+  bool ok = false;
+  Query query;
+  std::string error;  // set when !ok
+};
+
+ParseResult ParseQuery(const Catalog& catalog, const std::string& sql);
+
+}  // namespace condsel
+
+#endif  // CONDSEL_PARSER_PARSER_H_

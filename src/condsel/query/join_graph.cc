@@ -1,0 +1,107 @@
+#include "condsel/query/join_graph.h"
+
+#include <algorithm>
+
+#include "condsel/common/macros.h"
+
+namespace condsel {
+
+UnionFind::UnionFind(int n) : parent_(static_cast<size_t>(n)) {
+  for (int i = 0; i < n; ++i) parent_[static_cast<size_t>(i)] = i;
+}
+
+int UnionFind::Find(int x) {
+  while (parent_[static_cast<size_t>(x)] != x) {
+    parent_[static_cast<size_t>(x)] =
+        parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+    x = parent_[static_cast<size_t>(x)];
+  }
+  return x;
+}
+
+void UnionFind::Union(int a, int b) {
+  const int ra = Find(a), rb = Find(b);
+  if (ra != rb) parent_[static_cast<size_t>(ra)] = rb;
+}
+
+std::vector<PredSet> ConnectedComponents(const std::vector<Predicate>& preds,
+                                         PredSet subset) {
+  std::vector<PredSet> components;
+  if (subset == 0) return components;
+
+  // Union tables linked by each predicate in the subset; two predicates
+  // end up connected iff their table sets meet transitively.
+  UnionFind uf(32);
+  for (int i : SetElements(subset)) {
+    const Predicate& p = preds[static_cast<size_t>(i)];
+    if (p.is_join()) {
+      uf.Union(p.left().table, p.right().table);
+    }
+  }
+
+  // Group predicates by the root of (any of) their tables. A filter
+  // belongs to the component of its single table; a join's two tables are
+  // already unioned.
+  std::vector<std::pair<int, int>> root_and_pred;  // (table root, pred idx)
+  for (int i : SetElements(subset)) {
+    const Predicate& p = preds[static_cast<size_t>(i)];
+    const int root = uf.Find(
+        p.is_join() ? p.left().table : p.column().table);
+    root_and_pred.emplace_back(root, i);
+  }
+
+  // Stable grouping that keeps components ordered by lowest pred index.
+  std::vector<int> seen_roots;
+  for (const auto& [root, i] : root_and_pred) {
+    auto it = std::find(seen_roots.begin(), seen_roots.end(), root);
+    if (it == seen_roots.end()) {
+      seen_roots.push_back(root);
+      components.push_back(1u << i);
+    } else {
+      components[static_cast<size_t>(it - seen_roots.begin())] |= 1u << i;
+    }
+  }
+  return components;
+}
+
+bool IsSeparable(const std::vector<Predicate>& preds, PredSet subset) {
+  return ConnectedComponents(preds, subset).size() >= 2;
+}
+
+std::vector<PredSet> ConnectedSubsets(const std::vector<Predicate>& preds,
+                                      PredSet candidates, int max_size) {
+  std::vector<PredSet> out;
+  const std::vector<int> elems = SetElements(candidates);
+  const int n = static_cast<int>(elems.size());
+  CONDSEL_CHECK(n <= 20);
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    if (SetSize(mask) > max_size) continue;
+    PredSet subset = 0;
+    for (int b = 0; b < n; ++b) {
+      if (Contains(mask, b)) {
+        subset = With(subset, elems[static_cast<size_t>(b)]);
+      }
+    }
+    if (ConnectedComponents(preds, subset).size() == 1) {
+      out.push_back(subset);
+    }
+  }
+  return out;
+}
+
+bool JoinsConnectTables(const std::vector<Predicate>& preds, PredSet subset) {
+  const TableSet tables = TablesOf(preds, subset);
+  if (tables == 0) return true;
+  UnionFind uf(32);
+  for (int i : SetElements(subset)) {
+    const Predicate& p = preds[static_cast<size_t>(i)];
+    if (p.is_join()) uf.Union(p.left().table, p.right().table);
+  }
+  const std::vector<int> table_ids = SetElements(tables);
+  for (size_t k = 1; k < table_ids.size(); ++k) {
+    if (!uf.Connected(table_ids[0], table_ids[k])) return false;
+  }
+  return true;
+}
+
+}  // namespace condsel

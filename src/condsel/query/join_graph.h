@@ -1,0 +1,55 @@
+// Connectivity over predicate sets.
+//
+// Two predicates are connected when their table sets transitively
+// intersect. The connected components of P ∪ Q are exactly the factors of
+// the paper's *standard decomposition* (Lemma 2): Sel_R(P|Q) is separable
+// (Definition 2) iff there is more than one component.
+
+#ifndef CONDSEL_QUERY_JOIN_GRAPH_H_
+#define CONDSEL_QUERY_JOIN_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "condsel/query/predicate.h"
+#include "condsel/query/predicate_set.h"
+
+namespace condsel {
+
+// Union-find over a small universe of integer ids (tables).
+class UnionFind {
+ public:
+  explicit UnionFind(int n);
+
+  int Find(int x);
+  void Union(int a, int b);
+  bool Connected(int a, int b) { return Find(a) == Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+// Partitions `subset` (a bitmask over `preds`) into connected components.
+// Components are returned as bitmasks, ordered by their lowest predicate
+// index, which makes the output canonical (used by Lemma 2's uniqueness).
+std::vector<PredSet> ConnectedComponents(const std::vector<Predicate>& preds,
+                                         PredSet subset);
+
+// True iff `subset` has >= 2 connected components (Definition 2 with
+// Q = empty; callers pass P ∪ Q for conditional expressions).
+bool IsSeparable(const std::vector<Predicate>& preds, PredSet subset);
+
+// True iff the *tables* referenced by `subset` form one connected piece
+// when linked by the join predicates inside `subset`. Differs from
+// ConnectedComponents when a filter references a table no join touches.
+bool JoinsConnectTables(const std::vector<Predicate>& preds, PredSet subset);
+
+// All non-empty subsets of `candidates` with at most `max_size` elements
+// that form a single connected component. Used for SIT pool generation
+// (connected join expressions) and for enumerating plan-like sub-queries.
+std::vector<PredSet> ConnectedSubsets(const std::vector<Predicate>& preds,
+                                      PredSet candidates, int max_size);
+
+}  // namespace condsel
+
+#endif  // CONDSEL_QUERY_JOIN_GRAPH_H_

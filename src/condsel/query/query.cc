@@ -1,0 +1,44 @@
+#include "condsel/query/query.h"
+
+#include <algorithm>
+
+#include "condsel/catalog/catalog.h"
+#include "condsel/common/macros.h"
+
+namespace condsel {
+
+Query::Query(std::vector<Predicate> predicates)
+    : predicates_(std::move(predicates)) {
+  CONDSEL_CHECK(static_cast<int>(predicates_.size()) <= kMaxPredicates);
+  for (int i = 0; i < num_predicates(); ++i) {
+    const Predicate& p = predicates_[static_cast<size_t>(i)];
+    tables_ |= p.tables();
+    if (p.is_join()) {
+      joins_ = With(joins_, i);
+    } else {
+      filters_ = With(filters_, i);
+    }
+  }
+}
+
+std::vector<Predicate> Query::CanonicalSubset(PredSet subset) const {
+  std::vector<Predicate> out;
+  out.reserve(static_cast<size_t>(SetSize(subset)));
+  for (int i : SetElements(subset)) {
+    out.push_back(predicates_[static_cast<size_t>(i)]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Query::ToString(const Catalog& catalog) const {
+  std::string s = "sigma{";
+  for (int i = 0; i < num_predicates(); ++i) {
+    if (i > 0) s += " AND ";
+    s += predicates_[static_cast<size_t>(i)].ToString(catalog);
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace condsel

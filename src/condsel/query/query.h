@@ -1,0 +1,67 @@
+// The canonical SPJ query: an ordered list of predicates over a set of
+// tables (Section 2). Predicate positions are stable, so PredSet bitmasks
+// unambiguously name predicate subsets of this query.
+
+#ifndef CONDSEL_QUERY_QUERY_H_
+#define CONDSEL_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "condsel/query/predicate.h"
+#include "condsel/query/predicate_set.h"
+
+namespace condsel {
+
+class Catalog;
+
+class Query {
+ public:
+  Query() = default;
+  explicit Query(std::vector<Predicate> predicates);
+
+  int num_predicates() const {
+    return static_cast<int>(predicates_.size());
+  }
+  const Predicate& predicate(int i) const {
+    return predicates_[static_cast<size_t>(i)];
+  }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+  // All predicates of this query as a bitmask.
+  PredSet all_predicates() const {
+    return num_predicates() == 0
+               ? 0u
+               : (num_predicates() == kMaxPredicates
+                      ? ~0u
+                      : (1u << num_predicates()) - 1u);
+  }
+
+  // tables(P) for P = all predicates.
+  TableSet tables() const { return tables_; }
+
+  // tables(P) for an arbitrary subset.
+  TableSet TablesOfSubset(PredSet subset) const {
+    return TablesOf(predicates_, subset);
+  }
+
+  // Subset of `all_predicates()` that are joins / filters.
+  PredSet join_predicates() const { return joins_; }
+  PredSet filter_predicates() const { return filters_; }
+
+  // Extracts the selected predicates as a sorted (canonical) vector —
+  // the key used by cross-query caches (cardinalities, SITs).
+  std::vector<Predicate> CanonicalSubset(PredSet subset) const;
+
+  std::string ToString(const Catalog& catalog) const;
+
+ private:
+  std::vector<Predicate> predicates_;
+  TableSet tables_ = 0;
+  PredSet joins_ = 0;
+  PredSet filters_ = 0;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_QUERY_QUERY_H_

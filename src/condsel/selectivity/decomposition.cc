@@ -1,0 +1,88 @@
+#include "condsel/selectivity/decomposition.h"
+
+#include <cmath>
+
+#include "condsel/common/macros.h"
+
+namespace condsel {
+
+uint64_t Factorial(int n) {
+  CONDSEL_CHECK(n >= 0 && n <= 20);
+  uint64_t f = 1;
+  for (int i = 2; i <= n; ++i) f *= static_cast<uint64_t>(i);
+  return f;
+}
+
+uint64_t Binomial(int n, int k) {
+  CONDSEL_CHECK(n >= 0 && k >= 0 && k <= n);
+  uint64_t r = 1;
+  for (int i = 1; i <= k; ++i) {
+    r = r * static_cast<uint64_t>(n - k + i) / static_cast<uint64_t>(i);
+  }
+  return r;
+}
+
+uint64_t CountDecompositions(int n) {
+  CONDSEL_CHECK(n >= 1 && n <= 15);
+  std::vector<uint64_t> t(static_cast<size_t>(n) + 1);
+  t[0] = 1;  // empty tail: the chain simply ends
+  t[1] = 1;
+  for (int m = 2; m <= n; ++m) {
+    uint64_t sum = 0;
+    for (int i = 1; i <= m; ++i) {
+      sum += Binomial(m, i) * t[static_cast<size_t>(m - i)];
+    }
+    t[static_cast<size_t>(m)] = sum;
+  }
+  return t[static_cast<size_t>(n)];
+}
+
+bool Lemma1LowerBoundHolds(int n) {
+  const double t = static_cast<double>(CountDecompositions(n));
+  const double bound = 0.5 * static_cast<double>(Factorial(n + 1));
+  return t >= bound;
+}
+
+bool Lemma1UpperBoundHolds(int n) {
+  const double t = static_cast<double>(CountDecompositions(n));
+  const double bound =
+      std::pow(1.5, n) * static_cast<double>(Factorial(n));
+  return t <= bound;
+}
+
+namespace {
+
+void Enumerate(PredSet remaining, Decomposition& prefix,
+               const std::function<void(const Decomposition&)>& cb) {
+  if (remaining == 0) {
+    cb(prefix);
+    return;
+  }
+  // Every non-empty subset of `remaining` can head the chain. The
+  // standard (mask - 1) & set walk visits each non-empty submask once,
+  // in decreasing order, ending when it reaches 0.
+  for (PredSet head = remaining; head != 0;
+       head = PrevSubmask(remaining, head)) {
+    prefix.push_back(Factor{head, remaining & ~head});
+    Enumerate(remaining & ~head, prefix, cb);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+void EnumerateChainDecompositions(
+    PredSet full, const std::function<void(const Decomposition&)>& cb) {
+  if (full == 0) return;
+  Decomposition prefix;
+  Enumerate(full, prefix, cb);
+}
+
+uint64_t CountChainDecompositions(PredSet full) {
+  uint64_t count = 0;
+  EnumerateChainDecompositions(full,
+                               [&count](const Decomposition&) { ++count; });
+  return count;
+}
+
+}  // namespace condsel

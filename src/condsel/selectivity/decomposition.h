@@ -1,0 +1,42 @@
+// Decomposition enumeration and counting (Lemma 1).
+//
+// The number of decompositions of Sel(p1, .., pn) follows
+//   T(1) = 1;  T(n) = sum_{i=1..n} C(n, i) * T(n - i)
+// (choose the first factor's P_1, recurse on the rest), and Lemma 1 bounds
+// it by 0.5 * (n+1)! <= T(n) <= 1.5^n * n!. These routines exist for the
+// Lemma-1 bench and for tests that compare the DP against brute force.
+
+#ifndef CONDSEL_SELECTIVITY_DECOMPOSITION_H_
+#define CONDSEL_SELECTIVITY_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "condsel/selectivity/sel_expr.h"
+
+namespace condsel {
+
+// T(n) by the recurrence above. n <= 15 to stay within uint64.
+uint64_t CountDecompositions(int n);
+
+// n! as uint64 (n <= 20).
+uint64_t Factorial(int n);
+
+// Binomial coefficient C(n, k) as uint64.
+uint64_t Binomial(int n, int k);
+
+// Lemma 1: 0.5 * (n+1)! <= T(n) <= 1.5^n * n!.
+bool Lemma1LowerBoundHolds(int n);
+bool Lemma1UpperBoundHolds(int n);
+
+// Invokes `cb` for every chain decomposition of `full` (every ordered
+// partition into non-empty factor heads, conditioned on the rest). The
+// number of callbacks equals CountDecompositions(|full|).
+void EnumerateChainDecompositions(
+    PredSet full, const std::function<void(const Decomposition&)>& cb);
+
+uint64_t CountChainDecompositions(PredSet full);
+
+}  // namespace condsel
+
+#endif  // CONDSEL_SELECTIVITY_DECOMPOSITION_H_

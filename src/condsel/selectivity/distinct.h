@@ -1,0 +1,36 @@
+// Distinct-count (GROUP BY) estimation over query expressions.
+//
+// The paper handles SPJ queries and defers optional Group-By clauses to
+// [3]; this module provides that extension. The cardinality of
+//   SELECT col, .. FROM .. WHERE P GROUP BY col
+// is the number of distinct `col` values in sigma_P(R^x). We estimate it
+// with the same statistics machinery:
+//  1. pick the best SIT(col | Q') with Q' ⊆ P (the matcher's rules);
+//  2. restrict its histogram to any range predicates on `col` itself;
+//  3. scale for the remaining predicates with the Cardenas/Yao formula:
+//     drawing N = |sigma_P| tuples against the SIT's per-value
+//     probabilities, the expected number of distinct values per bucket is
+//     d_b * (1 - (1 - p_v)^N).
+
+#ifndef CONDSEL_SELECTIVITY_DISTINCT_H_
+#define CONDSEL_SELECTIVITY_DISTINCT_H_
+
+#include "condsel/query/query.h"
+#include "condsel/selectivity/get_selectivity.h"
+#include "condsel/sit/sit_matcher.h"
+
+namespace condsel {
+
+class Catalog;
+
+// Estimated number of distinct values of `col` in sigma_P(tables(P)^x),
+// i.e. the GROUP BY `col` output cardinality of the sub-query P. `col`'s
+// table must be referenced by P (or P may be empty for a base-table
+// GROUP BY). `gs` provides the row-count estimate; `matcher` the SITs.
+double EstimateGroupByCardinality(const Catalog& catalog, const Query& query,
+                                  PredSet p, ColumnRef col,
+                                  SitMatcher* matcher, GetSelectivity* gs);
+
+}  // namespace condsel
+
+#endif  // CONDSEL_SELECTIVITY_DISTINCT_H_

@@ -1,0 +1,47 @@
+#include "condsel/selectivity/error_function.h"
+
+#include <cmath>
+
+namespace condsel {
+
+double NIndError::FactorError(const Query& /*query*/, PredSet p, PredSet cond,
+                              const std::vector<SitCandidate>& sits,
+                              double /*estimate*/) const {
+  // Q' = union of the matched SITs' expressions; P and Q - Q' are assumed
+  // independent, contributing |P| * |Q - Q'| assumptions.
+  PredSet q_prime = 0;
+  for (const SitCandidate& c : sits) q_prime |= c.expr_mask;
+  q_prime &= cond;
+  return static_cast<double>(SetSize(p)) *
+         static_cast<double>(SetSize(cond & ~q_prime));
+}
+
+double DiffError::FactorError(const Query& /*query*/, PredSet p,
+                              PredSet /*cond*/,
+                              const std::vector<SitCandidate>& sits,
+                              double /*estimate*/) const {
+  // |P| * (1 - diff), with diff averaged when a factor (a join) uses more
+  // than one SIT (see DESIGN.md; the paper defines the single-SIT case).
+  if (sits.empty()) return static_cast<double>(SetSize(p));
+  double avg_diff = 0.0;
+  for (const SitCandidate& c : sits) avg_diff += c.sit->diff;
+  avg_diff /= static_cast<double>(sits.size());
+  return static_cast<double>(SetSize(p)) * (1.0 - avg_diff);
+}
+
+double OptError::FactorError(const Query& query, PredSet p, PredSet cond,
+                             const std::vector<SitCandidate>& /*sits*/,
+                             double estimate) const {
+  // Log-ratio (q-error style) deviation: since decomposition factors
+  // multiply, |log est - log truth| sums to a bound on the final
+  // estimate's log error, which makes the additive E_merge meaningful.
+  // An absolute difference would let a tiny-selectivity factor with a
+  // huge *relative* error look harmless.
+  constexpr double kEps = 1e-12;
+  const double truth =
+      evaluator_->TrueConditionalSelectivity(query, p, cond);
+  return std::abs(std::log(std::max(truth, kEps)) -
+                  std::log(std::max(estimate, kEps)));
+}
+
+}  // namespace condsel

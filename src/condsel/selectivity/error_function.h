@@ -1,0 +1,85 @@
+// Error functions ranking candidate decompositions (Sections 3.2, 3.5).
+//
+// An error function assigns each factor Sel(P | Q), approximated with a
+// set of SITs, a non-negative score; the decomposition's overall error is
+// the sum (all three paper functions are monotonic and algebraic with
+// E_merge = +, which is what licenses the dynamic program).
+//
+//  - nInd  (Sec 3.2): counts independence assumptions, |P| * |Q - Q'|.
+//  - Diff  (Sec 3.5): |P| * (1 - diff_H); rewards SITs whose expression
+//    genuinely reshapes the attribute's distribution.
+//  - Opt   (Sec 5):   |true Sel(P|Q) - estimate|; the oracle upper bound,
+//    implementable only in an experimental harness with an exact executor.
+
+#ifndef CONDSEL_SELECTIVITY_ERROR_FUNCTION_H_
+#define CONDSEL_SELECTIVITY_ERROR_FUNCTION_H_
+
+#include <limits>
+#include <vector>
+
+#include "condsel/exec/evaluator.h"
+#include "condsel/query/query.h"
+#include "condsel/sit/sit_matcher.h"
+
+namespace condsel {
+
+inline constexpr double kInfiniteError =
+    std::numeric_limits<double>::infinity();
+
+class ErrorFunction {
+ public:
+  virtual ~ErrorFunction() = default;
+
+  virtual const char* name() const = 0;
+
+  // Opt needs the estimated value of the factor to score it; nInd and
+  // Diff are purely structural. getSelectivity uses this to defer
+  // histogram manipulation out of the search loop (Fig. 8's timing split).
+  virtual bool NeedsEstimate() const { return false; }
+
+  // Error of approximating Sel(P | Q) with `sits` (their expressions are
+  // the Q'_i ⊆ Q). `estimate` is only meaningful when NeedsEstimate().
+  virtual double FactorError(const Query& query, PredSet p, PredSet cond,
+                             const std::vector<SitCandidate>& sits,
+                             double estimate) const = 0;
+
+  // E_merge: all supported aggregates are sums.
+  static double Merge(double a, double b) { return a + b; }
+};
+
+class NIndError final : public ErrorFunction {
+ public:
+  const char* name() const override { return "nInd"; }
+  double FactorError(const Query& query, PredSet p, PredSet cond,
+                     const std::vector<SitCandidate>& sits,
+                     double estimate) const override;
+};
+
+class DiffError final : public ErrorFunction {
+ public:
+  const char* name() const override { return "Diff"; }
+  double FactorError(const Query& query, PredSet p, PredSet cond,
+                     const std::vector<SitCandidate>& sits,
+                     double estimate) const override;
+};
+
+// The oracle. Holds a (non-owned) evaluator to obtain true conditional
+// selectivities. Only of theoretical interest (Section 5): it peeks at
+// the data, but it bounds what any ranking heuristic could achieve.
+class OptError final : public ErrorFunction {
+ public:
+  explicit OptError(Evaluator* evaluator) : evaluator_(evaluator) {}
+
+  const char* name() const override { return "Opt"; }
+  bool NeedsEstimate() const override { return true; }
+  double FactorError(const Query& query, PredSet p, PredSet cond,
+                     const std::vector<SitCandidate>& sits,
+                     double estimate) const override;
+
+ private:
+  Evaluator* evaluator_;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_SELECTIVITY_ERROR_FUNCTION_H_

@@ -1,0 +1,75 @@
+#include "condsel/selectivity/exhaustive.h"
+
+#include "condsel/selectivity/separability.h"
+
+namespace condsel {
+namespace {
+
+struct SearchState {
+  const Query* query;
+  FactorApproximator* approximator;
+  bool separable_first;
+  uint64_t nodes = 0;
+};
+
+// Returns {error, selectivity} for the best decomposition of Sel(p).
+std::pair<double, double> Best(SearchState& st, PredSet p) {
+  ++st.nodes;
+  if (p == 0) return {0.0, 1.0};
+
+  const std::vector<PredSet> comps = StandardDecomposition(*st.query, p);
+  double best_err = kInfiniteError;
+  double best_sel = 0.0;
+
+  if (comps.size() > 1) {
+    double err = 0.0, sel = 1.0;
+    bool ok = true;
+    for (PredSet c : comps) {
+      const auto [ce, cs] = Best(st, c);
+      if (ce == kInfiniteError) {
+        ok = false;
+        break;
+      }
+      err = ErrorFunction::Merge(err, ce);
+      sel *= cs;
+    }
+    if (ok) {
+      best_err = err;
+      best_sel = sel;
+    }
+    if (st.separable_first) return {best_err, best_sel};
+  }
+
+  // Atomic decompositions: every non-empty P' heads a factor.
+  for (PredSet p_prime = p; p_prime != 0;
+       p_prime = PrevSubmask(p, p_prime)) {
+    const PredSet q = p & ~p_prime;
+    FactorChoice choice = st.approximator->Score(*st.query, p_prime, q);
+    if (!choice.feasible) continue;
+    const auto [qe, qs] = Best(st, q);
+    if (qe == kInfiniteError) continue;
+    const double err = ErrorFunction::Merge(choice.error, qe);
+    if (err < best_err) {
+      best_err = err;
+      best_sel =
+          st.approximator->Estimate(*st.query, p_prime, choice) * qs;
+    }
+  }
+  return {best_err, best_sel};
+}
+
+}  // namespace
+
+ExhaustiveResult ExhaustiveBest(const Query& query, PredSet p,
+                                FactorApproximator* approximator,
+                                bool separable_first) {
+  SearchState st{&query, approximator, separable_first, 0};
+  const auto [err, sel] = Best(st, p);
+  ExhaustiveResult r;
+  r.error = err;
+  r.selectivity = sel;
+  r.nodes_explored = st.nodes;
+  return r;
+}
+
+}  // namespace condsel

@@ -1,0 +1,36 @@
+// Brute-force reference search over decompositions.
+//
+// Exists to validate Theorem 1 experimentally: the DP must return the
+// minimum error over all decompositions it is allowed to consider. The
+// reference recursion tries *every* non-empty P' at every step — no
+// memoization, no separability pruning unless requested — and is
+// exponential-factorial, so only small queries (n <= ~6) are practical.
+
+#ifndef CONDSEL_SELECTIVITY_EXHAUSTIVE_H_
+#define CONDSEL_SELECTIVITY_EXHAUSTIVE_H_
+
+#include <cstdint>
+
+#include "condsel/query/query.h"
+#include "condsel/selectivity/factor_approx.h"
+
+namespace condsel {
+
+struct ExhaustiveResult {
+  double error = kInfiniteError;
+  double selectivity = 0.0;
+  uint64_t nodes_explored = 0;
+};
+
+// Minimum merged error over decompositions of Sel(P), with factors scored
+// by `approximator`. When `separable_first` is set, separable subsets are
+// forced through their standard decomposition (the DP's pruned space);
+// otherwise atomic decompositions are tried on separable subsets too (the
+// full space, which by Theorem 1 must not beat the pruned one).
+ExhaustiveResult ExhaustiveBest(const Query& query, PredSet p,
+                                FactorApproximator* approximator,
+                                bool separable_first);
+
+}  // namespace condsel
+
+#endif  // CONDSEL_SELECTIVITY_EXHAUSTIVE_H_

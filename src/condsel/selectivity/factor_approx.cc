@@ -1,0 +1,172 @@
+#include "condsel/selectivity/factor_approx.h"
+
+#include <algorithm>
+
+#include "condsel/common/macros.h"
+#include "condsel/histogram/histogram_join.h"
+
+namespace condsel {
+
+FactorApproximator::FactorApproximator(SitMatcher* matcher,
+                                       const ErrorFunction* error_fn)
+    : matcher_(matcher), error_fn_(error_fn) {
+  CONDSEL_CHECK(matcher != nullptr);
+  CONDSEL_CHECK(error_fn != nullptr);
+}
+
+bool FactorApproximator::SplitShape(const Query& query, PredSet p,
+                                    int* join_pred,
+                                    std::vector<int>* filter_preds) const {
+  *join_pred = -1;
+  filter_preds->clear();
+  for (int i : SetElements(p)) {
+    const Predicate& pred = query.predicate(i);
+    if (pred.is_join()) {
+      if (*join_pred >= 0) return false;  // at most one join
+      *join_pred = i;
+    } else {
+      filter_preds->push_back(i);
+    }
+  }
+  if (*join_pred < 0) {
+    // Pure filters: a single filter (unidimensional SIT) or a pair of
+    // filters (multidimensional SIT over the attribute pair).
+    return filter_preds->size() == 1 || filter_preds->size() == 2;
+  }
+  // Join plus filters: every filter must be over one of the join columns
+  // (Example 3: the join's result histogram covers exactly that
+  // attribute).
+  const Predicate& j = query.predicate(*join_pred);
+  for (int f : *filter_preds) {
+    const ColumnRef c = query.predicate(f).column();
+    if (c != j.left() && c != j.right()) return false;
+  }
+  return true;
+}
+
+bool FactorApproximator::SupportedShape(const Query& query, PredSet p) const {
+  if (p == 0) return false;
+  int join_pred;
+  std::vector<int> filters;
+  return SplitShape(query, p, &join_pred, &filters);
+}
+
+FactorChoice FactorApproximator::Score(const Query& query, PredSet p,
+                                       PredSet cond) {
+  FactorChoice best;
+  int join_pred;
+  std::vector<int> filters;
+  if (!SplitShape(query, p, &join_pred, &filters)) return best;
+
+  // Section 3.4's pruning: a join factor conditioned on filter predicates
+  // has no SIT that could reflect them (join columns carry only base
+  // histograms), so the approximation would be the plain unconditioned
+  // join estimate wearing a deceptively low assumption count — the exact
+  // decompositions the paper's example "safely discards". Join factors
+  // are therefore only approximable under join-only conditioning.
+  if (join_pred >= 0 && (cond & query.filter_predicates()) != 0) {
+    return best;
+  }
+
+  const bool needs_estimate = error_fn_->NeedsEstimate();
+
+  auto consider = [&](std::vector<SitCandidate> sits) {
+    double estimate = -1.0;
+    if (needs_estimate) estimate = EstimateWith(query, p, sits);
+    const double err =
+        error_fn_->FactorError(query, p, cond, sits, estimate);
+    // Deterministic tie-break: prefer heavier conditioning (larger Q').
+    auto q_prime_size = [&](const std::vector<SitCandidate>& ss) {
+      PredSet m = 0;
+      for (const SitCandidate& c : ss) m |= c.expr_mask;
+      return SetSize(m & cond);
+    };
+    if (err < best.error ||
+        (err == best.error && best.feasible &&
+         q_prime_size(sits) > q_prime_size(best.sits))) {
+      best.feasible = true;
+      best.error = err;
+      best.estimate = estimate;
+      best.sits = std::move(sits);
+    }
+  };
+
+  if (join_pred < 0 && filters.size() == 2) {
+    // Filter pair: needs a multidimensional SIT over both attributes.
+    const Predicate& fa = query.predicate(filters[0]);
+    const Predicate& fb = query.predicate(filters[1]);
+    for (const SitCandidate& c :
+         matcher_->Candidates2(fa.column(), fb.column(), cond)) {
+      consider({c});
+    }
+  } else if (join_pred < 0) {
+    // Single filter.
+    const Predicate& f = query.predicate(filters[0]);
+    for (const SitCandidate& c : matcher_->Candidates(f.column(), cond)) {
+      consider({c});
+    }
+  } else {
+    // One join (plus optional filters on its columns): pick one SIT per
+    // side, try all maximal pairs.
+    const Predicate& j = query.predicate(join_pred);
+    const std::vector<SitCandidate> left =
+        matcher_->Candidates(j.left(), cond);
+    const std::vector<SitCandidate> right =
+        matcher_->Candidates(j.right(), cond);
+    for (const SitCandidate& cl : left) {
+      for (const SitCandidate& cr : right) {
+        consider({cl, cr});
+      }
+    }
+  }
+  return best;
+}
+
+double FactorApproximator::EstimateWith(
+    const Query& query, PredSet p,
+    const std::vector<SitCandidate>& sits) const {
+  int join_pred;
+  std::vector<int> filters;
+  CONDSEL_CHECK(SplitShape(query, p, &join_pred, &filters));
+
+  if (join_pred < 0 && filters.size() == 2) {
+    CONDSEL_CHECK(sits.size() == 1);
+    const Sit& sit = *sits[0].sit;
+    CONDSEL_CHECK(sit.is_multidim());
+    const Predicate& fa = query.predicate(filters[0]);
+    const Predicate& fb = query.predicate(filters[1]);
+    // Order the ranges by the SIT's canonical (attr, attr2) order.
+    const bool a_first = fa.column() == sit.attr;
+    const Predicate& fx = a_first ? fa : fb;
+    const Predicate& fy = a_first ? fb : fa;
+    return sit.histogram2d.RangeSelectivity(fx.lo(), fx.hi(), fy.lo(),
+                                            fy.hi());
+  }
+  if (join_pred < 0) {
+    CONDSEL_CHECK(sits.size() == 1);
+    const Predicate& f = query.predicate(filters[0]);
+    return sits[0].sit->histogram.RangeSelectivity(f.lo(), f.hi());
+  }
+
+  CONDSEL_CHECK(sits.size() == 2);
+  const JoinEstimate je =
+      JoinHistograms(sits[0].sit->histogram, sits[1].sit->histogram);
+  double sel = je.selectivity;
+  // Example 3: remaining filters over the join attribute are estimated on
+  // the join's result histogram (frequencies are already normalized to
+  // the join result).
+  for (int f : filters) {
+    const Predicate& fp = query.predicate(f);
+    sel *= je.result.RangeSelectivity(fp.lo(), fp.hi());
+  }
+  return sel;
+}
+
+double FactorApproximator::Estimate(const Query& query, PredSet p,
+                                    const FactorChoice& choice) const {
+  CONDSEL_CHECK(choice.feasible);
+  if (choice.estimate >= 0.0) return choice.estimate;
+  return EstimateWith(query, p, choice.sits);
+}
+
+}  // namespace condsel

@@ -1,0 +1,75 @@
+// Approximating a single selectivity factor with SITs (Section 3.3).
+//
+// Supported factor shapes for Sel(P' | Q):
+//  - P' = one filter predicate: one SIT over the filter's attribute;
+//  - P' = two filter predicates: one multidimensional SIT over the
+//    attribute pair (Section 3.3's attribute-set form), capturing the
+//    filters' correlation with no independence assumption between them;
+//  - P' = one join predicate: two SITs (one per side) combined with a
+//    histogram join (the wildcard transform of Sec 3.3 specialized to
+//    unidimensional SITs, which is what the paper's pools contain);
+//  - P' = one join plus filters over the join's own columns: histogram
+//    join followed by range estimation on the result (Example 3).
+// Any other multi-predicate P' would need a multidimensional SIT and is
+// reported infeasible (error = infinity), exactly as getSelectivity's
+// line 12 treats factors with no applicable statistics — the DP then
+// reaches those predicates through further atomic decompositions.
+
+#ifndef CONDSEL_SELECTIVITY_FACTOR_APPROX_H_
+#define CONDSEL_SELECTIVITY_FACTOR_APPROX_H_
+
+#include <string>
+#include <vector>
+
+#include "condsel/query/query.h"
+#include "condsel/selectivity/error_function.h"
+#include "condsel/sit/sit_matcher.h"
+
+namespace condsel {
+
+struct FactorChoice {
+  bool feasible = false;
+  double error = kInfiniteError;
+  // Chosen SITs: {filter SIT}, or {left join SIT, right join SIT}.
+  std::vector<SitCandidate> sits;
+  // Filled by Score() only when the error function needs estimates;
+  // otherwise computed later by Estimate().
+  double estimate = -1.0;
+};
+
+class FactorApproximator {
+ public:
+  FactorApproximator(SitMatcher* matcher, const ErrorFunction* error_fn);
+
+  // Cheap structural test: could Sel(P' | ...) be approximated at all?
+  bool SupportedShape(const Query& query, PredSet p) const;
+
+  // Picks the SITs minimizing the error function for Sel(P' | Q). Invokes
+  // the view-matching routine (SitMatcher::Candidates); this is the
+  // "decomposition analysis" side of the Fig. 8 timing split.
+  FactorChoice Score(const Query& query, PredSet p, PredSet cond);
+
+  // Histogram manipulation: evaluates the estimate of Sel(P' | Q) with
+  // the chosen SITs.
+  double Estimate(const Query& query, PredSet p,
+                  const FactorChoice& choice) const;
+
+  const ErrorFunction& error_fn() const { return *error_fn_; }
+  SitMatcher& matcher() { return *matcher_; }
+
+ private:
+  // Splits P' into its join predicate (if any) and filters; returns false
+  // for unsupported shapes.
+  bool SplitShape(const Query& query, PredSet p, int* join_pred,
+                  std::vector<int>* filter_preds) const;
+
+  double EstimateWith(const Query& query, PredSet p,
+                      const std::vector<SitCandidate>& sits) const;
+
+  SitMatcher* matcher_;
+  const ErrorFunction* error_fn_;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_SELECTIVITY_FACTOR_APPROX_H_

@@ -1,0 +1,211 @@
+#include "condsel/selectivity/get_selectivity.h"
+
+#include <chrono>
+
+#include "condsel/catalog/catalog.h"
+#include "condsel/common/macros.h"
+#include "condsel/selectivity/sel_expr.h"
+#include "condsel/selectivity/separability.h"
+
+namespace condsel {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+GetSelectivity::GetSelectivity(const Query* query,
+                               FactorApproximator* approximator)
+    : query_(query), approximator_(approximator) {
+  CONDSEL_CHECK(query != nullptr);
+  CONDSEL_CHECK(approximator != nullptr);
+}
+
+SelEstimate GetSelectivity::Compute(PredSet p) {
+  const Entry& e = ComputeEntry(p);
+  return SelEstimate{e.selectivity, e.error};
+}
+
+const GetSelectivity::Entry& GetSelectivity::ComputeEntry(PredSet p) {
+  auto it = memo_.find(p);
+  if (it != memo_.end()) {
+    ++stats_.memo_hits;
+    return it->second;
+  }
+  ++stats_.subproblems;
+
+  Entry entry;
+  if (p == 0) {
+    entry.kind = Kind::kEmpty;
+    entry.selectivity = 1.0;
+    entry.error = 0.0;
+    return memo_.emplace(p, std::move(entry)).first->second;
+  }
+
+  const auto t0 = Clock::now();
+  const std::vector<PredSet> components = StandardDecomposition(*query_, p);
+  if (components.size() > 1) {
+    // Lines 3-7: separable — solve the standard decomposition's factors
+    // independently; Property 2 makes the product exact.
+    entry.kind = Kind::kSeparable;
+    entry.components = components;
+    stats_.analysis_seconds += Seconds(t0, Clock::now());
+    double sel = 1.0;
+    double err = 0.0;
+    for (PredSet comp : components) {
+      const Entry& ce = ComputeEntry(comp);
+      sel *= ce.selectivity;
+      err = ErrorFunction::Merge(err, ce.error);
+    }
+    entry.selectivity = sel;
+    entry.error = err;
+    return memo_.emplace(p, std::move(entry)).first->second;
+  }
+  stats_.analysis_seconds += Seconds(t0, Clock::now());
+
+  // Lines 9-17: non-separable — try every atomic decomposition
+  // Sel(P'|Q) * Sel(Q) whose factor some SIT could approximate. With
+  // unidimensional SITs the approximable P' are single predicates and
+  // one-join-plus-filters-on-its-columns combinations; all other P' have
+  // error infinity (line 12's "no SITs available") and exploring them
+  // would never win, so they are skipped outright.
+  // Filters are enumerated before joins: nInd scores many decompositions
+  // equally (the paper's Section 3.5 motivation), and on ties the
+  // first-seen candidate wins. A filter in the head factor is conditioned
+  // on the joins, where filter-attribute SITs actually capture the
+  // dependence; a join head would be estimated from base histograms,
+  // silently assuming independence from every filter.
+  std::vector<PredSet> factor_candidates;
+  for (int i : SetElements(p)) {
+    if (query_->predicate(i).is_filter()) {
+      factor_candidates.push_back(1u << i);
+    }
+  }
+  // Filter pairs (approximable by multidimensional SITs).
+  {
+    const std::vector<int> fs = SetElements(p & query_->filter_predicates());
+    for (size_t a = 0; a < fs.size(); ++a) {
+      for (size_t b = a + 1; b < fs.size(); ++b) {
+        factor_candidates.push_back((1u << fs[a]) | (1u << fs[b]));
+      }
+    }
+  }
+  for (int i : SetElements(p)) {
+    if (query_->predicate(i).is_join()) factor_candidates.push_back(1u << i);
+  }
+  for (int j : SetElements(p)) {
+    if (!query_->predicate(j).is_join()) continue;
+    const Predicate& join = query_->predicate(j);
+    // Filters of P over the join's columns.
+    std::vector<int> attached;
+    for (int f : SetElements(p)) {
+      if (f == j || !query_->predicate(f).is_filter()) continue;
+      const ColumnRef c = query_->predicate(f).column();
+      if (c == join.left() || c == join.right()) attached.push_back(f);
+    }
+    const int nf = static_cast<int>(attached.size());
+    for (uint32_t m = 1; m < (1u << nf); ++m) {
+      PredSet combo = 1u << j;
+      for (int b = 0; b < nf; ++b) {
+        if (Contains(m, b)) {
+          combo = With(combo, attached[static_cast<size_t>(b)]);
+        }
+      }
+      factor_candidates.push_back(combo);
+    }
+  }
+
+  entry.kind = Kind::kAtomic;
+  double best_error = kInfiniteError;
+  PredSet best_p_prime = 0;
+  FactorChoice best_choice;
+
+  for (PredSet p_prime : factor_candidates) {
+    const PredSet q = p & ~p_prime;
+    // Line 11: recurse before scoring so the merged error is available.
+    const Entry& qe = ComputeEntry(q);
+    const auto t1 = Clock::now();
+    ++stats_.atomic_considered;
+    FactorChoice choice = approximator_->Score(*query_, p_prime, q);
+    stats_.analysis_seconds += Seconds(t1, Clock::now());
+    if (!choice.feasible) continue;
+    const double merged = ErrorFunction::Merge(choice.error, qe.error);
+    if (merged < best_error) {
+      best_error = merged;
+      best_p_prime = p_prime;
+      best_choice = std::move(choice);
+    }
+  }
+
+  CONDSEL_CHECK_MSG(best_p_prime != 0,
+                    "no feasible decomposition: SIT pool must contain base "
+                    "histograms for every referenced column");
+
+  // Lines 16-17: estimate the winning factor with its chosen SITs
+  // (histogram manipulation) and combine with the tail's estimate.
+  const auto t2 = Clock::now();
+  const double factor_sel =
+      approximator_->Estimate(*query_, best_p_prime, best_choice);
+  stats_.histogram_seconds += Seconds(t2, Clock::now());
+  const Entry& tail = ComputeEntry(p & ~best_p_prime);
+
+  entry.best_p_prime = best_p_prime;
+  entry.choice = std::move(best_choice);
+  entry.error = best_error;
+  entry.selectivity = factor_sel * tail.selectivity;
+  return memo_.emplace(p, std::move(entry)).first->second;
+}
+
+std::string GetSelectivity::Explain(PredSet p) const {
+  std::string out;
+  ExplainRec(p, 0, &out);
+  return out;
+}
+
+void GetSelectivity::ExplainRec(PredSet p, int indent,
+                                std::string* out) const {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  auto it = memo_.find(p);
+  if (it == memo_.end()) {
+    *out += pad + "(not computed)\n";
+    return;
+  }
+  const Entry& e = it->second;
+  char buf[128];
+  switch (e.kind) {
+    case Kind::kEmpty:
+      *out += pad + "Sel() = 1\n";
+      break;
+    case Kind::kSeparable:
+      std::snprintf(buf, sizeof(buf),
+                    "separable: sel=%.6g err=%.4g, %zu components\n",
+                    e.selectivity, e.error, e.components.size());
+      *out += pad + buf;
+      for (PredSet comp : e.components) ExplainRec(comp, indent + 1, out);
+      break;
+    case Kind::kAtomic: {
+      std::snprintf(buf, sizeof(buf), "sel=%.6g err=%.4g, factor ",
+                    e.selectivity, e.error);
+      *out += pad + buf;
+      *out += FactorToString(*query_,
+                             Factor{e.best_p_prime, p & ~e.best_p_prime});
+      *out += " via {";
+      for (size_t i = 0; i < e.choice.sits.size(); ++i) {
+        if (i > 0) *out += ", ";
+        char sbuf[64];
+        std::snprintf(sbuf, sizeof(sbuf), "sit#%d(diff=%.3f)",
+                      e.choice.sits[i].sit->id, e.choice.sits[i].sit->diff);
+        *out += sbuf;
+      }
+      *out += "}\n";
+      ExplainRec(p & ~e.best_p_prime, indent + 1, out);
+      break;
+    }
+  }
+}
+
+}  // namespace condsel

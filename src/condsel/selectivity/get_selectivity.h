@@ -1,0 +1,82 @@
+// getSelectivity (Figure 3): dynamic programming over predicate subsets.
+//
+// For a bound query, Compute(P) returns the most accurate estimation of
+// Sel(P) under the configured error function, among all decompositions
+// with non-separable, SIT-approximable factors (Theorem 1):
+//  - separable P is split into its standard decomposition and the parts
+//    solved independently (lines 3-7);
+//  - non-separable P tries every atomic decomposition
+//    Sel(P'|Q) * Sel(Q) whose factor shape some SIT could approximate
+//    (line 12's "no SITs available" cases are skipped up front), keeping
+//    the minimum merged error (lines 9-17);
+//  - everything is memoized, so the optimizer's many sub-plan requests
+//    against the same query cost one DP (Section 4's reuse).
+//
+// The run also collects the statistics the evaluation section reports:
+// decomposition-analysis vs histogram-manipulation time (Fig. 8), memo
+// hits, and subproblem counts.
+
+#ifndef CONDSEL_SELECTIVITY_GET_SELECTIVITY_H_
+#define CONDSEL_SELECTIVITY_GET_SELECTIVITY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "condsel/query/query.h"
+#include "condsel/selectivity/factor_approx.h"
+
+namespace condsel {
+
+struct SelEstimate {
+  double selectivity = 1.0;
+  double error = 0.0;
+};
+
+struct GsStats {
+  uint64_t subproblems = 0;         // memo entries computed
+  uint64_t memo_hits = 0;           // lookups answered from the memo
+  uint64_t atomic_considered = 0;   // atomic decompositions scored
+  double analysis_seconds = 0.0;    // search + view matching + ranking
+  double histogram_seconds = 0.0;   // estimation with the chosen SITs
+};
+
+class GetSelectivity {
+ public:
+  // All pointers are borrowed and must outlive this object. The
+  // approximator's matcher must already be bound to `query`.
+  GetSelectivity(const Query* query, FactorApproximator* approximator);
+
+  // Most accurate estimation of Sel(P). Memoized across calls.
+  SelEstimate Compute(PredSet p);
+
+  // Human-readable best decomposition of a previously computed subset.
+  std::string Explain(PredSet p) const;
+
+  const GsStats& stats() const { return stats_; }
+
+ private:
+  enum class Kind { kEmpty, kSeparable, kAtomic };
+
+  struct Entry {
+    double selectivity = 1.0;
+    double error = 0.0;
+    Kind kind = Kind::kEmpty;
+    PredSet best_p_prime = 0;        // kAtomic: the factor's P'
+    FactorChoice choice;             // kAtomic: chosen SITs
+    std::vector<PredSet> components; // kSeparable
+  };
+
+  const Entry& ComputeEntry(PredSet p);
+  void ExplainRec(PredSet p, int indent, std::string* out) const;
+
+  const Query* query_;
+  FactorApproximator* approximator_;
+  std::unordered_map<PredSet, Entry> memo_;
+  GsStats stats_;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_SELECTIVITY_GET_SELECTIVITY_H_

@@ -1,0 +1,15 @@
+#include "condsel/selectivity/separability.h"
+
+#include "condsel/query/join_graph.h"
+
+namespace condsel {
+
+bool IsSeparableSel(const Query& query, PredSet p, PredSet cond) {
+  return IsSeparable(query.predicates(), p | cond);
+}
+
+std::vector<PredSet> StandardDecomposition(const Query& query, PredSet p) {
+  return ConnectedComponents(query.predicates(), p);
+}
+
+}  // namespace condsel

@@ -1,0 +1,28 @@
+// Separability (Definition 2) and the standard decomposition (Lemma 2).
+//
+// Sel_R(P | Q) is separable when P ∪ Q splits into table-disjoint parts;
+// by Property 2 the expression then factors exactly, with no independence
+// assumption. Repeatedly separating yields the unique standard
+// decomposition into non-separable factors, which getSelectivity (and
+// Assumption 1 on histogram minimality) uses to prune the search space.
+
+#ifndef CONDSEL_SELECTIVITY_SEPARABILITY_H_
+#define CONDSEL_SELECTIVITY_SEPARABILITY_H_
+
+#include <vector>
+
+#include "condsel/query/query.h"
+
+namespace condsel {
+
+// Separability of Sel(P | Q): components of P ∪ Q >= 2.
+bool IsSeparableSel(const Query& query, PredSet p, PredSet cond = 0);
+
+// The unique standard decomposition of Sel(P): the connected components
+// of P, each a non-separable unconditioned factor, ordered canonically by
+// lowest predicate index.
+std::vector<PredSet> StandardDecomposition(const Query& query, PredSet p);
+
+}  // namespace condsel
+
+#endif  // CONDSEL_SELECTIVITY_SEPARABILITY_H_

@@ -1,0 +1,127 @@
+#include "condsel/selftuning/self_tuning_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "condsel/common/macros.h"
+
+namespace condsel {
+
+SelfTuningHistogram::SelfTuningHistogram(int64_t domain_lo, int64_t domain_hi,
+                                         int max_buckets)
+    : domain_lo_(domain_lo), domain_hi_(domain_hi),
+      max_buckets_(max_buckets) {
+  CONDSEL_CHECK(domain_lo <= domain_hi);
+  CONDSEL_CHECK(max_buckets >= 2);
+  buckets_.push_back(Bucket{domain_lo, domain_hi, 1.0});
+}
+
+double SelfTuningHistogram::total_mass() const {
+  double m = 0.0;
+  for (const Bucket& b : buckets_) m += b.mass;
+  return m;
+}
+
+double SelfTuningHistogram::RangeSelectivity(int64_t lo, int64_t hi) const {
+  if (lo > hi) return 0.0;
+  double sel = 0.0;
+  for (const Bucket& b : buckets_) {
+    const int64_t olo = std::max(lo, b.lo);
+    const int64_t ohi = std::min(hi, b.hi);
+    if (olo > ohi) continue;
+    sel += b.mass * static_cast<double>(ohi - olo + 1) /
+           static_cast<double>(b.hi - b.lo + 1);
+  }
+  return sel;
+}
+
+void SelfTuningHistogram::SplitAt(int64_t lo, int64_t hi) {
+  std::vector<Bucket> out;
+  out.reserve(buckets_.size() + 2);
+  for (const Bucket& b : buckets_) {
+    // Candidate interior cut points within b: before `lo`, after `hi`.
+    std::vector<int64_t> cuts;  // cut after value c: [b.lo..c][c+1..b.hi]
+    if (lo > b.lo && lo <= b.hi) cuts.push_back(lo - 1);
+    if (hi >= b.lo && hi < b.hi) cuts.push_back(hi);
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    int64_t start = b.lo;
+    const double width = static_cast<double>(b.hi - b.lo + 1);
+    for (int64_t c : cuts) {
+      Bucket piece{start, c,
+                   b.mass * static_cast<double>(c - start + 1) / width};
+      out.push_back(piece);
+      start = c + 1;
+    }
+    out.push_back(Bucket{start, b.hi,
+                         b.mass * static_cast<double>(b.hi - start + 1) /
+                             width});
+  }
+  buckets_ = std::move(out);
+}
+
+void SelfTuningHistogram::EnforceBudget() {
+  while (static_cast<int>(buckets_.size()) > max_buckets_) {
+    // Merge the adjacent pair with the most similar density (STHoles'
+    // merge penalty, specialized to 1-d).
+    size_t best = 0;
+    double best_penalty = -1.0;
+    for (size_t i = 0; i + 1 < buckets_.size(); ++i) {
+      const double penalty =
+          std::abs(buckets_[i].Density() - buckets_[i + 1].Density()) *
+          static_cast<double>(buckets_[i + 1].hi - buckets_[i].lo + 1);
+      if (best_penalty < 0.0 || penalty < best_penalty) {
+        best_penalty = penalty;
+        best = i;
+      }
+    }
+    buckets_[best].hi = buckets_[best + 1].hi;
+    buckets_[best].mass += buckets_[best + 1].mass;
+    buckets_.erase(buckets_.begin() + static_cast<long>(best) + 1);
+  }
+}
+
+void SelfTuningHistogram::Observe(int64_t lo, int64_t hi, double fraction) {
+  lo = std::max(lo, domain_lo_);
+  hi = std::min(hi, domain_hi_);
+  if (lo > hi) return;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+
+  SplitAt(lo, hi);
+
+  // Mass currently inside / outside the observed range.
+  double inside = 0.0;
+  for (const Bucket& b : buckets_) {
+    if (b.lo >= lo && b.hi <= hi) inside += b.mass;
+  }
+  const double outside = total_mass() - inside;
+
+  // Scale the in-range buckets to the observed fraction (uniform within
+  // the range if nothing was known), and rescale the rest so the total
+  // mass stays 1 — the conservation step ST-histograms use.
+  const double out_target = std::max(0.0, 1.0 - fraction);
+  for (Bucket& b : buckets_) {
+    const bool in = b.lo >= lo && b.hi <= hi;
+    if (in) {
+      if (inside > 1e-12) {
+        b.mass *= fraction / inside;
+      } else {
+        b.mass = fraction * static_cast<double>(b.hi - b.lo + 1) /
+                 static_cast<double>(hi - lo + 1);
+      }
+    } else if (outside > 1e-12) {
+      b.mass *= out_target / outside;
+    }
+  }
+  EnforceBudget();
+}
+
+std::string SelfTuningHistogram::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "SelfTuningHistogram(%zu buckets)",
+                buckets_.size());
+  return buf;
+}
+
+}  // namespace condsel

@@ -1,0 +1,76 @@
+// Workload-aware, self-tuning histograms (related work [1, 5]).
+//
+// The paper's Section 6 situates SITs against the authors' earlier
+// self-tuning line (ST-histograms, STHoles): statistics that never scan
+// the data but refine themselves from query feedback — observed
+// (range, actual cardinality) pairs from executed queries. This is a
+// one-dimensional STHoles-style reconstruction:
+//
+//  - a flat list of disjoint buckets covers the domain;
+//  - Observe(lo, hi, fraction) splits buckets at the feedback range's
+//    boundaries ("drilling"), then sets the in-range mass to the observed
+//    value, scaling the out-of-range mass to keep the total consistent;
+//  - when the bucket budget is exceeded, the two adjacent buckets with
+//    the most similar density are merged (the STHoles merge step).
+//
+// Used by bench_self_tuning to contrast feedback-refined base statistics
+// with SITs under data drift.
+
+#ifndef CONDSEL_SELFTUNING_SELF_TUNING_HISTOGRAM_H_
+#define CONDSEL_SELFTUNING_SELF_TUNING_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace condsel {
+
+class SelfTuningHistogram {
+ public:
+  // Starts from total ignorance: one bucket over [domain_lo, domain_hi]
+  // holding the whole mass (fraction 1).
+  SelfTuningHistogram(int64_t domain_lo, int64_t domain_hi, int max_buckets);
+
+  // Feedback from an executed query: the observed fraction of the
+  // relation with value in [lo, hi] (clamped to the domain). `fraction`
+  // in [0, 1].
+  void Observe(int64_t lo, int64_t hi, double fraction);
+
+  // Estimated fraction of the relation with value in [lo, hi].
+  double RangeSelectivity(int64_t lo, int64_t hi) const;
+
+  size_t num_buckets() const { return buckets_.size(); }
+  double total_mass() const;
+  int64_t domain_lo() const { return domain_lo_; }
+  int64_t domain_hi() const { return domain_hi_; }
+
+  std::string ToString() const;
+
+ private:
+  struct Bucket {
+    int64_t lo = 0;
+    int64_t hi = 0;
+    double mass = 0.0;  // fraction of the relation in [lo, hi]
+
+    double Density() const {
+      return mass / static_cast<double>(hi - lo + 1);
+    }
+  };
+
+  // Ensures bucket boundaries exist at `lo` (as a bucket start) and after
+  // `hi` (as a bucket end) by splitting the covering buckets.
+  void SplitAt(int64_t lo, int64_t hi);
+
+  // Merges most-similar adjacent buckets until within budget.
+  void EnforceBudget();
+
+  int64_t domain_lo_;
+  int64_t domain_hi_;
+  int max_buckets_;
+  std::vector<Bucket> buckets_;  // sorted, disjoint, covering the domain
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_SELFTUNING_SELF_TUNING_HISTOGRAM_H_

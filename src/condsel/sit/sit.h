@@ -1,0 +1,53 @@
+// SIT: a statistic (histogram) built on a query expression [4, 26].
+//
+// SIT_R(a | q1, .., qk) is a histogram over attribute `a` computed on the
+// result of sigma_{q1 ^ .. ^ qk}(R^x). The expression predicates are stored
+// as a canonical (sorted) predicate list over the catalog, so a SIT can be
+// matched against any query that syntactically contains them. An empty
+// expression makes the SIT an ordinary base-table histogram.
+
+#ifndef CONDSEL_SIT_SIT_H_
+#define CONDSEL_SIT_SIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "condsel/catalog/schema.h"
+#include "condsel/histogram/histogram.h"
+#include "condsel/histogram/histogram2d.h"
+#include "condsel/query/predicate.h"
+
+namespace condsel {
+
+class Catalog;
+
+using SitId = int32_t;
+
+struct Sit {
+  SitId id = -1;
+  ColumnRef attr;
+  // Second attribute of a multidimensional SIT — SIT_R(a, b | Q), the
+  // attribute-set form of Section 3.3. Unset (invalid table) for the
+  // common unidimensional case. Canonicalized so attr <= attr2.
+  ColumnRef attr2;
+  // Canonical (sorted) generating expression; join predicates in the
+  // paper's pools, but arbitrary predicates are supported.
+  std::vector<Predicate> expression;
+  Histogram histogram;      // unidimensional SITs
+  Histogram2d histogram2d;  // multidimensional SITs
+  // For unidimensional SITs: the Section 3.5 divergence between the base
+  // distribution of `attr` and its distribution on the expression result
+  // (0 for base histograms by definition). For multidimensional SITs:
+  // the divergence between the joint distribution and the product of its
+  // marginals — the correlation mass only this SIT can capture.
+  double diff = 0.0;
+
+  bool is_base() const { return expression.empty(); }
+  bool is_multidim() const { return attr2.table != kInvalidTableId; }
+  std::string ToString(const Catalog& catalog) const;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_SIT_SIT_H_

@@ -1,0 +1,110 @@
+#include "condsel/sit/sit_advisor.h"
+
+#include "condsel/catalog/catalog.h"
+
+#include <limits>
+#include <map>
+#include <set>
+
+#include "condsel/common/macros.h"
+#include "condsel/query/join_graph.h"
+#include "condsel/selectivity/get_selectivity.h"
+#include "condsel/sit/sit_matcher.h"
+
+namespace condsel {
+namespace {
+
+// Total Diff score of the workload under `pool` (sum over queries of the
+// best decomposition's error for the full query).
+double WorkloadScore(const std::vector<Query>& workload,
+                     const SitPool& pool) {
+  DiffError diff;
+  double total = 0.0;
+  for (const Query& q : workload) {
+    SitMatcher matcher(&pool);
+    matcher.BindQuery(&q);
+    FactorApproximator fa(&matcher, &diff);
+    GetSelectivity gs(&q, &fa);
+    total += gs.Compute(q.all_predicates()).error;
+  }
+  return total;
+}
+
+// Builds the candidate universe (without bases).
+std::vector<Sit> BuildCandidates(const std::vector<Query>& workload,
+                                 const SitBuilder& builder,
+                                 const AdvisorOptions& opt) {
+  // Reuse the pool generator for the 1-d universe, then strip bases.
+  const SitPool universe =
+      GenerateSitPool(workload, opt.max_join_preds, builder);
+  std::vector<Sit> candidates;
+  for (const Sit& s : universe.sits()) {
+    if (!s.is_base()) candidates.push_back(s);
+  }
+
+  if (opt.consider_multidim) {
+    std::set<std::pair<ColumnRef, ColumnRef>> pairs;
+    for (const Query& q : workload) {
+      const std::vector<int> fs = SetElements(q.filter_predicates());
+      for (size_t a = 0; a < fs.size(); ++a) {
+        for (size_t b = a + 1; b < fs.size(); ++b) {
+          ColumnRef ca = q.predicate(fs[a]).column();
+          ColumnRef cb = q.predicate(fs[b]).column();
+          if (ca.table != cb.table) continue;  // base 2-d SITs only
+          if (cb < ca) std::swap(ca, cb);
+          pairs.insert({ca, cb});
+        }
+      }
+    }
+    for (const auto& [ca, cb] : pairs) {
+      candidates.push_back(builder.Build2d(ca, cb, {}));
+    }
+  }
+  return candidates;
+}
+
+}  // namespace
+
+AdvisorResult AdviseSits(const std::vector<Query>& workload,
+                         const SitBuilder& builder,
+                         const AdvisorOptions& options) {
+  CONDSEL_CHECK(options.budget >= 0);
+  AdvisorResult result;
+
+  // Base histograms: always included — for *every* catalog column, as a
+  // real system maintains base statistics independent of any workload.
+  const Catalog& catalog = builder.catalog();
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    for (ColumnId c = 0; c < catalog.table(t).num_columns(); ++c) {
+      result.pool.Add(builder.Build(ColumnRef{t, c}, {}));
+    }
+  }
+  result.initial_score = WorkloadScore(workload, result.pool);
+
+  std::vector<Sit> candidates = BuildCandidates(workload, builder, options);
+  std::vector<bool> used(candidates.size(), false);
+
+  double current = result.initial_score;
+  for (int round = 0; round < options.budget; ++round) {
+    int best = -1;
+    double best_score = current;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (used[c]) continue;
+      SitPool trial = result.pool;
+      trial.Add(candidates[c]);
+      const double score = WorkloadScore(workload, trial);
+      if (score < best_score - 1e-12) {
+        best_score = score;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best < 0) break;  // no candidate improves the score
+    used[static_cast<size_t>(best)] = true;
+    const SitId id = result.pool.Add(candidates[static_cast<size_t>(best)]);
+    result.steps.push_back(AdvisorStep{id, best_score});
+    current = best_score;
+  }
+  return result;
+}
+
+}  // namespace condsel

@@ -1,0 +1,50 @@
+// Workload-driven SIT selection under a budget (extension).
+//
+// The paper assumes a SIT pool is given; a deployment has to decide which
+// SITs to build. This advisor picks greedily: starting from the base
+// histograms, it repeatedly materializes the candidate SIT that most
+// reduces the workload's total getSelectivity Diff score — a purely
+// statistics-side signal (the Section 3.5 ranking), requiring no query
+// execution or ground truth, exactly what a production advisor could
+// afford. bench_sit_advisor validates the choices against true errors.
+
+#ifndef CONDSEL_SIT_SIT_ADVISOR_H_
+#define CONDSEL_SIT_SIT_ADVISOR_H_
+
+#include <vector>
+
+#include "condsel/query/query.h"
+#include "condsel/sit/sit_builder.h"
+#include "condsel/sit/sit_pool.h"
+
+namespace condsel {
+
+struct AdvisorOptions {
+  // Number of SITs to pick beyond the base histograms.
+  int budget = 10;
+  // Candidate universe: every SIT of the J_i pools up to this join count.
+  int max_join_preds = 3;
+  // Also consider 2-d SITs over filter-attribute pairs that co-occur on
+  // one table within a workload query.
+  bool consider_multidim = false;
+};
+
+struct AdvisorStep {
+  SitId chosen;         // id within the returned pool
+  double score_after;   // total workload Diff score after adding it
+};
+
+struct AdvisorResult {
+  // Base histograms plus the chosen SITs, in selection order.
+  SitPool pool;
+  std::vector<AdvisorStep> steps;
+  double initial_score = 0.0;  // bases only
+};
+
+AdvisorResult AdviseSits(const std::vector<Query>& workload,
+                         const SitBuilder& builder,
+                         const AdvisorOptions& options);
+
+}  // namespace condsel
+
+#endif  // CONDSEL_SIT_SIT_ADVISOR_H_

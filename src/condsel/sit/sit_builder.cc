@@ -1,0 +1,199 @@
+#include "condsel/sit/sit_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "condsel/common/macros.h"
+#include "condsel/histogram/diff_metric.h"
+#include "condsel/query/join_graph.h"
+#include "condsel/query/query.h"
+
+namespace condsel {
+
+SitBuilder::SitBuilder(Evaluator* evaluator, SitBuildOptions options)
+    : evaluator_(evaluator), options_(options) {
+  CONDSEL_CHECK(evaluator != nullptr);
+}
+
+const Catalog& SitBuilder::catalog() const { return evaluator_->catalog(); }
+
+Sit SitBuilder::Build(ColumnRef attr,
+                      std::vector<Predicate> expression) const {
+  if (expression.empty()) {
+    const ColumnProjection base =
+        evaluator_->ProjectColumn(Query(std::vector<Predicate>{}), 0, attr);
+    Sit sit;
+    sit.attr = attr;
+    sit.histogram =
+        BuildHistogram(options_.histogram_type, base.values,
+                       static_cast<double>(base.total_tuples),
+                       options_.max_buckets);
+    sit.diff = 0.0;
+    return sit;
+  }
+  std::vector<Sit> sits = BuildMany({attr}, std::move(expression));
+  return std::move(sits[0]);
+}
+
+std::vector<Sit> SitBuilder::BuildMany(
+    const std::vector<ColumnRef>& attrs,
+    std::vector<Predicate> expression) const {
+  CONDSEL_CHECK(!expression.empty());
+  std::sort(expression.begin(), expression.end());
+
+  const Query expr_query(expression);
+  const PredSet all = expr_query.all_predicates();
+  CONDSEL_CHECK_MSG(
+      ConnectedComponents(expr_query.predicates(), all).size() == 1,
+      "SIT expression must be connected");
+
+  // Evaluate the expression once; project each attribute from the
+  // materialized result.
+  const JoinResult jr = evaluator_->EvaluateComponent(expr_query, all);
+  const size_t width = jr.tables.size();
+  const Catalog& catalog = evaluator_->catalog();
+
+  std::vector<Sit> out;
+  out.reserve(attrs.size());
+  for (const ColumnRef& attr : attrs) {
+    const int slot = jr.TableSlot(attr.table);
+    CONDSEL_CHECK_MSG(slot >= 0,
+                      "SIT attribute's table must appear in its expression");
+    const Table& t = catalog.table(attr.table);
+    std::vector<int64_t> values;
+    values.reserve(jr.num_tuples);
+    for (size_t i = 0; i < jr.num_tuples; ++i) {
+      const int64_t v = t.value(
+          jr.tuple_rows[i * width + static_cast<size_t>(slot)], attr.column);
+      if (!IsNull(v)) values.push_back(v);
+    }
+
+    Sit sit;
+    sit.attr = attr;
+    sit.expression = expression;
+    const ColumnProjection base =
+        evaluator_->ProjectColumn(Query(std::vector<Predicate>{}), 0, attr);
+    sit.histogram = BuildHistogram(options_.histogram_type, values,
+                                   static_cast<double>(jr.num_tuples),
+                                   options_.max_buckets);
+    sit.diff = ExactDiff(base.values, values);
+    out.push_back(std::move(sit));
+  }
+  return out;
+}
+
+
+namespace {
+
+// 0.5 * L1 distance between the joint distribution of the pairs and the
+// product of its marginals: the correlation mass a 2-d SIT captures that
+// two unidimensional histograms structurally cannot. Computed on a
+// coarse quantile grid (16 x 16) so sparse-sample noise does not read as
+// correlation.
+double JointVsMarginalsDiff(std::vector<int64_t> xs,
+                            std::vector<int64_t> ys) {
+  if (xs.empty()) return 0.0;
+  constexpr int kBins = 16;
+  const size_t n = xs.size();
+
+  // Quantile bin index of v within the sorted copy of `values`.
+  auto bin_edges = [&](std::vector<int64_t> values) {
+    std::sort(values.begin(), values.end());
+    std::vector<int64_t> edges;  // upper inclusive bound per bin
+    for (int b = 1; b <= kBins; ++b) {
+      const size_t idx =
+          std::min(n - 1, n * static_cast<size_t>(b) / kBins);
+      edges.push_back(values[idx == 0 ? 0 : idx - 1]);
+    }
+    return edges;
+  };
+  const std::vector<int64_t> ex = bin_edges(xs);
+  const std::vector<int64_t> ey = bin_edges(ys);
+  auto bin_of = [&](const std::vector<int64_t>& edges, int64_t v) {
+    for (int b = 0; b < kBins; ++b) {
+      if (v <= edges[static_cast<size_t>(b)]) return b;
+    }
+    return kBins - 1;
+  };
+
+  std::vector<double> joint(kBins * kBins, 0.0);
+  std::vector<double> mx(kBins, 0.0), my(kBins, 0.0);
+  const double w = 1.0 / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int bx = bin_of(ex, xs[i]);
+    const int by = bin_of(ey, ys[i]);
+    joint[static_cast<size_t>(bx * kBins + by)] += w;
+    mx[static_cast<size_t>(bx)] += w;
+    my[static_cast<size_t>(by)] += w;
+  }
+  double l1 = 0.0;
+  for (int bx = 0; bx < kBins; ++bx) {
+    for (int by = 0; by < kBins; ++by) {
+      l1 += std::abs(joint[static_cast<size_t>(bx * kBins + by)] -
+                     mx[static_cast<size_t>(bx)] *
+                         my[static_cast<size_t>(by)]);
+    }
+  }
+  return std::min(1.0, 0.5 * l1);
+}
+
+}  // namespace
+
+Sit SitBuilder::Build2d(ColumnRef a, ColumnRef b,
+                        std::vector<Predicate> expression) const {
+  if (b < a) std::swap(a, b);
+  std::sort(expression.begin(), expression.end());
+
+  Sit sit;
+  sit.attr = a;
+  sit.attr2 = b;
+  sit.expression = expression;
+
+  std::vector<int64_t> xs, ys;
+  double total = 0.0;
+  const Catalog& catalog = evaluator_->catalog();
+  if (expression.empty()) {
+    CONDSEL_CHECK_MSG(a.table == b.table,
+                      "base 2-d histogram needs same-table attributes");
+    const Table& t = catalog.table(a.table);
+    total = static_cast<double>(t.num_rows());
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      const int64_t x = t.value(r, a.column);
+      const int64_t y = t.value(r, b.column);
+      if (IsNull(x) || IsNull(y)) continue;
+      xs.push_back(x);
+      ys.push_back(y);
+    }
+  } else {
+    const Query expr_query(expression);
+    const PredSet all = expr_query.all_predicates();
+    CONDSEL_CHECK_MSG(
+        ConnectedComponents(expr_query.predicates(), all).size() == 1,
+        "SIT expression must be connected");
+    const JoinResult jr = evaluator_->EvaluateComponent(expr_query, all);
+    const int slot_a = jr.TableSlot(a.table);
+    const int slot_b = jr.TableSlot(b.table);
+    CONDSEL_CHECK_MSG(slot_a >= 0 && slot_b >= 0,
+                      "both attributes' tables must appear in the expression");
+    total = static_cast<double>(jr.num_tuples);
+    const Table& ta = catalog.table(a.table);
+    const Table& tb = catalog.table(b.table);
+    const size_t width = jr.tables.size();
+    for (size_t i = 0; i < jr.num_tuples; ++i) {
+      const int64_t x = ta.value(
+          jr.tuple_rows[i * width + static_cast<size_t>(slot_a)], a.column);
+      const int64_t y = tb.value(
+          jr.tuple_rows[i * width + static_cast<size_t>(slot_b)], b.column);
+      if (IsNull(x) || IsNull(y)) continue;
+      xs.push_back(x);
+      ys.push_back(y);
+    }
+  }
+  sit.histogram2d =
+      BuildHistogram2d(xs, ys, total, options_.max_buckets);
+  sit.diff = JointVsMarginalsDiff(std::move(xs), std::move(ys));
+  return sit;
+}
+
+}  // namespace condsel

@@ -1,0 +1,56 @@
+// Constructs SITs by exact evaluation of their generating expression.
+//
+// Mirrors how a real system would create statistics on a view: execute (or
+// sample) the expression, build the histogram over the projected attribute,
+// and record the diff divergence against the base-table distribution
+// (Section 3.5 notes diff is computed once, at creation time).
+
+#ifndef CONDSEL_SIT_SIT_BUILDER_H_
+#define CONDSEL_SIT_SIT_BUILDER_H_
+
+#include <vector>
+
+#include "condsel/exec/evaluator.h"
+#include "condsel/histogram/builders.h"
+#include "condsel/sit/sit.h"
+
+namespace condsel {
+
+struct SitBuildOptions {
+  HistogramType histogram_type = HistogramType::kMaxDiff;
+  int max_buckets = 200;  // the paper's setting
+};
+
+class SitBuilder {
+ public:
+  SitBuilder(Evaluator* evaluator, SitBuildOptions options);
+
+  // Builds SIT(attr | expression). An empty expression builds the base
+  // histogram. The returned Sit has id == -1 (assigned by SitPool).
+  Sit Build(ColumnRef attr, std::vector<Predicate> expression) const;
+
+  // Builds several SITs sharing one generating expression, evaluating the
+  // expression only once (pool generation creates many SITs per
+  // expression). `expression` must be non-empty and connected, and every
+  // attribute's table must appear in it.
+  std::vector<Sit> BuildMany(const std::vector<ColumnRef>& attrs,
+                             std::vector<Predicate> expression) const;
+
+  // Builds the multidimensional SIT(a, b | expression) over the joint
+  // distribution of two attributes. With an empty expression both
+  // attributes must live in the same table (a base-table 2-d histogram);
+  // otherwise both tables must appear in the (connected) expression. The
+  // SIT's diff records the joint-vs-product-of-marginals divergence.
+  Sit Build2d(ColumnRef a, ColumnRef b,
+              std::vector<Predicate> expression) const;
+
+  const Catalog& catalog() const;
+
+ private:
+  Evaluator* evaluator_;
+  SitBuildOptions options_;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_SIT_SIT_BUILDER_H_

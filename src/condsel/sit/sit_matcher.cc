@@ -1,0 +1,99 @@
+#include "condsel/sit/sit_matcher.h"
+
+#include <algorithm>
+
+#include "condsel/common/macros.h"
+
+namespace condsel {
+
+SitMatcher::SitMatcher(const SitPool* pool) : pool_(pool) {
+  CONDSEL_CHECK(pool != nullptr);
+}
+
+void SitMatcher::BindQuery(const Query* query) {
+  CONDSEL_CHECK(query != nullptr);
+  query_ = query;
+  applicable_.clear();
+  applicable2_.clear();
+
+  // Map each pool SIT's expression onto the query's predicate indices.
+  // A SIT applies iff every expression predicate occurs in the query.
+  for (const Sit& sit : pool_->sits()) {
+    PredSet mask = 0;
+    bool ok = true;
+    for (const Predicate& ep : sit.expression) {
+      int found = -1;
+      for (int i = 0; i < query->num_predicates(); ++i) {
+        if (query->predicate(i) == ep) {
+          found = i;
+          break;
+        }
+      }
+      if (found < 0) {
+        ok = false;
+        break;
+      }
+      mask = With(mask, found);
+    }
+    if (!ok) continue;
+    if (sit.is_multidim()) {
+      applicable2_[{sit.attr, sit.attr2}].push_back(
+          SitCandidate{&sit, mask});
+    } else {
+      applicable_[sit.attr].push_back(SitCandidate{&sit, mask});
+    }
+  }
+}
+
+std::vector<SitCandidate> SitMatcher::FilterMaximal(
+    const std::vector<SitCandidate>* list, PredSet cond,
+    CallAccounting accounting) {
+  if (accounting == CallAccounting::kIndexed) {
+    ++num_calls_;
+  } else {
+    // One probe per applicable SIT examined (at least one for the probe
+    // that finds nothing).
+    num_calls_ +=
+        list == nullptr ? 1 : std::max<size_t>(1, list->size());
+  }
+  std::vector<SitCandidate> consistent;
+  if (list == nullptr) return consistent;
+  for (const SitCandidate& c : *list) {
+    if (IsSubset(c.expr_mask, cond)) consistent.push_back(c);
+  }
+
+  // Maximality (rule 3): drop candidates whose expression is strictly
+  // contained in another consistent candidate's expression.
+  std::vector<SitCandidate> maximal;
+  for (const SitCandidate& c : consistent) {
+    bool dominated = false;
+    for (const SitCandidate& d : consistent) {
+      if (d.sit != c.sit && IsSubset(c.expr_mask, d.expr_mask) &&
+          c.expr_mask != d.expr_mask) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) maximal.push_back(c);
+  }
+  return maximal;
+}
+
+std::vector<SitCandidate> SitMatcher::Candidates(
+    ColumnRef attr, PredSet cond, CallAccounting accounting) {
+  CONDSEL_CHECK(query_ != nullptr);
+  auto it = applicable_.find(attr);
+  return FilterMaximal(it == applicable_.end() ? nullptr : &it->second,
+                       cond, accounting);
+}
+
+std::vector<SitCandidate> SitMatcher::Candidates2(
+    ColumnRef a, ColumnRef b, PredSet cond, CallAccounting accounting) {
+  CONDSEL_CHECK(query_ != nullptr);
+  if (b < a) std::swap(a, b);
+  auto it = applicable2_.find({a, b});
+  return FilterMaximal(it == applicable2_.end() ? nullptr : &it->second,
+                       cond, accounting);
+}
+
+}  // namespace condsel

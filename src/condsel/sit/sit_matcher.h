@@ -1,0 +1,90 @@
+// Candidate-SIT matching (Section 3.3).
+//
+// For a factor Sel_R(P | Q) with a predicate over attribute `a`, the
+// candidate SITs are every SIT(a | Q') with (1) the right attribute,
+// (2) Q' a subset of Q ("consistent with the input query"; independence is
+// assumed between P and Q - Q'), and (3) Q' maximal among the available
+// SITs. This plays the role of the view-matching routine shared by both
+// getSelectivity (line 12) and the GVM baseline, and keeps the call
+// counter that Figure 6 reports.
+
+#ifndef CONDSEL_SIT_SIT_MATCHER_H_
+#define CONDSEL_SIT_SIT_MATCHER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "condsel/query/query.h"
+#include "condsel/sit/sit_pool.h"
+
+namespace condsel {
+
+struct SitCandidate {
+  const Sit* sit = nullptr;
+  // The SIT's expression as a bitmask over the bound query's predicates
+  // (Q' above). Empty for base histograms.
+  PredSet expr_mask = 0;
+};
+
+class SitMatcher {
+ public:
+  explicit SitMatcher(const SitPool* pool);
+
+  // Binds a query: precomputes, per attribute, which pool SITs are
+  // applicable (their whole expression appears among the query's
+  // predicates) and the corresponding predicate bitmask.
+  void BindQuery(const Query* query);
+
+  // How Candidates() charges the view-matching call counter.
+  //  - kIndexed: one call per invocation. getSelectivity's line-12
+  //    subroutine retrieves a factor's qualifying SITs with one indexed
+  //    lookup over the per-attribute applicability lists built by
+  //    BindQuery.
+  //  - kPerSit: one call per applicable SIT examined. GVM's greedy
+  //    procedure ([4]) tests each materialized-view candidate against
+  //    the current plan individually, so each probe is a separate
+  //    view-matching invocation.
+  enum class CallAccounting { kIndexed, kPerSit };
+
+  // View matching: candidates for attribute `attr` conditioned on `cond`.
+  // Returns all applicable SITs with expr_mask ⊆ cond that are maximal
+  // (no other candidate's expression strictly contains theirs). The base
+  // histogram (expr_mask == 0) qualifies only when nothing else does or
+  // nothing strictly contains it — i.e. it is subject to the same
+  // maximality rule. Charges the call counter per `accounting`.
+  std::vector<SitCandidate> Candidates(
+      ColumnRef attr, PredSet cond,
+      CallAccounting accounting = CallAccounting::kIndexed);
+
+  // View matching for multidimensional SITs: candidates covering the
+  // attribute pair {a, b} (order-insensitive), consistent with `cond`,
+  // maximal. Same counter semantics as Candidates().
+  std::vector<SitCandidate> Candidates2(
+      ColumnRef a, ColumnRef b, PredSet cond,
+      CallAccounting accounting = CallAccounting::kIndexed);
+
+  uint64_t num_calls() const { return num_calls_; }
+  void ResetCallCounter() { num_calls_ = 0; }
+
+  const SitPool& pool() const { return *pool_; }
+
+ private:
+  // Shared consistency + maximality filtering over an applicability list.
+  std::vector<SitCandidate> FilterMaximal(
+      const std::vector<SitCandidate>* list, PredSet cond,
+      CallAccounting accounting);
+
+  const SitPool* pool_;
+  const Query* query_ = nullptr;
+  // attr -> (sit, expr mask), applicable to the bound query.
+  std::map<ColumnRef, std::vector<SitCandidate>> applicable_;
+  // (attr, attr2) with attr <= attr2 -> multidimensional candidates.
+  std::map<std::pair<ColumnRef, ColumnRef>, std::vector<SitCandidate>>
+      applicable2_;
+  uint64_t num_calls_ = 0;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_SIT_SIT_MATCHER_H_

@@ -1,0 +1,86 @@
+#include "condsel/sit/sit_pool.h"
+
+#include <algorithm>
+#include <set>
+
+#include "condsel/common/macros.h"
+#include "condsel/query/join_graph.h"
+
+namespace condsel {
+
+SitId SitPool::Add(Sit sit) {
+  std::sort(sit.expression.begin(), sit.expression.end());
+  const auto key = std::make_tuple(sit.attr, sit.attr2, sit.expression);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  sit.id = static_cast<SitId>(sits_.size());
+  index_.emplace(key, sit.id);
+  sits_.push_back(std::move(sit));
+  return sits_.back().id;
+}
+
+const Sit& SitPool::sit(SitId id) const {
+  CONDSEL_CHECK(id >= 0 && id < size());
+  return sits_[static_cast<size_t>(id)];
+}
+
+const Sit* SitPool::FindBase(ColumnRef col) const {
+  auto it = index_.find(
+      std::make_tuple(col, ColumnRef{}, std::vector<Predicate>{}));
+  if (it == index_.end()) return nullptr;
+  return &sits_[static_cast<size_t>(it->second)];
+}
+
+bool SitPool::Has(ColumnRef attr,
+                  const std::vector<Predicate>& expression) const {
+  std::vector<Predicate> sorted = expression;
+  std::sort(sorted.begin(), sorted.end());
+  return index_.count(std::make_tuple(attr, ColumnRef{}, sorted)) > 0;
+}
+
+SitPool GenerateSitPool(const std::vector<Query>& workload,
+                        int max_join_preds, const SitBuilder& builder) {
+  SitPool pool;
+
+  // Base histograms for every referenced column.
+  std::set<ColumnRef> columns;
+  for (const Query& q : workload) {
+    for (const Predicate& p : q.predicates()) {
+      for (const ColumnRef& c : p.attrs()) columns.insert(c);
+    }
+  }
+  for (const ColumnRef& c : columns) {
+    pool.Add(builder.Build(c, {}));
+  }
+  if (max_join_preds == 0) return pool;
+
+  // SIT(a | Q): a is a filter attribute of some query, Q a connected
+  // subset of that query's join predicates reaching a's table. Group the
+  // wanted SITs by expression first so each expression is evaluated once.
+  std::map<std::vector<Predicate>, std::set<ColumnRef>> wanted;
+  for (const Query& q : workload) {
+    std::vector<ColumnRef> filter_attrs;
+    for (int i : SetElements(q.filter_predicates())) {
+      filter_attrs.push_back(q.predicate(i).column());
+    }
+    for (PredSet joins : ConnectedSubsets(q.predicates(),
+                                          q.join_predicates(),
+                                          max_join_preds)) {
+      const TableSet joined = q.TablesOfSubset(joins);
+      const std::vector<Predicate> expr = q.CanonicalSubset(joins);
+      for (const ColumnRef& a : filter_attrs) {
+        if (!Contains(joined, a.table)) continue;
+        wanted[expr].insert(a);
+      }
+    }
+  }
+  for (const auto& [expr, attr_set] : wanted) {
+    const std::vector<ColumnRef> attrs(attr_set.begin(), attr_set.end());
+    for (Sit& sit : builder.BuildMany(attrs, expr)) {
+      pool.Add(std::move(sit));
+    }
+  }
+  return pool;
+}
+
+}  // namespace condsel

@@ -1,0 +1,55 @@
+// The pool of available SITs, and generation of the paper's J_i pools.
+//
+// Section 5 ("Available SITs"): pool J_i contains every SIT_R(a | Q) where
+// Q is a set of at most i join predicates and both Q and a appear
+// syntactically in some workload query; J_0 holds exactly the base-table
+// histograms. We additionally require Q to be a connected join expression
+// that reaches a's table (other combinations do not describe a meaningful
+// query expression for a), and we always include base histograms for every
+// column any workload query references, since join predicates need base
+// histograms on their endpoints even in the richest pools.
+
+#ifndef CONDSEL_SIT_SIT_POOL_H_
+#define CONDSEL_SIT_SIT_POOL_H_
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "condsel/query/query.h"
+#include "condsel/sit/sit.h"
+#include "condsel/sit/sit_builder.h"
+
+namespace condsel {
+
+class SitPool {
+ public:
+  // Adds a SIT (deduplicating by (attr, expression)); returns its id.
+  SitId Add(Sit sit);
+
+  int32_t size() const { return static_cast<int32_t>(sits_.size()); }
+  const Sit& sit(SitId id) const;
+  const std::vector<Sit>& sits() const { return sits_; }
+
+  // The base histogram for `col`, or nullptr if absent.
+  const Sit* FindBase(ColumnRef col) const;
+
+  // True if a SIT with this (attr, canonical expression) already exists.
+  bool Has(ColumnRef attr, const std::vector<Predicate>& expression) const;
+
+ private:
+  std::vector<Sit> sits_;
+  std::map<std::tuple<ColumnRef, ColumnRef, std::vector<Predicate>>,
+           SitId>
+      index_;
+};
+
+// Builds pool J_i for `workload`. For i == 0 the pool holds base
+// histograms only. Base histograms cover every column referenced by any
+// workload query (filter and join columns alike).
+SitPool GenerateSitPool(const std::vector<Query>& workload, int max_join_preds,
+                        const SitBuilder& builder);
+
+}  // namespace condsel
+
+#endif  // CONDSEL_SIT_SIT_POOL_H_

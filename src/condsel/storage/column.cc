@@ -1,0 +1,31 @@
+#include "condsel/storage/column.h"
+
+#include <algorithm>
+
+namespace condsel {
+
+size_t Column::CountNonNull() const {
+  size_t n = 0;
+  for (int64_t v : values_) {
+    if (!IsNull(v)) ++n;
+  }
+  return n;
+}
+
+std::pair<int64_t, int64_t> Column::MinMax() const {
+  int64_t lo = 0, hi = -1;
+  bool seen = false;
+  for (int64_t v : values_) {
+    if (IsNull(v)) continue;
+    if (!seen) {
+      lo = hi = v;
+      seen = true;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  return {lo, hi};
+}
+
+}  // namespace condsel

@@ -1,0 +1,49 @@
+// In-memory column vector.
+//
+// Values are int64. NULL (used for dangling foreign-key tuples, as in the
+// paper's data generator) is represented by the sentinel kNullValue, which
+// is outside every generated domain. SQL semantics apply: NULL matches no
+// filter or join predicate and is excluded from histograms.
+
+#ifndef CONDSEL_STORAGE_COLUMN_H_
+#define CONDSEL_STORAGE_COLUMN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace condsel {
+
+inline constexpr int64_t kNullValue = std::numeric_limits<int64_t>::min();
+
+inline bool IsNull(int64_t v) { return v == kNullValue; }
+
+class Column {
+ public:
+  Column() = default;
+  explicit Column(std::vector<int64_t> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  int64_t operator[](size_t i) const { return values_[i]; }
+
+  void Append(int64_t v) { values_.push_back(v); }
+  void Reserve(size_t n) { values_.reserve(n); }
+
+  const std::vector<int64_t>& values() const { return values_; }
+  std::vector<int64_t>& mutable_values() { return values_; }
+
+  // Number of non-NULL entries.
+  size_t CountNonNull() const;
+
+  // Min/max over non-NULL entries; returns {0, -1} (empty range) when all
+  // entries are NULL or the column is empty.
+  std::pair<int64_t, int64_t> MinMax() const;
+
+ private:
+  std::vector<int64_t> values_;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_STORAGE_COLUMN_H_

@@ -1,0 +1,26 @@
+#include "condsel/storage/table.h"
+
+#include "condsel/common/macros.h"
+
+namespace condsel {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.columns.size());
+}
+
+void Table::AppendRow(const std::vector<int64_t>& row) {
+  CONDSEL_CHECK(row.size() == columns_.size());
+  for (size_t c = 0; c < row.size(); ++c) columns_[c].Append(row[c]);
+  ++num_rows_;
+}
+
+void Table::SealRows() {
+  if (columns_.empty()) {
+    num_rows_ = 0;
+    return;
+  }
+  num_rows_ = columns_[0].size();
+  for (const Column& c : columns_) CONDSEL_CHECK(c.size() == num_rows_);
+}
+
+}  // namespace condsel

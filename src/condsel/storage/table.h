@@ -1,0 +1,50 @@
+// Column-major in-memory table.
+
+#ifndef CONDSEL_STORAGE_TABLE_H_
+#define CONDSEL_STORAGE_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "condsel/catalog/schema.h"
+#include "condsel/storage/column.h"
+
+namespace condsel {
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  ColumnId num_columns() const { return schema_.num_columns(); }
+
+  const Column& column(ColumnId c) const {
+    return columns_[static_cast<size_t>(c)];
+  }
+  Column& mutable_column(ColumnId c) {
+    return columns_[static_cast<size_t>(c)];
+  }
+
+  int64_t value(size_t row, ColumnId c) const {
+    return columns_[static_cast<size_t>(c)][row];
+  }
+
+  // Appends one row; `row` must have exactly num_columns() entries.
+  void AppendRow(const std::vector<int64_t>& row);
+
+  // Declares the row count after columns were filled directly through
+  // mutable_column(); checks that every column has that many entries.
+  void SealRows();
+
+ private:
+  TableSchema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_STORAGE_TABLE_H_

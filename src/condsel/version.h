@@ -1,0 +1,15 @@
+// Library version.
+
+#ifndef CONDSEL_VERSION_H_
+#define CONDSEL_VERSION_H_
+
+namespace condsel {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace condsel
+
+#endif  // CONDSEL_VERSION_H_

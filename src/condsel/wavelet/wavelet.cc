@@ -1,0 +1,159 @@
+#include "condsel/wavelet/wavelet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "condsel/common/macros.h"
+
+namespace condsel {
+namespace {
+
+uint32_t NextPow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+double WaveletSynopsis::CellFrequency(uint32_t cell) const {
+  // Error-tree traversal: c[0] is the overall average; node j (heap
+  // indexing, children 2j and 2j+1) adds its value on the left half of
+  // its support and subtracts it on the right half.
+  auto get = [&](uint32_t index) {
+    auto it = std::lower_bound(
+        coefficients_.begin(), coefficients_.end(), index,
+        [](const Coefficient& c, uint32_t i) { return c.index < i; });
+    return (it != coefficients_.end() && it->index == index) ? it->value
+                                                             : 0.0;
+  };
+  double val = get(0);
+  uint32_t j = 1;
+  uint32_t lo = 0;
+  uint32_t size = grid_cells_;
+  while (j < grid_cells_) {
+    const uint32_t half = size / 2;
+    if (cell < lo + half) {
+      val += get(j);
+      j = 2 * j;
+    } else {
+      val -= get(j);
+      j = 2 * j + 1;
+      lo += half;
+    }
+    size = half;
+  }
+  return val;
+}
+
+double WaveletSynopsis::RangeSelectivity(int64_t lo, int64_t hi) const {
+  if (empty() || lo > hi) return 0.0;
+  double sel = 0.0;
+  for (uint32_t cell = 0; cell < grid_cells_; ++cell) {
+    const int64_t c_lo = grid_lo_ + static_cast<int64_t>(cell) * cell_width_;
+    const int64_t c_hi = c_lo + cell_width_ - 1;
+    const int64_t olo = std::max(lo, c_lo);
+    const int64_t ohi = std::min(hi, c_hi);
+    if (olo > ohi) continue;
+    const double frac = static_cast<double>(ohi - olo + 1) /
+                        static_cast<double>(cell_width_);
+    sel += std::max(0.0, CellFrequency(cell)) * frac;
+  }
+  return sel;
+}
+
+double WaveletSynopsis::TotalFrequency() const {
+  // Sum over all cells: the differences cancel, leaving N * average.
+  for (const Coefficient& c : coefficients_) {
+    if (c.index == 0) return c.value * static_cast<double>(grid_cells_);
+  }
+  return 0.0;
+}
+
+WaveletSynopsis BuildWavelet(const std::vector<int64_t>& values,
+                             double source_cardinality, int budget) {
+  CONDSEL_CHECK(budget >= 1);
+  WaveletSynopsis out;
+  out.source_cardinality_ = source_cardinality;
+  if (values.empty()) return out;
+
+  const auto [min_it, max_it] =
+      std::minmax_element(values.begin(), values.end());
+  const int64_t lo = *min_it;
+  const int64_t hi = *max_it;
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+
+  // Grid: at most 1024 cells, power of two, cells wide enough to cover.
+  const uint32_t cells = std::min<uint32_t>(
+      1024, NextPow2(static_cast<uint32_t>(std::min<uint64_t>(span, 1024))));
+  const int64_t width = static_cast<int64_t>((span + cells - 1) / cells);
+  out.grid_lo_ = lo;
+  out.cell_width_ = std::max<int64_t>(1, width);
+  out.grid_cells_ = cells;
+
+  // Frequency vector (fractions of the source relation).
+  std::vector<double> freq(cells, 0.0);
+  const double w = source_cardinality > 0.0 ? 1.0 / source_cardinality : 0.0;
+  for (int64_t v : values) {
+    uint32_t cell =
+        static_cast<uint32_t>((v - lo) / out.cell_width_);
+    if (cell >= cells) cell = cells - 1;
+    freq[cell] += w;
+  }
+
+  // Haar decomposition: repeated pairwise average / half-difference.
+  // Layout: c[0] = overall average; c[2^l + i] = difference node i of
+  // level l (support cells / 2^l), matching heap child indices 2j, 2j+1.
+  std::vector<double> coef(cells, 0.0);
+  std::vector<double> work = freq;
+  uint32_t n = cells;
+  while (n > 1) {
+    const uint32_t half = n / 2;
+    std::vector<double> avg(half);
+    for (uint32_t i = 0; i < half; ++i) {
+      avg[i] = (work[2 * i] + work[2 * i + 1]) / 2.0;
+      coef[half + i] = (work[2 * i] - work[2 * i + 1]) / 2.0;
+    }
+    work = std::move(avg);
+    n = half;
+  }
+  coef[0] = work[0];
+
+  // Keep the top-`budget` coefficients by L2 importance: |c| * sqrt of
+  // the node's support.
+  std::vector<std::pair<double, uint32_t>> ranked;
+  ranked.reserve(cells);
+  for (uint32_t j = 0; j < cells; ++j) {
+    if (coef[j] == 0.0) continue;
+    uint32_t support = cells;
+    if (j > 0) {
+      uint32_t level_start = 1;
+      support = cells;
+      while (level_start * 2 <= j) {
+        level_start *= 2;
+        support /= 2;
+      }
+    }
+    ranked.emplace_back(std::abs(coef[j]) *
+                            std::sqrt(static_cast<double>(support)),
+                        j);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (static_cast<int>(ranked.size()) > budget) {
+    ranked.resize(static_cast<size_t>(budget));
+  }
+  for (const auto& [weight, j] : ranked) {
+    out.coefficients_.push_back({j, coef[j]});
+  }
+  std::sort(out.coefficients_.begin(), out.coefficients_.end(),
+            [](const WaveletSynopsis::Coefficient& a,
+               const WaveletSynopsis::Coefficient& b) {
+              return a.index < b.index;
+            });
+  return out;
+}
+
+}  // namespace condsel

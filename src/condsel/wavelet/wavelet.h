@@ -1,0 +1,64 @@
+// Haar-wavelet synopses over attribute distributions.
+//
+// The second of the paper's named alternative estimators ("wavelets or
+// samples"). A WaveletSynopsis stores the top-B Haar coefficients of an
+// attribute's cumulative-friendly frequency vector over a fixed value
+// grid; range selectivities are reconstructed by inverting the retained
+// coefficients. Compared with histograms, wavelets capture globally
+// smooth structure with very few coefficients but ring around sharp
+// spikes (quantified in bench_ablation_wavelets).
+
+#ifndef CONDSEL_WAVELET_WAVELET_H_
+#define CONDSEL_WAVELET_WAVELET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace condsel {
+
+class WaveletSynopsis {
+ public:
+  WaveletSynopsis() = default;
+
+  // Number of retained (non-zero) coefficients.
+  size_t num_coefficients() const { return coefficients_.size(); }
+  bool empty() const { return coefficients_.empty(); }
+  double source_cardinality() const { return source_cardinality_; }
+
+  // Estimated fraction of source tuples with value in [lo, hi].
+  double RangeSelectivity(int64_t lo, int64_t hi) const;
+
+  // Total estimated non-NULL mass (should be ~ fraction of non-NULLs).
+  double TotalFrequency() const;
+
+ private:
+  friend WaveletSynopsis BuildWavelet(const std::vector<int64_t>&, double,
+                                      int);
+
+  struct Coefficient {
+    uint32_t index = 0;  // position in the Haar coefficient array
+    double value = 0.0;
+  };
+
+  // Reconstructs the frequency of grid cell `cell`.
+  double CellFrequency(uint32_t cell) const;
+
+  std::vector<Coefficient> coefficients_;
+  double source_cardinality_ = 0.0;
+  // Value grid: cell k covers [grid_lo_ + k*cell_width_,
+  //                            grid_lo_ + (k+1)*cell_width_ - 1].
+  int64_t grid_lo_ = 0;
+  int64_t cell_width_ = 1;
+  uint32_t grid_cells_ = 0;  // power of two
+};
+
+// Builds a synopsis from the attribute's non-NULL values (with
+// multiplicity); `source_cardinality` >= values.size() as for histograms.
+// Keeps the `budget` largest-magnitude normalized coefficients.
+WaveletSynopsis BuildWavelet(const std::vector<int64_t>& values,
+                             double source_cardinality, int budget);
+
+}  // namespace condsel
+
+#endif  // CONDSEL_WAVELET_WAVELET_H_

@@ -1,0 +1,91 @@
+// Tests for catalog, schema, and storage.
+
+#include <gtest/gtest.h>
+
+#include "condsel/catalog/catalog.h"
+#include "condsel/storage/column.h"
+#include "condsel/storage/table.h"
+#include "test_util.h"
+
+namespace condsel {
+namespace {
+
+TEST(ColumnTest, NullHandling) {
+  Column c({1, kNullValue, 3});
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.CountNonNull(), 2u);
+  EXPECT_TRUE(IsNull(c[1]));
+  const auto [lo, hi] = c.MinMax();
+  EXPECT_EQ(lo, 1);
+  EXPECT_EQ(hi, 3);
+}
+
+TEST(ColumnTest, AllNullMinMaxIsEmptyRange) {
+  Column c({kNullValue, kNullValue});
+  const auto [lo, hi] = c.MinMax();
+  EXPECT_GT(lo, hi);
+  EXPECT_EQ(c.CountNonNull(), 0u);
+}
+
+TEST(TableTest, AppendRowAndAccess) {
+  Table t = test::MakeTable("X", {"p", "q"}, {{1, 2}, {3, 4}});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_EQ(t.value(0, 0), 1);
+  EXPECT_EQ(t.value(1, 1), 4);
+}
+
+TEST(TableTest, SealRowsChecksColumnLengths) {
+  TableSchema s;
+  s.name = "Y";
+  s.columns = {{"c0", 0, 10, false}};
+  Table t(s);
+  t.mutable_column(0).Append(1);
+  t.mutable_column(0).Append(2);
+  t.SealRows();
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(SchemaTest, FindColumn) {
+  TableSchema s;
+  s.name = "Z";
+  s.columns = {{"alpha", 0, 1, false}, {"beta", 0, 1, true}};
+  EXPECT_EQ(s.FindColumn("alpha"), 0);
+  EXPECT_EQ(s.FindColumn("beta"), 1);
+  EXPECT_EQ(s.FindColumn("gamma"), -1);
+}
+
+TEST(CatalogTest, TableLookup) {
+  Catalog c = test::MakeTinyCatalog();
+  EXPECT_EQ(c.num_tables(), 3);
+  EXPECT_EQ(c.FindTable("R"), 0);
+  EXPECT_EQ(c.FindTable("S"), 1);
+  EXPECT_EQ(c.FindTable("T"), 2);
+  EXPECT_EQ(c.FindTable("nope"), kInvalidTableId);
+}
+
+TEST(CatalogTest, ResolveColumn) {
+  Catalog c = test::MakeTinyCatalog();
+  const ColumnRef ref = c.ResolveColumn("S", "b");
+  EXPECT_EQ(ref.table, 1);
+  EXPECT_EQ(ref.column, 1);
+}
+
+TEST(CatalogTest, CartesianCardinality) {
+  Catalog c = test::MakeTinyCatalog();
+  EXPECT_DOUBLE_EQ(c.CartesianCardinality({0}), 10.0);
+  EXPECT_DOUBLE_EQ(c.CartesianCardinality({0, 1}), 80.0);
+  EXPECT_DOUBLE_EQ(c.CartesianCardinality({0, 1, 2}), 480.0);
+  EXPECT_DOUBLE_EQ(c.CartesianCardinality({}), 1.0);
+}
+
+TEST(CatalogTest, ForeignKeys) {
+  Catalog c = test::MakeTinyCatalog();
+  c.AddForeignKey({0, 1, 1, 0});
+  ASSERT_EQ(c.foreign_keys().size(), 1u);
+  EXPECT_EQ(c.foreign_keys()[0].fk_table, 0);
+  EXPECT_EQ(c.foreign_keys()[0].pk_table, 1);
+}
+
+}  // namespace
+}  // namespace condsel

@@ -1,0 +1,143 @@
+// Tests for common utilities: RNG, Zipf sampler, aggregates.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "condsel/common/rng.h"
+#include "condsel/common/stats.h"
+#include "condsel/common/zipf.h"
+
+namespace condsel {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformityRoughly) {
+  Rng rng(5);
+  std::map<uint64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBelow(10)];
+  for (const auto& [v, c] : counts) {
+    EXPECT_NEAR(c, n / 10, n / 100) << "value " << v;
+  }
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  Rng rng(3);
+  ZipfSampler zipf(10, 0.0);
+  std::map<int64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Next(rng)];
+  for (int64_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(counts[k], n / 10, n / 50) << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, SkewedWhenThetaPositive) {
+  Rng rng(3);
+  ZipfSampler zipf(100, 1.0);
+  std::map<int64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Next(rng)];
+  // Rank 0 should dominate rank 50 by roughly 51x under theta=1.
+  EXPECT_GT(counts[0], 10 * counts[50]);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler zipf(50, 1.5);
+  double sum = 0.0;
+  for (int64_t k = 0; k < 50; ++k) sum += zipf.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfMonotoneDecreasing) {
+  ZipfSampler zipf(20, 0.8);
+  for (int64_t k = 1; k < 20; ++k) {
+    EXPECT_LE(zipf.Pmf(k), zipf.Pmf(k - 1));
+  }
+}
+
+TEST(AccumulatorTest, BasicMoments) {
+  Accumulator acc;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) acc.Add(v);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+}
+
+TEST(AccumulatorTest, EmptyMeanIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(StatsTest, Percentiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  EXPECT_NEAR(Percentile(xs, 0.0), 1.0, 1e-9);
+  EXPECT_NEAR(Percentile(xs, 100.0), 100.0, 1e-9);
+  EXPECT_NEAR(Percentile(xs, 50.0), 50.5, 1e-9);
+}
+
+TEST(StatsTest, GeometricMean) {
+  EXPECT_NEAR(GeometricMean({2.0, 8.0}), 4.0, 1e-9);
+  EXPECT_NEAR(GeometricMean({5.0}), 5.0, 1e-9);
+  // Zeros clamp to the floor instead of collapsing the mean to 0.
+  EXPECT_GT(GeometricMean({0.0, 100.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace condsel

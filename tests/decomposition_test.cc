@@ -1,0 +1,70 @@
+// Tests for decomposition counting and Lemma 1's bounds.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "condsel/selectivity/decomposition.h"
+
+namespace condsel {
+namespace {
+
+TEST(DecompositionCountTest, SmallValuesByHand) {
+  // T(1)=1. T(2): {p1p2}, {p1}{p2}, {p2}{p1} = 3.
+  // T(3) = C(3,1)T(2) + C(3,2)T(1) + C(3,3)T(0) = 9 + 3 + 1 = 13.
+  EXPECT_EQ(CountDecompositions(1), 1u);
+  EXPECT_EQ(CountDecompositions(2), 3u);
+  EXPECT_EQ(CountDecompositions(3), 13u);
+  EXPECT_EQ(CountDecompositions(4), 75u);
+  EXPECT_EQ(CountDecompositions(5), 541u);
+}
+
+TEST(DecompositionCountTest, MatchesEnumerationUpTo6) {
+  for (int n = 1; n <= 6; ++n) {
+    const PredSet full = (1u << n) - 1;
+    EXPECT_EQ(CountChainDecompositions(full), CountDecompositions(n))
+        << "n=" << n;
+  }
+}
+
+TEST(DecompositionCountTest, EnumerationProducesValidDistinctChains) {
+  const PredSet full = 0b1111;
+  std::set<std::vector<std::pair<PredSet, PredSet>>> seen;
+  EnumerateChainDecompositions(full, [&](const Decomposition& d) {
+    EXPECT_TRUE(IsChainDecomposition(full, d));
+    std::vector<std::pair<PredSet, PredSet>> key;
+    for (const Factor& f : d) key.emplace_back(f.p, f.q);
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate decomposition";
+  });
+  EXPECT_EQ(seen.size(), CountDecompositions(4));
+}
+
+TEST(Lemma1Test, BoundsHoldForAllTractableN) {
+  for (int n = 1; n <= 12; ++n) {
+    EXPECT_TRUE(Lemma1LowerBoundHolds(n)) << "lower bound fails at " << n;
+    EXPECT_TRUE(Lemma1UpperBoundHolds(n)) << "upper bound fails at " << n;
+  }
+}
+
+TEST(CombinatoricsTest, FactorialAndBinomial) {
+  EXPECT_EQ(Factorial(0), 1u);
+  EXPECT_EQ(Factorial(5), 120u);
+  EXPECT_EQ(Factorial(10), 3628800u);
+  EXPECT_EQ(Binomial(5, 0), 1u);
+  EXPECT_EQ(Binomial(5, 2), 10u);
+  EXPECT_EQ(Binomial(10, 5), 252u);
+  EXPECT_EQ(Binomial(7, 7), 1u);
+}
+
+TEST(DecompositionCountTest, GrowthIsFactorialLike) {
+  // The ratio T(n+1)/T(n) must exceed n+2 (from the Lemma 1 proof).
+  for (int n = 1; n <= 11; ++n) {
+    const double ratio =
+        static_cast<double>(CountDecompositions(n + 1)) /
+        static_cast<double>(CountDecompositions(n));
+    EXPECT_GE(ratio, static_cast<double>(n + 2) - 1e-9) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace condsel

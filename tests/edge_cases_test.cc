@@ -1,0 +1,230 @@
+// Robustness tests: degenerate tables, empty results, extreme inputs.
+// Estimation quality is irrelevant here — nothing may crash, and the
+// basic invariants (probabilities in [0,1], exactness of ground truth)
+// must hold.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "condsel/baselines/gvm.h"
+#include "condsel/baselines/no_sit.h"
+#include "condsel/exec/evaluator.h"
+#include "condsel/selectivity/get_selectivity.h"
+#include "condsel/sit/sit_builder.h"
+#include "condsel/sit/sit_pool.h"
+#include "test_util.h"
+
+namespace condsel {
+namespace {
+
+TEST(EdgeCaseTest, EmptyTable) {
+  Catalog c;
+  c.AddTable(test::MakeTable("E", {"a", "x"}, {}));
+  c.AddTable(test::MakeTable("F", {"y"}, {{1}, {2}}));
+  CardinalityCache cache;
+  Evaluator eval(&c, &cache);
+  const Query q({Predicate::Filter({0, 0}, 0, 10),
+                 Predicate::Join({0, 1}, {1, 0})});
+  EXPECT_DOUBLE_EQ(eval.Cardinality(q, q.all_predicates()), 0.0);
+  EXPECT_DOUBLE_EQ(eval.TrueSelectivity(q, q.all_predicates()), 0.0);
+
+  // Histograms over the empty table: empty but functional.
+  SitBuilder builder(&eval, SitBuildOptions{});
+  const Sit sit = builder.Build({0, 0}, {});
+  EXPECT_TRUE(sit.histogram.empty());
+  EXPECT_DOUBLE_EQ(sit.histogram.RangeSelectivity(0, 100), 0.0);
+}
+
+TEST(EdgeCaseTest, AllNullJoinColumn) {
+  Catalog c;
+  c.AddTable(test::MakeTable(
+      "N", {"k"}, {{kNullValue}, {kNullValue}, {kNullValue}}));
+  c.AddTable(test::MakeTable("M", {"k"}, {{1}, {2}}));
+  CardinalityCache cache;
+  Evaluator eval(&c, &cache);
+  const Query q({Predicate::Join({0, 0}, {1, 0})});
+  EXPECT_DOUBLE_EQ(eval.Cardinality(q, 1), 0.0);
+
+  SitBuilder builder(&eval, SitBuildOptions{});
+  SitPool pool;
+  pool.Add(builder.Build({0, 0}, {}));
+  pool.Add(builder.Build({1, 0}, {}));
+  SitMatcher matcher(&pool);
+  matcher.BindQuery(&q);
+  NIndError n_ind;
+  FactorApproximator fa(&matcher, &n_ind);
+  GetSelectivity gs(&q, &fa);
+  const double sel = gs.Compute(1).selectivity;
+  EXPECT_GE(sel, 0.0);
+  EXPECT_LE(sel, 1.0);
+  EXPECT_DOUBLE_EQ(sel, 0.0);  // all-NULL side: histogram mass is zero
+}
+
+TEST(EdgeCaseTest, SingleRowTables) {
+  Catalog c;
+  c.AddTable(test::MakeTable("A", {"v"}, {{7}}));
+  c.AddTable(test::MakeTable("B", {"v"}, {{7}}));
+  CardinalityCache cache;
+  Evaluator eval(&c, &cache);
+  const Query q({Predicate::Join({0, 0}, {1, 0}),
+                 Predicate::Filter({0, 0}, 7, 7)});
+  EXPECT_DOUBLE_EQ(eval.Cardinality(q, q.all_predicates()), 1.0);
+
+  SitBuilder builder(&eval, SitBuildOptions{});
+  const SitPool pool = GenerateSitPool({q}, 1, builder);
+  SitMatcher matcher(&pool);
+  matcher.BindQuery(&q);
+  DiffError diff;
+  FactorApproximator fa(&matcher, &diff);
+  GetSelectivity gs(&q, &fa);
+  EXPECT_NEAR(gs.Compute(q.all_predicates()).selectivity, 1.0, 1e-9);
+}
+
+TEST(EdgeCaseTest, FilterMatchingNothing) {
+  Catalog c = test::MakeTinyCatalog();
+  CardinalityCache cache;
+  Evaluator eval(&c, &cache);
+  const Query q({Predicate::Filter({0, 0}, 900, 950),
+                 Predicate::Join({0, 1}, {1, 0})});
+  EXPECT_DOUBLE_EQ(eval.Cardinality(q, q.all_predicates()), 0.0);
+
+  SitBuilder builder(&eval, SitBuildOptions{});
+  const SitPool pool = GenerateSitPool({q}, 1, builder);
+  SitMatcher matcher(&pool);
+  matcher.BindQuery(&q);
+  NIndError n_ind;
+  FactorApproximator fa(&matcher, &n_ind);
+  GetSelectivity gs(&q, &fa);
+  EXPECT_DOUBLE_EQ(gs.Compute(q.all_predicates()).selectivity, 0.0);
+}
+
+TEST(EdgeCaseTest, SitOverEmptyExpressionResult) {
+  // The SIT's generating expression yields zero tuples.
+  Catalog c = test::MakeTinyCatalog();
+  CardinalityCache cache;
+  Evaluator eval(&c, &cache);
+  SitBuilder builder(&eval, SitBuildOptions{});
+  // Join R.a = T.z: R.a in [1,10], T.z in {100..600}: empty.
+  const Predicate join = Predicate::Join({0, 0}, {2, 0});
+  const Sit sit = builder.Build({0, 1}, {join});
+  EXPECT_TRUE(sit.histogram.empty());
+  EXPECT_DOUBLE_EQ(sit.diff, 0.0);
+
+  // Using the pool with that SIT must not crash the DP.
+  const Query q({join, Predicate::Filter({0, 1}, 10, 30)});
+  SitPool pool = GenerateSitPool({q}, 0, builder);
+  pool.Add(sit);
+  SitMatcher matcher(&pool);
+  matcher.BindQuery(&q);
+  DiffError diff;
+  FactorApproximator fa(&matcher, &diff);
+  GetSelectivity gs(&q, &fa);
+  const double sel = gs.Compute(q.all_predicates()).selectivity;
+  EXPECT_GE(sel, 0.0);
+  EXPECT_LE(sel, 1.0);
+}
+
+TEST(EdgeCaseTest, SingleBucketHistogram) {
+  const Histogram h = BuildMaxDiff({1, 5, 9, 9, 20}, 5.0, 1);
+  EXPECT_EQ(h.num_buckets(), 1u);
+  EXPECT_NEAR(h.RangeSelectivity(1, 20), 1.0, 1e-9);
+  EXPECT_GT(h.RangeSelectivity(5, 10), 0.0);
+}
+
+TEST(EdgeCaseTest, ConstantColumn) {
+  std::vector<int64_t> vals(1000, 42);
+  const Histogram h = BuildMaxDiff(vals, 1000.0, 50);
+  EXPECT_EQ(h.num_buckets(), 1u);
+  EXPECT_DOUBLE_EQ(h.EqualsSelectivity(42), 1.0);
+  EXPECT_DOUBLE_EQ(h.EqualsSelectivity(41), 0.0);
+  EXPECT_DOUBLE_EQ(h.TotalDistinct(), 1.0);
+}
+
+TEST(EdgeCaseTest, ExtremeValueDomains) {
+  // Values near the int64 extremes (but away from the NULL sentinel).
+  const int64_t big = std::numeric_limits<int64_t>::max() / 4;
+  const std::vector<int64_t> vals = {-big, 0, big};
+  const Histogram h = BuildMaxDiff(vals, 3.0, 8);
+  EXPECT_NEAR(h.RangeSelectivity(-big, big), 1.0, 1e-9);
+  EXPECT_GT(h.RangeSelectivity(-big, -big / 2), 0.0);
+}
+
+TEST(EdgeCaseTest, PureFilterQueryNoJoins) {
+  Catalog c = test::MakeTinyCatalog();
+  CardinalityCache cache;
+  Evaluator eval(&c, &cache);
+  const Query q({Predicate::Filter({0, 0}, 1, 5),
+                 Predicate::Filter({1, 1}, 100, 300),
+                 Predicate::Filter({2, 1}, 1, 3)});
+  SitBuilder builder(&eval, SitBuildOptions{});
+  const SitPool pool = GenerateSitPool({q}, 2, builder);
+  SitMatcher matcher(&pool);
+  matcher.BindQuery(&q);
+  NIndError n_ind;
+  FactorApproximator fa(&matcher, &n_ind);
+  GetSelectivity gs(&q, &fa);
+  // Fully separable: exact product, zero error.
+  const SelEstimate e = gs.Compute(q.all_predicates());
+  EXPECT_DOUBLE_EQ(e.error, 0.0);
+  EXPECT_NEAR(e.selectivity * 480.0,
+              eval.Cardinality(q, q.all_predicates()), 1e-6);
+
+  NoSitEstimator no_sit(&matcher);
+  GvmEstimator gvm(&matcher);
+  EXPECT_NEAR(no_sit.Estimate(q, q.all_predicates()), e.selectivity, 1e-12);
+  EXPECT_NEAR(gvm.Estimate(q, q.all_predicates()), e.selectivity, 1e-12);
+}
+
+TEST(EdgeCaseTest, MaxPredicateQuery) {
+  // A query at a larger predicate count exercises mask arithmetic; use
+  // 12 predicates (3 joins + 9 filters) on the tiny catalog.
+  Catalog c = test::MakeTinyCatalog();
+  CardinalityCache cache;
+  Evaluator eval(&c, &cache);
+  std::vector<Predicate> preds = {Predicate::Join({0, 1}, {1, 0}),
+                                  Predicate::Join({1, 1}, {2, 0})};
+  for (int i = 0; i < 5; ++i) {
+    preds.push_back(Predicate::Filter({0, 0}, 1, 10 - i));
+  }
+  for (int i = 0; i < 5; ++i) {
+    preds.push_back(Predicate::Filter({2, 1}, 1, 6 - i));
+  }
+  const Query q(std::move(preds));
+  EXPECT_EQ(q.num_predicates(), 12);
+  const double card = eval.Cardinality(q, q.all_predicates());
+  EXPECT_DOUBLE_EQ(card, test::BruteForceCardinality(c, q, q.all_predicates()));
+
+  SitBuilder builder(&eval, SitBuildOptions{});
+  const SitPool pool = GenerateSitPool({q}, 2, builder);
+  SitMatcher matcher(&pool);
+  matcher.BindQuery(&q);
+  DiffError diff;
+  FactorApproximator fa(&matcher, &diff);
+  GetSelectivity gs(&q, &fa);
+  const double sel = gs.Compute(q.all_predicates()).selectivity;
+  EXPECT_GE(sel, 0.0);
+  EXPECT_LE(sel, 1.0);
+}
+
+TEST(EdgeCaseTest, ZeroFilterWorkloadQuery) {
+  Catalog c = test::MakeTinyCatalog();
+  CardinalityCache cache;
+  Evaluator eval(&c, &cache);
+  const Query q({Predicate::Join({0, 1}, {1, 0}),
+                 Predicate::Join({1, 1}, {2, 0})});
+  SitBuilder builder(&eval, SitBuildOptions{});
+  const SitPool pool = GenerateSitPool({q}, 2, builder);
+  // No filter attrs -> pool is bases only; estimation still works.
+  SitMatcher matcher(&pool);
+  matcher.BindQuery(&q);
+  NIndError n_ind;
+  FactorApproximator fa(&matcher, &n_ind);
+  GetSelectivity gs(&q, &fa);
+  const double sel = gs.Compute(q.all_predicates()).selectivity;
+  EXPECT_GT(sel, 0.0);
+  EXPECT_LE(sel, 1.0);
+}
+
+}  // namespace
+}  // namespace condsel

@@ -1,0 +1,148 @@
+// Tests for the nInd, Diff, and Opt error functions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+
+#include "condsel/selectivity/error_function.h"
+#include "condsel/sit/sit_builder.h"
+#include "test_util.h"
+
+namespace condsel {
+namespace {
+
+ColumnRef Ra() { return {0, 0}; }
+ColumnRef Rx() { return {0, 1}; }
+ColumnRef Sy() { return {1, 0}; }
+ColumnRef Sb() { return {1, 1}; }
+ColumnRef Tz() { return {2, 0}; }
+ColumnRef Tc() { return {2, 1}; }
+
+class ErrorFunctionTest : public ::testing::Test {
+ protected:
+  ErrorFunctionTest()
+      : catalog_(test::MakeTinyCatalog()),
+        eval_(&catalog_, &cache_),
+        builder_(&eval_, {HistogramType::kMaxDiff, 64}),
+        query_({Predicate::Filter(Ra(), 1, 5),      // 0
+                Predicate::Join(Rx(), Sy()),        // 1
+                Predicate::Join(Sb(), Tz()),        // 2
+                Predicate::Filter(Tc(), 1, 3)}) {}
+
+  SitCandidate Candidate(const Sit& sit, PredSet mask) {
+    sits_.push_back(sit);
+    return SitCandidate{&sits_.back(), mask};
+  }
+
+  Catalog catalog_;
+  CardinalityCache cache_;
+  Evaluator eval_;
+  SitBuilder builder_;
+  Query query_;
+  std::deque<Sit> sits_;
+};
+
+TEST_F(ErrorFunctionTest, NIndCountsAssumptions) {
+  NIndError fn;
+  const Sit base = builder_.Build(Ra(), {});
+  // Sel(p0 | p1, p2, p3) approximated with the base histogram: 1 * 3.
+  EXPECT_DOUBLE_EQ(
+      fn.FactorError(query_, 0b0001, 0b1110, {Candidate(base, 0)}, -1), 3.0);
+  // With SIT(R.a | p1): 1 * |{p2, p3}| = 2.
+  const Sit s1 = builder_.Build(Ra(), {query_.predicate(1)});
+  EXPECT_DOUBLE_EQ(
+      fn.FactorError(query_, 0b0001, 0b1110, {Candidate(s1, 0b0010)}, -1),
+      2.0);
+  // Paper's example: nInd(Sel(p|q1,q2), SIT(p|q1)) = 1.
+  EXPECT_DOUBLE_EQ(
+      fn.FactorError(query_, 0b0001, 0b0110, {Candidate(s1, 0b0010)}, -1),
+      1.0);
+}
+
+TEST_F(ErrorFunctionTest, NIndScalesWithFactorSize) {
+  NIndError fn;
+  const Sit base = builder_.Build(Ra(), {});
+  // |P| = 2, |Q - Q'| = 2 -> 4 assumptions.
+  EXPECT_DOUBLE_EQ(
+      fn.FactorError(query_, 0b0011, 0b1100, {Candidate(base, 0)}, -1), 4.0);
+}
+
+TEST_F(ErrorFunctionTest, NIndUnionsQPrimeAcrossSits) {
+  NIndError fn;
+  const Sit s1 = builder_.Build(Ra(), {query_.predicate(1)});
+  const Sit s2 = builder_.Build(Tc(), {query_.predicate(2)});
+  // Join factor using two SITs covering {p1} and {p2}: Q' = {p1, p2},
+  // so |Q - Q'| = 0.
+  EXPECT_DOUBLE_EQ(
+      fn.FactorError(query_, 0b0001, 0b0110,
+                     {Candidate(s1, 0b0010), Candidate(s2, 0b0100)}, -1),
+      0.0);
+}
+
+TEST_F(ErrorFunctionTest, DiffRewardsInformativeSits) {
+  DiffError fn;
+  Sit flat = builder_.Build(Ra(), {});
+  flat.diff = 0.0;
+  Sit sharp = builder_.Build(Ra(), {query_.predicate(1)});
+  sharp.diff = 0.8;
+  const double e_flat =
+      fn.FactorError(query_, 0b0001, 0b0010, {Candidate(flat, 0)}, -1);
+  const double e_sharp = fn.FactorError(query_, 0b0001, 0b0010,
+                                        {Candidate(sharp, 0b0010)}, -1);
+  EXPECT_DOUBLE_EQ(e_flat, 1.0);
+  EXPECT_NEAR(e_sharp, 0.2, 1e-12);
+  EXPECT_LT(e_sharp, e_flat);
+}
+
+TEST_F(ErrorFunctionTest, DiffAveragesAcrossSits) {
+  DiffError fn;
+  Sit a = builder_.Build(Ra(), {});
+  a.diff = 0.4;
+  Sit b = builder_.Build(Tc(), {});
+  b.diff = 0.0;
+  const double e = fn.FactorError(
+      query_, 0b0010, 0b0000, {Candidate(a, 0), Candidate(b, 0)}, -1);
+  EXPECT_NEAR(e, 1.0 - 0.2, 1e-12);
+}
+
+TEST_F(ErrorFunctionTest, DiffEmptySitListChargesFullIndependence) {
+  DiffError fn;
+  EXPECT_DOUBLE_EQ(fn.FactorError(query_, 0b0011, 0b1100, {}, -1), 2.0);
+}
+
+TEST_F(ErrorFunctionTest, OptComparesAgainstTruth) {
+  OptError fn(&eval_);
+  EXPECT_TRUE(fn.NeedsEstimate());
+  const double truth =
+      eval_.TrueConditionalSelectivity(query_, 0b0001, 0b0010);
+  // Opt scores the log-ratio deviation: 0 at truth, log(2) at 2x truth,
+  // and symmetric for over/underestimation by the same factor.
+  EXPECT_NEAR(fn.FactorError(query_, 0b0001, 0b0010, {}, truth), 0.0, 1e-12);
+  EXPECT_NEAR(fn.FactorError(query_, 0b0001, 0b0010, {}, truth * 2.0),
+              std::log(2.0), 1e-9);
+  EXPECT_NEAR(fn.FactorError(query_, 0b0001, 0b0010, {}, truth / 2.0),
+              std::log(2.0), 1e-9);
+}
+
+TEST_F(ErrorFunctionTest, AllAreMonotoneUnderMerge) {
+  // E_merge is a sum: adding a factor can only increase total error.
+  const double e1 = 0.7, e2 = 1.3;
+  EXPECT_GE(ErrorFunction::Merge(e1, e2), e1);
+  EXPECT_GE(ErrorFunction::Merge(e1, e2), e2);
+  EXPECT_DOUBLE_EQ(ErrorFunction::Merge(e1, 0.0), e1);
+}
+
+TEST_F(ErrorFunctionTest, Names) {
+  NIndError n;
+  DiffError d;
+  OptError o(&eval_);
+  EXPECT_STREQ(n.name(), "nInd");
+  EXPECT_STREQ(d.name(), "Diff");
+  EXPECT_STREQ(o.name(), "Opt");
+  EXPECT_FALSE(n.NeedsEstimate());
+  EXPECT_FALSE(d.NeedsEstimate());
+}
+
+}  // namespace
+}  // namespace condsel

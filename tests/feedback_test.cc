@@ -1,0 +1,113 @@
+// Tests for the LEO-style feedback baseline.
+
+#include <gtest/gtest.h>
+
+#include "condsel/baselines/feedback.h"
+#include "condsel/sit/sit_builder.h"
+#include "condsel/sit/sit_pool.h"
+#include "test_util.h"
+
+namespace condsel {
+namespace {
+
+ColumnRef Ra() { return {0, 0}; }
+ColumnRef Rx() { return {0, 1}; }
+ColumnRef Sy() { return {1, 0}; }
+ColumnRef Sb() { return {1, 1}; }
+
+class FeedbackTest : public ::testing::Test {
+ protected:
+  FeedbackTest()
+      : catalog_(test::MakeTinyCatalog()),
+        eval_(&catalog_, &cache_),
+        builder_(&eval_, {HistogramType::kMaxDiff, 64}) {}
+
+  Catalog catalog_;
+  CardinalityCache cache_;
+  Evaluator eval_;
+  SitBuilder builder_;
+};
+
+TEST_F(FeedbackTest, UntrainedEqualsNoSit) {
+  const Query q({Predicate::Filter(Ra(), 1, 5), Predicate::Join(Rx(), Sy())});
+  const SitPool pool = GenerateSitPool({q}, 0, builder_);
+  SitMatcher matcher(&pool);
+  matcher.BindQuery(&q);
+  FeedbackEstimator fb(&matcher);
+  EXPECT_DOUBLE_EQ(fb.AdjustmentFor(Ra()), 1.0);
+  // Untrained: pure independence product (exact single-pred estimates
+  // multiplied) = 0.5 * 0.125.
+  EXPECT_NEAR(fb.Estimate(q, q.all_predicates()), 0.0625, 1e-9);
+}
+
+TEST_F(FeedbackTest, LearnsAdjustmentFromObservation) {
+  const Query q({Predicate::Filter(Ra(), 1, 5), Predicate::Join(Rx(), Sy())});
+  const SitPool pool = GenerateSitPool({q}, 0, builder_);
+  SitMatcher matcher(&pool);
+  matcher.BindQuery(&q);
+  FeedbackEstimator fb(&matcher);
+  fb.Observe(q, &eval_);
+  // True Sel(a in [1,5] | join) = 0.7; base estimate 0.5 -> factor 1.4.
+  EXPECT_NEAR(fb.AdjustmentFor(Ra()), 1.4, 1e-9);
+  // After training on the same query, its estimate is corrected.
+  matcher.BindQuery(&q);
+  const double est = fb.Estimate(q, q.all_predicates());
+  EXPECT_NEAR(est, 0.7 * 0.125, 1e-9);
+  EXPECT_NEAR(est * 80.0, eval_.Cardinality(q, q.all_predicates()), 1e-6);
+}
+
+TEST_F(FeedbackTest, SingleAdjustmentCannotServeTwoContexts) {
+  // The structural limitation the paper highlights: one adjusted number
+  // per attribute cannot be right for two different join contexts.
+  const Query with_join({Predicate::Filter(Ra(), 1, 5),
+                         Predicate::Join(Rx(), Sy())});
+  const Query alone({Predicate::Filter(Ra(), 1, 5)});
+  const SitPool pool = GenerateSitPool({with_join, alone}, 0, builder_);
+  SitMatcher matcher(&pool);
+  matcher.BindQuery(&with_join);
+  FeedbackEstimator fb(&matcher);
+  fb.Observe(with_join, &eval_);
+
+  // Context 1 (trained): corrected.
+  matcher.BindQuery(&with_join);
+  EXPECT_NEAR(fb.Estimate(with_join, with_join.all_predicates()) * 80.0,
+              eval_.Cardinality(with_join, with_join.all_predicates()),
+              1e-6);
+  // Context 2 (the filter alone): the adjustment now *hurts* — the base
+  // estimate was exact (0.5), the adjusted one is 0.7.
+  matcher.BindQuery(&alone);
+  const double est = fb.Estimate(alone, 1);
+  const double truth = eval_.TrueSelectivity(alone, 1);
+  EXPECT_DOUBLE_EQ(truth, 0.5);
+  EXPECT_GT(std::abs(est - truth), 0.1);
+}
+
+TEST_F(FeedbackTest, AdjustmentCapsAtCertainty) {
+  // Adjusted selectivities never exceed 1.
+  const Query q({Predicate::Filter(Ra(), 1, 10), Predicate::Join(Rx(), Sy())});
+  const SitPool pool = GenerateSitPool({q}, 0, builder_);
+  SitMatcher matcher(&pool);
+  matcher.BindQuery(&q);
+  FeedbackEstimator fb(&matcher);
+  fb.Observe(q, &eval_);
+  matcher.BindQuery(&q);
+  EXPECT_LE(fb.Estimate(q, 1u << 0), 1.0);
+}
+
+TEST_F(FeedbackTest, AveragesMultipleObservations) {
+  const Query q1({Predicate::Filter(Ra(), 1, 5), Predicate::Join(Rx(), Sy())});
+  const Query q2({Predicate::Filter(Ra(), 3, 8), Predicate::Join(Rx(), Sy())});
+  const SitPool pool = GenerateSitPool({q1, q2}, 0, builder_);
+  SitMatcher matcher(&pool);
+  matcher.BindQuery(&q1);
+  FeedbackEstimator fb(&matcher);
+  fb.Observe(q1, &eval_);
+  const double after_one = fb.AdjustmentFor(Ra());
+  fb.Observe(q2, &eval_);
+  const double after_two = fb.AdjustmentFor(Ra());
+  EXPECT_NE(after_one, after_two);  // the second query has a different ratio
+  EXPECT_GT(after_two, 1.0);        // both observations push upward here
+}
+
+}  // namespace
+}  // namespace condsel

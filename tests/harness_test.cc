@@ -1,0 +1,149 @@
+// Tests for the experiment harness: sub-plan families, runner, report.
+
+#include <gtest/gtest.h>
+
+#include "condsel/harness/metrics.h"
+#include "condsel/harness/report.h"
+#include "condsel/harness/runner.h"
+#include "condsel/sit/sit_builder.h"
+#include "test_util.h"
+
+namespace condsel {
+namespace {
+
+ColumnRef Ra() { return {0, 0}; }
+ColumnRef Rx() { return {0, 1}; }
+ColumnRef Sy() { return {1, 0}; }
+ColumnRef Sb() { return {1, 1}; }
+ColumnRef Tz() { return {2, 0}; }
+ColumnRef Tc() { return {2, 1}; }
+
+Query ThreeTableQuery() {
+  return Query({Predicate::Filter(Ra(), 1, 5),      // 0
+                Predicate::Join(Rx(), Sy()),        // 1
+                Predicate::Join(Sb(), Tz()),        // 2
+                Predicate::Filter(Tc(), 1, 3)});    // 3
+}
+
+TEST(SubPlanFamilyTest, EnumeratesPlanNodes) {
+  const Query q = ThreeTableQuery();
+  const auto plans = SubPlanFamily(q);
+  // Scan nodes with filters: {f_R}, {f_T}. Join nodes: {j_RS + f_R},
+  // {j_ST + f_T}, {j_RS, j_ST + both filters}. Total 5.
+  ASSERT_EQ(plans.size(), 5u);
+  EXPECT_EQ(plans.back(), q.all_predicates());  // full query included
+  // Sorted bottom-up by size.
+  for (size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_LE(SetSize(plans[i - 1]), SetSize(plans[i]));
+  }
+  // Every join node carries all applicable filters.
+  for (PredSet p : plans) {
+    const TableSet tables = q.TablesOfSubset(p);
+    for (int i : SetElements(q.filter_predicates())) {
+      if (Contains(tables, q.predicate(i).column().table)) {
+        EXPECT_TRUE(Contains(p, i)) << "plan " << p;
+      }
+    }
+  }
+}
+
+TEST(SubPlanFamilyTest, NoFiltersMeansJoinNodesOnly) {
+  const Query q({Predicate::Join(Rx(), Sy()), Predicate::Join(Sb(), Tz())});
+  const auto plans = SubPlanFamily(q);
+  // {j1}, {j2}, {j1, j2}; scan nodes carry no predicates and are skipped.
+  EXPECT_EQ(plans.size(), 3u);
+}
+
+TEST(SubPlanFamilyTest, CrossCardinalityMatchesTables) {
+  Catalog c = test::MakeTinyCatalog();
+  const Query q = ThreeTableQuery();
+  EXPECT_DOUBLE_EQ(CrossProductCardinality(c, q, 0b0001), 10.0);
+  EXPECT_DOUBLE_EQ(CrossProductCardinality(c, q, 0b0010), 80.0);
+  EXPECT_DOUBLE_EQ(CrossProductCardinality(c, q, q.all_predicates()), 480.0);
+}
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  RunnerTest()
+      : catalog_(test::MakeTinyCatalog()),
+        eval_(&catalog_, &cache_),
+        builder_(&eval_, {HistogramType::kMaxDiff, 64}) {
+    workload_.push_back(ThreeTableQuery());
+    workload_.push_back(Query({Predicate::Filter(Ra(), 2, 6),
+                               Predicate::Join(Rx(), Sy()),
+                               Predicate::Filter(Sb(), 100, 300)}));
+  }
+
+  Catalog catalog_;
+  CardinalityCache cache_;
+  Evaluator eval_;
+  SitBuilder builder_;
+  std::vector<Query> workload_;
+};
+
+TEST_F(RunnerTest, AllTechniquesRun) {
+  const SitPool pool = GenerateSitPool(workload_, 2, builder_);
+  Runner runner(&catalog_, &eval_);
+  for (Technique t : {Technique::kNoSit, Technique::kGvm, Technique::kGsNInd,
+                      Technique::kGsDiff, Technique::kGsOpt}) {
+    const WorkloadRunResult r = runner.Run(workload_, pool, t);
+    EXPECT_EQ(r.per_query.size(), workload_.size()) << TechniqueName(t);
+    EXPECT_GE(r.avg_abs_error, 0.0) << TechniqueName(t);
+    EXPECT_GT(r.avg_matcher_calls, 0.0) << TechniqueName(t);
+  }
+}
+
+TEST_F(RunnerTest, SitsImproveAccuracyOnSkewedJoins) {
+  const SitPool j0 = GenerateSitPool(workload_, 0, builder_);
+  const SitPool j2 = GenerateSitPool(workload_, 2, builder_);
+  Runner runner(&catalog_, &eval_);
+  const double err_j0 =
+      runner.Run(workload_, j0, Technique::kGsNInd).avg_abs_error;
+  const double err_j2 =
+      runner.Run(workload_, j2, Technique::kGsNInd).avg_abs_error;
+  EXPECT_LE(err_j2, err_j0);
+}
+
+TEST_F(RunnerTest, GsOptIsBestOrTied) {
+  const SitPool pool = GenerateSitPool(workload_, 2, builder_);
+  Runner runner(&catalog_, &eval_);
+  const double opt =
+      runner.Run(workload_, pool, Technique::kGsOpt).avg_abs_error;
+  for (Technique t :
+       {Technique::kNoSit, Technique::kGsNInd, Technique::kGsDiff}) {
+    EXPECT_LE(opt, runner.Run(workload_, pool, t).avg_abs_error + 1e-6)
+        << TechniqueName(t);
+  }
+}
+
+TEST_F(RunnerTest, FullQueryStatsPopulated) {
+  const SitPool pool = GenerateSitPool(workload_, 1, builder_);
+  Runner runner(&catalog_, &eval_);
+  const WorkloadRunResult r =
+      runner.Run(workload_, pool, Technique::kGsDiff);
+  for (const QueryRunResult& qr : r.per_query) {
+    EXPECT_GT(qr.full_query_true, 0.0);
+    EXPECT_GE(qr.full_query_est, 0.0);
+    EXPECT_GE(qr.max_abs_error, 0.0);
+    EXPECT_GT(qr.analysis_seconds + qr.histogram_seconds, 0.0);
+  }
+}
+
+TEST(ReportTest, Formatting) {
+  EXPECT_EQ(FormatCount(12345.0), "12345");
+  EXPECT_EQ(FormatCount(12345.5), "12345.5");
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  // PrintTable must not crash on ragged rows.
+  PrintTable({"a", "b"}, {{"1"}, {"22", "333"}});
+}
+
+TEST(TechniqueNameTest, AllNamed) {
+  EXPECT_STREQ(TechniqueName(Technique::kNoSit), "noSit");
+  EXPECT_STREQ(TechniqueName(Technique::kGvm), "GVM");
+  EXPECT_STREQ(TechniqueName(Technique::kGsNInd), "GS-nInd");
+  EXPECT_STREQ(TechniqueName(Technique::kGsDiff), "GS-Diff");
+  EXPECT_STREQ(TechniqueName(Technique::kGsOpt), "GS-Opt");
+}
+
+}  // namespace
+}  // namespace condsel

@@ -1,0 +1,184 @@
+// Tests for 2-d histograms and multidimensional SITs.
+
+#include <gtest/gtest.h>
+
+#include "condsel/common/rng.h"
+#include "condsel/exec/evaluator.h"
+#include "condsel/histogram/histogram2d.h"
+#include "condsel/selectivity/get_selectivity.h"
+#include "condsel/sit/sit_builder.h"
+#include "condsel/sit/sit_matcher.h"
+#include "condsel/sit/sit_pool.h"
+#include "test_util.h"
+
+namespace condsel {
+namespace {
+
+// Exact fraction of pairs in the box.
+double ExactBoxSel(const std::vector<int64_t>& xs,
+                   const std::vector<int64_t>& ys, double total, int64_t xl,
+                   int64_t xh, int64_t yl, int64_t yh) {
+  size_t c = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    c += (xs[i] >= xl && xs[i] <= xh && ys[i] >= yl && ys[i] <= yh);
+  }
+  return static_cast<double>(c) / total;
+}
+
+TEST(Histogram2dTest, EmptyInput) {
+  const Histogram2d h = BuildHistogram2d({}, {}, 0.0, 16);
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.RangeSelectivity(0, 10, 0, 10), 0.0);
+}
+
+TEST(Histogram2dTest, SinglePoint) {
+  const Histogram2d h = BuildHistogram2d({5, 5}, {7, 7}, 2.0, 16);
+  EXPECT_DOUBLE_EQ(h.RangeSelectivity(5, 5, 7, 7), 1.0);
+  EXPECT_DOUBLE_EQ(h.RangeSelectivity(0, 4, 0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(h.RangeSelectivity(5, 5, 0, 6), 0.0);
+}
+
+TEST(Histogram2dTest, TotalMassPreserved) {
+  Rng rng(3);
+  std::vector<int64_t> xs(5000), ys(5000);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.NextInRange(0, 99);
+    ys[i] = rng.NextInRange(0, 99);
+  }
+  const Histogram2d h = BuildHistogram2d(xs, ys, 5000.0, 256);
+  EXPECT_NEAR(h.total_frequency(), 1.0, 1e-9);
+  EXPECT_NEAR(h.RangeSelectivity(0, 99, 0, 99), 1.0, 1e-9);
+}
+
+TEST(Histogram2dTest, NullDilution) {
+  // Source cardinality larger than the pair count: NULL rows carry no
+  // mass.
+  const Histogram2d h = BuildHistogram2d({1, 2}, {1, 2}, 4.0, 16);
+  EXPECT_NEAR(h.total_frequency(), 0.5, 1e-12);
+}
+
+TEST(Histogram2dTest, CorrelatedDataBoxAccuracy) {
+  // y tracks x: mass lives near the diagonal. A 2-d histogram captures
+  // this; the product of marginals cannot.
+  Rng rng(7);
+  std::vector<int64_t> xs(20000), ys(20000);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.NextInRange(0, 99);
+    ys[i] = std::clamp<int64_t>(xs[i] + rng.NextInRange(-3, 3), 0, 99);
+  }
+  const Histogram2d h = BuildHistogram2d(xs, ys, 20000.0, 400);
+  // On-diagonal box: dense.
+  const double on = ExactBoxSel(xs, ys, 20000.0, 20, 40, 20, 40);
+  EXPECT_NEAR(h.RangeSelectivity(20, 40, 20, 40), on, 0.07);
+  // Off-diagonal box: (nearly) empty, and the histogram must know it.
+  const double off = ExactBoxSel(xs, ys, 20000.0, 0, 20, 60, 99);
+  EXPECT_NEAR(off, 0.0, 1e-9);
+  EXPECT_LT(h.RangeSelectivity(0, 20, 60, 99), 0.02);
+  // The independence product would be badly wrong here:
+  const double px = ExactBoxSel(xs, ys, 20000.0, 20, 40, -1000, 1000);
+  const double py = ExactBoxSel(xs, ys, 20000.0, -1000, 1000, 20, 40);
+  EXPECT_GT(on, 1.5 * px * py);
+}
+
+TEST(Histogram2dTest, CellBudgetRespected) {
+  Rng rng(9);
+  std::vector<int64_t> xs(10000), ys(10000);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.NextInRange(0, 999);
+    ys[i] = rng.NextInRange(0, 999);
+  }
+  const Histogram2d h = BuildHistogram2d(xs, ys, 10000.0, 100);
+  // Phased partitioning can slightly exceed sqrt x sqrt; allow 2x slack.
+  EXPECT_LE(h.num_buckets(), 200u);
+  EXPECT_GE(h.num_buckets(), 10u);
+}
+
+class MultidimSitTest : public ::testing::Test {
+ protected:
+  MultidimSitTest() {
+    // One table with two correlated attributes plus an independent one.
+    TableSchema s;
+    s.name = "W";
+    s.columns = {{"a", 0, 99, false}, {"b", 0, 99, false},
+                 {"u", 0, 99, false}};
+    Table t(s);
+    Rng rng(21);
+    for (int64_t i = 0; i < 4000; ++i) {
+      const int64_t a = rng.NextInRange(0, 99);
+      const int64_t b = std::clamp<int64_t>(a + rng.NextInRange(-2, 2), 0, 99);
+      t.AppendRow({a, b, rng.NextInRange(0, 99)});
+    }
+    catalog_.AddTable(std::move(t));
+    eval_ = std::make_unique<Evaluator>(&catalog_, &cache_);
+    builder_ = std::make_unique<SitBuilder>(eval_.get(),
+                                            SitBuildOptions{});
+  }
+
+  Catalog catalog_;
+  CardinalityCache cache_;
+  std::unique_ptr<Evaluator> eval_;
+  std::unique_ptr<SitBuilder> builder_;
+};
+
+TEST_F(MultidimSitTest, Build2dCanonicalizesAndMeasuresCorrelation) {
+  const Sit corr = builder_->Build2d({0, 1}, {0, 0}, {});
+  EXPECT_TRUE(corr.is_multidim());
+  EXPECT_TRUE(corr.attr < corr.attr2 || corr.attr == corr.attr2);
+  EXPECT_GT(corr.diff, 0.5);  // strongly correlated pair
+
+  const Sit indep = builder_->Build2d({0, 0}, {0, 2}, {});
+  EXPECT_LT(indep.diff, 0.3);  // independent pair: near-product joint
+}
+
+TEST_F(MultidimSitTest, PoolDeduplicatesSeparatelyFrom1d) {
+  SitPool pool;
+  const SitId one_d = pool.Add(builder_->Build({0, 0}, {}));
+  const SitId two_d = pool.Add(builder_->Build2d({0, 0}, {0, 1}, {}));
+  const SitId again = pool.Add(builder_->Build2d({0, 1}, {0, 0}, {}));
+  EXPECT_NE(one_d, two_d);
+  EXPECT_EQ(two_d, again);  // canonical order dedupes the swapped pair
+}
+
+TEST_F(MultidimSitTest, DpUsesPairFactorWhenItHelps) {
+  // Query: two correlated filters. With only base 1-d histograms the
+  // estimate is the independence product (badly wrong); with the 2-d SIT
+  // the DP picks the pair factor and lands near the truth.
+  const Query q({Predicate::Filter({0, 0}, 10, 30),
+                 Predicate::Filter({0, 1}, 10, 30)});
+  const double truth = eval_->TrueSelectivity(q, q.all_predicates());
+
+  SitPool base_pool;
+  base_pool.Add(builder_->Build({0, 0}, {}));
+  base_pool.Add(builder_->Build({0, 1}, {}));
+  SitPool rich_pool = base_pool;
+  rich_pool.Add(builder_->Build2d({0, 0}, {0, 1}, {}));
+
+  DiffError diff;
+  auto estimate = [&](const SitPool& pool) {
+    SitMatcher matcher(&pool);
+    matcher.BindQuery(&q);
+    FactorApproximator fa(&matcher, &diff);
+    GetSelectivity gs(&q, &fa);
+    return gs.Compute(q.all_predicates()).selectivity;
+  };
+  const double naive = estimate(base_pool);
+  const double with_2d = estimate(rich_pool);
+  EXPECT_GT(std::abs(naive - truth), 2.0 * std::abs(with_2d - truth));
+  EXPECT_NEAR(with_2d, truth, 0.3 * truth + 1e-6);
+}
+
+TEST_F(MultidimSitTest, MatcherCandidates2Consistency) {
+  SitPool pool;
+  pool.Add(builder_->Build2d({0, 0}, {0, 1}, {}));
+  const Query q({Predicate::Filter({0, 0}, 10, 30),
+                 Predicate::Filter({0, 1}, 10, 30)});
+  SitMatcher matcher(&pool);
+  matcher.BindQuery(&q);
+  EXPECT_EQ(matcher.Candidates2({0, 0}, {0, 1}, 0).size(), 1u);
+  EXPECT_EQ(matcher.Candidates2({0, 1}, {0, 0}, 0).size(), 1u);  // swapped
+  EXPECT_TRUE(matcher.Candidates({0, 0}, 0).empty());  // not a 1-d SIT
+  EXPECT_TRUE(matcher.Candidates2({0, 0}, {0, 2}, 0).empty());
+}
+
+}  // namespace
+}  // namespace condsel

@@ -1,0 +1,121 @@
+// Tests for the histogram equi-join of Section 3.3.
+
+#include <gtest/gtest.h>
+
+#include "condsel/common/rng.h"
+#include "condsel/common/zipf.h"
+#include "condsel/histogram/builders.h"
+#include "condsel/histogram/histogram_join.h"
+
+namespace condsel {
+namespace {
+
+// Exact Sel(x=y) over the cross product of two multisets.
+double ExactJoinSel(const std::vector<int64_t>& a,
+                    const std::vector<int64_t>& b) {
+  double matches = 0.0;
+  for (int64_t x : a) {
+    for (int64_t y : b) matches += (x == y);
+  }
+  return matches / (static_cast<double>(a.size()) *
+                    static_cast<double>(b.size()));
+}
+
+TEST(HistogramJoinTest, EmptyInputsYieldZero) {
+  const Histogram h1 = BuildMaxDiff({1, 2}, 2.0, 4);
+  const Histogram empty = BuildMaxDiff({}, 0.0, 4);
+  EXPECT_DOUBLE_EQ(JoinHistograms(h1, empty).selectivity, 0.0);
+  EXPECT_DOUBLE_EQ(JoinHistograms(empty, h1).selectivity, 0.0);
+}
+
+TEST(HistogramJoinTest, DisjointDomainsYieldZero) {
+  const Histogram h1 = BuildMaxDiff({1, 2, 3}, 3.0, 8);
+  const Histogram h2 = BuildMaxDiff({10, 11, 12}, 3.0, 8);
+  EXPECT_DOUBLE_EQ(JoinHistograms(h1, h2).selectivity, 0.0);
+}
+
+TEST(HistogramJoinTest, ExactOnPerValueBuckets) {
+  // With one bucket per distinct value, the join estimate is exact.
+  const std::vector<int64_t> a = {1, 1, 2, 3, 3, 3};
+  const std::vector<int64_t> b = {1, 3, 3, 5};
+  const Histogram h1 = BuildMaxDiff(a, 6.0, 64);
+  const Histogram h2 = BuildMaxDiff(b, 4.0, 64);
+  const JoinEstimate je = JoinHistograms(h1, h2);
+  EXPECT_NEAR(je.selectivity, ExactJoinSel(a, b), 1e-12);
+}
+
+TEST(HistogramJoinTest, SymmetricSelectivity) {
+  Rng rng(17);
+  std::vector<int64_t> a(2000), b(1500);
+  for (auto& v : a) v = rng.NextInRange(0, 99);
+  for (auto& v : b) v = rng.NextInRange(0, 99);
+  const Histogram h1 = BuildMaxDiff(a, 2000.0, 30);
+  const Histogram h2 = BuildMaxDiff(b, 1500.0, 30);
+  EXPECT_NEAR(JoinHistograms(h1, h2).selectivity,
+              JoinHistograms(h2, h1).selectivity, 1e-12);
+}
+
+TEST(HistogramJoinTest, PkFkJoinAccuracy) {
+  // Primary key side: each of 0..999 once. FK side: Zipf draws. True
+  // selectivity of pk=fk is 1/1000 exactly (every FK value matches one
+  // pk).
+  std::vector<int64_t> pk(1000);
+  for (size_t i = 0; i < pk.size(); ++i) pk[i] = static_cast<int64_t>(i);
+  Rng rng(23);
+  ZipfSampler z(1000, 1.0);
+  std::vector<int64_t> fk(20000);
+  for (auto& v : fk) v = z.Next(rng);
+  const Histogram hp = BuildMaxDiff(pk, 1000.0, 200);
+  const Histogram hf = BuildMaxDiff(fk, 20000.0, 200);
+  const JoinEstimate je = JoinHistograms(hp, hf);
+  EXPECT_NEAR(je.selectivity, 1.0 / 1000.0, 2e-4);
+}
+
+TEST(HistogramJoinTest, ResultHistogramNormalized) {
+  const std::vector<int64_t> a = {1, 1, 2, 3, 3, 3};
+  const std::vector<int64_t> b = {1, 3, 3, 5};
+  const JoinEstimate je = JoinHistograms(BuildMaxDiff(a, 6.0, 64),
+                                         BuildMaxDiff(b, 4.0, 64));
+  EXPECT_NEAR(je.result.total_frequency(), 1.0, 1e-12);
+  // Exact result distribution: matches at 1 (2*1=2 tuples) and 3 (3*2=6):
+  // P(1) = 0.25, P(3) = 0.75.
+  EXPECT_NEAR(je.result.RangeSelectivity(1, 1), 0.25, 1e-12);
+  EXPECT_NEAR(je.result.RangeSelectivity(3, 3), 0.75, 1e-12);
+  // Estimated join cardinality: sel * |A| * |B| = (8/24) * 24 = 8.
+  EXPECT_NEAR(je.result.source_cardinality(), 8.0, 1e-9);
+}
+
+TEST(HistogramJoinTest, ResultHistogramEstimatesPostJoinFilter) {
+  // Example 3's pattern: estimate x=y, then a range over the join attr.
+  Rng rng(31);
+  std::vector<int64_t> a(5000), b(5000);
+  ZipfSampler z(200, 1.0);
+  for (auto& v : a) v = z.Next(rng);
+  for (auto& v : b) v = rng.NextInRange(0, 199);
+  const JoinEstimate je = JoinHistograms(BuildMaxDiff(a, 5000.0, 200),
+                                         BuildMaxDiff(b, 5000.0, 200));
+  // Exact: count matches with value <= 9 over all matches.
+  double all = 0.0, low = 0.0;
+  std::vector<double> ca(200, 0), cb(200, 0);
+  for (int64_t v : a) ++ca[static_cast<size_t>(v)];
+  for (int64_t v : b) ++cb[static_cast<size_t>(v)];
+  for (size_t v = 0; v < 200; ++v) {
+    all += ca[v] * cb[v];
+    if (v <= 9) low += ca[v] * cb[v];
+  }
+  EXPECT_NEAR(je.result.RangeSelectivity(0, 9), low / all, 0.03);
+}
+
+TEST(HistogramJoinTest, UniformUniformMatchesAnalyticValue) {
+  // Two uniform columns over the same domain D: Sel(x=y) ~ 1/|D|.
+  Rng rng(41);
+  std::vector<int64_t> a(10000), b(10000);
+  for (auto& v : a) v = rng.NextInRange(0, 499);
+  for (auto& v : b) v = rng.NextInRange(0, 499);
+  const JoinEstimate je = JoinHistograms(BuildMaxDiff(a, 10000.0, 50),
+                                         BuildMaxDiff(b, 10000.0, 50));
+  EXPECT_NEAR(je.selectivity, 1.0 / 500.0, 3e-4);
+}
+
+}  // namespace
+}  // namespace condsel

@@ -1,0 +1,203 @@
+// Tests for histogram construction and range/equality estimation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "condsel/common/rng.h"
+#include "condsel/common/zipf.h"
+#include "condsel/histogram/builders.h"
+#include "condsel/histogram/histogram.h"
+
+namespace condsel {
+namespace {
+
+std::vector<int64_t> UniformValues(size_t n, int64_t domain, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> v(n);
+  for (auto& x : v) x = rng.NextInRange(0, domain - 1);
+  return v;
+}
+
+std::vector<int64_t> ZipfValues(size_t n, int64_t domain, double theta,
+                                uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler z(domain, theta);
+  std::vector<int64_t> v(n);
+  for (auto& x : v) x = z.Next(rng);
+  return v;
+}
+
+// Exact fraction of values in [lo, hi], relative to `total`.
+double ExactRangeSel(const std::vector<int64_t>& values, double total,
+                     int64_t lo, int64_t hi) {
+  size_t c = 0;
+  for (int64_t v : values) c += (v >= lo && v <= hi);
+  return static_cast<double>(c) / total;
+}
+
+TEST(HistogramTest, EmptyInput) {
+  const Histogram h = BuildMaxDiff({}, 0.0, 10);
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.RangeSelectivity(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(h.EqualsSelectivity(5), 0.0);
+  EXPECT_DOUBLE_EQ(h.total_frequency(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  const Histogram h = BuildMaxDiff({7, 7, 7}, 3.0, 10);
+  EXPECT_EQ(h.num_buckets(), 1u);
+  EXPECT_DOUBLE_EQ(h.RangeSelectivity(7, 7), 1.0);
+  EXPECT_DOUBLE_EQ(h.RangeSelectivity(0, 6), 0.0);
+  EXPECT_DOUBLE_EQ(h.EqualsSelectivity(7), 1.0);
+}
+
+TEST(HistogramTest, NullsDiluteFrequencies) {
+  // 3 values out of a 6-tuple source: total frequency is 0.5.
+  const Histogram h = BuildMaxDiff({1, 2, 3}, 6.0, 10);
+  EXPECT_NEAR(h.total_frequency(), 0.5, 1e-12);
+  EXPECT_NEAR(h.RangeSelectivity(1, 3), 0.5, 1e-12);
+}
+
+TEST(HistogramTest, ExactWhenBucketsCoverAllDistincts) {
+  // With enough buckets every distinct value gets its own bucket and all
+  // estimates are exact.
+  const std::vector<int64_t> vals = {1, 1, 2, 5, 5, 5, 9, 12, 12, 20};
+  const Histogram h = BuildMaxDiff(vals, 10.0, 64);
+  for (int64_t lo = 0; lo <= 21; ++lo) {
+    for (int64_t hi = lo; hi <= 21; ++hi) {
+      EXPECT_NEAR(h.RangeSelectivity(lo, hi),
+                  ExactRangeSel(vals, 10.0, lo, hi), 1e-12)
+          << lo << ".." << hi;
+    }
+  }
+  EXPECT_NEAR(h.EqualsSelectivity(5), 0.3, 1e-12);
+  EXPECT_NEAR(h.TotalDistinct(), 6.0, 1e-12);
+}
+
+TEST(HistogramTest, FullDomainRangeIsTotalFrequency) {
+  const auto vals = UniformValues(5000, 1000, 1);
+  for (const HistogramType t :
+       {HistogramType::kMaxDiff, HistogramType::kEquiDepth,
+        HistogramType::kEquiWidth}) {
+    const Histogram h = BuildHistogram(t, vals, 5000.0, 50);
+    EXPECT_NEAR(h.RangeSelectivity(0, 999), 1.0, 1e-9)
+        << HistogramTypeName(t);
+    EXPECT_NEAR(h.total_frequency(), 1.0, 1e-9);
+  }
+}
+
+TEST(HistogramTest, BucketBudgetRespected) {
+  const auto vals = UniformValues(10000, 5000, 2);
+  for (const HistogramType t :
+       {HistogramType::kMaxDiff, HistogramType::kEquiDepth,
+        HistogramType::kEquiWidth}) {
+    const Histogram h = BuildHistogram(t, vals, 10000.0, 20);
+    EXPECT_LE(h.num_buckets(), 20u) << HistogramTypeName(t);
+    EXPECT_GE(h.num_buckets(), 2u) << HistogramTypeName(t);
+  }
+}
+
+TEST(HistogramTest, BucketsSortedAndDisjoint) {
+  const auto vals = ZipfValues(20000, 2000, 1.0, 3);
+  for (const HistogramType t :
+       {HistogramType::kMaxDiff, HistogramType::kEquiDepth,
+        HistogramType::kEquiWidth}) {
+    const Histogram h = BuildHistogram(t, vals, 20000.0, 100);
+    const auto& b = h.buckets();
+    for (size_t i = 1; i < b.size(); ++i) {
+      EXPECT_LT(b[i - 1].hi, b[i].lo) << HistogramTypeName(t);
+    }
+  }
+}
+
+TEST(HistogramTest, MaxDiffIsolatesHeavyHitters) {
+  // One huge spike amid a uniform sea: MaxDiff should put the spike in
+  // its own bucket, making its equality estimate (nearly) exact.
+  std::vector<int64_t> vals = UniformValues(1000, 1000, 4);
+  for (int i = 0; i < 4000; ++i) vals.push_back(500);
+  const Histogram h = BuildMaxDiff(vals, 5000.0, 30);
+  EXPECT_NEAR(h.EqualsSelectivity(500), 4000.0 / 5000.0, 0.05);
+}
+
+TEST(HistogramTest, RangeAccuracyOnSkewedData) {
+  const auto vals = ZipfValues(50000, 1000, 1.2, 5);
+  const Histogram h = BuildMaxDiff(vals, 50000.0, 200);
+  // Estimates over moderately wide ranges should land within a couple of
+  // percentage points of truth even under heavy skew.
+  for (const auto& [lo, hi] : std::vector<std::pair<int64_t, int64_t>>{
+           {0, 9}, {0, 49}, {10, 99}, {100, 499}, {500, 999}}) {
+    EXPECT_NEAR(h.RangeSelectivity(lo, hi),
+                ExactRangeSel(vals, 50000.0, lo, hi), 0.03)
+        << lo << ".." << hi;
+  }
+}
+
+TEST(HistogramTest, EquiDepthBalancesMass) {
+  const auto vals = ZipfValues(30000, 500, 1.0, 6);
+  const Histogram h = BuildEquiDepth(vals, 30000.0, 20);
+  double max_f = 0.0;
+  for (const Bucket& b : h.buckets()) max_f = std::max(max_f, b.frequency);
+  // No bucket should carry more than a few times the average mass, except
+  // when a single value dominates. Zipf(1.0) rank-0 mass over 500 values
+  // is ~15%, so allow that.
+  EXPECT_LE(max_f, 0.25);
+}
+
+TEST(HistogramTest, EndBiasedIsolatesHeavyHitters) {
+  // Two spikes in a uniform sea: end-biased gives them singleton buckets,
+  // so their equality estimates are exact even at a tiny budget.
+  std::vector<int64_t> vals = UniformValues(2000, 1000, 12);
+  for (int i = 0; i < 3000; ++i) vals.push_back(250);
+  for (int i = 0; i < 2000; ++i) vals.push_back(750);
+  const double total = static_cast<double>(vals.size());
+  const Histogram h = BuildEndBiased(vals, total, 10);
+  EXPECT_NEAR(h.EqualsSelectivity(250), 3000.0 / total, 0.02);
+  EXPECT_NEAR(h.EqualsSelectivity(750), 2000.0 / total, 0.02);
+  EXPECT_LE(h.num_buckets(), 10u);
+}
+
+TEST(HistogramTest, DomainEndpoints) {
+  const Histogram h = BuildMaxDiff({5, 8, 20}, 3.0, 8);
+  const auto [lo, hi] = h.Domain();
+  EXPECT_EQ(lo, 5);
+  EXPECT_EQ(hi, 20);
+}
+
+TEST(HistogramTest, DistinctCountsHelper) {
+  const auto runs = DistinctCounts({1, 1, 2, 2, 2, 7});
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], (std::pair<int64_t, uint64_t>{1, 2}));
+  EXPECT_EQ(runs[1], (std::pair<int64_t, uint64_t>{2, 3}));
+  EXPECT_EQ(runs[2], (std::pair<int64_t, uint64_t>{7, 1}));
+}
+
+// Parameterized sweep: every builder must reproduce total mass and stay
+// within budget across data shapes.
+class BuilderSweepTest
+    : public ::testing::TestWithParam<std::tuple<HistogramType, double, int>> {
+};
+
+TEST_P(BuilderSweepTest, MassConservation) {
+  const auto [type, theta, buckets] = GetParam();
+  const auto vals = ZipfValues(20000, 1500, theta, 99);
+  const Histogram h = BuildHistogram(type, vals, 20000.0, buckets);
+  EXPECT_LE(static_cast<int>(h.num_buckets()), buckets);
+  EXPECT_NEAR(h.total_frequency(), 1.0, 1e-9);
+  // Partition property: disjoint ranges sum to the total.
+  const double left = h.RangeSelectivity(0, 700);
+  const double right = h.RangeSelectivity(701, 1499);
+  EXPECT_NEAR(left + right, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BuilderSweepTest,
+    ::testing::Combine(::testing::Values(HistogramType::kMaxDiff,
+                                         HistogramType::kEquiDepth,
+                                         HistogramType::kEquiWidth,
+                                         HistogramType::kEndBiased),
+                       ::testing::Values(0.0, 0.5, 1.0, 1.5),
+                       ::testing::Values(8, 50, 200)));
+
+}  // namespace
+}  // namespace condsel

@@ -1,0 +1,163 @@
+// End-to-end integration test on a miniature snowflake database:
+// reproduces the paper's qualitative results at test scale.
+
+#include <gtest/gtest.h>
+
+#include "condsel/datagen/snowflake.h"
+#include "condsel/datagen/workload.h"
+#include "condsel/harness/runner.h"
+#include "condsel/sit/sit_builder.h"
+#include "condsel/selectivity/error_function.h"
+#include "condsel/sit/sit_pool.h"
+
+namespace condsel {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SnowflakeOptions opt;
+    opt.scale = 0.004;
+    opt.zipf_theta = 1.0;
+    catalog_ = new Catalog(BuildSnowflake(opt));
+    cache_ = new CardinalityCache();
+    eval_ = new Evaluator(catalog_, cache_);
+
+    WorkloadOptions wopt;
+    wopt.num_queries = 6;
+    wopt.num_joins = 3;
+    wopt.num_filters = 3;
+    workload_ = new std::vector<Query>(
+        GenerateWorkload(*catalog_, eval_, wopt));
+
+    SitBuilder builder(eval_, {HistogramType::kMaxDiff, 100});
+    pools_ = new std::vector<SitPool>();
+    for (int j = 0; j <= 3; ++j) {
+      pools_->push_back(GenerateSitPool(*workload_, j, builder));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete pools_;
+    delete workload_;
+    delete eval_;
+    delete cache_;
+    delete catalog_;
+  }
+
+  static Catalog* catalog_;
+  static CardinalityCache* cache_;
+  static Evaluator* eval_;
+  static std::vector<Query>* workload_;
+  static std::vector<SitPool>* pools_;
+};
+
+Catalog* IntegrationTest::catalog_ = nullptr;
+CardinalityCache* IntegrationTest::cache_ = nullptr;
+Evaluator* IntegrationTest::eval_ = nullptr;
+std::vector<Query>* IntegrationTest::workload_ = nullptr;
+std::vector<SitPool>* IntegrationTest::pools_ = nullptr;
+
+TEST_F(IntegrationTest, PoolSizesGrow) {
+  for (size_t j = 1; j < pools_->size(); ++j) {
+    EXPECT_GE((*pools_)[j].size(), (*pools_)[j - 1].size());
+  }
+  EXPECT_GT(pools_->back().size(), pools_->front().size());
+}
+
+TEST_F(IntegrationTest, RicherPoolsReduceGsError) {
+  Runner runner(catalog_, eval_);
+  double prev = kInfiniteError;
+  for (size_t j = 0; j < pools_->size(); ++j) {
+    const double err =
+        runner.Run(*workload_, (*pools_)[j], Technique::kGsDiff)
+            .avg_abs_error;
+    // Allow tiny non-monotonic noise; the overall trend must be down.
+    if (j > 0) {
+      EXPECT_LE(err, prev * 1.25) << "J" << j;
+    }
+    prev = err;
+  }
+  const double err_j0 =
+      runner.Run(*workload_, pools_->front(), Technique::kGsDiff)
+          .avg_abs_error;
+  const double err_j3 =
+      runner.Run(*workload_, pools_->back(), Technique::kGsDiff)
+          .avg_abs_error;
+  EXPECT_LT(err_j3, err_j0);
+}
+
+TEST_F(IntegrationTest, TechniqueOrderingAtFullPool) {
+  Runner runner(catalog_, eval_);
+  const SitPool& pool = pools_->back();
+  const double no_sit =
+      runner.Run(*workload_, pool, Technique::kNoSit).avg_abs_error;
+  const double gs_n_ind =
+      runner.Run(*workload_, pool, Technique::kGsNInd).avg_abs_error;
+  const double gs_opt =
+      runner.Run(*workload_, pool, Technique::kGsOpt).avg_abs_error;
+  // The paper's headline ordering (Fig. 7): GS-Opt <= GS-* << noSit.
+  EXPECT_LE(gs_opt, gs_n_ind + 1e-9);
+  EXPECT_LT(gs_opt, no_sit);
+  EXPECT_LT(gs_n_ind, no_sit);
+}
+
+TEST_F(IntegrationTest, GsDiffBeatsOrTiesGvmPerQuery) {
+  // Figure 5's shape: every point lies on or below the x = y line, with
+  // strict wins. The J_1 pool is where GVM's view-matching constraint
+  // binds: filters on different dimensions hold SITs whose expressions
+  // overlap on the fact table without nesting (the Figure 1 conflict),
+  // so GVM must drop one while getSelectivity uses both in separate
+  // factors. (We assert this for GS-Diff; GS-nInd's syntactic ranking can
+  // occasionally prefer a worse decomposition on sparse pools — exactly
+  // the weakness Section 3.5 motivates Diff with. See EXPERIMENTS.md.)
+  Runner runner(catalog_, eval_);
+  const SitPool& pool = (*pools_)[1];
+  const WorkloadRunResult gvm =
+      runner.Run(*workload_, pool, Technique::kGvm);
+  const WorkloadRunResult gs =
+      runner.Run(*workload_, pool, Technique::kGsDiff);
+  ASSERT_EQ(gvm.per_query.size(), gs.per_query.size());
+  int strictly_better = 0;
+  for (size_t i = 0; i < gs.per_query.size(); ++i) {
+    EXPECT_LE(gs.per_query[i].avg_abs_error,
+              gvm.per_query[i].avg_abs_error * 1.05 + 1e-6)
+        << "query " << i;
+    strictly_better += gs.per_query[i].avg_abs_error <
+                       gvm.per_query[i].avg_abs_error - 1e-9;
+  }
+  EXPECT_GT(strictly_better, 0);
+}
+
+TEST_F(IntegrationTest, GsDiffTracksOracleClosely) {
+  // Figure 7's second headline: GS-Diff is "very close to the optimal
+  // strategy GS-Opt".
+  Runner runner(catalog_, eval_);
+  for (size_t j = 1; j < pools_->size(); ++j) {
+    const double diff =
+        runner.Run(*workload_, (*pools_)[j], Technique::kGsDiff)
+            .avg_abs_error;
+    const double opt =
+        runner.Run(*workload_, (*pools_)[j], Technique::kGsOpt)
+            .avg_abs_error;
+    EXPECT_LE(diff, opt * 1.5 + 1.0) << "J" << j;
+    EXPECT_GE(diff, opt - 1e-9) << "J" << j;
+  }
+}
+
+TEST_F(IntegrationTest, SitsBeatBaseStatisticsClearly) {
+  // The motivating effect: with skewed FKs and correlated attributes,
+  // base statistics mis-estimate sub-plans badly; SIT-aware estimation
+  // must cut the average absolute error substantially.
+  Runner runner(catalog_, eval_);
+  const double no_sit =
+      runner.Run(*workload_, pools_->back(), Technique::kNoSit)
+          .avg_abs_error;
+  const double gs_diff =
+      runner.Run(*workload_, pools_->back(), Technique::kGsDiff)
+          .avg_abs_error;
+  EXPECT_LT(gs_diff, 0.8 * no_sit);
+}
+
+}  // namespace
+}  // namespace condsel

@@ -1,0 +1,147 @@
+// Tests for the cost-based join-order optimizer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "condsel/exec/evaluator.h"
+#include "condsel/optimizer/join_ordering.h"
+#include "test_util.h"
+
+namespace condsel {
+namespace {
+
+ColumnRef Ra() { return {0, 0}; }
+ColumnRef Rx() { return {0, 1}; }
+ColumnRef Sy() { return {1, 0}; }
+ColumnRef Sb() { return {1, 1}; }
+ColumnRef Tz() { return {2, 0}; }
+ColumnRef Tc() { return {2, 1}; }
+
+Query ChainQuery() {
+  return Query({Predicate::Filter(Ra(), 1, 5),      // 0
+                Predicate::Join(Rx(), Sy()),        // 1
+                Predicate::Join(Sb(), Tz()),        // 2
+                Predicate::Filter(Tc(), 1, 3)});    // 3
+}
+
+class JoinOrderingTest : public ::testing::Test {
+ protected:
+  JoinOrderingTest()
+      : catalog_(test::MakeTinyCatalog()), eval_(&catalog_, &cache_) {}
+
+  CardinalityFn TrueCards(const Query& q) {
+    return [this, &q](PredSet p) { return eval_.Cardinality(q, p); };
+  }
+
+  Catalog catalog_;
+  CardinalityCache cache_;
+  Evaluator eval_;
+};
+
+TEST_F(JoinOrderingTest, TwoTableQueryHasOneShape) {
+  const Query q({Predicate::Join(Rx(), Sy()), Predicate::Filter(Ra(), 1, 5)});
+  JoinOrderOptimizer opt(&q, &catalog_);
+  const PlanResult plan = opt.Optimize(TrueCards(q));
+  // One join node whose cardinality is the full query's.
+  EXPECT_DOUBLE_EQ(plan.estimated_cost,
+                   eval_.Cardinality(q, q.all_predicates()));
+  EXPECT_EQ(plan.tree.nodes.size(), 3u);  // 2 leaves + 1 join
+}
+
+TEST_F(JoinOrderingTest, TreeStructureIsConsistent) {
+  const Query q = ChainQuery();
+  JoinOrderOptimizer opt(&q, &catalog_);
+  const PlanResult plan = opt.Optimize(TrueCards(q));
+  // 3 tables -> 3 leaves, 2 internal nodes.
+  int leaves = 0, internals = 0;
+  for (const auto& n : plan.tree.nodes) {
+    if (n.is_leaf) {
+      ++leaves;
+      EXPECT_NE(n.table, kInvalidTableId);
+    } else {
+      ++internals;
+      EXPECT_GE(n.left, 0);
+      EXPECT_GE(n.right, 0);
+      // A join node's predicates include its children's.
+      EXPECT_TRUE(IsSubset(
+          plan.tree.nodes[static_cast<size_t>(n.left)].preds, n.preds));
+      EXPECT_TRUE(IsSubset(
+          plan.tree.nodes[static_cast<size_t>(n.right)].preds, n.preds));
+    }
+  }
+  EXPECT_EQ(leaves, 3);
+  EXPECT_EQ(internals, 2);
+  // Root covers the whole query.
+  EXPECT_EQ(plan.tree.nodes[static_cast<size_t>(plan.tree.root)].preds,
+            q.all_predicates());
+}
+
+TEST_F(JoinOrderingTest, OptimalUnderTrueCardsBeatsAlternatives) {
+  // For the chain R-S-T there are two bushy shapes: (R JOIN S) JOIN T and
+  // R JOIN (S JOIN T). The DP must pick the cheaper intermediate.
+  const Query q = ChainQuery();
+  JoinOrderOptimizer opt(&q, &catalog_);
+  const CardinalityFn truth = TrueCards(q);
+  const PlanResult best = opt.Optimize(truth);
+
+  // Cost of each shape by hand: C_out = |inner join node| + |root|.
+  const double root = eval_.Cardinality(q, q.all_predicates());
+  const double rs = eval_.Cardinality(q, 0b0011);   // (f_R, j_RS)
+  const double st = eval_.Cardinality(q, 0b1100);   // (j_ST, f_T)
+  const double expected = root + std::min(rs, st);
+  EXPECT_DOUBLE_EQ(best.estimated_cost, expected);
+  EXPECT_DOUBLE_EQ(opt.Cost(best.tree, truth), expected);
+}
+
+TEST_F(JoinOrderingTest, MisleadingEstimatesPickWorsePlans) {
+  const Query q = ChainQuery();
+  JoinOrderOptimizer opt(&q, &catalog_);
+  const CardinalityFn truth = TrueCards(q);
+  const double optimal = opt.Cost(opt.Optimize(truth).tree, truth);
+
+  // An adversarial estimator that inverts the relative cost of the two
+  // inner joins.
+  const double rs = eval_.Cardinality(q, 0b0011);
+  const double st = eval_.Cardinality(q, 0b1100);
+  ASSERT_NE(rs, st);  // the tiny catalog makes these differ
+  const CardinalityFn lying = [&](PredSet p) {
+    if (p == 0b0011u) return st;
+    if (p == 0b1100u) return rs;
+    return truth(p);
+  };
+  const PlanResult lied = opt.Optimize(lying);
+  EXPECT_GE(opt.Cost(lied.tree, truth), optimal);
+  EXPECT_GT(opt.Cost(lied.tree, truth), optimal - 1e-12);
+  // And specifically: the lying optimizer picked the worse inner join.
+  EXPECT_DOUBLE_EQ(opt.Cost(lied.tree, truth),
+                   eval_.Cardinality(q, q.all_predicates()) +
+                       std::max(rs, st));
+}
+
+TEST_F(JoinOrderingTest, CyclicJoinGraphSupported) {
+  // R joins S on two column pairs (a 2-cycle in the join graph).
+  Catalog c;
+  c.AddTable(test::MakeTable("U", {"u1", "u2"}, {{1, 5}, {2, 6}, {3, 7}}));
+  c.AddTable(test::MakeTable("V", {"v1", "v2"}, {{1, 5}, {2, 9}, {3, 7}}));
+  CardinalityCache cache;
+  Evaluator ev(&c, &cache);
+  const Query q({Predicate::Join({0, 0}, {1, 0}),
+                 Predicate::Join({0, 1}, {1, 1})});
+  JoinOrderOptimizer opt(&q, &c);
+  const PlanResult plan = opt.Optimize(
+      [&](PredSet p) { return ev.Cardinality(q, p); });
+  EXPECT_DOUBLE_EQ(plan.estimated_cost, 2.0);  // both join preds at once
+}
+
+TEST_F(JoinOrderingTest, ToStringListsTables) {
+  const Query q = ChainQuery();
+  JoinOrderOptimizer opt(&q, &catalog_);
+  const PlanResult plan = opt.Optimize(TrueCards(q));
+  const std::string s = plan.tree.ToString(q, catalog_);
+  EXPECT_NE(s.find("R"), std::string::npos);
+  EXPECT_NE(s.find("JOIN"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace condsel

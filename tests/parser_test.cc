@@ -1,0 +1,195 @@
+// Tests for the SQL-ish parser.
+
+#include <gtest/gtest.h>
+
+#include "condsel/common/rng.h"
+#include "condsel/exec/evaluator.h"
+#include "condsel/parser/parser.h"
+#include "test_util.h"
+
+namespace condsel {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() : catalog_(test::MakeTinyCatalog()) {}
+  Catalog catalog_;
+};
+
+TEST_F(ParserTest, MinimalQuery) {
+  const ParseResult r =
+      ParseQuery(catalog_, "SELECT COUNT(*) FROM R");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.num_predicates(), 0);
+}
+
+TEST_F(ParserTest, JoinAndFilters) {
+  const ParseResult r = ParseQuery(
+      catalog_,
+      "SELECT COUNT(*) FROM R, S WHERE R.x = S.y AND R.a BETWEEN 2 AND 6 "
+      "AND S.b >= 100");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.num_predicates(), 3);
+  EXPECT_EQ(SetSize(r.query.join_predicates()), 1);
+  EXPECT_EQ(SetSize(r.query.filter_predicates()), 2);
+}
+
+TEST_F(ParserTest, CaseInsensitiveKeywords) {
+  const ParseResult r = ParseQuery(
+      catalog_, "select count(*) from R where R.a between 1 and 3");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.num_predicates(), 1);
+}
+
+TEST_F(ParserTest, ComparisonOperators) {
+  const ParseResult r = ParseQuery(
+      catalog_,
+      "SELECT COUNT(*) FROM R WHERE R.a < 5 AND R.a > 1 AND R.x <= 30 "
+      "AND R.x >= 10 AND R.a = 3");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.query.num_predicates(), 5);
+  // "< 5" becomes [min, 4].
+  EXPECT_EQ(r.query.predicate(0).hi(), 4);
+  // "> 1" becomes [2, max].
+  EXPECT_EQ(r.query.predicate(1).lo(), 2);
+  // "= 3" is a degenerate range.
+  EXPECT_EQ(r.query.predicate(4).lo(), 3);
+  EXPECT_EQ(r.query.predicate(4).hi(), 3);
+}
+
+TEST_F(ParserTest, JoinCanonicalizedLikeApi) {
+  const ParseResult a =
+      ParseQuery(catalog_, "SELECT COUNT(*) FROM R, S WHERE R.x = S.y");
+  const ParseResult b =
+      ParseQuery(catalog_, "SELECT COUNT(*) FROM S, R WHERE S.y = R.x");
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(a.query.predicate(0), b.query.predicate(0));
+}
+
+TEST_F(ParserTest, ErrorUnknownTable) {
+  const ParseResult r =
+      ParseQuery(catalog_, "SELECT COUNT(*) FROM nope");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("nope"), std::string::npos);
+}
+
+TEST_F(ParserTest, ErrorUnknownColumn) {
+  const ParseResult r = ParseQuery(
+      catalog_, "SELECT COUNT(*) FROM R WHERE R.nope = 3");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("R.nope"), std::string::npos);
+}
+
+TEST_F(ParserTest, ErrorTableNotInFrom) {
+  const ParseResult r = ParseQuery(
+      catalog_, "SELECT COUNT(*) FROM R WHERE S.b = 100");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("FROM"), std::string::npos);
+}
+
+TEST_F(ParserTest, ErrorSelfJoinListedTwice) {
+  const ParseResult r =
+      ParseQuery(catalog_, "SELECT COUNT(*) FROM R, R");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(ParserTest, ErrorTrailingGarbage) {
+  const ParseResult r = ParseQuery(
+      catalog_, "SELECT COUNT(*) FROM R WHERE R.a = 1 GROUP BY R.a");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(ParserTest, ErrorEmptyRange) {
+  // R.a's declared domain starts at 0; "< 0" can never hold.
+  const ParseResult r =
+      ParseQuery(catalog_, "SELECT COUNT(*) FROM R WHERE R.a < 0");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("selects nothing"), std::string::npos);
+}
+
+TEST_F(ParserTest, ErrorBetweenOutOfOrder) {
+  const ParseResult r = ParseQuery(
+      catalog_, "SELECT COUNT(*) FROM R WHERE R.a BETWEEN 9 AND 2");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(ParserTest, ErrorSameTableEquality) {
+  const ParseResult r = ParseQuery(
+      catalog_, "SELECT COUNT(*) FROM R WHERE R.a = R.x");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(ParserTest, NegativeNumbers) {
+  const ParseResult r = ParseQuery(
+      catalog_, "SELECT COUNT(*) FROM R WHERE R.a BETWEEN -5 AND 3");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.predicate(0).lo(), -5);
+}
+
+TEST_F(ParserTest, ParsedQueryEvaluatesCorrectly) {
+  // End to end: parse, evaluate, compare with a hand-built query.
+  const ParseResult r = ParseQuery(
+      catalog_,
+      "SELECT COUNT(*) FROM R, S WHERE R.x = S.y AND R.a <= 5");
+  ASSERT_TRUE(r.ok) << r.error;
+  CardinalityCache cache;
+  Evaluator eval(&catalog_, &cache);
+  const double parsed =
+      eval.Cardinality(r.query, r.query.all_predicates());
+  const Query manual({Predicate::Join({0, 1}, {1, 0}),
+                      Predicate::Filter({0, 0}, 0, 5)});
+  EXPECT_DOUBLE_EQ(parsed,
+                   eval.Cardinality(manual, manual.all_predicates()));
+}
+
+TEST_F(ParserTest, FuzzedInputsNeverCrash) {
+  // Random token soup: every outcome must be a clean ok/error result.
+  Rng rng(31337);
+  const std::vector<std::string> tokens = {
+      "SELECT", "COUNT", "(", ")", "*", "FROM", "WHERE", "AND", "BETWEEN",
+      "R", "S", "T", ".", ",", "a", "x", "y", "b", "z", "c", "=", "<",
+      ">", "<=", ">=", "1", "42", "-7", "nope", "_x1", "<>",
+  };
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string sql;
+    const int len = 1 + static_cast<int>(rng.NextBelow(24));
+    for (int i = 0; i < len; ++i) {
+      sql += tokens[static_cast<size_t>(rng.NextBelow(tokens.size()))];
+      if (rng.NextBool(0.7)) sql += " ";
+    }
+    const ParseResult r = ParseQuery(catalog_, sql);
+    if (!r.ok) {
+      EXPECT_FALSE(r.error.empty()) << sql;
+    }
+  }
+}
+
+TEST_F(ParserTest, MutatedValidQueryNeverCrashes) {
+  const std::string base =
+      "SELECT COUNT(*) FROM R, S WHERE R.x = S.y AND R.a BETWEEN 2 AND 6";
+  Rng rng(99);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string sql = base;
+    const int edits = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = static_cast<size_t>(rng.NextBelow(sql.size()));
+      switch (rng.NextBelow(3)) {
+        case 0:
+          sql[pos] = static_cast<char>('!' + rng.NextBelow(90));
+          break;
+        case 1:
+          sql.erase(pos, 1);
+          break;
+        default:
+          sql.insert(pos, 1,
+                     static_cast<char>('!' + rng.NextBelow(90)));
+          break;
+      }
+      if (sql.empty()) sql = " ";
+    }
+    ParseQuery(catalog_, sql);  // must not crash or hang
+  }
+}
+
+}  // namespace
+}  // namespace condsel

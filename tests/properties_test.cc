@@ -1,0 +1,201 @@
+// Property-based tests over randomized databases and queries:
+//  - Property 1 (atomic decomposition) holds exactly on real data;
+//  - Property 2 (separable decomposition) holds exactly;
+//  - Theorem 1: the DP equals the exhaustive minimum (separable-first)
+//    and is never beaten by the unrestricted search;
+//  - estimates are probabilities; memo reuse is consistent.
+
+#include <gtest/gtest.h>
+
+#include "condsel/common/rng.h"
+#include "condsel/exec/evaluator.h"
+#include "condsel/selectivity/exhaustive.h"
+#include "condsel/selectivity/get_selectivity.h"
+#include "condsel/sit/sit_builder.h"
+#include "condsel/sit/sit_pool.h"
+#include "test_util.h"
+
+namespace condsel {
+namespace {
+
+// A randomized 3-table database with skew, correlation, and NULLs.
+Catalog RandomCatalog(uint64_t seed) {
+  Rng rng(seed);
+  Catalog catalog;
+
+  auto rows_for = [&](size_t n, auto gen) {
+    std::vector<std::vector<int64_t>> rows;
+    for (size_t i = 0; i < n; ++i) rows.push_back(gen(i));
+    return rows;
+  };
+
+  const size_t nr = 40 + rng.NextBelow(40);
+  catalog.AddTable(test::MakeTable(
+      "R", {"a", "x"}, rows_for(nr, [&](size_t) -> std::vector<int64_t> {
+        // x is skewed toward small values; a correlates with x.
+        const int64_t x = static_cast<int64_t>(rng.NextBelow(6)) *
+                          static_cast<int64_t>(rng.NextBelow(6));
+        return {x / 2 + rng.NextInRange(0, 3), x};
+      })));
+  const size_t ns = 30 + rng.NextBelow(30);
+  catalog.AddTable(test::MakeTable(
+      "S", {"y", "b"}, rows_for(ns, [&](size_t) -> std::vector<int64_t> {
+        const int64_t y = rng.NextBool(0.1)
+                              ? kNullValue
+                              : static_cast<int64_t>(rng.NextBelow(25));
+        return {y, static_cast<int64_t>(rng.NextBelow(8))};
+      })));
+  const size_t nt = 20 + rng.NextBelow(20);
+  catalog.AddTable(test::MakeTable(
+      "T", {"z", "c"}, rows_for(nt, [&](size_t) -> std::vector<int64_t> {
+        return {static_cast<int64_t>(rng.NextBelow(8)),
+                static_cast<int64_t>(rng.NextBelow(10))};
+      })));
+  return catalog;
+}
+
+Query RandomQuery(Rng& rng) {
+  std::vector<Predicate> preds;
+  preds.push_back(Predicate::Join({0, 1}, {1, 0}));  // R.x = S.y
+  if (rng.NextBool(0.7)) {
+    preds.push_back(Predicate::Join({1, 1}, {2, 0}));  // S.b = T.z
+  }
+  const int64_t alo = rng.NextInRange(0, 10);
+  preds.push_back(Predicate::Filter({0, 0}, alo, alo + rng.NextInRange(1, 6)));
+  if (rng.NextBool(0.6)) {
+    const int64_t clo = rng.NextInRange(0, 6);
+    preds.push_back(Predicate::Filter({2, 1}, clo, clo + 3));
+  }
+  return Query(std::move(preds));
+}
+
+class PropertiesTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertiesTest, AtomicDecompositionExact) {
+  Catalog catalog = RandomCatalog(GetParam());
+  CardinalityCache cache;
+  Evaluator eval(&catalog, &cache);
+  Rng rng(GetParam() * 31 + 1);
+  const Query q = RandomQuery(rng);
+  const PredSet all = q.all_predicates();
+  for (PredSet p = all; p != 0; p = PrevSubmask(all, p)) {
+    const PredSet cond = all & ~p;
+    const double lhs = eval.TrueSelectivity(q, all);
+    const double rhs = eval.TrueConditionalSelectivity(q, p, cond) *
+                       eval.TrueSelectivity(q, cond);
+    ASSERT_NEAR(lhs, rhs, 1e-12);
+  }
+}
+
+TEST_P(PropertiesTest, SeparableDecompositionExact) {
+  Catalog catalog = RandomCatalog(GetParam());
+  CardinalityCache cache;
+  Evaluator eval(&catalog, &cache);
+  // R-filter and T-filter are table-disjoint: Property 2 says the joint
+  // selectivity factors exactly.
+  const Query q({Predicate::Filter({0, 0}, 0, 4),
+                 Predicate::Filter({2, 1}, 0, 5)});
+  const double joint = eval.TrueSelectivity(q, 0b11);
+  const double product =
+      eval.TrueSelectivity(q, 0b01) * eval.TrueSelectivity(q, 0b10);
+  EXPECT_NEAR(joint, product, 1e-12);
+}
+
+TEST_P(PropertiesTest, DpMatchesExhaustiveAndEstimatesAreProbabilities) {
+  Catalog catalog = RandomCatalog(GetParam());
+  CardinalityCache cache;
+  Evaluator eval(&catalog, &cache);
+  SitBuilder builder(&eval, {HistogramType::kMaxDiff, 32});
+  Rng rng(GetParam() * 77 + 5);
+  const Query q = RandomQuery(rng);
+
+  const SitPool pool = GenerateSitPool({q}, 2, builder);
+  SitMatcher matcher(&pool);
+  matcher.BindQuery(&q);
+
+  NIndError n_ind;
+  DiffError diff;
+  for (const ErrorFunction* fn :
+       std::initializer_list<const ErrorFunction*>{&n_ind, &diff}) {
+    FactorApproximator fa(&matcher, fn);
+    GetSelectivity gs(&q, &fa);
+    const SelEstimate dp = gs.Compute(q.all_predicates());
+    const ExhaustiveResult pruned =
+        ExhaustiveBest(q, q.all_predicates(), &fa, true);
+    const ExhaustiveResult full =
+        ExhaustiveBest(q, q.all_predicates(), &fa, false);
+    ASSERT_NEAR(dp.error, pruned.error, 1e-9) << fn->name();
+    ASSERT_LE(dp.error, full.error + 1e-9) << fn->name();
+
+    // Every subset's estimate must be a probability.
+    for (PredSet p = 1; p <= q.all_predicates(); ++p) {
+      const double sel = gs.Compute(p).selectivity;
+      ASSERT_GE(sel, 0.0);
+      ASSERT_LE(sel, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST_P(PropertiesTest, MoreConditioningNeverWorsensOptimalNInd) {
+  // Growing the SIT pool can only shrink the best nInd error (the old
+  // decompositions all remain available).
+  Catalog catalog = RandomCatalog(GetParam());
+  CardinalityCache cache;
+  Evaluator eval(&catalog, &cache);
+  SitBuilder builder(&eval, {HistogramType::kMaxDiff, 32});
+  Rng rng(GetParam() * 13 + 3);
+  const Query q = RandomQuery(rng);
+  NIndError n_ind;
+
+  double prev = kInfiniteError;
+  for (int j = 0; j <= 2; ++j) {
+    const SitPool pool = GenerateSitPool({q}, j, builder);
+    SitMatcher matcher(&pool);
+    matcher.BindQuery(&q);
+    FactorApproximator fa(&matcher, &n_ind);
+    GetSelectivity gs(&q, &fa);
+    const double err = gs.Compute(q.all_predicates()).error;
+    ASSERT_LE(err, prev + 1e-12) << "J" << j;
+    prev = err;
+  }
+}
+
+TEST_P(PropertiesTest, DpMatchesExhaustiveWithMultidimSits) {
+  // Same optimality property when the pool also carries 2-d SITs, which
+  // enable filter-pair factors in both searches.
+  Catalog catalog = RandomCatalog(GetParam());
+  CardinalityCache cache;
+  Evaluator eval(&catalog, &cache);
+  SitBuilder builder(&eval, {HistogramType::kMaxDiff, 32});
+  Rng rng(GetParam() * 91 + 7);
+  const Query q = RandomQuery(rng);
+
+  SitPool pool = GenerateSitPool({q}, 2, builder);
+  // Base-table 2-d SITs over same-table filter-attribute pairs of q.
+  const std::vector<int> fs = SetElements(q.filter_predicates());
+  for (size_t a = 0; a < fs.size(); ++a) {
+    for (size_t b = a + 1; b < fs.size(); ++b) {
+      const ColumnRef ca = q.predicate(fs[a]).column();
+      const ColumnRef cb = q.predicate(fs[b]).column();
+      if (ca.table == cb.table) pool.Add(builder.Build2d(ca, cb, {}));
+    }
+  }
+  SitMatcher matcher(&pool);
+  matcher.BindQuery(&q);
+  DiffError diff;
+  FactorApproximator fa(&matcher, &diff);
+  GetSelectivity gs(&q, &fa);
+  const SelEstimate dp = gs.Compute(q.all_predicates());
+  const ExhaustiveResult pruned =
+      ExhaustiveBest(q, q.all_predicates(), &fa, true);
+  ASSERT_NEAR(dp.error, pruned.error, 1e-9);
+  ASSERT_GE(dp.selectivity, 0.0);
+  ASSERT_LE(dp.selectivity, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertiesTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+}  // namespace
+}  // namespace condsel

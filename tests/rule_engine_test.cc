@@ -1,0 +1,123 @@
+// Tests for the rule-driven Cascades exploration: the fixpoint reached
+// from one initial plan must coincide with the closed-form exploration.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "condsel/optimizer/rule_engine.h"
+#include "condsel/optimizer/rules.h"
+#include "test_util.h"
+
+namespace condsel {
+namespace {
+
+ColumnRef Ra() { return {0, 0}; }
+ColumnRef Rx() { return {0, 1}; }
+ColumnRef Sy() { return {1, 0}; }
+ColumnRef Sb() { return {1, 1}; }
+ColumnRef Tz() { return {2, 0}; }
+ColumnRef Tc() { return {2, 1}; }
+
+// Normalized view of a memo: set of (group preds, group tables, op, pred,
+// sorted input group signatures). Group ids differ between explorations,
+// so inputs are identified by their (preds, tables) signature.
+using EntrySig =
+    std::tuple<PredSet, TableSet, OpKind, int,
+               std::set<std::pair<PredSet, TableSet>>>;
+
+std::set<EntrySig> Normalize(const Memo& memo) {
+  std::set<EntrySig> out;
+  for (int g = 0; g < memo.num_groups(); ++g) {
+    const Group& grp = memo.group(g);
+    for (const MemoExpr& e : grp.exprs) {
+      std::set<std::pair<PredSet, TableSet>> inputs;
+      for (int in : e.inputs) {
+        inputs.insert({memo.group(in).preds, memo.group(in).tables});
+      }
+      out.insert({grp.preds, grp.tables, e.op, e.predicate, inputs});
+    }
+  }
+  return out;
+}
+
+void ExpectSameFixpoint(const Query& q, PredSet preds) {
+  Memo closed(&q);
+  BuildAndExplore(&closed, preds);
+
+  Memo ruled(&q);
+  RuleEngineStats stats;
+  ExploreWithRules(&ruled, preds, &stats);
+
+  const auto a = Normalize(closed);
+  const auto b = Normalize(ruled);
+  for (const EntrySig& sig : a) {
+    EXPECT_TRUE(b.count(sig))
+        << "closed-form entry missing from rule fixpoint (group preds "
+        << std::get<0>(sig) << ")";
+  }
+  for (const EntrySig& sig : b) {
+    EXPECT_TRUE(a.count(sig))
+        << "rule fixpoint produced an entry the closed form lacks (group "
+           "preds "
+        << std::get<0>(sig) << ")";
+  }
+  EXPECT_GT(stats.rounds, 0);
+}
+
+TEST(RuleEngineTest, SingleFilter) {
+  const Query q({Predicate::Filter(Ra(), 1, 5)});
+  ExpectSameFixpoint(q, q.all_predicates());
+}
+
+TEST(RuleEngineTest, JoinPlusFilter) {
+  const Query q({Predicate::Join(Rx(), Sy()), Predicate::Filter(Ra(), 1, 5)});
+  ExpectSameFixpoint(q, q.all_predicates());
+}
+
+TEST(RuleEngineTest, TwoJoinsTwoFilters) {
+  const Query q({Predicate::Filter(Ra(), 1, 5),      // 0
+                 Predicate::Join(Rx(), Sy()),        // 1
+                 Predicate::Join(Sb(), Tz()),        // 2
+                 Predicate::Filter(Tc(), 1, 3)});    // 3
+  ExpectSameFixpoint(q, q.all_predicates());
+}
+
+TEST(RuleEngineTest, SubsetExploration) {
+  const Query q({Predicate::Filter(Ra(), 1, 5),      // 0
+                 Predicate::Join(Rx(), Sy()),        // 1
+                 Predicate::Join(Sb(), Tz()),        // 2
+                 Predicate::Filter(Tc(), 1, 3)});    // 3
+  // A connected sub-plan: join R-S with its filter.
+  ExpectSameFixpoint(q, 0b0011);
+}
+
+TEST(RuleEngineTest, FiltersOnlyOneTable) {
+  const Query q({Predicate::Filter(Ra(), 1, 5),
+                 Predicate::Filter(Rx(), 10, 40)});
+  ExpectSameFixpoint(q, q.all_predicates());
+}
+
+TEST(RuleEngineTest, CyclicJoinGraph) {
+  // Two join predicates between the same pair of tables (a 2-cycle).
+  Catalog c;
+  c.AddTable(test::MakeTable("U", {"u1", "u2"}, {{1, 5}, {2, 6}}));
+  c.AddTable(test::MakeTable("V", {"v1", "v2"}, {{1, 5}, {2, 9}}));
+  const Query q({Predicate::Join({0, 0}, {1, 0}),
+                 Predicate::Join({0, 1}, {1, 1})});
+  ExpectSameFixpoint(q, q.all_predicates());
+}
+
+TEST(RuleEngineTest, StatsAreCounted) {
+  const Query q({Predicate::Filter(Ra(), 1, 5), Predicate::Join(Rx(), Sy()),
+                 Predicate::Join(Sb(), Tz()), Predicate::Filter(Tc(), 1, 3)});
+  Memo memo(&q);
+  RuleEngineStats stats;
+  ExploreWithRules(&memo, q.all_predicates(), &stats);
+  EXPECT_GT(stats.entries_added, 0u);
+  EXPECT_GE(stats.rounds, 2);  // at least one productive + one fixpoint pass
+}
+
+}  // namespace
+}  // namespace condsel

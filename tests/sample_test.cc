@@ -1,0 +1,151 @@
+// Tests for sample-based SITs.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "condsel/common/zipf.h"
+#include "condsel/sampling/sample.h"
+#include "test_util.h"
+
+namespace condsel {
+namespace {
+
+ColumnRef Ra() { return {0, 0}; }
+ColumnRef Rx() { return {0, 1}; }
+ColumnRef Sy() { return {1, 0}; }
+ColumnRef Sb() { return {1, 1}; }
+
+class SampleTest : public ::testing::Test {
+ protected:
+  SampleTest() : catalog_(test::MakeTinyCatalog()), eval_(&catalog_, &cache_) {}
+
+  Catalog catalog_;
+  CardinalityCache cache_;
+  Evaluator eval_;
+};
+
+TEST_F(SampleTest, FullReservoirIsExact) {
+  // Reservoir larger than the table: estimates are exact.
+  SampleSitBuilder builder(&eval_, 1000);
+  const SampleSit s = builder.Build({Ra(), Rx()}, {});
+  EXPECT_EQ(s.sample_size(), 10u);
+  EXPECT_DOUBLE_EQ(s.source_cardinality(), 10.0);
+  EXPECT_DOUBLE_EQ(s.Selectivity({Predicate::Filter(Ra(), 1, 5)}), 0.5);
+  // Conjunction over both attributes, exact:
+  // a in [1,5] AND x in [10,20]: rows 1..5 have x = 10,10,20,20,20. All 5.
+  EXPECT_DOUBLE_EQ(s.Selectivity({Predicate::Filter(Ra(), 1, 5),
+                                  Predicate::Filter(Rx(), 10, 20)}),
+                   0.5);
+}
+
+TEST_F(SampleTest, SampleOverJoinExpression) {
+  SampleSitBuilder builder(&eval_, 1000);
+  const SampleSit s =
+      builder.Build({Ra()}, {Predicate::Join(Rx(), Sy())});
+  EXPECT_DOUBLE_EQ(s.source_cardinality(), 10.0);  // join size
+  // Sel(a in [1,5] | join) = 0.7 (see evaluator tests).
+  EXPECT_DOUBLE_EQ(s.Selectivity({Predicate::Filter(Ra(), 1, 5)}), 0.7);
+}
+
+TEST_F(SampleTest, NullsNeverMatch) {
+  SampleSitBuilder builder(&eval_, 1000);
+  const SampleSit s = builder.Build({Sy()}, {});
+  // 8 rows, one NULL: matching the full domain gives 7/8.
+  EXPECT_DOUBLE_EQ(
+      s.Selectivity({Predicate::Filter(Sy(), -1000000, 1000000)}),
+      7.0 / 8.0);
+}
+
+TEST_F(SampleTest, ReservoirSizeBoundedAndUnbiased) {
+  // Large skewed base table, small reservoir: the estimate should be
+  // within a few points of the truth.
+  Catalog c;
+  {
+    TableSchema ts;
+    ts.name = "big";
+    ts.columns = {{"v", 0, 999, false}};
+    Table t(ts);
+    Rng rng(5);
+    ZipfSampler zipf(1000, 1.0);
+    for (int i = 0; i < 50000; ++i) {
+      t.AppendRow({zipf.Next(rng)});
+    }
+    c.AddTable(std::move(t));
+  }
+  CardinalityCache cache;
+  Evaluator ev(&c, &cache);
+  SampleSitBuilder builder(&ev, 2000);
+  const SampleSit s = builder.Build({{0, 0}}, {});
+  EXPECT_EQ(s.sample_size(), 2000u);
+
+  const Query q({Predicate::Filter({0, 0}, 0, 9)});
+  const double truth = ev.TrueSelectivity(q, 1);
+  EXPECT_NEAR(s.Selectivity({Predicate::Filter({0, 0}, 0, 9)}), truth,
+              0.05);
+}
+
+TEST_F(SampleTest, CorrelatedConjunctionBeatsIndependence) {
+  // Perfectly correlated pair: the sample captures the joint directly.
+  Catalog c;
+  {
+    TableSchema ts;
+    ts.name = "corr";
+    ts.columns = {{"a", 0, 99, false}, {"b", 0, 99, false}};
+    Table t(ts);
+    Rng rng(6);
+    for (int i = 0; i < 10000; ++i) {
+      const int64_t a = rng.NextInRange(0, 99);
+      t.AppendRow({a, a});
+    }
+    c.AddTable(std::move(t));
+  }
+  CardinalityCache cache;
+  Evaluator ev(&c, &cache);
+  SampleSitBuilder builder(&ev, 1500);
+  const SampleSit s = builder.Build({{0, 0}, {0, 1}}, {});
+  const double joint = s.Selectivity({Predicate::Filter({0, 0}, 0, 19),
+                                      Predicate::Filter({0, 1}, 0, 19)});
+  // True joint is 0.2 (a == b); independence would say 0.04.
+  EXPECT_NEAR(joint, 0.2, 0.04);
+}
+
+TEST_F(SampleTest, DistinctEstimation) {
+  SampleSitBuilder builder(&eval_, 1000);
+  const SampleSit s = builder.Build({Rx()}, {});
+  // R.x has 6 distinct values, fully sampled.
+  EXPECT_NEAR(s.EstimateDistinct(Rx()), 6.0, 1e-9);
+}
+
+TEST_F(SampleTest, DistinctEstimationScalesFromPartialSample) {
+  // 5000 distinct values uniformly; a 500-row sample must extrapolate
+  // well beyond the ~490 distincts it sees.
+  Catalog c;
+  {
+    TableSchema ts;
+    ts.name = "wide";
+    ts.columns = {{"v", 0, 4999, false}};
+    Table t(ts);
+    for (int64_t i = 0; i < 5000; ++i) t.AppendRow({i});
+    c.AddTable(std::move(t));
+  }
+  CardinalityCache cache;
+  Evaluator ev(&c, &cache);
+  SampleSitBuilder builder(&ev, 500);
+  const SampleSit s = builder.Build({{0, 0}}, {});
+  const double est = s.EstimateDistinct({0, 0});
+  EXPECT_GT(est, 1000.0);  // far above the naive sample count
+  EXPECT_LT(est, 5000.0 * 1.2);
+}
+
+TEST_F(SampleTest, DeterministicForSeed) {
+  SampleSitBuilder b1(&eval_, 4, 99);
+  SampleSitBuilder b2(&eval_, 4, 99);
+  const SampleSit s1 = b1.Build({Ra()}, {});
+  const SampleSit s2 = b2.Build({Ra()}, {});
+  EXPECT_DOUBLE_EQ(s1.Selectivity({Predicate::Filter(Ra(), 1, 5)}),
+                   s2.Selectivity({Predicate::Filter(Ra(), 1, 5)}));
+}
+
+}  // namespace
+}  // namespace condsel

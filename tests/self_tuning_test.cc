@@ -1,0 +1,112 @@
+// Tests for the STHoles-style self-tuning histogram.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "condsel/common/rng.h"
+#include "condsel/common/zipf.h"
+#include "condsel/selftuning/self_tuning_histogram.h"
+
+namespace condsel {
+namespace {
+
+double ExactFraction(const std::vector<int64_t>& values, int64_t lo,
+                     int64_t hi) {
+  size_t c = 0;
+  for (int64_t v : values) c += (v >= lo && v <= hi);
+  return static_cast<double>(c) / static_cast<double>(values.size());
+}
+
+TEST(SelfTuningTest, StartsUniform) {
+  SelfTuningHistogram h(0, 99, 16);
+  EXPECT_EQ(h.num_buckets(), 1u);
+  EXPECT_NEAR(h.RangeSelectivity(0, 99), 1.0, 1e-12);
+  EXPECT_NEAR(h.RangeSelectivity(0, 49), 0.5, 1e-12);
+}
+
+TEST(SelfTuningTest, SingleObservationIsRemembered) {
+  SelfTuningHistogram h(0, 99, 16);
+  h.Observe(10, 19, 0.6);
+  EXPECT_NEAR(h.RangeSelectivity(10, 19), 0.6, 1e-9);
+  // Mass conservation: the rest holds the remaining 0.4.
+  EXPECT_NEAR(h.total_mass(), 1.0, 1e-9);
+  EXPECT_NEAR(h.RangeSelectivity(0, 9) + h.RangeSelectivity(20, 99), 0.4,
+              1e-9);
+}
+
+TEST(SelfTuningTest, RepeatedFeedbackConverges) {
+  // Zipfian data; feed the histogram a stream of range observations.
+  Rng rng(3);
+  ZipfSampler z(200, 1.1);
+  std::vector<int64_t> values(20000);
+  for (auto& v : values) v = z.Next(rng);
+
+  SelfTuningHistogram h(0, 199, 24);
+  for (int round = 0; round < 200; ++round) {
+    const int64_t lo = rng.NextInRange(0, 180);
+    const int64_t hi = lo + rng.NextInRange(2, 19);
+    h.Observe(lo, hi, ExactFraction(values, lo, hi));
+  }
+  // After training, held-out ranges should be reasonably estimated.
+  double err = 0.0;
+  int n = 0;
+  for (int64_t lo = 0; lo <= 180; lo += 20) {
+    const int64_t hi = lo + 19;
+    err += std::abs(h.RangeSelectivity(lo, hi) -
+                    ExactFraction(values, lo, hi));
+    ++n;
+  }
+  EXPECT_LT(err / n, 0.04);
+  // Far better than the uninformed uniform assumption.
+  double uniform_err = 0.0;
+  for (int64_t lo = 0; lo <= 180; lo += 20) {
+    uniform_err += std::abs(0.1 - ExactFraction(values, lo, lo + 19));
+  }
+  EXPECT_LT(err, 0.4 * uniform_err);
+}
+
+TEST(SelfTuningTest, BudgetEnforced) {
+  SelfTuningHistogram h(0, 999, 8);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t lo = rng.NextInRange(0, 900);
+    h.Observe(lo, lo + rng.NextInRange(5, 90), rng.NextDouble() * 0.2);
+  }
+  EXPECT_LE(h.num_buckets(), 8u);
+  EXPECT_NEAR(h.total_mass(), 1.0, 1e-6);
+}
+
+TEST(SelfTuningTest, AdaptsToDrift) {
+  // The distribution shifts: feedback must move the mass.
+  SelfTuningHistogram h(0, 99, 16);
+  for (int i = 0; i < 10; ++i) {
+    h.Observe(0, 49, 0.9);   // old world: mass on the left
+    h.Observe(50, 99, 0.1);
+  }
+  EXPECT_NEAR(h.RangeSelectivity(0, 49), 0.9, 0.02);
+  for (int i = 0; i < 10; ++i) {
+    h.Observe(0, 49, 0.2);   // new world: mass moved right
+    h.Observe(50, 99, 0.8);
+  }
+  EXPECT_NEAR(h.RangeSelectivity(0, 49), 0.2, 0.02);
+  EXPECT_NEAR(h.RangeSelectivity(50, 99), 0.8, 0.02);
+}
+
+TEST(SelfTuningTest, ObservationsOutsideDomainClamp) {
+  SelfTuningHistogram h(0, 99, 8);
+  h.Observe(-50, 200, 1.0);  // clamps to the whole domain
+  EXPECT_NEAR(h.total_mass(), 1.0, 1e-12);
+  h.Observe(500, 600, 0.3);  // entirely outside: ignored
+  EXPECT_NEAR(h.total_mass(), 1.0, 1e-12);
+}
+
+TEST(SelfTuningTest, ZeroFractionObservation) {
+  SelfTuningHistogram h(0, 99, 8);
+  h.Observe(40, 59, 0.0);
+  EXPECT_NEAR(h.RangeSelectivity(40, 59), 0.0, 1e-12);
+  EXPECT_NEAR(h.total_mass(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace condsel

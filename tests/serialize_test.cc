@@ -1,0 +1,164 @@
+// Tests for catalog / SIT-pool serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "condsel/exec/evaluator.h"
+#include "condsel/io/serialize.h"
+#include "condsel/sit/sit_builder.h"
+#include "test_util.h"
+
+namespace condsel {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  SerializeTest()
+      : catalog_(test::MakeTinyCatalog()),
+        eval_(&catalog_, &cache_),
+        builder_(&eval_, {HistogramType::kMaxDiff, 64}) {
+    catalog_.AddForeignKey({0, 1, 1, 0});
+  }
+
+  Catalog catalog_;
+  CardinalityCache cache_;
+  Evaluator eval_;
+  SitBuilder builder_;
+};
+
+TEST_F(SerializeTest, CatalogRoundTrip) {
+  const std::string path = TempPath("catalog.bin");
+  ASSERT_TRUE(WriteCatalog(catalog_, path).ok);
+
+  Catalog loaded;
+  const IoResult r = ReadCatalog(path, &loaded);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(loaded.num_tables(), catalog_.num_tables());
+  for (TableId t = 0; t < catalog_.num_tables(); ++t) {
+    const Table& a = catalog_.table(t);
+    const Table& b = loaded.table(t);
+    EXPECT_EQ(a.schema().name, b.schema().name);
+    ASSERT_EQ(a.num_rows(), b.num_rows());
+    ASSERT_EQ(a.num_columns(), b.num_columns());
+    for (ColumnId c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.schema().columns[static_cast<size_t>(c)].is_key,
+                b.schema().columns[static_cast<size_t>(c)].is_key);
+      EXPECT_EQ(a.column(c).values(), b.column(c).values());
+    }
+  }
+  ASSERT_EQ(loaded.foreign_keys().size(), 1u);
+  EXPECT_EQ(loaded.foreign_keys()[0].pk_table, 1);
+}
+
+TEST_F(SerializeTest, LoadedCatalogEvaluatesIdentically) {
+  const std::string path = TempPath("catalog2.bin");
+  ASSERT_TRUE(WriteCatalog(catalog_, path).ok);
+  Catalog loaded;
+  ASSERT_TRUE(ReadCatalog(path, &loaded).ok);
+
+  const Query q({Predicate::Join({0, 1}, {1, 0}),
+                 Predicate::Filter({0, 0}, 2, 7)});
+  CardinalityCache cache2;
+  Evaluator eval2(&loaded, &cache2);
+  EXPECT_DOUBLE_EQ(eval2.Cardinality(q, q.all_predicates()),
+                   eval_.Cardinality(q, q.all_predicates()));
+}
+
+TEST_F(SerializeTest, SitPoolRoundTrip) {
+  SitPool pool;
+  pool.Add(builder_.Build({0, 0}, {}));
+  pool.Add(builder_.Build({0, 0}, {Predicate::Join({0, 1}, {1, 0})}));
+  pool.Add(builder_.Build2d({0, 0}, {0, 1}, {}));
+
+  const std::string path = TempPath("pool.bin");
+  ASSERT_TRUE(WriteSitPool(pool, path).ok);
+
+  SitPool loaded;
+  const IoResult r = ReadSitPool(path, catalog_, &loaded);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(loaded.size(), pool.size());
+  for (SitId i = 0; i < pool.size(); ++i) {
+    const Sit& a = pool.sit(i);
+    const Sit& b = loaded.sit(i);
+    EXPECT_EQ(a.attr, b.attr);
+    EXPECT_EQ(a.attr2, b.attr2);
+    EXPECT_EQ(a.expression, b.expression);
+    EXPECT_DOUBLE_EQ(a.diff, b.diff);
+    if (a.is_multidim()) {
+      EXPECT_EQ(a.histogram2d.num_buckets(), b.histogram2d.num_buckets());
+      EXPECT_NEAR(a.histogram2d.RangeSelectivity(1, 5, 10, 30),
+                  b.histogram2d.RangeSelectivity(1, 5, 10, 30), 1e-12);
+    } else {
+      EXPECT_EQ(a.histogram.num_buckets(), b.histogram.num_buckets());
+      EXPECT_NEAR(a.histogram.RangeSelectivity(1, 5),
+                  b.histogram.RangeSelectivity(1, 5), 1e-12);
+    }
+  }
+}
+
+TEST_F(SerializeTest, RejectsWrongMagic) {
+  const std::string path = TempPath("garbage.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a condsel file at all", f);
+  std::fclose(f);
+
+  Catalog c;
+  EXPECT_FALSE(ReadCatalog(path, &c).ok);
+  SitPool p;
+  EXPECT_FALSE(ReadSitPool(path, catalog_, &p).ok);
+}
+
+TEST_F(SerializeTest, RejectsCatalogAsPool) {
+  const std::string path = TempPath("catalog3.bin");
+  ASSERT_TRUE(WriteCatalog(catalog_, path).ok);
+  SitPool p;
+  const IoResult r = ReadSitPool(path, catalog_, &p);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("not a condsel SIT pool"), std::string::npos);
+}
+
+TEST_F(SerializeTest, RejectsTruncatedFile) {
+  SitPool pool;
+  pool.Add(builder_.Build({0, 0}, {}));
+  const std::string path = TempPath("pool_trunc.bin");
+  ASSERT_TRUE(WriteSitPool(pool, path).ok);
+  // Truncate to half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+
+  SitPool p;
+  EXPECT_FALSE(ReadSitPool(path, catalog_, &p).ok);
+}
+
+TEST_F(SerializeTest, RejectsPoolAgainstWrongCatalog) {
+  // A SIT over table 2 cannot load into a 1-table catalog.
+  SitPool pool;
+  pool.Add(builder_.Build({2, 1}, {}));
+  const std::string path = TempPath("pool_wrongcat.bin");
+  ASSERT_TRUE(WriteSitPool(pool, path).ok);
+
+  Catalog tiny;
+  tiny.AddTable(test::MakeTable("only", {"c"}, {{1}}));
+  SitPool p;
+  const IoResult r = ReadSitPool(path, tiny, &p);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("does not exist"), std::string::npos);
+}
+
+TEST_F(SerializeTest, MissingFileFailsGracefully) {
+  Catalog c;
+  const IoResult r = ReadCatalog(TempPath("does_not_exist.bin"), &c);
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace
+}  // namespace condsel

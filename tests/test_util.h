@@ -1,0 +1,125 @@
+// Shared helpers for the test suites: a tiny hand-built database and a
+// brute-force (nested-loop, cross-product) reference evaluator for
+// validating the hash-join executor and selectivity definitions.
+
+#ifndef CONDSEL_TESTS_TEST_UTIL_H_
+#define CONDSEL_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "condsel/catalog/catalog.h"
+#include "condsel/query/query.h"
+#include "condsel/storage/column.h"
+
+namespace condsel {
+namespace test {
+
+// Builds a table from row-major data.
+inline Table MakeTable(const std::string& name,
+                       const std::vector<std::string>& columns,
+                       const std::vector<std::vector<int64_t>>& rows,
+                       const std::vector<bool>& is_key = {}) {
+  TableSchema schema;
+  schema.name = name;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    ColumnSchema cs;
+    cs.name = columns[c];
+    cs.is_key = c < is_key.size() ? is_key[c] : false;
+    cs.min_value = 0;
+    cs.max_value = 1000;
+    schema.columns.push_back(cs);
+  }
+  Table t(schema);
+  for (const auto& row : rows) t.AppendRow(row);
+  return t;
+}
+
+// A tiny deterministic 3-table database:
+//   R(a, x): values chosen so filters and joins have hand-computable
+//            cardinalities;
+//   S(y, b): includes one NULL join value;
+//   T(z, c).
+// Join graph: R.x = S.y, S.b = T.z (via predicates built by the tests).
+inline Catalog MakeTinyCatalog() {
+  Catalog catalog;
+  catalog.AddTable(MakeTable("R", {"a", "x"},
+                             {{1, 10},
+                              {2, 10},
+                              {3, 20},
+                              {4, 20},
+                              {5, 20},
+                              {6, 30},
+                              {7, 40},
+                              {8, 40},
+                              {9, 50},
+                              {10, 60}}));
+  catalog.AddTable(MakeTable("S", {"y", "b"},
+                             {{10, 100},
+                              {10, 100},
+                              {20, 200},
+                              {30, 200},
+                              {40, 300},
+                              {kNullValue, 300},
+                              {70, 400},
+                              {80, 400}}));
+  catalog.AddTable(MakeTable("T", {"z", "c"},
+                             {{100, 1},
+                              {100, 2},
+                              {200, 3},
+                              {300, 4},
+                              {500, 5},
+                              {600, 6}}));
+  return catalog;
+}
+
+// Brute-force |sigma_P(tables(P)^x)| by nested loops. Only suitable for
+// small tables.
+inline double BruteForceCardinality(const Catalog& catalog, const Query& q,
+                                    PredSet subset) {
+  if (subset == 0) return 1.0;
+  const std::vector<int> tables = SetElements(q.TablesOfSubset(subset));
+  std::vector<size_t> idx(tables.size(), 0);
+  double count = 0.0;
+  while (true) {
+    bool ok = true;
+    for (int i : SetElements(subset)) {
+      const Predicate& p = q.predicate(i);
+      auto value = [&](ColumnRef col) {
+        for (size_t k = 0; k < tables.size(); ++k) {
+          if (tables[k] == col.table) {
+            return catalog.table(col.table).value(idx[k], col.column);
+          }
+        }
+        return kNullValue;
+      };
+      if (p.is_filter()) {
+        const int64_t v = value(p.column());
+        if (IsNull(v) || v < p.lo() || v > p.hi()) {
+          ok = false;
+          break;
+        }
+      } else {
+        const int64_t l = value(p.left());
+        const int64_t r = value(p.right());
+        if (IsNull(l) || IsNull(r) || l != r) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) count += 1.0;
+    // Advance the odometer.
+    size_t k = 0;
+    for (; k < tables.size(); ++k) {
+      if (++idx[k] < catalog.table(tables[k]).num_rows()) break;
+      idx[k] = 0;
+    }
+    if (k == tables.size()) break;
+  }
+  return count;
+}
+
+}  // namespace test
+}  // namespace condsel
+
+#endif  // CONDSEL_TESTS_TEST_UTIL_H_

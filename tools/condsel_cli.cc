@@ -1,0 +1,198 @@
+// condsel_cli — command-line cardinality estimation.
+//
+// Loads (or synthesizes) a database, builds SIT pools, and answers
+// COUNT(*) SQL with estimates, explanations, and optional ground truth.
+//
+//   condsel_cli [options] "SELECT COUNT(*) FROM ... WHERE ..." [more sql]
+//
+// Options:
+//   --db=snowflake|tpch     synthetic database to use   (default snowflake)
+//   --scale=<float>         data scale                  (default 0.01)
+//   --sits=<int>            SIT pool join depth J_i     (default 2)
+//   --ranking=diff|nind     decomposition ranking       (default diff)
+//   --catalog=<path>        load a serialized catalog instead of --db
+//   --pool=<path>           load a serialized SIT pool (with --catalog)
+//   --truth                 also run the query exactly and show the error
+//   --explain               print the chosen decomposition
+//
+// With no SQL arguments, reads one statement per line from stdin.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "condsel/api.h"
+#include "condsel/datagen/snowflake.h"
+#include "condsel/datagen/tpch_lite.h"
+#include "condsel/datagen/workload.h"
+#include "condsel/io/serialize.h"
+#include "condsel/parser/parser.h"
+#include "condsel/sit/sit_builder.h"
+#include "condsel/version.h"
+
+using namespace condsel;  // NOLINT: tool brevity
+
+namespace {
+
+struct Options {
+  std::string db = "snowflake";
+  double scale = 0.01;
+  int sits = 2;
+  Ranking ranking = Ranking::kDiff;
+  std::string catalog_path;
+  std::string pool_path;
+  bool truth = false;
+  bool explain = false;
+  std::vector<std::string> sql;
+};
+
+bool ParseArgs(int argc, char** argv, Options* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      return arg.compare(0, std::strlen(prefix), prefix) == 0
+                 ? arg.c_str() + std::strlen(prefix)
+                 : nullptr;
+    };
+    if (const char* v = value("--db=")) {
+      out->db = v;
+    } else if (const char* v = value("--scale=")) {
+      out->scale = std::atof(v);
+    } else if (const char* v = value("--sits=")) {
+      out->sits = std::atoi(v);
+    } else if (const char* v = value("--ranking=")) {
+      if (std::string(v) == "nind") {
+        out->ranking = Ranking::kNInd;
+      } else if (std::string(v) == "diff") {
+        out->ranking = Ranking::kDiff;
+      } else {
+        std::fprintf(stderr, "unknown ranking '%s'\n", v);
+        return false;
+      }
+    } else if (const char* v = value("--catalog=")) {
+      out->catalog_path = v;
+    } else if (const char* v = value("--pool=")) {
+      out->pool_path = v;
+    } else if (arg == "--truth") {
+      out->truth = true;
+    } else if (arg == "--explain") {
+      out->explain = true;
+    } else if (arg == "--version") {
+      std::printf("condsel %s\n", kVersionString);
+      std::exit(0);
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    } else {
+      out->sql.push_back(arg);
+    }
+  }
+  return true;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: condsel_cli [--db=snowflake|tpch] [--scale=F] [--sits=J]\n"
+      "                   [--ranking=diff|nind] [--catalog=PATH "
+      "[--pool=PATH]]\n"
+      "                   [--truth] [--explain] [SQL ...]\n"
+      "With no SQL arguments, statements are read from stdin, one per "
+      "line.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) {
+    Usage();
+    return 2;
+  }
+
+  // --- database ------------------------------------------------------
+  Catalog catalog;
+  if (!opt.catalog_path.empty()) {
+    const IoResult r = ReadCatalog(opt.catalog_path, &catalog);
+    if (!r.ok) {
+      std::fprintf(stderr, "error: %s\n", r.error.c_str());
+      return 1;
+    }
+  } else if (opt.db == "snowflake") {
+    SnowflakeOptions sopt;
+    sopt.scale = opt.scale;
+    catalog = BuildSnowflake(sopt);
+  } else if (opt.db == "tpch") {
+    TpchLiteOptions topt;
+    topt.scale = opt.scale;
+    catalog = BuildTpchLite(topt);
+  } else {
+    std::fprintf(stderr, "unknown --db '%s'\n", opt.db.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "# %d tables loaded\n", catalog.num_tables());
+
+  CardinalityCache cache;
+  Evaluator evaluator(&catalog, &cache);
+  SitBuilder builder(&evaluator, SitBuildOptions{});
+
+  // --- statements ----------------------------------------------------
+  std::vector<std::string> statements = opt.sql;
+  if (statements.empty()) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) statements.push_back(line);
+    }
+  }
+  if (statements.empty()) {
+    Usage();
+    return 2;
+  }
+
+  // Parse everything first: the SIT pool is generated from the parsed
+  // queries (their join expressions), mirroring a workload-driven build.
+  std::vector<Query> queries;
+  for (const std::string& sql : statements) {
+    const ParseResult r = ParseQuery(catalog, sql);
+    if (!r.ok) {
+      std::fprintf(stderr, "parse error in \"%s\": %s\n", sql.c_str(),
+                   r.error.c_str());
+      return 1;
+    }
+    queries.push_back(r.query);
+  }
+
+  SitPool pool;
+  if (!opt.pool_path.empty()) {
+    const IoResult r = ReadSitPool(opt.pool_path, catalog, &pool);
+    if (!r.ok) {
+      std::fprintf(stderr, "error: %s\n", r.error.c_str());
+      return 1;
+    }
+  } else {
+    pool = GenerateSitPool(queries, opt.sits, builder);
+  }
+  std::fprintf(stderr, "# %d statistics available\n", pool.size());
+
+  Estimator estimator(&catalog, &pool, opt.ranking);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    const double est = estimator.EstimateCardinality(q);
+    std::printf("%s\n  estimate: %.1f rows\n", statements[i].c_str(), est);
+    if (opt.truth) {
+      const double truth = evaluator.Cardinality(q, q.all_predicates());
+      std::printf("  true:     %.0f rows  (q-error %.2f)\n", truth,
+                  truth > 0 && est > 0
+                      ? std::max(truth / est, est / truth)
+                      : 0.0);
+    }
+    if (opt.explain) {
+      std::printf("  decomposition:\n%s", estimator.Explain(q).c_str());
+    }
+  }
+  return 0;
+}
