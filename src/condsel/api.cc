@@ -3,11 +3,30 @@
 #include <algorithm>
 
 #include "condsel/common/macros.h"
+#include "condsel/common/numeric.h"
 #include "condsel/harness/metrics.h"
 #include "condsel/selectivity/error_function.h"
 #include "condsel/selectivity/factor_approx.h"
 
 namespace condsel {
+namespace {
+
+bool ColumnInCatalog(const Catalog& catalog, ColumnRef c) {
+  return c.table >= 0 && c.table < catalog.num_tables() && c.column >= 0 &&
+         c.column < catalog.table(c.table).num_columns();
+}
+
+std::string ColumnName(const Catalog& catalog, ColumnRef c) {
+  if (!ColumnInCatalog(catalog, c)) {
+    return "(" + std::to_string(c.table) + "," + std::to_string(c.column) +
+           ")";
+  }
+  const Table& t = catalog.table(c.table);
+  return t.schema().name + "." +
+         t.schema().columns[static_cast<size_t>(c.column)].name;
+}
+
+}  // namespace
 
 struct Estimator::Session {
   // The query must live as long as its memoized search: keep a copy the
@@ -21,13 +40,78 @@ struct Estimator::Session {
 };
 
 Estimator::Estimator(const Catalog* catalog, const SitPool* pool,
-                     Ranking ranking)
-    : catalog_(catalog), pool_(pool), ranking_(ranking) {
+                     Ranking ranking, EstimationBudget budget)
+    : catalog_(catalog), pool_(pool), ranking_(ranking), budget_(budget) {
   CONDSEL_CHECK(catalog != nullptr);
   CONDSEL_CHECK(pool != nullptr);
 }
 
 Estimator::~Estimator() = default;
+
+Status Estimator::ValidatePool() const {
+  if (pool_validated_) return pool_status_;
+  pool_validated_ = true;
+  pool_status_ = Status::Ok();
+  // A pool is only meaningful against its own catalog; one deserialized
+  // against a different database would make the matcher dereference
+  // out-of-range table/column ids (formerly a CHECK-abort deep inside
+  // sit_matcher / factor_approx).
+  for (const Sit& sit : pool_->sits()) {
+    if (!ColumnInCatalog(*catalog_, sit.attr) ||
+        (sit.is_multidim() && !ColumnInCatalog(*catalog_, sit.attr2))) {
+      pool_status_ = Status::FailedPrecondition(
+          "SIT pool references column " + ColumnName(*catalog_, sit.attr) +
+          " outside the catalog (pool built against a different database?)");
+      break;
+    }
+    bool bad_expr = false;
+    for (const Predicate& p : sit.expression) {
+      for (const ColumnRef& c : p.attrs()) {
+        if (!ColumnInCatalog(*catalog_, c)) {
+          bad_expr = true;
+          break;
+        }
+      }
+      if (bad_expr) break;
+    }
+    if (bad_expr) {
+      pool_status_ = Status::FailedPrecondition(
+          "SIT pool expression references a column outside the catalog");
+      break;
+    }
+  }
+  return pool_status_;
+}
+
+Status Estimator::ValidateQuery(const Query& query, PredSet subset) const {
+  if (Status s = ValidatePool(); !s.ok()) return s;
+  if ((subset & ~query.all_predicates()) != 0) {
+    return Status::InvalidArgument(
+        "predicate set is not a subset of the query's predicates");
+  }
+  // Only the requested predicates matter: a query whose join columns lack
+  // base histograms can still serve filter-only sub-plan requests.
+  for (int i : SetElements(subset)) {
+    const Predicate& p = query.predicate(i);
+    for (const ColumnRef& c : p.attrs()) {
+      if (!ColumnInCatalog(*catalog_, c)) {
+        return Status::InvalidArgument(
+            "predicate " + std::to_string(i) + " references column " +
+            ColumnName(*catalog_, c) + " outside the catalog");
+      }
+      if (pool_->FindBase(c) == nullptr) {
+        return Status::FailedPrecondition(
+            "SIT pool has no base histogram for column " +
+            ColumnName(*catalog_, c));
+      }
+    }
+    if (p.is_filter() && p.lo() > p.hi()) {
+      return Status::InvalidArgument("predicate " + std::to_string(i) +
+                                     " has an empty range");
+    }
+  }
+  return Status::Ok();
+}
 
 Estimator::Session& Estimator::SessionFor(const Query& query) {
   // Keyed by the *ordered* predicate list: PredSet masks are positional,
@@ -51,12 +135,45 @@ Estimator::Session& Estimator::SessionFor(const Query& query) {
   session->approximator =
       std::make_unique<FactorApproximator>(session->matcher.get(), fn);
   session->gs = std::make_unique<GetSelectivity>(
-      &session->query, session->approximator.get());
+      &session->query, session->approximator.get(), &budget_);
   return *sessions_.emplace(key, std::move(session)).first->second;
 }
 
+StatusOr<double> Estimator::TryEstimateSelectivity(const Query& query,
+                                                   PredSet p) {
+  if (Status s = ValidateQuery(query, p); !s.ok()) return s;
+  return SanitizeSelectivity(SessionFor(query).gs->Compute(p).selectivity);
+}
+
+StatusOr<double> Estimator::TryEstimateSelectivity(const Query& query) {
+  return TryEstimateSelectivity(query, query.all_predicates());
+}
+
+StatusOr<double> Estimator::TryEstimateCardinality(const Query& query,
+                                                   PredSet p) {
+  StatusOr<double> sel = TryEstimateSelectivity(query, p);
+  if (!sel.ok()) return sel;
+  return SanitizeCardinality(*sel *
+                             CrossProductCardinality(*catalog_, query, p));
+}
+
+StatusOr<double> Estimator::TryEstimateCardinality(const Query& query) {
+  return TryEstimateCardinality(query, query.all_predicates());
+}
+
+StatusOr<std::string> Estimator::TryExplain(const Query& query) {
+  if (Status s = ValidateQuery(query, query.all_predicates()); !s.ok()) {
+    return s;
+  }
+  Session& session = SessionFor(query);
+  session.gs->Compute(query.all_predicates());
+  return session.gs->Explain(query.all_predicates());
+}
+
 double Estimator::EstimateSelectivity(const Query& query, PredSet p) {
-  return SessionFor(query).gs->Compute(p).selectivity;
+  StatusOr<double> sel = TryEstimateSelectivity(query, p);
+  CONDSEL_CHECK_MSG(sel.ok(), sel.status().ToString().c_str());
+  return *sel;
 }
 
 double Estimator::EstimateSelectivity(const Query& query) {
@@ -64,8 +181,9 @@ double Estimator::EstimateSelectivity(const Query& query) {
 }
 
 double Estimator::EstimateCardinality(const Query& query, PredSet p) {
-  return EstimateSelectivity(query, p) *
-         CrossProductCardinality(*catalog_, query, p);
+  StatusOr<double> card = TryEstimateCardinality(query, p);
+  CONDSEL_CHECK_MSG(card.ok(), card.status().ToString().c_str());
+  return *card;
 }
 
 double Estimator::EstimateCardinality(const Query& query) {
@@ -73,9 +191,14 @@ double Estimator::EstimateCardinality(const Query& query) {
 }
 
 std::string Estimator::Explain(const Query& query) {
-  Session& s = SessionFor(query);
-  s.gs->Compute(query.all_predicates());
-  return s.gs->Explain(query.all_predicates());
+  StatusOr<std::string> explain = TryExplain(query);
+  CONDSEL_CHECK_MSG(explain.ok(), explain.status().ToString().c_str());
+  return *explain;
+}
+
+const GsStats* Estimator::StatsFor(const Query& query) const {
+  auto it = sessions_.find(query.predicates());
+  return it == sessions_.end() ? nullptr : &it->second->gs->stats();
 }
 
 void Estimator::ClearCache() { sessions_.clear(); }

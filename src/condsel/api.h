@@ -12,6 +12,16 @@
 // sub-plan requests against the same query pays for one search.
 // Lower-level control (custom error functions, direct factor access)
 // remains available through the individual headers.
+//
+// Production embeddings should prefer the TryEstimate* entry points: they
+// validate the request against the catalog and pool up front and report
+// every user-triggerable failure (unknown columns, missing base
+// histograms, a pool deserialized against the wrong catalog) as a
+// recoverable Status instead of aborting. The historical double-returning
+// methods remain as thin wrappers that CHECK-fail on error, preserving
+// their original contract. An EstimationBudget (see get_selectivity.h)
+// caps the per-query search; on exhaustion estimates degrade to the
+// independence assumption rather than blocking or failing.
 
 #ifndef CONDSEL_API_H_
 #define CONDSEL_API_H_
@@ -21,6 +31,7 @@
 #include <string>
 
 #include "condsel/catalog/catalog.h"
+#include "condsel/common/status.h"
 #include "condsel/exec/evaluator.h"
 #include "condsel/query/query.h"
 #include "condsel/selectivity/get_selectivity.h"
@@ -35,24 +46,47 @@ enum class Ranking { kNInd, kDiff };
 class Estimator {
  public:
   // Both pointers are borrowed and must outlive the estimator. The pool
-  // must contain base histograms for every column the queries reference.
+  // must contain base histograms for every column the queries reference
+  // (TryEstimate* reports a violation as FAILED_PRECONDITION; the
+  // non-Try wrappers abort).
   Estimator(const Catalog* catalog, const SitPool* pool,
-            Ranking ranking = Ranking::kDiff);
+            Ranking ranking = Ranking::kDiff,
+            EstimationBudget budget = EstimationBudget{});
   ~Estimator();
 
   Estimator(const Estimator&) = delete;
   Estimator& operator=(const Estimator&) = delete;
 
-  // Estimated Sel(P) for a predicate subset of `query` (default: all).
+  // Recoverable entry points. Errors:
+  //  - INVALID_ARGUMENT: a predicate references a table/column outside the
+  //    catalog, or `p` is not a subset of the query's predicates;
+  //  - FAILED_PRECONDITION: the pool lacks a base histogram for a
+  //    referenced column, or the pool references columns outside the
+  //    catalog (e.g. loaded against the wrong database).
+  // Budget exhaustion is NOT an error: the estimate degrades gracefully
+  // and the degradation is visible via StatsFor()/Explain().
+  StatusOr<double> TryEstimateSelectivity(const Query& query, PredSet p);
+  StatusOr<double> TryEstimateSelectivity(const Query& query);
+  StatusOr<double> TryEstimateCardinality(const Query& query, PredSet p);
+  StatusOr<double> TryEstimateCardinality(const Query& query);
+  StatusOr<std::string> TryExplain(const Query& query);
+
+  // Historical abort-on-error wrappers around the Try* methods.
   double EstimateSelectivity(const Query& query, PredSet p);
   double EstimateSelectivity(const Query& query);
-
-  // Estimated |sigma_P(tables(P)^x)|.
   double EstimateCardinality(const Query& query, PredSet p);
   double EstimateCardinality(const Query& query);
-
-  // The chosen decomposition for the full query, human-readable.
   std::string Explain(const Query& query);
+
+  // The budget applies to every live and future memoized search (it is
+  // re-read on each Compute call).
+  void set_budget(const EstimationBudget& budget) { budget_ = budget; }
+  const EstimationBudget& budget() const { return budget_; }
+
+  // Search statistics for `query`'s memoized session, or nullptr if no
+  // estimate has been requested for it yet. Includes the degradation
+  // accounting (GsStats::budget_exhausted, degraded_subproblems).
+  const GsStats* StatsFor(const Query& query) const;
 
   // Number of distinct queries with a live memoized search.
   size_t cached_queries() const { return sessions_.size(); }
@@ -62,10 +96,19 @@ class Estimator {
   // Per-query session: owns the bound matcher, approximator, and DP.
   struct Session;
   Session& SessionFor(const Query& query);
+  // Pre-flight validation of a request; only the predicates selected by
+  // `subset` are checked (see TryEstimateSelectivity).
+  Status ValidateQuery(const Query& query, PredSet subset) const;
+  Status ValidatePool() const;
 
   const Catalog* catalog_;
   const SitPool* pool_;
   Ranking ranking_;
+  EstimationBudget budget_;
+  // Lazily computed, cached result of ValidatePool (the pool is borrowed
+  // const, so its validity cannot change under us).
+  mutable bool pool_validated_ = false;
+  mutable Status pool_status_;
   std::map<std::vector<Predicate>, std::unique_ptr<Session>> sessions_;
 };
 

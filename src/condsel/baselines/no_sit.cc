@@ -1,6 +1,7 @@
 #include "condsel/baselines/no_sit.h"
 
 #include "condsel/common/macros.h"
+#include "condsel/common/numeric.h"
 
 namespace condsel {
 
@@ -17,7 +18,7 @@ double NoSitEstimator::Estimate(const Query& query, PredSet p) {
                       "noSit requires base histograms for every column");
     sel *= approximator_.Estimate(query, 1u << i, choice);
   }
-  return sel;
+  return SanitizeSelectivity(sel);
 }
 
 }  // namespace condsel

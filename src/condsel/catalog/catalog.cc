@@ -1,6 +1,7 @@
 #include "condsel/catalog/catalog.h"
 
 #include "condsel/common/macros.h"
+#include "condsel/common/numeric.h"
 
 namespace condsel {
 
@@ -32,20 +33,32 @@ TableId Catalog::FindTable(const std::string& name) const {
   return kInvalidTableId;
 }
 
+StatusOr<ColumnRef> Catalog::TryResolveColumn(
+    const std::string& table_name, const std::string& column_name) const {
+  const TableId t = FindTable(table_name);
+  if (t == kInvalidTableId) {
+    return Status::NotFound("unknown table '" + table_name + "'");
+  }
+  const ColumnId c = table(t).schema().FindColumn(column_name);
+  if (c < 0) {
+    return Status::NotFound("unknown column '" + table_name + "." +
+                            column_name + "'");
+  }
+  return ColumnRef{t, c};
+}
+
 ColumnRef Catalog::ResolveColumn(const std::string& table_name,
                                  const std::string& column_name) const {
-  const TableId t = FindTable(table_name);
-  CONDSEL_CHECK_MSG(t != kInvalidTableId, table_name.c_str());
-  const ColumnId c = table(t).schema().FindColumn(column_name);
-  CONDSEL_CHECK_MSG(c >= 0, column_name.c_str());
-  return ColumnRef{t, c};
+  StatusOr<ColumnRef> ref = TryResolveColumn(table_name, column_name);
+  CONDSEL_CHECK_MSG(ref.ok(), ref.status().ToString().c_str());
+  return *ref;
 }
 
 double Catalog::CartesianCardinality(
     const std::vector<TableId>& tables) const {
   double card = 1.0;
   for (TableId t : tables) {
-    card *= static_cast<double>(table(t).num_rows());
+    card = SaturatingMultiply(card, static_cast<double>(table(t).num_rows()));
   }
   return card;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "condsel/catalog/schema.h"
+#include "condsel/common/status.h"
 #include "condsel/storage/table.h"
 
 namespace condsel {
@@ -35,11 +36,17 @@ class Catalog {
   // Returns the table id for `name`, or kInvalidTableId.
   TableId FindTable(const std::string& name) const;
 
-  // Resolves "table.column"; aborts if either part is unknown.
+  // Resolves "table.column"; NOT_FOUND if either part is unknown.
+  StatusOr<ColumnRef> TryResolveColumn(const std::string& table_name,
+                                       const std::string& column_name) const;
+
+  // Abort-on-unknown wrapper around TryResolveColumn, for call sites with
+  // trusted (generated) names.
   ColumnRef ResolveColumn(const std::string& table_name,
                           const std::string& column_name) const;
 
-  // |R1 x ... x Rk| for the given table ids (product of cardinalities).
+  // |R1 x ... x Rk| for the given table ids (product of cardinalities,
+  // saturating at the largest finite double instead of overflowing).
   double CartesianCardinality(const std::vector<TableId>& tables) const;
 
  private:

@@ -1,0 +1,25 @@
+#include "condsel/common/fault_injector.h"
+
+namespace condsel {
+
+FaultInjector& FaultInjector::Instance() {
+  // Leaked singleton: trivially destructible members only, but keep the
+  // codebase-wide pattern of avoiding static destruction order issues.
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Set(Fault f, bool on) {
+  const bool was = faults_[Index(f)].exchange(on, std::memory_order_relaxed);
+  if (was == on) return;
+  armed_.fetch_add(on ? 1 : -1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  for (int i = 0; i < kNumFaults; ++i) {
+    faults_[i].store(false, std::memory_order_relaxed);
+  }
+  armed_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace condsel

@@ -1,0 +1,73 @@
+// Deterministic fault injection for robustness tests.
+//
+// Production code queries the process-wide injector at a handful of choke
+// points (SIT matching, histogram lookups, budget deadline checks); every
+// fault defaults to off, so the cost on the happy path is one relaxed
+// atomic load guarded behind `armed()`. Tests arm faults through
+// ScopedFault, which restores the previous state on destruction, keeping
+// suites order-independent.
+//
+// Supported faults:
+//  - kDropSits: SitMatcher returns no candidates, simulating a pool whose
+//    SITs were never built or failed to load (degradation to base
+//    histograms / independence must kick in, never an abort);
+//  - kCorruptHistograms: every histogram range lookup returns NaN, as a
+//    flipped bucket would produce — exercising the NaN sanitization path;
+//  - kExpireDeadline: EstimationBudget deadline checks report expiry
+//    immediately, making timeout degradation deterministic in tests.
+
+#ifndef CONDSEL_COMMON_FAULT_INJECTOR_H_
+#define CONDSEL_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+
+namespace condsel {
+
+enum class Fault {
+  kDropSits = 0,
+  kCorruptHistograms,
+  kExpireDeadline,
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  // True iff any fault is armed; the cheap first-level check production
+  // call sites use.
+  bool armed() const { return armed_.load(std::memory_order_relaxed) != 0; }
+
+  bool enabled(Fault f) const {
+    return armed() && faults_[Index(f)].load(std::memory_order_relaxed);
+  }
+
+  void Set(Fault f, bool on);
+  void Reset();  // disarm everything
+
+ private:
+  FaultInjector() = default;
+  static constexpr int kNumFaults = 3;
+  static int Index(Fault f) { return static_cast<int>(f); }
+
+  std::atomic<int> armed_{0};  // number of armed faults
+  std::atomic<bool> faults_[kNumFaults] = {};
+};
+
+// RAII arm/disarm for tests.
+class ScopedFault {
+ public:
+  explicit ScopedFault(Fault f) : fault_(f) {
+    FaultInjector::Instance().Set(f, true);
+  }
+  ~ScopedFault() { FaultInjector::Instance().Set(fault_, false); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  Fault fault_;
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_COMMON_FAULT_INJECTOR_H_

@@ -1,0 +1,46 @@
+// Numeric hardening for estimation results.
+//
+// Degenerate statistics (empty tables, all-equal columns, zero-width or
+// corrupted buckets) can push intermediate arithmetic to NaN, infinity, or
+// out of the meaningful range. Every value that leaves the estimation
+// stack passes through one of these sanitizers so callers always observe a
+// finite selectivity in [0, 1] and a finite non-negative cardinality —
+// never a poisoned double that silently corrupts a plan cost.
+
+#ifndef CONDSEL_COMMON_NUMERIC_H_
+#define CONDSEL_COMMON_NUMERIC_H_
+
+#include <cmath>
+#include <limits>
+
+namespace condsel {
+
+// Clamps to [0, 1]. NaN maps to 0 (a NaN estimate carries no evidence of
+// any qualifying tuple; 0 also makes the corruption visible downstream
+// instead of inflating join cardinalities), +inf to 1.
+inline double SanitizeSelectivity(double sel) {
+  if (std::isnan(sel)) return 0.0;
+  if (sel < 0.0) return 0.0;
+  if (sel > 1.0) return 1.0;
+  return sel;
+}
+
+// Clamps to [0, max double]. NaN maps to 0; +inf (e.g. an overflowed
+// cross-product of many large tables) saturates at the largest finite
+// double so comparisons and further products stay well-defined.
+inline double SanitizeCardinality(double card) {
+  if (std::isnan(card)) return 0.0;
+  if (card < 0.0) return 0.0;
+  if (std::isinf(card)) return std::numeric_limits<double>::max();
+  return card;
+}
+
+// Overflow-safe running product for cardinalities: saturates instead of
+// producing inf.
+inline double SaturatingMultiply(double a, double b) {
+  return SanitizeCardinality(a * b);
+}
+
+}  // namespace condsel
+
+#endif  // CONDSEL_COMMON_NUMERIC_H_

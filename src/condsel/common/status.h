@@ -1,0 +1,125 @@
+// Recoverable errors, reported by value (the library uses no exceptions).
+//
+// CONDSEL_CHECK remains the tool for *internal invariants* — conditions no
+// input can violate without a bug in this library. Everything a caller can
+// trigger from the outside (a malformed query, a SIT pool built against a
+// different catalog, an exhausted estimation budget) is reported through
+// Status / StatusOr<T>, matching the by-value style of ParseResult and
+// IoResult but with a machine-readable code the embedding optimizer can
+// branch on (retry, degrade, or surface to the user).
+
+#ifndef CONDSEL_COMMON_STATUS_H_
+#define CONDSEL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "condsel/common/macros.h"
+
+namespace condsel {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // the request itself is malformed
+  kNotFound,            // a referenced object (table, column) doesn't exist
+  kFailedPrecondition,  // required statistics are missing
+  kResourceExhausted,   // estimation budget spent (counts)
+  kDeadlineExceeded,    // estimation budget spent (wall clock)
+  kDataLoss,            // persisted state is corrupt
+  kInternal,            // invariant violation surfaced as an error
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Error(StatusCode code, std::string message) {
+    Status s;
+    s.code_ = code;
+    s.message_ = std::move(message);
+    return s;
+  }
+  static Status InvalidArgument(std::string m) {
+    return Error(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Error(StatusCode::kNotFound, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Error(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Error(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Error(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Error(StatusCode::kDataLoss, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Error(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NOT_FOUND: no base histogram for R.a".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A Status or a value. T must be default-constructible (all condsel value
+// types are); the stored T is only meaningful when ok().
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit conversions keep call sites terse:
+  //   StatusOr<double> f() { if (bad) return Status::NotFound(...); return 0.5; }
+  StatusOr(Status status) : status_(std::move(status)) {
+    CONDSEL_CHECK_MSG(!status_.ok(),
+                      "StatusOr constructed from OK status without a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Aborts if !ok(): callers must branch on ok() first (or use the
+  // Estimator's non-Try wrappers, which keep the historical abort-on-error
+  // contract).
+  const T& value() const {
+    CONDSEL_CHECK_MSG(status_.ok(), status_.message().c_str());
+    return value_;
+  }
+  T& value() {
+    CONDSEL_CHECK_MSG(status_.ok(), status_.message().c_str());
+    return value_;
+  }
+  const T& operator*() const { return value(); }
+  T& operator*() { return value(); }
+
+  // The value if ok, otherwise `fallback` — the graceful-degradation
+  // one-liner: est.TryEstimateSelectivity(q).value_or(1.0).
+  T value_or(T fallback) const { return ok() ? value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace condsel
+
+#endif  // CONDSEL_COMMON_STATUS_H_

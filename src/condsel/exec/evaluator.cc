@@ -170,6 +170,37 @@ JoinResult Evaluator::EvaluateComponent(const Query& q, PredSet component) {
   return result;
 }
 
+StatusOr<double> Evaluator::TryCardinality(const Query& q, PredSet subset) {
+  if ((subset & ~q.all_predicates()) != 0) {
+    return Status::InvalidArgument(
+        "subset selects predicates the query does not have");
+  }
+  for (int i : SetElements(subset)) {
+    for (const ColumnRef& c : q.predicate(i).attrs()) {
+      if (c.table < 0 || c.table >= catalog_->num_tables() || c.column < 0 ||
+          c.column >= catalog_->table(c.table).num_columns()) {
+        return Status::InvalidArgument(
+            "predicate " + std::to_string(i) +
+            " references a column outside the catalog");
+      }
+    }
+  }
+  return Cardinality(q, subset);
+}
+
+StatusOr<double> Evaluator::TryTrueSelectivity(const Query& q, PredSet p) {
+  StatusOr<double> card = TryCardinality(q, p);
+  if (!card.ok()) return card;
+  if (p == 0) return 1.0;
+  const std::vector<int> tables = SetElements(q.TablesOfSubset(p));
+  double cross = 1.0;
+  for (int t : tables) {
+    cross *= static_cast<double>(catalog_->table(t).num_rows());
+  }
+  if (cross == 0.0) return 0.0;
+  return *card / cross;
+}
+
 double Evaluator::Cardinality(const Query& q, PredSet subset) {
   if (subset == 0) return 1.0;
   double card = 1.0;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "condsel/catalog/catalog.h"
+#include "condsel/common/status.h"
 #include "condsel/exec/cardinality_cache.h"
 #include "condsel/query/query.h"
 
@@ -54,6 +55,13 @@ class Evaluator {
   // |sigma_P(tables(P)^x)| for P = the predicates of `q` selected by
   // `subset`. An empty subset yields 1.0 (empty product of components).
   double Cardinality(const Query& q, PredSet subset);
+
+  // Recoverable variants for untrusted requests (e.g. a deserialized or
+  // user-assembled query): validate that `subset` selects existing
+  // predicates and that every referenced table/column exists in the
+  // catalog before evaluating, instead of CHECK-aborting mid-join.
+  StatusOr<double> TryCardinality(const Query& q, PredSet subset);
+  StatusOr<double> TryTrueSelectivity(const Query& q, PredSet p);
 
   // Sel_R(P) with R = tables(q) (Definition 1 with Q empty):
   // Cardinality(P) scaled by the cross-product of tables(q).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "condsel/common/numeric.h"
 #include "condsel/query/join_graph.h"
 
 namespace condsel {
@@ -46,7 +47,8 @@ double CrossProductCardinality(const Catalog& catalog, const Query& query,
                                PredSet p) {
   double cross = 1.0;
   for (int t : SetElements(query.TablesOfSubset(p))) {
-    cross *= static_cast<double>(catalog.table(t).num_rows());
+    cross = SaturatingMultiply(cross,
+                               static_cast<double>(catalog.table(t).num_rows()));
   }
   return cross;
 }

@@ -15,8 +15,11 @@ Histogram BuildEquiWidth(std::vector<int64_t> values,
 
   const int64_t lo = runs.front().first;
   const int64_t hi = runs.back().first;
-  const double width =
-      static_cast<double>(hi - lo + 1) / static_cast<double>(max_buckets);
+  // Arithmetic in double: hi - lo + 1 overflows int64 when the column
+  // domain spans most of the representable range.
+  const double width = (static_cast<double>(hi) - static_cast<double>(lo) +
+                        1.0) /
+                       static_cast<double>(max_buckets);
 
   std::vector<Bucket> buckets;
   size_t begin = 0;
@@ -24,12 +27,12 @@ Histogram BuildEquiWidth(std::vector<int64_t> values,
     const bool last = (i + 1 == runs.size());
     // Close the bucket when the next run falls past this bucket's right
     // edge (value-domain based, unlike equi-depth's count-based rule).
-    const int64_t bucket_index = static_cast<int64_t>(
-        static_cast<double>(runs[i].first - lo) / width);
+    auto bucket_index = [&](int64_t v) {
+      return static_cast<int64_t>(
+          (static_cast<double>(v) - static_cast<double>(lo)) / width);
+    };
     const bool next_outside =
-        !last && static_cast<int64_t>(static_cast<double>(runs[i + 1].first -
-                                                          lo) /
-                                      width) > bucket_index;
+        !last && bucket_index(runs[i + 1].first) > bucket_index(runs[i].first);
     if (last || next_outside) {
       buckets.push_back(MakeBucket(runs, begin, i + 1, source_cardinality));
       begin = i + 1;

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <limits>
 
+#include "condsel/common/fault_injector.h"
 #include "condsel/common/macros.h"
+#include "condsel/common/numeric.h"
 
 namespace condsel {
 
@@ -20,6 +23,15 @@ Histogram::Histogram(std::vector<Bucket> buckets, double source_cardinality)
 }
 
 double Histogram::RangeSelectivity(int64_t lo, int64_t hi) const {
+  // Fault injection: a flipped bucket produces NaN; emit it here so the
+  // downstream sanitization layer (not this accessor) is what tests
+  // exercise.
+  {
+    const FaultInjector& fi = FaultInjector::Instance();
+    if (fi.armed() && fi.enabled(Fault::kCorruptHistograms)) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+  }
   if (lo > hi) return 0.0;
   double sel = 0.0;
   for (const Bucket& b : buckets_) {
@@ -27,10 +39,14 @@ double Histogram::RangeSelectivity(int64_t lo, int64_t hi) const {
     if (b.lo > hi) break;
     const int64_t olo = std::max(lo, b.lo);
     const int64_t ohi = std::min(hi, b.hi);
-    const double frac = static_cast<double>(ohi - olo + 1) / b.Width();
+    const double frac = (static_cast<double>(ohi) -
+                         static_cast<double>(olo) + 1.0) /
+                        b.Width();
     sel += b.frequency * frac;
   }
-  return sel;
+  // Degenerate inputs (frequencies summing past 1 after rounding, widths
+  // computed from extreme domains) must not leak outside [0, 1].
+  return SanitizeSelectivity(sel);
 }
 
 double Histogram::EqualsSelectivity(int64_t v) const {
@@ -39,7 +55,7 @@ double Histogram::EqualsSelectivity(int64_t v) const {
     // Uniform-frequency assumption: each of the bucket's distinct values
     // carries frequency / distinct mass.
     if (b.distinct <= 0.0) return 0.0;
-    return b.frequency / b.distinct;
+    return SanitizeSelectivity(b.frequency / b.distinct);
   }
   return 0.0;
 }

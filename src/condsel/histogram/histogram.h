@@ -26,7 +26,11 @@ struct Bucket {
   double frequency = 0.0;  // fraction of source tuples with value in range
   double distinct = 0.0;   // estimated number of distinct values in range
 
-  double Width() const { return static_cast<double>(hi - lo + 1); }
+  // Computed in double: hi - lo + 1 overflows int64 on buckets spanning
+  // most of the representable domain.
+  double Width() const {
+    return static_cast<double>(hi) - static_cast<double>(lo) + 1.0;
+  }
 };
 
 class Histogram {

@@ -4,8 +4,11 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
+#include "condsel/common/fault_injector.h"
 #include "condsel/common/macros.h"
+#include "condsel/common/numeric.h"
 #include "condsel/histogram/builders.h"
 
 namespace condsel {
@@ -23,6 +26,12 @@ Histogram2d::Histogram2d(std::vector<Bucket2d> buckets,
 
 double Histogram2d::RangeSelectivity(int64_t x_lo, int64_t x_hi,
                                      int64_t y_lo, int64_t y_hi) const {
+  {
+    const FaultInjector& fi = FaultInjector::Instance();
+    if (fi.armed() && fi.enabled(Fault::kCorruptHistograms)) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+  }
   if (x_lo > x_hi || y_lo > y_hi) return 0.0;
   double sel = 0.0;
   for (const Bucket2d& b : buckets_) {
@@ -31,13 +40,16 @@ double Histogram2d::RangeSelectivity(int64_t x_lo, int64_t x_hi,
     const int64_t oy_lo = std::max(y_lo, b.y_lo);
     const int64_t oy_hi = std::min(y_hi, b.y_hi);
     if (ox_lo > ox_hi || oy_lo > oy_hi) continue;
-    const double fx = static_cast<double>(ox_hi - ox_lo + 1) /
-                      static_cast<double>(b.x_hi - b.x_lo + 1);
-    const double fy = static_cast<double>(oy_hi - oy_lo + 1) /
-                      static_cast<double>(b.y_hi - b.y_lo + 1);
+    // Double arithmetic: these differences overflow int64 on buckets
+    // spanning most of the representable domain.
+    auto span = [](int64_t lo, int64_t hi) {
+      return static_cast<double>(hi) - static_cast<double>(lo) + 1.0;
+    };
+    const double fx = span(ox_lo, ox_hi) / span(b.x_lo, b.x_hi);
+    const double fy = span(oy_lo, oy_hi) / span(b.y_lo, b.y_hi);
     sel += b.frequency * fx * fy;
   }
-  return sel;
+  return SanitizeSelectivity(sel);
 }
 
 std::string Histogram2d::ToString() const {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "condsel/common/numeric.h"
+
 namespace condsel {
 namespace {
 
@@ -75,12 +77,14 @@ JoinEstimate JoinHistograms(const Histogram& h1, const Histogram& h2) {
     result_buckets.push_back(rb);
   }
 
-  out.selectivity = sel;
+  out.selectivity = SanitizeSelectivity(sel);
   if (sel > 0.0) {
     for (Bucket& b : result_buckets) b.frequency /= sel;
   }
-  const double join_card =
-      h1.source_cardinality() * h2.source_cardinality() * sel;
+  // Saturate: two near-max source cardinalities would overflow to inf.
+  const double join_card = SaturatingMultiply(
+      SaturatingMultiply(h1.source_cardinality(), h2.source_cardinality()),
+      out.selectivity);
   out.result = Histogram(std::move(result_buckets), join_card);
   return out;
 }

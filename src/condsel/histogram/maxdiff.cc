@@ -44,19 +44,21 @@ Histogram BuildMaxDiff(std::vector<int64_t> values, double source_cardinality,
   // Area of distinct value i: frequency(i) * spread(i), where spread is
   // the gap to the next distinct value (the last value gets the average
   // spread). Boundaries go after the (max_buckets - 1) largest areas.
+  // Spreads are differences of arbitrary int64 values: compute in double
+  // so extreme domains cannot overflow.
   const size_t d = runs.size();
   std::vector<double> area(d);
   double avg_spread = 1.0;
   if (d > 1) {
-    avg_spread =
-        static_cast<double>(runs.back().first - runs.front().first) /
-        static_cast<double>(d - 1);
+    avg_spread = (static_cast<double>(runs.back().first) -
+                  static_cast<double>(runs.front().first)) /
+                 static_cast<double>(d - 1);
   }
   for (size_t i = 0; i < d; ++i) {
     const double spread =
-        (i + 1 < d)
-            ? static_cast<double>(runs[i + 1].first - runs[i].first)
-            : avg_spread;
+        (i + 1 < d) ? static_cast<double>(runs[i + 1].first) -
+                          static_cast<double>(runs[i].first)
+                    : avg_spread;
     area[i] = static_cast<double>(runs[i].second) * spread;
   }
 

@@ -51,9 +51,23 @@ class Writer {
 
 class Reader {
  public:
-  explicit Reader(std::FILE* f) : f_(f) {}
+  explicit Reader(std::FILE* f) : f_(f) {
+    // Element counts read from the file are validated against the bytes
+    // actually present, so a corrupt count can never trigger a giant
+    // allocation before the read fails.
+    if (std::fseek(f_, 0, SEEK_END) == 0) {
+      const long size = std::ftell(f_);
+      if (size > 0) remaining_ = static_cast<uint64_t>(size);
+    }
+    if (std::fseek(f_, 0, SEEK_SET) != 0) ok_ = false;
+  }
 
   bool ok() const { return ok_; }
+
+  // Could `count` records of `record_bytes` still be present in the file?
+  bool Plausible(uint64_t count, uint64_t record_bytes) const {
+    return record_bytes == 0 || count <= remaining_ / record_bytes;
+  }
 
   uint32_t U32() {
     uint32_t v = 0;
@@ -77,7 +91,7 @@ class Reader {
   }
   std::string Str() {
     const uint32_t n = U32();
-    if (!ok_ || n > (1u << 20)) {
+    if (!ok_ || n > (1u << 20) || !Plausible(n, 1)) {
       ok_ = false;
       return {};
     }
@@ -87,7 +101,7 @@ class Reader {
   }
   std::vector<int64_t> I64Vec() {
     const uint64_t n = U64();
-    if (!ok_ || n > (1ull << 32)) {
+    if (!ok_ || !Plausible(n, sizeof(int64_t))) {
       ok_ = false;
       return {};
     }
@@ -98,9 +112,16 @@ class Reader {
 
  private:
   void Raw(void* p, size_t n) {
-    if (ok_ && n > 0 && std::fread(p, 1, n, f_) != n) ok_ = false;
+    if (!ok_ || n == 0) return;
+    if (std::fread(p, 1, n, f_) != n) {
+      ok_ = false;
+      remaining_ = 0;
+      return;
+    }
+    remaining_ -= n <= remaining_ ? n : remaining_;
   }
   std::FILE* f_;
+  uint64_t remaining_ = 0;
   bool ok_ = true;
 };
 
@@ -120,14 +141,18 @@ void WriteHistogram(Writer& w, const Histogram& h) {
 bool ReadHistogram(Reader& r, Histogram* out) {
   const double card = r.F64();
   const uint64_t n = r.U64();
-  if (!r.ok() || n > (1u << 24)) return false;
+  if (!r.ok() || n > (1u << 24) || !r.Plausible(n, 4 * sizeof(int64_t))) {
+    return false;
+  }
   std::vector<Bucket> buckets(n);
   for (auto& b : buckets) {
     b.lo = r.I64();
     b.hi = r.I64();
     b.frequency = r.F64();
     b.distinct = r.F64();
-    if (!r.ok() || b.lo > b.hi || b.frequency < 0) return false;
+    // Negated comparisons so NaN (a flipped double) is rejected here
+    // rather than CHECK-aborting in the Histogram constructor.
+    if (!r.ok() || b.lo > b.hi || !(b.frequency >= 0)) return false;
   }
   // Ordering is re-checked by the Histogram constructor's CHECKs; guard
   // here so corrupt files fail softly instead.
@@ -153,7 +178,9 @@ void WriteHistogram2d(Writer& w, const Histogram2d& h) {
 bool ReadHistogram2d(Reader& r, Histogram2d* out) {
   const double card = r.F64();
   const uint64_t n = r.U64();
-  if (!r.ok() || n > (1u << 24)) return false;
+  if (!r.ok() || n > (1u << 24) || !r.Plausible(n, 5 * sizeof(int64_t))) {
+    return false;
+  }
   std::vector<Bucket2d> buckets(n);
   for (auto& b : buckets) {
     b.x_lo = r.I64();
@@ -161,7 +188,8 @@ bool ReadHistogram2d(Reader& r, Histogram2d* out) {
     b.y_lo = r.I64();
     b.y_hi = r.I64();
     b.frequency = r.F64();
-    if (!r.ok() || b.x_lo > b.x_hi || b.y_lo > b.y_hi || b.frequency < 0) {
+    if (!r.ok() || b.x_lo > b.x_hi || b.y_lo > b.y_hi ||
+        !(b.frequency >= 0)) {
       return false;
     }
   }
@@ -283,6 +311,15 @@ IoResult ReadCatalog(const std::string& path, Catalog* out) {
           r.I64Vec();
     }
     if (!r.ok()) return IoResult::Fail("corrupt column data");
+    // All columns of a table must agree on the row count; SealRows treats
+    // a mismatch as an internal invariant violation (abort), so corrupt
+    // files are rejected here instead.
+    for (uint32_t c = 1; c < num_cols; ++c) {
+      if (table.column(static_cast<ColumnId>(c)).size() !=
+          table.column(0).size()) {
+        return IoResult::Fail("column lengths disagree within a table");
+      }
+    }
     table.SealRows();
     catalog.AddTable(std::move(table));
   }
@@ -296,7 +333,12 @@ IoResult ReadCatalog(const std::string& path, Catalog* out) {
     fk.fk_column = static_cast<ColumnId>(r.U32());
     fk.pk_table = static_cast<TableId>(r.U32());
     fk.pk_column = static_cast<ColumnId>(r.U32());
-    if (!r.ok()) return IoResult::Fail("corrupt foreign key");
+    // AddForeignKey treats out-of-range table ids as an internal invariant
+    // violation (abort); validate the corrupt-file case here.
+    if (!r.ok() || !ValidColumn(catalog, {fk.fk_table, fk.fk_column}) ||
+        !ValidColumn(catalog, {fk.pk_table, fk.pk_column})) {
+      return IoResult::Fail("corrupt foreign key");
+    }
     catalog.AddForeignKey(fk);
   }
   *out = std::move(catalog);
@@ -386,7 +428,8 @@ IoResult ReadSitPool(const std::string& path, const Catalog& catalog,
         return IoResult::Fail("corrupt histogram");
       }
     }
-    if (!r.ok() || sit.diff < 0.0 || sit.diff > 1.0) {
+    // Negated form rejects NaN diffs too.
+    if (!r.ok() || !(sit.diff >= 0.0 && sit.diff <= 1.0)) {
       return IoResult::Fail("corrupt SIT payload");
     }
     pool.Add(std::move(sit));

@@ -1,7 +1,9 @@
 #include "condsel/parser/parser.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -16,6 +18,7 @@ struct Token {
                      // original preserved in `raw`
   std::string raw;
   int64_t number = 0;
+  bool number_in_range = true;  // false for literals outside int64
 };
 
 class Lexer {
@@ -70,7 +73,11 @@ class Lexer {
       current_.kind = TokKind::kNumber;
       current_.raw = input_.substr(pos_, end - pos_);
       current_.text = current_.raw;
-      current_.number = std::atoll(current_.raw.c_str());
+      // strtoll, unlike atoll, has defined overflow behavior: adversarial
+      // giant literals must produce a parse error, not UB.
+      errno = 0;
+      current_.number = std::strtoll(current_.raw.c_str(), nullptr, 10);
+      current_.number_in_range = errno != ERANGE;
       pos_ = end;
       return;
     }
@@ -267,10 +274,20 @@ class Parser {
     if (op.text == "=") {
       lo = hi = v;
     } else if (op.text == "<") {
+      // v-1/v+1 at the int64 extremes would be signed overflow (UB); a
+      // strict comparison against the extreme selects nothing anyway.
+      if (v == std::numeric_limits<int64_t>::min()) {
+        error_ = "predicate on '" + schema.name + "' selects nothing";
+        return false;
+      }
       hi = v - 1;
     } else if (op.text == "<=") {
       hi = v;
     } else if (op.text == ">") {
+      if (v == std::numeric_limits<int64_t>::max()) {
+        error_ = "predicate on '" + schema.name + "' selects nothing";
+        return false;
+      }
       lo = v + 1;
     } else if (op.text == ">=") {
       lo = v;
@@ -292,7 +309,12 @@ class Parser {
       error_ = "expected a number, got '" + lexer_.peek().raw + "'";
       return false;
     }
-    *out = lexer_.Take().number;
+    const Token t = lexer_.Take();
+    if (!t.number_in_range) {
+      error_ = "integer literal '" + t.raw + "' is out of range";
+      return false;
+    }
+    *out = t.number;
     return true;
   }
 

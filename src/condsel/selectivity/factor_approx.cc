@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "condsel/common/macros.h"
+#include "condsel/common/numeric.h"
 #include "condsel/histogram/histogram_join.h"
 
 namespace condsel {
@@ -139,13 +140,14 @@ double FactorApproximator::EstimateWith(
     const bool a_first = fa.column() == sit.attr;
     const Predicate& fx = a_first ? fa : fb;
     const Predicate& fy = a_first ? fb : fa;
-    return sit.histogram2d.RangeSelectivity(fx.lo(), fx.hi(), fy.lo(),
-                                            fy.hi());
+    return SanitizeSelectivity(sit.histogram2d.RangeSelectivity(
+        fx.lo(), fx.hi(), fy.lo(), fy.hi()));
   }
   if (join_pred < 0) {
     CONDSEL_CHECK(sits.size() == 1);
     const Predicate& f = query.predicate(filters[0]);
-    return sits[0].sit->histogram.RangeSelectivity(f.lo(), f.hi());
+    return SanitizeSelectivity(
+        sits[0].sit->histogram.RangeSelectivity(f.lo(), f.hi()));
   }
 
   CONDSEL_CHECK(sits.size() == 2);
@@ -159,7 +161,7 @@ double FactorApproximator::EstimateWith(
     const Predicate& fp = query.predicate(f);
     sel *= je.result.RangeSelectivity(fp.lo(), fp.hi());
   }
-  return sel;
+  return SanitizeSelectivity(sel);
 }
 
 double FactorApproximator::Estimate(const Query& query, PredSet p,

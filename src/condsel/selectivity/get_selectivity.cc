@@ -3,7 +3,9 @@
 #include <chrono>
 
 #include "condsel/catalog/catalog.h"
+#include "condsel/common/fault_injector.h"
 #include "condsel/common/macros.h"
+#include "condsel/common/numeric.h"
 #include "condsel/selectivity/sel_expr.h"
 #include "condsel/selectivity/separability.h"
 
@@ -19,15 +21,72 @@ double Seconds(Clock::time_point from, Clock::time_point to) {
 }  // namespace
 
 GetSelectivity::GetSelectivity(const Query* query,
-                               FactorApproximator* approximator)
-    : query_(query), approximator_(approximator) {
+                               FactorApproximator* approximator,
+                               const EstimationBudget* budget)
+    : query_(query), approximator_(approximator), budget_(budget) {
   CONDSEL_CHECK(query != nullptr);
   CONDSEL_CHECK(approximator != nullptr);
 }
 
 SelEstimate GetSelectivity::Compute(PredSet p) {
+  // Arm the per-call deadline (count caps are cumulative and need no
+  // per-call state).
+  deadline_armed_ = budget_ != nullptr && budget_->deadline_seconds > 0.0;
+  if (deadline_armed_) {
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(
+                                       budget_->deadline_seconds));
+  }
   const Entry& e = ComputeEntry(p);
   return SelEstimate{e.selectivity, e.error};
+}
+
+bool GetSelectivity::BudgetExhausted() const {
+  if (budget_ == nullptr) return false;
+  const EstimationBudget& b = *budget_;
+  if (b.max_subproblems > 0 && stats_.subproblems >= b.max_subproblems) {
+    return true;
+  }
+  if (b.max_atomic_decompositions > 0 &&
+      stats_.atomic_considered >= b.max_atomic_decompositions) {
+    return true;
+  }
+  if (deadline_armed_) {
+    const FaultInjector& fi = FaultInjector::Instance();
+    if (fi.armed() && fi.enabled(Fault::kExpireDeadline)) return true;
+    if (Clock::now() >= deadline_) return true;
+  }
+  return false;
+}
+
+double GetSelectivity::SinglePredicateFallback(int i) {
+  auto it = fallback_memo_.find(i);
+  if (it != fallback_memo_.end()) return it->second;
+  // Conditioning on the empty set restricts the matcher to base histograms
+  // (expr ⊆ ∅): exactly the traditional noSit estimate for this predicate.
+  FactorChoice choice = approximator_->Score(*query_, 1u << i, /*cond=*/0);
+  double sel = 1.0;
+  if (choice.feasible) {
+    sel = SanitizeSelectivity(
+        approximator_->Estimate(*query_, 1u << i, choice));
+  } else {
+    // No base histogram either: contribute no information rather than
+    // abort. 1.0 never understates a cardinality, the safe direction for
+    // an optimizer that must still produce a plan.
+    ++stats_.default_fallbacks;
+  }
+  return fallback_memo_.emplace(i, sel).first->second;
+}
+
+GetSelectivity::Entry GetSelectivity::MakeDegradedEntry(PredSet p) {
+  Entry entry;
+  entry.kind = Kind::kDegraded;
+  entry.error = kInfiniteError;  // never preferred over a scored candidate
+  double sel = 1.0;
+  for (int i : SetElements(p)) sel *= SinglePredicateFallback(i);
+  entry.selectivity = SanitizeSelectivity(sel);
+  ++stats_.degraded_subproblems;
+  return entry;
 }
 
 const GetSelectivity::Entry& GetSelectivity::ComputeEntry(PredSet p) {
@@ -36,7 +95,6 @@ const GetSelectivity::Entry& GetSelectivity::ComputeEntry(PredSet p) {
     ++stats_.memo_hits;
     return it->second;
   }
-  ++stats_.subproblems;
 
   Entry entry;
   if (p == 0) {
@@ -45,6 +103,17 @@ const GetSelectivity::Entry& GetSelectivity::ComputeEntry(PredSet p) {
     entry.error = 0.0;
     return memo_.emplace(p, std::move(entry)).first->second;
   }
+
+  // Budget gate: once any knob runs out, every *new* subset is answered by
+  // the independence fallback instead of growing the search. Memoized
+  // entries keep serving their (more accurate) results. Degraded entries
+  // count in degraded_subproblems, not subproblems, so the cap bounds the
+  // entries the search actually works on.
+  if (BudgetExhausted()) {
+    stats_.budget_exhausted = true;
+    return memo_.emplace(p, MakeDegradedEntry(p)).first->second;
+  }
+  ++stats_.subproblems;
 
   const auto t0 = Clock::now();
   const std::vector<PredSet> components = StandardDecomposition(*query_, p);
@@ -61,7 +130,7 @@ const GetSelectivity::Entry& GetSelectivity::ComputeEntry(PredSet p) {
       sel *= ce.selectivity;
       err = ErrorFunction::Merge(err, ce.error);
     }
-    entry.selectivity = sel;
+    entry.selectivity = SanitizeSelectivity(sel);
     entry.error = err;
     return memo_.emplace(p, std::move(entry)).first->second;
   }
@@ -125,9 +194,21 @@ const GetSelectivity::Entry& GetSelectivity::ComputeEntry(PredSet p) {
   FactorChoice best_choice;
 
   for (PredSet p_prime : factor_candidates) {
+    // Stop scoring further candidates once the budget runs out mid-loop;
+    // whatever has been found so far (possibly nothing) decides below.
+    if (BudgetExhausted()) {
+      stats_.budget_exhausted = true;
+      break;
+    }
     const PredSet q = p & ~p_prime;
     // Line 11: recurse before scoring so the merged error is available.
     const Entry& qe = ComputeEntry(q);
+    // The recursion may have spent the budget; re-check before charging
+    // another decomposition so the cap stays tight at every level.
+    if (BudgetExhausted()) {
+      stats_.budget_exhausted = true;
+      break;
+    }
     const auto t1 = Clock::now();
     ++stats_.atomic_considered;
     FactorChoice choice = approximator_->Score(*query_, p_prime, q);
@@ -141,27 +222,36 @@ const GetSelectivity::Entry& GetSelectivity::ComputeEntry(PredSet p) {
     }
   }
 
-  CONDSEL_CHECK_MSG(best_p_prime != 0,
-                    "no feasible decomposition: SIT pool must contain base "
-                    "histograms for every referenced column");
+  if (best_p_prime == 0) {
+    // No feasible decomposition — a pool without base histograms for some
+    // referenced column (the Try* API reports this up front), or a budget
+    // that expired before the first candidate. Degrade instead of
+    // aborting: the estimate must still be produced.
+    return memo_.emplace(p, MakeDegradedEntry(p)).first->second;
+  }
 
   // Lines 16-17: estimate the winning factor with its chosen SITs
   // (histogram manipulation) and combine with the tail's estimate.
   const auto t2 = Clock::now();
-  const double factor_sel =
-      approximator_->Estimate(*query_, best_p_prime, best_choice);
+  const double factor_sel = SanitizeSelectivity(
+      approximator_->Estimate(*query_, best_p_prime, best_choice));
   stats_.histogram_seconds += Seconds(t2, Clock::now());
   const Entry& tail = ComputeEntry(p & ~best_p_prime);
 
   entry.best_p_prime = best_p_prime;
   entry.choice = std::move(best_choice);
   entry.error = best_error;
-  entry.selectivity = factor_sel * tail.selectivity;
+  entry.selectivity = SanitizeSelectivity(factor_sel * tail.selectivity);
   return memo_.emplace(p, std::move(entry)).first->second;
 }
 
 std::string GetSelectivity::Explain(PredSet p) const {
   std::string out;
+  if (stats_.budget_exhausted) {
+    out += "[budget exhausted: " +
+           std::to_string(stats_.degraded_subproblems) +
+           " subset(s) degraded to the independence fallback]\n";
+  }
   ExplainRec(p, 0, &out);
   return out;
 }
@@ -186,6 +276,13 @@ void GetSelectivity::ExplainRec(PredSet p, int indent,
                     e.selectivity, e.error, e.components.size());
       *out += pad + buf;
       for (PredSet comp : e.components) ExplainRec(comp, indent + 1, out);
+      break;
+    case Kind::kDegraded:
+      std::snprintf(buf, sizeof(buf),
+                    "degraded: sel=%.6g via independence fallback over %d "
+                    "predicate(s)\n",
+                    e.selectivity, SetSize(p));
+      *out += pad + buf;
       break;
     case Kind::kAtomic: {
       std::snprintf(buf, sizeof(buf), "sel=%.6g err=%.4g, factor ",

@@ -12,6 +12,16 @@
 //  - everything is memoized, so the optimizer's many sub-plan requests
 //    against the same query cost one DP (Section 4's reuse).
 //
+// The DP is exponential in the number of predicates, so a production
+// deployment caps it with an EstimationBudget. When the budget runs out —
+// or when no SIT-approximable decomposition exists for a subset — the
+// search degrades gracefully: the remaining subsets fall back to the
+// independence-assumption estimate from base histograms (the noSit
+// baseline's path), each predicate with no base histogram contributing a
+// neutral 1.0. Compute() therefore always returns a finite selectivity in
+// [0, 1] and never aborts or blocks; degradation is recorded in GsStats
+// and visible in Explain().
+//
 // The run also collects the statistics the evaluation section reports:
 // decomposition-analysis vs histogram-manipulation time (Fig. 8), memo
 // hits, and subproblem counts.
@@ -19,6 +29,7 @@
 #ifndef CONDSEL_SELECTIVITY_GET_SELECTIVITY_H_
 #define CONDSEL_SELECTIVITY_GET_SELECTIVITY_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -34,21 +45,46 @@ struct SelEstimate {
   double error = 0.0;
 };
 
+// Caps on one memoized search. Each knob is a hard ceiling; 0 disables it.
+// The deadline applies per top-level Compute() call (an optimizer's
+// per-sub-plan latency budget), while the count caps are cumulative over
+// the search's lifetime, matching the cumulative GsStats counters.
+struct EstimationBudget {
+  uint64_t max_subproblems = 0;          // memo entries computed
+  uint64_t max_atomic_decompositions = 0;  // atomic decompositions scored
+  double deadline_seconds = 0.0;           // wall clock per Compute() call
+
+  bool unlimited() const {
+    return max_subproblems == 0 && max_atomic_decompositions == 0 &&
+           deadline_seconds <= 0.0;
+  }
+};
+
 struct GsStats {
-  uint64_t subproblems = 0;         // memo entries computed
+  uint64_t subproblems = 0;         // memo entries computed by the search
+                                    // (degraded entries excluded)
   uint64_t memo_hits = 0;           // lookups answered from the memo
   uint64_t atomic_considered = 0;   // atomic decompositions scored
   double analysis_seconds = 0.0;    // search + view matching + ranking
   double histogram_seconds = 0.0;   // estimation with the chosen SITs
+  // Robustness accounting:
+  bool budget_exhausted = false;       // some knob of the budget ran out
+  uint64_t degraded_subproblems = 0;   // entries answered by the fallback
+  uint64_t default_fallbacks = 0;      // predicates with no base histogram
 };
 
 class GetSelectivity {
  public:
   // All pointers are borrowed and must outlive this object. The
-  // approximator's matcher must already be bound to `query`.
-  GetSelectivity(const Query* query, FactorApproximator* approximator);
+  // approximator's matcher must already be bound to `query`. `budget` may
+  // be null (unlimited); it is re-read on every Compute() call, so the
+  // owner can tighten or relax it between requests.
+  GetSelectivity(const Query* query, FactorApproximator* approximator,
+                 const EstimationBudget* budget = nullptr);
 
-  // Most accurate estimation of Sel(P). Memoized across calls.
+  // Most accurate estimation of Sel(P) within budget. Memoized across
+  // calls. Always finite, in [0, 1], and non-aborting: exhausted budget or
+  // missing statistics degrade to the independence fallback (see stats()).
   SelEstimate Compute(PredSet p);
 
   // Human-readable best decomposition of a previously computed subset.
@@ -57,7 +93,7 @@ class GetSelectivity {
   const GsStats& stats() const { return stats_; }
 
  private:
-  enum class Kind { kEmpty, kSeparable, kAtomic };
+  enum class Kind { kEmpty, kSeparable, kAtomic, kDegraded };
 
   struct Entry {
     double selectivity = 1.0;
@@ -69,12 +105,24 @@ class GetSelectivity {
   };
 
   const Entry& ComputeEntry(PredSet p);
+  // True when any budget knob has run out for the current Compute() call.
+  bool BudgetExhausted() const;
+  // Independence-assumption fallback entry for `p` (the noSit path).
+  Entry MakeDegradedEntry(PredSet p);
+  // Base-histogram estimate of one predicate; 1.0 when no base histogram
+  // exists. Memoized (it is re-entered by every degraded superset).
+  double SinglePredicateFallback(int i);
   void ExplainRec(PredSet p, int indent, std::string* out) const;
 
   const Query* query_;
   FactorApproximator* approximator_;
+  const EstimationBudget* budget_;
   std::unordered_map<PredSet, Entry> memo_;
+  std::unordered_map<int, double> fallback_memo_;
   GsStats stats_;
+  // Deadline for the in-flight top-level Compute() call.
+  bool deadline_armed_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
 };
 
 }  // namespace condsel

@@ -14,6 +14,9 @@ namespace condsel {
 SitBuilder::SitBuilder(Evaluator* evaluator, SitBuildOptions options)
     : evaluator_(evaluator), options_(options) {
   CONDSEL_CHECK(evaluator != nullptr);
+  // User-supplied configuration: clamp rather than abort, so the histogram
+  // builders' max_buckets >= 1 precondition stays an internal invariant.
+  options_.max_buckets = std::max(1, options_.max_buckets);
 }
 
 const Catalog& SitBuilder::catalog() const { return evaluator_->catalog(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "condsel/common/fault_injector.h"
 #include "condsel/common/macros.h"
 
 namespace condsel {
@@ -58,6 +59,13 @@ std::vector<SitCandidate> SitMatcher::FilterMaximal(
   }
   std::vector<SitCandidate> consistent;
   if (list == nullptr) return consistent;
+  // Fault injection: behave as if no SIT (not even a base histogram)
+  // matched, simulating a pool that failed to load. Downstream must
+  // degrade, never abort.
+  {
+    const FaultInjector& fi = FaultInjector::Instance();
+    if (fi.armed() && fi.enabled(Fault::kDropSits)) return consistent;
+  }
   for (const SitCandidate& c : *list) {
     if (IsSubset(c.expr_mask, cond)) consistent.push_back(c);
   }

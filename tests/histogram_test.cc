@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "condsel/common/rng.h"
 #include "condsel/common/zipf.h"
@@ -170,6 +171,50 @@ TEST(HistogramTest, DistinctCountsHelper) {
   EXPECT_EQ(runs[0], (std::pair<int64_t, uint64_t>{1, 2}));
   EXPECT_EQ(runs[1], (std::pair<int64_t, uint64_t>{2, 3}));
   EXPECT_EQ(runs[2], (std::pair<int64_t, uint64_t>{7, 1}));
+}
+
+TEST(HistogramTest, EveryBuilderHandlesDegenerateInputs) {
+  for (HistogramType type :
+       {HistogramType::kMaxDiff, HistogramType::kEquiDepth,
+        HistogramType::kEquiWidth, HistogramType::kEndBiased}) {
+    // Empty column.
+    const Histogram empty = BuildHistogram(type, {}, 0.0, 8);
+    EXPECT_TRUE(empty.empty());
+    EXPECT_DOUBLE_EQ(empty.RangeSelectivity(-100, 100), 0.0);
+    // Empty column of a non-empty source (all NULLs).
+    const Histogram nulls = BuildHistogram(type, {}, 50.0, 8);
+    EXPECT_DOUBLE_EQ(nulls.RangeSelectivity(-100, 100), 0.0);
+    // Single distinct value.
+    const Histogram single = BuildHistogram(type, {42, 42, 42, 42}, 4.0, 8);
+    EXPECT_EQ(single.num_buckets(), 1u);
+    EXPECT_DOUBLE_EQ(single.EqualsSelectivity(42), 1.0);
+    // Bucket budget far above the distinct count: exact, within budget.
+    const Histogram wide =
+        BuildHistogram(type, {1, 2, 2, 3}, 4.0, 1000);
+    EXPECT_LE(wide.num_buckets(), 3u);
+    EXPECT_NEAR(wide.RangeSelectivity(1, 3), 1.0, 1e-12);
+    EXPECT_NEAR(wide.EqualsSelectivity(2), 0.5, 1e-12);
+    // Budget of one: everything in a single bucket, mass conserved.
+    const Histogram one = BuildHistogram(type, {1, 5, 9}, 3.0, 1);
+    EXPECT_NEAR(one.total_frequency(), 1.0, 1e-12);
+  }
+}
+
+TEST(HistogramTest, ExtremeDomainDoesNotOverflow) {
+  // A column spanning almost the whole int64 domain: bucket-width
+  // arithmetic must not overflow (equi-width computes hi - lo + 1).
+  const int64_t lo = std::numeric_limits<int64_t>::min() + 1;
+  const int64_t hi = std::numeric_limits<int64_t>::max() - 1;
+  for (HistogramType type :
+       {HistogramType::kMaxDiff, HistogramType::kEquiDepth,
+        HistogramType::kEquiWidth, HistogramType::kEndBiased}) {
+    const Histogram h = BuildHistogram(type, {lo, 0, hi}, 3.0, 2);
+    EXPECT_NEAR(h.total_frequency(), 1.0, 1e-12);
+    const double sel = h.RangeSelectivity(lo, hi);
+    EXPECT_TRUE(std::isfinite(sel));
+    EXPECT_GE(sel, 0.0);
+    EXPECT_LE(sel, 1.0);
+  }
 }
 
 // Parameterized sweep: every builder must reproduce total mass and stay

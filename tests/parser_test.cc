@@ -142,6 +142,79 @@ TEST_F(ParserTest, ParsedQueryEvaluatesCorrectly) {
                    eval.Cardinality(manual, manual.all_predicates()));
 }
 
+TEST_F(ParserTest, HardeningCorpusAlwaysCleanError) {
+  // Adversarial inputs collected from the robustness pass: every one must
+  // produce ok=false with a non-empty error — never a crash, hang, or UB.
+  const std::vector<std::string> corpus = {
+      "",
+      " ",
+      "\t\n",
+      "SELECT",
+      "SELECT COUNT",
+      "SELECT COUNT(",
+      "SELECT COUNT(*",
+      "SELECT COUNT(*)",
+      "SELECT COUNT(*) FROM",
+      "SELECT COUNT(*) FROM ,",
+      "SELECT COUNT(*) FROM R,",
+      "SELECT COUNT(*) FROM R WHERE",
+      "SELECT COUNT(*) FROM R WHERE AND",
+      "SELECT COUNT(*) FROM R WHERE R.a = 1 AND",
+      "SELECT COUNT(*) FROM R WHERE R.a = 1 AND AND R.x = 2",
+      "SELECT COUNT(*) FROM R WHERE R.",
+      "SELECT COUNT(*) FROM R WHERE R.a",
+      "SELECT COUNT(*) FROM R WHERE R.a =",
+      "SELECT COUNT(*) FROM R WHERE R.a BETWEEN",
+      "SELECT COUNT(*) FROM R WHERE R.a BETWEEN 1",
+      "SELECT COUNT(*) FROM R WHERE R.a BETWEEN 1 AND",
+      "SELECT COUNT(*) FROM R WHERE R.a <> 3",
+      "SELECT COUNT(*) FROM R WHERE R.a != 3",
+      "SELECT COUNT(*) FROM R WHERE R.a = R.a",
+      "SELECT COUNT(*) FROM nope WHERE nope.a = 1",
+      "SELECT COUNT(*) FROM R WHERE R.a = 99999999999999999999999999",
+      "SELECT COUNT(*) FROM R WHERE R.a = -99999999999999999999999999",
+      "SELECT COUNT(*) FROM R WHERE R.a BETWEEN -99999999999999999999 "
+      "AND 99999999999999999999",
+      "SELECT COUNT(*) FROM R WHERE R.a = 1 ; DROP TABLE R",
+      std::string("SELECT COUNT(*) FROM R\0WHERE R.a = 1", 36),
+      "SELECT COUNT(*) FROM R WHERE R.a = 0x10",
+      "SELECT COUNT(*) FROM R WHERE R.a = 1.5",
+      "select count ( * ) from",
+  };
+  for (const std::string& sql : corpus) {
+    const ParseResult r = ParseQuery(catalog_, sql);
+    EXPECT_FALSE(r.ok) << "accepted: " << sql;
+    EXPECT_FALSE(r.error.empty()) << sql;
+  }
+}
+
+TEST_F(ParserTest, GiantLiteralIsRangeError) {
+  // Out-of-int64 literals used to hit std::atoll's undefined overflow;
+  // they must now surface as an explicit range error.
+  const ParseResult r = ParseQuery(
+      catalog_,
+      "SELECT COUNT(*) FROM R WHERE R.a = 123456789012345678901234567890");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("out of range"), std::string::npos);
+}
+
+TEST_F(ParserTest, Int64ExtremesDoNotOverflow) {
+  // "< INT64_MIN" / "> INT64_MAX" would need v∓1 outside int64; both are
+  // rejected as empty predicates instead of overflowing.
+  const ParseResult lo = ParseQuery(
+      catalog_,
+      "SELECT COUNT(*) FROM R WHERE R.a < -9223372036854775808");
+  EXPECT_FALSE(lo.ok);
+  const ParseResult hi = ParseQuery(
+      catalog_,
+      "SELECT COUNT(*) FROM R WHERE R.a > 9223372036854775807");
+  EXPECT_FALSE(hi.ok);
+  // Ordinary strict comparisons keep working.
+  const ParseResult in = ParseQuery(
+      catalog_, "SELECT COUNT(*) FROM R WHERE R.a < 1000");
+  EXPECT_TRUE(in.ok) << in.error;
+}
+
 TEST_F(ParserTest, FuzzedInputsNeverCrash) {
   // Random token soup: every outcome must be a clean ok/error result.
   Rng rng(31337);
