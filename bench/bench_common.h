@@ -6,8 +6,7 @@
 //                    Bench default is 0.01 to fit a single-core CI run.
 //   CONDSEL_QUERIES  queries per workload (paper: 100).
 
-#ifndef CONDSEL_BENCH_BENCH_COMMON_H_
-#define CONDSEL_BENCH_BENCH_COMMON_H_
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -73,4 +72,3 @@ struct BenchEnv {
 }  // namespace bench
 }  // namespace condsel
 
-#endif  // CONDSEL_BENCH_BENCH_COMMON_H_

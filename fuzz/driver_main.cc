@@ -1,0 +1,188 @@
+// Standalone driver for the fuzz harnesses when libFuzzer is unavailable
+// (gcc builds, plain CI runners). Accepts a subset of libFuzzer's command
+// line so the same invocation works against either binary:
+//
+//   <target> CORPUS_DIR_OR_FILE...          replay every corpus input
+//   <target> CORPUS... -runs=N              + N deterministic random
+//                                             mutations of the corpus
+//   <target> CORPUS... -runs=N -seed=S      vary the mutation stream
+//   <target> CORPUS... -max_len=N           cap generated input length
+//
+// Replay mode is wired into ctest (every corpus input must keep passing);
+// mutation mode is the bounded "fuzz smoke" CI job. Real coverage-guided
+// fuzzing needs the clang libFuzzer build (-DCONDSEL_FUZZ=ON with clang);
+// see docs/STATIC_ANALYSIS.md.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <random>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+using Input = std::vector<uint8_t>;
+
+bool ReadFile(const std::string& path, Input* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  uint8_t buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->insert(out->end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+// Collects regular files directly inside `path` (one level, the libFuzzer
+// corpus layout) or `path` itself when it is a file.
+bool CollectInputs(const std::string& path,
+                   std::vector<std::string>* files) {
+  struct stat st;
+  if (stat(path.c_str(), &st) != 0) return false;
+  if (!S_ISDIR(st.st_mode)) {
+    files->push_back(path);
+    return true;
+  }
+  DIR* dir = opendir(path.c_str());
+  if (dir == nullptr) return false;
+  while (dirent* e = readdir(dir)) {
+    if (e->d_name[0] == '.') continue;
+    const std::string child = path + "/" + e->d_name;
+    if (stat(child.c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      files->push_back(child);
+    }
+  }
+  closedir(dir);
+  return true;
+}
+
+// One mutation step: flip, overwrite, insert, erase, truncate, or splice
+// with another corpus input. Deliberately dumb — determinism and speed
+// matter more here than coverage guidance, which the libFuzzer build
+// provides.
+Input Mutate(const Input& base, const std::vector<Input>& corpus,
+             std::mt19937* rng, size_t max_len) {
+  Input out = base;
+  const int kinds = 6;
+  const int steps = 1 + static_cast<int>((*rng)() % 4);
+  for (int s = 0; s < steps; ++s) {
+    switch ((*rng)() % kinds) {
+      case 0:  // bit flip
+        if (!out.empty()) out[(*rng)() % out.size()] ^= 1u << ((*rng)() % 8);
+        break;
+      case 1:  // byte overwrite
+        if (!out.empty()) {
+          out[(*rng)() % out.size()] = static_cast<uint8_t>((*rng)());
+        }
+        break;
+      case 2: {  // insert a byte
+        const size_t pos = out.empty() ? 0 : (*rng)() % (out.size() + 1);
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                   static_cast<uint8_t>((*rng)()));
+        break;
+      }
+      case 3:  // erase a byte
+        if (!out.empty()) {
+          out.erase(out.begin() +
+                    static_cast<std::ptrdiff_t>((*rng)() % out.size()));
+        }
+        break;
+      case 4:  // truncate
+        if (!out.empty()) out.resize((*rng)() % out.size());
+        break;
+      case 5: {  // splice: prefix of this + suffix of another input
+        const Input& other = corpus[(*rng)() % corpus.size()];
+        if (!other.empty()) {
+          const size_t cut = out.empty() ? 0 : (*rng)() % out.size();
+          const size_t from = (*rng)() % other.size();
+          out.resize(cut);
+          out.insert(out.end(), other.begin() +
+                     static_cast<std::ptrdiff_t>(from), other.end());
+        }
+        break;
+      }
+    }
+  }
+  if (out.size() > max_len) out.resize(max_len);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long runs = 0;
+  unsigned seed = 1;
+  size_t max_len = 4096;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "-runs=", 6) == 0) {
+      runs = std::atol(arg + 6);
+    } else if (std::strncmp(arg, "-seed=", 6) == 0) {
+      seed = static_cast<unsigned>(std::atol(arg + 6));
+    } else if (std::strncmp(arg, "-max_len=", 9) == 0) {
+      max_len = static_cast<size_t>(std::atol(arg + 9));
+    } else if (arg[0] == '-') {
+      // Ignore unknown libFuzzer-style flags so shared scripts work
+      // against both binaries.
+      std::fprintf(stderr, "INFO: ignoring flag %s\n", arg);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [-runs=N] [-seed=S] [-max_len=N] "
+                 "CORPUS_DIR_OR_FILE...\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    if (!CollectInputs(p, &files)) {
+      std::fprintf(stderr, "ERROR: cannot read %s\n", p.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<Input> corpus;
+  for (const std::string& f : files) {
+    Input in;
+    if (!ReadFile(f, &in)) {
+      std::fprintf(stderr, "ERROR: cannot read %s\n", f.c_str());
+      return 2;
+    }
+    corpus.push_back(std::move(in));
+  }
+
+  // Replay phase: every corpus input, verbatim.
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    LLVMFuzzerTestOneInput(corpus[i].data(), corpus[i].size());
+  }
+  std::fprintf(stderr, "INFO: replayed %zu corpus inputs\n", corpus.size());
+
+  // Mutation phase.
+  if (runs > 0 && !corpus.empty()) {
+    std::mt19937 rng(seed);
+    for (long r = 0; r < runs; ++r) {
+      const Input mutated =
+          Mutate(corpus[rng() % corpus.size()], corpus, &rng, max_len);
+      LLVMFuzzerTestOneInput(mutated.data(), mutated.size());
+    }
+    std::fprintf(stderr, "INFO: executed %ld mutated runs (seed %u)\n",
+                 runs, seed);
+  }
+  std::fprintf(stderr, "INFO: done, no crashes\n");
+  return 0;
+}

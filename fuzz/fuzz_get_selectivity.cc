@@ -1,0 +1,159 @@
+// Fuzz target: the getSelectivity DP behind the Estimator facade.
+//
+// Fuzz bytes are decoded into a small SPJ query (filters and FK joins
+// over the fixture catalog), a SIT-pool composition, an EstimationBudget,
+// and a predicate subset to estimate. The harness asserts the paper
+// implementation's hard contract: estimation never crashes, never hangs,
+// and every accepted request yields a finite selectivity in [0, 1] — no
+// matter how the budget truncates the search or which statistics exist.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "condsel/api.h"
+#include "condsel/optimizer/integration.h"
+#include "condsel/selectivity/factor_approx.h"
+#include "condsel/selectivity/error_function.h"
+#include "fuzz_util.h"
+
+namespace {
+
+using condsel::ColumnRef;
+using condsel::Predicate;
+
+void Require(bool cond, const char* what) {
+  if (!cond) {
+    std::fprintf(stderr,
+                 "fuzz_get_selectivity invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+// Sequential consumer over the fuzz input; returns 0 when exhausted so
+// short inputs decode to a trivial (still valid) request.
+class ByteStream {
+ public:
+  ByteStream(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t Next() { return pos_ < size_ ? data_[pos_++] : 0; }
+  uint32_t Next32() {
+    return static_cast<uint32_t>(Next()) |
+           static_cast<uint32_t>(Next()) << 8 |
+           static_cast<uint32_t>(Next()) << 16 |
+           static_cast<uint32_t>(Next()) << 24;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const condsel::Catalog catalog = condsel::fuzzing::MakeFuzzCatalog();
+  ByteStream in(data, size);
+
+  // --- decode the query: up to 6 predicates over the fixture schema ---
+  const struct {
+    ColumnRef col;
+    int64_t domain_lo, domain_hi;
+  } filterable[] = {
+      {{0, 0}, 0, 99},  // R.a
+      {{0, 1}, 0, 9},   // R.b
+      {{1, 1}, 0, 19},  // S.c
+      {{2, 1}, 0, 6},   // T.d
+  };
+  const Predicate joinable[] = {
+      Predicate::Join(ColumnRef{0, 2}, ColumnRef{1, 0}),  // R.s_id = S.pk
+      Predicate::Join(ColumnRef{0, 1}, ColumnRef{2, 0}),  // R.b = T.pk2
+  };
+
+  std::vector<Predicate> preds;
+  const int num_preds = 1 + in.Next() % 6;
+  for (int i = 0; i < num_preds; ++i) {
+    const uint8_t kind = in.Next();
+    if (kind % 3 == 0) {
+      preds.push_back(joinable[in.Next() % 2]);
+    } else {
+      const auto& f = filterable[in.Next() % 4];
+      const int64_t width = f.domain_hi - f.domain_lo + 1;
+      int64_t lo = f.domain_lo + static_cast<int64_t>(in.Next()) % width;
+      int64_t hi = f.domain_lo + static_cast<int64_t>(in.Next()) % width;
+      if (lo > hi) std::swap(lo, hi);
+      preds.push_back(Predicate::Filter(f.col, lo, hi));
+    }
+  }
+  const condsel::Query query(std::move(preds));
+
+  // --- decode pool composition and budget ---
+  const condsel::SitPool pool =
+      condsel::fuzzing::MakeFuzzPool(in.Next32());
+  condsel::EstimationBudget budget;
+  budget.max_subproblems = in.Next() % 16;           // 0 = unlimited
+  budget.max_atomic_decompositions = in.Next() % 32;  // 0 = unlimited
+  // Either no deadline or one so tight it expires mid-search; both must
+  // degrade gracefully, never block.
+  budget.deadline_seconds = (in.Next() % 4 == 0) ? 1e-9 : 0.0;
+  const condsel::Ranking ranking = in.Next() % 2 == 0
+                                       ? condsel::Ranking::kDiff
+                                       : condsel::Ranking::kNInd;
+
+  condsel::Estimator estimator(&catalog, &pool, ranking, budget);
+
+  // --- drive the DP: full query plus an arbitrary subset ---
+  const condsel::PredSet subset = in.Next32() & query.all_predicates();
+  for (const condsel::PredSet p : {query.all_predicates(), subset}) {
+    const condsel::StatusOr<double> sel =
+        estimator.TryEstimateSelectivity(query, p);
+    if (!sel.ok()) {
+      Require(!sel.status().message().empty(),
+              "error status must carry a message");
+      continue;
+    }
+    Require(std::isfinite(*sel), "selectivity must be finite");
+    Require(*sel >= 0.0 && *sel <= 1.0, "selectivity outside [0, 1]");
+
+    const condsel::StatusOr<double> card =
+        estimator.TryEstimateCardinality(query, p);
+    Require(card.ok(), "cardinality must follow a successful selectivity");
+    Require(std::isfinite(*card) && *card >= 0.0,
+            "cardinality must be finite and non-negative");
+  }
+
+  const condsel::StatusOr<std::string> explain = estimator.TryExplain(query);
+  if (explain.ok()) {
+    Require(!explain.value().empty(), "explanation must be non-empty");
+  }
+
+  const condsel::GsStats* stats = estimator.StatsFor(query);
+  if (stats != nullptr) {
+    Require(stats->degraded_subproblems == 0 || !budget.unlimited() ||
+                stats->budget_exhausted == false,
+            "degradation recorded without a budget");
+  }
+
+  // --- the optimizer-coupled path shares the contract ---
+  {
+    condsel::SitMatcher matcher(&pool);
+    matcher.BindQuery(&query);
+    condsel::DiffError error_fn;
+    condsel::FactorApproximator approx(&matcher, &error_fn);
+    condsel::OptimizerCoupledEstimator coupled(&query, &approx);
+    const condsel::StatusOr<condsel::SelEstimate> est =
+        coupled.TryEstimate(query.all_predicates());
+    if (est.ok()) {
+      Require(std::isfinite(est.value().selectivity) &&
+                  est.value().selectivity >= 0.0 &&
+                  est.value().selectivity <= 1.0,
+              "coupled selectivity outside [0, 1]");
+    }
+  }
+  return 0;
+}

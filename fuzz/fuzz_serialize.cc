@@ -1,0 +1,69 @@
+// Fuzz target: the catalog / SIT-pool deserializers.
+//
+// The same input bytes are offered to both readers (their magic numbers
+// disambiguate). The readers must never crash, hang, or over-allocate on
+// corrupt input, and anything they accept must satisfy the structural
+// invariants the rest of the library CHECKs on.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "condsel/io/serialize.h"
+#include "fuzz_util.h"
+
+namespace {
+
+void Require(bool cond, const char* what) {
+  if (!cond) {
+    std::fprintf(stderr, "fuzz_serialize invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const condsel::Catalog catalog = condsel::fuzzing::MakeFuzzCatalog();
+
+  {
+    condsel::Catalog out;
+    const condsel::IoResult r =
+        condsel::ReadCatalogFromBuffer(data, size, &out);
+    if (r.ok) {
+      for (condsel::TableId t = 0; t < out.num_tables(); ++t) {
+        const condsel::Table& table = out.table(t);
+        const int64_t rows = table.num_rows();
+        for (condsel::ColumnId c = 0; c < table.num_columns(); ++c) {
+          Require(static_cast<int64_t>(table.column(c).size()) == rows,
+                  "accepted catalog with ragged columns");
+        }
+      }
+      for (const condsel::ForeignKey& fk : out.foreign_keys()) {
+        Require(fk.fk_table >= 0 && fk.fk_table < out.num_tables() &&
+                    fk.pk_table >= 0 && fk.pk_table < out.num_tables(),
+                "accepted catalog with dangling foreign key");
+      }
+    } else {
+      Require(!r.error.empty(), "rejection must carry a message");
+    }
+  }
+
+  {
+    condsel::SitPool pool;
+    const condsel::IoResult r =
+        condsel::ReadSitPoolFromBuffer(data, size, catalog, &pool);
+    if (r.ok) {
+      for (const condsel::Sit& sit : pool.sits()) {
+        Require(sit.attr.table >= 0 && sit.attr.table < catalog.num_tables(),
+                "accepted SIT bound to a table outside the catalog");
+        Require(sit.diff >= 0.0 && sit.diff <= 1.0,
+                "accepted SIT with diff outside [0, 1]");
+      }
+    } else {
+      Require(!r.error.empty(), "rejection must carry a message");
+    }
+  }
+  return 0;
+}

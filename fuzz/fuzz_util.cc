@@ -1,0 +1,119 @@
+#include "fuzz_util.h"
+
+#include <cstdlib>
+
+#include "condsel/exec/cardinality_cache.h"
+#include "condsel/exec/evaluator.h"
+#include "condsel/sit/sit_builder.h"
+
+namespace condsel {
+namespace fuzzing {
+namespace {
+
+Table MakeTable(const char* name,
+                std::vector<ColumnSchema> columns,
+                const std::vector<std::vector<int64_t>>& data) {
+  TableSchema schema;
+  schema.name = name;
+  schema.columns = std::move(columns);
+  Table table(schema);
+  for (size_t c = 0; c < data.size(); ++c) {
+    table.mutable_column(static_cast<ColumnId>(c)).mutable_values() = data[c];
+  }
+  table.SealRows();
+  return table;
+}
+
+Catalog BuildCatalog() {
+  Catalog catalog;
+
+  // R: 240 rows; a skewed over [0, 99], b uniform over [0, 9] (doubles as
+  // FK to T), s_id FK into S with some repetition.
+  std::vector<int64_t> r_a, r_b, r_sid;
+  for (int i = 0; i < 240; ++i) {
+    r_a.push_back((i * i) % 100);        // quadratic-residue skew
+    r_b.push_back(i % 10);
+    r_sid.push_back((i * 7) % 60);
+  }
+  catalog.AddTable(MakeTable(
+      "R",
+      {{"a", 0, 99, false}, {"b", 0, 9, false}, {"s_id", 0, 59, true}},
+      {r_a, r_b, r_sid}));
+
+  // S: 60 rows; pk dense, c has heavy skew (half the rows share value 0).
+  std::vector<int64_t> s_pk, s_c;
+  for (int i = 0; i < 60; ++i) {
+    s_pk.push_back(i);
+    s_c.push_back(i % 2 == 0 ? 0 : i % 20);
+  }
+  catalog.AddTable(MakeTable(
+      "S", {{"pk", 0, 59, true}, {"c", 0, 19, false}}, {s_pk, s_c}));
+
+  // T: 10 rows keyed by R.b's domain.
+  std::vector<int64_t> t_pk, t_d;
+  for (int i = 0; i < 10; ++i) {
+    t_pk.push_back(i);
+    t_d.push_back((i * 3) % 7);
+  }
+  catalog.AddTable(MakeTable(
+      "T", {{"pk2", 0, 9, true}, {"d", 0, 6, false}}, {t_pk, t_d}));
+
+  catalog.AddForeignKey({/*fk_table=*/0, /*fk_column=*/2,
+                         /*pk_table=*/1, /*pk_column=*/0});
+  catalog.AddForeignKey({/*fk_table=*/0, /*fk_column=*/1,
+                         /*pk_table=*/2, /*pk_column=*/0});
+  return catalog;
+}
+
+}  // namespace
+
+Catalog MakeFuzzCatalog() { return BuildCatalog(); }
+
+const FuzzStatistics& GetFuzzStatistics() {
+  static const FuzzStatistics* stats = [] {
+    static const Catalog catalog = BuildCatalog();
+    static CardinalityCache cache;
+    Evaluator evaluator(&catalog, &cache);
+    SitBuilder builder(&evaluator, SitBuildOptions{});
+
+    auto* s = new FuzzStatistics();
+    for (TableId t = 0; t < catalog.num_tables(); ++t) {
+      for (ColumnId c = 0; c < catalog.table(t).num_columns(); ++c) {
+        s->base.push_back(builder.Build(ColumnRef{t, c}, {}));
+      }
+    }
+
+    const Predicate join_rs =
+        Predicate::Join(ColumnRef{0, 2}, ColumnRef{1, 0});
+    const Predicate join_rt =
+        Predicate::Join(ColumnRef{0, 1}, ColumnRef{2, 0});
+    for (const Sit& sit : builder.BuildMany(
+             {ColumnRef{0, 0}, ColumnRef{1, 1}}, {join_rs})) {
+      s->extra.push_back(sit);
+    }
+    for (const Sit& sit : builder.BuildMany(
+             {ColumnRef{0, 0}, ColumnRef{2, 1}}, {join_rt})) {
+      s->extra.push_back(sit);
+    }
+    for (const Sit& sit : builder.BuildMany(
+             {ColumnRef{0, 0}, ColumnRef{1, 1}, ColumnRef{2, 1}},
+             {join_rs, join_rt})) {
+      s->extra.push_back(sit);
+    }
+    return s;
+  }();
+  return *stats;
+}
+
+SitPool MakeFuzzPool(uint32_t extra_mask) {
+  const FuzzStatistics& stats = GetFuzzStatistics();
+  SitPool pool;
+  for (const Sit& sit : stats.base) pool.Add(sit);
+  for (size_t i = 0; i < stats.extra.size(); ++i) {
+    if ((extra_mask >> i) & 1u) pool.Add(stats.extra[i]);
+  }
+  return pool;
+}
+
+}  // namespace fuzzing
+}  // namespace condsel

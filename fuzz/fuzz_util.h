@@ -1,0 +1,41 @@
+// Shared fixture for the fuzz harnesses.
+//
+// Every harness runs against the same deterministic three-table mini
+// database (small enough that per-input work stays in microseconds, rich
+// enough to exercise joins, foreign keys, skew, and multi-table SITs).
+// The catalog, the base-histogram pool, and a menu of pre-built SITs are
+// constructed once per process; individual fuzz inputs only select among
+// them, so harness throughput is spent in the code under test.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "condsel/catalog/catalog.h"
+#include "condsel/sit/sit.h"
+#include "condsel/sit/sit_pool.h"
+
+namespace condsel {
+namespace fuzzing {
+
+// R(a, b, s_id), S(pk, c), T(pk2, d); R.s_id -> S.pk and R.b -> T.pk2
+// foreign keys. Deterministic skewed data, a few hundred rows total.
+Catalog MakeFuzzCatalog();
+
+// Base histograms for every column of `catalog` plus SITs over the FK
+// join expressions (single- and two-join generating expressions).
+// Element 0..(num base sits - 1) are the base histograms; harnesses that
+// need a valid pool must always include those.
+struct FuzzStatistics {
+  std::vector<Sit> base;   // one per column
+  std::vector<Sit> extra;  // join-expression SITs, selectable by mask
+};
+const FuzzStatistics& GetFuzzStatistics();
+
+// Pool with every base histogram and the subset of extra SITs selected
+// by `extra_mask` (bit i selects extra[i]).
+SitPool MakeFuzzPool(uint32_t extra_mask);
+
+}  // namespace fuzzing
+}  // namespace condsel

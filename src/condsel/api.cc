@@ -42,8 +42,8 @@ struct Estimator::Session {
 Estimator::Estimator(const Catalog* catalog, const SitPool* pool,
                      Ranking ranking, EstimationBudget budget)
     : catalog_(catalog), pool_(pool), ranking_(ranking), budget_(budget) {
-  CONDSEL_CHECK(catalog != nullptr);
-  CONDSEL_CHECK(pool != nullptr);
+  CONDSEL_CHECK(catalog != nullptr);  // invariant: constructor contract
+  CONDSEL_CHECK(pool != nullptr);     // invariant: constructor contract
 }
 
 Estimator::~Estimator() = default;
@@ -172,6 +172,8 @@ StatusOr<std::string> Estimator::TryExplain(const Query& query) {
 
 double Estimator::EstimateSelectivity(const Query& query, PredSet p) {
   StatusOr<double> sel = TryEstimateSelectivity(query, p);
+  // Historical abort-on-error contract; Try* is the recoverable path.
+  // invariant: wrapper aborts by design.
   CONDSEL_CHECK_MSG(sel.ok(), sel.status().ToString().c_str());
   return *sel;
 }
@@ -182,6 +184,8 @@ double Estimator::EstimateSelectivity(const Query& query) {
 
 double Estimator::EstimateCardinality(const Query& query, PredSet p) {
   StatusOr<double> card = TryEstimateCardinality(query, p);
+  // Historical abort-on-error contract; Try* is the recoverable path.
+  // invariant: wrapper aborts by design.
   CONDSEL_CHECK_MSG(card.ok(), card.status().ToString().c_str());
   return *card;
 }
@@ -192,6 +196,8 @@ double Estimator::EstimateCardinality(const Query& query) {
 
 std::string Estimator::Explain(const Query& query) {
   StatusOr<std::string> explain = TryExplain(query);
+  // Historical abort-on-error contract; Try* is the recoverable path.
+  // invariant: wrapper aborts by design.
   CONDSEL_CHECK_MSG(explain.ok(), explain.status().ToString().c_str());
   return *explain;
 }

@@ -23,8 +23,7 @@
 // caps the per-query search; on exhaustion estimates degrade to the
 // independence assumption rather than blocking or failing.
 
-#ifndef CONDSEL_API_H_
-#define CONDSEL_API_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -114,4 +113,3 @@ class Estimator {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_API_H_

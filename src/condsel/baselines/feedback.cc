@@ -1,5 +1,7 @@
 #include "condsel/baselines/feedback.h"
 
+#include "condsel/common/numeric.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -50,7 +52,7 @@ double FeedbackEstimator::Estimate(const Query& query, PredSet p) {
     }
     sel *= factor;
   }
-  return sel;
+  return SanitizeSelectivity(sel);
 }
 
 }  // namespace condsel

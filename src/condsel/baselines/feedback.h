@@ -14,8 +14,7 @@
 // One number per attribute, independence everywhere: exactly the
 // structural limitation the paper attributes to [25].
 
-#ifndef CONDSEL_BASELINES_FEEDBACK_H_
-#define CONDSEL_BASELINES_FEEDBACK_H_
+#pragma once
 
 #include <map>
 
@@ -56,4 +55,3 @@ class FeedbackEstimator {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_BASELINES_FEEDBACK_H_

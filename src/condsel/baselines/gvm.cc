@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "condsel/common/numeric.h"
+
 #include "condsel/common/macros.h"
 
 namespace condsel {
@@ -91,7 +93,7 @@ double GvmEstimator::Estimate(const Query& query, PredSet p) {
     }
   }
   last_n_ind_ = n_ind;
-  return sel;
+  return SanitizeSelectivity(sel);
 }
 
 }  // namespace condsel

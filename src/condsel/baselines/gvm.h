@@ -14,8 +14,7 @@
 //   * it re-runs from scratch on every sub-plan request, with no
 //     cross-request memoization (Fig. 6).
 
-#ifndef CONDSEL_BASELINES_GVM_H_
-#define CONDSEL_BASELINES_GVM_H_
+#pragma once
 
 #include "condsel/query/query.h"
 #include "condsel/selectivity/factor_approx.h"
@@ -44,4 +43,3 @@ class GvmEstimator {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_BASELINES_GVM_H_

@@ -4,8 +4,7 @@
 // table histograms in isolation and the selectivities are multiplied,
 // assuming full independence — the estimator SITs exist to improve on.
 
-#ifndef CONDSEL_BASELINES_NO_SIT_H_
-#define CONDSEL_BASELINES_NO_SIT_H_
+#pragma once
 
 #include "condsel/query/query.h"
 #include "condsel/selectivity/factor_approx.h"
@@ -29,4 +28,3 @@ class NoSitEstimator {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_BASELINES_NO_SIT_H_

@@ -11,18 +11,19 @@ TableId Catalog::AddTable(Table table) {
 }
 
 void Catalog::AddForeignKey(const ForeignKey& fk) {
-  CONDSEL_CHECK(fk.fk_table >= 0 && fk.fk_table < num_tables());
-  CONDSEL_CHECK(fk.pk_table >= 0 && fk.pk_table < num_tables());
+  // Untrusted sources (the deserializer) validate ids before calling.
+  CONDSEL_CHECK(fk.fk_table >= 0 && fk.fk_table < num_tables());  // invariant
+  CONDSEL_CHECK(fk.pk_table >= 0 && fk.pk_table < num_tables());  // invariant
   foreign_keys_.push_back(fk);
 }
 
 const Table& Catalog::table(TableId id) const {
-  CONDSEL_CHECK(id >= 0 && id < num_tables());
+  CONDSEL_CHECK(id >= 0 && id < num_tables());  // invariant: valid id
   return tables_[static_cast<size_t>(id)];
 }
 
 Table& Catalog::mutable_table(TableId id) {
-  CONDSEL_CHECK(id >= 0 && id < num_tables());
+  CONDSEL_CHECK(id >= 0 && id < num_tables());  // invariant: valid id
   return tables_[static_cast<size_t>(id)];
 }
 
@@ -50,6 +51,7 @@ StatusOr<ColumnRef> Catalog::TryResolveColumn(
 ColumnRef Catalog::ResolveColumn(const std::string& table_name,
                                  const std::string& column_name) const {
   StatusOr<ColumnRef> ref = TryResolveColumn(table_name, column_name);
+  // invariant: abort-on-unknown contract for trusted generated names.
   CONDSEL_CHECK_MSG(ref.ok(), ref.status().ToString().c_str());
   return *ref;
 }

@@ -5,8 +5,7 @@
 // name, base cardinalities, and the foreign-key graph the workload
 // generator draws join predicates from.
 
-#ifndef CONDSEL_CATALOG_CATALOG_H_
-#define CONDSEL_CATALOG_CATALOG_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -56,4 +55,3 @@ class Catalog {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_CATALOG_CATALOG_H_

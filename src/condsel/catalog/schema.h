@@ -6,8 +6,7 @@
 // integer domains keep histograms, predicates and the executor simple
 // without losing any behaviour the paper studies.
 
-#ifndef CONDSEL_CATALOG_SCHEMA_H_
-#define CONDSEL_CATALOG_SCHEMA_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -67,4 +66,3 @@ struct TableSchema {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_CATALOG_SCHEMA_H_

@@ -16,10 +16,12 @@
 //  - kExpireDeadline: EstimationBudget deadline checks report expiry
 //    immediately, making timeout degradation deterministic in tests.
 
-#ifndef CONDSEL_COMMON_FAULT_INJECTOR_H_
-#define CONDSEL_COMMON_FAULT_INJECTOR_H_
+#pragma once
 
 #include <atomic>
+#include <mutex>
+
+#include "condsel/common/thread_annotations.h"
 
 namespace condsel {
 
@@ -41,14 +43,19 @@ class FaultInjector {
     return armed() && faults_[Index(f)].load(std::memory_order_relaxed);
   }
 
-  void Set(Fault f, bool on);
-  void Reset();  // disarm everything
+  // Writers serialize on mu_: concurrent Set/Reset calls (test fixtures
+  // arming faults while another thread disarms) would otherwise race the
+  // exchange-then-count update and leave armed_ out of sync with faults_.
+  // Readers stay lock-free: armed()/enabled() are the production hot path.
+  void Set(Fault f, bool on) CONDSEL_EXCLUDES(mu_);
+  void Reset() CONDSEL_EXCLUDES(mu_);  // disarm everything
 
  private:
   FaultInjector() = default;
   static constexpr int kNumFaults = 3;
   static int Index(Fault f) { return static_cast<int>(f); }
 
+  std::mutex mu_;              // serializes writers; reads are atomic
   std::atomic<int> armed_{0};  // number of armed faults
   std::atomic<bool> faults_[kNumFaults] = {};
 };
@@ -70,4 +77,3 @@ class ScopedFault {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_COMMON_FAULT_INJECTOR_H_

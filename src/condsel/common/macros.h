@@ -5,8 +5,7 @@
 // points at the failing expression. CONDSEL_CHECK is always active;
 // CONDSEL_DCHECK compiles away in NDEBUG builds and is meant for hot paths.
 
-#ifndef CONDSEL_COMMON_MACROS_H_
-#define CONDSEL_COMMON_MACROS_H_
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,4 +36,3 @@
 #define CONDSEL_DCHECK(cond) CONDSEL_CHECK(cond)
 #endif
 
-#endif  // CONDSEL_COMMON_MACROS_H_

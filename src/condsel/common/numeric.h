@@ -7,8 +7,7 @@
 // finite selectivity in [0, 1] and a finite non-negative cardinality —
 // never a poisoned double that silently corrupts a plan cost.
 
-#ifndef CONDSEL_COMMON_NUMERIC_H_
-#define CONDSEL_COMMON_NUMERIC_H_
+#pragma once
 
 #include <cmath>
 #include <limits>
@@ -43,4 +42,3 @@ inline double SaturatingMultiply(double a, double b) {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_COMMON_NUMERIC_H_

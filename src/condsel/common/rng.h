@@ -6,8 +6,7 @@
 // standard library's unspecified distributions (std::uniform_int_distribution
 // is not guaranteed to produce the same stream across implementations).
 
-#ifndef CONDSEL_COMMON_RNG_H_
-#define CONDSEL_COMMON_RNG_H_
+#pragma once
 
 #include <cstdint>
 
@@ -39,4 +38,3 @@ class Rng {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_COMMON_RNG_H_

@@ -1,7 +1,6 @@
 // Small aggregate helpers used by the experiment harness and tests.
 
-#ifndef CONDSEL_COMMON_STATS_H_
-#define CONDSEL_COMMON_STATS_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -39,4 +38,3 @@ double GeometricMean(const std::vector<double>& xs, double floor = 1e-9);
 
 }  // namespace condsel
 
-#endif  // CONDSEL_COMMON_STATS_H_

@@ -8,8 +8,7 @@
 // IoResult but with a machine-readable code the embedding optimizer can
 // branch on (retry, degrade, or surface to the user).
 
-#ifndef CONDSEL_COMMON_STATUS_H_
-#define CONDSEL_COMMON_STATUS_H_
+#pragma once
 
 #include <string>
 #include <utility>
@@ -89,6 +88,7 @@ class StatusOr {
   // Implicit conversions keep call sites terse:
   //   StatusOr<double> f() { if (bad) return Status::NotFound(...); return 0.5; }
   StatusOr(Status status) : status_(std::move(status)) {
+    // invariant: an OK StatusOr must be built from a value.
     CONDSEL_CHECK_MSG(!status_.ok(),
                       "StatusOr constructed from OK status without a value");
   }
@@ -101,10 +101,12 @@ class StatusOr {
   // Estimator's non-Try wrappers, which keep the historical abort-on-error
   // contract).
   const T& value() const {
+    // invariant: value() requires ok(); see the contract above.
     CONDSEL_CHECK_MSG(status_.ok(), status_.message().c_str());
     return value_;
   }
   T& value() {
+    // invariant: value() requires ok(); see the contract above.
     CONDSEL_CHECK_MSG(status_.ok(), status_.message().c_str());
     return value_;
   }
@@ -122,4 +124,3 @@ class StatusOr {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_COMMON_STATUS_H_

@@ -1,0 +1,50 @@
+// Clang thread-safety analysis annotations.
+//
+// The macros expand to Clang's `capability` attributes when the compiler
+// supports them (clang with -Wthread-safety, enabled by the build when
+// compiling with clang) and to nothing elsewhere (gcc), so annotated code
+// compiles everywhere while clang builds statically verify the locking
+// discipline. Naming follows the de-facto standard (abseil / Chromium)
+// with a CONDSEL_ prefix to avoid collisions with embedders' macros.
+//
+// Discipline for this library:
+//  - structures shared across queries (CardinalityCache, FaultInjector,
+//    Memo's group index) synchronize internally and annotate their fields
+//    with CONDSEL_GUARDED_BY;
+//  - per-query objects (GetSelectivity, Estimator sessions) remain
+//    externally synchronized: one optimizer thread per query, documented
+//    at the class level rather than annotated.
+
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define CONDSEL_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef CONDSEL_THREAD_ANNOTATION
+#define CONDSEL_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// A type that acts as a lock (std::mutex already carries the attribute in
+// libc++; this makes the discipline explicit for wrappers).
+#define CONDSEL_CAPABILITY(name) CONDSEL_THREAD_ANNOTATION(capability(name))
+
+// Data members: which mutex must be held to touch them.
+#define CONDSEL_GUARDED_BY(mu) CONDSEL_THREAD_ANNOTATION(guarded_by(mu))
+#define CONDSEL_PT_GUARDED_BY(mu) CONDSEL_THREAD_ANNOTATION(pt_guarded_by(mu))
+
+// Functions: the mutexes they require, acquire, release, or must not hold.
+#define CONDSEL_REQUIRES(...) \
+  CONDSEL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CONDSEL_ACQUIRE(...) \
+  CONDSEL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CONDSEL_RELEASE(...) \
+  CONDSEL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CONDSEL_EXCLUDES(...) \
+  CONDSEL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Escape hatch for code the analysis cannot follow (e.g. lock juggling in
+// tests); use sparingly and say why at the call site.
+#define CONDSEL_NO_THREAD_SAFETY_ANALYSIS \
+  CONDSEL_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -5,8 +5,7 @@
 // Zipfian. ZipfSampler draws from {0, .., n-1} with P(k) proportional to
 // 1/(k+1)^theta using an inverse-CDF table (O(log n) per draw).
 
-#ifndef CONDSEL_COMMON_ZIPF_H_
-#define CONDSEL_COMMON_ZIPF_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -37,4 +36,3 @@ class ZipfSampler {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_COMMON_ZIPF_H_

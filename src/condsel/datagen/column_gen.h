@@ -6,8 +6,7 @@
 // column, and dangling-foreign-key injection (NULLing a slice of an FK
 // column, chosen randomly or correlated with another attribute).
 
-#ifndef CONDSEL_DATAGEN_COLUMN_GEN_H_
-#define CONDSEL_DATAGEN_COLUMN_GEN_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -43,4 +42,3 @@ void InjectDangling(Rng& rng, std::vector<int64_t>& fk, double fraction,
 
 }  // namespace condsel
 
-#endif  // CONDSEL_DATAGEN_COLUMN_GEN_H_

@@ -15,8 +15,7 @@
 //     ├────> dim3 ──> sub3
 //     └────> dim4
 
-#ifndef CONDSEL_DATAGEN_SNOWFLAKE_H_
-#define CONDSEL_DATAGEN_SNOWFLAKE_H_
+#pragma once
 
 #include <cstdint>
 
@@ -43,4 +42,3 @@ Catalog BuildSnowflake(const SnowflakeOptions& options);
 
 }  // namespace condsel
 
-#endif  // CONDSEL_DATAGEN_SNOWFLAKE_H_

@@ -10,8 +10,7 @@
 // histograms underestimate sigma_{totalprice>c}(lineitem x orders) badly);
 // and most customers live in one nation (c_nation = 0, "USA").
 
-#ifndef CONDSEL_DATAGEN_TPCH_LITE_H_
-#define CONDSEL_DATAGEN_TPCH_LITE_H_
+#pragma once
 
 #include <cstdint>
 
@@ -36,4 +35,3 @@ Catalog BuildTpchLite(const TpchLiteOptions& options);
 
 }  // namespace condsel
 
-#endif  // CONDSEL_DATAGEN_TPCH_LITE_H_

@@ -6,8 +6,7 @@
 // (the paper uses ~0.05). Queries with empty results have their filter
 // ranges progressively stretched until at least one tuple survives.
 
-#ifndef CONDSEL_DATAGEN_WORKLOAD_H_
-#define CONDSEL_DATAGEN_WORKLOAD_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -38,4 +37,3 @@ Query GenerateQuery(const Catalog& catalog, Evaluator* evaluator,
 
 }  // namespace condsel
 
-#endif  // CONDSEL_DATAGEN_WORKLOAD_H_

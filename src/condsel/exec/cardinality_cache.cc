@@ -4,23 +4,32 @@ namespace condsel {
 
 const double* CardinalityCache::Lookup(
     const std::vector<Predicate>& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  // Safe to hand out without the lock: map nodes are stable and the cache
+  // never erases, so the pointee outlives every borrower.
   return &it->second;
 }
 
 void CardinalityCache::Insert(const std::vector<Predicate>& key,
                               double cardinality) {
+  const std::lock_guard<std::mutex> lock(mu_);
   cache_.emplace(key, cardinality);
 }
 
+size_t CardinalityCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
 void CardinalityCache::ResetCounters() {
-  hits_ = 0;
-  misses_ = 0;
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace condsel

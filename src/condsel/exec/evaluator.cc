@@ -17,7 +17,7 @@ int JoinResult::TableSlot(TableId t) const {
 
 Evaluator::Evaluator(const Catalog* catalog, CardinalityCache* cache)
     : catalog_(catalog), cache_(cache) {
-  CONDSEL_CHECK(catalog != nullptr);
+  CONDSEL_CHECK(catalog != nullptr);  // invariant: constructor contract
 }
 
 std::vector<uint32_t> Evaluator::FilteredRows(const Query& q, PredSet filters,
@@ -47,10 +47,10 @@ std::vector<uint32_t> Evaluator::FilteredRows(const Query& q, PredSet filters,
 
 JoinResult Evaluator::EvaluateComponent(const Query& q, PredSet component) {
   JoinResult result;
-  CONDSEL_CHECK(component != 0);
+  CONDSEL_CHECK(component != 0);  // invariant: caller passes components
 
   const std::vector<int> table_ids = SetElements(TablesOf(q.predicates(), component));
-  CONDSEL_CHECK(!table_ids.empty());
+  CONDSEL_CHECK(!table_ids.empty());  // invariant: components touch tables
 
   // Per-table filtered row lists.
   std::unordered_map<TableId, std::vector<uint32_t>> live;
@@ -65,6 +65,7 @@ JoinResult Evaluator::EvaluateComponent(const Query& q, PredSet component) {
   }
 
   if (table_ids.size() == 1) {
+    // invariant: a one-table component cannot carry a join.
     CONDSEL_CHECK(join_preds.empty());
     const TableId t = table_ids[0];
     result.tables = {t};
@@ -107,6 +108,7 @@ JoinResult Evaluator::EvaluateComponent(const Query& q, PredSet component) {
         // Keep scanning in case a cycle edge exists (cheaper to apply).
       }
     }
+    // invariant: ConnectedComponents only emits connected subsets.
     CONDSEL_CHECK_MSG(pick >= 0, "join component not connected");
     const Predicate& p = q.predicate(join_preds[static_cast<size_t>(pick)]);
     used[static_cast<size_t>(pick)] = true;
@@ -278,7 +280,7 @@ ColumnProjection Evaluator::ProjectColumn(const Query& q, PredSet subset,
     if (!Contains(q.TablesOfSubset(comp), col.table)) continue;
     const JoinResult jr = EvaluateComponent(q, comp);
     const int slot = jr.TableSlot(col.table);
-    CONDSEL_CHECK(slot >= 0);
+    CONDSEL_CHECK(slot >= 0);  // invariant: comp covers col.table
     const Table& t = catalog_->table(col.table);
     const size_t width = jr.tables.size();
     out.total_tuples = jr.num_tuples;
@@ -290,6 +292,7 @@ ColumnProjection Evaluator::ProjectColumn(const Query& q, PredSet subset,
     }
     return out;
   }
+  // invariant: callers project columns of tables inside `subset`.
   CONDSEL_CHECK_MSG(false, "ProjectColumn: column's table not in subset");
   return out;
 }

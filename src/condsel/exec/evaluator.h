@@ -14,8 +14,7 @@
 // Component cardinalities multiply. Results are memoized per component in
 // a shared CardinalityCache.
 
-#ifndef CONDSEL_EXEC_EVALUATOR_H_
-#define CONDSEL_EXEC_EVALUATOR_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -100,4 +99,3 @@ class Evaluator {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_EXEC_EVALUATOR_H_

@@ -8,8 +8,7 @@
 // to the covered tables — exactly the intermediate results a bottom-up
 // optimizer requests estimates for.
 
-#ifndef CONDSEL_HARNESS_METRICS_H_
-#define CONDSEL_HARNESS_METRICS_H_
+#pragma once
 
 #include <vector>
 
@@ -31,4 +30,3 @@ double CrossProductCardinality(const Catalog& catalog, const Query& query,
 
 }  // namespace condsel
 
-#endif  // CONDSEL_HARNESS_METRICS_H_

@@ -1,7 +1,6 @@
 // Plain-text table formatting for the benchmark binaries.
 
-#ifndef CONDSEL_HARNESS_REPORT_H_
-#define CONDSEL_HARNESS_REPORT_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -18,4 +17,3 @@ std::string FormatCount(double v);  // 1234567 -> "1234567", keeps integers
 
 }  // namespace condsel
 
-#endif  // CONDSEL_HARNESS_REPORT_H_

@@ -1,8 +1,7 @@
 // Drives the Section 5 experiments: runs a technique over a workload and
 // collects accuracy, view-matching and timing statistics.
 
-#ifndef CONDSEL_HARNESS_RUNNER_H_
-#define CONDSEL_HARNESS_RUNNER_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -56,4 +55,3 @@ class Runner {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_HARNESS_RUNNER_H_

@@ -7,8 +7,7 @@
 // at most 200 buckets [22]; equi-depth and equi-width exist for the
 // histogram-type ablation bench.
 
-#ifndef CONDSEL_HISTOGRAM_BUILDERS_H_
-#define CONDSEL_HISTOGRAM_BUILDERS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -46,4 +45,3 @@ const char* HistogramTypeName(HistogramType type);
 
 }  // namespace condsel
 
-#endif  // CONDSEL_HISTOGRAM_BUILDERS_H_

@@ -8,8 +8,7 @@
 // no information over the base histogram, Example 4); values near 1 mean
 // the expression reshapes the attribute heavily.
 
-#ifndef CONDSEL_HISTOGRAM_DIFF_METRIC_H_
-#define CONDSEL_HISTOGRAM_DIFF_METRIC_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -32,4 +31,3 @@ double HistogramDiff(const Histogram& h1, const Histogram& h2);
 
 }  // namespace condsel
 
-#endif  // CONDSEL_HISTOGRAM_DIFF_METRIC_H_

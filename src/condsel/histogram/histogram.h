@@ -10,8 +10,7 @@
 // Estimation uses the standard continuous-values and uniform-frequency
 // assumptions inside a bucket [22].
 
-#ifndef CONDSEL_HISTOGRAM_HISTOGRAM_H_
-#define CONDSEL_HISTOGRAM_HISTOGRAM_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -78,4 +77,3 @@ std::vector<std::pair<int64_t, uint64_t>> DistinctCounts(
 
 }  // namespace condsel
 
-#endif  // CONDSEL_HISTOGRAM_HISTOGRAM_H_

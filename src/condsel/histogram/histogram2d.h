@@ -12,8 +12,7 @@
 // each x-slice's y values with MaxDiff (the "phased" MHIST-2 strategy),
 // so the bucket budget is split ~sqrt/sqrt across the dimensions.
 
-#ifndef CONDSEL_HISTOGRAM_HISTOGRAM2D_H_
-#define CONDSEL_HISTOGRAM_HISTOGRAM2D_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -62,4 +61,3 @@ Histogram2d BuildHistogram2d(const std::vector<int64_t>& xs,
 
 }  // namespace condsel
 
-#endif  // CONDSEL_HISTOGRAM_HISTOGRAM2D_H_

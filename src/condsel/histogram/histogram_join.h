@@ -10,8 +10,7 @@
 //   sel += f1' * f2' / max(d1', d2')
 // where primes denote the fraction of the bucket falling in the interval.
 
-#ifndef CONDSEL_HISTOGRAM_HISTOGRAM_JOIN_H_
-#define CONDSEL_HISTOGRAM_HISTOGRAM_JOIN_H_
+#pragma once
 
 #include "condsel/histogram/histogram.h"
 
@@ -31,4 +30,3 @@ JoinEstimate JoinHistograms(const Histogram& h1, const Histogram& h2);
 
 }  // namespace condsel
 
-#endif  // CONDSEL_HISTOGRAM_HISTOGRAM_JOIN_H_

@@ -1,8 +1,7 @@
 // Shared helpers for the histogram builders. Internal to
 // condsel/histogram; do not include from outside the module.
 
-#ifndef CONDSEL_HISTOGRAM_INTERNAL_H_
-#define CONDSEL_HISTOGRAM_INTERNAL_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -24,4 +23,3 @@ std::vector<std::pair<int64_t, uint64_t>> PrepareRuns(
 }  // namespace histogram_internal
 }  // namespace condsel
 
-#endif  // CONDSEL_HISTOGRAM_INTERNAL_H_

@@ -275,15 +275,16 @@ IoResult WriteCatalog(const Catalog& catalog, const std::string& path) {
   return IoResult::Ok();
 }
 
-IoResult ReadCatalog(const std::string& path, Catalog* out) {
-  File f(std::fopen(path.c_str(), "rb"));
-  if (!f) return IoResult::Fail("cannot open '" + path + "'");
-  Reader r(f.get());
+namespace {
+
+IoResult ReadCatalogStream(std::FILE* file, const std::string& name,
+                           Catalog* out) {
+  Reader r(file);
   if (r.U32() != kCatalogMagic) {
-    return IoResult::Fail("'" + path + "' is not a condsel catalog file");
+    return IoResult::Fail(name + " is not a condsel catalog file");
   }
   if (r.U32() != kVersion) {
-    return IoResult::Fail("unsupported catalog version in '" + path + "'");
+    return IoResult::Fail("unsupported catalog version in " + name);
   }
   Catalog catalog;
   const uint32_t num_tables = r.U32();
@@ -345,6 +346,24 @@ IoResult ReadCatalog(const std::string& path, Catalog* out) {
   return IoResult::Ok();
 }
 
+}  // namespace
+
+IoResult ReadCatalog(const std::string& path, Catalog* out) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return IoResult::Fail("cannot open '" + path + "'");
+  return ReadCatalogStream(f.get(), "'" + path + "'", out);
+}
+
+IoResult ReadCatalogFromBuffer(const void* data, size_t size, Catalog* out) {
+  if (data == nullptr || size == 0) {
+    return IoResult::Fail("empty catalog buffer");
+  }
+  // fmemopen's read mode never writes through the pointer.
+  File f(fmemopen(const_cast<void*>(data), size, "rb"));
+  if (!f) return IoResult::Fail("cannot map catalog buffer");
+  return ReadCatalogStream(f.get(), "buffer", out);
+}
+
 IoResult WriteSitPool(const SitPool& pool, const std::string& path) {
   File f(std::fopen(path.c_str(), "wb"));
   if (!f) return IoResult::Fail("cannot open '" + path + "' for writing");
@@ -373,16 +392,16 @@ IoResult WriteSitPool(const SitPool& pool, const std::string& path) {
   return IoResult::Ok();
 }
 
-IoResult ReadSitPool(const std::string& path, const Catalog& catalog,
-                     SitPool* out) {
-  File f(std::fopen(path.c_str(), "rb"));
-  if (!f) return IoResult::Fail("cannot open '" + path + "'");
-  Reader r(f.get());
+namespace {
+
+IoResult ReadSitPoolStream(std::FILE* file, const std::string& name,
+                           const Catalog& catalog, SitPool* out) {
+  Reader r(file);
   if (r.U32() != kPoolMagic) {
-    return IoResult::Fail("'" + path + "' is not a condsel SIT pool file");
+    return IoResult::Fail(name + " is not a condsel SIT pool file");
   }
   if (r.U32() != kVersion) {
-    return IoResult::Fail("unsupported pool version in '" + path + "'");
+    return IoResult::Fail("unsupported pool version in " + name);
   }
   SitPool pool;
   const uint32_t num_sits = r.U32();
@@ -436,6 +455,25 @@ IoResult ReadSitPool(const std::string& path, const Catalog& catalog,
   }
   *out = std::move(pool);
   return IoResult::Ok();
+}
+
+}  // namespace
+
+IoResult ReadSitPool(const std::string& path, const Catalog& catalog,
+                     SitPool* out) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return IoResult::Fail("cannot open '" + path + "'");
+  return ReadSitPoolStream(f.get(), "'" + path + "'", catalog, out);
+}
+
+IoResult ReadSitPoolFromBuffer(const void* data, size_t size,
+                               const Catalog& catalog, SitPool* out) {
+  if (data == nullptr || size == 0) {
+    return IoResult::Fail("empty SIT pool buffer");
+  }
+  File f(fmemopen(const_cast<void*>(data), size, "rb"));
+  if (!f) return IoResult::Fail("cannot map SIT pool buffer");
+  return ReadSitPoolStream(f.get(), "buffer", catalog, out);
 }
 
 }  // namespace condsel

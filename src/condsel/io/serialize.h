@@ -6,8 +6,7 @@
 // 1-d and 2-d histograms, diff values). Readers validate magic numbers,
 // version, and structural invariants, and report failures by value.
 
-#ifndef CONDSEL_IO_SERIALIZE_H_
-#define CONDSEL_IO_SERIALIZE_H_
+#pragma once
 
 #include <string>
 
@@ -36,6 +35,13 @@ IoResult WriteSitPool(const SitPool& pool, const std::string& path);
 IoResult ReadSitPool(const std::string& path, const Catalog& catalog,
                      SitPool* out);
 
+// In-memory variants: parse a serialized image without touching the
+// filesystem. Same validation and failure modes as the file readers;
+// used by embedders that ship statistics over the network, and by the
+// fuzz harnesses, which drive them with adversarial bytes.
+IoResult ReadCatalogFromBuffer(const void* data, size_t size, Catalog* out);
+IoResult ReadSitPoolFromBuffer(const void* data, size_t size,
+                               const Catalog& catalog, SitPool* out);
+
 }  // namespace condsel
 
-#endif  // CONDSEL_IO_SERIALIZE_H_

@@ -1,6 +1,9 @@
 #include "condsel/optimizer/integration.h"
 
+#include <string>
+
 #include "condsel/common/macros.h"
+#include "condsel/common/numeric.h"
 #include "condsel/optimizer/rules.h"
 
 namespace condsel {
@@ -8,16 +11,28 @@ namespace condsel {
 OptimizerCoupledEstimator::OptimizerCoupledEstimator(
     const Query* query, FactorApproximator* approximator)
     : query_(query), approximator_(approximator), memo_(query) {
-  CONDSEL_CHECK(query != nullptr);
-  CONDSEL_CHECK(approximator != nullptr);
+  CONDSEL_CHECK(query != nullptr);        // invariant: constructor contract
+  CONDSEL_CHECK(approximator != nullptr);  // invariant: constructor contract
 }
 
-SelEstimate OptimizerCoupledEstimator::Estimate(PredSet preds) {
+StatusOr<SelEstimate> OptimizerCoupledEstimator::TryEstimate(PredSet preds) {
+  if (!IsSubset(preds, query_->all_predicates())) {
+    return Status::InvalidArgument(
+        "predicate subset is not part of the bound query");
+  }
   const int id = BuildAndExplore(&memo_, preds);
   return EstimateGroup(id);
 }
 
-SelEstimate OptimizerCoupledEstimator::EstimateGroup(int group_id) {
+SelEstimate OptimizerCoupledEstimator::Estimate(PredSet preds) {
+  StatusOr<SelEstimate> result = TryEstimate(preds);
+  // Abort-on-error wrapper; TryEstimate is the recoverable path.
+  // invariant: wrapper aborts by design.
+  CONDSEL_CHECK_MSG(result.ok(), result.status().message().c_str());
+  return *result;
+}
+
+StatusOr<SelEstimate> OptimizerCoupledEstimator::EstimateGroup(int group_id) {
   auto it = best_.find(group_id);
   if (it != best_.end()) return it->second;
 
@@ -39,11 +54,20 @@ SelEstimate OptimizerCoupledEstimator::EstimateGroup(int group_id) {
     // Sel(Q_E): separable product over the entry's inputs.
     double input_sel = 1.0;
     double input_err = 0.0;
+    bool inputs_ok = true;
     for (int in : e.inputs) {
-      const SelEstimate ie = EstimateGroup(in);
-      input_sel *= ie.selectivity;
-      input_err = ErrorFunction::Merge(input_err, ie.error);
+      const StatusOr<SelEstimate> ie = EstimateGroup(in);
+      if (!ie.ok()) {
+        // This entry's sub-plan is not estimable; another entry of the
+        // group may still be. Only if every entry fails does the group
+        // itself report the error below.
+        inputs_ok = false;
+        break;
+      }
+      input_sel *= ie.value().selectivity;
+      input_err = ErrorFunction::Merge(input_err, ie.value().error);
     }
+    if (!inputs_ok) continue;
 
     if (e.predicate < 0) {
       // Cartesian product entry: no factor on top, exact by Property 2.
@@ -61,12 +85,16 @@ SelEstimate OptimizerCoupledEstimator::EstimateGroup(int group_id) {
     const double err = ErrorFunction::Merge(choice.error, input_err);
     if (err < best.error) {
       best.error = err;
-      best.selectivity =
-          approximator_->Estimate(*query_, p_e, choice) * input_sel;
+      best.selectivity = SanitizeSelectivity(
+          approximator_->Estimate(*query_, p_e, choice) * input_sel);
     }
   }
-  CONDSEL_CHECK_MSG(best.error != kInfiniteError,
-                    "memo group has no estimable entry");
+  if (best.error == kInfiniteError) {
+    return Status::FailedPrecondition(
+        "memo group " + std::to_string(group_id) +
+        " has no estimable entry (no statistic approximates any induced "
+        "decomposition)");
+  }
   best_.emplace(group_id, best);
   return best;
 }

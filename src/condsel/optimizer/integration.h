@@ -9,12 +9,18 @@
 // own best estimate). The search is thereby pruned by the optimizer's own
 // enumeration — cheaper, at the cost of possibly missing the optimum the
 // full DP would find (the trade-off Section 4.2 describes).
+//
+// TryEstimate is the production entry point: requests outside the bound
+// query, and memo groups in which no entry is estimable (e.g. a pool with
+// no usable statistics for any induced decomposition), come back as a
+// recoverable Status the optimizer can branch on. Estimate keeps the
+// historical abort-on-error contract as a thin wrapper.
 
-#ifndef CONDSEL_OPTIMIZER_INTEGRATION_H_
-#define CONDSEL_OPTIMIZER_INTEGRATION_H_
+#pragma once
 
 #include <map>
 
+#include "condsel/common/status.h"
 #include "condsel/optimizer/memo.h"
 #include "condsel/selectivity/get_selectivity.h"
 
@@ -27,14 +33,22 @@ class OptimizerCoupledEstimator {
                             FactorApproximator* approximator);
 
   // Best estimate for the sub-plan applying `preds`, per the entry-induced
-  // decompositions. Lazily builds and explores the memo.
+  // decompositions. Lazily builds and explores the memo. Errors:
+  //  - INVALID_ARGUMENT: `preds` is not a subset of the bound query's
+  //    predicates;
+  //  - FAILED_PRECONDITION: some reachable memo group has no estimable
+  //    entry (no SIT or base statistic can approximate any of its induced
+  //    decompositions).
+  StatusOr<SelEstimate> TryEstimate(PredSet preds);
+
+  // Abort-on-error wrapper around TryEstimate.
   SelEstimate Estimate(PredSet preds);
 
   const Memo& memo() const { return memo_; }
   uint64_t entries_considered() const { return entries_considered_; }
 
  private:
-  SelEstimate EstimateGroup(int group_id);
+  StatusOr<SelEstimate> EstimateGroup(int group_id);
 
   const Query* query_;
   FactorApproximator* approximator_;
@@ -44,5 +58,3 @@ class OptimizerCoupledEstimator {
 };
 
 }  // namespace condsel
-
-#endif  // CONDSEL_OPTIMIZER_INTEGRATION_H_

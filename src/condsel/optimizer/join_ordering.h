@@ -10,8 +10,7 @@
 // with exact cardinalities quantifies how much better plans get when the
 // optimizer believes better numbers (bench/bench_plan_quality).
 
-#ifndef CONDSEL_OPTIMIZER_JOIN_ORDERING_H_
-#define CONDSEL_OPTIMIZER_JOIN_ORDERING_H_
+#pragma once
 
 #include <functional>
 #include <map>
@@ -71,4 +70,3 @@ class JoinOrderOptimizer {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_OPTIMIZER_JOIN_ORDERING_H_

@@ -7,11 +7,12 @@
 namespace condsel {
 
 Memo::Memo(const Query* query) : query_(query) {
-  CONDSEL_CHECK(query != nullptr);
+  CONDSEL_CHECK(query != nullptr);  // invariant: constructor contract
 }
 
 int Memo::GetOrCreateGroup(PredSet preds, TableSet tables) {
   const auto key = std::make_pair(preds, tables);
+  const std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) return it->second;
   Group g;
@@ -20,22 +21,28 @@ int Memo::GetOrCreateGroup(PredSet preds, TableSet tables) {
   const int id = static_cast<int>(groups_.size());
   groups_.push_back(std::move(g));
   index_.emplace(key, id);
+  // Publish the new element: readers that observe the incremented count
+  // may index the deque without mu_.
+  num_groups_.store(id + 1, std::memory_order_release);
   return id;
 }
 
 Group& Memo::group(int id) {
-  CONDSEL_CHECK(id >= 0 && id < num_groups());
+  CONDSEL_CHECK(id >= 0 && id < num_groups());  // invariant: caller-made id
   return groups_[static_cast<size_t>(id)];
 }
 
 const Group& Memo::group(int id) const {
-  CONDSEL_CHECK(id >= 0 && id < num_groups());
+  CONDSEL_CHECK(id >= 0 && id < num_groups());  // invariant: caller-made id
   return groups_[static_cast<size_t>(id)];
 }
 
 int Memo::num_exprs() const {
   int n = 0;
-  for (const Group& g : groups_) n += static_cast<int>(g.exprs.size());
+  const int count = num_groups();
+  for (int id = 0; id < count; ++id) {
+    n += static_cast<int>(groups_[static_cast<size_t>(id)].exprs.size());
+  }
   return n;
 }
 

@@ -8,14 +8,24 @@
 // with inputs pointing at other groups — exactly the paper's
 // [op, parms, inputs] shape, and exactly what induces the decomposition
 // Sel(p_E | Q_E) * Sel(Q_E) used by the Section 4.2 integration.
+//
+// Concurrency: group *creation* is internally synchronized and group
+// storage is a deque, so ids and Group references handed out stay valid
+// while other threads create groups (no vector reallocation). Mutating a
+// group's entries (exploration) is NOT synchronized here — the rule
+// engine owns that, and today explores single-threaded; the annotations
+// and stable storage are the groundwork for parallelizing it.
 
-#ifndef CONDSEL_OPTIMIZER_MEMO_H_
-#define CONDSEL_OPTIMIZER_MEMO_H_
+#pragma once
 
+#include <atomic>
+#include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "condsel/common/thread_annotations.h"
 #include "condsel/query/query.h"
 
 namespace condsel {
@@ -40,11 +50,16 @@ class Memo {
   explicit Memo(const Query* query);
 
   // Returns the id of the group for (preds, tables), creating it if new.
-  int GetOrCreateGroup(PredSet preds, TableSet tables);
+  // Safe to call from concurrent explorers.
+  int GetOrCreateGroup(PredSet preds, TableSet tables) CONDSEL_EXCLUDES(mu_);
 
+  // References stay valid across later GetOrCreateGroup calls (deque
+  // storage); the Group's own fields are the caller's to synchronize.
   Group& group(int id);
   const Group& group(int id) const;
-  int num_groups() const { return static_cast<int>(groups_.size()); }
+  int num_groups() const {
+    return num_groups_.load(std::memory_order_acquire);
+  }
   int num_exprs() const;
 
   const Query& query() const { return *query_; }
@@ -53,10 +68,12 @@ class Memo {
 
  private:
   const Query* query_;
-  std::map<std::pair<PredSet, TableSet>, int> index_;
-  std::vector<Group> groups_;
+  mutable std::mutex mu_;
+  std::map<std::pair<PredSet, TableSet>, int> index_ CONDSEL_GUARDED_BY(mu_);
+  // Append-only; elements are published by the release store to
+  // num_groups_, so readers may index any id below num_groups().
+  std::deque<Group> groups_;
+  std::atomic<int> num_groups_{0};
 };
 
 }  // namespace condsel
-
-#endif  // CONDSEL_OPTIMIZER_MEMO_H_

@@ -17,8 +17,7 @@
 // optimizer tests assert its fixpoint contains exactly the closed-form
 // exploration's logical entries.
 
-#ifndef CONDSEL_OPTIMIZER_RULE_ENGINE_H_
-#define CONDSEL_OPTIMIZER_RULE_ENGINE_H_
+#pragma once
 
 #include <cstdint>
 
@@ -39,4 +38,3 @@ int ExploreWithRules(Memo* memo, PredSet preds, RuleEngineStats* stats);
 
 }  // namespace condsel
 
-#endif  // CONDSEL_OPTIMIZER_RULE_ENGINE_H_

@@ -6,8 +6,9 @@
 namespace condsel {
 
 void ExploreGroup(Memo* memo, int group_id) {
-  // Copy the identifying fields: exploring inputs may grow the group
-  // vector and invalidate references.
+  // Copy the identifying fields rather than holding a reference across
+  // the recursive exploration below (cheap, and keeps this routine
+  // oblivious to the memo's storage strategy).
   const PredSet preds = memo->group(group_id).preds;
   const TableSet tables = memo->group(group_id).tables;
   if (memo->group(group_id).explored) return;

@@ -11,8 +11,7 @@
 // plus [SCAN] entries at the leaves. ExploreGroup generates exactly that
 // fixpoint, recursively.
 
-#ifndef CONDSEL_OPTIMIZER_RULES_H_
-#define CONDSEL_OPTIMIZER_RULES_H_
+#pragma once
 
 #include "condsel/optimizer/memo.h"
 
@@ -27,4 +26,3 @@ int BuildAndExplore(Memo* memo, PredSet preds);
 
 }  // namespace condsel
 
-#endif  // CONDSEL_OPTIMIZER_RULES_H_

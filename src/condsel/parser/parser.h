@@ -17,8 +17,7 @@
 // The parser reports errors by value (no exceptions), with a message
 // pointing at the offending token.
 
-#ifndef CONDSEL_PARSER_PARSER_H_
-#define CONDSEL_PARSER_PARSER_H_
+#pragma once
 
 #include <string>
 
@@ -37,4 +36,3 @@ ParseResult ParseQuery(const Catalog& catalog, const std::string& sql);
 
 }  // namespace condsel
 
-#endif  // CONDSEL_PARSER_PARSER_H_

@@ -5,8 +5,7 @@
 // the paper's *standard decomposition* (Lemma 2): Sel_R(P|Q) is separable
 // (Definition 2) iff there is more than one component.
 
-#ifndef CONDSEL_QUERY_JOIN_GRAPH_H_
-#define CONDSEL_QUERY_JOIN_GRAPH_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -52,4 +51,3 @@ std::vector<PredSet> ConnectedSubsets(const std::vector<Predicate>& preds,
 
 }  // namespace condsel
 
-#endif  // CONDSEL_QUERY_JOIN_GRAPH_H_

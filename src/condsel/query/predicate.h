@@ -6,8 +6,7 @@
 // with a total order, so canonical (sorted) predicate lists can key global
 // caches shared across queries.
 
-#ifndef CONDSEL_QUERY_PREDICATE_H_
-#define CONDSEL_QUERY_PREDICATE_H_
+#pragma once
 
 #include <compare>
 #include <cstdint>
@@ -75,4 +74,3 @@ TableSet TablesOf(const std::vector<Predicate>& preds, PredSet subset);
 
 }  // namespace condsel
 
-#endif  // CONDSEL_QUERY_PREDICATE_H_

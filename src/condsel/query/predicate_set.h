@@ -6,8 +6,7 @@
 // memoization table an array indexed by mask. Tables are likewise bitmasks
 // over catalog TableIds.
 
-#ifndef CONDSEL_QUERY_PREDICATE_SET_H_
-#define CONDSEL_QUERY_PREDICATE_SET_H_
+#pragma once
 
 #include <bit>
 #include <cstdint>
@@ -40,4 +39,3 @@ inline uint32_t PrevSubmask(uint32_t s, uint32_t cur) {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_QUERY_PREDICATE_SET_H_

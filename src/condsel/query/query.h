@@ -2,8 +2,7 @@
 // tables (Section 2). Predicate positions are stable, so PredSet bitmasks
 // unambiguously name predicate subsets of this query.
 
-#ifndef CONDSEL_QUERY_QUERY_H_
-#define CONDSEL_QUERY_QUERY_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -64,4 +63,3 @@ class Query {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_QUERY_QUERY_H_

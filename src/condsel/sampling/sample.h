@@ -10,8 +10,7 @@
 // variance that grows as selectivities shrink (quantified by
 // bench_ablation_samples against histogram SITs).
 
-#ifndef CONDSEL_SAMPLING_SAMPLE_H_
-#define CONDSEL_SAMPLING_SAMPLE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -73,4 +72,3 @@ class SampleSitBuilder {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_SAMPLING_SAMPLE_H_

@@ -6,8 +6,7 @@
 // it by 0.5 * (n+1)! <= T(n) <= 1.5^n * n!. These routines exist for the
 // Lemma-1 bench and for tests that compare the DP against brute force.
 
-#ifndef CONDSEL_SELECTIVITY_DECOMPOSITION_H_
-#define CONDSEL_SELECTIVITY_DECOMPOSITION_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -39,4 +38,3 @@ uint64_t CountChainDecompositions(PredSet full);
 
 }  // namespace condsel
 
-#endif  // CONDSEL_SELECTIVITY_DECOMPOSITION_H_

@@ -12,8 +12,7 @@
 //     probabilities, the expected number of distinct values per bucket is
 //     d_b * (1 - (1 - p_v)^N).
 
-#ifndef CONDSEL_SELECTIVITY_DISTINCT_H_
-#define CONDSEL_SELECTIVITY_DISTINCT_H_
+#pragma once
 
 #include "condsel/query/query.h"
 #include "condsel/selectivity/get_selectivity.h"
@@ -33,4 +32,3 @@ double EstimateGroupByCardinality(const Catalog& catalog, const Query& query,
 
 }  // namespace condsel
 
-#endif  // CONDSEL_SELECTIVITY_DISTINCT_H_

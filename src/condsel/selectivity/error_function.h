@@ -11,8 +11,7 @@
 //  - Opt   (Sec 5):   |true Sel(P|Q) - estimate|; the oracle upper bound,
 //    implementable only in an experimental harness with an exact executor.
 
-#ifndef CONDSEL_SELECTIVITY_ERROR_FUNCTION_H_
-#define CONDSEL_SELECTIVITY_ERROR_FUNCTION_H_
+#pragma once
 
 #include <limits>
 #include <vector>
@@ -82,4 +81,3 @@ class OptError final : public ErrorFunction {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_SELECTIVITY_ERROR_FUNCTION_H_

@@ -1,5 +1,6 @@
 #include "condsel/selectivity/exhaustive.h"
 
+#include "condsel/common/numeric.h"
 #include "condsel/selectivity/separability.h"
 
 namespace condsel {
@@ -67,7 +68,7 @@ ExhaustiveResult ExhaustiveBest(const Query& query, PredSet p,
   const auto [err, sel] = Best(st, p);
   ExhaustiveResult r;
   r.error = err;
-  r.selectivity = sel;
+  r.selectivity = SanitizeSelectivity(sel);
   r.nodes_explored = st.nodes;
   return r;
 }

@@ -6,8 +6,7 @@
 // memoization, no separability pruning unless requested — and is
 // exponential-factorial, so only small queries (n <= ~6) are practical.
 
-#ifndef CONDSEL_SELECTIVITY_EXHAUSTIVE_H_
-#define CONDSEL_SELECTIVITY_EXHAUSTIVE_H_
+#pragma once
 
 #include <cstdint>
 
@@ -33,4 +32,3 @@ ExhaustiveResult ExhaustiveBest(const Query& query, PredSet p,
 
 }  // namespace condsel
 
-#endif  // CONDSEL_SELECTIVITY_EXHAUSTIVE_H_

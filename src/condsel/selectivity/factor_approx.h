@@ -15,8 +15,7 @@
 // line 12 treats factors with no applicable statistics — the DP then
 // reaches those predicates through further atomic decompositions.
 
-#ifndef CONDSEL_SELECTIVITY_FACTOR_APPROX_H_
-#define CONDSEL_SELECTIVITY_FACTOR_APPROX_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -72,4 +71,3 @@ class FactorApproximator {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_SELECTIVITY_FACTOR_APPROX_H_

@@ -26,8 +26,7 @@
 // decomposition-analysis vs histogram-manipulation time (Fig. 8), memo
 // hits, and subproblem counts.
 
-#ifndef CONDSEL_SELECTIVITY_GET_SELECTIVITY_H_
-#define CONDSEL_SELECTIVITY_GET_SELECTIVITY_H_
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -127,4 +126,3 @@ class GetSelectivity {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_SELECTIVITY_GET_SELECTIVITY_H_

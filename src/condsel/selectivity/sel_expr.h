@@ -6,8 +6,7 @@
 // decompositions (Property 1): a chain S_1 * ... * S_k with
 // Q_i = P_{i+1} ∪ ... ∪ P_k and the P_i partitioning P.
 
-#ifndef CONDSEL_SELECTIVITY_SEL_EXPR_H_
-#define CONDSEL_SELECTIVITY_SEL_EXPR_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -35,4 +34,3 @@ std::string DecompositionToString(const Query& query, const Decomposition& d);
 
 }  // namespace condsel
 
-#endif  // CONDSEL_SELECTIVITY_SEL_EXPR_H_

@@ -6,8 +6,7 @@
 // decomposition into non-separable factors, which getSelectivity (and
 // Assumption 1 on histogram minimality) uses to prune the search space.
 
-#ifndef CONDSEL_SELECTIVITY_SEPARABILITY_H_
-#define CONDSEL_SELECTIVITY_SEPARABILITY_H_
+#pragma once
 
 #include <vector>
 
@@ -25,4 +24,3 @@ std::vector<PredSet> StandardDecomposition(const Query& query, PredSet p);
 
 }  // namespace condsel
 
-#endif  // CONDSEL_SELECTIVITY_SEPARABILITY_H_

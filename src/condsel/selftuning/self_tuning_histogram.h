@@ -16,8 +16,7 @@
 // Used by bench_self_tuning to contrast feedback-refined base statistics
 // with SITs under data drift.
 
-#ifndef CONDSEL_SELFTUNING_SELF_TUNING_HISTOGRAM_H_
-#define CONDSEL_SELFTUNING_SELF_TUNING_HISTOGRAM_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -73,4 +72,3 @@ class SelfTuningHistogram {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_SELFTUNING_SELF_TUNING_HISTOGRAM_H_

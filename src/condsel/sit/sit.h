@@ -6,8 +6,7 @@
 // matched against any query that syntactically contains them. An empty
 // expression makes the SIT an ordinary base-table histogram.
 
-#ifndef CONDSEL_SIT_SIT_H_
-#define CONDSEL_SIT_SIT_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -50,4 +49,3 @@ struct Sit {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_SIT_SIT_H_

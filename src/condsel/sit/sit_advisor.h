@@ -8,8 +8,7 @@
 // execution or ground truth, exactly what a production advisor could
 // afford. bench_sit_advisor validates the choices against true errors.
 
-#ifndef CONDSEL_SIT_SIT_ADVISOR_H_
-#define CONDSEL_SIT_SIT_ADVISOR_H_
+#pragma once
 
 #include <vector>
 
@@ -47,4 +46,3 @@ AdvisorResult AdviseSits(const std::vector<Query>& workload,
 
 }  // namespace condsel
 
-#endif  // CONDSEL_SIT_SIT_ADVISOR_H_

@@ -5,8 +5,7 @@
 // and record the diff divergence against the base-table distribution
 // (Section 3.5 notes diff is computed once, at creation time).
 
-#ifndef CONDSEL_SIT_SIT_BUILDER_H_
-#define CONDSEL_SIT_SIT_BUILDER_H_
+#pragma once
 
 #include <vector>
 
@@ -53,4 +52,3 @@ class SitBuilder {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_SIT_SIT_BUILDER_H_

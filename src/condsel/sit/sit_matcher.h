@@ -8,8 +8,7 @@
 // getSelectivity (line 12) and the GVM baseline, and keeps the call
 // counter that Figure 6 reports.
 
-#ifndef CONDSEL_SIT_SIT_MATCHER_H_
-#define CONDSEL_SIT_SIT_MATCHER_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -87,4 +86,3 @@ class SitMatcher {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_SIT_SIT_MATCHER_H_

@@ -9,8 +9,7 @@
 // column any workload query references, since join predicates need base
 // histograms on their endpoints even in the richest pools.
 
-#ifndef CONDSEL_SIT_SIT_POOL_H_
-#define CONDSEL_SIT_SIT_POOL_H_
+#pragma once
 
 #include <map>
 #include <tuple>
@@ -52,4 +51,3 @@ SitPool GenerateSitPool(const std::vector<Query>& workload, int max_join_preds,
 
 }  // namespace condsel
 
-#endif  // CONDSEL_SIT_SIT_POOL_H_

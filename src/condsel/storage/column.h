@@ -5,8 +5,7 @@
 // is outside every generated domain. SQL semantics apply: NULL matches no
 // filter or join predicate and is excluded from histograms.
 
-#ifndef CONDSEL_STORAGE_COLUMN_H_
-#define CONDSEL_STORAGE_COLUMN_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -46,4 +45,3 @@ class Column {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_STORAGE_COLUMN_H_

@@ -1,7 +1,6 @@
 // Column-major in-memory table.
 
-#ifndef CONDSEL_STORAGE_TABLE_H_
-#define CONDSEL_STORAGE_TABLE_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -47,4 +46,3 @@ class Table {
 
 }  // namespace condsel
 
-#endif  // CONDSEL_STORAGE_TABLE_H_

@@ -1,7 +1,6 @@
 // Library version.
 
-#ifndef CONDSEL_VERSION_H_
-#define CONDSEL_VERSION_H_
+#pragma once
 
 namespace condsel {
 
@@ -12,4 +11,3 @@ inline constexpr const char* kVersionString = "1.0.0";
 
 }  // namespace condsel
 
-#endif  // CONDSEL_VERSION_H_

@@ -8,8 +8,7 @@
 // smooth structure with very few coefficients but ring around sharp
 // spikes (quantified in bench_ablation_wavelets).
 
-#ifndef CONDSEL_WAVELET_WAVELET_H_
-#define CONDSEL_WAVELET_WAVELET_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -61,4 +60,3 @@ WaveletSynopsis BuildWavelet(const std::vector<int64_t>& values,
 
 }  // namespace condsel
 
-#endif  // CONDSEL_WAVELET_WAVELET_H_

@@ -181,5 +181,42 @@ TEST_F(CoupledTest, EstimatesAreProbabilities) {
   }
 }
 
+TEST_F(CoupledTest, TryEstimateRejectsForeignPredicates) {
+  BuildPool(1);
+  FactorApproximator fa(&matcher_, &n_ind_);
+  OptimizerCoupledEstimator coupled(&query_, &fa);
+  // Bit 5 is outside the bound query's 4 predicates.
+  const StatusOr<SelEstimate> r = coupled.TryEstimate(1u << 5);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CoupledTest, TryEstimateReportsUnestimableGroups) {
+  // An empty pool approximates nothing: every memo group must come back
+  // FAILED_PRECONDITION instead of aborting the process.
+  pool_ = SitPool();
+  matcher_.BindQuery(&query_);
+  FactorApproximator fa(&matcher_, &n_ind_);
+  OptimizerCoupledEstimator coupled(&query_, &fa);
+  const StatusOr<SelEstimate> r =
+      coupled.TryEstimate(query_.all_predicates());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(r.status().message().find("no estimable entry"),
+            std::string::npos);
+}
+
+TEST_F(CoupledTest, TryEstimateMatchesEstimateOnSuccess) {
+  BuildPool(2);
+  FactorApproximator fa(&matcher_, &n_ind_);
+  OptimizerCoupledEstimator coupled(&query_, &fa);
+  const StatusOr<SelEstimate> r =
+      coupled.TryEstimate(query_.all_predicates());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().selectivity,
+            coupled.Estimate(query_.all_predicates()).selectivity);
+  EXPECT_EQ(r.value().error, coupled.Estimate(query_.all_predicates()).error);
+}
+
 }  // namespace
 }  // namespace condsel

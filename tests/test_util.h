@@ -2,8 +2,7 @@
 // brute-force (nested-loop, cross-product) reference evaluator for
 // validating the hash-join executor and selectivity definitions.
 
-#ifndef CONDSEL_TESTS_TEST_UTIL_H_
-#define CONDSEL_TESTS_TEST_UTIL_H_
+#pragma once
 
 #include <vector>
 
@@ -122,4 +121,3 @@ inline double BruteForceCardinality(const Catalog& catalog, const Query& q,
 }  // namespace test
 }  // namespace condsel
 
-#endif  // CONDSEL_TESTS_TEST_UTIL_H_

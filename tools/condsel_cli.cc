@@ -14,10 +14,15 @@
 //   --pool=<path>           load a serialized SIT pool (with --catalog)
 //   --truth                 also run the query exactly and show the error
 //   --explain               print the chosen decomposition
+//   --max-subproblems=<N>   budget: memo entries computed     (0 = unlimited)
+//   --max-atomic=<N>        budget: atomic decompositions     (0 = unlimited)
+//   --deadline-ms=<F>       budget: wall clock per estimate   (0 = unlimited)
+//   --stats                 print search statistics and degradation flags
 //
 // With no SQL arguments, reads one statement per line from stdin.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -45,6 +50,8 @@ struct Options {
   std::string pool_path;
   bool truth = false;
   bool explain = false;
+  bool stats = false;
+  EstimationBudget budget;
   std::vector<std::string> sql;
 };
 
@@ -75,6 +82,16 @@ bool ParseArgs(int argc, char** argv, Options* out) {
       out->catalog_path = v;
     } else if (const char* v = value("--pool=")) {
       out->pool_path = v;
+    } else if (const char* v = value("--max-subproblems=")) {
+      out->budget.max_subproblems =
+          static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--max-atomic=")) {
+      out->budget.max_atomic_decompositions =
+          static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--deadline-ms=")) {
+      out->budget.deadline_seconds = std::atof(v) / 1000.0;
+    } else if (arg == "--stats") {
+      out->stats = true;
     } else if (arg == "--truth") {
       out->truth = true;
     } else if (arg == "--explain") {
@@ -100,6 +117,8 @@ void Usage() {
       "usage: condsel_cli [--db=snowflake|tpch] [--scale=F] [--sits=J]\n"
       "                   [--ranking=diff|nind] [--catalog=PATH "
       "[--pool=PATH]]\n"
+      "                   [--max-subproblems=N] [--max-atomic=N]\n"
+      "                   [--deadline-ms=F] [--stats]\n"
       "                   [--truth] [--explain] [SQL ...]\n"
       "With no SQL arguments, statements are read from stdin, one per "
       "line.\n");
@@ -178,7 +197,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "# %d statistics available\n", pool.size());
 
-  Estimator estimator(&catalog, &pool, opt.ranking);
+  Estimator estimator(&catalog, &pool, opt.ranking, opt.budget);
   for (size_t i = 0; i < queries.size(); ++i) {
     const Query& q = queries[i];
     const double est = estimator.EstimateCardinality(q);
@@ -192,6 +211,29 @@ int main(int argc, char** argv) {
     }
     if (opt.explain) {
       std::printf("  decomposition:\n%s", estimator.Explain(q).c_str());
+    }
+    if (opt.stats) {
+      const GsStats* s = estimator.StatsFor(q);
+      if (s != nullptr) {
+        std::printf(
+            "  stats:    %llu subproblems, %llu memo hits, %llu atomic "
+            "decompositions\n",
+            static_cast<unsigned long long>(s->subproblems),
+            static_cast<unsigned long long>(s->memo_hits),
+            static_cast<unsigned long long>(s->atomic_considered));
+        std::printf("            analysis %.3f ms, histograms %.3f ms\n",
+                    s->analysis_seconds * 1000.0,
+                    s->histogram_seconds * 1000.0);
+        if (s->budget_exhausted || s->degraded_subproblems > 0 ||
+            s->default_fallbacks > 0) {
+          std::printf(
+              "            budget exhausted: %s, degraded subproblems: "
+              "%llu, default fallbacks: %llu\n",
+              s->budget_exhausted ? "yes" : "no",
+              static_cast<unsigned long long>(s->degraded_subproblems),
+              static_cast<unsigned long long>(s->default_fallbacks));
+        }
+      }
     }
   }
   return 0;

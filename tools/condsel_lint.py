@@ -1,0 +1,294 @@
+#!/usr/bin/env python3
+"""condsel_lint — project invariants clang-tidy cannot express.
+
+Rules (suppress one occurrence with `condsel-lint: allow(<rule>)` in a
+comment on the same or the preceding line):
+
+  pragma-once           every header uses `#pragma once`; no `#ifndef`
+                        include guards.
+  using-namespace       no `using namespace` in headers anywhere, nor in
+                        library code under src/ (tools/tests/bench may,
+                        with an explicit allow).
+  check-justified       in files that expose a Status/StatusOr path,
+                        every CONDSEL_CHECK / CONDSEL_CHECK_MSG must be
+                        justified as an internal invariant: a comment
+                        containing `invariant` on the CHECK's line or the
+                        line above. Unjustified CHECKs in status-routed
+                        code are exactly the aborts PR 1 set out to
+                        eliminate — validate and return Status instead.
+  sanitize-selectivity  a .cc under src/condsel/{selectivity,baselines}/
+                        defining a double-returning Estimate method must
+                        route results through SanitizeSelectivity.
+  include-hygiene       no relative (`"../"`, `"./"`) or `"src/`-prefixed
+                        includes; library code does not include
+                        <iostream> (embedders own logging policy, and the
+                        library is printf-style throughout).
+  no-direct-abort       library code never calls abort()/exit() directly;
+                        CONDSEL_CHECK (macros.h) is the only allowed
+                        abort path.
+
+Usage:
+  condsel_lint.py [--root REPO]      lint the repository (exit 1 on findings)
+  condsel_lint.py --self-test        run the rules against the fixture
+                                     corpus in tools/lint_fixtures/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "tests", "tools", "fuzz", "bench", "examples")
+EXTENSIONS = (".h", ".cc")
+
+ALLOW_RE = re.compile(r"condsel-lint:\s*allow\(([a-z0-9-]+)\)")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _allowed(lines: list[str], idx: int, rule: str) -> bool:
+    """True when line idx (0-based) carries or follows an allow marker."""
+    for probe in (idx, idx - 1):
+        if 0 <= probe < len(lines):
+            m = ALLOW_RE.search(lines[probe])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+def check_pragma_once(path: str, text: str, lines: list[str]) -> list[Finding]:
+    if not path.endswith(".h"):
+        return []
+    findings = []
+    if "#pragma once" not in text:
+        findings.append(Finding(path, 1, "pragma-once",
+                                "header lacks `#pragma once`"))
+    for i, line in enumerate(lines):
+        if re.match(r"\s*#ifndef\s+\w*_H_?\b", line):
+            if not _allowed(lines, i, "pragma-once"):
+                findings.append(Finding(
+                    path, i + 1, "pragma-once",
+                    "include guard found; use `#pragma once` instead"))
+    return findings
+
+
+def check_using_namespace(path: str, text: str,
+                          lines: list[str]) -> list[Finding]:
+    in_header = path.endswith(".h")
+    in_library = path.startswith("src/")
+    if not (in_header or in_library):
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        if re.match(r"\s*using\s+namespace\b", line):
+            if _allowed(lines, i, "using-namespace"):
+                continue
+            where = "headers" if in_header else "library code"
+            findings.append(Finding(
+                path, i + 1, "using-namespace",
+                f"`using namespace` is not allowed in {where}"))
+    return findings
+
+
+CHECK_RE = re.compile(r"\bCONDSEL_CHECK(_MSG)?\s*\(")
+STATUS_RE = re.compile(r"\bStatusOr<|\bStatus\s+[A-Za-z_]|\bStatus::")
+
+
+def check_justified(path: str, text: str, lines: list[str]) -> list[Finding]:
+    if not path.startswith("src/"):
+        return []
+    if not STATUS_RE.search(text):
+        return []  # no recoverable path exists in this file
+    findings = []
+    for i, line in enumerate(lines):
+        if not CHECK_RE.search(line):
+            continue
+        if line.lstrip().startswith("//") or line.lstrip().startswith("#"):
+            continue  # comment or macro definition, not a call
+        context = lines[max(0, i - 1): i + 1]
+        if any("invariant" in c for c in context):
+            continue
+        if _allowed(lines, i, "check-justified"):
+            continue
+        findings.append(Finding(
+            path, i + 1, "check-justified",
+            "CONDSEL_CHECK in status-routed code needs an `invariant:` "
+            "comment (or convert it to a Status return)"))
+    return findings
+
+
+ESTIMATE_DEF_RE = re.compile(r"^double\s+\w+::\w*Estimate\w*\s*\(",
+                             re.MULTILINE)
+
+
+def check_sanitize(path: str, text: str, lines: list[str]) -> list[Finding]:
+    if not (path.startswith("src/condsel/selectivity/")
+            or path.startswith("src/condsel/baselines/")):
+        return []
+    if not path.endswith(".cc"):
+        return []
+    m = ESTIMATE_DEF_RE.search(text)
+    if not m:
+        return []
+    if "SanitizeSelectivity" in text:
+        return []
+    line = text.count("\n", 0, m.start()) + 1
+    if _allowed(lines, line - 1, "sanitize-selectivity"):
+        return []
+    return [Finding(
+        path, line, "sanitize-selectivity",
+        "selectivity-returning Estimate defined here, but nothing routes "
+        "through SanitizeSelectivity")]
+
+
+def check_includes(path: str, text: str, lines: list[str]) -> list[Finding]:
+    findings = []
+    for i, line in enumerate(lines):
+        m = re.match(r'\s*#include\s+"([^"]+)"', line)
+        if m:
+            target = m.group(1)
+            if target.startswith(("../", "./")) or target.startswith("src/"):
+                if not _allowed(lines, i, "include-hygiene"):
+                    findings.append(Finding(
+                        path, i + 1, "include-hygiene",
+                        f'include "{target}" must be repo-rooted '
+                        '(e.g. "condsel/...")'))
+        if path.startswith("src/") and re.match(
+                r"\s*#include\s+<iostream>", line):
+            if not _allowed(lines, i, "include-hygiene"):
+                findings.append(Finding(
+                    path, i + 1, "include-hygiene",
+                    "library code must not include <iostream>"))
+    return findings
+
+
+ABORT_RE = re.compile(r"\b(?:std::)?(abort|exit)\s*\(")
+
+
+def check_no_abort(path: str, text: str, lines: list[str]) -> list[Finding]:
+    if not path.startswith("src/"):
+        return []
+    if path.endswith("common/macros.h"):
+        return []  # the one sanctioned abort site
+    findings = []
+    for i, line in enumerate(lines):
+        stripped = line.split("//")[0]
+        if ABORT_RE.search(stripped):
+            if not _allowed(lines, i, "no-direct-abort"):
+                findings.append(Finding(
+                    path, i + 1, "no-direct-abort",
+                    "library code must not call abort()/exit() directly; "
+                    "use CONDSEL_CHECK or return a Status"))
+    return findings
+
+
+RULES = [
+    check_pragma_once,
+    check_using_namespace,
+    check_justified,
+    check_sanitize,
+    check_includes,
+    check_no_abort,
+]
+
+
+def lint_text(rel_path: str, text: str) -> list[Finding]:
+    lines = text.splitlines()
+    findings: list[Finding] = []
+    for rule in RULES:
+        findings.extend(rule(rel_path, text, lines))
+    return findings
+
+
+def iter_source_files(root: str):
+    for base in SCAN_DIRS:
+        top = os.path.join(root, base)
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
+            for name in sorted(filenames):
+                if name.endswith(EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def run_lint(root: str) -> int:
+    findings: list[Finding] = []
+    count = 0
+    for path in iter_source_files(root):
+        count += 1
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        with open(path, encoding="utf-8") as fh:
+            findings.extend(lint_text(rel, fh.read()))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"condsel_lint: {len(findings)} finding(s) in {count} files",
+              file=sys.stderr)
+        return 1
+    print(f"condsel_lint: {count} files clean", file=sys.stderr)
+    return 0
+
+
+EXPECT_RE = re.compile(r"lint-expect:\s*([a-z0-9-]+)")
+FIXTURE_PATH_RE = re.compile(r"lint-fixture-path:\s*(\S+)")
+
+
+def run_self_test(root: str) -> int:
+    """Fixture corpus: each file declares its virtual repo path and the
+    exact set of rules it must trigger (`lint-expect:` lines)."""
+    fixtures = os.path.join(root, "tools", "lint_fixtures")
+    if not os.path.isdir(fixtures):
+        print(f"error: fixture corpus missing at {fixtures}",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    total = 0
+    for name in sorted(os.listdir(fixtures)):
+        if not name.endswith(EXTENSIONS):
+            continue
+        total += 1
+        with open(os.path.join(fixtures, name), encoding="utf-8") as fh:
+            text = fh.read()
+        m = FIXTURE_PATH_RE.search(text)
+        virtual = m.group(1) if m else f"src/condsel/{name}"
+        expected = sorted(set(EXPECT_RE.findall(text)))
+        got = sorted({f.rule for f in lint_text(virtual, text)})
+        if got != expected:
+            failures += 1
+            print(f"self-test FAIL {name} (as {virtual}):\n"
+                  f"  expected rules: {expected}\n"
+                  f"  got:            {got}", file=sys.stderr)
+    if failures:
+        print(f"condsel_lint --self-test: {failures}/{total} fixtures "
+              "failed", file=sys.stderr)
+        return 1
+    print(f"condsel_lint --self-test: {total} fixtures ok",
+          file=sys.stderr)
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="condsel project lint", add_help=True)
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate the rules against the fixture corpus")
+    args = parser.parse_args()
+    if args.self_test:
+        return run_self_test(args.root)
+    return run_lint(args.root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

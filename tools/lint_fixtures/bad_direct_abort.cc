@@ -1,0 +1,14 @@
+// Fixture: library code calling abort()/exit() directly instead of going
+// through CONDSEL_CHECK or returning a Status.
+// lint-fixture-path: src/condsel/harness/bad_direct_abort.cc
+// lint-expect: no-direct-abort
+
+#include <cstdlib>
+
+namespace condsel {
+
+void Validate(int rows) {
+  if (rows < 0) std::abort();
+}
+
+}  // namespace condsel

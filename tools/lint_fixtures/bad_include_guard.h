@@ -1,0 +1,12 @@
+// Fixture: a header still using an #ifndef include guard.
+// lint-fixture-path: src/condsel/common/bad_include_guard.h
+// lint-expect: pragma-once
+
+#ifndef CONDSEL_COMMON_BAD_INCLUDE_GUARD_H_
+#define CONDSEL_COMMON_BAD_INCLUDE_GUARD_H_
+
+namespace condsel {
+inline int Answer() { return 42; }
+}  // namespace condsel
+
+#endif  // CONDSEL_COMMON_BAD_INCLUDE_GUARD_H_

@@ -1,0 +1,11 @@
+// Fixture: relative include path and <iostream> in library code.
+// lint-fixture-path: src/condsel/histogram/bad_include_hygiene.cc
+// lint-expect: include-hygiene
+
+#include "../common/macros.h"
+
+#include <iostream>
+
+namespace condsel {
+inline void Dump(int v) { std::cout << v << "\n"; }
+}  // namespace condsel

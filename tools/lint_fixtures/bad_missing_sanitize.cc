@@ -1,0 +1,17 @@
+// Fixture: a selectivity-returning Estimate that skips the numeric
+// sanitizer, so NaN/out-of-range values can escape to callers.
+// lint-fixture-path: src/condsel/baselines/bad_missing_sanitize.cc
+// lint-expect: sanitize-selectivity
+
+namespace condsel {
+
+class LeakyEstimator {
+ public:
+  double Estimate(double a, double b);
+};
+
+double LeakyEstimator::Estimate(double a, double b) {
+  return a / b;  // 0/0 leaks NaN straight into plan costing
+}
+
+}  // namespace condsel

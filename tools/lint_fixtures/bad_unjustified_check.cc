@@ -1,0 +1,17 @@
+// Fixture: a naked CONDSEL_CHECK in a file exposing a Status path. The
+// CHECK aborts on conditions the caller could trigger, which is exactly
+// what the Try*/Status layer exists to prevent.
+// lint-fixture-path: src/condsel/io/bad_unjustified_check.cc
+// lint-expect: check-justified
+
+#include "condsel/common/macros.h"
+#include "condsel/common/status.h"
+
+namespace condsel {
+
+StatusOr<double> ParseRatio(double num, double den) {
+  CONDSEL_CHECK(den != 0.0);
+  return num / den;
+}
+
+}  // namespace condsel

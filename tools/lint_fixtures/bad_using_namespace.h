@@ -1,0 +1,13 @@
+// Fixture: `using namespace` in a header.
+// lint-fixture-path: src/condsel/common/bad_using_namespace.h
+// lint-expect: using-namespace
+
+#pragma once
+
+#include <vector>
+
+using namespace std;
+
+namespace condsel {
+inline vector<int> Empty() { return {}; }
+}  // namespace condsel

@@ -1,0 +1,22 @@
+// Fixture: a clean library file — justified CHECK, sanitized estimate,
+// repo-rooted includes. Must produce zero findings.
+// lint-fixture-path: src/condsel/selectivity/good_clean_file.cc
+
+#include "condsel/common/macros.h"
+#include "condsel/common/numeric.h"
+#include "condsel/common/status.h"
+
+namespace condsel {
+
+class CleanEstimator {
+ public:
+  double Estimate(double sel);
+};
+
+double CleanEstimator::Estimate(double sel) {
+  // invariant: the constructor already rejected negative inputs.
+  CONDSEL_CHECK(sel >= 0.0);
+  return SanitizeSelectivity(sel);
+}
+
+}  // namespace condsel

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over the project's compilation database.
+
+Used by the `clang_tidy` ctest target and the CI tidy job:
+
+    tools/run_clang_tidy.py --build-dir build [--clang-tidy clang-tidy-18]
+
+Only first-party translation units are checked (src/, tests/, tools/,
+fuzz/, bench/, examples/); the configuration lives in .clang-tidy at the
+repository root. Exit status is non-zero when any file produces findings,
+so wiring it into a test suite makes tidy regressions fail the build.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import subprocess
+import sys
+
+FIRST_PARTY = ("src/", "tests/", "tools/", "fuzz/", "bench/", "examples/")
+
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def first_party_sources(build_dir: str) -> list[str]:
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        sys.stderr.write(
+            f"error: {db_path} not found; configure with cmake first "
+            "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)\n")
+        sys.exit(2)
+    with open(db_path, encoding="utf-8") as fh:
+        database = json.load(fh)
+    root = repo_root()
+    files = set()
+    for entry in database:
+        path = os.path.abspath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        rel = os.path.relpath(path, root)
+        if rel.startswith(FIRST_PARTY):
+            files.add(path)
+    return sorted(files)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="build directory with compile_commands.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy binary to run")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, os.cpu_count() or 1))
+    args = parser.parse_args()
+
+    sources = first_party_sources(args.build_dir)
+    if not sources:
+        sys.stderr.write("error: no first-party sources in the database\n")
+        return 2
+
+    def run(source: str) -> tuple[str, int, str]:
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", args.build_dir, "--quiet", source],
+            capture_output=True, text=True, check=False)
+        return source, proc.returncode, proc.stdout + proc.stderr
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for source, code, output in pool.map(run, sources):
+            rel = os.path.relpath(source, repo_root())
+            if code != 0:
+                failures += 1
+                sys.stderr.write(f"== {rel} ==\n{output}\n")
+            else:
+                sys.stderr.write(f"ok {rel}\n")
+    if failures:
+        sys.stderr.write(f"clang-tidy: {failures} file(s) with findings\n")
+        return 1
+    sys.stderr.write(f"clang-tidy: {len(sources)} files clean\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
