@@ -1,7 +1,9 @@
 #include "condsel/api.h"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "condsel/analysis/auditor.h"
 #include "condsel/common/macros.h"
 #include "condsel/common/numeric.h"
 #include "condsel/harness/metrics.h"
@@ -26,6 +28,23 @@ std::string ColumnName(const Catalog& catalog, ColumnRef c) {
          t.schema().columns[static_cast<size_t>(c.column)].name;
 }
 
+// Debug builds audit every estimate unless CONDSEL_AUDIT says otherwise;
+// release builds stay opt-in.
+bool DefaultAuditMode() {
+  if (const char* env = std::getenv("CONDSEL_AUDIT");
+      env != nullptr && env[0] != '\0') {
+    std::string v = env;
+    std::transform(v.begin(), v.end(), v.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return v != "0" && v != "false" && v != "no" && v != "off";
+  }
+#ifndef NDEBUG
+  return true;
+#else
+  return false;
+#endif
+}
+
 }  // namespace
 
 struct Estimator::Session {
@@ -37,11 +56,20 @@ struct Estimator::Session {
   std::unique_ptr<SitMatcher> matcher;
   std::unique_ptr<FactorApproximator> approximator;
   std::unique_ptr<GetSelectivity> gs;
+  // Derivation recording + audit bookkeeping (audit mode only). The DAG
+  // only grows on memo misses, so re-auditing is skipped while repeated
+  // sub-plan requests hit the memo.
+  DerivationDag dag;
+  size_t audited_nodes = 0;
 };
 
 Estimator::Estimator(const Catalog* catalog, const SitPool* pool,
                      Ranking ranking, EstimationBudget budget)
-    : catalog_(catalog), pool_(pool), ranking_(ranking), budget_(budget) {
+    : catalog_(catalog),
+      pool_(pool),
+      ranking_(ranking),
+      budget_(budget),
+      audit_(DefaultAuditMode()) {
   CONDSEL_CHECK(catalog != nullptr);  // invariant: constructor contract
   CONDSEL_CHECK(pool != nullptr);     // invariant: constructor contract
 }
@@ -136,13 +164,30 @@ Estimator::Session& Estimator::SessionFor(const Query& query) {
       std::make_unique<FactorApproximator>(session->matcher.get(), fn);
   session->gs = std::make_unique<GetSelectivity>(
       &session->query, session->approximator.get(), &budget_);
+  if (audit_) session->gs->set_recorder(&session->dag);
   return *sessions_.emplace(key, std::move(session)).first->second;
+}
+
+void Estimator::AuditSession(Session& session) {
+  if (session.gs->recorder() == nullptr) return;
+  if (session.dag.size() == session.audited_nodes) return;
+  session.audited_nodes = session.dag.size();
+  const AuditReport report =
+      DerivationAuditor().Audit(session.query, session.dag,
+                                session.gs->stats());
+  // A violation is a library bug, not user error (those surface as Status
+  // before estimation) — invariant: completed estimates audit clean.
+  CONDSEL_CHECK_MSG(report.ok(), report.ToString().c_str());
 }
 
 StatusOr<double> Estimator::TryEstimateSelectivity(const Query& query,
                                                    PredSet p) {
   if (Status s = ValidateQuery(query, p); !s.ok()) return s;
-  return SanitizeSelectivity(SessionFor(query).gs->Compute(p).selectivity);
+  Session& session = SessionFor(query);
+  const double sel =
+      SanitizeSelectivity(session.gs->Compute(p).selectivity);
+  AuditSession(session);
+  return sel;
 }
 
 StatusOr<double> Estimator::TryEstimateSelectivity(const Query& query) {
@@ -167,6 +212,7 @@ StatusOr<std::string> Estimator::TryExplain(const Query& query) {
   }
   Session& session = SessionFor(query);
   session.gs->Compute(query.all_predicates());
+  AuditSession(session);
   return session.gs->Explain(query.all_predicates());
 }
 
@@ -205,6 +251,12 @@ std::string Estimator::Explain(const Query& query) {
 const GsStats* Estimator::StatsFor(const Query& query) const {
   auto it = sessions_.find(query.predicates());
   return it == sessions_.end() ? nullptr : &it->second->gs->stats();
+}
+
+const DerivationDag* Estimator::DerivationFor(const Query& query) const {
+  auto it = sessions_.find(query.predicates());
+  if (it == sessions_.end()) return nullptr;
+  return it->second->gs->recorder();
 }
 
 void Estimator::ClearCache() { sessions_.clear(); }

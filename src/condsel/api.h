@@ -87,6 +87,22 @@ class Estimator {
   // accounting (GsStats::budget_exhausted, degraded_subproblems).
   const GsStats* StatsFor(const Query& query) const;
 
+  // Post-estimate derivation auditing. When on, every session records its
+  // DP steps into a DerivationDag (analysis/derivation.h) and each
+  // estimate is followed by a DerivationAuditor pass over the session's
+  // derivation; a violation aborts — it means a library bug, never user
+  // error (user-triggerable failures surface as Status beforehand).
+  // Defaults to on in debug builds and off in release; the CONDSEL_AUDIT
+  // environment variable overrides either way ("0"/"false"/"off"/"no"
+  // disables, anything else enables). Toggling affects sessions created
+  // afterward, not live memoized searches.
+  void set_audit(bool on) { audit_ = on; }
+  bool audit() const { return audit_; }
+
+  // Recorded derivation DAG for `query`'s session, or nullptr if auditing
+  // was off when the session was created (or no estimate was requested).
+  const DerivationDag* DerivationFor(const Query& query) const;
+
   // Number of distinct queries with a live memoized search.
   size_t cached_queries() const { return sessions_.size(); }
   void ClearCache();
@@ -99,11 +115,15 @@ class Estimator {
   // `subset` are checked (see TryEstimateSelectivity).
   Status ValidateQuery(const Query& query, PredSet subset) const;
   Status ValidatePool() const;
+  // Runs the auditor over the session's derivation if one is recorded and
+  // has grown since the last pass; aborts on violations.
+  void AuditSession(Session& session);
 
   const Catalog* catalog_;
   const SitPool* pool_;
   Ranking ranking_;
   EstimationBudget budget_;
+  bool audit_;
   // Lazily computed, cached result of ValidatePool (the pool is borrowed
   // const, so its validity cannot change under us).
   mutable bool pool_validated_ = false;

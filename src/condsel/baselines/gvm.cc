@@ -71,29 +71,63 @@ double GvmEstimator::Estimate(const Query& query, PredSet p) {
   // their assigned SITs; independence everywhere else.
   double sel = 1.0;
   double n_ind = 0.0;
+  std::vector<DerivationAtom> atoms;
+  auto record_atom = [&](int pred, double atom_sel, const SitCandidate& cand,
+                         PredSet conditioning) {
+    if (recorder_ == nullptr) return;
+    DerivationAtom atom;
+    atom.pred = pred;
+    atom.selectivity = atom_sel;
+    atom.has_stat = true;
+    atom.sit.sit_id = cand.sit->id;
+    atom.sit.is_base = cand.sit->is_base();
+    atom.sit.hypothesis = cand.expr_mask;
+    atom.sit.conditioning = conditioning;
+    atoms.push_back(atom);
+  };
   for (int j : joins) {
     FactorChoice choice = approximator_.Score(query, 1u << j, /*cond=*/0);
     CONDSEL_CHECK_MSG(choice.feasible, "GVM requires base histograms");
-    sel *= approximator_.Estimate(query, 1u << j, choice);
+    const double join_sel =
+        SanitizeSelectivity(approximator_.Estimate(query, 1u << j, choice));
+    sel *= join_sel;
     n_ind += static_cast<double>(SetSize(p) - 1);
+    record_atom(j, join_sel, choice.sits.front(), /*conditioning=*/0);
   }
   for (int f : filters) {
     const PredSet context = p & ~(1u << f);
     if (chosen.count(f)) {
       const SitCandidate& cand = chosen[f];
-      sel *= cand.sit->histogram.RangeSelectivity(
-          query.predicate(f).lo(), query.predicate(f).hi());
+      // Unlike FactorApproximator::Estimate, the direct histogram lookup
+      // does not sanitize — clamp here so a corrupted bucket cannot leak
+      // a NaN factor into the product (or the recorded derivation).
+      const double filter_sel =
+          SanitizeSelectivity(cand.sit->histogram.RangeSelectivity(
+              query.predicate(f).lo(), query.predicate(f).hi()));
+      sel *= filter_sel;
       n_ind += static_cast<double>(SetSize(context & ~cand.expr_mask));
+      record_atom(f, filter_sel, cand, context);
     } else {
       FactorChoice choice =
           approximator_.Score(query, 1u << f, /*cond=*/0);
       CONDSEL_CHECK_MSG(choice.feasible, "GVM requires base histograms");
-      sel *= approximator_.Estimate(query, 1u << f, choice);
+      const double filter_sel =
+          SanitizeSelectivity(approximator_.Estimate(query, 1u << f, choice));
+      sel *= filter_sel;
       n_ind += static_cast<double>(SetSize(context));
+      record_atom(f, filter_sel, choice.sits.front(), /*conditioning=*/0);
     }
   }
   last_n_ind_ = n_ind;
-  return SanitizeSelectivity(sel);
+  sel = SanitizeSelectivity(sel);
+  if (recorder_ != nullptr) {
+    DerivationNode& node = recorder_->AddNode(p);
+    node.kind = p == 0 ? DerivKind::kEmptySet : DerivKind::kPredicateProduct;
+    node.selectivity = sel;
+    node.error = 0.0;
+    node.atoms = std::move(atoms);
+  }
+  return sel;
 }
 
 }  // namespace condsel

@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include "condsel/analysis/derivation.h"
 #include "condsel/query/query.h"
 #include "condsel/selectivity/factor_approx.h"
 
@@ -34,11 +35,19 @@ class GvmEstimator {
   // tests and the ablation bench.
   double last_n_ind() const { return last_n_ind_; }
 
+  // Optional derivation recording: each Estimate() call appends one
+  // predicate-product node describing the greedily rewritten plan (per
+  // predicate: the SIT or base histogram it was estimated from, and the
+  // conditioning context the hypothesis claims to cover) for
+  // DerivationAuditor. Borrowed; nullptr stops recording.
+  void set_recorder(DerivationDag* dag) { recorder_ = dag; }
+
  private:
   SitMatcher* matcher_;
   NIndError error_fn_;
   FactorApproximator approximator_;
   double last_n_ind_ = 0.0;
+  DerivationDag* recorder_ = nullptr;
 };
 
 }  // namespace condsel

@@ -10,15 +10,38 @@ NoSitEstimator::NoSitEstimator(SitMatcher* matcher)
 
 double NoSitEstimator::Estimate(const Query& query, PredSet p) {
   double sel = 1.0;
+  std::vector<DerivationAtom> atoms;
   for (int i : SetElements(p)) {
     // Conditioning on the empty set restricts the candidates to base
     // histograms (expr ⊆ ∅), which is exactly the traditional estimator.
     FactorChoice choice = approximator_.Score(query, 1u << i, /*cond=*/0);
     CONDSEL_CHECK_MSG(choice.feasible,
                       "noSit requires base histograms for every column");
-    sel *= approximator_.Estimate(query, 1u << i, choice);
+    const double atom_sel =
+        SanitizeSelectivity(approximator_.Estimate(query, 1u << i, choice));
+    sel *= atom_sel;
+    if (recorder_ != nullptr) {
+      DerivationAtom atom;
+      atom.pred = i;
+      atom.selectivity = atom_sel;
+      atom.has_stat = true;
+      const SitCandidate& cand = choice.sits.front();
+      atom.sit.sit_id = cand.sit->id;
+      atom.sit.is_base = cand.sit->is_base();
+      atom.sit.hypothesis = cand.expr_mask;
+      atom.sit.conditioning = 0;
+      atoms.push_back(atom);
+    }
   }
-  return SanitizeSelectivity(sel);
+  sel = SanitizeSelectivity(sel);
+  if (recorder_ != nullptr) {
+    DerivationNode& node = recorder_->AddNode(p);
+    node.kind = p == 0 ? DerivKind::kEmptySet : DerivKind::kPredicateProduct;
+    node.selectivity = sel;
+    node.error = 0.0;
+    node.atoms = std::move(atoms);
+  }
+  return sel;
 }
 
 }  // namespace condsel

@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include "condsel/analysis/derivation.h"
 #include "condsel/query/query.h"
 #include "condsel/selectivity/factor_approx.h"
 
@@ -21,10 +22,15 @@ class NoSitEstimator {
   // selectivity (filters via range lookup, joins via histogram join).
   double Estimate(const Query& query, PredSet p);
 
+  // Optional derivation recording: each Estimate() call appends one
+  // predicate-product node (the full independence assumption) to `dag`
+  // for DerivationAuditor. Borrowed; nullptr stops recording.
+  void set_recorder(DerivationDag* dag) { recorder_ = dag; }
+
  private:
   NIndError error_fn_;
   FactorApproximator approximator_;
+  DerivationDag* recorder_ = nullptr;
 };
 
 }  // namespace condsel
-

@@ -15,6 +15,13 @@
 //    flipped bucket would produce — exercising the NaN sanitization path;
 //  - kExpireDeadline: EstimationBudget deadline checks report expiry
 //    immediately, making timeout degradation deterministic in tests.
+//  - kCorruptDerivationFactor: getSelectivity records an out-of-range
+//    factor selectivity into its derivation DAG (the estimate itself is
+//    untouched) — the DerivationAuditor must report it, proving the
+//    finite-range check can fail (mutation self-test).
+//  - kCorruptHypothesisSet: getSelectivity records SIT hypothesis sets
+//    that claim predicates outside the conditioning set — the auditor's
+//    hypothesis-consistency check must catch it (mutation self-test).
 
 #pragma once
 
@@ -29,6 +36,8 @@ enum class Fault {
   kDropSits = 0,
   kCorruptHistograms,
   kExpireDeadline,
+  kCorruptDerivationFactor,
+  kCorruptHypothesisSet,
 };
 
 class FaultInjector {
@@ -52,7 +61,7 @@ class FaultInjector {
 
  private:
   FaultInjector() = default;
-  static constexpr int kNumFaults = 3;
+  static constexpr int kNumFaults = 5;
   static int Index(Fault f) { return static_cast<int>(f); }
 
   std::mutex mu_;              // serializes writers; reads are atomic

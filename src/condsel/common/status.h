@@ -30,7 +30,10 @@ enum class StatusCode {
 
 const char* StatusCodeName(StatusCode code);
 
-class Status {
+// [[nodiscard]]: silently dropping a Status is how recoverable errors
+// become latent bugs. Call sites that legitimately proceed regardless
+// must say so with a named sink (see StatusIgnored below), not `(void)`.
+class [[nodiscard]] Status {
  public:
   // Default-constructed Status is OK.
   Status() = default;
@@ -83,7 +86,7 @@ class Status {
 // A Status or a value. T must be default-constructible (all condsel value
 // types are); the stored T is only meaningful when ok().
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Implicit conversions keep call sites terse:
   //   StatusOr<double> f() { if (bad) return Status::NotFound(...); return 0.5; }
@@ -121,6 +124,13 @@ class StatusOr {
   Status status_;
   T value_{};
 };
+
+// The one sanctioned way to discard a Status/StatusOr on purpose (e.g. a
+// best-effort side channel whose failure the caller tolerates by design).
+// Grep-able, unlike a `(void)` cast — and the lint rule nodiscard-status
+// rejects the cast form outright.
+template <typename T>
+void StatusIgnored(T&&) {}
 
 }  // namespace condsel
 

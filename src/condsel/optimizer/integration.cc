@@ -43,9 +43,22 @@ StatusOr<SelEstimate> OptimizerCoupledEstimator::EstimateGroup(int group_id) {
 
   if (g.preds == 0) {
     best = SelEstimate{1.0, 0.0};
+    // All scan/cartesian-leaf groups share the empty predicate subset;
+    // one empty-set node stands for them in the derivation.
+    if (recorder_ != nullptr && !recorder_->recorded(0)) {
+      DerivationNode& node = recorder_->AddNode(0);
+      node.kind = DerivKind::kEmptySet;
+      node.selectivity = 1.0;
+      node.error = 0.0;
+    }
     best_.emplace(group_id, best);
     return best;
   }
+
+  // Winning entry, for the derivation recording.
+  const MemoExpr* best_expr = nullptr;
+  double best_head_sel = 1.0;
+  FactorChoice best_choice;
 
   for (const MemoExpr& e : g.exprs) {
     if (e.op == OpKind::kScan) continue;
@@ -74,6 +87,7 @@ StatusOr<SelEstimate> OptimizerCoupledEstimator::EstimateGroup(int group_id) {
       if (input_err < best.error) {
         best.error = input_err;
         best.selectivity = input_sel;
+        best_expr = &e;
       }
       continue;
     }
@@ -85,8 +99,12 @@ StatusOr<SelEstimate> OptimizerCoupledEstimator::EstimateGroup(int group_id) {
     const double err = ErrorFunction::Merge(choice.error, input_err);
     if (err < best.error) {
       best.error = err;
-      best.selectivity = SanitizeSelectivity(
-          approximator_->Estimate(*query_, p_e, choice) * input_sel);
+      const double head_sel = SanitizeSelectivity(
+          approximator_->Estimate(*query_, p_e, choice));
+      best.selectivity = SanitizeSelectivity(head_sel * input_sel);
+      best_expr = &e;
+      best_head_sel = head_sel;
+      best_choice = choice;
     }
   }
   if (best.error == kInfiniteError) {
@@ -94,6 +112,34 @@ StatusOr<SelEstimate> OptimizerCoupledEstimator::EstimateGroup(int group_id) {
         "memo group " + std::to_string(group_id) +
         " has no estimable entry (no statistic approximates any induced "
         "decomposition)");
+  }
+  if (recorder_ != nullptr && best_expr != nullptr) {
+    DerivationNode& node = recorder_->AddNode(g.preds);
+    node.selectivity = best.selectivity;
+    node.error = best.error;
+    for (int in : best_expr->inputs) {
+      node.tails.push_back(memo_.group(in).preds);
+    }
+    if (best_expr->predicate < 0) {
+      // Cartesian entry: a separable product over the connected pieces
+      // (not necessarily the Lemma 2 standard decomposition — pieces are
+      // the memo's, grouped by table connectivity).
+      node.kind = DerivKind::kSeparableSplit;
+      node.standard_split = false;
+    } else {
+      node.kind = DerivKind::kConditionalFactor;
+      node.head = 1u << best_expr->predicate;
+      node.head_selectivity = best_head_sel;
+      const PredSet q_e = g.preds & ~node.head;
+      for (const SitCandidate& cand : best_choice.sits) {
+        SitApplication app;
+        app.sit_id = cand.sit->id;
+        app.is_base = cand.sit->is_base();
+        app.hypothesis = cand.expr_mask;
+        app.conditioning = q_e;
+        node.sits.push_back(app);
+      }
+    }
   }
   best_.emplace(group_id, best);
   return best;

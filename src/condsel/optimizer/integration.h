@@ -20,6 +20,7 @@
 
 #include <map>
 
+#include "condsel/analysis/derivation.h"
 #include "condsel/common/status.h"
 #include "condsel/optimizer/memo.h"
 #include "condsel/selectivity/get_selectivity.h"
@@ -47,6 +48,14 @@ class OptimizerCoupledEstimator {
   const Memo& memo() const { return memo_; }
   uint64_t entries_considered() const { return entries_considered_; }
 
+  // Optional derivation recording: the winning entry-induced decomposition
+  // of every estimated memo group is appended to `dag` (a conditional
+  // factorization Sel(p_E|Q_E)·Sel(Q_E) for select/join entries, a
+  // separable split for cartesian entries, an empty-set node for scans)
+  // for DerivationAuditor. Attach before the first TryEstimate; borrowed;
+  // nullptr stops recording.
+  void set_recorder(DerivationDag* dag) { recorder_ = dag; }
+
  private:
   StatusOr<SelEstimate> EstimateGroup(int group_id);
 
@@ -55,6 +64,7 @@ class OptimizerCoupledEstimator {
   Memo memo_;
   std::map<int, SelEstimate> best_;  // group id -> best estimate
   uint64_t entries_considered_ = 0;
+  DerivationDag* recorder_ = nullptr;
 };
 
 }  // namespace condsel

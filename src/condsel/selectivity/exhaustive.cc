@@ -10,17 +10,66 @@ struct SearchState {
   const Query* query;
   FactorApproximator* approximator;
   bool separable_first;
+  DerivationDag* dag;
   uint64_t nodes = 0;
 };
+
+// Winning alternative for one subset, carried out of the search so the
+// derivation can be recorded once the subset's recursion completes.
+struct BestChoice {
+  bool separable = false;
+  std::vector<PredSet> components;  // separable winner
+  PredSet head = 0;                 // atomic winner
+  double head_sel = 1.0;
+  FactorChoice choice;
+};
+
+void Record(SearchState& st, PredSet p, double err, double sel,
+            const BestChoice& best) {
+  if (st.dag == nullptr || err == kInfiniteError || st.dag->recorded(p)) {
+    return;
+  }
+  DerivationNode& node = st.dag->AddNode(p);
+  node.selectivity = sel;
+  node.error = err;
+  if (best.separable) {
+    node.kind = DerivKind::kSeparableSplit;
+    node.tails = best.components;
+    node.standard_split = true;
+    return;
+  }
+  node.kind = DerivKind::kConditionalFactor;
+  node.head = best.head;
+  node.head_selectivity = best.head_sel;
+  const PredSet cond = p & ~best.head;
+  node.tails.push_back(cond);
+  for (const SitCandidate& cand : best.choice.sits) {
+    SitApplication app;
+    app.sit_id = cand.sit->id;
+    app.is_base = cand.sit->is_base();
+    app.hypothesis = cand.expr_mask;
+    app.conditioning = cond;
+    node.sits.push_back(app);
+  }
+}
 
 // Returns {error, selectivity} for the best decomposition of Sel(p).
 std::pair<double, double> Best(SearchState& st, PredSet p) {
   ++st.nodes;
-  if (p == 0) return {0.0, 1.0};
+  if (p == 0) {
+    if (st.dag != nullptr && !st.dag->recorded(0)) {
+      DerivationNode& node = st.dag->AddNode(0);
+      node.kind = DerivKind::kEmptySet;
+      node.selectivity = 1.0;
+      node.error = 0.0;
+    }
+    return {0.0, 1.0};
+  }
 
   const std::vector<PredSet> comps = StandardDecomposition(*st.query, p);
   double best_err = kInfiniteError;
   double best_sel = 0.0;
+  BestChoice best;
 
   if (comps.size() > 1) {
     double err = 0.0, sel = 1.0;
@@ -37,8 +86,13 @@ std::pair<double, double> Best(SearchState& st, PredSet p) {
     if (ok) {
       best_err = err;
       best_sel = sel;
+      best.separable = true;
+      best.components = comps;
     }
-    if (st.separable_first) return {best_err, best_sel};
+    if (st.separable_first) {
+      Record(st, p, best_err, best_sel, best);
+      return {best_err, best_sel};
+    }
   }
 
   // Atomic decompositions: every non-empty P' heads a factor.
@@ -52,10 +106,14 @@ std::pair<double, double> Best(SearchState& st, PredSet p) {
     const double err = ErrorFunction::Merge(choice.error, qe);
     if (err < best_err) {
       best_err = err;
-      best_sel =
-          st.approximator->Estimate(*st.query, p_prime, choice) * qs;
+      best.separable = false;
+      best.head = p_prime;
+      best.head_sel = st.approximator->Estimate(*st.query, p_prime, choice);
+      best.choice = choice;
+      best_sel = best.head_sel * qs;
     }
   }
+  Record(st, p, best_err, best_sel, best);
   return {best_err, best_sel};
 }
 
@@ -63,8 +121,8 @@ std::pair<double, double> Best(SearchState& st, PredSet p) {
 
 ExhaustiveResult ExhaustiveBest(const Query& query, PredSet p,
                                 FactorApproximator* approximator,
-                                bool separable_first) {
-  SearchState st{&query, approximator, separable_first, 0};
+                                bool separable_first, DerivationDag* dag) {
+  SearchState st{&query, approximator, separable_first, dag, 0};
   const auto [err, sel] = Best(st, p);
   ExhaustiveResult r;
   r.error = err;

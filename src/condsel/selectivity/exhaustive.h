@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "condsel/analysis/derivation.h"
 #include "condsel/query/query.h"
 #include "condsel/selectivity/factor_approx.h"
 
@@ -26,9 +27,15 @@ struct ExhaustiveResult {
 // forced through their standard decomposition (the DP's pruned space);
 // otherwise atomic decompositions are tried on separable subsets too (the
 // full space, which by Theorem 1 must not beat the pruned one).
+//
+// When `dag` is non-null, the winning decomposition of every feasible
+// subset reached by the search is recorded for DerivationAuditor (one node
+// per subset: the recursion revisits subsets, but the search is
+// deterministic, so the first computation stands for all of them).
+// Infeasible subsets (no approximable decomposition) record nothing.
 ExhaustiveResult ExhaustiveBest(const Query& query, PredSet p,
                                 FactorApproximator* approximator,
-                                bool separable_first);
+                                bool separable_first,
+                                DerivationDag* dag = nullptr);
 
 }  // namespace condsel
-

@@ -59,34 +59,96 @@ bool GetSelectivity::BudgetExhausted() const {
   return false;
 }
 
-double GetSelectivity::SinglePredicateFallback(int i) {
+const DerivationAtom& GetSelectivity::SinglePredicateFallback(int i) {
   auto it = fallback_memo_.find(i);
   if (it != fallback_memo_.end()) return it->second;
   // Conditioning on the empty set restricts the matcher to base histograms
   // (expr ⊆ ∅): exactly the traditional noSit estimate for this predicate.
   FactorChoice choice = approximator_->Score(*query_, 1u << i, /*cond=*/0);
-  double sel = 1.0;
+  DerivationAtom atom;
+  atom.pred = i;
   if (choice.feasible) {
-    sel = SanitizeSelectivity(
+    atom.selectivity = SanitizeSelectivity(
         approximator_->Estimate(*query_, 1u << i, choice));
+    atom.has_stat = true;
+    const SitCandidate& cand = choice.sits.front();
+    atom.sit.sit_id = cand.sit->id;
+    atom.sit.is_base = cand.sit->is_base();
+    atom.sit.hypothesis = cand.expr_mask;
+    atom.sit.conditioning = 0;
   } else {
     // No base histogram either: contribute no information rather than
     // abort. 1.0 never understates a cardinality, the safe direction for
     // an optimizer that must still produce a plan.
     ++stats_.default_fallbacks;
   }
-  return fallback_memo_.emplace(i, sel).first->second;
+  return fallback_memo_.emplace(i, atom).first->second;
 }
 
-GetSelectivity::Entry GetSelectivity::MakeDegradedEntry(PredSet p) {
+GetSelectivity::Entry GetSelectivity::MakeDegradedEntry(
+    PredSet p, FallbackReason reason) {
   Entry entry;
   entry.kind = Kind::kDegraded;
   entry.error = kInfiniteError;  // never preferred over a scored candidate
   double sel = 1.0;
-  for (int i : SetElements(p)) sel *= SinglePredicateFallback(i);
+  for (int i : SetElements(p)) sel *= SinglePredicateFallback(i).selectivity;
   entry.selectivity = SanitizeSelectivity(sel);
   ++stats_.degraded_subproblems;
+  RecordEntry(p, entry, /*factor_sel=*/1.0, reason);
   return entry;
+}
+
+void GetSelectivity::RecordEntry(PredSet p, const Entry& entry,
+                                 double factor_sel, FallbackReason reason) {
+  if (recorder_ == nullptr) return;
+  DerivationNode& node = recorder_->AddNode(p);
+  node.selectivity = entry.selectivity;
+  node.error = entry.error;
+  const FaultInjector& fi = FaultInjector::Instance();
+  switch (entry.kind) {
+    case Kind::kEmpty:
+      node.kind = DerivKind::kEmptySet;
+      break;
+    case Kind::kSeparable:
+      node.kind = DerivKind::kSeparableSplit;
+      node.tails = entry.components;
+      node.standard_split = true;
+      break;
+    case Kind::kAtomic: {
+      node.kind = DerivKind::kConditionalFactor;
+      node.head = entry.best_p_prime;
+      node.head_selectivity = factor_sel;
+      // Mutation hook (tests/derivation_audit_test.cc): a corrupted
+      // recording must be *caught* by the auditor, proving the checker
+      // can fail — the estimate itself is left untouched.
+      if (fi.armed() && fi.enabled(Fault::kCorruptDerivationFactor)) {
+        node.head_selectivity = 1.5;
+      }
+      const PredSet cond = p & ~entry.best_p_prime;
+      node.tails.push_back(cond);
+      for (const SitCandidate& cand : entry.choice.sits) {
+        SitApplication app;
+        app.sit_id = cand.sit->id;
+        app.is_base = cand.sit->is_base();
+        app.hypothesis = cand.expr_mask;
+        app.conditioning = cond;
+        if (fi.armed() && fi.enabled(Fault::kCorruptHypothesisSet)) {
+          // Claim the statistic also accounts for the head predicates —
+          // a hypothesis set outside the conditioning set.
+          app.hypothesis |= entry.best_p_prime;
+        }
+        node.sits.push_back(app);
+      }
+      break;
+    }
+    case Kind::kDegraded:
+      node.kind = DerivKind::kPredicateProduct;
+      node.fallback = reason;
+      for (int i : SetElements(p)) {
+        node.atoms.push_back(SinglePredicateFallback(i));
+      }
+      break;
+  }
 }
 
 const GetSelectivity::Entry& GetSelectivity::ComputeEntry(PredSet p) {
@@ -101,6 +163,7 @@ const GetSelectivity::Entry& GetSelectivity::ComputeEntry(PredSet p) {
     entry.kind = Kind::kEmpty;
     entry.selectivity = 1.0;
     entry.error = 0.0;
+    RecordEntry(p, entry, /*factor_sel=*/1.0, FallbackReason::kNone);
     return memo_.emplace(p, std::move(entry)).first->second;
   }
 
@@ -111,7 +174,9 @@ const GetSelectivity::Entry& GetSelectivity::ComputeEntry(PredSet p) {
   // entries the search actually works on.
   if (BudgetExhausted()) {
     stats_.budget_exhausted = true;
-    return memo_.emplace(p, MakeDegradedEntry(p)).first->second;
+    return memo_
+        .emplace(p, MakeDegradedEntry(p, FallbackReason::kBudgetExhausted))
+        .first->second;
   }
   ++stats_.subproblems;
 
@@ -132,6 +197,7 @@ const GetSelectivity::Entry& GetSelectivity::ComputeEntry(PredSet p) {
     }
     entry.selectivity = SanitizeSelectivity(sel);
     entry.error = err;
+    RecordEntry(p, entry, /*factor_sel=*/1.0, FallbackReason::kNone);
     return memo_.emplace(p, std::move(entry)).first->second;
   }
   stats_.analysis_seconds += Seconds(t0, Clock::now());
@@ -226,8 +292,14 @@ const GetSelectivity::Entry& GetSelectivity::ComputeEntry(PredSet p) {
     // No feasible decomposition — a pool without base histograms for some
     // referenced column (the Try* API reports this up front), or a budget
     // that expired before the first candidate. Degrade instead of
-    // aborting: the estimate must still be produced.
-    return memo_.emplace(p, MakeDegradedEntry(p)).first->second;
+    // aborting: the estimate must still be produced. The entry was already
+    // charged to subproblems above, which is why the recorded reason is
+    // "no feasible decomposition" even when the budget expired mid-loop —
+    // the search did run on this entry.
+    return memo_
+        .emplace(p, MakeDegradedEntry(
+                        p, FallbackReason::kNoFeasibleDecomposition))
+        .first->second;
   }
 
   // Lines 16-17: estimate the winning factor with its chosen SITs
@@ -242,6 +314,7 @@ const GetSelectivity::Entry& GetSelectivity::ComputeEntry(PredSet p) {
   entry.choice = std::move(best_choice);
   entry.error = best_error;
   entry.selectivity = SanitizeSelectivity(factor_sel * tail.selectivity);
+  RecordEntry(p, entry, factor_sel, FallbackReason::kNone);
   return memo_.emplace(p, std::move(entry)).first->second;
 }
 

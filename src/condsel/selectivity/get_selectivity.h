@@ -34,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "condsel/analysis/derivation.h"
 #include "condsel/query/query.h"
 #include "condsel/selectivity/factor_approx.h"
 
@@ -89,6 +90,16 @@ class GetSelectivity {
   // Human-readable best decomposition of a previously computed subset.
   std::string Explain(PredSet p) const;
 
+  // Attaches a derivation recorder: every memo entry created from now on
+  // is mirrored as a DerivationDag node for DerivationAuditor
+  // (analysis/auditor.h). Attach before the first Compute() call — nodes
+  // are recorded as entries are created, so entries memoized earlier
+  // would be missing from the DAG (the auditor reports the resulting
+  // dangling references). Pass nullptr to stop recording. The DAG is
+  // borrowed and must outlive the recording.
+  void set_recorder(DerivationDag* dag) { recorder_ = dag; }
+  DerivationDag* recorder() const { return recorder_; }
+
   const GsStats& stats() const { return stats_; }
 
  private:
@@ -107,17 +118,22 @@ class GetSelectivity {
   // True when any budget knob has run out for the current Compute() call.
   bool BudgetExhausted() const;
   // Independence-assumption fallback entry for `p` (the noSit path).
-  Entry MakeDegradedEntry(PredSet p);
+  // `reason` records which gate degraded it into the derivation DAG.
+  Entry MakeDegradedEntry(PredSet p, FallbackReason reason);
   // Base-histogram estimate of one predicate; 1.0 when no base histogram
   // exists. Memoized (it is re-entered by every degraded superset).
-  double SinglePredicateFallback(int i);
+  const DerivationAtom& SinglePredicateFallback(int i);
   void ExplainRec(PredSet p, int indent, std::string* out) const;
+  // Mirrors a freshly created memo entry into the attached recorder.
+  void RecordEntry(PredSet p, const Entry& entry, double factor_sel,
+                   FallbackReason reason);
 
   const Query* query_;
   FactorApproximator* approximator_;
   const EstimationBudget* budget_;
+  DerivationDag* recorder_ = nullptr;
   std::unordered_map<PredSet, Entry> memo_;
-  std::unordered_map<int, double> fallback_memo_;
+  std::unordered_map<int, DerivationAtom> fallback_memo_;
   GsStats stats_;
   // Deadline for the in-flight top-level Compute() call.
   bool deadline_armed_ = false;

@@ -1,0 +1,276 @@
+// Derivation-graph audit properties: every estimator, run over generated
+// workloads on both seed databases, must produce a derivation DAG the
+// DerivationAuditor verifies clean — including budget-degraded searches.
+// The mutation tests then corrupt one recorded factor / hypothesis set
+// through the fault injector and require the auditor to report exactly
+// that violation, proving the checks can actually fail.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "condsel/analysis/auditor.h"
+#include "condsel/baselines/gvm.h"
+#include "condsel/baselines/no_sit.h"
+#include "condsel/common/fault_injector.h"
+#include "condsel/datagen/snowflake.h"
+#include "condsel/datagen/tpch_lite.h"
+#include "condsel/datagen/workload.h"
+#include "condsel/harness/metrics.h"
+#include "condsel/optimizer/integration.h"
+#include "condsel/selectivity/exhaustive.h"
+#include "condsel/selectivity/get_selectivity.h"
+#include "condsel/sit/sit_builder.h"
+#include "condsel/sit/sit_pool.h"
+
+namespace condsel {
+namespace {
+
+enum class Db { kSnowflake, kTpch };
+
+std::string DbName(const ::testing::TestParamInfo<Db>& info) {
+  return info.param == Db::kSnowflake ? "snowflake" : "tpch_lite";
+}
+
+class DerivationAuditTest : public ::testing::TestWithParam<Db> {
+ protected:
+  // tpch_lite has two foreign keys, so J=2 keeps the generator valid on
+  // both databases (and the queries small enough for ExhaustiveBest).
+  void Build(int num_queries = 4, int num_joins = 2, int num_filters = 2) {
+    if (GetParam() == Db::kSnowflake) {
+      SnowflakeOptions opt;
+      opt.scale = 0.002;
+      catalog_ = std::make_unique<Catalog>(BuildSnowflake(opt));
+    } else {
+      TpchLiteOptions opt;
+      opt.scale = 0.01;
+      catalog_ = std::make_unique<Catalog>(BuildTpchLite(opt));
+    }
+    eval_ = std::make_unique<Evaluator>(catalog_.get(), &cache_);
+    WorkloadOptions wopt;
+    wopt.num_queries = num_queries;
+    wopt.num_joins = num_joins;
+    wopt.num_filters = num_filters;
+    workload_ = GenerateWorkload(*catalog_, eval_.get(), wopt);
+    SitBuilder builder(eval_.get(), SitBuildOptions{});
+    pool_ = GenerateSitPool(workload_, /*max_join_size=*/2, builder);
+  }
+
+  CardinalityCache cache_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<Evaluator> eval_;
+  std::vector<Query> workload_;
+  SitPool pool_;
+  DiffError diff_;
+  DerivationAuditor auditor_;
+};
+
+TEST_P(DerivationAuditTest, GetSelectivityAuditsClean) {
+  Build();
+  for (const Query& q : workload_) {
+    SitMatcher matcher(&pool_);
+    matcher.BindQuery(&q);
+    FactorApproximator fa(&matcher, &diff_);
+    GetSelectivity gs(&q, &fa);
+    DerivationDag dag;
+    gs.set_recorder(&dag);
+    // The whole sub-plan family shares one memoized search: the DAG must
+    // stay consistent as requests accumulate.
+    for (PredSet plan : SubPlanFamily(q)) gs.Compute(plan);
+    const AuditReport report = auditor_.Audit(q, dag, gs.stats());
+    ASSERT_TRUE(report.ok()) << report.ToString();
+    EXPECT_GT(report.nodes_checked, 0u);
+  }
+}
+
+TEST_P(DerivationAuditTest, ExhaustiveAuditsClean) {
+  Build(/*num_queries=*/2);
+  for (const Query& q : workload_) {
+    SitMatcher matcher(&pool_);
+    matcher.BindQuery(&q);
+    FactorApproximator fa(&matcher, &diff_);
+    for (const bool separable_first : {true, false}) {
+      DerivationDag dag;
+      ExhaustiveBest(q, q.all_predicates(), &fa, separable_first, &dag);
+      const AuditReport report = auditor_.Audit(q, dag);
+      ASSERT_TRUE(report.ok())
+          << "separable_first=" << separable_first << "\n"
+          << report.ToString();
+    }
+  }
+}
+
+TEST_P(DerivationAuditTest, GvmAuditsClean) {
+  Build();
+  for (const Query& q : workload_) {
+    SitMatcher matcher(&pool_);
+    matcher.BindQuery(&q);
+    GvmEstimator gvm(&matcher);
+    DerivationDag dag;
+    gvm.set_recorder(&dag);
+    gvm.Estimate(q, q.all_predicates());
+    const AuditReport report = auditor_.Audit(q, dag);
+    ASSERT_TRUE(report.ok()) << report.ToString();
+  }
+}
+
+TEST_P(DerivationAuditTest, NoSitAuditsClean) {
+  Build();
+  for (const Query& q : workload_) {
+    SitMatcher matcher(&pool_);
+    matcher.BindQuery(&q);
+    NoSitEstimator no_sit(&matcher);
+    DerivationDag dag;
+    no_sit.set_recorder(&dag);
+    no_sit.Estimate(q, q.all_predicates());
+    const AuditReport report = auditor_.Audit(q, dag);
+    ASSERT_TRUE(report.ok()) << report.ToString();
+  }
+}
+
+TEST_P(DerivationAuditTest, OptimizerCoupledAuditsClean) {
+  Build();
+  for (const Query& q : workload_) {
+    SitMatcher matcher(&pool_);
+    matcher.BindQuery(&q);
+    FactorApproximator fa(&matcher, &diff_);
+    OptimizerCoupledEstimator coupled(&q, &fa);
+    DerivationDag dag;
+    coupled.set_recorder(&dag);
+    const StatusOr<SelEstimate> est =
+        coupled.TryEstimate(q.all_predicates());
+    if (!est.ok()) continue;  // nothing estimable: nothing recorded
+    const AuditReport report = auditor_.Audit(q, dag);
+    ASSERT_TRUE(report.ok()) << report.ToString();
+    EXPECT_GT(report.nodes_checked, 0u);
+  }
+}
+
+TEST_P(DerivationAuditTest, BudgetDegradedSearchesAuditClean) {
+  Build();
+  // Tight enough that most subsets fall back to the independence product;
+  // the degradation edges and GsStats counters must still reconcile.
+  for (const uint64_t max_subproblems : {1u, 3u}) {
+    EstimationBudget budget;
+    budget.max_subproblems = max_subproblems;
+    for (const Query& q : workload_) {
+      SitMatcher matcher(&pool_);
+      matcher.BindQuery(&q);
+      FactorApproximator fa(&matcher, &diff_);
+      GetSelectivity gs(&q, &fa, &budget);
+      DerivationDag dag;
+      gs.set_recorder(&dag);
+      gs.Compute(q.all_predicates());
+      const AuditReport report = auditor_.Audit(q, dag, gs.stats());
+      ASSERT_TRUE(report.ok()) << report.ToString();
+    }
+  }
+}
+
+TEST_P(DerivationAuditTest, DeadlineDegradedSearchesAuditClean) {
+  Build(/*num_queries=*/2);
+  EstimationBudget budget;
+  budget.deadline_seconds = 60.0;  // armed; expiry forced by the fault
+  ScopedFault fault(Fault::kExpireDeadline);
+  for (const Query& q : workload_) {
+    SitMatcher matcher(&pool_);
+    matcher.BindQuery(&q);
+    FactorApproximator fa(&matcher, &diff_);
+    GetSelectivity gs(&q, &fa, &budget);
+    DerivationDag dag;
+    gs.set_recorder(&dag);
+    gs.Compute(q.all_predicates());
+    const AuditReport report = auditor_.Audit(q, dag, gs.stats());
+    ASSERT_TRUE(report.ok()) << report.ToString();
+    EXPECT_TRUE(gs.stats().budget_exhausted);
+  }
+}
+
+// --- Mutation self-tests: a corrupted recording must be caught. --------
+
+TEST_P(DerivationAuditTest, AuditorDetectsCorruptedFactor) {
+  Build(/*num_queries=*/2);
+  ScopedFault fault(Fault::kCorruptDerivationFactor);
+  for (const Query& q : workload_) {
+    SitMatcher matcher(&pool_);
+    matcher.BindQuery(&q);
+    FactorApproximator fa(&matcher, &diff_);
+    GetSelectivity gs(&q, &fa);
+    DerivationDag dag;
+    gs.set_recorder(&dag);
+    gs.Compute(q.all_predicates());
+
+    bool has_factor_node = false;
+    for (const DerivationNode& n : dag.nodes()) {
+      has_factor_node |= n.kind == DerivKind::kConditionalFactor;
+    }
+    if (!has_factor_node) continue;  // fully separable/degraded search
+
+    const AuditReport report = auditor_.Audit(q, dag);
+    ASSERT_FALSE(report.ok());
+    // The seeded factor (1.5) is out of range, and the node's recorded
+    // product no longer matches; nothing else may fire.
+    EXPECT_TRUE(report.Has(AuditCheck::kFiniteRange)) << report.ToString();
+    for (const AuditViolation& v : report.violations) {
+      EXPECT_TRUE(v.check == AuditCheck::kFiniteRange ||
+                  v.check == AuditCheck::kProductConsistency)
+          << report.ToString();
+    }
+  }
+}
+
+TEST_P(DerivationAuditTest, AuditorDetectsCorruptedHypothesisSet) {
+  Build(/*num_queries=*/2);
+  ScopedFault fault(Fault::kCorruptHypothesisSet);
+  for (const Query& q : workload_) {
+    SitMatcher matcher(&pool_);
+    matcher.BindQuery(&q);
+    FactorApproximator fa(&matcher, &diff_);
+    GetSelectivity gs(&q, &fa);
+    DerivationDag dag;
+    gs.set_recorder(&dag);
+    gs.Compute(q.all_predicates());
+
+    bool has_sit_application = false;
+    for (const DerivationNode& n : dag.nodes()) {
+      has_sit_application |= !n.sits.empty();
+    }
+    if (!has_sit_application) continue;
+
+    const AuditReport report = auditor_.Audit(q, dag);
+    ASSERT_FALSE(report.ok());
+    // A hypothesis set claiming the head predicates violates Q' ⊆ Q and
+    // nothing else: every recorded value is still a valid probability.
+    EXPECT_TRUE(report.Has(AuditCheck::kHypothesisConsistency))
+        << report.ToString();
+    for (const AuditViolation& v : report.violations) {
+      EXPECT_EQ(v.check, AuditCheck::kHypothesisConsistency)
+          << report.ToString();
+    }
+  }
+}
+
+// Sanity check on the mutation tests themselves: with no fault armed, the
+// same searches audit clean (the faults, not the workloads, trigger).
+TEST_P(DerivationAuditTest, MutationWorkloadsAuditCleanWithoutFaults) {
+  Build(/*num_queries=*/2);
+  for (const Query& q : workload_) {
+    SitMatcher matcher(&pool_);
+    matcher.BindQuery(&q);
+    FactorApproximator fa(&matcher, &diff_);
+    GetSelectivity gs(&q, &fa);
+    DerivationDag dag;
+    gs.set_recorder(&dag);
+    gs.Compute(q.all_predicates());
+    const AuditReport report = auditor_.Audit(q, dag, gs.stats());
+    ASSERT_TRUE(report.ok()) << report.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dbs, DerivationAuditTest,
+                         ::testing::Values(Db::kSnowflake, Db::kTpch),
+                         DbName);
+
+}  // namespace
+}  // namespace condsel

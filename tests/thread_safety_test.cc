@@ -59,7 +59,7 @@ TEST(ThreadSafetyTest, FaultInjectorConcurrentSetReset) {
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&fi, t] {
-      const Fault f = static_cast<Fault>(t % 3);
+      const Fault f = static_cast<Fault>(t % 5);
       for (int i = 0; i < kOpsPerThread; ++i) {
         fi.Set(f, (i % 2) == 0);
         (void)fi.enabled(f);
@@ -75,6 +75,8 @@ TEST(ThreadSafetyTest, FaultInjectorConcurrentSetReset) {
   EXPECT_FALSE(fi.enabled(Fault::kDropSits));
   EXPECT_FALSE(fi.enabled(Fault::kCorruptHistograms));
   EXPECT_FALSE(fi.enabled(Fault::kExpireDeadline));
+  EXPECT_FALSE(fi.enabled(Fault::kCorruptDerivationFactor));
+  EXPECT_FALSE(fi.enabled(Fault::kCorruptHypothesisSet));
 }
 
 TEST(ThreadSafetyTest, MemoConcurrentGroupCreation) {

@@ -18,6 +18,9 @@
 //   --max-atomic=<N>        budget: atomic decompositions     (0 = unlimited)
 //   --deadline-ms=<F>       budget: wall clock per estimate   (0 = unlimited)
 //   --stats                 print search statistics and degradation flags
+//   --audit                 record every estimator's derivation DAG and
+//                           statically verify it (DerivationAuditor); a
+//                           violation fails the run with exit code 1
 //
 // With no SQL arguments, reads one statement per line from stdin.
 
@@ -28,8 +31,13 @@
 #include <string>
 #include <vector>
 
+#include "condsel/analysis/auditor.h"
 #include "condsel/api.h"
+#include "condsel/baselines/gvm.h"
+#include "condsel/baselines/no_sit.h"
 #include "condsel/datagen/snowflake.h"
+#include "condsel/optimizer/integration.h"
+#include "condsel/selectivity/exhaustive.h"
 #include "condsel/datagen/tpch_lite.h"
 #include "condsel/datagen/workload.h"
 #include "condsel/io/serialize.h"
@@ -51,6 +59,7 @@ struct Options {
   bool truth = false;
   bool explain = false;
   bool stats = false;
+  bool audit = false;
   EstimationBudget budget;
   std::vector<std::string> sql;
 };
@@ -92,6 +101,8 @@ bool ParseArgs(int argc, char** argv, Options* out) {
       out->budget.deadline_seconds = std::atof(v) / 1000.0;
     } else if (arg == "--stats") {
       out->stats = true;
+    } else if (arg == "--audit") {
+      out->audit = true;
     } else if (arg == "--truth") {
       out->truth = true;
     } else if (arg == "--explain") {
@@ -118,10 +129,86 @@ void Usage() {
       "                   [--ranking=diff|nind] [--catalog=PATH "
       "[--pool=PATH]]\n"
       "                   [--max-subproblems=N] [--max-atomic=N]\n"
-      "                   [--deadline-ms=F] [--stats]\n"
+      "                   [--deadline-ms=F] [--stats] [--audit]\n"
       "                   [--truth] [--explain] [SQL ...]\n"
       "With no SQL arguments, statements are read from stdin, one per "
       "line.\n");
+}
+
+// Exhaustive search is exponential-factorial; past this many predicates
+// the reference estimator is skipped in the audit sweep.
+constexpr int kMaxExhaustivePreds = 6;
+
+// Records and statically verifies the derivation of every estimator on
+// `q`. Prints one line per estimator; returns false if any audit fails.
+bool AuditQuery(const Query& q, const SitPool& pool, Ranking ranking,
+                const EstimationBudget& budget) {
+  SitMatcher matcher(&pool);
+  matcher.BindQuery(&q);
+  static const NIndError n_ind;
+  static const DiffError diff;
+  const ErrorFunction* fn =
+      ranking == Ranking::kNInd ? static_cast<const ErrorFunction*>(&n_ind)
+                                : static_cast<const ErrorFunction*>(&diff);
+  FactorApproximator approx(&matcher, fn);
+  const DerivationAuditor auditor;
+  bool all_ok = true;
+
+  auto show = [&](const char* name, const AuditReport& report) {
+    if (report.ok()) {
+      std::printf("  audit:    %-14s clean (%zu node%s)\n", name,
+                  report.nodes_checked,
+                  report.nodes_checked == 1 ? "" : "s");
+    } else {
+      all_ok = false;
+      std::printf("  audit:    %-14s %s", name, report.ToString().c_str());
+    }
+  };
+
+  {
+    EstimationBudget b = budget;  // GetSelectivity borrows the budget
+    GetSelectivity gs(&q, &approx, &b);
+    DerivationDag dag;
+    gs.set_recorder(&dag);
+    gs.Compute(q.all_predicates());
+    show("getSelectivity", auditor.Audit(q, dag, gs.stats()));
+  }
+  if (SetSize(q.all_predicates()) <= kMaxExhaustivePreds) {
+    DerivationDag dag;
+    ExhaustiveBest(q, q.all_predicates(), &approx,
+                   /*separable_first=*/true, &dag);
+    show("exhaustive", auditor.Audit(q, dag));
+  } else {
+    std::printf("  audit:    %-14s skipped (%d predicates)\n", "exhaustive",
+                SetSize(q.all_predicates()));
+  }
+  {
+    GvmEstimator gvm(&matcher);
+    DerivationDag dag;
+    gvm.set_recorder(&dag);
+    gvm.Estimate(q, q.all_predicates());
+    show("gvm", auditor.Audit(q, dag));
+  }
+  {
+    NoSitEstimator no_sit(&matcher);
+    DerivationDag dag;
+    no_sit.set_recorder(&dag);
+    no_sit.Estimate(q, q.all_predicates());
+    show("noSit", auditor.Audit(q, dag));
+  }
+  {
+    OptimizerCoupledEstimator coupled(&q, &approx);
+    DerivationDag dag;
+    coupled.set_recorder(&dag);
+    const StatusOr<SelEstimate> est = coupled.TryEstimate(q.all_predicates());
+    if (est.ok()) {
+      show("optimizer", auditor.Audit(q, dag));
+    } else {
+      std::printf("  audit:    %-14s skipped (%s)\n", "optimizer",
+                  est.status().message().c_str());
+    }
+  }
+  return all_ok;
 }
 
 }  // namespace
@@ -198,10 +285,14 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "# %d statistics available\n", pool.size());
 
   Estimator estimator(&catalog, &pool, opt.ranking, opt.budget);
+  bool audit_ok = true;
   for (size_t i = 0; i < queries.size(); ++i) {
     const Query& q = queries[i];
     const double est = estimator.EstimateCardinality(q);
     std::printf("%s\n  estimate: %.1f rows\n", statements[i].c_str(), est);
+    if (opt.audit) {
+      audit_ok &= AuditQuery(q, pool, opt.ranking, opt.budget);
+    }
     if (opt.truth) {
       const double truth = evaluator.Cardinality(q, q.all_predicates());
       std::printf("  true:     %.0f rows  (q-error %.2f)\n", truth,
@@ -235,6 +326,10 @@ int main(int argc, char** argv) {
         }
       }
     }
+  }
+  if (!audit_ok) {
+    std::fprintf(stderr, "audit: derivation violations found\n");
+    return 1;
   }
   return 0;
 }

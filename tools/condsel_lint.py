@@ -26,6 +26,18 @@ comment on the same or the preceding line):
   no-direct-abort       library code never calls abort()/exit() directly;
                         CONDSEL_CHECK (macros.h) is the only allowed
                         abort path.
+  nodiscard-status      Status and StatusOr are [[nodiscard]]; library
+                        code must not launder a discarded result through a
+                        `(void)` cast. Intentional discards use the
+                        grep-able StatusIgnored() sink (status.h) with an
+                        explicit allow.
+  guarded-by-coverage   in a library header, data members declared after a
+                        std::mutex member must either carry a
+                        CONDSEL_GUARDED_BY / CONDSEL_PT_GUARDED_BY
+                        annotation or be synchronization-free by type
+                        (std::atomic, another mutex). Unannotated mutable
+                        state next to a mutex is where thread-safety
+                        claims silently rot.
 
 Usage:
   condsel_lint.py [--root REPO]      lint the repository (exit 1 on findings)
@@ -193,6 +205,74 @@ def check_no_abort(path: str, text: str, lines: list[str]) -> list[Finding]:
     return findings
 
 
+VOID_DISCARD_RE = re.compile(r"\(void\)\s*([A-Za-z_][^;]*)")
+STATUSISH_RE = re.compile(r"[Ss]tatus|\bTry[A-Z]")
+
+
+def check_nodiscard_status(path: str, text: str,
+                           lines: list[str]) -> list[Finding]:
+    if not path.startswith("src/"):
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        code = line.split("//")[0]
+        m = VOID_DISCARD_RE.search(code)
+        if not m or not STATUSISH_RE.search(m.group(1)):
+            continue
+        if _allowed(lines, i, "nodiscard-status"):
+            continue
+        findings.append(Finding(
+            path, i + 1, "nodiscard-status",
+            "`(void)` cast launders a [[nodiscard]] Status; handle it or "
+            "discard explicitly with StatusIgnored()"))
+    return findings
+
+
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?std::(?:recursive_)?mutex\s+\w+_\s*;")
+# A data member by project convention: trailing-underscore name, optional
+# array extent / brace-or-equals initializer / GUARDED_BY annotation.
+MEMBER_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?P<type>[\w:]+(?:<[^;()]*>)?(?:\s*[*&])?)\s+"
+    r"\w+_\s*(?:\[[^\]]*\])?\s*(?:\{[^{}]*\}|=\s*[^;]*)?\s*"
+    r"(?:CONDSEL_(?:PT_)?GUARDED_BY\([^)]*\))?\s*;")
+# Types that synchronize themselves (or are the synchronization).
+SELF_SYNCED_TYPE_RE = re.compile(
+    r"std::(?:atomic\b|mutex\b|recursive_mutex\b|once_flag\b|"
+    r"condition_variable\b)")
+
+
+def check_guarded_by(path: str, text: str, lines: list[str]) -> list[Finding]:
+    if not path.startswith("src/") or not path.endswith(".h"):
+        return []
+    findings = []
+    in_mutex_class = False
+    for i, line in enumerate(lines):
+        if MUTEX_MEMBER_RE.match(line):
+            in_mutex_class = True
+            continue
+        if not in_mutex_class:
+            continue
+        if re.match(r"\s*};", line):
+            in_mutex_class = False  # class (or nested aggregate) closed
+            continue
+        m = MEMBER_DECL_RE.match(line.split("//")[0])
+        if not m:
+            continue
+        if "GUARDED_BY" in line or "static" in m.group("type"):
+            continue
+        if SELF_SYNCED_TYPE_RE.search(m.group("type")):
+            continue
+        if _allowed(lines, i, "guarded-by-coverage"):
+            continue
+        findings.append(Finding(
+            path, i + 1, "guarded-by-coverage",
+            "data member follows a std::mutex member but carries no "
+            "CONDSEL_GUARDED_BY annotation (atomics are exempt); annotate "
+            "it or justify with an allow"))
+    return findings
+
+
 RULES = [
     check_pragma_once,
     check_using_namespace,
@@ -200,6 +280,8 @@ RULES = [
     check_sanitize,
     check_includes,
     check_no_abort,
+    check_nodiscard_status,
+    check_guarded_by,
 ]
 
 

@@ -1,0 +1,24 @@
+// Fixture: a data member declared after a std::mutex member without a
+// CONDSEL_GUARDED_BY annotation must be flagged (atomics are exempt).
+// lint-fixture-path: src/condsel/exec/bad_unguarded_member.h
+// lint-expect: guarded-by-coverage
+
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "condsel/common/thread_annotations.h"
+
+namespace condsel {
+
+class ResultCache {
+ public:
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int, double> entries_;
+};
+
+}  // namespace condsel

@@ -1,0 +1,22 @@
+// Fixture: `(void)` laundering of a [[nodiscard]] Status must be flagged —
+// both on a direct Try* call and on a stored status object. The sanctioned
+// discard path is StatusIgnored() (common/status.h).
+// lint-fixture-path: src/condsel/exec/bad_void_status.cc
+// lint-expect: nodiscard-status
+// lint-expect: nodiscard-status
+
+#include "condsel/common/status.h"
+
+namespace condsel {
+
+Status TryWarmCache();
+
+void Tick() {
+  (void)TryWarmCache();
+  const Status status = TryWarmCache();
+  (void)status;
+  int dropped = 0;
+  (void)dropped;  // a plain value discard is fine; only Status-ish flagged
+}
+
+}  // namespace condsel

@@ -1,0 +1,29 @@
+// Fixture: annotated, atomic, and explicitly allow-marked members next to a
+// mutex all pass guarded-by-coverage. Zero findings.
+// lint-fixture-path: src/condsel/exec/good_guarded_header.h
+
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "condsel/common/thread_annotations.h"
+
+namespace condsel {
+
+class GuardedCache {
+ public:
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int, double> entries_ CONDSEL_GUARDED_BY(mu_);
+  std::atomic<int> hits_{0};
+  // Append-only; readers are bounded by the release store to hits_.
+  // condsel-lint: allow(guarded-by-coverage)
+  std::deque<int> log_;
+};
+
+}  // namespace condsel
