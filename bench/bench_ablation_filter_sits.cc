@@ -52,7 +52,7 @@ int main() {
                      Predicate::Filter(f_corr, lo, lo + 149)});
       SitMatcher matcher(&pool);
       matcher.BindQuery(&q);
-      FactorApproximator fa(&matcher, &diff);
+      AtomicSelectivityProvider fa(&matcher, &diff);
       GetSelectivity gs(&q, &fa);
       const double cross =
           CrossProductCardinality(catalog, q, q.all_predicates());

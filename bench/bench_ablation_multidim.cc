@@ -88,7 +88,7 @@ int main() {
       for (const SitPool* pool : {&pool_1d, &pool_2d}) {
         SitMatcher matcher(pool);
         matcher.BindQuery(&q);
-        FactorApproximator approx(&matcher, &diff);
+        AtomicSelectivityProvider approx(&matcher, &diff);
         GetSelectivity gs(&q, &approx);
         const double est =
             gs.Compute(q.all_predicates()).selectivity * cross;

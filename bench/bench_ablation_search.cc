@@ -34,15 +34,15 @@ int main() {
     SitMatcher matcher(&pool);
     matcher.BindQuery(&query);
 
-    FactorApproximator fa_ex(&matcher, &diff);
+    AtomicSelectivityProvider fa_ex(&matcher, &diff);
     const ExhaustiveResult ex =
         ExhaustiveBest(query, query.all_predicates(), &fa_ex, true);
 
-    FactorApproximator fa_dp(&matcher, &diff);
+    AtomicSelectivityProvider fa_dp(&matcher, &diff);
     GetSelectivity gs(&query, &fa_dp);
     const SelEstimate dp = gs.Compute(query.all_predicates());
 
-    FactorApproximator fa_cp(&matcher, &diff);
+    AtomicSelectivityProvider fa_cp(&matcher, &diff);
     OptimizerCoupledEstimator coupled(&query, &fa_cp);
     const SelEstimate cp = coupled.Estimate(query.all_predicates());
 
@@ -67,7 +67,7 @@ int main() {
   const SitPool pool = GenerateSitPool({query}, 3, *env.builder);
   SitMatcher matcher(&pool);
   matcher.BindQuery(&query);
-  FactorApproximator fa(&matcher, &diff);
+  AtomicSelectivityProvider fa(&matcher, &diff);
   GetSelectivity gs(&query, &fa);
 
   const auto t0 = std::chrono::steady_clock::now();

@@ -10,7 +10,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "condsel/datagen/snowflake.h"
@@ -38,6 +41,136 @@ inline double EnvDouble(const char* name, double def) {
     if (v > 0.0) return v;
   }
   return def;
+}
+
+// Minimal JSON value for the machine-readable BENCH_*.json artifacts —
+// the per-PR perf trajectory the CI job uploads. Insertion order is
+// preserved and numbers use %.17g, so artifact diffs are stable across
+// runs with unchanged measurements.
+class Json {
+ public:
+  Json() = default;
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}           // NOLINT
+  Json(double v) : kind_(Kind::kNumber), num_(v) {}        // NOLINT
+  Json(int v) : Json(static_cast<double>(v)) {}            // NOLINT
+  Json(uint64_t v) : Json(static_cast<double>(v)) {}       // NOLINT
+  Json(const char* v) : kind_(Kind::kString), str_(v) {}   // NOLINT
+  Json(std::string v) : kind_(Kind::kString), str_(std::move(v)) {}  // NOLINT
+
+  static Json Object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  Json& Set(std::string key, Json value) {
+    fields_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  Json& Push(Json value) {
+    items_.push_back(std::move(value));
+    return *this;
+  }
+
+  std::string Dump(int indent = 0) const {
+    std::string out;
+    DumpTo(&out, indent);
+    return out;
+  }
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  static void Escape(const std::string& s, std::string* out) {
+    out->push_back('"');
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out->push_back('\\');
+        out->push_back(c);
+      } else if (c == '\n') {
+        *out += "\\n";
+      } else {
+        out->push_back(c);
+      }
+    }
+    out->push_back('"');
+  }
+
+  void DumpTo(std::string* out, int indent) const {
+    const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    const std::string inner(static_cast<size_t>(indent + 1) * 2, ' ');
+    switch (kind_) {
+      case Kind::kNull:
+        *out += "null";
+        break;
+      case Kind::kBool:
+        *out += bool_ ? "true" : "false";
+        break;
+      case Kind::kNumber: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", num_);
+        *out += buf;
+        break;
+      }
+      case Kind::kString:
+        Escape(str_, out);
+        break;
+      case Kind::kArray:
+        if (items_.empty()) {
+          *out += "[]";
+          break;
+        }
+        *out += "[\n";
+        for (size_t i = 0; i < items_.size(); ++i) {
+          *out += inner;
+          items_[i].DumpTo(out, indent + 1);
+          if (i + 1 < items_.size()) out->push_back(',');
+          out->push_back('\n');
+        }
+        *out += pad + "]";
+        break;
+      case Kind::kObject:
+        if (fields_.empty()) {
+          *out += "{}";
+          break;
+        }
+        *out += "{\n";
+        for (size_t i = 0; i < fields_.size(); ++i) {
+          *out += inner;
+          Escape(fields_[i].first, out);
+          *out += ": ";
+          fields_[i].second.DumpTo(out, indent + 1);
+          if (i + 1 < fields_.size()) out->push_back(',');
+          out->push_back('\n');
+        }
+        *out += pad + "}";
+        break;
+    }
+  }
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> fields_;
+};
+
+// Writes `root` to `filename` in the working directory (CI uploads the
+// BENCH_*.json files as artifacts) and tells the human where it went.
+inline void WriteBenchJson(const std::string& filename, const Json& root) {
+  std::ofstream out(filename);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot write %s\n", filename.c_str());
+    return;
+  }
+  out << root.Dump() << "\n";
+  std::printf("# wrote %s\n", filename.c_str());
 }
 
 struct BenchEnv {

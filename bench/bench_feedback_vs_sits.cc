@@ -69,7 +69,7 @@ int main() {
   auto gs_est = [&](const Query& q, PredSet p) {
     SitMatcher matcher(&pool);
     matcher.BindQuery(&q);
-    FactorApproximator fa(&matcher, &diff);
+    AtomicSelectivityProvider fa(&matcher, &diff);
     GetSelectivity gs(&q, &fa);
     return gs.Compute(p).selectivity;
   };
@@ -81,7 +81,7 @@ int main() {
     SitMatcher matcher(&bases);
     matcher.BindQuery(&q);
     NIndError n_ind;
-    FactorApproximator fa(&matcher, &n_ind);
+    AtomicSelectivityProvider fa(&matcher, &n_ind);
     GetSelectivity gs(&q, &fa);
     return gs.Compute(p).selectivity;
   };

@@ -13,6 +13,23 @@
 using namespace condsel;        // NOLINT: bench brevity
 using namespace condsel::bench; // NOLINT: bench brevity
 
+namespace {
+
+// Per-query measurements for the JSON artifact: what CI tracks per PR.
+Json PerQueryJson(const WorkloadRunResult& r) {
+  Json arr = Json::Array();
+  for (const QueryRunResult& q : r.per_query) {
+    arr.Push(Json::Object()
+                 .Set("matcher_calls", q.matcher_calls)
+                 .Set("estimate_seconds", q.estimate_seconds)
+                 .Set("full_query_est", q.full_query_est)
+                 .Set("avg_abs_error", q.avg_abs_error));
+  }
+  return arr;
+}
+
+}  // namespace
+
 int main() {
   BenchEnv env;
   const int num_queries = EnvInt("CONDSEL_QUERIES", 20);
@@ -21,6 +38,7 @@ int main() {
   std::vector<std::string> header = {"workload", "#sub-plans", "GS calls",
                                      "GVM calls", "GVM/GS"};
   std::vector<std::vector<std::string>> rows;
+  Json workloads = Json::Array();
 
   for (int j = 3; j <= 7; ++j) {
     const std::vector<Query> workload = env.Workload(j, num_queries);
@@ -37,15 +55,33 @@ int main() {
         runner.Run(workload, pool, Technique::kGsNInd);
     const WorkloadRunResult gvm =
         runner.Run(workload, pool, Technique::kGvm);
+    const double ratio =
+        gvm.avg_matcher_calls / std::max(1.0, gs.avg_matcher_calls);
     rows.push_back(
         {std::to_string(j) + "-way", FormatDouble(subplans, 1),
          FormatDouble(gs.avg_matcher_calls, 1),
          FormatDouble(gvm.avg_matcher_calls, 1),
-         FormatDouble(gvm.avg_matcher_calls /
-                          std::max(1.0, gs.avg_matcher_calls),
-                      2)});
+         FormatDouble(ratio, 2)});
+    workloads.Push(
+        Json::Object()
+            .Set("num_joins", j)
+            .Set("avg_subplans", subplans)
+            .Set("gvm_over_gs_calls", ratio)
+            .Set("gs", Json::Object()
+                           .Set("avg_matcher_calls", gs.avg_matcher_calls)
+                           .Set("avg_estimate_ms", gs.avg_estimate_ms)
+                           .Set("per_query", PerQueryJson(gs)))
+            .Set("gvm", Json::Object()
+                            .Set("avg_matcher_calls", gvm.avg_matcher_calls)
+                            .Set("avg_estimate_ms", gvm.avg_estimate_ms)
+                            .Set("per_query", PerQueryJson(gvm))));
   }
   PrintTable(header, rows);
+  WriteBenchJson("BENCH_fig6_efficiency.json",
+                 Json::Object()
+                     .Set("bench", "fig6_efficiency")
+                     .Set("num_queries", num_queries)
+                     .Set("workloads", std::move(workloads)));
   std::printf(
       "\nExpected shape: GVM's per-request greedy re-computation costs a\n"
       "multiple of getSelectivity's memoized search, growing with the\n"

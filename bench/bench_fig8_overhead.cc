@@ -68,7 +68,7 @@ void BM_GetSelectivity(benchmark::State& state) {
     for (const Query& q : workload) {
       SitMatcher matcher(&pool);
       matcher.BindQuery(&q);
-      FactorApproximator fa(&matcher, &diff);
+      AtomicSelectivityProvider fa(&matcher, &diff);
       GetSelectivity gs(&q, &fa);
       gs.Compute(q.all_predicates());
       analysis += gs.stats().analysis_seconds;

@@ -53,7 +53,7 @@ int main() {
             tech == Technique::kGsDiff
                 ? static_cast<const ErrorFunction*>(&diff)
                 : static_cast<const ErrorFunction*>(&n_ind);
-        FactorApproximator fa(&matcher, fn);
+        AtomicSelectivityProvider fa(&matcher, fn);
         GetSelectivity gs(&q, &fa);
         NoSitEstimator no_sit(&matcher);
         GvmEstimator gvm(&matcher);

@@ -50,9 +50,9 @@ int main() {
               memo.num_exprs(), memo.ToString().c_str());
 
   // Entry-induced estimation (Section 4.2) vs the full DP.
-  FactorApproximator fa_coupled(&matcher, &diff);
+  AtomicSelectivityProvider fa_coupled(&matcher, &diff);
   OptimizerCoupledEstimator coupled(&query, &fa_coupled);
-  FactorApproximator fa_full(&matcher, &diff);
+  AtomicSelectivityProvider fa_full(&matcher, &diff);
   GetSelectivity full(&query, &fa_full);
 
   std::printf("%-10s %14s %14s %12s\n", "sub-plan", "coupled est.",

@@ -74,7 +74,7 @@ int main() {
     SitMatcher matcher(pool);
     matcher.BindQuery(&query);
     DiffError diff;
-    FactorApproximator approx(&matcher, &diff);
+    AtomicSelectivityProvider approx(&matcher, &diff);
     GetSelectivity gs(&query, &approx);
     const SelEstimate est = gs.Compute(query.all_predicates());
     std::printf("%-28s -> estimated %7.1f rows (true %.0f)\n", name,

@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
     SitMatcher matcher(&pool);
     matcher.BindQuery(&q);
     DiffError diff;
-    FactorApproximator fa(&matcher, &diff);
+    AtomicSelectivityProvider fa(&matcher, &diff);
     GetSelectivity gs(&q, &fa);
     const double est =
         gs.Compute(q.all_predicates()).selectivity * cross;

@@ -66,7 +66,7 @@ int main() {
     SitMatcher matcher(&pool);
     matcher.BindQuery(&query);
     DiffError diff;
-    FactorApproximator approx(&matcher, &diff);
+    AtomicSelectivityProvider approx(&matcher, &diff);
     GetSelectivity gs(&query, &approx);
     return gs.Compute(query.all_predicates()).selectivity * cross;
   };

@@ -17,7 +17,7 @@
 
 #include "condsel/api.h"
 #include "condsel/optimizer/integration.h"
-#include "condsel/selectivity/factor_approx.h"
+#include "condsel/selectivity/atomic_provider.h"
 #include "condsel/selectivity/error_function.h"
 #include "fuzz_util.h"
 
@@ -144,7 +144,7 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     condsel::SitMatcher matcher(&pool);
     matcher.BindQuery(&query);
     condsel::DiffError error_fn;
-    condsel::FactorApproximator approx(&matcher, &error_fn);
+    condsel::AtomicSelectivityProvider approx(&matcher, &error_fn);
     condsel::OptimizerCoupledEstimator coupled(&query, &approx);
     const condsel::StatusOr<condsel::SelEstimate> est =
         coupled.TryEstimate(query.all_predicates());

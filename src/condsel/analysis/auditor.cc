@@ -54,6 +54,7 @@ class AuditPass {
       CheckPartition(n);
       CheckSeparability(n);
       CheckHypotheses(n);
+      CheckProvenance(n);
       CheckProduct(n);
     }
     CheckMemoConsistency();
@@ -314,6 +315,48 @@ class AuditPass {
     }
   }
 
+  // Every statistic application must name the provider decision behind
+  // it: a recorded FactorProvenance with a source expression and a
+  // histogram kind (or, for a stat-less fallback atom, the reason no
+  // statistic applied). An unrecorded provenance means some estimator
+  // bypassed AtomicSelectivityProvider and touched histograms directly —
+  // exactly the private lookup paths this layer exists to eliminate.
+  void CheckProvenance(const DerivationNode& n) {
+    for (const SitApplication& s : n.sits) {
+      if (!s.provenance.recorded) {
+        Add(AuditCheck::kProvenance, n.subset,
+            "statistic sit#" + std::to_string(s.sit_id) +
+                " applied without recorded provenance");
+        continue;
+      }
+      if (s.provenance.source.empty() || s.provenance.histogram_kind.empty()) {
+        Add(AuditCheck::kProvenance, n.subset,
+            "statistic sit#" + std::to_string(s.sit_id) +
+                " has provenance without a source or histogram kind");
+      }
+    }
+    for (const DerivationAtom& a : n.atoms) {
+      if (!a.sit.provenance.recorded) {
+        Add(AuditCheck::kProvenance, n.subset,
+            "atom p" + std::to_string(a.pred) +
+                " recorded without provenance");
+        continue;
+      }
+      if (a.has_stat) {
+        if (a.sit.provenance.source.empty() ||
+            a.sit.provenance.histogram_kind.empty()) {
+          Add(AuditCheck::kProvenance, n.subset,
+              "atom p" + std::to_string(a.pred) +
+                  " has provenance without a source or histogram kind");
+        }
+      } else if (a.sit.provenance.fallback.empty()) {
+        Add(AuditCheck::kProvenance, n.subset,
+            "stat-less atom p" + std::to_string(a.pred) +
+                " does not state why no statistic applied");
+      }
+    }
+  }
+
   // Selectivity of a referenced child, reporting dangling references.
   bool ChildSelectivity(const DerivationNode& n, PredSet child,
                         double* out) {
@@ -483,6 +526,8 @@ const char* AuditCheckName(AuditCheck check) {
       return "dangling-reference";
     case AuditCheck::kStatsReconciliation:
       return "stats-reconciliation";
+    case AuditCheck::kProvenance:
+      return "provenance";
   }
   return "?";
 }

@@ -33,6 +33,10 @@
 //   dangling-reference     every referenced child subset has a node
 //   stats-reconciliation   GsStats degradation counters match the DAG's
 //                          recorded fallback nodes (only when stats given)
+//   provenance             every statistic application and fallback atom
+//                          names the provider decision behind it (recorded
+//                          FactorProvenance with source + histogram kind,
+//                          or the reason no statistic applied)
 
 #pragma once
 
@@ -54,6 +58,7 @@ enum class AuditCheck {
   kMemoConsistency,
   kDanglingReference,
   kStatsReconciliation,
+  kProvenance,
 };
 
 const char* AuditCheckName(AuditCheck check);

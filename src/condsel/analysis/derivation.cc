@@ -88,6 +88,13 @@ std::string DerivationDag::ToString(const Query& query) const {
                         s.sit_id, MaskToString(s.hypothesis).c_str(),
                         MaskToString(s.conditioning).c_str());
           out += buf;
+          if (s.provenance.recorded) {
+            std::snprintf(buf, sizeof(buf), " [%s %s, %d bucket(s)]",
+                          s.provenance.histogram_kind.c_str(),
+                          s.provenance.source.c_str(),
+                          s.provenance.buckets_touched);
+            out += buf;
+          }
         }
         break;
       case DerivKind::kPredicateProduct:

@@ -54,6 +54,20 @@ enum class FallbackReason {
 
 const char* DerivKindName(DerivKind kind);
 
+// Where a factor's number actually came from: the provider decision
+// behind one statistic application. Filled by AtomicSelectivityProvider
+// (selectivity/atomic_provider.h) — the only layer allowed to touch
+// histograms — and carried through every recorded derivation so the
+// auditor, --explain, and the SIT advisor can name the statistic (or the
+// fallback) behind every atomic factor.
+struct FactorProvenance {
+  bool recorded = false;      // false: the recorder predates the provider
+  std::string source;         // statistic description: attr [| expression]
+  std::string histogram_kind; // "base", "sit-1d", "sit-2d", "join-input"
+  int buckets_touched = 0;    // histogram buckets the estimate read
+  std::string fallback;       // non-empty: why no statistic applied
+};
+
 // One statistic applied to a factor Sel(head | conditioning). The
 // hypothesis set is the statistic's generating expression as a predicate
 // mask over the bound query (Q' in Section 2.2): the predicates whose
@@ -66,6 +80,7 @@ struct SitApplication {
   bool is_base = false;
   PredSet hypothesis = 0;   // Q' — empty for base histograms
   PredSet conditioning = 0; // Q the statistic was matched against
+  FactorProvenance provenance;
 };
 
 // One predicate estimated in isolation inside a kPredicateProduct.

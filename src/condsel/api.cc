@@ -8,7 +8,7 @@
 #include "condsel/common/numeric.h"
 #include "condsel/harness/metrics.h"
 #include "condsel/selectivity/error_function.h"
-#include "condsel/selectivity/factor_approx.h"
+#include "condsel/selectivity/atomic_provider.h"
 
 namespace condsel {
 namespace {
@@ -54,7 +54,7 @@ struct Estimator::Session {
 
   Query query;
   std::unique_ptr<SitMatcher> matcher;
-  std::unique_ptr<FactorApproximator> approximator;
+  std::unique_ptr<AtomicSelectivityProvider> provider;
   std::unique_ptr<GetSelectivity> gs;
   // Derivation recording + audit bookkeeping (audit mode only). The DAG
   // only grows on memo misses, so re-auditing is skipped while repeated
@@ -83,7 +83,7 @@ Status Estimator::ValidatePool() const {
   // A pool is only meaningful against its own catalog; one deserialized
   // against a different database would make the matcher dereference
   // out-of-range table/column ids (formerly a CHECK-abort deep inside
-  // sit_matcher / factor_approx).
+  // sit_matcher / atomic_provider).
   for (const Sit& sit : pool_->sits()) {
     if (!ColumnInCatalog(*catalog_, sit.attr) ||
         (sit.is_multidim() && !ColumnInCatalog(*catalog_, sit.attr2))) {
@@ -160,10 +160,10 @@ Estimator::Session& Estimator::SessionFor(const Query& query) {
       ranking_ == Ranking::kNInd
           ? static_cast<const ErrorFunction*>(&n_ind)
           : static_cast<const ErrorFunction*>(&diff);
-  session->approximator =
-      std::make_unique<FactorApproximator>(session->matcher.get(), fn);
+  session->provider =
+      std::make_unique<AtomicSelectivityProvider>(session->matcher.get(), fn);
   session->gs = std::make_unique<GetSelectivity>(
-      &session->query, session->approximator.get(), &budget_);
+      &session->query, session->provider.get(), &budget_);
   if (audit_) session->gs->set_recorder(&session->dag);
   return *sessions_.emplace(key, std::move(session)).first->second;
 }

@@ -108,7 +108,7 @@ class Estimator {
   void ClearCache();
 
  private:
-  // Per-query session: owns the bound matcher, approximator, and DP.
+  // Per-query session: owns the bound matcher, provider, and DP.
   struct Session;
   Session& SessionFor(const Query& query);
   // Pre-flight validation of a request; only the predicates selected by

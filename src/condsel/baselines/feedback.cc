@@ -10,7 +10,7 @@
 namespace condsel {
 
 FeedbackEstimator::FeedbackEstimator(SitMatcher* matcher)
-    : matcher_(matcher), approximator_(matcher, &error_fn_) {
+    : matcher_(matcher), provider_(matcher, &error_fn_) {
   CONDSEL_CHECK(matcher != nullptr);
 }
 
@@ -22,9 +22,9 @@ void FeedbackEstimator::Observe(const Query& query, Evaluator* evaluator) {
     const Predicate& pred = query.predicate(f);
     const double truth =
         evaluator->TrueConditionalSelectivity(query, 1u << f, joins);
-    FactorChoice base = approximator_.Score(query, 1u << f, /*cond=*/0);
+    FactorChoice base = provider_.Score(query, 1u << f, /*cond=*/0);
     if (!base.feasible) continue;
-    const double est = approximator_.Estimate(query, 1u << f, base);
+    const double est = provider_.Estimate(query, 1u << f, base);
     if (truth <= 0.0 || est <= 0.0) continue;
     Adjustment& adj = adjustments_[pred.column()];
     adj.log_ratio_sum += std::log(truth / est);
@@ -42,10 +42,13 @@ double FeedbackEstimator::AdjustmentFor(ColumnRef col) const {
 double FeedbackEstimator::Estimate(const Query& query, PredSet p) {
   double sel = 1.0;
   for (int i : SetElements(p)) {
-    FactorChoice choice = approximator_.Score(query, 1u << i, /*cond=*/0);
-    CONDSEL_CHECK_MSG(choice.feasible,
+    // The provider's shared base-histogram path (its estimate is already
+    // sanitized, so the product below sees the same factors as before).
+    const DerivationAtom atom =
+        provider_.BaseAtom(query, i, /*describe=*/false);
+    CONDSEL_CHECK_MSG(atom.has_stat,
                       "feedback estimation requires base histograms");
-    double factor = approximator_.Estimate(query, 1u << i, choice);
+    double factor = atom.selectivity;
     if (query.predicate(i).is_filter()) {
       factor =
           std::min(1.0, factor * AdjustmentFor(query.predicate(i).column()));

@@ -20,7 +20,7 @@
 
 #include "condsel/exec/evaluator.h"
 #include "condsel/query/query.h"
-#include "condsel/selectivity/factor_approx.h"
+#include "condsel/selectivity/atomic_provider.h"
 
 namespace condsel {
 
@@ -49,7 +49,7 @@ class FeedbackEstimator {
 
   SitMatcher* matcher_;
   NIndError error_fn_;
-  FactorApproximator approximator_;
+  AtomicSelectivityProvider provider_;
   std::map<ColumnRef, Adjustment> adjustments_;
 };
 

@@ -9,9 +9,7 @@
 namespace condsel {
 
 GvmEstimator::GvmEstimator(SitMatcher* matcher)
-    : matcher_(matcher), approximator_(matcher, &error_fn_) {
-  CONDSEL_CHECK(matcher != nullptr);
-}
+    : provider_(matcher, &error_fn_) {}
 
 double GvmEstimator::Estimate(const Query& query, PredSet p) {
   // Current SIT assignment per filter predicate; absent = base histogram.
@@ -49,7 +47,7 @@ double GvmEstimator::Estimate(const Query& query, PredSet p) {
       const PredSet context = p & ~(1u << f);
       const int current_size =
           chosen.count(f) ? SetSize(chosen[f].expr_mask) : 0;
-      for (const SitCandidate& cand : matcher_->Candidates(
+      for (const SitCandidate& cand : provider_.Candidates(
                query.predicate(f).column(), context,
                SitMatcher::CallAccounting::kPerSit)) {
         const int benefit = SetSize(cand.expr_mask) - current_size;
@@ -73,7 +71,7 @@ double GvmEstimator::Estimate(const Query& query, PredSet p) {
   double n_ind = 0.0;
   std::vector<DerivationAtom> atoms;
   auto record_atom = [&](int pred, double atom_sel, const SitCandidate& cand,
-                         PredSet conditioning) {
+                         PredSet conditioning, const FactorProvenance& prov) {
     if (recorder_ == nullptr) return;
     DerivationAtom atom;
     atom.pred = pred;
@@ -83,39 +81,42 @@ double GvmEstimator::Estimate(const Query& query, PredSet p) {
     atom.sit.is_base = cand.sit->is_base();
     atom.sit.hypothesis = cand.expr_mask;
     atom.sit.conditioning = conditioning;
+    atom.sit.provenance = prov;
     atoms.push_back(atom);
   };
+  std::vector<FactorProvenance> prov;
   for (int j : joins) {
-    FactorChoice choice = approximator_.Score(query, 1u << j, /*cond=*/0);
+    FactorChoice choice = provider_.Score(query, 1u << j, /*cond=*/0);
     CONDSEL_CHECK_MSG(choice.feasible, "GVM requires base histograms");
-    const double join_sel =
-        SanitizeSelectivity(approximator_.Estimate(query, 1u << j, choice));
+    prov.clear();
+    const double join_sel = SanitizeSelectivity(provider_.Estimate(
+        query, 1u << j, choice, recorder_ != nullptr ? &prov : nullptr));
     sel *= join_sel;
     n_ind += static_cast<double>(SetSize(p) - 1);
-    record_atom(j, join_sel, choice.sits.front(), /*conditioning=*/0);
+    record_atom(j, join_sel, choice.sits.front(), /*conditioning=*/0,
+                prov.empty() ? FactorProvenance{} : prov.front());
   }
   for (int f : filters) {
     const PredSet context = p & ~(1u << f);
     if (chosen.count(f)) {
       const SitCandidate& cand = chosen[f];
-      // Unlike FactorApproximator::Estimate, the direct histogram lookup
-      // does not sanitize — clamp here so a corrupted bucket cannot leak
-      // a NaN factor into the product (or the recorded derivation).
-      const double filter_sel =
-          SanitizeSelectivity(cand.sit->histogram.RangeSelectivity(
-              query.predicate(f).lo(), query.predicate(f).hi()));
+      FactorProvenance fprov;
+      const double filter_sel = provider_.EstimateFilterWith(
+          query, f, cand, recorder_ != nullptr ? &fprov : nullptr);
       sel *= filter_sel;
       n_ind += static_cast<double>(SetSize(context & ~cand.expr_mask));
-      record_atom(f, filter_sel, cand, context);
+      record_atom(f, filter_sel, cand, context, fprov);
     } else {
       FactorChoice choice =
-          approximator_.Score(query, 1u << f, /*cond=*/0);
+          provider_.Score(query, 1u << f, /*cond=*/0);
       CONDSEL_CHECK_MSG(choice.feasible, "GVM requires base histograms");
-      const double filter_sel =
-          SanitizeSelectivity(approximator_.Estimate(query, 1u << f, choice));
+      prov.clear();
+      const double filter_sel = SanitizeSelectivity(provider_.Estimate(
+          query, 1u << f, choice, recorder_ != nullptr ? &prov : nullptr));
       sel *= filter_sel;
       n_ind += static_cast<double>(SetSize(context));
-      record_atom(f, filter_sel, choice.sits.front(), /*conditioning=*/0);
+      record_atom(f, filter_sel, choice.sits.front(), /*conditioning=*/0,
+                  prov.empty() ? FactorProvenance{} : prov.front());
     }
   }
   last_n_ind_ = n_ind;

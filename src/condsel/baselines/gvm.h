@@ -18,7 +18,7 @@
 
 #include "condsel/analysis/derivation.h"
 #include "condsel/query/query.h"
-#include "condsel/selectivity/factor_approx.h"
+#include "condsel/selectivity/atomic_provider.h"
 
 namespace condsel {
 
@@ -43,9 +43,8 @@ class GvmEstimator {
   void set_recorder(DerivationDag* dag) { recorder_ = dag; }
 
  private:
-  SitMatcher* matcher_;
   NIndError error_fn_;
-  FactorApproximator approximator_;
+  AtomicSelectivityProvider provider_;
   double last_n_ind_ = 0.0;
   DerivationDag* recorder_ = nullptr;
 };

@@ -6,32 +6,21 @@
 namespace condsel {
 
 NoSitEstimator::NoSitEstimator(SitMatcher* matcher)
-    : approximator_(matcher, &error_fn_) {}
+    : provider_(matcher, &error_fn_) {}
 
 double NoSitEstimator::Estimate(const Query& query, PredSet p) {
   double sel = 1.0;
   std::vector<DerivationAtom> atoms;
   for (int i : SetElements(p)) {
-    // Conditioning on the empty set restricts the candidates to base
-    // histograms (expr ⊆ ∅), which is exactly the traditional estimator.
-    FactorChoice choice = approximator_.Score(query, 1u << i, /*cond=*/0);
-    CONDSEL_CHECK_MSG(choice.feasible,
+    // The provider's shared base-histogram path: conditioning on the empty
+    // set restricts the candidates to base histograms (expr ⊆ ∅), which is
+    // exactly the traditional estimator.
+    DerivationAtom atom =
+        provider_.BaseAtom(query, i, /*describe=*/recorder_ != nullptr);
+    CONDSEL_CHECK_MSG(atom.has_stat,
                       "noSit requires base histograms for every column");
-    const double atom_sel =
-        SanitizeSelectivity(approximator_.Estimate(query, 1u << i, choice));
-    sel *= atom_sel;
-    if (recorder_ != nullptr) {
-      DerivationAtom atom;
-      atom.pred = i;
-      atom.selectivity = atom_sel;
-      atom.has_stat = true;
-      const SitCandidate& cand = choice.sits.front();
-      atom.sit.sit_id = cand.sit->id;
-      atom.sit.is_base = cand.sit->is_base();
-      atom.sit.hypothesis = cand.expr_mask;
-      atom.sit.conditioning = 0;
-      atoms.push_back(atom);
-    }
+    sel *= atom.selectivity;
+    if (recorder_ != nullptr) atoms.push_back(std::move(atom));
   }
   sel = SanitizeSelectivity(sel);
   if (recorder_ != nullptr) {

@@ -8,7 +8,7 @@
 
 #include "condsel/analysis/derivation.h"
 #include "condsel/query/query.h"
-#include "condsel/selectivity/factor_approx.h"
+#include "condsel/selectivity/atomic_provider.h"
 
 namespace condsel {
 
@@ -29,7 +29,7 @@ class NoSitEstimator {
 
  private:
   NIndError error_fn_;
-  FactorApproximator approximator_;
+  AtomicSelectivityProvider provider_;
   DerivationDag* recorder_ = nullptr;
 };
 

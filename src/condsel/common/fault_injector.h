@@ -22,6 +22,10 @@
 //  - kCorruptHypothesisSet: getSelectivity records SIT hypothesis sets
 //    that claim predicates outside the conditioning set — the auditor's
 //    hypothesis-consistency check must catch it (mutation self-test).
+//  - kSlowAtomicLookup: every AtomicSelectivityProvider scoring pass
+//    sleeps briefly, simulating cold statistics storage — deadline
+//    enforcement inside the decomposition enumeration must keep the
+//    overshoot bounded by one lookup, not one subproblem.
 
 #pragma once
 
@@ -38,6 +42,7 @@ enum class Fault {
   kExpireDeadline,
   kCorruptDerivationFactor,
   kCorruptHypothesisSet,
+  kSlowAtomicLookup,
 };
 
 class FaultInjector {
@@ -61,7 +66,7 @@ class FaultInjector {
 
  private:
   FaultInjector() = default;
-  static constexpr int kNumFaults = 5;
+  static constexpr int kNumFaults = 6;
   static int Index(Fault f) { return static_cast<int>(f); }
 
   std::mutex mu_;              // serializes writers; reads are atomic

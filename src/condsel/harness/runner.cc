@@ -69,7 +69,7 @@ WorkloadRunResult Runner::Run(const std::vector<Query>& workload,
     // requests, GVM and noSit recompute each request (as the originals
     // do).
     const ErrorFunction* gs_fn = error_fn != nullptr ? error_fn : &n_ind;
-    FactorApproximator gs_approx(&matcher, gs_fn);
+    AtomicSelectivityProvider gs_approx(&matcher, gs_fn);
     GetSelectivity gs(&query, &gs_approx);
     NoSitEstimator no_sit(&matcher);
     GvmEstimator gvm(&matcher);

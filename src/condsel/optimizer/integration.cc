@@ -9,10 +9,10 @@
 namespace condsel {
 
 OptimizerCoupledEstimator::OptimizerCoupledEstimator(
-    const Query* query, FactorApproximator* approximator)
-    : query_(query), approximator_(approximator), memo_(query) {
+    const Query* query, AtomicSelectivityProvider* provider)
+    : query_(query), provider_(provider), memo_(query) {
   CONDSEL_CHECK(query != nullptr);        // invariant: constructor contract
-  CONDSEL_CHECK(approximator != nullptr);  // invariant: constructor contract
+  CONDSEL_CHECK(provider != nullptr);  // invariant: constructor contract
 }
 
 StatusOr<SelEstimate> OptimizerCoupledEstimator::TryEstimate(PredSet preds) {
@@ -94,13 +94,13 @@ StatusOr<SelEstimate> OptimizerCoupledEstimator::EstimateGroup(int group_id) {
 
     const PredSet p_e = 1u << e.predicate;
     const PredSet q_e = g.preds & ~p_e;
-    FactorChoice choice = approximator_->Score(*query_, p_e, q_e);
+    FactorChoice choice = provider_->Score(*query_, p_e, q_e);
     if (!choice.feasible) continue;
     const double err = ErrorFunction::Merge(choice.error, input_err);
     if (err < best.error) {
       best.error = err;
       const double head_sel = SanitizeSelectivity(
-          approximator_->Estimate(*query_, p_e, choice));
+          provider_->Estimate(*query_, p_e, choice));
       best.selectivity = SanitizeSelectivity(head_sel * input_sel);
       best_expr = &e;
       best_head_sel = head_sel;
@@ -131,13 +131,17 @@ StatusOr<SelEstimate> OptimizerCoupledEstimator::EstimateGroup(int group_id) {
       node.head = 1u << best_expr->predicate;
       node.head_selectivity = best_head_sel;
       const PredSet q_e = g.preds & ~node.head;
-      for (const SitCandidate& cand : best_choice.sits) {
+      const std::vector<FactorProvenance> provenance =
+          provider_->Describe(*query_, node.head, best_choice);
+      for (size_t i = 0; i < best_choice.sits.size(); ++i) {
+        const SitCandidate& cand = best_choice.sits[i];
         SitApplication app;
         app.sit_id = cand.sit->id;
         app.is_base = cand.sit->is_base();
         app.hypothesis = cand.expr_mask;
         app.conditioning = q_e;
-        node.sits.push_back(app);
+        if (i < provenance.size()) app.provenance = provenance[i];
+        node.sits.push_back(std::move(app));
       }
     }
   }

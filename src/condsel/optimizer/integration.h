@@ -29,9 +29,9 @@ namespace condsel {
 
 class OptimizerCoupledEstimator {
  public:
-  // The approximator's matcher must be bound to `query`.
+  // The provider's matcher must be bound to `query`.
   OptimizerCoupledEstimator(const Query* query,
-                            FactorApproximator* approximator);
+                            AtomicSelectivityProvider* provider);
 
   // Best estimate for the sub-plan applying `preds`, per the entry-induced
   // decompositions. Lazily builds and explores the memo. Errors:
@@ -60,7 +60,7 @@ class OptimizerCoupledEstimator {
   StatusOr<SelEstimate> EstimateGroup(int group_id);
 
   const Query* query_;
-  FactorApproximator* approximator_;
+  AtomicSelectivityProvider* provider_;
   Memo memo_;
   std::map<int, SelEstimate> best_;  // group id -> best estimate
   uint64_t entries_considered_ = 0;

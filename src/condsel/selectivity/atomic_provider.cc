@@ -1,0 +1,379 @@
+#include "condsel/selectivity/atomic_provider.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "condsel/common/fault_injector.h"
+#include "condsel/common/macros.h"
+#include "condsel/common/numeric.h"
+#include "condsel/histogram/histogram_join.h"
+
+namespace condsel {
+namespace {
+
+std::string ColumnName(ColumnRef c) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "T%d.c%d", c.table, c.column);
+  return buf;
+}
+
+// "T2.c1" for base histograms, "T2.c1 | T0.c0 = T1.c1 ^ ..." for SITs.
+std::string SitSource(const Sit& sit) {
+  std::string s = ColumnName(sit.attr);
+  if (sit.is_multidim()) s += "," + ColumnName(sit.attr2);
+  if (!sit.expression.empty()) {
+    s += " |";
+    for (size_t i = 0; i < sit.expression.size(); ++i) {
+      s += (i == 0 ? " " : " ^ ") + sit.expression[i].ToString();
+    }
+  }
+  return s;
+}
+
+int BucketsInRange(const Histogram& h, int64_t lo, int64_t hi) {
+  int n = 0;
+  for (const Bucket& b : h.buckets()) {
+    if (b.hi >= lo && b.lo <= hi) ++n;
+  }
+  return n;
+}
+
+int BucketsInRange2d(const Histogram2d& h, int64_t x_lo, int64_t x_hi,
+                     int64_t y_lo, int64_t y_hi) {
+  int n = 0;
+  for (const Bucket2d& b : h.buckets()) {
+    if (b.x_hi >= x_lo && b.x_lo <= x_hi && b.y_hi >= y_lo &&
+        b.y_lo <= y_hi) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+FactorProvenance MakeProvenance(const Sit& sit, const char* kind,
+                                int buckets) {
+  FactorProvenance prov;
+  prov.recorded = true;
+  prov.source = SitSource(sit);
+  prov.histogram_kind = kind;
+  prov.buckets_touched = buckets;
+  return prov;
+}
+
+// The cold-statistics-storage fault: one bounded stall per provider
+// lookup, so deadline tests can measure enforcement granularity.
+void MaybeInjectSlowLookup() {
+  const FaultInjector& fi = FaultInjector::Instance();
+  if (fi.armed() && fi.enabled(Fault::kSlowAtomicLookup)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace
+
+AtomicSelectivityProvider::AtomicSelectivityProvider(
+    SitMatcher* matcher, const ErrorFunction* error_fn)
+    : matcher_(matcher), error_fn_(error_fn) {
+  CONDSEL_CHECK(matcher != nullptr);
+  CONDSEL_CHECK(error_fn != nullptr);
+}
+
+bool AtomicSelectivityProvider::SplitShape(
+    const Query& query, PredSet p, int* join_pred,
+    std::vector<int>* filter_preds) const {
+  *join_pred = -1;
+  filter_preds->clear();
+  for (int i : SetElements(p)) {
+    const Predicate& pred = query.predicate(i);
+    if (pred.is_join()) {
+      if (*join_pred >= 0) return false;  // at most one join
+      *join_pred = i;
+    } else {
+      filter_preds->push_back(i);
+    }
+  }
+  if (*join_pred < 0) {
+    // Pure filters: a single filter (unidimensional SIT) or a pair of
+    // filters (multidimensional SIT over the attribute pair).
+    return filter_preds->size() == 1 || filter_preds->size() == 2;
+  }
+  // Join plus filters: every filter must be over one of the join columns
+  // (Example 3: the join's result histogram covers exactly that
+  // attribute).
+  const Predicate& j = query.predicate(*join_pred);
+  for (int f : *filter_preds) {
+    const ColumnRef c = query.predicate(f).column();
+    if (c != j.left() && c != j.right()) return false;
+  }
+  return true;
+}
+
+bool AtomicSelectivityProvider::SupportedShape(const Query& query,
+                                               PredSet p) const {
+  if (p == 0) return false;
+  int join_pred;
+  std::vector<int> filters;
+  return SplitShape(query, p, &join_pred, &filters);
+}
+
+FactorChoice AtomicSelectivityProvider::Score(const Query& query, PredSet p,
+                                              PredSet cond) {
+  return ScoreImpl(query, p, cond, deadline_);
+}
+
+FactorChoice AtomicSelectivityProvider::ScoreImpl(const Query& query,
+                                                  PredSet p, PredSet cond,
+                                                  const Deadline* deadline) {
+  MaybeInjectSlowLookup();
+  FactorChoice best;
+  int join_pred;
+  std::vector<int> filters;
+  if (!SplitShape(query, p, &join_pred, &filters)) return best;
+
+  // Section 3.4's pruning: a join factor conditioned on filter predicates
+  // has no SIT that could reflect them (join columns carry only base
+  // histograms), so the approximation would be the plain unconditioned
+  // join estimate wearing a deceptively low assumption count — the exact
+  // decompositions the paper's example "safely discards". Join factors
+  // are therefore only approximable under join-only conditioning.
+  if (join_pred >= 0 && (cond & query.filter_predicates()) != 0) {
+    return best;
+  }
+
+  const bool needs_estimate = error_fn_->NeedsEstimate();
+
+  auto consider = [&](std::vector<SitCandidate> sits) {
+    double estimate = -1.0;
+    if (needs_estimate) {
+      estimate = EstimateWith(query, p, sits, /*provenance=*/nullptr);
+    }
+    const double err =
+        error_fn_->FactorError(query, p, cond, sits, estimate);
+    // Deterministic tie-break: prefer heavier conditioning (larger Q').
+    auto q_prime_size = [&](const std::vector<SitCandidate>& ss) {
+      PredSet m = 0;
+      for (const SitCandidate& c : ss) m |= c.expr_mask;
+      return SetSize(m & cond);
+    };
+    if (err < best.error ||
+        (err == best.error && best.feasible &&
+         q_prime_size(sits) > q_prime_size(best.sits))) {
+      best.feasible = true;
+      best.error = err;
+      best.estimate = estimate;
+      best.sits = std::move(sits);
+    }
+  };
+  // Deadline enforcement at lookup granularity: stop examining further
+  // candidates the moment the budget's clock runs out. On unbudgeted runs
+  // (deadline detached or disarmed) this never fires, keeping scoring a
+  // pure function of the candidate lists.
+  auto expired = [&] {
+    return deadline != nullptr && deadline->Expired();
+  };
+
+  if (join_pred < 0 && filters.size() == 2) {
+    // Filter pair: needs a multidimensional SIT over both attributes.
+    const Predicate& fa = query.predicate(filters[0]);
+    const Predicate& fb = query.predicate(filters[1]);
+    for (const SitCandidate& c :
+         matcher_->Candidates2(fa.column(), fb.column(), cond)) {
+      if (expired()) break;
+      consider({c});
+    }
+  } else if (join_pred < 0) {
+    // Single filter.
+    const Predicate& f = query.predicate(filters[0]);
+    for (const SitCandidate& c : matcher_->Candidates(f.column(), cond)) {
+      if (expired()) break;
+      consider({c});
+    }
+  } else {
+    // One join (plus optional filters on its columns): pick one SIT per
+    // side, try all maximal pairs.
+    const Predicate& j = query.predicate(join_pred);
+    const std::vector<SitCandidate> left =
+        matcher_->Candidates(j.left(), cond);
+    const std::vector<SitCandidate> right =
+        matcher_->Candidates(j.right(), cond);
+    for (const SitCandidate& cl : left) {
+      if (expired()) break;
+      for (const SitCandidate& cr : right) {
+        if (expired()) break;
+        consider({cl, cr});
+      }
+    }
+  }
+  return best;
+}
+
+double AtomicSelectivityProvider::EstimateWith(
+    const Query& query, PredSet p, const std::vector<SitCandidate>& sits,
+    std::vector<FactorProvenance>* provenance) const {
+  int join_pred;
+  std::vector<int> filters;
+  CONDSEL_CHECK(SplitShape(query, p, &join_pred, &filters));
+
+  if (join_pred < 0 && filters.size() == 2) {
+    CONDSEL_CHECK(sits.size() == 1);
+    const Sit& sit = *sits[0].sit;
+    CONDSEL_CHECK(sit.is_multidim());
+    const Predicate& fa = query.predicate(filters[0]);
+    const Predicate& fb = query.predicate(filters[1]);
+    // Order the ranges by the SIT's canonical (attr, attr2) order.
+    const bool a_first = fa.column() == sit.attr;
+    const Predicate& fx = a_first ? fa : fb;
+    const Predicate& fy = a_first ? fb : fa;
+    if (provenance != nullptr) {
+      provenance->push_back(MakeProvenance(
+          sit, "sit-2d",
+          BucketsInRange2d(sit.histogram2d, fx.lo(), fx.hi(), fy.lo(),
+                           fy.hi())));
+    }
+    return SanitizeSelectivity(sit.histogram2d.RangeSelectivity(
+        fx.lo(), fx.hi(), fy.lo(), fy.hi()));
+  }
+  if (join_pred < 0) {
+    CONDSEL_CHECK(sits.size() == 1);
+    const Predicate& f = query.predicate(filters[0]);
+    if (provenance != nullptr) {
+      const Sit& sit = *sits[0].sit;
+      provenance->push_back(MakeProvenance(
+          sit, sit.is_base() ? "base" : "sit-1d",
+          BucketsInRange(sit.histogram, f.lo(), f.hi())));
+    }
+    return SanitizeSelectivity(
+        sits[0].sit->histogram.RangeSelectivity(f.lo(), f.hi()));
+  }
+
+  CONDSEL_CHECK(sits.size() == 2);
+  const JoinEstimate je =
+      JoinHistograms(sits[0].sit->histogram, sits[1].sit->histogram);
+  double sel = je.selectivity;
+  // Example 3: remaining filters over the join attribute are estimated on
+  // the join's result histogram (frequencies are already normalized to
+  // the join result).
+  for (int f : filters) {
+    const Predicate& fp = query.predicate(f);
+    sel *= je.result.RangeSelectivity(fp.lo(), fp.hi());
+  }
+  if (provenance != nullptr) {
+    // A histogram join walks every aligned bucket pair of its inputs.
+    for (const SitCandidate& c : sits) {
+      provenance->push_back(MakeProvenance(
+          *c.sit, "join-input",
+          static_cast<int>(c.sit->histogram.buckets().size())));
+    }
+  }
+  return SanitizeSelectivity(sel);
+}
+
+double AtomicSelectivityProvider::Estimate(
+    const Query& query, PredSet p, const FactorChoice& choice,
+    std::vector<FactorProvenance>* provenance) const {
+  CONDSEL_CHECK(choice.feasible);
+  if (choice.estimate >= 0.0) {
+    // Score() already computed the value (Opt ranking); only the
+    // description is (re)derived here.
+    if (provenance != nullptr) {
+      std::vector<FactorProvenance> described = Describe(query, p, choice);
+      provenance->insert(provenance->end(), described.begin(),
+                         described.end());
+    }
+    return choice.estimate;
+  }
+  return EstimateWith(query, p, choice.sits, provenance);
+}
+
+std::vector<FactorProvenance> AtomicSelectivityProvider::Describe(
+    const Query& query, PredSet p, const FactorChoice& choice) const {
+  std::vector<FactorProvenance> out;
+  if (!choice.feasible) return out;
+  int join_pred;
+  std::vector<int> filters;
+  CONDSEL_CHECK(SplitShape(query, p, &join_pred, &filters));
+  if (join_pred < 0 && filters.size() == 2) {
+    const Sit& sit = *choice.sits.at(0).sit;
+    const Predicate& fa = query.predicate(filters[0]);
+    const Predicate& fb = query.predicate(filters[1]);
+    const bool a_first = fa.column() == sit.attr;
+    const Predicate& fx = a_first ? fa : fb;
+    const Predicate& fy = a_first ? fb : fa;
+    out.push_back(MakeProvenance(
+        sit, "sit-2d",
+        BucketsInRange2d(sit.histogram2d, fx.lo(), fx.hi(), fy.lo(),
+                         fy.hi())));
+  } else if (join_pred < 0) {
+    const Sit& sit = *choice.sits.at(0).sit;
+    const Predicate& f = query.predicate(filters[0]);
+    out.push_back(MakeProvenance(sit, sit.is_base() ? "base" : "sit-1d",
+                                 BucketsInRange(sit.histogram, f.lo(),
+                                                f.hi())));
+  } else {
+    for (const SitCandidate& c : choice.sits) {
+      out.push_back(MakeProvenance(
+          *c.sit, "join-input",
+          static_cast<int>(c.sit->histogram.buckets().size())));
+    }
+  }
+  return out;
+}
+
+DerivationAtom AtomicSelectivityProvider::BaseAtom(const Query& query,
+                                                   int pred, bool describe) {
+  // Conditioning on the empty set restricts the matcher to base histograms
+  // (expr ⊆ ∅): exactly the traditional noSit estimate for this predicate.
+  // Scored with no deadline: this is the degradation target itself, so it
+  // must stay available after the budget's clock has expired.
+  FactorChoice choice = ScoreImpl(query, 1u << pred, /*cond=*/0,
+                                  /*deadline=*/nullptr);
+  DerivationAtom atom;
+  atom.pred = pred;
+  if (choice.feasible) {
+    std::vector<FactorProvenance> prov;
+    atom.selectivity = SanitizeSelectivity(Estimate(
+        query, 1u << pred, choice, describe ? &prov : nullptr));
+    atom.has_stat = true;
+    const SitCandidate& cand = choice.sits.front();
+    atom.sit.sit_id = cand.sit->id;
+    atom.sit.is_base = cand.sit->is_base();
+    atom.sit.hypothesis = cand.expr_mask;
+    atom.sit.conditioning = 0;
+    if (describe) atom.sit.provenance = std::move(prov.front());
+  } else {
+    // No base histogram: contribute no information rather than abort. The
+    // neutral 1.0 never understates a cardinality, the safe direction for
+    // an optimizer that must still produce a plan.
+    atom.sit.provenance.recorded = true;
+    atom.sit.provenance.fallback = "no base histogram for the column";
+  }
+  return atom;
+}
+
+std::vector<SitCandidate> AtomicSelectivityProvider::Candidates(
+    ColumnRef attr, PredSet cond, SitMatcher::CallAccounting accounting) {
+  MaybeInjectSlowLookup();
+  return matcher_->Candidates(attr, cond, accounting);
+}
+
+double AtomicSelectivityProvider::EstimateFilterWith(
+    const Query& query, int filter_pred, const SitCandidate& cand,
+    FactorProvenance* provenance) const {
+  const Predicate& f = query.predicate(filter_pred);
+  CONDSEL_CHECK(f.is_filter());
+  CONDSEL_CHECK(cand.sit != nullptr);
+  if (provenance != nullptr) {
+    *provenance = MakeProvenance(
+        *cand.sit, cand.sit->is_base() ? "base" : "sit-1d",
+        BucketsInRange(cand.sit->histogram, f.lo(), f.hi()));
+  }
+  // The raw histogram lookup does not sanitize — clamp here so a corrupted
+  // bucket cannot leak a NaN factor into a product (or a recorded
+  // derivation).
+  return SanitizeSelectivity(
+      cand.sit->histogram.RangeSelectivity(f.lo(), f.hi()));
+}
+
+}  // namespace condsel

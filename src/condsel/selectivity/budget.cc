@@ -1,0 +1,52 @@
+#include "condsel/selectivity/budget.h"
+
+#include "condsel/common/fault_injector.h"
+
+namespace condsel {
+
+void Deadline::Arm(double seconds) {
+  armed_ = seconds > 0.0;
+  if (armed_) {
+    at_ = std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(seconds));
+  }
+}
+
+bool Deadline::Expired() const {
+  if (!armed_) return false;
+  const FaultInjector& fi = FaultInjector::Instance();
+  if (fi.armed() && fi.enabled(Fault::kExpireDeadline)) return true;
+  return std::chrono::steady_clock::now() >= at_;
+}
+
+void BudgetCounters::Add(GsStats* out) const {
+  out->subproblems = subproblems.load(std::memory_order_relaxed);
+  out->memo_hits = memo_hits.load(std::memory_order_relaxed);
+  out->atomic_considered = atomic_considered.load(std::memory_order_relaxed);
+  out->degraded_subproblems =
+      degraded_subproblems.load(std::memory_order_relaxed);
+  out->default_fallbacks = default_fallbacks.load(std::memory_order_relaxed);
+  out->budget_exhausted = budget_exhausted.load(std::memory_order_relaxed);
+  out->analysis_seconds = analysis_seconds.load(std::memory_order_relaxed);
+  out->histogram_seconds = histogram_seconds.load(std::memory_order_relaxed);
+}
+
+bool BudgetExhausted(const EstimationBudget* budget,
+                     const BudgetCounters& counters,
+                     const Deadline& deadline) {
+  if (budget == nullptr) return false;
+  if (budget->max_subproblems > 0 &&
+      counters.subproblems.load(std::memory_order_relaxed) >=
+          budget->max_subproblems) {
+    return true;
+  }
+  if (budget->max_atomic_decompositions > 0 &&
+      counters.atomic_considered.load(std::memory_order_relaxed) >=
+          budget->max_atomic_decompositions) {
+    return true;
+  }
+  return deadline.Expired();
+}
+
+}  // namespace condsel

@@ -1,0 +1,98 @@
+// Estimation budgets and their enforcement primitives.
+//
+// EstimationBudget is the user-facing knob set (moved here from
+// get_selectivity.h, which re-exports it for include compatibility). The
+// two helper classes make the knobs enforceable from concurrent search
+// drivers:
+//   - Deadline: an armed wall-clock point, checkable lock-free from any
+//     thread (and from inside the provider's candidate loops, so a slow
+//     statistics lookup cannot overshoot the deadline by a whole
+//     subproblem);
+//   - BudgetCounters: the search's cumulative counters as atomics, so the
+//     parallel getSelectivity driver's budget checks are race-free and the
+//     sequential driver pays only uncontended relaxed increments.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace condsel {
+
+// Caps on one memoized search. Each knob is a hard ceiling; 0 disables it.
+// The deadline applies per top-level Compute() call (an optimizer's
+// per-sub-plan latency budget), while the count caps are cumulative over
+// the search's lifetime, matching the cumulative GsStats counters.
+struct EstimationBudget {
+  uint64_t max_subproblems = 0;            // memo entries computed
+  uint64_t max_atomic_decompositions = 0;  // atomic decompositions scored
+  double deadline_seconds = 0.0;           // wall clock per Compute() call
+  // Worker threads for the getSelectivity DP (1 = the sequential driver).
+  // Estimates are bit-identical across thread counts on budget-free runs;
+  // with caps or deadlines armed, *which* subsets degrade may differ by
+  // schedule (each answer is still a valid graceful degradation).
+  int threads = 1;
+
+  bool unlimited() const {
+    return max_subproblems == 0 && max_atomic_decompositions == 0 &&
+           deadline_seconds <= 0.0;
+  }
+};
+
+// Statistics getSelectivity reports about one search (Figure 8's timing
+// split plus robustness accounting).
+struct GsStats {
+  uint64_t subproblems = 0;         // memo entries computed by the search
+                                    // (degraded entries excluded)
+  uint64_t memo_hits = 0;           // lookups answered from the memo
+  uint64_t atomic_considered = 0;   // atomic decompositions scored
+  double analysis_seconds = 0.0;    // search + view matching + ranking
+  double histogram_seconds = 0.0;   // estimation with the chosen SITs
+  // Robustness accounting:
+  bool budget_exhausted = false;       // some knob of the budget ran out
+  uint64_t degraded_subproblems = 0;   // entries answered by the fallback
+  uint64_t default_fallbacks = 0;      // predicates with no base histogram
+};
+
+// An armed wall-clock deadline. Arm/Disarm happen on the driver thread
+// before workers start and after they join; Expired() is safe to call
+// concurrently (it reads immutable state and the clock) and consults the
+// FaultInjector's kExpireDeadline hook so tests can fire it
+// deterministically.
+class Deadline {
+ public:
+  // Arms `seconds` from now; seconds <= 0 disarms.
+  void Arm(double seconds);
+  void Disarm() { armed_ = false; }
+
+  bool armed() const { return armed_; }
+  bool Expired() const;
+
+ private:
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+// The budget-relevant counters of a search, shared between drivers and
+// safe to bump from worker threads. Mirrored into GsStats via Snapshot().
+struct BudgetCounters {
+  std::atomic<uint64_t> subproblems{0};
+  std::atomic<uint64_t> memo_hits{0};
+  std::atomic<uint64_t> atomic_considered{0};
+  std::atomic<uint64_t> degraded_subproblems{0};
+  std::atomic<uint64_t> default_fallbacks{0};
+  std::atomic<bool> budget_exhausted{false};
+  std::atomic<double> analysis_seconds{0.0};
+  std::atomic<double> histogram_seconds{0.0};
+
+  void Add(GsStats* out) const;
+};
+
+// True when any knob of `budget` has run out. `budget` may be null
+// (unlimited). Race-free against concurrent counter increments.
+bool BudgetExhausted(const EstimationBudget* budget,
+                     const BudgetCounters& counters,
+                     const Deadline& deadline);
+
+}  // namespace condsel

@@ -1,0 +1,62 @@
+#include "condsel/selectivity/decomposer.h"
+
+namespace condsel {
+
+std::vector<PredSet> AtomicFactorCandidates(const Query& query, PredSet p,
+                                            const Deadline* deadline,
+                                            bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
+  std::vector<PredSet> candidates;
+  auto expired = [&] {
+    if (deadline == nullptr || !deadline->Expired()) return false;
+    if (truncated != nullptr) *truncated = true;
+    return true;
+  };
+
+  for (int i : SetElements(p)) {
+    if (query.predicate(i).is_filter()) {
+      candidates.push_back(1u << i);
+    }
+  }
+  // Filter pairs (approximable by multidimensional SITs).
+  {
+    const std::vector<int> fs = SetElements(p & query.filter_predicates());
+    for (size_t a = 0; a < fs.size(); ++a) {
+      for (size_t b = a + 1; b < fs.size(); ++b) {
+        candidates.push_back((1u << fs[a]) | (1u << fs[b]));
+      }
+    }
+  }
+  for (int i : SetElements(p)) {
+    if (query.predicate(i).is_join()) candidates.push_back(1u << i);
+  }
+  for (int j : SetElements(p)) {
+    if (!query.predicate(j).is_join()) continue;
+    if (expired()) return candidates;
+    const Predicate& join = query.predicate(j);
+    // Filters of P over the join's columns.
+    std::vector<int> attached;
+    for (int f : SetElements(p)) {
+      if (f == j || !query.predicate(f).is_filter()) continue;
+      const ColumnRef c = query.predicate(f).column();
+      if (c == join.left() || c == join.right()) attached.push_back(f);
+    }
+    const int nf = static_cast<int>(attached.size());
+    for (uint32_t m = 1; m < (1u << nf); ++m) {
+      // The deadline gate inside the exponential fan-out: without it a
+      // join with many attached filters could spend 2^nf enumeration
+      // steps after the clock ran out.
+      if (expired()) return candidates;
+      PredSet combo = 1u << j;
+      for (int b = 0; b < nf; ++b) {
+        if (Contains(m, b)) {
+          combo = With(combo, attached[static_cast<size_t>(b)]);
+        }
+      }
+      candidates.push_back(combo);
+    }
+  }
+  return candidates;
+}
+
+}  // namespace condsel

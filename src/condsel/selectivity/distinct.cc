@@ -67,6 +67,9 @@ double EstimateGroupByCardinality(const Catalog& catalog, const Query& query,
   // p_v per result row; expected distinct = d * (1 - (1 - p_v)^rows).
   // p_v is conditioned on the range restriction over `col` (rows of the
   // result that satisfied those filters necessarily land in [lo, hi]).
+  // Distinct-value math over the already-chosen statistic's buckets, not
+  // a predicate-selectivity lookup — the provider picked `h`; here it is
+  // a frequency distribution. condsel-lint: allow(no-raw-histogram-lookup)
   const double range_mass = h.RangeSelectivity(lo, hi);
   if (range_mass <= 0.0) return 0.0;
   double distinct = 0.0;

@@ -8,7 +8,7 @@ namespace {
 
 struct SearchState {
   const Query* query;
-  FactorApproximator* approximator;
+  AtomicSelectivityProvider* provider;
   bool separable_first;
   DerivationDag* dag;
   uint64_t nodes = 0;
@@ -43,13 +43,17 @@ void Record(SearchState& st, PredSet p, double err, double sel,
   node.head_selectivity = best.head_sel;
   const PredSet cond = p & ~best.head;
   node.tails.push_back(cond);
-  for (const SitCandidate& cand : best.choice.sits) {
+  const std::vector<FactorProvenance> provenance =
+      st.provider->Describe(*st.query, best.head, best.choice);
+  for (size_t i = 0; i < best.choice.sits.size(); ++i) {
+    const SitCandidate& cand = best.choice.sits[i];
     SitApplication app;
     app.sit_id = cand.sit->id;
     app.is_base = cand.sit->is_base();
     app.hypothesis = cand.expr_mask;
     app.conditioning = cond;
-    node.sits.push_back(app);
+    if (i < provenance.size()) app.provenance = provenance[i];
+    node.sits.push_back(std::move(app));
   }
 }
 
@@ -99,7 +103,7 @@ std::pair<double, double> Best(SearchState& st, PredSet p) {
   for (PredSet p_prime = p; p_prime != 0;
        p_prime = PrevSubmask(p, p_prime)) {
     const PredSet q = p & ~p_prime;
-    FactorChoice choice = st.approximator->Score(*st.query, p_prime, q);
+    FactorChoice choice = st.provider->Score(*st.query, p_prime, q);
     if (!choice.feasible) continue;
     const auto [qe, qs] = Best(st, q);
     if (qe == kInfiniteError) continue;
@@ -108,7 +112,7 @@ std::pair<double, double> Best(SearchState& st, PredSet p) {
       best_err = err;
       best.separable = false;
       best.head = p_prime;
-      best.head_sel = st.approximator->Estimate(*st.query, p_prime, choice);
+      best.head_sel = st.provider->Estimate(*st.query, p_prime, choice);
       best.choice = choice;
       best_sel = best.head_sel * qs;
     }
@@ -120,9 +124,9 @@ std::pair<double, double> Best(SearchState& st, PredSet p) {
 }  // namespace
 
 ExhaustiveResult ExhaustiveBest(const Query& query, PredSet p,
-                                FactorApproximator* approximator,
+                                AtomicSelectivityProvider* provider,
                                 bool separable_first, DerivationDag* dag) {
-  SearchState st{&query, approximator, separable_first, dag, 0};
+  SearchState st{&query, provider, separable_first, dag, 0};
   const auto [err, sel] = Best(st, p);
   ExhaustiveResult r;
   r.error = err;

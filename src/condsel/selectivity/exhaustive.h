@@ -12,7 +12,7 @@
 
 #include "condsel/analysis/derivation.h"
 #include "condsel/query/query.h"
-#include "condsel/selectivity/factor_approx.h"
+#include "condsel/selectivity/atomic_provider.h"
 
 namespace condsel {
 
@@ -23,7 +23,7 @@ struct ExhaustiveResult {
 };
 
 // Minimum merged error over decompositions of Sel(P), with factors scored
-// by `approximator`. When `separable_first` is set, separable subsets are
+// by `provider`. When `separable_first` is set, separable subsets are
 // forced through their standard decomposition (the DP's pruned space);
 // otherwise atomic decompositions are tried on separable subsets too (the
 // full space, which by Theorem 1 must not beat the pruned one).
@@ -34,7 +34,7 @@ struct ExhaustiveResult {
 // deterministic, so the first computation stands for all of them).
 // Infeasible subsets (no approximable decomposition) record nothing.
 ExhaustiveResult ExhaustiveBest(const Query& query, PredSet p,
-                                FactorApproximator* approximator,
+                                AtomicSelectivityProvider* provider,
                                 bool separable_first,
                                 DerivationDag* dag = nullptr);
 

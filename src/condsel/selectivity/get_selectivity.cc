@@ -1,11 +1,18 @@
 #include "condsel/selectivity/get_selectivity.h"
 
+#include <algorithm>
+#include <barrier>
 #include <chrono>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "condsel/catalog/catalog.h"
 #include "condsel/common/fault_injector.h"
 #include "condsel/common/macros.h"
 #include "condsel/common/numeric.h"
+#include "condsel/selectivity/decomposer.h"
 #include "condsel/selectivity/sel_expr.h"
 #include "condsel/selectivity/separability.h"
 
@@ -21,103 +28,81 @@ double Seconds(Clock::time_point from, Clock::time_point to) {
 }  // namespace
 
 GetSelectivity::GetSelectivity(const Query* query,
-                               FactorApproximator* approximator,
+                               AtomicSelectivityProvider* provider,
                                const EstimationBudget* budget)
-    : query_(query), approximator_(approximator), budget_(budget) {
+    : query_(query), provider_(provider), budget_(budget) {
   CONDSEL_CHECK(query != nullptr);
-  CONDSEL_CHECK(approximator != nullptr);
+  CONDSEL_CHECK(provider != nullptr);
 }
+
+GetSelectivity::~GetSelectivity() = default;
 
 SelEstimate GetSelectivity::Compute(PredSet p) {
   // Arm the per-call deadline (count caps are cumulative and need no
-  // per-call state).
-  deadline_armed_ = budget_ != nullptr && budget_->deadline_seconds > 0.0;
-  if (deadline_armed_) {
-    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                   std::chrono::duration<double>(
-                                       budget_->deadline_seconds));
-  }
-  const Entry& e = ComputeEntry(p);
+  // per-call state) and attach it to the provider so its candidate loops
+  // observe the same clock; detached again before returning so a shared
+  // provider never outlives a borrowed deadline.
+  deadline_.Arm(budget_ != nullptr ? budget_->deadline_seconds : 0.0);
+  provider_->set_deadline(&deadline_);
+  const int threads = budget_ != nullptr ? budget_->threads : 1;
+  const MemoEntry& e =
+      threads > 1 ? ComputeParallel(p, threads) : ComputeEntry(p);
+  provider_->set_deadline(nullptr);
+  deadline_.Disarm();
   return SelEstimate{e.selectivity, e.error};
 }
 
-bool GetSelectivity::BudgetExhausted() const {
-  if (budget_ == nullptr) return false;
-  const EstimationBudget& b = *budget_;
-  if (b.max_subproblems > 0 && stats_.subproblems >= b.max_subproblems) {
-    return true;
-  }
-  if (b.max_atomic_decompositions > 0 &&
-      stats_.atomic_considered >= b.max_atomic_decompositions) {
-    return true;
-  }
-  if (deadline_armed_) {
-    const FaultInjector& fi = FaultInjector::Instance();
-    if (fi.armed() && fi.enabled(Fault::kExpireDeadline)) return true;
-    if (Clock::now() >= deadline_) return true;
-  }
-  return false;
+const GsStats& GetSelectivity::stats() const {
+  counters_.Add(&stats_);
+  return stats_;
 }
 
 const DerivationAtom& GetSelectivity::SinglePredicateFallback(int i) {
-  auto it = fallback_memo_.find(i);
-  if (it != fallback_memo_.end()) return it->second;
-  // Conditioning on the empty set restricts the matcher to base histograms
-  // (expr ⊆ ∅): exactly the traditional noSit estimate for this predicate.
-  FactorChoice choice = approximator_->Score(*query_, 1u << i, /*cond=*/0);
-  DerivationAtom atom;
-  atom.pred = i;
-  if (choice.feasible) {
-    atom.selectivity = SanitizeSelectivity(
-        approximator_->Estimate(*query_, 1u << i, choice));
-    atom.has_stat = true;
-    const SitCandidate& cand = choice.sits.front();
-    atom.sit.sit_id = cand.sit->id;
-    atom.sit.is_base = cand.sit->is_base();
-    atom.sit.hypothesis = cand.expr_mask;
-    atom.sit.conditioning = 0;
-  } else {
-    // No base histogram either: contribute no information rather than
-    // abort. 1.0 never understates a cardinality, the safe direction for
-    // an optimizer that must still produce a plan.
-    ++stats_.default_fallbacks;
+  if (const DerivationAtom* hit = memo_.FindAtom(i)) return *hit;
+  DerivationAtom atom = provider_->BaseAtom(*query_, i, /*describe=*/true);
+  bool inserted = false;
+  const DerivationAtom& stored =
+      memo_.InsertAtom(i, std::move(atom), &inserted);
+  // 1.0 never understates a cardinality, the safe direction for an
+  // optimizer that must still produce a plan. Counted once per predicate
+  // (the insert can lose a concurrent race in the parallel driver).
+  if (inserted && !stored.has_stat) {
+    counters_.default_fallbacks.fetch_add(1, std::memory_order_relaxed);
   }
-  return fallback_memo_.emplace(i, atom).first->second;
+  return stored;
 }
 
-GetSelectivity::Entry GetSelectivity::MakeDegradedEntry(
-    PredSet p, FallbackReason reason) {
-  Entry entry;
-  entry.kind = Kind::kDegraded;
+MemoEntry GetSelectivity::DegradedEntry(PredSet p, FallbackReason reason) {
+  MemoEntry entry;
+  entry.kind = MemoEntryKind::kDegraded;
+  entry.fallback = reason;
   entry.error = kInfiniteError;  // never preferred over a scored candidate
   double sel = 1.0;
   for (int i : SetElements(p)) sel *= SinglePredicateFallback(i).selectivity;
   entry.selectivity = SanitizeSelectivity(sel);
-  ++stats_.degraded_subproblems;
-  RecordEntry(p, entry, /*factor_sel=*/1.0, reason);
+  counters_.degraded_subproblems.fetch_add(1, std::memory_order_relaxed);
   return entry;
 }
 
-void GetSelectivity::RecordEntry(PredSet p, const Entry& entry,
-                                 double factor_sel, FallbackReason reason) {
+void GetSelectivity::RecordEntry(PredSet p, const MemoEntry& entry) {
   if (recorder_ == nullptr) return;
   DerivationNode& node = recorder_->AddNode(p);
   node.selectivity = entry.selectivity;
   node.error = entry.error;
   const FaultInjector& fi = FaultInjector::Instance();
   switch (entry.kind) {
-    case Kind::kEmpty:
+    case MemoEntryKind::kEmpty:
       node.kind = DerivKind::kEmptySet;
       break;
-    case Kind::kSeparable:
+    case MemoEntryKind::kSeparable:
       node.kind = DerivKind::kSeparableSplit;
       node.tails = entry.components;
       node.standard_split = true;
       break;
-    case Kind::kAtomic: {
+    case MemoEntryKind::kAtomic: {
       node.kind = DerivKind::kConditionalFactor;
       node.head = entry.best_p_prime;
-      node.head_selectivity = factor_sel;
+      node.head_selectivity = entry.factor_selectivity;
       // Mutation hook (tests/derivation_audit_test.cc): a corrupted
       // recording must be *caught* by the auditor, proving the checker
       // can fail — the estimate itself is left untouched.
@@ -126,7 +111,10 @@ void GetSelectivity::RecordEntry(PredSet p, const Entry& entry,
       }
       const PredSet cond = p & ~entry.best_p_prime;
       node.tails.push_back(cond);
-      for (const SitCandidate& cand : entry.choice.sits) {
+      const std::vector<FactorProvenance> provenance =
+          provider_->Describe(*query_, entry.best_p_prime, entry.choice);
+      for (size_t i = 0; i < entry.choice.sits.size(); ++i) {
+        const SitCandidate& cand = entry.choice.sits[i];
         SitApplication app;
         app.sit_id = cand.sit->id;
         app.is_base = cand.sit->is_base();
@@ -137,13 +125,14 @@ void GetSelectivity::RecordEntry(PredSet p, const Entry& entry,
           // a hypothesis set outside the conditioning set.
           app.hypothesis |= entry.best_p_prime;
         }
-        node.sits.push_back(app);
+        if (i < provenance.size()) app.provenance = provenance[i];
+        node.sits.push_back(std::move(app));
       }
       break;
     }
-    case Kind::kDegraded:
+    case MemoEntryKind::kDegraded:
       node.kind = DerivKind::kPredicateProduct;
-      node.fallback = reason;
+      node.fallback = entry.fallback;
       for (int i : SetElements(p)) {
         node.atoms.push_back(SinglePredicateFallback(i));
       }
@@ -151,136 +140,52 @@ void GetSelectivity::RecordEntry(PredSet p, const Entry& entry,
   }
 }
 
-const GetSelectivity::Entry& GetSelectivity::ComputeEntry(PredSet p) {
-  auto it = memo_.find(p);
-  if (it != memo_.end()) {
-    ++stats_.memo_hits;
-    return it->second;
-  }
-
-  Entry entry;
-  if (p == 0) {
-    entry.kind = Kind::kEmpty;
-    entry.selectivity = 1.0;
-    entry.error = 0.0;
-    RecordEntry(p, entry, /*factor_sel=*/1.0, FallbackReason::kNone);
-    return memo_.emplace(p, std::move(entry)).first->second;
-  }
-
-  // Budget gate: once any knob runs out, every *new* subset is answered by
-  // the independence fallback instead of growing the search. Memoized
-  // entries keep serving their (more accurate) results. Degraded entries
-  // count in degraded_subproblems, not subproblems, so the cap bounds the
-  // entries the search actually works on.
-  if (BudgetExhausted()) {
-    stats_.budget_exhausted = true;
-    return memo_
-        .emplace(p, MakeDegradedEntry(p, FallbackReason::kBudgetExhausted))
-        .first->second;
-  }
-  ++stats_.subproblems;
-
-  const auto t0 = Clock::now();
-  const std::vector<PredSet> components = StandardDecomposition(*query_, p);
-  if (components.size() > 1) {
-    // Lines 3-7: separable — solve the standard decomposition's factors
-    // independently; Property 2 makes the product exact.
-    entry.kind = Kind::kSeparable;
-    entry.components = components;
-    stats_.analysis_seconds += Seconds(t0, Clock::now());
-    double sel = 1.0;
-    double err = 0.0;
-    for (PredSet comp : components) {
-      const Entry& ce = ComputeEntry(comp);
-      sel *= ce.selectivity;
-      err = ErrorFunction::Merge(err, ce.error);
-    }
-    entry.selectivity = SanitizeSelectivity(sel);
-    entry.error = err;
-    RecordEntry(p, entry, /*factor_sel=*/1.0, FallbackReason::kNone);
-    return memo_.emplace(p, std::move(entry)).first->second;
-  }
-  stats_.analysis_seconds += Seconds(t0, Clock::now());
-
+template <typename ChildFn>
+MemoEntry GetSelectivity::SolveNonSeparable(
+    PredSet p, const std::vector<PredSet>& candidates, ChildFn&& child) {
   // Lines 9-17: non-separable — try every atomic decomposition
-  // Sel(P'|Q) * Sel(Q) whose factor some SIT could approximate. With
-  // unidimensional SITs the approximable P' are single predicates and
-  // one-join-plus-filters-on-its-columns combinations; all other P' have
-  // error infinity (line 12's "no SITs available") and exploring them
-  // would never win, so they are skipped outright.
-  // Filters are enumerated before joins: nInd scores many decompositions
-  // equally (the paper's Section 3.5 motivation), and on ties the
-  // first-seen candidate wins. A filter in the head factor is conditioned
-  // on the joins, where filter-attribute SITs actually capture the
-  // dependence; a join head would be estimated from base histograms,
-  // silently assuming independence from every filter.
-  std::vector<PredSet> factor_candidates;
-  for (int i : SetElements(p)) {
-    if (query_->predicate(i).is_filter()) {
-      factor_candidates.push_back(1u << i);
-    }
-  }
-  // Filter pairs (approximable by multidimensional SITs).
-  {
-    const std::vector<int> fs = SetElements(p & query_->filter_predicates());
-    for (size_t a = 0; a < fs.size(); ++a) {
-      for (size_t b = a + 1; b < fs.size(); ++b) {
-        factor_candidates.push_back((1u << fs[a]) | (1u << fs[b]));
-      }
-    }
-  }
-  for (int i : SetElements(p)) {
-    if (query_->predicate(i).is_join()) factor_candidates.push_back(1u << i);
-  }
-  for (int j : SetElements(p)) {
-    if (!query_->predicate(j).is_join()) continue;
-    const Predicate& join = query_->predicate(j);
-    // Filters of P over the join's columns.
-    std::vector<int> attached;
-    for (int f : SetElements(p)) {
-      if (f == j || !query_->predicate(f).is_filter()) continue;
-      const ColumnRef c = query_->predicate(f).column();
-      if (c == join.left() || c == join.right()) attached.push_back(f);
-    }
-    const int nf = static_cast<int>(attached.size());
-    for (uint32_t m = 1; m < (1u << nf); ++m) {
-      PredSet combo = 1u << j;
-      for (int b = 0; b < nf; ++b) {
-        if (Contains(m, b)) {
-          combo = With(combo, attached[static_cast<size_t>(b)]);
-        }
-      }
-      factor_candidates.push_back(combo);
-    }
-  }
-
-  entry.kind = Kind::kAtomic;
+  // Sel(P'|Q) * Sel(Q) whose factor some SIT could approximate
+  // (decomposer.h explains the candidate order, which first-seen-wins
+  // tie-breaking makes load-bearing).
+  MemoEntry entry;
+  entry.kind = MemoEntryKind::kAtomic;
   double best_error = kInfiniteError;
   PredSet best_p_prime = 0;
   FactorChoice best_choice;
 
-  for (PredSet p_prime : factor_candidates) {
+  // Candidate-loop bookkeeping accumulates locally and flushes once:
+  // per-candidate fetch_add on the shared double counters is a CAS loop
+  // the parallel driver's workers would serialize on.
+  uint64_t considered = 0;
+  double analysis_acc = 0.0;
+
+  for (PredSet p_prime : candidates) {
     // Stop scoring further candidates once the budget runs out mid-loop;
     // whatever has been found so far (possibly nothing) decides below.
-    if (BudgetExhausted()) {
-      stats_.budget_exhausted = true;
+    if (BudgetExhausted(budget_, counters_, deadline_)) {
+      counters_.budget_exhausted.store(true, std::memory_order_relaxed);
       break;
     }
     const PredSet q = p & ~p_prime;
-    // Line 11: recurse before scoring so the merged error is available.
-    const Entry& qe = ComputeEntry(q);
+    // Line 11: solve the tail before scoring so the merged error is
+    // available. The sequential driver recurses here; the parallel driver
+    // reads the previous levels' memo entries (nullptr — possible only
+    // when the budget truncated the plan — skips the candidate, another
+    // flavor of the same degradation).
+    const MemoEntry* qe = child(q);
+    if (qe == nullptr) continue;
     // The recursion may have spent the budget; re-check before charging
     // another decomposition so the cap stays tight at every level.
-    if (BudgetExhausted()) {
-      stats_.budget_exhausted = true;
+    if (BudgetExhausted(budget_, counters_, deadline_)) {
+      counters_.budget_exhausted.store(true, std::memory_order_relaxed);
       break;
     }
     const auto t1 = Clock::now();
-    ++stats_.atomic_considered;
-    FactorChoice choice = approximator_->Score(*query_, p_prime, q);
-    stats_.analysis_seconds += Seconds(t1, Clock::now());
+    ++considered;
+    FactorChoice choice = provider_->Score(*query_, p_prime, q);
+    analysis_acc += Seconds(t1, Clock::now());
     if (!choice.feasible) continue;
-    const double merged = ErrorFunction::Merge(choice.error, qe.error);
+    const double merged = ErrorFunction::Merge(choice.error, qe->error);
     if (merged < best_error) {
       best_error = merged;
       best_p_prime = p_prime;
@@ -288,41 +193,270 @@ const GetSelectivity::Entry& GetSelectivity::ComputeEntry(PredSet p) {
     }
   }
 
+  counters_.atomic_considered.fetch_add(considered, std::memory_order_relaxed);
+  counters_.analysis_seconds.fetch_add(analysis_acc,
+                                       std::memory_order_relaxed);
+
   if (best_p_prime == 0) {
     // No feasible decomposition — a pool without base histograms for some
     // referenced column (the Try* API reports this up front), or a budget
     // that expired before the first candidate. Degrade instead of
     // aborting: the estimate must still be produced. The entry was already
-    // charged to subproblems above, which is why the recorded reason is
+    // charged to subproblems, which is why the recorded reason is
     // "no feasible decomposition" even when the budget expired mid-loop —
     // the search did run on this entry.
-    return memo_
-        .emplace(p, MakeDegradedEntry(
-                        p, FallbackReason::kNoFeasibleDecomposition))
-        .first->second;
+    return DegradedEntry(p, FallbackReason::kNoFeasibleDecomposition);
   }
 
   // Lines 16-17: estimate the winning factor with its chosen SITs
   // (histogram manipulation) and combine with the tail's estimate.
   const auto t2 = Clock::now();
   const double factor_sel = SanitizeSelectivity(
-      approximator_->Estimate(*query_, best_p_prime, best_choice));
-  stats_.histogram_seconds += Seconds(t2, Clock::now());
-  const Entry& tail = ComputeEntry(p & ~best_p_prime);
+      provider_->Estimate(*query_, best_p_prime, best_choice));
+  counters_.histogram_seconds.fetch_add(Seconds(t2, Clock::now()),
+                                        std::memory_order_relaxed);
+  const MemoEntry* tail = child(p & ~best_p_prime);
+  CONDSEL_CHECK(tail != nullptr);  // it was solved when the winner scored
 
   entry.best_p_prime = best_p_prime;
   entry.choice = std::move(best_choice);
+  entry.factor_selectivity = factor_sel;
   entry.error = best_error;
-  entry.selectivity = SanitizeSelectivity(factor_sel * tail.selectivity);
-  RecordEntry(p, entry, factor_sel, FallbackReason::kNone);
-  return memo_.emplace(p, std::move(entry)).first->second;
+  entry.selectivity = SanitizeSelectivity(factor_sel * tail->selectivity);
+  return entry;
+}
+
+const MemoEntry& GetSelectivity::ComputeEntry(PredSet p) {
+  if (const MemoEntry* hit = memo_.Find(p)) {
+    counters_.memo_hits.fetch_add(1, std::memory_order_relaxed);
+    return *hit;
+  }
+
+  if (p == 0) {
+    MemoEntry entry;
+    entry.kind = MemoEntryKind::kEmpty;
+    entry.selectivity = 1.0;
+    entry.error = 0.0;
+    RecordEntry(p, entry);
+    return memo_.Insert(p, std::move(entry));
+  }
+
+  // Budget gate: once any knob runs out, every *new* subset is answered by
+  // the independence fallback instead of growing the search. Memoized
+  // entries keep serving their (more accurate) results. Degraded entries
+  // count in degraded_subproblems, not subproblems, so the cap bounds the
+  // entries the search actually works on.
+  if (BudgetExhausted(budget_, counters_, deadline_)) {
+    counters_.budget_exhausted.store(true, std::memory_order_relaxed);
+    MemoEntry entry = DegradedEntry(p, FallbackReason::kBudgetExhausted);
+    RecordEntry(p, entry);
+    return memo_.Insert(p, std::move(entry));
+  }
+  counters_.subproblems.fetch_add(1, std::memory_order_relaxed);
+
+  const auto t0 = Clock::now();
+  const std::vector<PredSet> components = StandardDecomposition(*query_, p);
+  if (components.size() > 1) {
+    // Lines 3-7: separable — solve the standard decomposition's factors
+    // independently; Property 2 makes the product exact.
+    MemoEntry entry;
+    entry.kind = MemoEntryKind::kSeparable;
+    entry.components = components;
+    counters_.analysis_seconds.fetch_add(Seconds(t0, Clock::now()),
+                                         std::memory_order_relaxed);
+    double sel = 1.0;
+    double err = 0.0;
+    for (PredSet comp : components) {
+      const MemoEntry& ce = ComputeEntry(comp);
+      sel *= ce.selectivity;
+      err = ErrorFunction::Merge(err, ce.error);
+    }
+    entry.selectivity = SanitizeSelectivity(sel);
+    entry.error = err;
+    RecordEntry(p, entry);
+    return memo_.Insert(p, std::move(entry));
+  }
+  counters_.analysis_seconds.fetch_add(Seconds(t0, Clock::now()),
+                                       std::memory_order_relaxed);
+
+  const std::vector<PredSet> candidates =
+      AtomicFactorCandidates(*query_, p, &deadline_);
+  MemoEntry entry = SolveNonSeparable(
+      p, candidates,
+      [this](PredSet q) -> const MemoEntry* { return &ComputeEntry(q); });
+  RecordEntry(p, entry);
+  return memo_.Insert(p, std::move(entry));
+}
+
+const MemoEntry& GetSelectivity::ComputeParallel(PredSet p, int threads) {
+  // Pass 1 (sequential): discover the reachable sub-lattice and cache the
+  // per-subset analysis (standard decomposition / candidate enumeration),
+  // so workers only score and estimate. The closure pushed here — every
+  // separable component and every candidate tail Q = P∖P' — is exactly
+  // the set the sequential recursion visits, which is what makes the two
+  // drivers agree on budget-free runs.
+  struct PlanNode {
+    bool separable = false;
+    bool degrade = false;  // the deadline expired while planning
+    std::vector<PredSet> components;  // separable
+    std::vector<PredSet> candidates;  // non-separable
+  };
+  std::unordered_map<PredSet, PlanNode> plan;
+  std::vector<PredSet> planned;  // insertion order, deduplicated
+  std::vector<PredSet> stack{p};
+  const auto t0 = Clock::now();
+  while (!stack.empty()) {
+    const PredSet s = stack.back();
+    stack.pop_back();
+    if (plan.count(s) != 0 || memo_.Find(s) != nullptr) continue;
+    PlanNode node;
+    if (s != 0) {
+      if (deadline_.Expired()) {
+        // Plan no further: this subset (and everything only reachable
+        // through it) degrades to the independence fallback.
+        node.degrade = true;
+      } else {
+        const std::vector<PredSet> components =
+            StandardDecomposition(*query_, s);
+        if (components.size() > 1) {
+          node.separable = true;
+          node.components = components;
+          for (PredSet comp : components) stack.push_back(comp);
+        } else {
+          node.candidates = AtomicFactorCandidates(*query_, s, &deadline_);
+          for (PredSet p_prime : node.candidates) {
+            stack.push_back(s & ~p_prime);
+          }
+        }
+      }
+    }
+    plan.emplace(s, std::move(node));
+    planned.push_back(s);
+  }
+  counters_.analysis_seconds.fetch_add(Seconds(t0, Clock::now()),
+                                       std::memory_order_relaxed);
+
+  // Pass 2: solve one size-level at a time — every entry depends only on
+  // strict subsets, so all subsets of equal size form an antichain that
+  // can run concurrently. Within a level the deterministic (size, value)
+  // order fixes which worker gets which subset; results are order-free
+  // anyway because entries never read their own level.
+  std::sort(planned.begin(), planned.end(), [](PredSet a, PredSet b) {
+    const int sa = SetSize(a), sb = SetSize(b);
+    return sa != sb ? sa < sb : a < b;
+  });
+
+  auto child = [this](PredSet q) -> const MemoEntry* {
+    const MemoEntry* e = memo_.Find(q);
+    if (e != nullptr) {
+      counters_.memo_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    return e;
+  };
+
+  auto solve = [&](PredSet s, const PlanNode& node) {
+    MemoEntry entry;
+    if (s == 0) {
+      entry.kind = MemoEntryKind::kEmpty;
+    } else if (node.degrade ||
+               BudgetExhausted(budget_, counters_, deadline_)) {
+      counters_.budget_exhausted.store(true, std::memory_order_relaxed);
+      entry = DegradedEntry(s, FallbackReason::kBudgetExhausted);
+    } else {
+      counters_.subproblems.fetch_add(1, std::memory_order_relaxed);
+      if (node.separable) {
+        entry.kind = MemoEntryKind::kSeparable;
+        entry.components = node.components;
+        double sel = 1.0;
+        double err = 0.0;
+        for (PredSet comp : node.components) {
+          const MemoEntry* ce = child(comp);
+          if (ce == nullptr) {
+            // Only reachable when the plan was truncated by the deadline;
+            // the component contributes its independence fallback.
+            const MemoEntry degraded =
+                DegradedEntry(comp, FallbackReason::kBudgetExhausted);
+            const MemoEntry& stored = memo_.Insert(comp, degraded);
+            sel *= stored.selectivity;
+            err = ErrorFunction::Merge(err, stored.error);
+            continue;
+          }
+          sel *= ce->selectivity;
+          err = ErrorFunction::Merge(err, ce->error);
+        }
+        entry.selectivity = SanitizeSelectivity(sel);
+        entry.error = err;
+      } else {
+        entry = SolveNonSeparable(s, node.candidates, child);
+      }
+    }
+    memo_.Insert(s, std::move(entry));
+  };
+
+  // Level boundaries: [begin, end) runs of equal subset size.
+  std::vector<std::pair<size_t, size_t>> levels;
+  size_t max_width = 0;
+  for (size_t begin = 0; begin < planned.size();) {
+    size_t end = begin + 1;
+    const int size = SetSize(planned[begin]);
+    while (end < planned.size() && SetSize(planned[end]) == size) ++end;
+    levels.emplace_back(begin, end);
+    max_width = std::max(max_width, end - begin);
+    begin = end;
+  }
+
+  const size_t workers =
+      std::min<size_t>(static_cast<size_t>(threads), max_width);
+  // Small plans (memo-served re-requests, narrow sub-plans) are not worth
+  // a pool: thread startup would dwarf the scoring work.
+  constexpr size_t kMinParallelNodes = 24;
+  if (workers <= 1 || planned.size() < kMinParallelNodes) {
+    for (PredSet s : planned) solve(s, plan.at(s));
+  } else {
+    // One pool for the whole lattice; a barrier per level. All workers
+    // walk the same level sequence, each taking a deterministic stride
+    // slice, so the only synchronization is the level boundary itself.
+    std::barrier level_barrier(static_cast<std::ptrdiff_t>(workers));
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        for (const auto& [begin, end] : levels) {
+          for (size_t i = begin + w; i < end; i += workers) {
+            solve(planned[i], plan.at(planned[i]));
+          }
+          level_barrier.arrive_and_wait();
+        }
+      });
+    }
+  }  // jthreads join here: the lattice is fully solved
+
+  // Pass 3: mirror the new entries into the recorder in the same
+  // deterministic order, off the worker threads (the DAG is not
+  // synchronized, and post-hoc recording keeps node order reproducible
+  // across thread counts).
+  if (recorder_ != nullptr) {
+    std::unordered_set<PredSet> seen;
+    for (PredSet s : planned) {
+      if (!seen.insert(s).second) continue;
+      const MemoEntry* e = memo_.Find(s);
+      CONDSEL_CHECK(e != nullptr);
+      RecordEntry(s, *e);
+    }
+  }
+
+  const MemoEntry* root = memo_.Find(p);
+  CONDSEL_CHECK(root != nullptr);
+  return *root;
 }
 
 std::string GetSelectivity::Explain(PredSet p) const {
   std::string out;
-  if (stats_.budget_exhausted) {
+  GsStats snapshot;
+  counters_.Add(&snapshot);
+  if (snapshot.budget_exhausted) {
     out += "[budget exhausted: " +
-           std::to_string(stats_.degraded_subproblems) +
+           std::to_string(snapshot.degraded_subproblems) +
            " subset(s) degraded to the independence fallback]\n";
   }
   ExplainRec(p, 0, &out);
@@ -332,32 +466,51 @@ std::string GetSelectivity::Explain(PredSet p) const {
 void GetSelectivity::ExplainRec(PredSet p, int indent,
                                 std::string* out) const {
   const std::string pad(static_cast<size_t>(indent) * 2, ' ');
-  auto it = memo_.find(p);
-  if (it == memo_.end()) {
+  const MemoEntry* it = memo_.Find(p);
+  if (it == nullptr) {
     *out += pad + "(not computed)\n";
     return;
   }
-  const Entry& e = it->second;
+  const MemoEntry& e = *it;
   char buf[128];
   switch (e.kind) {
-    case Kind::kEmpty:
+    case MemoEntryKind::kEmpty:
       *out += pad + "Sel() = 1\n";
       break;
-    case Kind::kSeparable:
+    case MemoEntryKind::kSeparable:
       std::snprintf(buf, sizeof(buf),
                     "separable: sel=%.6g err=%.4g, %zu components\n",
                     e.selectivity, e.error, e.components.size());
       *out += pad + buf;
       for (PredSet comp : e.components) ExplainRec(comp, indent + 1, out);
       break;
-    case Kind::kDegraded:
+    case MemoEntryKind::kDegraded:
       std::snprintf(buf, sizeof(buf),
                     "degraded: sel=%.6g via independence fallback over %d "
                     "predicate(s)\n",
                     e.selectivity, SetSize(p));
       *out += pad + buf;
+      // Name the statistic (or the reason none exists) behind each atom.
+      for (int i : SetElements(p)) {
+        const DerivationAtom* atom = memo_.FindAtom(i);
+        if (atom == nullptr) continue;
+        const FactorProvenance& prov = atom->sit.provenance;
+        if (atom->has_stat) {
+          std::snprintf(buf, sizeof(buf), "  p%d: sel=%.6g from %s ", i,
+                        atom->selectivity, prov.histogram_kind.c_str());
+          *out += pad + buf + prov.source;
+          std::snprintf(buf, sizeof(buf), " (%d bucket(s))\n",
+                        prov.buckets_touched);
+          *out += buf;
+        } else {
+          *out +=
+              pad + "  p" + std::to_string(i) + ": default 1";
+          if (!prov.fallback.empty()) *out += " (" + prov.fallback + ")";
+          *out += "\n";
+        }
+      }
       break;
-    case Kind::kAtomic: {
+    case MemoEntryKind::kAtomic: {
       std::snprintf(buf, sizeof(buf), "sel=%.6g err=%.4g, factor ",
                     e.selectivity, e.error);
       *out += pad + buf;
@@ -372,6 +525,17 @@ void GetSelectivity::ExplainRec(PredSet p, int indent,
         *out += sbuf;
       }
       *out += "}\n";
+      // Provenance of the chosen statistics, from the provider's memoized
+      // decision (no re-estimation).
+      const std::vector<FactorProvenance> provenance =
+          provider_->Describe(*query_, e.best_p_prime, e.choice);
+      for (const FactorProvenance& prov : provenance) {
+        if (!prov.recorded) continue;
+        *out += pad + "  stat: " + prov.histogram_kind + " " + prov.source;
+        std::snprintf(buf, sizeof(buf), " (%d bucket(s))\n",
+                      prov.buckets_touched);
+        *out += buf;
+      }
       ExplainRec(p & ~e.best_p_prime, indent + 1, out);
       break;
     }

@@ -12,6 +12,21 @@
 //  - everything is memoized, so the optimizer's many sub-plan requests
 //    against the same query cost one DP (Section 4's reuse).
 //
+// The class is the evaluation *driver* over three separable layers:
+//   AtomicSelectivityProvider (atomic_provider.h) — the only code that
+//     matches SITs and reads histograms, with provenance reporting;
+//   AtomicFactorCandidates (decomposer.h) — the deadline-aware candidate
+//     enumeration, a pure function of (query, subset);
+//   SelectivityMemo (selectivity_memo.h) — the thread-safe subset memo.
+// Two drivers share them: the sequential recursion, and a level-parallel
+// driver (EstimationBudget::threads > 1) that runs each antichain of the
+// subset lattice — all subsets of equal size, whose entries only depend
+// on strictly smaller subsets — over a std::jthread pool. Scoring is a
+// pure function of the candidate lists, so on budget-free runs the two
+// drivers produce bit-identical estimates; with caps or deadlines armed,
+// which subsets degrade may differ by schedule (each answer is still a
+// valid graceful degradation).
+//
 // The DP is exponential in the number of predicates, so a production
 // deployment caps it with an EstimationBudget. When the budget runs out —
 // or when no SIT-approximable decomposition exists for a subset — the
@@ -28,15 +43,14 @@
 
 #pragma once
 
-#include <chrono>
-#include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "condsel/analysis/derivation.h"
 #include "condsel/query/query.h"
-#include "condsel/selectivity/factor_approx.h"
+#include "condsel/selectivity/atomic_provider.h"
+#include "condsel/selectivity/budget.h"
+#include "condsel/selectivity/selectivity_memo.h"
 
 namespace condsel {
 
@@ -45,49 +59,23 @@ struct SelEstimate {
   double error = 0.0;
 };
 
-// Caps on one memoized search. Each knob is a hard ceiling; 0 disables it.
-// The deadline applies per top-level Compute() call (an optimizer's
-// per-sub-plan latency budget), while the count caps are cumulative over
-// the search's lifetime, matching the cumulative GsStats counters.
-struct EstimationBudget {
-  uint64_t max_subproblems = 0;          // memo entries computed
-  uint64_t max_atomic_decompositions = 0;  // atomic decompositions scored
-  double deadline_seconds = 0.0;           // wall clock per Compute() call
-
-  bool unlimited() const {
-    return max_subproblems == 0 && max_atomic_decompositions == 0 &&
-           deadline_seconds <= 0.0;
-  }
-};
-
-struct GsStats {
-  uint64_t subproblems = 0;         // memo entries computed by the search
-                                    // (degraded entries excluded)
-  uint64_t memo_hits = 0;           // lookups answered from the memo
-  uint64_t atomic_considered = 0;   // atomic decompositions scored
-  double analysis_seconds = 0.0;    // search + view matching + ranking
-  double histogram_seconds = 0.0;   // estimation with the chosen SITs
-  // Robustness accounting:
-  bool budget_exhausted = false;       // some knob of the budget ran out
-  uint64_t degraded_subproblems = 0;   // entries answered by the fallback
-  uint64_t default_fallbacks = 0;      // predicates with no base histogram
-};
-
 class GetSelectivity {
  public:
   // All pointers are borrowed and must outlive this object. The
-  // approximator's matcher must already be bound to `query`. `budget` may
+  // provider's matcher must already be bound to `query`. `budget` may
   // be null (unlimited); it is re-read on every Compute() call, so the
   // owner can tighten or relax it between requests.
-  GetSelectivity(const Query* query, FactorApproximator* approximator,
+  GetSelectivity(const Query* query, AtomicSelectivityProvider* provider,
                  const EstimationBudget* budget = nullptr);
+  ~GetSelectivity();
 
   // Most accurate estimation of Sel(P) within budget. Memoized across
   // calls. Always finite, in [0, 1], and non-aborting: exhausted budget or
   // missing statistics degrade to the independence fallback (see stats()).
   SelEstimate Compute(PredSet p);
 
-  // Human-readable best decomposition of a previously computed subset.
+  // Human-readable best decomposition of a previously computed subset,
+  // including the provenance of every statistic behind an atomic factor.
   std::string Explain(PredSet p) const;
 
   // Attaches a derivation recorder: every memo entry created from now on
@@ -100,45 +88,42 @@ class GetSelectivity {
   void set_recorder(DerivationDag* dag) { recorder_ = dag; }
   DerivationDag* recorder() const { return recorder_; }
 
-  const GsStats& stats() const { return stats_; }
+  const GsStats& stats() const;
 
  private:
-  enum class Kind { kEmpty, kSeparable, kAtomic, kDegraded };
+  // Sequential driver: depth-first recursion (the paper's Figure 3).
+  const MemoEntry& ComputeEntry(PredSet p);
+  // Parallel driver: plans the reachable sub-lattice, then solves it one
+  // size-level at a time over `threads` workers.
+  const MemoEntry& ComputeParallel(PredSet p, int threads);
 
-  struct Entry {
-    double selectivity = 1.0;
-    double error = 0.0;
-    Kind kind = Kind::kEmpty;
-    PredSet best_p_prime = 0;        // kAtomic: the factor's P'
-    FactorChoice choice;             // kAtomic: chosen SITs
-    std::vector<PredSet> components; // kSeparable
-  };
+  // Scores the atomic decompositions of non-separable `p` over
+  // `candidates`, estimates the winner, and returns the finished entry
+  // (possibly degraded). `child` maps a subset to its solved entry; the
+  // sequential driver recurses, the parallel driver reads the memo.
+  template <typename ChildFn>
+  MemoEntry SolveNonSeparable(PredSet p, const std::vector<PredSet>& candidates,
+                              ChildFn&& child);
 
-  const Entry& ComputeEntry(PredSet p);
-  // True when any budget knob has run out for the current Compute() call.
-  bool BudgetExhausted() const;
   // Independence-assumption fallback entry for `p` (the noSit path).
-  // `reason` records which gate degraded it into the derivation DAG.
-  Entry MakeDegradedEntry(PredSet p, FallbackReason reason);
-  // Base-histogram estimate of one predicate; 1.0 when no base histogram
-  // exists. Memoized (it is re-entered by every degraded superset).
+  MemoEntry DegradedEntry(PredSet p, FallbackReason reason);
+  // Base-histogram estimate of one predicate; neutral 1.0 when no base
+  // histogram exists. Memoized (re-entered by every degraded superset).
   const DerivationAtom& SinglePredicateFallback(int i);
   void ExplainRec(PredSet p, int indent, std::string* out) const;
-  // Mirrors a freshly created memo entry into the attached recorder.
-  void RecordEntry(PredSet p, const Entry& entry, double factor_sel,
-                   FallbackReason reason);
+  // Mirrors a memo entry into the attached recorder.
+  void RecordEntry(PredSet p, const MemoEntry& entry);
 
   const Query* query_;
-  FactorApproximator* approximator_;
+  AtomicSelectivityProvider* provider_;
   const EstimationBudget* budget_;
   DerivationDag* recorder_ = nullptr;
-  std::unordered_map<PredSet, Entry> memo_;
-  std::unordered_map<int, DerivationAtom> fallback_memo_;
-  GsStats stats_;
-  // Deadline for the in-flight top-level Compute() call.
-  bool deadline_armed_ = false;
-  std::chrono::steady_clock::time_point deadline_{};
+  SelectivityMemo memo_;
+  BudgetCounters counters_;
+  // Deadline for the in-flight top-level Compute() call; attached to the
+  // provider for the duration of the call so candidate loops observe it.
+  Deadline deadline_;
+  mutable GsStats stats_;  // snapshot of counters_, refreshed by stats()
 };
 
 }  // namespace condsel
-

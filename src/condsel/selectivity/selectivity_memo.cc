@@ -1,0 +1,46 @@
+#include "condsel/selectivity/selectivity_memo.h"
+
+#include <shared_mutex>
+
+namespace condsel {
+
+const MemoEntry* SelectivityMemo::Find(PredSet p) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(p);
+  return it == index_.end() ? nullptr : it->second;
+}
+
+const MemoEntry& SelectivityMemo::Insert(PredSet p, MemoEntry entry) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(p);
+  if (it != index_.end()) return *it->second;
+  entries_.push_back(std::move(entry));
+  const MemoEntry* stored = &entries_.back();
+  index_.emplace(p, stored);
+  return *stored;
+}
+
+const DerivationAtom* SelectivityMemo::FindAtom(int pred) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = atoms_.find(pred);
+  return it == atoms_.end() ? nullptr : &it->second;
+}
+
+const DerivationAtom& SelectivityMemo::InsertAtom(int pred, DerivationAtom atom,
+                                                  bool* inserted) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = atoms_.find(pred);
+  if (it != atoms_.end()) {
+    if (inserted != nullptr) *inserted = false;
+    return it->second;
+  }
+  if (inserted != nullptr) *inserted = true;
+  return atoms_.emplace(pred, std::move(atom)).first->second;
+}
+
+size_t SelectivityMemo::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace condsel

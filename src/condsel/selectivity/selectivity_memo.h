@@ -1,0 +1,73 @@
+// SelectivityMemo — the shared, thread-safe memo of the getSelectivity DP.
+//
+// Keyed by predicate-subset bitmask. Storage is a deque behind a mutex so
+// entry references stay valid for the lifetime of the memo (both drivers
+// hold references across later inserts; the parallel driver's workers
+// insert concurrently). Insertion is first-wins: if two workers solve the
+// same subset (possible when a level's subsets share children across
+// Compute() calls), the first entry stands and the duplicate is dropped —
+// both are bit-identical on budget-free runs, so which one wins is
+// unobservable.
+//
+// The memo also holds the per-predicate independence-fallback atoms
+// (the noSit path re-entered by every degraded superset), memoized under
+// the same lock.
+
+#pragma once
+
+#include <deque>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "condsel/analysis/derivation.h"
+#include "condsel/common/thread_annotations.h"
+#include "condsel/query/query.h"
+#include "condsel/selectivity/atomic_provider.h"
+
+namespace condsel {
+
+// How a memo entry's selectivity was assembled.
+enum class MemoEntryKind { kEmpty, kSeparable, kAtomic, kDegraded };
+
+struct MemoEntry {
+  double selectivity = 1.0;
+  double error = 0.0;
+  MemoEntryKind kind = MemoEntryKind::kEmpty;
+  PredSet best_p_prime = 0;         // kAtomic: the factor's P'
+  FactorChoice choice;              // kAtomic: chosen SITs
+  double factor_selectivity = 1.0;  // kAtomic: Sel(P'|Q) as estimated
+  std::vector<PredSet> components;  // kSeparable
+  FallbackReason fallback = FallbackReason::kNone;  // kDegraded
+};
+
+class SelectivityMemo {
+ public:
+  // The entry for `p`, or nullptr. The reference stays valid for the
+  // memo's lifetime.
+  const MemoEntry* Find(PredSet p) const CONDSEL_EXCLUDES(mu_);
+
+  // Inserts (first-wins) and returns the stored entry.
+  const MemoEntry& Insert(PredSet p, MemoEntry entry) CONDSEL_EXCLUDES(mu_);
+
+  // Per-predicate fallback atoms, same contract. `inserted` (optional)
+  // reports whether `atom` was stored (false: an earlier atom won).
+  const DerivationAtom* FindAtom(int pred) const CONDSEL_EXCLUDES(mu_);
+  const DerivationAtom& InsertAtom(int pred, DerivationAtom atom,
+                                   bool* inserted = nullptr)
+      CONDSEL_EXCLUDES(mu_);
+
+  size_t size() const CONDSEL_EXCLUDES(mu_);
+
+ private:
+  // Reader-writer: the parallel driver's workers Find far more often than
+  // they Insert (every candidate tail is a read), so shared read locks
+  // keep the memo off the contention path.
+  mutable std::shared_mutex mu_;
+  std::deque<MemoEntry> entries_ CONDSEL_GUARDED_BY(mu_);
+  std::unordered_map<PredSet, const MemoEntry*> index_
+      CONDSEL_GUARDED_BY(mu_);
+  std::unordered_map<int, DerivationAtom> atoms_ CONDSEL_GUARDED_BY(mu_);
+};
+
+}  // namespace condsel

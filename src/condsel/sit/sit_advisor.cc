@@ -23,7 +23,7 @@ double WorkloadScore(const std::vector<Query>& workload,
   for (const Query& q : workload) {
     SitMatcher matcher(&pool);
     matcher.BindQuery(&q);
-    FactorApproximator fa(&matcher, &diff);
+    AtomicSelectivityProvider fa(&matcher, &diff);
     GetSelectivity gs(&q, &fa);
     total += gs.Compute(q.all_predicates()).error;
   }
@@ -61,6 +61,57 @@ std::vector<Sit> BuildCandidates(const std::vector<Query>& workload,
     }
   }
   return candidates;
+}
+
+// Runs the workload once more under the final pool, recording derivations,
+// and counts how many atomic factors each statistic supplied — the
+// provenance-backed citation report of AdvisorResult::citations.
+std::vector<SitCitation> CollectCitations(const std::vector<Query>& workload,
+                                          const SitPool& pool) {
+  std::map<SitId, SitCitation> by_id;
+  for (const Sit& s : pool.sits()) {
+    SitCitation c;
+    c.sit_id = s.id;
+    by_id.emplace(s.id, std::move(c));
+  }
+  DiffError diff;
+  for (const Query& q : workload) {
+    SitMatcher matcher(&pool);
+    matcher.BindQuery(&q);
+    AtomicSelectivityProvider provider(&matcher, &diff);
+    GetSelectivity gs(&q, &provider);
+    DerivationDag dag;
+    gs.set_recorder(&dag);
+    gs.Compute(q.all_predicates());
+    for (const DerivationNode& node : dag.nodes()) {
+      for (const SitApplication& app : node.sits) {
+        auto it = by_id.find(app.sit_id);
+        if (it == by_id.end()) continue;
+        ++it->second.uses;
+        if (it->second.source.empty() && app.provenance.recorded) {
+          it->second.source = app.provenance.source;
+          it->second.kind = app.provenance.histogram_kind;
+        }
+      }
+      for (const DerivationAtom& atom : node.atoms) {
+        if (!atom.has_stat) continue;
+        auto it = by_id.find(atom.sit.sit_id);
+        if (it == by_id.end()) continue;
+        ++it->second.uses;
+        if (it->second.source.empty() && atom.sit.provenance.recorded) {
+          it->second.source = atom.sit.provenance.source;
+          it->second.kind = atom.sit.provenance.histogram_kind;
+        }
+      }
+    }
+  }
+  std::vector<SitCitation> out;
+  out.reserve(by_id.size());
+  for (auto& [id, citation] : by_id) {
+    (void)id;
+    out.push_back(std::move(citation));
+  }
+  return out;
 }
 
 }  // namespace
@@ -104,6 +155,7 @@ AdvisorResult AdviseSits(const std::vector<Query>& workload,
     result.steps.push_back(AdvisorStep{id, best_score});
     current = best_score;
   }
+  result.citations = CollectCitations(workload, result.pool);
   return result;
 }
 

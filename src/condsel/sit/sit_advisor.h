@@ -10,6 +10,8 @@
 
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "condsel/query/query.h"
@@ -33,11 +35,25 @@ struct AdvisorStep {
   double score_after;   // total workload Diff score after adding it
 };
 
+// How often one statistic of the final pool supplied an atomic factor
+// across the workload's best decompositions, with the provider's
+// provenance description ("T2.c1 | T0.c0 = T1.c1" for a SIT, "T2.c1" for
+// a base histogram). Statistics the decompositions never cite are listed
+// with uses == 0 — a signal the advisor's pick went stale.
+struct SitCitation {
+  SitId sit_id = -1;
+  std::string source;        // FactorProvenance::source
+  std::string kind;          // FactorProvenance::histogram_kind
+  uint64_t uses = 0;         // atomic factors the statistic supplied
+};
+
 struct AdvisorResult {
   // Base histograms plus the chosen SITs, in selection order.
   SitPool pool;
   std::vector<AdvisorStep> steps;
   double initial_score = 0.0;  // bases only
+  // Per-statistic citation counts under the final pool, in pool id order.
+  std::vector<SitCitation> citations;
 };
 
 AdvisorResult AdviseSits(const std::vector<Query>& workload,

@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -63,8 +64,10 @@ class SitMatcher {
       ColumnRef a, ColumnRef b, PredSet cond,
       CallAccounting accounting = CallAccounting::kIndexed);
 
-  uint64_t num_calls() const { return num_calls_; }
-  void ResetCallCounter() { num_calls_ = 0; }
+  uint64_t num_calls() const {
+    return num_calls_.load(std::memory_order_relaxed);
+  }
+  void ResetCallCounter() { num_calls_.store(0, std::memory_order_relaxed); }
 
   const SitPool& pool() const { return *pool_; }
 
@@ -81,7 +84,10 @@ class SitMatcher {
   // (attr, attr2) with attr <= attr2 -> multidimensional candidates.
   std::map<std::pair<ColumnRef, ColumnRef>, std::vector<SitCandidate>>
       applicable2_;
-  uint64_t num_calls_ = 0;
+  // Atomic so the parallel getSelectivity driver's workers can charge
+  // view-matching calls concurrently; the applicability maps above are
+  // read-only once BindQuery returns, so lookups need no lock.
+  std::atomic<uint64_t> num_calls_{0};
 };
 
 }  // namespace condsel

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "condsel/selectivity/factor_approx.h"
+#include "condsel/selectivity/atomic_provider.h"
 #include "condsel/sit/sit_builder.h"
 #include "test_util.h"
 
@@ -55,7 +55,7 @@ class FactorApproxTest : public ::testing::Test {
 
 TEST_F(FactorApproxTest, SupportedShapes) {
   UseJ0Pool();
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   EXPECT_TRUE(fa.SupportedShape(query_, 0b0001));  // one filter
   EXPECT_TRUE(fa.SupportedShape(query_, 0b0010));  // one join
   EXPECT_FALSE(fa.SupportedShape(query_, 0));
@@ -74,13 +74,13 @@ TEST_F(FactorApproxTest, JoinPlusFilterOnJoinColumnSupported) {
   const Query q({Predicate::Filter(Rx(), 10, 20),
                  Predicate::Join(Rx(), Sy())});
   UseJ0Pool();
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   EXPECT_TRUE(fa.SupportedShape(q, 0b11));
 }
 
 TEST_F(FactorApproxTest, FilterFactorExactWithFineBaseHistogram) {
   UseJ0Pool();
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   FactorChoice c = fa.Score(query_, 0b0001, 0);
   ASSERT_TRUE(c.feasible);
   // R.a in [1,5] on 10 distinct values: 0.5 exactly.
@@ -90,7 +90,7 @@ TEST_F(FactorApproxTest, FilterFactorExactWithFineBaseHistogram) {
 
 TEST_F(FactorApproxTest, JoinFactorUsesTwoBaseSits) {
   UseJ0Pool();
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   FactorChoice c = fa.Score(query_, 0b0010, 0);
   ASSERT_TRUE(c.feasible);
   ASSERT_EQ(c.sits.size(), 2u);
@@ -102,7 +102,7 @@ TEST_F(FactorApproxTest, JoinFactorUsesTwoBaseSits) {
 TEST_F(FactorApproxTest, InfeasibleWithoutAnySit) {
   // Empty pool: nothing to match.
   matcher_.BindQuery(&query_);
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   const FactorChoice c = fa.Score(query_, 0b0001, 0);
   EXPECT_FALSE(c.feasible);
   EXPECT_EQ(c.error, kInfiniteError);
@@ -111,7 +111,7 @@ TEST_F(FactorApproxTest, InfeasibleWithoutAnySit) {
 TEST_F(FactorApproxTest, PrefersSitWithLargerExpression) {
   UseJ0Pool();
   AddJoinSit();
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   // Sel(p0 | p1): SIT(R.a|p1) has nInd error 0; base would give 1. The
   // matcher's maximality already removes the base here, but the choice
   // must carry the join SIT.
@@ -125,7 +125,7 @@ TEST_F(FactorApproxTest, PrefersSitWithLargerExpression) {
 TEST_F(FactorApproxTest, ConditionalEstimateUsesSitDistribution) {
   UseJ0Pool();
   AddJoinSit();
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   FactorChoice c = fa.Score(query_, 0b0001, 0b0010);
   ASSERT_TRUE(c.feasible);
   // Exact Sel(R.a in [1,5] | R join S): of the 10 join tuples, those with
@@ -142,7 +142,7 @@ TEST_F(FactorApproxTest, OptErrorPicksMostAccurateCandidate) {
   UseJ0Pool();
   AddJoinSit();
   OptError opt(&eval_);
-  FactorApproximator fa(&matcher_, &opt);
+  AtomicSelectivityProvider fa(&matcher_, &opt);
   FactorChoice c = fa.Score(query_, 0b0001, 0b0010);
   ASSERT_TRUE(c.feasible);
   // The join SIT estimates Sel(p0|p1) exactly, so Opt error must be ~0.
@@ -157,7 +157,7 @@ TEST_F(FactorApproxTest, JoinPlusFilterEstimate) {
   pool_.Add(builder_.Build(Rx(), {}));
   pool_.Add(builder_.Build(Sy(), {}));
   matcher_.BindQuery(&q);
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   ASSERT_TRUE(fa.SupportedShape(q, 0b11));
   FactorChoice c = fa.Score(q, 0b11, 0);
   ASSERT_TRUE(c.feasible);

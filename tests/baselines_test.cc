@@ -132,7 +132,7 @@ TEST_F(BaselinesTest, GsNIndDominatesGvmPointwise) {
   // per-query absolute error (here: per-subset nInd score) is no worse.
   BuildPool(2);
   NIndError n_ind;
-  FactorApproximator fa(&matcher_, &n_ind);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind);
   GetSelectivity gs(&query_, &fa);
   GvmEstimator gvm(&matcher_);
   for (PredSet p = 1; p <= query_.all_predicates(); ++p) {

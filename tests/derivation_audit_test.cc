@@ -71,7 +71,7 @@ TEST_P(DerivationAuditTest, GetSelectivityAuditsClean) {
   for (const Query& q : workload_) {
     SitMatcher matcher(&pool_);
     matcher.BindQuery(&q);
-    FactorApproximator fa(&matcher, &diff_);
+    AtomicSelectivityProvider fa(&matcher, &diff_);
     GetSelectivity gs(&q, &fa);
     DerivationDag dag;
     gs.set_recorder(&dag);
@@ -89,7 +89,7 @@ TEST_P(DerivationAuditTest, ExhaustiveAuditsClean) {
   for (const Query& q : workload_) {
     SitMatcher matcher(&pool_);
     matcher.BindQuery(&q);
-    FactorApproximator fa(&matcher, &diff_);
+    AtomicSelectivityProvider fa(&matcher, &diff_);
     for (const bool separable_first : {true, false}) {
       DerivationDag dag;
       ExhaustiveBest(q, q.all_predicates(), &fa, separable_first, &dag);
@@ -134,7 +134,7 @@ TEST_P(DerivationAuditTest, OptimizerCoupledAuditsClean) {
   for (const Query& q : workload_) {
     SitMatcher matcher(&pool_);
     matcher.BindQuery(&q);
-    FactorApproximator fa(&matcher, &diff_);
+    AtomicSelectivityProvider fa(&matcher, &diff_);
     OptimizerCoupledEstimator coupled(&q, &fa);
     DerivationDag dag;
     coupled.set_recorder(&dag);
@@ -157,7 +157,7 @@ TEST_P(DerivationAuditTest, BudgetDegradedSearchesAuditClean) {
     for (const Query& q : workload_) {
       SitMatcher matcher(&pool_);
       matcher.BindQuery(&q);
-      FactorApproximator fa(&matcher, &diff_);
+      AtomicSelectivityProvider fa(&matcher, &diff_);
       GetSelectivity gs(&q, &fa, &budget);
       DerivationDag dag;
       gs.set_recorder(&dag);
@@ -176,7 +176,7 @@ TEST_P(DerivationAuditTest, DeadlineDegradedSearchesAuditClean) {
   for (const Query& q : workload_) {
     SitMatcher matcher(&pool_);
     matcher.BindQuery(&q);
-    FactorApproximator fa(&matcher, &diff_);
+    AtomicSelectivityProvider fa(&matcher, &diff_);
     GetSelectivity gs(&q, &fa, &budget);
     DerivationDag dag;
     gs.set_recorder(&dag);
@@ -195,7 +195,7 @@ TEST_P(DerivationAuditTest, AuditorDetectsCorruptedFactor) {
   for (const Query& q : workload_) {
     SitMatcher matcher(&pool_);
     matcher.BindQuery(&q);
-    FactorApproximator fa(&matcher, &diff_);
+    AtomicSelectivityProvider fa(&matcher, &diff_);
     GetSelectivity gs(&q, &fa);
     DerivationDag dag;
     gs.set_recorder(&dag);
@@ -226,7 +226,7 @@ TEST_P(DerivationAuditTest, AuditorDetectsCorruptedHypothesisSet) {
   for (const Query& q : workload_) {
     SitMatcher matcher(&pool_);
     matcher.BindQuery(&q);
-    FactorApproximator fa(&matcher, &diff_);
+    AtomicSelectivityProvider fa(&matcher, &diff_);
     GetSelectivity gs(&q, &fa);
     DerivationDag dag;
     gs.set_recorder(&dag);
@@ -251,6 +251,44 @@ TEST_P(DerivationAuditTest, AuditorDetectsCorruptedHypothesisSet) {
   }
 }
 
+TEST_P(DerivationAuditTest, AuditorDetectsStrippedProvenance) {
+  // Re-record a real search's DAG with every FactorProvenance reset to
+  // its default (as a pre-provider recorder would have left it): the
+  // audit must flag exactly one provenance violation per statistic
+  // application and per product atom, and nothing else — the stripped
+  // copy is otherwise algebraically identical.
+  Build(/*num_queries=*/2);
+  for (const Query& q : workload_) {
+    SitMatcher matcher(&pool_);
+    matcher.BindQuery(&q);
+    AtomicSelectivityProvider fa(&matcher, &diff_);
+    GetSelectivity gs(&q, &fa);
+    DerivationDag dag;
+    gs.set_recorder(&dag);
+    gs.Compute(q.all_predicates());
+
+    DerivationDag stripped;
+    size_t expected = 0;
+    for (const DerivationNode& n : dag.nodes()) {
+      DerivationNode& copy = stripped.AddNode(n.subset);
+      copy = n;
+      for (SitApplication& s : copy.sits) s.provenance = FactorProvenance{};
+      for (DerivationAtom& a : copy.atoms) a.sit.provenance = FactorProvenance{};
+      expected += n.sits.size() + n.atoms.size();
+    }
+    if (expected == 0) continue;  // nothing to strip in this derivation
+
+    const AuditReport report = auditor_.Audit(q, stripped);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.Count(AuditCheck::kProvenance), expected)
+        << report.ToString();
+    for (const AuditViolation& v : report.violations) {
+      EXPECT_EQ(v.check, AuditCheck::kProvenance) << report.ToString();
+    }
+    EXPECT_NE(report.ToString().find("provenance"), std::string::npos);
+  }
+}
+
 // Sanity check on the mutation tests themselves: with no fault armed, the
 // same searches audit clean (the faults, not the workloads, trigger).
 TEST_P(DerivationAuditTest, MutationWorkloadsAuditCleanWithoutFaults) {
@@ -258,7 +296,7 @@ TEST_P(DerivationAuditTest, MutationWorkloadsAuditCleanWithoutFaults) {
   for (const Query& q : workload_) {
     SitMatcher matcher(&pool_);
     matcher.BindQuery(&q);
-    FactorApproximator fa(&matcher, &diff_);
+    AtomicSelectivityProvider fa(&matcher, &diff_);
     GetSelectivity gs(&q, &fa);
     DerivationDag dag;
     gs.set_recorder(&dag);

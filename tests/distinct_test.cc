@@ -46,7 +46,7 @@ TEST_F(DistinctTest, BaseTableGroupByIsNearExact) {
   SitMatcher matcher(&pool);
   matcher.BindQuery(&q);
   NIndError n_ind;
-  FactorApproximator fa(&matcher, &n_ind);
+  AtomicSelectivityProvider fa(&matcher, &n_ind);
   GetSelectivity gs(&q, &fa);
   // GROUP BY R.a over sigma_{a in [1,5]}: 5 distinct values (one per
   // row; per-value buckets make this near-exact).
@@ -63,7 +63,7 @@ TEST_F(DistinctTest, FilterOnGroupColumnRestrictsDomain) {
   SitMatcher matcher(&pool);
   matcher.BindQuery(&q);
   NIndError n_ind;
-  FactorApproximator fa(&matcher, &n_ind);
+  AtomicSelectivityProvider fa(&matcher, &n_ind);
   GetSelectivity gs(&q, &fa);
   const double est = EstimateGroupByCardinality(catalog_, q, 1, Rx(),
                                                 &matcher, &gs);
@@ -89,7 +89,7 @@ TEST_F(DistinctTest, SitOverJoinImprovesGroupByEstimate) {
   auto estimate = [&](const SitPool& pool) {
     SitMatcher matcher(&pool);
     matcher.BindQuery(&q);
-    FactorApproximator fa(&matcher, &n_ind);
+    AtomicSelectivityProvider fa(&matcher, &n_ind);
     GetSelectivity gs(&q, &fa);
     return EstimateGroupByCardinality(catalog_, q, 1, Ra(), &matcher, &gs);
   };
@@ -124,7 +124,7 @@ TEST_F(DistinctTest, CardenasSaturatesAtFewRows) {
   SitMatcher matcher(&pool);
   matcher.BindQuery(&q);
   NIndError n_ind;
-  FactorApproximator fa(&matcher, &n_ind);
+  AtomicSelectivityProvider fa(&matcher, &n_ind);
   GetSelectivity gs(&q, &fa);
   const double est =
       EstimateGroupByCardinality(c, q, 1, {0, 0}, &matcher, &gs);

@@ -53,7 +53,7 @@ TEST(EdgeCaseTest, AllNullJoinColumn) {
   SitMatcher matcher(&pool);
   matcher.BindQuery(&q);
   NIndError n_ind;
-  FactorApproximator fa(&matcher, &n_ind);
+  AtomicSelectivityProvider fa(&matcher, &n_ind);
   GetSelectivity gs(&q, &fa);
   const double sel = gs.Compute(1).selectivity;
   EXPECT_GE(sel, 0.0);
@@ -76,7 +76,7 @@ TEST(EdgeCaseTest, SingleRowTables) {
   SitMatcher matcher(&pool);
   matcher.BindQuery(&q);
   DiffError diff;
-  FactorApproximator fa(&matcher, &diff);
+  AtomicSelectivityProvider fa(&matcher, &diff);
   GetSelectivity gs(&q, &fa);
   EXPECT_NEAR(gs.Compute(q.all_predicates()).selectivity, 1.0, 1e-9);
 }
@@ -94,7 +94,7 @@ TEST(EdgeCaseTest, FilterMatchingNothing) {
   SitMatcher matcher(&pool);
   matcher.BindQuery(&q);
   NIndError n_ind;
-  FactorApproximator fa(&matcher, &n_ind);
+  AtomicSelectivityProvider fa(&matcher, &n_ind);
   GetSelectivity gs(&q, &fa);
   EXPECT_DOUBLE_EQ(gs.Compute(q.all_predicates()).selectivity, 0.0);
 }
@@ -118,7 +118,7 @@ TEST(EdgeCaseTest, SitOverEmptyExpressionResult) {
   SitMatcher matcher(&pool);
   matcher.BindQuery(&q);
   DiffError diff;
-  FactorApproximator fa(&matcher, &diff);
+  AtomicSelectivityProvider fa(&matcher, &diff);
   GetSelectivity gs(&q, &fa);
   const double sel = gs.Compute(q.all_predicates()).selectivity;
   EXPECT_GE(sel, 0.0);
@@ -162,7 +162,7 @@ TEST(EdgeCaseTest, PureFilterQueryNoJoins) {
   SitMatcher matcher(&pool);
   matcher.BindQuery(&q);
   NIndError n_ind;
-  FactorApproximator fa(&matcher, &n_ind);
+  AtomicSelectivityProvider fa(&matcher, &n_ind);
   GetSelectivity gs(&q, &fa);
   // Fully separable: exact product, zero error.
   const SelEstimate e = gs.Compute(q.all_predicates());
@@ -200,7 +200,7 @@ TEST(EdgeCaseTest, MaxPredicateQuery) {
   SitMatcher matcher(&pool);
   matcher.BindQuery(&q);
   DiffError diff;
-  FactorApproximator fa(&matcher, &diff);
+  AtomicSelectivityProvider fa(&matcher, &diff);
   GetSelectivity gs(&q, &fa);
   const double sel = gs.Compute(q.all_predicates()).selectivity;
   EXPECT_GE(sel, 0.0);
@@ -219,7 +219,7 @@ TEST(EdgeCaseTest, ZeroFilterWorkloadQuery) {
   SitMatcher matcher(&pool);
   matcher.BindQuery(&q);
   NIndError n_ind;
-  FactorApproximator fa(&matcher, &n_ind);
+  AtomicSelectivityProvider fa(&matcher, &n_ind);
   GetSelectivity gs(&q, &fa);
   const double sel = gs.Compute(q.all_predicates()).selectivity;
   EXPECT_GT(sel, 0.0);

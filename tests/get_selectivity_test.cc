@@ -49,7 +49,7 @@ class GetSelectivityTest : public ::testing::Test {
 
 TEST_F(GetSelectivityTest, EmptySetIsUnit) {
   BuildPool(0);
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   GetSelectivity gs(&query_, &fa);
   const SelEstimate e = gs.Compute(0);
   EXPECT_DOUBLE_EQ(e.selectivity, 1.0);
@@ -58,7 +58,7 @@ TEST_F(GetSelectivityTest, EmptySetIsUnit) {
 
 TEST_F(GetSelectivityTest, SinglePredicateUsesBase) {
   BuildPool(0);
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   GetSelectivity gs(&query_, &fa);
   EXPECT_NEAR(gs.Compute(0b0001).selectivity, 0.5, 1e-12);
   EXPECT_DOUBLE_EQ(gs.Compute(0b0001).error, 0.0);
@@ -66,7 +66,7 @@ TEST_F(GetSelectivityTest, SinglePredicateUsesBase) {
 
 TEST_F(GetSelectivityTest, SeparableSubsetMultiplies) {
   BuildPool(0);
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   GetSelectivity gs(&query_, &fa);
   const double lhs = gs.Compute(0b1001).selectivity;
   const double rhs =
@@ -80,19 +80,19 @@ TEST_F(GetSelectivityTest, J0PoolBestErrorByHand) {
   // conditioned on filters are pruned per Section 3.4 — so the best
   // chain is (f_R|3 preds)(f_T|2 joins)(j_RS|j_ST)(j_ST): 3+2+1+0 = 6.
   BuildPool(0);
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   GetSelectivity gs(&query_, &fa);
   const SelEstimate full = gs.Compute(query_.all_predicates());
   EXPECT_DOUBLE_EQ(full.error, 6.0);
 }
 
 TEST_F(GetSelectivityTest, RicherPoolNeverHurtsError) {
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   std::vector<double> errors;
   for (int j = 0; j <= 2; ++j) {
     BuildPool(j);
     matcher_.BindQuery(&query_);
-    FactorApproximator fresh(&matcher_, &n_ind_);
+    AtomicSelectivityProvider fresh(&matcher_, &n_ind_);
     GetSelectivity gs(&query_, &fresh);
     errors.push_back(gs.Compute(query_.all_predicates()).error);
   }
@@ -106,7 +106,7 @@ TEST_F(GetSelectivityTest, MatchesExhaustiveMinimumNInd) {
   // (separable-first) space, and must not be beaten by the full space.
   for (int j = 0; j <= 2; ++j) {
     BuildPool(j);
-    FactorApproximator fa(&matcher_, &n_ind_);
+    AtomicSelectivityProvider fa(&matcher_, &n_ind_);
     GetSelectivity gs(&query_, &fa);
     const SelEstimate dp = gs.Compute(query_.all_predicates());
     const ExhaustiveResult pruned =
@@ -121,7 +121,7 @@ TEST_F(GetSelectivityTest, MatchesExhaustiveMinimumNInd) {
 TEST_F(GetSelectivityTest, MatchesExhaustiveMinimumDiff) {
   for (int j = 0; j <= 2; ++j) {
     BuildPool(j);
-    FactorApproximator fa(&matcher_, &diff_);
+    AtomicSelectivityProvider fa(&matcher_, &diff_);
     GetSelectivity gs(&query_, &fa);
     const SelEstimate dp = gs.Compute(query_.all_predicates());
     const ExhaustiveResult pruned =
@@ -132,7 +132,7 @@ TEST_F(GetSelectivityTest, MatchesExhaustiveMinimumDiff) {
 
 TEST_F(GetSelectivityTest, MemoizationAnswersRepeats) {
   BuildPool(1);
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   GetSelectivity gs(&query_, &fa);
   const SelEstimate first = gs.Compute(query_.all_predicates());
   const uint64_t subproblems = gs.stats().subproblems;
@@ -151,7 +151,7 @@ TEST_F(GetSelectivityTest, SubQueryEstimatesComeForFree) {
   // The paper: "As a byproduct of getSelectivity(R, P), we get the most
   // accurate selectivity estimation for every sub-query".
   BuildPool(1);
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   GetSelectivity gs(&query_, &fa);
   gs.Compute(query_.all_predicates());
   matcher_.ResetCallCounter();
@@ -165,13 +165,13 @@ TEST_F(GetSelectivityTest, OptOracleAtLeastMatchesNoSitAccuracy) {
   // plan on the full query's estimate.
   BuildPool(2);
   OptError opt(&eval_);
-  FactorApproximator fa(&matcher_, &opt);
+  AtomicSelectivityProvider fa(&matcher_, &opt);
   GetSelectivity gs(&query_, &fa);
   const double est = gs.Compute(query_.all_predicates()).selectivity;
   const double truth = eval_.TrueSelectivity(query_, query_.all_predicates());
 
   BuildPool(0);
-  FactorApproximator fa0(&matcher_, &opt);
+  AtomicSelectivityProvider fa0(&matcher_, &opt);
   GetSelectivity gs0(&query_, &fa0);
   const double naive = gs0.Compute(query_.all_predicates()).selectivity;
   EXPECT_LE(std::abs(est - truth), std::abs(naive - truth) + 1e-12);
@@ -179,7 +179,7 @@ TEST_F(GetSelectivityTest, OptOracleAtLeastMatchesNoSitAccuracy) {
 
 TEST_F(GetSelectivityTest, ExplainMentionsChosenSits) {
   BuildPool(1);
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   GetSelectivity gs(&query_, &fa);
   gs.Compute(query_.all_predicates());
   const std::string explain = gs.Explain(query_.all_predicates());
@@ -189,7 +189,7 @@ TEST_F(GetSelectivityTest, ExplainMentionsChosenSits) {
 
 TEST_F(GetSelectivityTest, TimingSplitAccumulates) {
   BuildPool(2);
-  FactorApproximator fa(&matcher_, &diff_);
+  AtomicSelectivityProvider fa(&matcher_, &diff_);
   GetSelectivity gs(&query_, &fa);
   gs.Compute(query_.all_predicates());
   EXPECT_GT(gs.stats().analysis_seconds, 0.0);

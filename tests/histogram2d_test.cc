@@ -157,7 +157,7 @@ TEST_F(MultidimSitTest, DpUsesPairFactorWhenItHelps) {
   auto estimate = [&](const SitPool& pool) {
     SitMatcher matcher(&pool);
     matcher.BindQuery(&q);
-    FactorApproximator fa(&matcher, &diff);
+    AtomicSelectivityProvider fa(&matcher, &diff);
     GetSelectivity gs(&q, &fa);
     return gs.Compute(q.all_predicates()).selectivity;
   };

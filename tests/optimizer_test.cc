@@ -133,9 +133,9 @@ class CoupledTest : public ::testing::Test {
 
 TEST_F(CoupledTest, AgreesWithDpOnSinglePredicates) {
   BuildPool(1);
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   OptimizerCoupledEstimator coupled(&query_, &fa);
-  FactorApproximator fa2(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa2(&matcher_, &n_ind_);
   GetSelectivity gs(&query_, &fa2);
   for (int i = 0; i < query_.num_predicates(); ++i) {
     EXPECT_NEAR(coupled.Estimate(1u << i).selectivity,
@@ -148,9 +148,9 @@ TEST_F(CoupledTest, NeverBeatsFullDp) {
   // best error is >= the full DP's (and often equal).
   for (int j = 0; j <= 2; ++j) {
     BuildPool(j);
-    FactorApproximator fa(&matcher_, &n_ind_);
+    AtomicSelectivityProvider fa(&matcher_, &n_ind_);
     OptimizerCoupledEstimator coupled(&query_, &fa);
-    FactorApproximator fa2(&matcher_, &n_ind_);
+    AtomicSelectivityProvider fa2(&matcher_, &n_ind_);
     GetSelectivity gs(&query_, &fa2);
     const double coupled_err =
         coupled.Estimate(query_.all_predicates()).error;
@@ -161,7 +161,7 @@ TEST_F(CoupledTest, NeverBeatsFullDp) {
 
 TEST_F(CoupledTest, MemoizesGroups) {
   BuildPool(1);
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   OptimizerCoupledEstimator coupled(&query_, &fa);
   coupled.Estimate(query_.all_predicates());
   const uint64_t entries = coupled.entries_considered();
@@ -172,7 +172,7 @@ TEST_F(CoupledTest, MemoizesGroups) {
 
 TEST_F(CoupledTest, EstimatesAreProbabilities) {
   BuildPool(2);
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   OptimizerCoupledEstimator coupled(&query_, &fa);
   for (PredSet p = 1; p <= query_.all_predicates(); ++p) {
     const double sel = coupled.Estimate(p).selectivity;
@@ -183,7 +183,7 @@ TEST_F(CoupledTest, EstimatesAreProbabilities) {
 
 TEST_F(CoupledTest, TryEstimateRejectsForeignPredicates) {
   BuildPool(1);
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   OptimizerCoupledEstimator coupled(&query_, &fa);
   // Bit 5 is outside the bound query's 4 predicates.
   const StatusOr<SelEstimate> r = coupled.TryEstimate(1u << 5);
@@ -196,7 +196,7 @@ TEST_F(CoupledTest, TryEstimateReportsUnestimableGroups) {
   // FAILED_PRECONDITION instead of aborting the process.
   pool_ = SitPool();
   matcher_.BindQuery(&query_);
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   OptimizerCoupledEstimator coupled(&query_, &fa);
   const StatusOr<SelEstimate> r =
       coupled.TryEstimate(query_.all_predicates());
@@ -208,7 +208,7 @@ TEST_F(CoupledTest, TryEstimateReportsUnestimableGroups) {
 
 TEST_F(CoupledTest, TryEstimateMatchesEstimateOnSuccess) {
   BuildPool(2);
-  FactorApproximator fa(&matcher_, &n_ind_);
+  AtomicSelectivityProvider fa(&matcher_, &n_ind_);
   OptimizerCoupledEstimator coupled(&query_, &fa);
   const StatusOr<SelEstimate> r =
       coupled.TryEstimate(query_.all_predicates());

@@ -1,0 +1,185 @@
+// The parallel getSelectivity driver (EstimationBudget::threads > 1).
+//
+// Verifies the contract documented in get_selectivity.h: on budget-free
+// runs the level-parallel driver is bit-identical to the sequential
+// recursion at every thread count; under budgets it degrades gracefully
+// (finite, in-range, flagged in GsStats); and its post-hoc derivation
+// recording passes the full DerivationAuditor, provenance included.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "condsel/analysis/auditor.h"
+#include "condsel/common/fault_injector.h"
+#include "condsel/common/numeric.h"
+#include "condsel/datagen/snowflake.h"
+#include "condsel/datagen/workload.h"
+#include "condsel/exec/evaluator.h"
+#include "condsel/harness/metrics.h"
+#include "condsel/selectivity/error_function.h"
+#include "condsel/selectivity/get_selectivity.h"
+#include "condsel/sit/sit_builder.h"
+#include "condsel/sit/sit_matcher.h"
+#include "condsel/sit/sit_pool.h"
+
+namespace condsel {
+namespace {
+
+std::string Hex(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+class ParallelDpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SnowflakeOptions sopt;
+    sopt.scale = 0.01;
+    catalog_ = BuildSnowflake(sopt);
+    cache_ = std::make_unique<CardinalityCache>();
+    evaluator_ = std::make_unique<Evaluator>(&catalog_, cache_.get());
+    builder_ = std::make_unique<SitBuilder>(evaluator_.get(),
+                                            SitBuildOptions{});
+    WorkloadOptions wopt;
+    wopt.num_queries = 3;
+    wopt.num_joins = 3;
+    wopt.num_filters = 3;
+    wopt.seed = 7;
+    workload_ = GenerateWorkload(catalog_, evaluator_.get(), wopt);
+    pool_ = GenerateSitPool(workload_, 2, *builder_);
+  }
+
+  // Computes every SubPlanFamily subset of every workload query with the
+  // given budget; returns one "sel err" hexfloat pair per estimate.
+  std::vector<std::string> Transcript(const EstimationBudget* budget) {
+    DiffError diff;
+    std::vector<std::string> lines;
+    for (const Query& q : workload_) {
+      SitMatcher matcher(&pool_);
+      matcher.BindQuery(&q);
+      AtomicSelectivityProvider provider(&matcher, &diff);
+      GetSelectivity gs(&q, &provider, budget);
+      for (PredSet p : SubPlanFamily(q)) {
+        const SelEstimate e = gs.Compute(p);
+        lines.push_back(Hex(e.selectivity) + " " + Hex(e.error));
+      }
+    }
+    return lines;
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<CardinalityCache> cache_;
+  std::unique_ptr<Evaluator> evaluator_;
+  std::unique_ptr<SitBuilder> builder_;
+  std::vector<Query> workload_;
+  SitPool pool_;
+};
+
+TEST_F(ParallelDpTest, BitIdenticalAcrossThreadCounts) {
+  const std::vector<std::string> sequential = Transcript(nullptr);
+  ASSERT_FALSE(sequential.empty());
+  for (int threads : {2, 4, 8}) {
+    EstimationBudget budget;
+    budget.threads = threads;
+    const std::vector<std::string> parallel = Transcript(&budget);
+    ASSERT_EQ(sequential.size(), parallel.size()) << threads << " threads";
+    for (size_t i = 0; i < sequential.size(); ++i) {
+      EXPECT_EQ(sequential[i], parallel[i])
+          << "estimate " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST_F(ParallelDpTest, RecordedDerivationAuditsClean) {
+  EstimationBudget budget;
+  budget.threads = 4;
+  DiffError diff;
+  const DerivationAuditor auditor;
+  for (const Query& q : workload_) {
+    SitMatcher matcher(&pool_);
+    matcher.BindQuery(&q);
+    AtomicSelectivityProvider provider(&matcher, &diff);
+    GetSelectivity gs(&q, &provider, &budget);
+    DerivationDag dag;
+    gs.set_recorder(&dag);
+    gs.Compute(q.all_predicates());
+    const AuditReport report = auditor.Audit(q, dag, gs.stats());
+    EXPECT_TRUE(report.ok()) << report.ToString();
+  }
+}
+
+TEST_F(ParallelDpTest, SubproblemCapDegradesGracefully) {
+  EstimationBudget budget;
+  budget.threads = 4;
+  budget.max_subproblems = 3;
+  DiffError diff;
+  const Query& q = workload_.front();
+  SitMatcher matcher(&pool_);
+  matcher.BindQuery(&q);
+  AtomicSelectivityProvider provider(&matcher, &diff);
+  GetSelectivity gs(&q, &provider, &budget);
+  const SelEstimate e = gs.Compute(q.all_predicates());
+  EXPECT_GE(e.selectivity, 0.0);
+  EXPECT_LE(e.selectivity, 1.0);
+  const GsStats& stats = gs.stats();
+  EXPECT_TRUE(stats.budget_exhausted);
+  EXPECT_GT(stats.degraded_subproblems, 0u);
+}
+
+TEST_F(ParallelDpTest, ExpiredDeadlineDegradesToIndependence) {
+  // With the expiry fault armed the plan degrades before the first
+  // subset: the result must equal the independence product of the
+  // single-predicate base estimates, same as the sequential driver's
+  // documented fallback.
+  DiffError diff;
+  const Query& q = workload_.front();
+
+  double product = 1.0;
+  {
+    SitMatcher matcher(&pool_);
+    matcher.BindQuery(&q);
+    AtomicSelectivityProvider provider(&matcher, &diff);
+    for (int i : SetElements(q.all_predicates())) {
+      product *= provider.BaseAtom(q, i, /*describe=*/false).selectivity;
+    }
+  }
+
+  EstimationBudget budget;
+  budget.threads = 4;
+  budget.deadline_seconds = 3600.0;
+  SitMatcher matcher(&pool_);
+  matcher.BindQuery(&q);
+  AtomicSelectivityProvider provider(&matcher, &diff);
+  GetSelectivity gs(&q, &provider, &budget);
+  SelEstimate e;
+  {
+    ScopedFault expire(Fault::kExpireDeadline);
+    e = gs.Compute(q.all_predicates());
+  }
+  EXPECT_EQ(Hex(e.selectivity), Hex(SanitizeSelectivity(product)));
+  EXPECT_TRUE(gs.stats().budget_exhausted);
+}
+
+TEST_F(ParallelDpTest, StatsStayCleanWithoutBudgetPressure) {
+  EstimationBudget budget;
+  budget.threads = 4;
+  DiffError diff;
+  const Query& q = workload_.front();
+  SitMatcher matcher(&pool_);
+  matcher.BindQuery(&q);
+  AtomicSelectivityProvider provider(&matcher, &diff);
+  GetSelectivity gs(&q, &provider, &budget);
+  gs.Compute(q.all_predicates());
+  const GsStats& stats = gs.stats();
+  EXPECT_FALSE(stats.budget_exhausted);
+  EXPECT_EQ(stats.degraded_subproblems, 0u);
+  EXPECT_GT(stats.subproblems, 0u);
+}
+
+}  // namespace
+}  // namespace condsel

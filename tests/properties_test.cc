@@ -117,7 +117,7 @@ TEST_P(PropertiesTest, DpMatchesExhaustiveAndEstimatesAreProbabilities) {
   DiffError diff;
   for (const ErrorFunction* fn :
        std::initializer_list<const ErrorFunction*>{&n_ind, &diff}) {
-    FactorApproximator fa(&matcher, fn);
+    AtomicSelectivityProvider fa(&matcher, fn);
     GetSelectivity gs(&q, &fa);
     const SelEstimate dp = gs.Compute(q.all_predicates());
     const ExhaustiveResult pruned =
@@ -152,7 +152,7 @@ TEST_P(PropertiesTest, MoreConditioningNeverWorsensOptimalNInd) {
     const SitPool pool = GenerateSitPool({q}, j, builder);
     SitMatcher matcher(&pool);
     matcher.BindQuery(&q);
-    FactorApproximator fa(&matcher, &n_ind);
+    AtomicSelectivityProvider fa(&matcher, &n_ind);
     GetSelectivity gs(&q, &fa);
     const double err = gs.Compute(q.all_predicates()).error;
     ASSERT_LE(err, prev + 1e-12) << "J" << j;
@@ -183,7 +183,7 @@ TEST_P(PropertiesTest, DpMatchesExhaustiveWithMultidimSits) {
   SitMatcher matcher(&pool);
   matcher.BindQuery(&q);
   DiffError diff;
-  FactorApproximator fa(&matcher, &diff);
+  AtomicSelectivityProvider fa(&matcher, &diff);
   GetSelectivity gs(&q, &fa);
   const SelEstimate dp = gs.Compute(q.all_predicates());
   const ExhaustiveResult pruned =

@@ -364,6 +364,38 @@ TEST_F(BudgetTest, DeadlineFaultIgnoredWithoutDeadline) {
   EXPECT_FALSE(stats->budget_exhausted);
 }
 
+TEST_F(BudgetTest, DeadlineNotOvershotByPathologicalLookups) {
+  // Regression: the deadline used to be consulted only between memo
+  // subproblems, so a pathological candidate fan-out (here: every
+  // provider scoring pass injected with a slow lookup) could overshoot
+  // deadline_seconds by orders of magnitude. The gates now sit inside
+  // candidate enumeration and the provider's scoring loops; the wall
+  // clock must land near the deadline — unchecked, this query's
+  // thousands of 2ms lookups would run for many seconds.
+  EstimationBudget budget;
+  budget.deadline_seconds = 0.2;
+  Estimator est(&catalog_, &pool_, Ranking::kDiff, budget);
+  const auto start = std::chrono::steady_clock::now();
+  StatusOr<double> sel = Status::Internal("unset");
+  {
+    ScopedFault slow(Fault::kSlowAtomicLookup);
+    sel = est.TryEstimateSelectivity(query_);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(sel.ok()) << sel.status().ToString();
+  EXPECT_GE(*sel, 0.0);
+  EXPECT_LE(*sel, 1.0);
+  // 5x headroom over the configured deadline absorbs scheduler jitter and
+  // the one in-flight lookup per gate, while still failing loudly if the
+  // enumeration loops ever lose their deadline checks.
+  EXPECT_LT(elapsed, 5.0 * budget.deadline_seconds);
+  const GsStats* stats = est.StatsFor(query_);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_TRUE(stats->budget_exhausted);
+}
+
 TEST_F(BudgetTest, DegradedEstimateStaysCloseToIndependence) {
   // A search whose deadline expired before the first subset must equal the
   // product of the single-predicate base estimates — the documented

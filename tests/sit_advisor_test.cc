@@ -108,5 +108,28 @@ TEST_F(SitAdvisorTest, FewSitsCaptureMostOfFullPoolBenefit) {
   EXPECT_LE(advised_err - full_err, 0.7 * (base_err - full_err) + 1e-9);
 }
 
+TEST_F(SitAdvisorTest, CitationsNameTheStatisticBehindEveryUse) {
+  AdvisorOptions opt;
+  opt.budget = 4;
+  opt.max_join_preds = 2;
+  const AdvisorResult r = AdviseSits(workload_, *builder_, opt);
+
+  // One citation row per pool statistic; any statistic the workload
+  // actually used must name its provenance (source + histogram kind).
+  EXPECT_EQ(r.citations.size(), static_cast<size_t>(r.pool.size()));
+  uint64_t total_uses = 0;
+  for (const SitCitation& c : r.citations) {
+    EXPECT_GE(c.sit_id, 0);
+    total_uses += c.uses;
+    if (c.uses > 0) {
+      EXPECT_FALSE(c.source.empty()) << "sit#" << c.sit_id;
+      EXPECT_FALSE(c.kind.empty()) << "sit#" << c.sit_id;
+    }
+  }
+  // The workload estimates are built from these statistics, so at least
+  // the base histograms must register uses.
+  EXPECT_GT(total_uses, 0u);
+}
+
 }  // namespace
 }  // namespace condsel

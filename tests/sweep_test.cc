@@ -57,7 +57,7 @@ TEST_P(PipelineSweepTest, EstimatesAreProbabilitiesEverywhere) {
     matcher.BindQuery(&q);
     for (const ErrorFunction* fn :
          std::initializer_list<const ErrorFunction*>{&n_ind, &diff}) {
-      FactorApproximator fa(&matcher, fn);
+      AtomicSelectivityProvider fa(&matcher, fn);
       GetSelectivity gs(&q, &fa);
       for (PredSet plan : SubPlanFamily(q)) {
         const SelEstimate e = gs.Compute(plan);
@@ -77,11 +77,11 @@ TEST_P(PipelineSweepTest, MemoizedSubPlansAgreeWithFreshComputation) {
     SitMatcher matcher(&pool_);
     matcher.BindQuery(&q);
     // One DP answering everything vs a fresh DP per sub-plan.
-    FactorApproximator fa_all(&matcher, &diff);
+    AtomicSelectivityProvider fa_all(&matcher, &diff);
     GetSelectivity gs_all(&q, &fa_all);
     gs_all.Compute(q.all_predicates());
     for (PredSet plan : SubPlanFamily(q)) {
-      FactorApproximator fa_one(&matcher, &diff);
+      AtomicSelectivityProvider fa_one(&matcher, &diff);
       GetSelectivity gs_one(&q, &fa_one);
       ASSERT_NEAR(gs_all.Compute(plan).selectivity,
                   gs_one.Compute(plan).selectivity, 1e-12);
@@ -98,7 +98,7 @@ TEST_P(PipelineSweepTest, DpNeverWorseThanExhaustiveOnSmallQueries) {
   for (const Query& q : workload_) {
     SitMatcher matcher(&pool_);
     matcher.BindQuery(&q);
-    FactorApproximator fa(&matcher, &diff);
+    AtomicSelectivityProvider fa(&matcher, &diff);
     GetSelectivity gs(&q, &fa);
     const double dp = gs.Compute(q.all_predicates()).error;
     const double pruned =

@@ -17,6 +17,7 @@
 //   --max-subproblems=<N>   budget: memo entries computed     (0 = unlimited)
 //   --max-atomic=<N>        budget: atomic decompositions     (0 = unlimited)
 //   --deadline-ms=<F>       budget: wall clock per estimate   (0 = unlimited)
+//   --threads=<N>           getSelectivity DP worker threads  (default 1)
 //   --stats                 print search statistics and degradation flags
 //   --audit                 record every estimator's derivation DAG and
 //                           statically verify it (DerivationAuditor); a
@@ -99,6 +100,8 @@ bool ParseArgs(int argc, char** argv, Options* out) {
           static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
     } else if (const char* v = value("--deadline-ms=")) {
       out->budget.deadline_seconds = std::atof(v) / 1000.0;
+    } else if (const char* v = value("--threads=")) {
+      out->budget.threads = std::max(1, std::atoi(v));
     } else if (arg == "--stats") {
       out->stats = true;
     } else if (arg == "--audit") {
@@ -129,7 +132,8 @@ void Usage() {
       "                   [--ranking=diff|nind] [--catalog=PATH "
       "[--pool=PATH]]\n"
       "                   [--max-subproblems=N] [--max-atomic=N]\n"
-      "                   [--deadline-ms=F] [--stats] [--audit]\n"
+      "                   [--deadline-ms=F] [--threads=N] [--stats] "
+      "[--audit]\n"
       "                   [--truth] [--explain] [SQL ...]\n"
       "With no SQL arguments, statements are read from stdin, one per "
       "line.\n");
@@ -150,7 +154,7 @@ bool AuditQuery(const Query& q, const SitPool& pool, Ranking ranking,
   const ErrorFunction* fn =
       ranking == Ranking::kNInd ? static_cast<const ErrorFunction*>(&n_ind)
                                 : static_cast<const ErrorFunction*>(&diff);
-  FactorApproximator approx(&matcher, fn);
+  AtomicSelectivityProvider approx(&matcher, fn);
   const DerivationAuditor auditor;
   bool all_ok = true;
 

@@ -38,6 +38,16 @@ comment on the same or the preceding line):
                         (std::atomic, another mutex). Unannotated mutable
                         state next to a mutex is where thread-safety
                         claims silently rot.
+  no-raw-histogram-lookup
+                        estimator code (src/condsel/{selectivity,baselines,
+                        optimizer}/) must not call the histogram selectivity
+                        accessors (RangeSelectivity / EqualsSelectivity)
+                        directly — AtomicSelectivityProvider
+                        (selectivity/atomic_provider.cc, the one exempt
+                        file) is the single lookup layer, so sanitization,
+                        fault injection, and FactorProvenance cannot be
+                        bypassed. histogram/ itself and the non-estimator
+                        approximation layers are out of scope.
 
 Usage:
   condsel_lint.py [--root REPO]      lint the repository (exit 1 on findings)
@@ -273,6 +283,34 @@ def check_guarded_by(path: str, text: str, lines: list[str]) -> list[Finding]:
     return findings
 
 
+RAW_HISTOGRAM_RE = re.compile(
+    r"(?:\.|->)\s*(RangeSelectivity|EqualsSelectivity)\s*\(")
+ESTIMATOR_DIRS = ("src/condsel/selectivity/", "src/condsel/baselines/",
+                  "src/condsel/optimizer/")
+
+
+def check_raw_histogram_lookup(path: str, text: str,
+                               lines: list[str]) -> list[Finding]:
+    if not path.startswith(ESTIMATOR_DIRS):
+        return []
+    if path == "src/condsel/selectivity/atomic_provider.cc":
+        return []  # the one sanctioned lookup layer
+    findings = []
+    for i, line in enumerate(lines):
+        code = line.split("//")[0]
+        m = RAW_HISTOGRAM_RE.search(code)
+        if not m:
+            continue
+        if _allowed(lines, i, "no-raw-histogram-lookup"):
+            continue
+        findings.append(Finding(
+            path, i + 1, "no-raw-histogram-lookup",
+            f"estimator code calls Histogram::{m.group(1)} directly; "
+            "route the lookup through AtomicSelectivityProvider so "
+            "sanitization, fault hooks, and provenance apply"))
+    return findings
+
+
 RULES = [
     check_pragma_once,
     check_using_namespace,
@@ -282,6 +320,7 @@ RULES = [
     check_no_abort,
     check_nodiscard_status,
     check_guarded_by,
+    check_raw_histogram_lookup,
 ]
 
 

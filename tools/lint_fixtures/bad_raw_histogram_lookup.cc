@@ -1,0 +1,20 @@
+// Fixture: estimator code reading a histogram's selectivity accessors
+// directly instead of routing through AtomicSelectivityProvider — the
+// lookup would bypass SanitizeSelectivity, the fault-injection hooks,
+// and FactorProvenance recording.
+// lint-fixture-path: src/condsel/baselines/bad_raw_histogram_lookup.cc
+// lint-expect: no-raw-histogram-lookup
+
+#include "condsel/histogram/histogram.h"
+
+namespace condsel {
+
+double EstimateFilter(const Histogram& h, int64_t lo, int64_t hi) {
+  return SanitizeSelectivity(h.RangeSelectivity(lo, hi));
+}
+
+double EstimatePoint(const Histogram* h, int64_t v) {
+  return SanitizeSelectivity(h->EqualsSelectivity(v));
+}
+
+}  // namespace condsel
