@@ -38,6 +38,12 @@ struct ThreadedRun {
   double seconds = 0.0;               // best-of-repetition wall time
   std::vector<std::string> estimates; // hexfloat transcript, all sub-plans
   Json per_query = Json::Array();     // wall time + subproblems + estimate
+  // Work-stealing scheduler totals over the final repetition (zero on the
+  // sequential run): how much the in-level scheduler had to rebalance.
+  uint64_t steals = 0;
+  uint64_t stolen_subsets = 0;
+  uint64_t parallel_levels = 0;
+  uint64_t max_level_width = 0;
 };
 
 // Times GS-Diff with the given thread count over every sub-plan of every
@@ -53,6 +59,8 @@ ThreadedRun RunThreaded(const std::vector<Query>& workload,
   for (int rep = 0; rep < reps; ++rep) {
     run.estimates.clear();
     run.per_query = Json::Array();
+    run.steals = run.stolen_subsets = 0;
+    run.parallel_levels = run.max_level_width = 0;
     double total = 0.0;
     for (const Query& q : workload) {
       SitMatcher matcher(&pool);
@@ -75,10 +83,18 @@ ThreadedRun RunThreaded(const std::vector<Query>& workload,
                                         start)
               .count();
       total += seconds;
+      const GsStats& stats = gs.stats();
+      run.steals += stats.steals;
+      run.stolen_subsets += stats.stolen_subsets;
+      run.parallel_levels += stats.parallel_levels;
+      run.max_level_width =
+          std::max(run.max_level_width, stats.max_level_width);
       run.per_query.Push(Json::Object()
                              .Set("seconds", seconds)
-                             .Set("subproblems", gs.stats().subproblems)
-                             .Set("estimate", full.selectivity));
+                             .Set("subproblems", stats.subproblems)
+                             .Set("estimate", full.selectivity)
+                             .Set("steals", stats.steals)
+                             .Set("stolen_subsets", stats.stolen_subsets));
     }
     run.seconds = std::min(run.seconds, total);
   }
@@ -196,6 +212,10 @@ int main() {
         .Set("threads_4_seconds", par.seconds)
         .Set("speedup", speedup)
         .Set("bit_identical", identical)
+        .Set("threads_4_steals", par.steals)
+        .Set("threads_4_stolen_subsets", par.stolen_subsets)
+        .Set("threads_4_parallel_levels", par.parallel_levels)
+        .Set("threads_4_max_level_width", par.max_level_width)
         .Set("threads_1_per_query", seq.per_query)
         .Set("threads_4_per_query", par.per_query);
     if (!identical) {

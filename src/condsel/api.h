@@ -21,7 +21,12 @@
 // methods remain as thin wrappers that CHECK-fail on error, preserving
 // their original contract. An EstimationBudget (see get_selectivity.h)
 // caps the per-query search; on exhaustion estimates degrade to the
-// independence assumption rather than blocking or failing.
+// independence assumption rather than blocking or failing. The budget's
+// deadline is per-Compute state owned by each session's driver and passed
+// down the layers as a call argument (budget.h documents the contract):
+// an AtomicSelectivityProvider shared by several concurrent estimation
+// sessions carries no deadline — or any other per-search — state, so the
+// sessions cannot clobber each other's clock.
 
 #pragma once
 

@@ -22,6 +22,12 @@ void FaultInjector::Reset() {
     faults_[i].store(false, std::memory_order_relaxed);
   }
   armed_.store(0, std::memory_order_relaxed);
+  slow_lookup_mask_.store(~0u, std::memory_order_relaxed);
+}
+
+void FaultInjector::SetSlowLookupMask(uint32_t mask) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  slow_lookup_mask_.store(mask, std::memory_order_relaxed);
 }
 
 }  // namespace condsel

@@ -25,11 +25,21 @@
 //  - kSlowAtomicLookup: every AtomicSelectivityProvider scoring pass
 //    sleeps briefly, simulating cold statistics storage — deadline
 //    enforcement inside the decomposition enumeration must keep the
-//    overshoot bounded by one lookup, not one subproblem.
+//    overshoot bounded by one lookup, not one subproblem. Tests can
+//    restrict the stall to factors intersecting a predicate mask
+//    (SetSlowLookupMask), making some subset-lattice levels orders of
+//    magnitude more expensive than others — the work-stealing scheduler's
+//    imbalance scenario.
+//  - kThrowAtomicLookup: the provider's public scoring entry point throws
+//    (simulating an embedder hook or allocation failure escaping
+//    mid-search) — RAII cleanup such as ScopedDeadline must leave shared
+//    state clean on the unwind path. The BaseAtom degradation path stays
+//    exempt, like the deadline: the fallback must outlive the fault.
 
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 
 #include "condsel/common/thread_annotations.h"
@@ -43,6 +53,7 @@ enum class Fault {
   kCorruptDerivationFactor,
   kCorruptHypothesisSet,
   kSlowAtomicLookup,
+  kThrowAtomicLookup,
 };
 
 class FaultInjector {
@@ -62,16 +73,41 @@ class FaultInjector {
   // exchange-then-count update and leave armed_ out of sync with faults_.
   // Readers stay lock-free: armed()/enabled() are the production hot path.
   void Set(Fault f, bool on) CONDSEL_EXCLUDES(mu_);
-  void Reset() CONDSEL_EXCLUDES(mu_);  // disarm everything
+  void Reset() CONDSEL_EXCLUDES(mu_);  // disarm everything, mask to all-ones
+
+  // Scope of kSlowAtomicLookup: the stall only fires for factors whose
+  // predicate bitmask intersects `mask` (default ~0u = every factor).
+  // Lets tests slow down a chosen slice of the subset lattice to force
+  // per-level cost imbalance.
+  void SetSlowLookupMask(uint32_t mask) CONDSEL_EXCLUDES(mu_);
+  uint32_t slow_lookup_mask() const {
+    return slow_lookup_mask_.load(std::memory_order_relaxed);
+  }
 
  private:
   FaultInjector() = default;
-  static constexpr int kNumFaults = 6;
+  static constexpr int kNumFaults = 7;
   static int Index(Fault f) { return static_cast<int>(f); }
 
   std::mutex mu_;              // serializes writers; reads are atomic
   std::atomic<int> armed_{0};  // number of armed faults
   std::atomic<bool> faults_[kNumFaults] = {};
+  std::atomic<uint32_t> slow_lookup_mask_{~0u};
+};
+
+// RAII predicate-mask scope for kSlowAtomicLookup; restores the
+// match-everything default on destruction.
+class ScopedSlowLookupMask {
+ public:
+  explicit ScopedSlowLookupMask(uint32_t mask) {
+    FaultInjector::Instance().SetSlowLookupMask(mask);
+  }
+  ~ScopedSlowLookupMask() {
+    FaultInjector::Instance().SetSlowLookupMask(~0u);
+  }
+
+  ScopedSlowLookupMask(const ScopedSlowLookupMask&) = delete;
+  ScopedSlowLookupMask& operator=(const ScopedSlowLookupMask&) = delete;
 };
 
 // RAII arm/disarm for tests.

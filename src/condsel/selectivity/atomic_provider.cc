@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <stdexcept>
 #include <thread>
 
 #include "condsel/common/fault_injector.h"
@@ -63,10 +64,14 @@ FactorProvenance MakeProvenance(const Sit& sit, const char* kind,
 }
 
 // The cold-statistics-storage fault: one bounded stall per provider
-// lookup, so deadline tests can measure enforcement granularity.
-void MaybeInjectSlowLookup() {
+// lookup, so deadline tests can measure enforcement granularity. The
+// stall is scoped to factors intersecting the injector's predicate mask,
+// letting tests make a chosen slice of the lattice pathologically slow
+// (the work-stealing scheduler's imbalance scenario).
+void MaybeInjectSlowLookup(PredSet p) {
   const FaultInjector& fi = FaultInjector::Instance();
-  if (fi.armed() && fi.enabled(Fault::kSlowAtomicLookup)) {
+  if (fi.armed() && fi.enabled(Fault::kSlowAtomicLookup) &&
+      (p & fi.slow_lookup_mask()) != 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
 }
@@ -119,14 +124,23 @@ bool AtomicSelectivityProvider::SupportedShape(const Query& query,
 }
 
 FactorChoice AtomicSelectivityProvider::Score(const Query& query, PredSet p,
-                                              PredSet cond) {
-  return ScoreImpl(query, p, cond, deadline_);
+                                              PredSet cond,
+                                              const Deadline* deadline) {
+  // The throwing-lookup fault fires only on the public scoring path:
+  // BaseAtom goes straight to ScoreImpl, so the independence fallback —
+  // the degradation target — survives the fault, mirroring the deadline
+  // exemption.
+  const FaultInjector& fi = FaultInjector::Instance();
+  if (fi.armed() && fi.enabled(Fault::kThrowAtomicLookup)) {
+    throw std::runtime_error("injected: statistics lookup failed");
+  }
+  return ScoreImpl(query, p, cond, deadline);
 }
 
 FactorChoice AtomicSelectivityProvider::ScoreImpl(const Query& query,
                                                   PredSet p, PredSet cond,
                                                   const Deadline* deadline) {
-  MaybeInjectSlowLookup();
+  MaybeInjectSlowLookup(p);
   FactorChoice best;
   int join_pred;
   std::vector<int> filters;
@@ -354,7 +368,9 @@ DerivationAtom AtomicSelectivityProvider::BaseAtom(const Query& query,
 
 std::vector<SitCandidate> AtomicSelectivityProvider::Candidates(
     ColumnRef attr, PredSet cond, SitMatcher::CallAccounting accounting) {
-  MaybeInjectSlowLookup();
+  // The greedy view-matching path has no factor bitmask; treat it as
+  // matching every mask so the stall behaves as before for GVM.
+  MaybeInjectSlowLookup(~PredSet{0});
   return matcher_->Candidates(attr, cond, accounting);
 }
 

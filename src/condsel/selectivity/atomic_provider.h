@@ -29,7 +29,12 @@
 // Thread-safety: the provider is stateless apart from borrowed pointers;
 // after the matcher is bound to a query, Score/Estimate may be called
 // concurrently from the parallel DP's workers (the matcher's call counter
-// is atomic; its applicability index is read-only once bound).
+// is atomic; its applicability index is read-only once bound). Deadlines
+// are per-call arguments, never provider state: estimators sharing one
+// provider each pass their own Deadline to Score, so concurrent searches
+// cannot clobber each other's clock and an estimator destroyed mid-flight
+// cannot leave a dangling deadline behind (the old set_deadline slot did
+// both; condsel_lint's raw-set-deadline rule keeps it from coming back).
 
 #pragma once
 
@@ -64,11 +69,13 @@ class AtomicSelectivityProvider {
 
   // Picks the SITs minimizing the error function for Sel(P' | Q). Invokes
   // the view-matching routine (SitMatcher::Candidates); this is the
-  // "decomposition analysis" side of the Fig. 8 timing split. When a
-  // deadline is attached and expires mid-scoring, the remaining candidates
-  // are skipped and the best choice found so far stands (possibly
-  // infeasible) — the lookup, not the subproblem, bounds the overshoot.
-  FactorChoice Score(const Query& query, PredSet p, PredSet cond);
+  // "decomposition analysis" side of the Fig. 8 timing split. `deadline`
+  // is the caller's per-call clock (borrowed for this call only; nullptr
+  // = none): when it expires mid-scoring, the remaining candidates are
+  // skipped and the best choice found so far stands (possibly infeasible)
+  // — the lookup, not the subproblem, bounds the overshoot.
+  FactorChoice Score(const Query& query, PredSet p, PredSet cond,
+                     const Deadline* deadline = nullptr);
 
   // Histogram manipulation: evaluates the estimate of Sel(P' | Q) with
   // the chosen SITs. When `provenance` is non-null it is filled with one
@@ -104,18 +111,14 @@ class AtomicSelectivityProvider {
                             const SitCandidate& cand,
                             FactorProvenance* provenance) const;
 
-  // Attaches a cooperative deadline consulted inside Score's candidate
-  // loops. Borrowed; nullptr detaches. The driver must keep it armed only
-  // while a budgeted search runs.
-  void set_deadline(const Deadline* deadline) { deadline_ = deadline; }
-
   const ErrorFunction& error_fn() const { return *error_fn_; }
   SitMatcher& matcher() { return *matcher_; }
 
  private:
-  // Score with an explicit deadline (nullptr = none). BaseAtom scores
-  // through here with no deadline: the independence fallback is the
-  // degradation target and must stay available after the clock expires.
+  // Scoring core shared by Score and BaseAtom. BaseAtom scores through
+  // here with no deadline and no throw hook: the independence fallback is
+  // the degradation target and must stay available after the clock
+  // expires (or a fault fires).
   FactorChoice ScoreImpl(const Query& query, PredSet p, PredSet cond,
                          const Deadline* deadline);
 
@@ -130,7 +133,6 @@ class AtomicSelectivityProvider {
 
   SitMatcher* matcher_;
   const ErrorFunction* error_fn_;
-  const Deadline* deadline_ = nullptr;
 };
 
 }  // namespace condsel

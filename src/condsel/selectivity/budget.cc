@@ -5,19 +5,29 @@
 namespace condsel {
 
 void Deadline::Arm(double seconds) {
-  armed_ = seconds > 0.0;
-  if (armed_) {
-    at_ = std::chrono::steady_clock::now() +
-          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-              std::chrono::duration<double>(seconds));
+  if (seconds <= 0.0) {
+    Disarm();
+    return;
   }
+  const auto at =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  // Publication contract (budget.h): the expiry instant is stored before
+  // armed_ is released, so a reader that acquires armed_ == true never
+  // sees a stale instant.
+  at_.store(at.time_since_epoch().count(), std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
 }
 
 bool Deadline::Expired() const {
-  if (!armed_) return false;
+  if (!armed_.load(std::memory_order_acquire)) return false;
   const FaultInjector& fi = FaultInjector::Instance();
   if (fi.armed() && fi.enabled(Fault::kExpireDeadline)) return true;
-  return std::chrono::steady_clock::now() >= at_;
+  const std::chrono::steady_clock::time_point at{
+      std::chrono::steady_clock::duration{
+          at_.load(std::memory_order_relaxed)}};
+  return std::chrono::steady_clock::now() >= at;
 }
 
 void BudgetCounters::Add(GsStats* out) const {
@@ -30,6 +40,10 @@ void BudgetCounters::Add(GsStats* out) const {
   out->budget_exhausted = budget_exhausted.load(std::memory_order_relaxed);
   out->analysis_seconds = analysis_seconds.load(std::memory_order_relaxed);
   out->histogram_seconds = histogram_seconds.load(std::memory_order_relaxed);
+  out->steals = steals.load(std::memory_order_relaxed);
+  out->stolen_subsets = stolen_subsets.load(std::memory_order_relaxed);
+  out->parallel_levels = parallel_levels.load(std::memory_order_relaxed);
+  out->max_level_width = max_level_width.load(std::memory_order_relaxed);
 }
 
 bool BudgetExhausted(const EstimationBudget* budget,

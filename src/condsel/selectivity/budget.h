@@ -2,21 +2,32 @@
 //
 // EstimationBudget is the user-facing knob set (moved here from
 // get_selectivity.h, which re-exports it for include compatibility). The
-// two helper classes make the knobs enforceable from concurrent search
+// helper classes make the knobs enforceable from concurrent search
 // drivers:
 //   - Deadline: an armed wall-clock point, checkable lock-free from any
 //     thread (and from inside the provider's candidate loops, so a slow
 //     statistics lookup cannot overshoot the deadline by a whole
-//     subproblem);
+//     subproblem), safely re-armable while readers run;
+//   - ScopedDeadline: RAII arm/disarm, so no early return or exception
+//     can leave a deadline armed past the call it was meant to bound;
 //   - BudgetCounters: the search's cumulative counters as atomics, so the
 //     parallel getSelectivity driver's budget checks are race-free and the
 //     sequential driver pays only uncontended relaxed increments.
+//
+// Deadlines are per-call state: the driver owning a Compute() call arms
+// its own Deadline and passes it down explicitly (Score's deadline
+// argument, AtomicFactorCandidates' deadline argument). No shared layer
+// — in particular not the AtomicSelectivityProvider, which concurrent
+// estimators share — ever stores a borrowed deadline pointer, so two
+// searches on one provider can never clobber (or dangle) each other's
+// clock. condsel_lint's raw-set-deadline rule keeps it that way.
 
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <vector>
 
 namespace condsel {
 
@@ -40,8 +51,22 @@ struct EstimationBudget {
   }
 };
 
+// One popcount level of one parallel getSelectivity batch, as the
+// work-stealing scheduler saw it. `width` is static lattice shape;
+// `max_solved_by_one_worker` against width/threads shows how unbalanced
+// the level's per-subset costs were, and the steal counters show how much
+// work had to be redistributed to absorb it (what the old per-level
+// barrier used to pay for in idle waiting).
+struct GsLevelStats {
+  int level = 0;                         // subset size (popcount)
+  uint64_t width = 0;                    // subsets in the level
+  uint64_t steals = 0;                   // successful steal operations
+  uint64_t stolen_subsets = 0;           // subsets that changed workers
+  uint64_t max_solved_by_one_worker = 0; // busiest worker's solve count
+};
+
 // Statistics getSelectivity reports about one search (Figure 8's timing
-// split plus robustness accounting).
+// split plus robustness and scheduler accounting).
 struct GsStats {
   uint64_t subproblems = 0;         // memo entries computed by the search
                                     // (degraded entries excluded)
@@ -53,29 +78,65 @@ struct GsStats {
   bool budget_exhausted = false;       // some knob of the budget ran out
   uint64_t degraded_subproblems = 0;   // entries answered by the fallback
   uint64_t default_fallbacks = 0;      // predicates with no base histogram
+  // Work-stealing scheduler accounting (parallel driver only; the
+  // sequential driver and inline small-plan runs report zeros). These are
+  // schedule-dependent — excluded from the sequential-vs-parallel parity
+  // contract that covers every counter above.
+  uint64_t steals = 0;             // successful steal operations
+  uint64_t stolen_subsets = 0;     // subsets solved by a thief
+  uint64_t parallel_levels = 0;    // popcount levels run on the pool
+  uint64_t max_level_width = 0;    // widest level of any batch
+  std::vector<GsLevelStats> level_stats;  // per level, cumulative
 };
 
-// An armed wall-clock deadline. Arm/Disarm happen on the driver thread
-// before workers start and after they join; Expired() is safe to call
-// concurrently (it reads immutable state and the clock) and consults the
-// FaultInjector's kExpireDeadline hook so tests can fire it
-// deterministically.
+// An armed wall-clock deadline.
+//
+// Publication contract: Arm stores the expiry instant `at_` *before*
+// releasing `armed_`, and Expired acquires `armed_` before reading `at_`
+// — a reader that observes armed==true therefore always observes the
+// matching (or a newer) expiry instant, never a stale one. Re-arming
+// while other threads call Expired() is safe: both fields are atomic, so
+// a racing reader sees either the old or the new deadline in full, never
+// a torn mix. Expired() also consults the FaultInjector's kExpireDeadline
+// hook so tests can fire the clock deterministically.
 class Deadline {
  public:
   // Arms `seconds` from now; seconds <= 0 disarms.
   void Arm(double seconds);
-  void Disarm() { armed_ = false; }
+  void Disarm() { armed_.store(false, std::memory_order_release); }
 
-  bool armed() const { return armed_; }
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
   bool Expired() const;
 
  private:
-  bool armed_ = false;
-  std::chrono::steady_clock::time_point at_{};
+  using Rep = std::chrono::steady_clock::rep;
+  std::atomic<bool> armed_{false};
+  std::atomic<Rep> at_{0};  // steady_clock duration-since-epoch ticks
+};
+
+// RAII arm/disarm of a borrowed Deadline. This is the only sanctioned way
+// for a driver to arm a deadline around a search: destruction disarms on
+// every path — normal return, early return, or exception — so a deadline
+// can never stay armed past the call it bounds (the shared-provider
+// dangling-deadline bug this replaces).
+class ScopedDeadline {
+ public:
+  // `deadline` is borrowed and must outlive this object.
+  ScopedDeadline(Deadline* deadline, double seconds) : deadline_(deadline) {
+    deadline_->Arm(seconds);
+  }
+  ~ScopedDeadline() { deadline_->Disarm(); }
+
+  ScopedDeadline(const ScopedDeadline&) = delete;
+  ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+
+ private:
+  Deadline* deadline_;
 };
 
 // The budget-relevant counters of a search, shared between drivers and
-// safe to bump from worker threads. Mirrored into GsStats via Snapshot().
+// safe to bump from worker threads. Mirrored into GsStats via Add()
+// (GsStats::level_stats is driver-owned and merged separately).
 struct BudgetCounters {
   std::atomic<uint64_t> subproblems{0};
   std::atomic<uint64_t> memo_hits{0};
@@ -85,6 +146,11 @@ struct BudgetCounters {
   std::atomic<bool> budget_exhausted{false};
   std::atomic<double> analysis_seconds{0.0};
   std::atomic<double> histogram_seconds{0.0};
+  // Work-stealing scheduler accounting (see GsStats).
+  std::atomic<uint64_t> steals{0};
+  std::atomic<uint64_t> stolen_subsets{0};
+  std::atomic<uint64_t> parallel_levels{0};
+  std::atomic<uint64_t> max_level_width{0};
 
   void Add(GsStats* out) const;
 };

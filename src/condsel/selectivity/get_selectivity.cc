@@ -1,8 +1,10 @@
 #include "condsel/selectivity/get_selectivity.h"
 
 #include <algorithm>
-#include <barrier>
 #include <chrono>
+#include <exception>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -38,22 +40,25 @@ GetSelectivity::GetSelectivity(const Query* query,
 GetSelectivity::~GetSelectivity() = default;
 
 SelEstimate GetSelectivity::Compute(PredSet p) {
-  // Arm the per-call deadline (count caps are cumulative and need no
-  // per-call state) and attach it to the provider so its candidate loops
-  // observe the same clock; detached again before returning so a shared
-  // provider never outlives a borrowed deadline.
-  deadline_.Arm(budget_ != nullptr ? budget_->deadline_seconds : 0.0);
-  provider_->set_deadline(&deadline_);
+  // Arm the per-call deadline for the duration of this call (the count
+  // caps are cumulative and need no per-call state). The clock is passed
+  // down explicitly — Score's and AtomicFactorCandidates' deadline
+  // arguments — never parked in the shared provider, so concurrent
+  // estimators on one provider cannot clobber each other's deadline. RAII
+  // disarms on every exit path: an exception escaping a driver (an
+  // embedder hook, an injected fault) must not leave a stale clock armed
+  // for the next call.
+  const ScopedDeadline scoped(
+      &deadline_, budget_ != nullptr ? budget_->deadline_seconds : 0.0);
   const int threads = budget_ != nullptr ? budget_->threads : 1;
   const MemoEntry& e =
       threads > 1 ? ComputeParallel(p, threads) : ComputeEntry(p);
-  provider_->set_deadline(nullptr);
-  deadline_.Disarm();
   return SelEstimate{e.selectivity, e.error};
 }
 
 const GsStats& GetSelectivity::stats() const {
   counters_.Add(&stats_);
+  stats_.level_stats = level_stats_;
   return stats_;
 }
 
@@ -182,7 +187,7 @@ MemoEntry GetSelectivity::SolveNonSeparable(
     }
     const auto t1 = Clock::now();
     ++considered;
-    FactorChoice choice = provider_->Score(*query_, p_prime, q);
+    FactorChoice choice = provider_->Score(*query_, p_prime, q, &deadline_);
     analysis_acc += Seconds(t1, Clock::now());
     if (!choice.feasible) continue;
     const double merged = ErrorFunction::Merge(choice.error, qe->error);
@@ -289,6 +294,14 @@ const MemoEntry& GetSelectivity::ComputeEntry(PredSet p) {
 }
 
 const MemoEntry& GetSelectivity::ComputeParallel(PredSet p, int threads) {
+  // Memo-served re-request: answered (and counted) exactly like the
+  // sequential driver's top-of-recursion hit, so GsStats agree across
+  // drivers on repeated Compute() calls.
+  if (const MemoEntry* hit = memo_.Find(p)) {
+    counters_.memo_hits.fetch_add(1, std::memory_order_relaxed);
+    return *hit;
+  }
+
   // Pass 1 (sequential): discover the reachable sub-lattice and cache the
   // per-subset analysis (standard decomposition / candidate enumeration),
   // so workers only score and estimate. The closure pushed here — every
@@ -346,10 +359,18 @@ const MemoEntry& GetSelectivity::ComputeParallel(PredSet p, int threads) {
     return sa != sb ? sa < sb : a < b;
   });
 
-  auto child = [this](PredSet q) -> const MemoEntry* {
+  // Memo-hit parity with the sequential driver: there, each *reference*
+  // to a subset either recurses (first time, counted in subproblems) or
+  // hits the memo. Here every reference finds a solved entry — level
+  // order guarantees it — so counting finds directly would overcount by
+  // the first reference of every newly computed subset. Count references
+  // locally and settle the difference after the solve phase:
+  //   hits = references + 1 (the top-level request) − newly computed.
+  std::atomic<uint64_t> references{0};
+  auto child = [this, &references](PredSet q) -> const MemoEntry* {
     const MemoEntry* e = memo_.Find(q);
     if (e != nullptr) {
-      counters_.memo_hits.fetch_add(1, std::memory_order_relaxed);
+      references.fetch_add(1, std::memory_order_relaxed);
     }
     return e;
   };
@@ -407,29 +428,226 @@ const MemoEntry& GetSelectivity::ComputeParallel(PredSet p, int threads) {
 
   const size_t workers =
       std::min<size_t>(static_cast<size_t>(threads), max_width);
-  // Small plans (memo-served re-requests, narrow sub-plans) are not worth
+  // Small plans (narrow sub-plans, mostly-memoized lattices) are not worth
   // a pool: thread startup would dwarf the scoring work.
   constexpr size_t kMinParallelNodes = 24;
   if (workers <= 1 || planned.size() < kMinParallelNodes) {
     for (PredSet s : planned) solve(s, plan.at(s));
   } else {
-    // One pool for the whole lattice; a barrier per level. All workers
-    // walk the same level sequence, each taking a deterministic stride
-    // slice, so the only synchronization is the level boundary itself.
-    std::barrier level_barrier(static_cast<std::ptrdiff_t>(workers));
-    std::vector<std::jthread> pool;
-    pool.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&, w] {
-        for (const auto& [begin, end] : levels) {
-          for (size_t i = begin + w; i < end; i += workers) {
-            solve(planned[i], plan.at(planned[i]));
-          }
-          level_barrier.arrive_and_wait();
-        }
-      });
+    // In-level work stealing. Each worker owns a deque of item indices;
+    // it publishes its deterministic slice of a level, drains its own
+    // deque from the back, and when empty steals half the richest
+    // victim's deque from the front. The per-level barrier is replaced by
+    // one atomic completion counter per level (`remaining`): a worker may
+    // publish its level-l slice only after remaining[l-1] reaches zero,
+    // and while it waits at that gate it keeps stealing, so a level whose
+    // per-subset costs are wildly unbalanced (one slow statistics lookup,
+    // one worker's slice full of wide candidate lists) is finished by
+    // whoever is idle instead of stalling the whole pool.
+    //
+    // Safety invariant: an item is visible in *any* deque only after its
+    // owner passed the gate for the item's level, i.e. after every
+    // strictly smaller subset was solved and published (the memo insert
+    // happens before the release-decrement of `remaining`, and the gate
+    // acquires it). A thief may therefore solve whatever it steals
+    // immediately — including items a level ahead of its own position —
+    // without ever observing an unsolved child. Deques can hold items of
+    // mixed levels, so all bookkeeping is keyed by the item's own level
+    // (`level_of`), never by the worker's loop position.
+    //
+    // Determinism: each item is popped and solved exactly once, scoring
+    // is a pure function of the planned candidate lists, and the memo is
+    // first-wins — so *which* worker solves an item cannot change any
+    // estimate, only the steal counters (reported as schedule-dependent).
+    const size_t num_levels = levels.size();
+    std::vector<size_t> level_of(planned.size());
+    auto remaining = std::make_unique<std::atomic<size_t>[]>(num_levels);
+    for (size_t l = 0; l < num_levels; ++l) {
+      remaining[l].store(levels[l].second - levels[l].first,
+                         std::memory_order_relaxed);
+      for (size_t i = levels[l].first; i < levels[l].second; ++i) {
+        level_of[i] = l;
+      }
     }
-  }  // jthreads join here: the lattice is fully solved
+
+    struct WorkerDeque {
+      std::mutex mu;
+      std::vector<size_t> items;      // indices into `planned`
+      std::atomic<size_t> approx{0};  // lock-free size hint for thieves
+    };
+    auto deques = std::make_unique<WorkerDeque[]>(workers);
+
+    // Worker-local scheduler accounting, aggregated after the join (no
+    // contended atomics on the solve path).
+    struct WorkerLocal {
+      std::vector<uint64_t> solved;  // per level
+      std::vector<uint64_t> steals;  // per level of the batch's first item
+      std::vector<uint64_t> stolen;  // per level of each stolen item
+    };
+    std::vector<WorkerLocal> local(workers);
+    for (WorkerLocal& wl : local) {
+      wl.solved.assign(num_levels, 0);
+      wl.steals.assign(num_levels, 0);
+      wl.stolen.assign(num_levels, 0);
+    }
+
+    // First escaping exception wins; the abort flag releases gate-waiting
+    // workers whose level counters will never reach zero.
+    std::atomic<bool> abort{false};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+
+    auto solve_item = [&](size_t idx, size_t w) {
+      const PredSet s = planned[idx];
+      solve(s, plan.at(s));
+      ++local[w].solved[level_of[idx]];
+      // Release pairs with the gate's acquire: a worker that observes the
+      // level complete also observes every entry the level inserted.
+      remaining[level_of[idx]].fetch_sub(1, std::memory_order_release);
+    };
+
+    auto pop_own = [&](size_t w, size_t* idx) {
+      WorkerDeque& d = deques[w];
+      const std::lock_guard<std::mutex> lock(d.mu);
+      if (d.items.empty()) return false;
+      *idx = d.items.back();
+      d.items.pop_back();
+      d.approx.store(d.items.size(), std::memory_order_relaxed);
+      return true;
+    };
+
+    // Steals up to half of the richest victim's deque (at least one item)
+    // from the front — the opposite end from the owner's pops — into the
+    // thief's own (empty) deque.
+    auto steal_batch = [&](size_t w) {
+      size_t victim = w;
+      size_t best = 0;
+      for (size_t v = 0; v < workers; ++v) {
+        if (v == w) continue;
+        const size_t n = deques[v].approx.load(std::memory_order_relaxed);
+        if (n > best) {
+          best = n;
+          victim = v;
+        }
+      }
+      if (best == 0) return false;
+      // Both deques locked together (deadlock-free via std::scoped_lock's
+      // ordering) so a concurrent thief of *this* deque stays consistent.
+      std::scoped_lock lock(deques[victim].mu, deques[w].mu);
+      std::vector<size_t>& from = deques[victim].items;
+      if (from.empty()) return false;  // raced another thief
+      const size_t take = std::max<size_t>(1, from.size() / 2);
+      std::vector<size_t>& into = deques[w].items;
+      // Preserve order so the thief's back-pop continues level order.
+      into.insert(into.end(), from.begin(),
+                  from.begin() + static_cast<ptrdiff_t>(take));
+      from.erase(from.begin(), from.begin() + static_cast<ptrdiff_t>(take));
+      deques[victim].approx.store(from.size(), std::memory_order_relaxed);
+      deques[w].approx.store(into.size(), std::memory_order_relaxed);
+      ++local[w].steals[level_of[into.front()]];
+      for (size_t i : into) ++local[w].stolen[level_of[i]];
+      return true;
+    };
+
+    // Pop one ready item — own deque first, then a steal — and solve it.
+    auto acquire_and_solve_one = [&](size_t w) {
+      size_t idx;
+      if (pop_own(w, &idx) || (steal_batch(w) && pop_own(w, &idx))) {
+        solve_item(idx, w);
+        return true;
+      }
+      return false;
+    };
+
+    {
+      std::vector<std::jthread> pool;
+      pool.reserve(workers);
+      for (size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+          try {
+            for (size_t l = 0; l < num_levels; ++l) {
+              // Gate: this level's items may be published only once the
+              // previous level is fully solved. Waiting workers keep
+              // stealing — that is where imbalance is absorbed.
+              while (l > 0 &&
+                     remaining[l - 1].load(std::memory_order_acquire) != 0) {
+                if (abort.load(std::memory_order_relaxed)) return;
+                if (!acquire_and_solve_one(w)) std::this_thread::yield();
+              }
+              {
+                WorkerDeque& d = deques[w];
+                const std::lock_guard<std::mutex> lock(d.mu);
+                for (size_t i = levels[l].first + w; i < levels[l].second;
+                     i += workers) {
+                  d.items.push_back(i);
+                }
+                d.approx.store(d.items.size(), std::memory_order_relaxed);
+              }
+              while (!abort.load(std::memory_order_relaxed) &&
+                     acquire_and_solve_one(w)) {
+              }
+              if (abort.load(std::memory_order_relaxed)) return;
+            }
+          } catch (...) {
+            {
+              const std::lock_guard<std::mutex> lock(error_mu);
+              if (first_error == nullptr) {
+                first_error = std::current_exception();
+              }
+            }
+            abort.store(true, std::memory_order_relaxed);
+          }
+        });
+      }
+    }  // jthreads join here: the lattice is fully solved (or aborted)
+
+    if (first_error != nullptr) {
+      // Rethrow on the driver thread; Compute's ScopedDeadline disarms on
+      // the unwind, and the memo keeps whatever was solved (first-wins
+      // inserts stay individually consistent).
+      std::rethrow_exception(first_error);
+    }
+
+    // Aggregate the scheduler's accounting. The per-level entries append
+    // across Compute() calls (one batch per parallel run), keeping the
+    // derivation auditor's algebra — Σ level.steals == steals, etc. —
+    // valid for cumulative stats.
+    uint64_t total_steals = 0;
+    uint64_t total_stolen = 0;
+    for (size_t l = 0; l < num_levels; ++l) {
+      GsLevelStats ls;
+      ls.level = SetSize(planned[levels[l].first]);
+      ls.width = levels[l].second - levels[l].first;
+      for (size_t w = 0; w < workers; ++w) {
+        ls.steals += local[w].steals[l];
+        ls.stolen_subsets += local[w].stolen[l];
+        ls.max_solved_by_one_worker =
+            std::max(ls.max_solved_by_one_worker, local[w].solved[l]);
+      }
+      total_steals += ls.steals;
+      total_stolen += ls.stolen_subsets;
+      level_stats_.push_back(ls);
+    }
+    counters_.steals.fetch_add(total_steals, std::memory_order_relaxed);
+    counters_.stolen_subsets.fetch_add(total_stolen,
+                                       std::memory_order_relaxed);
+    counters_.parallel_levels.fetch_add(num_levels,
+                                        std::memory_order_relaxed);
+    if (max_width >
+        counters_.max_level_width.load(std::memory_order_relaxed)) {
+      counters_.max_level_width.store(max_width, std::memory_order_relaxed);
+    }
+  }
+
+  // Settle the memo-hit parity (see `references` above). The guard only
+  // fires on budget-truncated runs, where degraded inserts outside the
+  // plan can exceed the reference count — parity is a budget-free
+  // contract.
+  const uint64_t refs = references.load(std::memory_order_relaxed);
+  if (refs + 1 > planned.size()) {
+    counters_.memo_hits.fetch_add(refs + 1 - planned.size(),
+                                  std::memory_order_relaxed);
+  }
 
   // Pass 3: mirror the new entries into the recorder in the same
   // deterministic order, off the worker threads (the DAG is not

@@ -21,11 +21,18 @@
 // Two drivers share them: the sequential recursion, and a level-parallel
 // driver (EstimationBudget::threads > 1) that runs each antichain of the
 // subset lattice — all subsets of equal size, whose entries only depend
-// on strictly smaller subsets — over a std::jthread pool. Scoring is a
-// pure function of the candidate lists, so on budget-free runs the two
-// drivers produce bit-identical estimates; with caps or deadlines armed,
-// which subsets degrade may differ by schedule (each answer is still a
-// valid graceful degradation).
+// on strictly smaller subsets — over a std::jthread pool with in-level
+// work stealing (idle workers take half the richest peer's deque, and an
+// atomic completion counter per level replaces the old barrier, so an
+// unbalanced level is absorbed by whoever is idle instead of stalling
+// the pool). Scoring is a pure function of the candidate lists and every
+// subset is solved exactly once, so on budget-free runs the two drivers
+// produce bit-identical estimates at any thread count; with caps or
+// deadlines armed, which subsets degrade may differ by schedule (each
+// answer is still a valid graceful degradation). GsStats' deterministic
+// counters (subproblems, memo hits, decompositions, degradations) agree
+// between the drivers too; only timings and the steal counters are
+// schedule-dependent.
 //
 // The DP is exponential in the number of predicates, so a production
 // deployment caps it with an EstimationBudget. When the budget runs out —
@@ -94,7 +101,8 @@ class GetSelectivity {
   // Sequential driver: depth-first recursion (the paper's Figure 3).
   const MemoEntry& ComputeEntry(PredSet p);
   // Parallel driver: plans the reachable sub-lattice, then solves it one
-  // size-level at a time over `threads` workers.
+  // size-level at a time over `threads` workers with in-level work
+  // stealing (get_selectivity.cc documents the scheduler's invariants).
   const MemoEntry& ComputeParallel(PredSet p, int threads);
 
   // Scores the atomic decompositions of non-separable `p` over
@@ -120,9 +128,14 @@ class GetSelectivity {
   DerivationDag* recorder_ = nullptr;
   SelectivityMemo memo_;
   BudgetCounters counters_;
-  // Deadline for the in-flight top-level Compute() call; attached to the
-  // provider for the duration of the call so candidate loops observe it.
+  // Deadline for the in-flight top-level Compute() call, armed via
+  // ScopedDeadline and passed down explicitly per call (Score's deadline
+  // argument) — never stored in the shared provider.
   Deadline deadline_;
+  // Per-level scheduler accounting, one batch appended per parallel run;
+  // driver-owned (only the thread calling Compute() writes it) and merged
+  // into the GsStats snapshot by stats().
+  std::vector<GsLevelStats> level_stats_;
   mutable GsStats stats_;  // snapshot of counters_, refreshed by stats()
 };
 

@@ -1,22 +1,30 @@
 // The parallel getSelectivity driver (EstimationBudget::threads > 1).
 //
 // Verifies the contract documented in get_selectivity.h: on budget-free
-// runs the level-parallel driver is bit-identical to the sequential
-// recursion at every thread count; under budgets it degrades gracefully
-// (finite, in-range, flagged in GsStats); and its post-hoc derivation
-// recording passes the full DerivationAuditor, provenance included.
+// runs the work-stealing level-parallel driver is bit-identical to the
+// sequential recursion at every thread count — on balanced lattices and
+// on lattices with fault-induced per-level cost imbalance alike; the
+// deterministic GsStats counters agree between the drivers; under budgets
+// it degrades gracefully (finite, in-range, flagged in GsStats); its
+// post-hoc derivation recording passes the full DerivationAuditor,
+// provenance included; and concurrent estimators sharing one provider —
+// including an estimator killed mid-search by a throwing lookup — never
+// disturb each other (the per-call deadline contract of budget.h).
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "condsel/analysis/auditor.h"
 #include "condsel/common/fault_injector.h"
 #include "condsel/common/numeric.h"
 #include "condsel/datagen/snowflake.h"
+#include "condsel/datagen/tpch_lite.h"
 #include "condsel/datagen/workload.h"
 #include "condsel/exec/evaluator.h"
 #include "condsel/harness/metrics.h"
@@ -179,6 +187,237 @@ TEST_F(ParallelDpTest, StatsStayCleanWithoutBudgetPressure) {
   EXPECT_FALSE(stats.budget_exhausted);
   EXPECT_EQ(stats.degraded_subproblems, 0u);
   EXPECT_GT(stats.subproblems, 0u);
+}
+
+// The deterministic GsStats counters — everything except timings and the
+// schedule-dependent steal accounting — must agree exactly between the
+// sequential and the parallel driver, including across repeated Compute()
+// calls over overlapping subsets (the optimizer's sub-plan pattern, where
+// memo hits dominate). Guards the Pass-1-skips-memoized-subsets hit
+// undercount the work-stealing rewrite also fixed.
+TEST_F(ParallelDpTest, DeterministicStatsMatchSequentialDriver) {
+  DiffError diff;
+  for (const Query& q : workload_) {
+    GsStats expected;
+    {
+      SitMatcher matcher(&pool_);
+      matcher.BindQuery(&q);
+      AtomicSelectivityProvider provider(&matcher, &diff);
+      GetSelectivity gs(&q, &provider, nullptr);
+      gs.Compute(q.all_predicates());
+      // Two passes over the family: the second is answered entirely from
+      // the memo, so it isolates the per-reference hit accounting.
+      for (int round = 0; round < 2; ++round) {
+        for (PredSet p : SubPlanFamily(q)) gs.Compute(p);
+      }
+      expected = gs.stats();
+    }
+    for (int threads : {2, 4}) {
+      EstimationBudget budget;
+      budget.threads = threads;
+      SitMatcher matcher(&pool_);
+      matcher.BindQuery(&q);
+      AtomicSelectivityProvider provider(&matcher, &diff);
+      GetSelectivity gs(&q, &provider, &budget);
+      gs.Compute(q.all_predicates());
+      for (int round = 0; round < 2; ++round) {
+        for (PredSet p : SubPlanFamily(q)) gs.Compute(p);
+      }
+      const GsStats& stats = gs.stats();
+      EXPECT_EQ(expected.subproblems, stats.subproblems) << threads;
+      EXPECT_EQ(expected.memo_hits, stats.memo_hits) << threads;
+      EXPECT_EQ(expected.atomic_considered, stats.atomic_considered)
+          << threads;
+      EXPECT_EQ(expected.degraded_subproblems, stats.degraded_subproblems)
+          << threads;
+      EXPECT_EQ(expected.default_fallbacks, stats.default_fallbacks)
+          << threads;
+      EXPECT_EQ(expected.budget_exhausted, stats.budget_exhausted)
+          << threads;
+    }
+  }
+}
+
+// Bit-identity on the second schema: the TPC-H-flavoured catalog from the
+// paper's introduction, with its Zipfian join skew, exercises different
+// lattice shapes (join-heavy, correlated SITs) than the snowflake.
+TEST(ParallelDpTpchLiteTest, BitIdenticalAcrossThreadCounts) {
+  TpchLiteOptions opt;
+  opt.scale = 0.01;
+  const Catalog catalog = BuildTpchLite(opt);
+  CardinalityCache cache;
+  Evaluator evaluator(&catalog, &cache);
+  WorkloadOptions wopt;
+  wopt.num_queries = 3;
+  wopt.num_joins = 2;
+  wopt.num_filters = 3;
+  wopt.seed = 11;
+  const std::vector<Query> workload =
+      GenerateWorkload(catalog, &evaluator, wopt);
+  SitBuilder builder(&evaluator, SitBuildOptions{});
+  const SitPool pool = GenerateSitPool(workload, 2, builder);
+
+  DiffError diff;
+  auto transcript = [&](const EstimationBudget* budget) {
+    std::vector<std::string> lines;
+    for (const Query& q : workload) {
+      SitMatcher matcher(&pool);
+      matcher.BindQuery(&q);
+      AtomicSelectivityProvider provider(&matcher, &diff);
+      GetSelectivity gs(&q, &provider, budget);
+      for (PredSet p : SubPlanFamily(q)) {
+        const SelEstimate e = gs.Compute(p);
+        lines.push_back(Hex(e.selectivity) + " " + Hex(e.error));
+      }
+    }
+    return lines;
+  };
+
+  const std::vector<std::string> sequential = transcript(nullptr);
+  ASSERT_FALSE(sequential.empty());
+  for (int threads : {2, 4, 8}) {
+    EstimationBudget budget;
+    budget.threads = threads;
+    EXPECT_EQ(sequential, transcript(&budget)) << threads << " threads";
+  }
+}
+
+// Unbalanced levels: the slow-lookup fault, masked to a subset of the
+// predicates, makes every factor touching those predicates ~2ms more
+// expensive than its level-mates — the scenario the work-stealing
+// scheduler exists for. Estimates must stay bit-identical to the
+// (fault-free) sequential baseline, since the stall changes only costs,
+// never values, and the scheduler's accounting must satisfy its algebra.
+TEST_F(ParallelDpTest, ImbalancedLevelsStayBitIdentical) {
+  const std::vector<std::string> sequential = Transcript(nullptr);
+  ASSERT_FALSE(sequential.empty());
+  ScopedFault slow(Fault::kSlowAtomicLookup);
+  ScopedSlowLookupMask mask(0b101u);  // predicates 0 and 2 are the slow ones
+  for (int threads : {2, 4}) {
+    EstimationBudget budget;
+    budget.threads = threads;
+    DiffError diff;
+    std::vector<std::string> lines;
+    for (const Query& q : workload_) {
+      SitMatcher matcher(&pool_);
+      matcher.BindQuery(&q);
+      AtomicSelectivityProvider provider(&matcher, &diff);
+      GetSelectivity gs(&q, &provider, &budget);
+      for (PredSet p : SubPlanFamily(q)) {
+        const SelEstimate e = gs.Compute(p);
+        lines.push_back(Hex(e.selectivity) + " " + Hex(e.error));
+      }
+      const GsStats& stats = gs.stats();
+      EXPECT_GE(stats.stolen_subsets, stats.steals);
+      EXPECT_EQ(stats.parallel_levels, stats.level_stats.size());
+      uint64_t level_steals = 0;
+      uint64_t widest = 0;
+      for (const GsLevelStats& ls : stats.level_stats) {
+        level_steals += ls.steals;
+        widest = std::max<uint64_t>(widest, ls.width);
+        EXPECT_LE(ls.max_solved_by_one_worker, ls.width);
+      }
+      EXPECT_EQ(level_steals, stats.steals);
+      EXPECT_EQ(widest, stats.max_level_width);
+    }
+    EXPECT_EQ(sequential, lines) << threads << " threads";
+  }
+}
+
+// Two estimation sessions sharing one provider (and matcher), both with
+// armed deadlines, running their searches concurrently: the per-call
+// deadline contract says neither can observe the other's clock, so both
+// transcripts must be bit-identical to an undisturbed baseline. Under
+// TSan this is the regression test for the set_deadline clobber race.
+TEST_F(ParallelDpTest, ConcurrentComputeOnSharedProvider) {
+  DiffError diff;
+  const Query& q = workload_.front();
+  SitMatcher matcher(&pool_);
+  matcher.BindQuery(&q);
+  AtomicSelectivityProvider provider(&matcher, &diff);
+
+  std::vector<std::string> baseline;
+  {
+    GetSelectivity gs(&q, &provider, nullptr);
+    for (PredSet p : SubPlanFamily(q)) {
+      const SelEstimate e = gs.Compute(p);
+      baseline.push_back(Hex(e.selectivity) + " " + Hex(e.error));
+    }
+  }
+
+  // A generous deadline keeps both sessions' clocks armed for the whole
+  // search without ever expiring: every Score call carries a live
+  // per-call deadline, the worst case for cross-session interference.
+  EstimationBudget budget_a;
+  budget_a.threads = 2;
+  budget_a.deadline_seconds = 3600.0;
+  EstimationBudget budget_b = budget_a;
+  GetSelectivity gs_a(&q, &provider, &budget_a);
+  GetSelectivity gs_b(&q, &provider, &budget_b);
+
+  std::vector<std::string> lines_a;
+  std::vector<std::string> lines_b;
+  {
+    std::jthread ta([&] {
+      for (PredSet p : SubPlanFamily(q)) {
+        const SelEstimate e = gs_a.Compute(p);
+        lines_a.push_back(Hex(e.selectivity) + " " + Hex(e.error));
+      }
+    });
+    std::jthread tb([&] {
+      for (PredSet p : SubPlanFamily(q)) {
+        const SelEstimate e = gs_b.Compute(p);
+        lines_b.push_back(Hex(e.selectivity) + " " + Hex(e.error));
+      }
+    });
+  }
+  EXPECT_EQ(baseline, lines_a);
+  EXPECT_EQ(baseline, lines_b);
+}
+
+// An estimator killed mid-search by a throwing statistics lookup must not
+// poison the shared provider: after the search unwinds (and the estimator
+// is destroyed), a second estimator on the same provider — with the
+// slow-lookup fault armed, so the provider's scoring path runs its full
+// candidate loops — still produces bit-identical estimates. Before the
+// per-call deadline contract, the destroyed estimator's deadline pointer
+// stayed parked in the provider, and this scenario read freed memory.
+TEST_F(ParallelDpTest, ThrowingLookupLeavesSharedProviderClean) {
+  DiffError diff;
+  const Query& q = workload_.front();
+  SitMatcher matcher(&pool_);
+  matcher.BindQuery(&q);
+  AtomicSelectivityProvider provider(&matcher, &diff);
+
+  std::vector<std::string> baseline;
+  {
+    GetSelectivity gs(&q, &provider, nullptr);
+    for (PredSet p : SubPlanFamily(q)) {
+      const SelEstimate e = gs.Compute(p);
+      baseline.push_back(Hex(e.selectivity) + " " + Hex(e.error));
+    }
+  }
+
+  for (int threads : {1, 4}) {  // sequential unwind and worker rethrow
+    EstimationBudget budget;
+    budget.threads = threads;
+    budget.deadline_seconds = 3600.0;  // armed when the throw unwinds
+    {
+      GetSelectivity doomed(&q, &provider, &budget);
+      ScopedFault boom(Fault::kThrowAtomicLookup);
+      EXPECT_THROW(doomed.Compute(q.all_predicates()), std::runtime_error)
+          << threads << " threads";
+    }  // `doomed` (and its Deadline) destroyed here
+
+    ScopedFault slow(Fault::kSlowAtomicLookup);
+    GetSelectivity gs(&q, &provider, nullptr);
+    std::vector<std::string> lines;
+    for (PredSet p : SubPlanFamily(q)) {
+      const SelEstimate e = gs.Compute(p);
+      lines.push_back(Hex(e.selectivity) + " " + Hex(e.error));
+    }
+    EXPECT_EQ(baseline, lines) << threads << " threads";
+  }
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 
 #include "condsel/common/fault_injector.h"
 #include "condsel/exec/cardinality_cache.h"
+#include "condsel/selectivity/budget.h"
 #include "condsel/optimizer/memo.h"
 #include "condsel/query/query.h"
 #include "test_util.h"
@@ -77,6 +78,43 @@ TEST(ThreadSafetyTest, FaultInjectorConcurrentSetReset) {
   EXPECT_FALSE(fi.enabled(Fault::kExpireDeadline));
   EXPECT_FALSE(fi.enabled(Fault::kCorruptDerivationFactor));
   EXPECT_FALSE(fi.enabled(Fault::kCorruptHypothesisSet));
+}
+
+TEST(ThreadSafetyTest, DeadlineConcurrentArmDisarmExpired) {
+  // budget.h's publication contract: one thread re-arms and disarms a
+  // Deadline while others poll Expired()/armed(). A reader that observes
+  // the deadline armed must observe a matching expiry instant (never a
+  // torn or stale one) — under TSan this checks the store ordering, here
+  // we check the visible semantics: a deadline armed an hour out never
+  // reports expiry, and a disarmed one never reports armed expiry.
+  Deadline deadline;
+  std::atomic<bool> stop{false};
+  std::atomic<int> bogus{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Either state is fine (the writer races us); what is never fine
+        // is reporting expiry, since every armed window is 3600s out.
+        if (deadline.Expired()) bogus.fetch_add(1);
+      }
+    });
+  }
+  for (int i = 0; i < kOpsPerThread; ++i) {
+    deadline.Arm(3600.0);
+    deadline.Disarm();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(bogus.load(), 0);
+  EXPECT_FALSE(deadline.armed());
+
+  // Re-arming in the past must flip Expired() immediately — the
+  // re-armable contract a one-shot flag would violate.
+  deadline.Arm(1e-9);
+  EXPECT_TRUE(deadline.Expired());
+  deadline.Disarm();
+  EXPECT_FALSE(deadline.Expired());
 }
 
 TEST(ThreadSafetyTest, MemoConcurrentGroupCreation) {

@@ -328,6 +328,26 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(s->degraded_subproblems),
               static_cast<unsigned long long>(s->default_fallbacks));
         }
+        if (s->parallel_levels > 0) {
+          std::printf(
+              "            scheduler: %llu levels (widest %llu), %llu "
+              "steals moved %llu subsets\n",
+              static_cast<unsigned long long>(s->parallel_levels),
+              static_cast<unsigned long long>(s->max_level_width),
+              static_cast<unsigned long long>(s->steals),
+              static_cast<unsigned long long>(s->stolen_subsets));
+          for (const GsLevelStats& ls : s->level_stats) {
+            if (ls.steals == 0 && ls.max_solved_by_one_worker == 0) continue;
+            std::printf(
+                "              level %d: width %llu, busiest worker "
+                "solved %llu, %llu steals (%llu subsets)\n",
+                ls.level, static_cast<unsigned long long>(ls.width),
+                static_cast<unsigned long long>(
+                    ls.max_solved_by_one_worker),
+                static_cast<unsigned long long>(ls.steals),
+                static_cast<unsigned long long>(ls.stolen_subsets));
+          }
+        }
       }
     }
   }

@@ -48,6 +48,15 @@ comment on the same or the preceding line):
                         fault injection, and FactorProvenance cannot be
                         bypassed. histogram/ itself and the non-estimator
                         approximation layers are out of scope.
+  raw-set-deadline      library code under src/ must not park a deadline in
+                        shared mutable state via a `set_deadline(...)`
+                        setter: deadlines are per-call arguments (Score's
+                        deadline parameter) armed through the RAII
+                        ScopedDeadline helper, so concurrent estimators
+                        sharing a provider cannot clobber — or dangle —
+                        each other's clock. selectivity/budget.{h,cc}
+                        (which define the sanctioned primitives) are
+                        exempt.
 
 Usage:
   condsel_lint.py [--root REPO]      lint the repository (exit 1 on findings)
@@ -311,6 +320,33 @@ def check_raw_histogram_lookup(path: str, text: str,
     return findings
 
 
+RAW_SET_DEADLINE_RE = re.compile(r"\bset_deadline\s*\(")
+DEADLINE_EXEMPT_FILES = ("src/condsel/selectivity/budget.h",
+                         "src/condsel/selectivity/budget.cc")
+
+
+def check_raw_set_deadline(path: str, text: str,
+                           lines: list[str]) -> list[Finding]:
+    if not path.startswith("src/"):
+        return []
+    if path in DEADLINE_EXEMPT_FILES:
+        return []  # the sanctioned deadline primitives live here
+    findings = []
+    for i, line in enumerate(lines):
+        code = line.split("//")[0]
+        if not RAW_SET_DEADLINE_RE.search(code):
+            continue
+        if _allowed(lines, i, "raw-set-deadline"):
+            continue
+        findings.append(Finding(
+            path, i + 1, "raw-set-deadline",
+            "deadline parked in shared mutable state via set_deadline(); "
+            "deadlines are per-call arguments armed through ScopedDeadline "
+            "(budget.h), so concurrent searches on shared layers cannot "
+            "clobber or dangle each other's clock"))
+    return findings
+
+
 RULES = [
     check_pragma_once,
     check_using_namespace,
@@ -321,6 +357,7 @@ RULES = [
     check_nodiscard_status,
     check_guarded_by,
     check_raw_histogram_lookup,
+    check_raw_set_deadline,
 ]
 
 

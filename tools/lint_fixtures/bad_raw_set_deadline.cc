@@ -1,0 +1,25 @@
+// Fixture: a shared layer storing a borrowed deadline pointer through a
+// set_deadline() setter — the pattern behind the shared-provider deadline
+// race: two concurrent estimators clobber each other's clock, and an
+// estimator destroyed mid-flight leaves the pointer dangling. Deadlines
+// are per-call arguments armed through ScopedDeadline (budget.h).
+// lint-fixture-path: src/condsel/selectivity/bad_raw_set_deadline.cc
+// lint-expect: raw-set-deadline
+
+#include "condsel/selectivity/budget.h"
+
+namespace condsel {
+
+class SharedScorer {
+ public:
+  void set_deadline(const Deadline* deadline) { deadline_ = deadline; }
+
+ private:
+  const Deadline* deadline_ = nullptr;
+};
+
+void AttachClock(SharedScorer* scorer, const Deadline* deadline) {
+  scorer->set_deadline(deadline);
+}
+
+}  // namespace condsel
