@@ -1,0 +1,196 @@
+// Serving throughput of the EstimationService front end.
+//
+// Drives one in-process service from concurrent session threads and
+// reports QPS, latency quantiles, and the overload/degradation telemetry
+// for three regimes:
+//   clean       no faults, generous admission — the raw serving ceiling;
+//   overloaded  admission capped well below the offered load — measures
+//               shedding behaviour, not queue collapse;
+//   faulted     transient lookup faults pulse while epochs refresh —
+//               retry and degradation-ladder overhead under chaos.
+//
+// Emits BENCH_service_qps.json for the CI bench-artifacts trajectory.
+//
+// Scale knobs: CONDSEL_SCALE, CONDSEL_QUERIES (bench_common.h), plus
+// CONDSEL_SERVICE_SUBMITS (submits per session thread, default 40).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "condsel/common/fault_injector.h"
+#include "condsel/service/service.h"
+
+namespace condsel {
+namespace bench {
+namespace {
+
+struct Regime {
+  const char* name;
+  int session_threads;
+  int max_concurrent;
+  int queue_limit;
+  bool pulse_faults;
+  bool refresh_epochs;
+};
+
+struct Measurement {
+  double wall_seconds = 0.0;
+  ServiceStatsSnapshot stats;
+  size_t live_epochs = 0;
+};
+
+Measurement RunRegime(const Regime& regime, const Catalog& catalog,
+                      const SitPool& pool,
+                      const std::vector<Query>& workload, int submits) {
+  ServiceOptions options;
+  options.admission.max_concurrent = regime.max_concurrent;
+  options.admission.queue_limit = regime.queue_limit;
+  options.retry.initial_backoff_seconds = 1e-4;
+  options.breaker.open_after = 2;
+  options.breaker.close_after = 2;
+  EstimationService service(options);
+  StatusOr<uint64_t> seed = service.Refresh(catalog, pool);
+  if (!seed.ok()) {
+    std::fprintf(stderr, "seed refresh failed: %s\n",
+                 seed.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread fault_pulser;
+  if (regime.pulse_faults) {
+    fault_pulser = std::thread([&]() {
+      int pulse = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (pulse++ % 2 == 0) {
+          const ScopedFault fault(Fault::kThrowAtomicLookup);
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        } else {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      }
+    });
+  }
+  std::thread refresher;
+  if (regime.refresh_epochs) {
+    refresher = std::thread([&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        StatusIgnored(service.Refresh(catalog, pool));
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> sessions;
+  for (int t = 0; t < regime.session_threads; ++t) {
+    sessions.emplace_back([&, t]() {
+      const std::string tenant = "tenant-" + std::to_string(t % 4);
+      for (int i = 0; i < submits; ++i) {
+        StatusIgnored(
+            service.Submit(tenant, workload[(t + i) % workload.size()]));
+      }
+    });
+  }
+  for (std::thread& th : sessions) th.join();
+  const auto end = std::chrono::steady_clock::now();
+  stop.store(true, std::memory_order_relaxed);
+  if (fault_pulser.joinable()) fault_pulser.join();
+  if (refresher.joinable()) refresher.join();
+
+  Measurement m;
+  m.wall_seconds = std::chrono::duration<double>(end - start).count();
+  m.stats = service.Stats();
+  m.live_epochs = service.live_epochs();
+  return m;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace condsel
+
+int main() {
+  using namespace condsel;        // NOLINT: bench brevity
+  using namespace condsel::bench; // NOLINT: bench brevity
+
+  BenchEnv env;
+  const int num_queries = EnvInt("CONDSEL_QUERIES", 6);
+  const int submits = EnvInt("CONDSEL_SERVICE_SUBMITS", 40);
+  const std::vector<Query> workload = env.Workload(3, num_queries);
+  const SitPool pool = GenerateSitPool(workload, 2, *env.builder);
+
+  const Regime kRegimes[] = {
+      {"clean", 4, 8, 16, false, false},
+      {"overloaded", 8, 2, 1, false, false},
+      {"faulted", 8, 4, 4, true, true},
+  };
+
+  Json regimes = Json::Array();
+  std::printf(
+      "%-12s %8s %10s %10s %10s %8s %8s %8s\n", "regime", "qps",
+      "p50(ms)", "p99(ms)", "shed", "retries", "degr", "torn");
+  for (const Regime& regime : kRegimes) {
+    const Measurement m =
+        RunRegime(regime, env.catalog, pool, workload, submits);
+    const double qps =
+        m.wall_seconds > 0.0
+            ? static_cast<double>(m.stats.submitted) / m.wall_seconds
+            : 0.0;
+    const uint64_t shed = m.stats.rejected_quota +
+                          m.stats.rejected_queue_full +
+                          m.stats.queue_timeouts;
+    const uint64_t degraded_submissions =
+        m.stats.mode_submissions[1] + m.stats.mode_submissions[2];
+    std::printf("%-12s %8.0f %10.3f %10.3f %10llu %8llu %8llu %8llu\n",
+                regime.name, qps, m.stats.latency_p50_seconds * 1000.0,
+                m.stats.latency_p99_seconds * 1000.0,
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(m.stats.retries),
+                static_cast<unsigned long long>(degraded_submissions),
+                static_cast<unsigned long long>(m.stats.incoherent_snapshots));
+
+    Json entry = Json::Object();
+    entry.Set("regime", regime.name)
+        .Set("session_threads", regime.session_threads)
+        .Set("max_concurrent", regime.max_concurrent)
+        .Set("queue_limit", regime.queue_limit)
+        .Set("wall_seconds", m.wall_seconds)
+        .Set("qps", qps)
+        .Set("submitted", m.stats.submitted)
+        .Set("completed", m.stats.completed)
+        .Set("failed", m.stats.failed)
+        .Set("shed", shed)
+        .Set("retries", m.stats.retries)
+        .Set("transient_faults", m.stats.transient_faults)
+        .Set("mode_full", m.stats.mode_submissions[0])
+        .Set("mode_capped", m.stats.mode_submissions[1])
+        .Set("mode_independence", m.stats.mode_submissions[2])
+        .Set("step_downs", m.stats.step_downs)
+        .Set("step_ups", m.stats.step_ups)
+        .Set("epochs_published", m.stats.epochs_published)
+        .Set("failed_swaps", m.stats.failed_swaps)
+        .Set("live_epochs", static_cast<uint64_t>(m.live_epochs))
+        .Set("incoherent_snapshots", m.stats.incoherent_snapshots)
+        .Set("p50_seconds", m.stats.latency_p50_seconds)
+        .Set("p99_seconds", m.stats.latency_p99_seconds)
+        .Set("mean_seconds",
+             m.stats.latency_count > 0
+                 ? m.stats.latency_total_seconds /
+                       static_cast<double>(m.stats.latency_count)
+                 : 0.0);
+    regimes.Push(std::move(entry));
+  }
+
+  Json root = Json::Object();
+  root.Set("bench", "service_qps")
+      .Set("queries", num_queries)
+      .Set("submits_per_thread", submits)
+      .Set("regimes", std::move(regimes));
+  WriteBenchJson("BENCH_service_qps.json", root);
+  return 0;
+}

@@ -35,6 +35,15 @@
 //    mid-search) — RAII cleanup such as ScopedDeadline must leave shared
 //    state clean on the unwind path. The BaseAtom degradation path stays
 //    exempt, like the deadline: the fallback must outlive the fault.
+//  - kFailSnapshotSwap: SnapshotPublisher::Publish reports UNAVAILABLE
+//    without swapping, simulating a refresh pipeline that failed to
+//    materialize its statistics mid-swap — in-flight sessions must keep
+//    the previous epoch, and the failed swap must never publish a
+//    half-built snapshot (the chaos soak's mid-swap failure scenario).
+//  - kSlowRefresh: SnapshotPublisher::Publish stalls briefly *before*
+//    taking the publication lock, simulating a slow statistics rebuild —
+//    estimates on the current epoch must keep flowing at full rate while
+//    the refresh drags (the no-blocking-under-epoch-lock discipline).
 
 #pragma once
 
@@ -54,6 +63,8 @@ enum class Fault {
   kCorruptHypothesisSet,
   kSlowAtomicLookup,
   kThrowAtomicLookup,
+  kFailSnapshotSwap,
+  kSlowRefresh,
 };
 
 class FaultInjector {
@@ -86,7 +97,7 @@ class FaultInjector {
 
  private:
   FaultInjector() = default;
-  static constexpr int kNumFaults = 7;
+  static constexpr int kNumFaults = 9;
   static int Index(Fault f) { return static_cast<int>(f); }
 
   std::mutex mu_;              // serializes writers; reads are atomic

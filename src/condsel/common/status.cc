@@ -20,6 +20,10 @@ const char* StatusCodeName(StatusCode code) {
       return "DATA_LOSS";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kRejectedOverload:
+      return "REJECTED_OVERLOAD";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "?";
 }

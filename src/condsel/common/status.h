@@ -26,6 +26,12 @@ enum class StatusCode {
   kDeadlineExceeded,    // estimation budget spent (wall clock)
   kDataLoss,            // persisted state is corrupt
   kInternal,            // invariant violation surfaced as an error
+  kRejectedOverload,    // admission control shed the request (quota or
+                        // concurrency cap); retrying immediately makes
+                        // overload worse — back off at the client
+  kUnavailable,         // transient serving-side failure (a snapshot swap
+                        // in flight, an injected lookup fault); safe to
+                        // retry idempotent requests with backoff
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -65,6 +71,12 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string m) {
     return Error(StatusCode::kInternal, std::move(m));
+  }
+  static Status RejectedOverload(std::string m) {
+    return Error(StatusCode::kRejectedOverload, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Error(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

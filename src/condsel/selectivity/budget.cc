@@ -1,5 +1,8 @@
 #include "condsel/selectivity/budget.h"
 
+#include <algorithm>
+#include <cstddef>
+
 #include "condsel/common/fault_injector.h"
 
 namespace condsel {
@@ -61,6 +64,61 @@ bool BudgetExhausted(const EstimationBudget* budget,
     return true;
   }
   return deadline.Expired();
+}
+
+void AddGsStats(const GsStats& delta, GsStats* total) {
+  total->subproblems += delta.subproblems;
+  total->memo_hits += delta.memo_hits;
+  total->atomic_considered += delta.atomic_considered;
+  total->analysis_seconds += delta.analysis_seconds;
+  total->histogram_seconds += delta.histogram_seconds;
+  total->budget_exhausted = total->budget_exhausted || delta.budget_exhausted;
+  total->degraded_subproblems += delta.degraded_subproblems;
+  total->default_fallbacks += delta.default_fallbacks;
+  total->steals += delta.steals;
+  total->stolen_subsets += delta.stolen_subsets;
+  total->parallel_levels += delta.parallel_levels;
+  total->max_level_width =
+      std::max(total->max_level_width, delta.max_level_width);
+  total->level_stats.insert(total->level_stats.end(),
+                            delta.level_stats.begin(),
+                            delta.level_stats.end());
+}
+
+namespace {
+uint64_t SatSub(uint64_t a, uint64_t b) { return a >= b ? a - b : 0; }
+}  // namespace
+
+GsStats DiffGsStats(const GsStats& cumulative, const GsStats& prev) {
+  GsStats d;
+  d.subproblems = SatSub(cumulative.subproblems, prev.subproblems);
+  d.memo_hits = SatSub(cumulative.memo_hits, prev.memo_hits);
+  d.atomic_considered =
+      SatSub(cumulative.atomic_considered, prev.atomic_considered);
+  d.analysis_seconds =
+      std::max(0.0, cumulative.analysis_seconds - prev.analysis_seconds);
+  d.histogram_seconds =
+      std::max(0.0, cumulative.histogram_seconds - prev.histogram_seconds);
+  // A session that was ever exhausted stays flagged; the delta carries the
+  // flag only on the settle that first observes it.
+  d.budget_exhausted = cumulative.budget_exhausted && !prev.budget_exhausted;
+  d.degraded_subproblems =
+      SatSub(cumulative.degraded_subproblems, prev.degraded_subproblems);
+  d.default_fallbacks =
+      SatSub(cumulative.default_fallbacks, prev.default_fallbacks);
+  d.steals = SatSub(cumulative.steals, prev.steals);
+  d.stolen_subsets = SatSub(cumulative.stolen_subsets, prev.stolen_subsets);
+  d.parallel_levels = SatSub(cumulative.parallel_levels, prev.parallel_levels);
+  d.max_level_width = cumulative.max_level_width;
+  // level_stats only grows by whole appended batches; the delta is the
+  // suffix past what `prev` had already seen.
+  if (cumulative.level_stats.size() > prev.level_stats.size()) {
+    d.level_stats.assign(
+        cumulative.level_stats.begin() +
+            static_cast<std::ptrdiff_t>(prev.level_stats.size()),
+        cumulative.level_stats.end());
+  }
+  return d;
 }
 
 }  // namespace condsel

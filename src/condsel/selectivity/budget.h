@@ -161,4 +161,23 @@ bool BudgetExhausted(const EstimationBudget* budget,
                      const BudgetCounters& counters,
                      const Deadline& deadline);
 
+// Aggregation helpers for layers that sum many sessions' GsStats into one
+// total (the EstimationService's telemetry aggregator).
+//
+// AddGsStats accumulates `delta` into `total`: counters and timings sum,
+// budget_exhausted ORs, max_level_width maxes, and delta.level_stats
+// batches are appended (the per-batch shape is preserved; consumers that
+// want per-level totals merge by GsLevelStats::level).
+void AddGsStats(const GsStats& delta, GsStats* total);
+
+// The growth of a session's cumulative stats since `prev`, an earlier
+// snapshot of the *same* session. GsStats counters are cumulative over a
+// memoized search's lifetime, so an aggregator that re-adds a session's
+// stats() after every Compute() double-counts all earlier calls — always
+// settle deltas, never cumulative snapshots (service_stats.h's
+// GsStatsLedger wraps this discipline; its regression test drives
+// overlapping Compute()s through it). Counter differences saturate at 0
+// so a misordered pair degrades to under-counting, never wraparound.
+GsStats DiffGsStats(const GsStats& cumulative, const GsStats& prev);
+
 }  // namespace condsel

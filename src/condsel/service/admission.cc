@@ -1,0 +1,101 @@
+#include "condsel/service/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace condsel {
+
+TokenBucket::TokenBucket(double rate_per_second, double burst)
+    : rate_(rate_per_second),
+      burst_(burst > 0.0 ? burst : std::max(rate_per_second, 1.0)),
+      tokens_(burst_),
+      last_refill_seconds_(0.0) {}
+
+bool TokenBucket::TryAcquire(double now_seconds) {
+  if (rate_ <= 0.0) return true;  // unlimited
+  if (!started_) {
+    started_ = true;
+    last_refill_seconds_ = now_seconds;
+  }
+  const double elapsed = now_seconds - last_refill_seconds_;
+  if (elapsed > 0.0) {
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    last_refill_seconds_ = now_seconds;
+  }
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {}
+
+Status AdmissionController::Admit(const std::string& tenant,
+                                  double now_seconds, double max_wait_seconds,
+                                  AdmissionOutcome* outcome) {
+  AdmissionOutcome scratch;
+  AdmissionOutcome& out = outcome != nullptr ? *outcome : scratch;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.tenant_rate_per_second > 0.0) {
+    auto it = buckets_.find(tenant);
+    if (it == buckets_.end()) {
+      it = buckets_
+               .emplace(tenant,
+                        TokenBucket(options_.tenant_rate_per_second,
+                                    options_.tenant_burst))
+               .first;
+    }
+    if (!it->second.TryAcquire(now_seconds)) {
+      out = AdmissionOutcome::kQuota;
+      return Status::RejectedOverload("tenant '" + tenant +
+                                      "' exceeded its admission quota");
+    }
+  }
+  if (in_flight_ < options_.max_concurrent) {
+    ++in_flight_;
+    out = AdmissionOutcome::kAdmitted;
+    return Status::Ok();
+  }
+  if (waiting_ >= options_.queue_limit) {
+    out = AdmissionOutcome::kQueueFull;
+    return Status::RejectedOverload(
+        "admission queue full (" + std::to_string(waiting_) +
+        " waiting on " + std::to_string(options_.max_concurrent) +
+        " slots); shedding load");
+  }
+  ++waiting_;
+  const bool got_slot = slot_freed_.wait_for(
+      lock, std::chrono::duration<double>(std::max(0.0, max_wait_seconds)),
+      [this]() CONDSEL_REQUIRES(mu_) {
+        return in_flight_ < options_.max_concurrent;
+      });
+  --waiting_;
+  if (!got_slot) {
+    out = AdmissionOutcome::kTimeout;
+    return Status::DeadlineExceeded(
+        "deadline expired while queued for an estimation slot");
+  }
+  ++in_flight_;
+  out = AdmissionOutcome::kAdmitted;
+  return Status::Ok();
+}
+
+void AdmissionController::Release() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  slot_freed_.notify_one();
+}
+
+int AdmissionController::in_flight() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+int AdmissionController::waiting() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
+}  // namespace condsel

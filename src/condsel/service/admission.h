@@ -1,0 +1,93 @@
+// Admission control: per-tenant token buckets + a global concurrency cap
+// with a bounded wait queue.
+//
+// Overload is a policy decision, not an emergent behaviour: every Submit
+// first passes admission, and the three ways it can fail are explicit —
+//   - the tenant's token bucket is dry (quota exceeded): immediate
+//     REJECTED_OVERLOAD, the request never queues;
+//   - the global concurrency cap is reached and the wait queue is full:
+//     immediate REJECTED_OVERLOAD (bounded-queue load shedding — an
+//     unbounded queue converts overload into unbounded latency);
+//   - the request queued but no slot freed before its deadline:
+//     DEADLINE_EXCEEDED (spent its budget waiting, not estimating).
+//
+// The token bucket reuses the EstimationBudget philosophy one level up:
+// where the budget caps what one estimate may spend, the bucket caps how
+// many estimates a tenant may start. Time is passed in by the caller
+// (monotonic seconds) so tests drive refill deterministically.
+
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "condsel/common/status.h"
+#include "condsel/common/thread_annotations.h"
+
+namespace condsel {
+
+struct AdmissionOptions {
+  int max_concurrent = 8;  // estimates running at once (>=1)
+  int queue_limit = 16;    // waiters beyond the cap; above this, shed
+  // Per-tenant quota: sustained admissions/second and burst capacity.
+  // rate <= 0 disables the bucket (unlimited tenants).
+  double tenant_rate_per_second = 0.0;
+  double tenant_burst = 0.0;  // <= 0 defaults to max(rate, 1)
+};
+
+// One tenant's refillable quota. Externally synchronized (the controller
+// holds its mutex around all bucket calls).
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_second, double burst);
+
+  // Consumes one token if available at monotonic time `now_seconds`;
+  // refills rate*elapsed tokens first, capped at burst.
+  bool TryAcquire(double now_seconds);
+
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_refill_seconds_;
+  bool started_ = false;  // first call seeds the refill clock
+};
+
+// Which gate decided an admission, for per-outcome telemetry.
+enum class AdmissionOutcome {
+  kAdmitted = 0,
+  kQuota,      // tenant bucket dry
+  kQueueFull,  // shed: cap reached and queue at limit
+  kTimeout,    // queued, but no slot freed within the deadline
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  // Admits one request for `tenant` at monotonic time `now_seconds`,
+  // waiting up to `max_wait_seconds` for a concurrency slot. On Ok() the
+  // caller owns a slot and must Release() it exactly once. `outcome`
+  // (optional) reports which gate decided.
+  Status Admit(const std::string& tenant, double now_seconds,
+               double max_wait_seconds, AdmissionOutcome* outcome = nullptr)
+      CONDSEL_EXCLUDES(mu_);
+  void Release() CONDSEL_EXCLUDES(mu_);
+
+  int in_flight() const CONDSEL_EXCLUDES(mu_);
+  int waiting() const CONDSEL_EXCLUDES(mu_);
+
+ private:
+  const AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable slot_freed_;
+  int in_flight_ CONDSEL_GUARDED_BY(mu_) = 0;
+  int waiting_ CONDSEL_GUARDED_BY(mu_) = 0;
+  std::map<std::string, TokenBucket> buckets_ CONDSEL_GUARDED_BY(mu_);
+};
+
+}  // namespace condsel

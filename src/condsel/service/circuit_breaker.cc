@@ -1,0 +1,62 @@
+#include "condsel/service/circuit_breaker.h"
+
+namespace condsel {
+
+const char* ServiceModeName(ServiceMode mode) {
+  switch (mode) {
+    case ServiceMode::kFull:
+      return "full";
+    case ServiceMode::kCapped:
+      return "capped";
+    case ServiceMode::kIndependence:
+      return "independence";
+  }
+  return "?";
+}
+
+CircuitBreakerLadder::CircuitBreakerLadder(const BreakerOptions& options)
+    : options_(options) {}
+
+ServiceMode CircuitBreakerLadder::ModeFor(const std::string& tenant) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? ServiceMode::kFull : it->second.mode;
+}
+
+ServiceMode CircuitBreakerLadder::RecordSuccess(const std::string& tenant) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = tenants_[tenant];
+  state.consecutive_failures = 0;
+  if (state.mode == ServiceMode::kFull) return state.mode;
+  if (++state.consecutive_successes >= options_.close_after) {
+    state.consecutive_successes = 0;
+    state.mode = static_cast<ServiceMode>(static_cast<int>(state.mode) - 1);
+    ++step_ups_;
+  }
+  return state.mode;
+}
+
+ServiceMode CircuitBreakerLadder::RecordFailure(const std::string& tenant) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = tenants_[tenant];
+  state.consecutive_successes = 0;
+  if (state.mode == ServiceMode::kIndependence) return state.mode;
+  if (++state.consecutive_failures >= options_.open_after) {
+    state.consecutive_failures = 0;
+    state.mode = static_cast<ServiceMode>(static_cast<int>(state.mode) + 1);
+    ++step_downs_;
+  }
+  return state.mode;
+}
+
+uint64_t CircuitBreakerLadder::step_downs() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return step_downs_;
+}
+
+uint64_t CircuitBreakerLadder::step_ups() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return step_ups_;
+}
+
+}  // namespace condsel

@@ -1,0 +1,78 @@
+// Per-tenant circuit breaker driving the graceful-degradation ladder.
+//
+// Under sustained pressure the service steps a tenant's estimates down a
+// ladder of cheaper modes, and steps back up as the tenant recovers:
+//
+//   kFull          the configured full-fidelity GS search
+//   kCapped        GS under a tight budget (subproblem/deadline caps) —
+//                  the paper's graceful degradation, preemptively applied
+//   kIndependence  the independence fallback only (noSit's estimate, via
+//                  a budget that exhausts immediately) — always cheap,
+//                  always available
+//
+// The breaker is deliberately hysteretic: `open_after` consecutive
+// failures (or per-attempt deadline overruns) step down one rung;
+// `close_after` consecutive successes step back up one rung. Success at a
+// degraded rung therefore probes recovery instead of snapping straight
+// back to full fidelity and re-triggering the overload. Every transition
+// is observable: the ladder keeps per-rung counters and a monotonically
+// increasing transition sequence number for telemetry.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "condsel/common/thread_annotations.h"
+
+namespace condsel {
+
+enum class ServiceMode {
+  kFull = 0,
+  kCapped = 1,
+  kIndependence = 2,
+};
+
+const char* ServiceModeName(ServiceMode mode);
+
+struct BreakerOptions {
+  int open_after = 3;   // consecutive failures to step down one rung
+  int close_after = 5;  // consecutive successes to step up one rung
+};
+
+// Ladder state for every tenant. Thread-safe; one instance per service.
+class CircuitBreakerLadder {
+ public:
+  explicit CircuitBreakerLadder(const BreakerOptions& options);
+
+  // The rung `tenant`'s next estimate should run at.
+  ServiceMode ModeFor(const std::string& tenant) const
+      CONDSEL_EXCLUDES(mu_);
+
+  // Records an attempt outcome; returns the (possibly changed) mode.
+  ServiceMode RecordSuccess(const std::string& tenant)
+      CONDSEL_EXCLUDES(mu_);
+  ServiceMode RecordFailure(const std::string& tenant)
+      CONDSEL_EXCLUDES(mu_);
+
+  // Ladder movement since construction (both directions), for telemetry.
+  uint64_t step_downs() const CONDSEL_EXCLUDES(mu_);
+  uint64_t step_ups() const CONDSEL_EXCLUDES(mu_);
+
+ private:
+  struct TenantState {
+    ServiceMode mode = ServiceMode::kFull;
+    int consecutive_failures = 0;
+    int consecutive_successes = 0;
+  };
+
+  const BreakerOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, TenantState> tenants_ CONDSEL_GUARDED_BY(mu_);
+  uint64_t step_downs_ CONDSEL_GUARDED_BY(mu_) = 0;
+  uint64_t step_ups_ CONDSEL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace condsel

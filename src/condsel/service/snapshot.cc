@@ -1,0 +1,67 @@
+#include "condsel/service/snapshot.h"
+
+#include <chrono>
+#include <thread>
+
+#include "condsel/common/fault_injector.h"
+
+namespace condsel {
+
+StatusOr<uint64_t> SnapshotPublisher::Publish(Catalog catalog, SitPool pool) {
+  // Writers serialize end-to-end: two concurrent refreshes must not
+  // interleave their epoch numbering with their pointer swaps, or a
+  // lower-numbered snapshot could overwrite a higher one.
+  const std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
+
+  const FaultInjector& fi = FaultInjector::Instance();
+  if (fi.armed() && fi.enabled(Fault::kSlowRefresh)) {
+    // A slow statistics rebuild. Deliberately *outside* epoch_mu_: the
+    // stall must only delay other refreshes, never a session's acquire.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  if (fi.armed() && fi.enabled(Fault::kFailSnapshotSwap)) {
+    failed_swaps_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable(
+        "snapshot swap failed mid-refresh (injected); previous epoch "
+        "remains current");
+  }
+
+  // Construct the snapshot before touching epoch state; only the number,
+  // the ledger append, and the pointer swap happen under epoch_mu_.
+  uint64_t epoch = 0;
+  {
+    const std::lock_guard<std::mutex> lock(epoch_mu_);
+    epoch = next_epoch_++;
+  }
+  auto snap = std::make_shared<const Snapshot>(epoch, std::move(catalog),
+                                               std::move(pool));
+  {
+    const std::lock_guard<std::mutex> lock(epoch_mu_);
+    ledger_.emplace_back(epoch, snap);
+    current_.store(std::move(snap), std::memory_order_release);
+  }
+  published_count_.fetch_add(1, std::memory_order_relaxed);
+  return epoch;
+}
+
+uint64_t SnapshotPublisher::current_epoch() const {
+  const std::shared_ptr<const Snapshot> snap = Acquire();
+  return snap == nullptr ? 0 : snap->epoch();
+}
+
+size_t SnapshotPublisher::live_epochs() const {
+  const std::lock_guard<std::mutex> lock(epoch_mu_);
+  size_t live = 0;
+  auto it = ledger_.begin();
+  while (it != ledger_.end()) {
+    if (it->second.expired()) {
+      it = ledger_.erase(it);  // retired: last holder dropped its handle
+    } else {
+      ++live;
+      ++it;
+    }
+  }
+  return live;
+}
+
+}  // namespace condsel

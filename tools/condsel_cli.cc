@@ -22,14 +22,24 @@
 //   --audit                 record every estimator's derivation DAG and
 //                           statically verify it (DerivationAuditor); a
 //                           violation fails the run with exit code 1
+//   --serve-selftest        stand up an in-process EstimationService and
+//                           drive it from concurrent session threads while
+//                           epochs refresh and injected faults pulse; the
+//                           telemetry invariants (balanced books, zero torn
+//                           snapshots) are checked and a violation fails
+//                           the run with exit code 1. With no SQL, a
+//                           default synthetic workload is generated.
 //
 // With no SQL arguments, reads one statement per line from stdin.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "condsel/analysis/auditor.h"
@@ -41,8 +51,10 @@
 #include "condsel/selectivity/exhaustive.h"
 #include "condsel/datagen/tpch_lite.h"
 #include "condsel/datagen/workload.h"
+#include "condsel/common/fault_injector.h"
 #include "condsel/io/serialize.h"
 #include "condsel/parser/parser.h"
+#include "condsel/service/service.h"
 #include "condsel/sit/sit_builder.h"
 #include "condsel/version.h"
 
@@ -61,6 +73,7 @@ struct Options {
   bool explain = false;
   bool stats = false;
   bool audit = false;
+  bool serve_selftest = false;
   EstimationBudget budget;
   std::vector<std::string> sql;
 };
@@ -106,6 +119,8 @@ bool ParseArgs(int argc, char** argv, Options* out) {
       out->stats = true;
     } else if (arg == "--audit") {
       out->audit = true;
+    } else if (arg == "--serve-selftest") {
+      out->serve_selftest = true;
     } else if (arg == "--truth") {
       out->truth = true;
     } else if (arg == "--explain") {
@@ -134,7 +149,8 @@ void Usage() {
       "                   [--max-subproblems=N] [--max-atomic=N]\n"
       "                   [--deadline-ms=F] [--threads=N] [--stats] "
       "[--audit]\n"
-      "                   [--truth] [--explain] [SQL ...]\n"
+      "                   [--serve-selftest] [--truth] [--explain] "
+      "[SQL ...]\n"
       "With no SQL arguments, statements are read from stdin, one per "
       "line.\n");
 }
@@ -215,6 +231,131 @@ bool AuditQuery(const Query& q, const SitPool& pool, Ranking ranking,
   return all_ok;
 }
 
+// In-process overload drill: concurrent tenants against one
+// EstimationService while epochs refresh and injected faults pulse.
+// Returns false if any serving invariant is violated.
+bool RunServeSelftest(const Catalog& catalog, const SitPool& pool,
+                      const std::vector<Query>& queries, Ranking ranking) {
+  constexpr int kSessionThreads = 8;
+  constexpr int kSubmitsPerThread = 16;
+  constexpr int kRefreshes = 12;
+
+  ServiceOptions options;
+  options.ranking = ranking;
+  options.admission.max_concurrent = 4;
+  options.admission.queue_limit = 4;
+  options.retry.initial_backoff_seconds = 1e-4;
+  options.breaker.open_after = 2;
+  options.breaker.close_after = 2;
+  EstimationService service(options);
+  {
+    const StatusOr<uint64_t> seed = service.Refresh(catalog, pool);
+    if (!seed.ok()) {
+      std::fprintf(stderr, "serve-selftest: seed refresh failed: %s\n",
+                   seed.status().ToString().c_str());
+      return false;
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ok_count{0};
+  std::atomic<uint64_t> err_count{0};
+  std::vector<std::thread> sessions;
+  for (int t = 0; t < kSessionThreads; ++t) {
+    sessions.emplace_back([&, t]() {
+      const std::string tenant = "tenant-" + std::to_string(t % 3);
+      for (int i = 0; i < kSubmitsPerThread; ++i) {
+        const Query& q = queries[(t + i) % queries.size()];
+        SubmitOptions submit;
+        submit.deadline_seconds = i % 2 == 0 ? 0.0 : 1.0;
+        if (service.Submit(tenant, q, submit).ok()) {
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          err_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::thread refresher([&]() {
+    for (int i = 0; i < kRefreshes; ++i) {
+      if (i % 4 == 3) {
+        const ScopedFault fault(Fault::kFailSnapshotSwap);
+        StatusIgnored(service.Refresh(catalog, pool));
+      } else {
+        StatusIgnored(service.Refresh(catalog, pool));
+      }
+      std::this_thread::yield();
+    }
+  });
+  std::thread fault_pulser([&]() {
+    int pulse = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (pulse++ % 2 == 0) {
+        const ScopedFault fault(Fault::kThrowAtomicLookup);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+  });
+  for (std::thread& th : sessions) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  refresher.join();
+  fault_pulser.join();
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  std::printf(
+      "serve-selftest: %llu submitted = %llu completed + %llu failed\n"
+      "  admission: %llu quota, %llu queue-full, %llu queue-timeout\n"
+      "  retries: %llu (%llu transient faults, %llu no-retry deadline)\n"
+      "  modes: %llu full / %llu capped / %llu independence "
+      "(%llu down, %llu up)\n"
+      "  epochs: %llu published, %llu failed swaps, %llu live, "
+      "%llu torn\n"
+      "  latency: p50 %.3f ms, p99 %.3f ms\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.rejected_quota),
+      static_cast<unsigned long long>(stats.rejected_queue_full),
+      static_cast<unsigned long long>(stats.queue_timeouts),
+      static_cast<unsigned long long>(stats.retries),
+      static_cast<unsigned long long>(stats.transient_faults),
+      static_cast<unsigned long long>(stats.no_retry_deadline),
+      static_cast<unsigned long long>(stats.mode_submissions[0]),
+      static_cast<unsigned long long>(stats.mode_submissions[1]),
+      static_cast<unsigned long long>(stats.mode_submissions[2]),
+      static_cast<unsigned long long>(stats.step_downs),
+      static_cast<unsigned long long>(stats.step_ups),
+      static_cast<unsigned long long>(stats.epochs_published),
+      static_cast<unsigned long long>(stats.failed_swaps),
+      static_cast<unsigned long long>(service.live_epochs()),
+      static_cast<unsigned long long>(stats.incoherent_snapshots),
+      stats.latency_p50_seconds * 1000.0, stats.latency_p99_seconds * 1000.0);
+
+  bool ok = true;
+  const uint64_t expected =
+      static_cast<uint64_t>(kSessionThreads) * kSubmitsPerThread;
+  auto violation = [&](const char* what) {
+    std::fprintf(stderr, "serve-selftest: VIOLATION: %s\n", what);
+    ok = false;
+  };
+  if (stats.submitted != expected) violation("submitted count mismatch");
+  if (stats.completed + stats.failed != stats.submitted) {
+    violation("books do not balance (completed + failed != submitted)");
+  }
+  if (stats.latency_count != stats.submitted) {
+    violation("latency samples do not cover every request");
+  }
+  if (stats.completed != ok_count.load() || stats.failed != err_count.load()) {
+    violation("caller-observed outcomes disagree with telemetry");
+  }
+  if (stats.incoherent_snapshots != 0) violation("torn snapshot observed");
+  if (stats.completed == 0) violation("service starved every session");
+  if (service.live_epochs() != 1) violation("retired epochs still live");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -252,13 +393,13 @@ int main(int argc, char** argv) {
 
   // --- statements ----------------------------------------------------
   std::vector<std::string> statements = opt.sql;
-  if (statements.empty()) {
+  if (statements.empty() && !opt.serve_selftest) {
     std::string line;
     while (std::getline(std::cin, line)) {
       if (!line.empty()) statements.push_back(line);
     }
   }
-  if (statements.empty()) {
+  if (statements.empty() && !opt.serve_selftest) {
     Usage();
     return 2;
   }
@@ -275,6 +416,17 @@ int main(int argc, char** argv) {
     }
     queries.push_back(r.query);
   }
+  if (queries.empty()) {
+    // --serve-selftest with no SQL: drill over a synthetic workload.
+    WorkloadOptions wopt;
+    wopt.num_queries = 3;
+    wopt.num_joins = 3;
+    wopt.num_filters = 3;
+    wopt.seed = 7;
+    queries = GenerateWorkload(catalog, &evaluator, wopt);
+    std::fprintf(stderr, "# %zu synthetic workload queries generated\n",
+                 queries.size());
+  }
 
   SitPool pool;
   if (!opt.pool_path.empty()) {
@@ -287,6 +439,10 @@ int main(int argc, char** argv) {
     pool = GenerateSitPool(queries, opt.sits, builder);
   }
   std::fprintf(stderr, "# %d statistics available\n", pool.size());
+
+  if (opt.serve_selftest) {
+    return RunServeSelftest(catalog, pool, queries, opt.ranking) ? 0 : 1;
+  }
 
   Estimator estimator(&catalog, &pool, opt.ranking, opt.budget);
   bool audit_ok = true;

@@ -57,6 +57,18 @@ comment on the same or the preceding line):
                         each other's clock. selectivity/budget.{h,cc}
                         (which define the sanctioned primitives) are
                         exempt.
+  no-blocking-under-epoch-lock
+                        library code holding a lock on an `*epoch_mu*`
+                        mutex must not block while it is held: no sleeps,
+                        condition-variable waits, thread joins, snapshot
+                        construction (make_shared/make_unique), or
+                        estimation entry points (Compute/TryEstimate*/
+                        Submit/Publish/Refresh). The epoch lock guards
+                        only the epoch counter, the retirement ledger,
+                        and the pointer swap — every session's Acquire
+                        path is wait-free exactly because nothing slow
+                        ever runs under it. Build the snapshot first,
+                        then take the lock to swap it in.
 
 Usage:
   condsel_lint.py [--root REPO]      lint the repository (exit 1 on findings)
@@ -347,6 +359,44 @@ def check_raw_set_deadline(path: str, text: str,
     return findings
 
 
+EPOCH_LOCK_RE = re.compile(
+    r"\bstd::(?:lock_guard|unique_lock|scoped_lock)\s*<[^>]*>\s*"
+    r"\w+\s*[({][^)}]*epoch_mu[^)}]*[)}]")
+# Calls that park the calling thread (or do unbounded work) — none of
+# them may run while an epoch lock is held.
+EPOCH_BLOCKING_RE = re.compile(
+    r"\b(?:sleep_for|sleep_until|wait_for|wait_until|"
+    r"make_shared|make_unique|"
+    r"Compute|TryEstimate\w*|Submit|Publish|Refresh)\s*\(|"
+    r"\.\s*(?:wait|join)\s*\(")
+
+
+def check_epoch_lock_blocking(path: str, text: str,
+                              lines: list[str]) -> list[Finding]:
+    if not path.startswith("src/"):
+        return []
+    findings = []
+    depth = 0
+    # Depths at which an epoch lock is currently held; the lock dies when
+    # its enclosing scope closes (depth drops below the acquisition depth).
+    held_at: list[int] = []
+    for i, line in enumerate(lines):
+        code = line.split("//")[0]
+        if held_at and EPOCH_BLOCKING_RE.search(code):
+            if not _allowed(lines, i, "no-blocking-under-epoch-lock"):
+                findings.append(Finding(
+                    path, i + 1, "no-blocking-under-epoch-lock",
+                    "blocking call while an *epoch_mu* lock is held; the "
+                    "epoch lock covers only the counter, the ledger, and "
+                    "the pointer swap — construct/sleep/estimate outside "
+                    "it, then lock to swap"))
+        if EPOCH_LOCK_RE.search(code):
+            held_at.append(depth)
+        depth += code.count("{") - code.count("}")
+        held_at = [d for d in held_at if depth >= d]
+    return findings
+
+
 RULES = [
     check_pragma_once,
     check_using_namespace,
@@ -358,6 +408,7 @@ RULES = [
     check_guarded_by,
     check_raw_histogram_lookup,
     check_raw_set_deadline,
+    check_epoch_lock_blocking,
 ]
 
 

@@ -1,0 +1,36 @@
+// Fixture: a publisher that builds the snapshot and sleeps while holding
+// the epoch lock — every session's Acquire() now stalls behind a refresh.
+// The epoch lock covers only the counter, the ledger, and the pointer
+// swap; construction and stalls belong outside it.
+// lint-fixture-path: src/condsel/service/bad_blocking_under_epoch_lock.cc
+// lint-expect: no-blocking-under-epoch-lock
+
+#include "condsel/service/snapshot.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace condsel {
+
+class BlockingPublisher {
+ public:
+  void Publish(Catalog catalog, SitPool pool) {
+    const std::lock_guard<std::mutex> lock(epoch_mu_);
+    // Heavy construction under the lock: sessions block on Acquire().
+    auto snap = std::make_shared<const Snapshot>(next_epoch_++,
+                                                 std::move(catalog),
+                                                 std::move(pool));
+    // A stalled rebuild under the lock: the whole service stalls with it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    current_ = std::move(snap);
+  }
+
+ private:
+  std::mutex epoch_mu_;
+  uint64_t next_epoch_ = 1;
+  std::shared_ptr<const Snapshot> current_;
+};
+
+}  // namespace condsel

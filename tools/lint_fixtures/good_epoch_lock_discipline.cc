@@ -1,0 +1,40 @@
+// Fixture: the sanctioned publish shape — construct the snapshot first,
+// stall (if at all) before any lock, then take the epoch lock only for
+// the counter bump and the pointer swap. Must produce zero findings.
+// lint-fixture-path: src/condsel/service/good_epoch_lock_discipline.cc
+
+#include "condsel/service/snapshot.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace condsel {
+
+class DisciplinedPublisher {
+ public:
+  void Publish(Catalog catalog, SitPool pool) {
+    // Slow work happens with no lock held at all.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    uint64_t epoch = 0;
+    {
+      const std::lock_guard<std::mutex> lock(epoch_mu_);
+      epoch = next_epoch_++;
+    }
+    // Construction outside the lock: Acquire() never waits on a build.
+    auto snap = std::make_shared<const Snapshot>(epoch, std::move(catalog),
+                                                 std::move(pool));
+    {
+      const std::lock_guard<std::mutex> lock(epoch_mu_);
+      current_ = std::move(snap);
+    }
+  }
+
+ private:
+  std::mutex epoch_mu_;
+  uint64_t next_epoch_ = 1;
+  std::shared_ptr<const Snapshot> current_;
+};
+
+}  // namespace condsel
