@@ -5,8 +5,9 @@
 // closest thing to an optimizer's EXPLAIN for cardinality estimation.
 //
 //   $ ./sql_explain
-//   $ ./sql_explain "SELECT COUNT(*) FROM orders, customer WHERE \
-//        orders.o_custkey = customer.c_custkey AND customer.c_nation = 0"
+//   $ ./sql_explain "SELECT COUNT(*) FROM orders, customer
+//        WHERE orders.o_custkey = customer.c_custkey AND
+//        customer.c_nation = 0"
 
 #include <cstdio>
 

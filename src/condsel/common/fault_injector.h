@@ -50,10 +50,21 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
 
 #include "condsel/common/thread_annotations.h"
 
 namespace condsel {
+
+// The exception injected throw sites raise (kThrowAtomicLookup). It is a
+// distinct type so catch sites can tell "a known-transient condition
+// unwound this attempt" (retryable UNAVAILABLE) apart from an arbitrary
+// std::exception escaping the library, which is a bug and must surface as
+// terminal INTERNAL rather than be retried as if transient.
+class TransientFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 enum class Fault {
   kDropSits = 0,

@@ -132,7 +132,7 @@ FactorChoice AtomicSelectivityProvider::Score(const Query& query, PredSet p,
   // exemption.
   const FaultInjector& fi = FaultInjector::Instance();
   if (fi.armed() && fi.enabled(Fault::kThrowAtomicLookup)) {
-    throw std::runtime_error("injected: statistics lookup failed");
+    throw TransientFault("injected: statistics lookup failed");
   }
   return ScoreImpl(query, p, cond, deadline);
 }

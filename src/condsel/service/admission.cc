@@ -27,6 +27,11 @@ bool TokenBucket::TryAcquire(double now_seconds) {
   return true;
 }
 
+void TokenBucket::Refund() {
+  if (rate_ <= 0.0) return;  // unlimited: TryAcquire consumed nothing
+  tokens_ = std::min(burst_, tokens_ + 1.0);
+}
+
 AdmissionController::AdmissionController(const AdmissionOptions& options)
     : options_(options) {}
 
@@ -36,6 +41,10 @@ Status AdmissionController::Admit(const std::string& tenant,
   AdmissionOutcome scratch;
   AdmissionOutcome& out = outcome != nullptr ? *outcome : scratch;
   std::unique_lock<std::mutex> lock(mu_);
+  // Quota is charged only for requests that reach service: the shed and
+  // timeout paths below refund the token (map nodes are stable, so the
+  // pointer survives the unlocked wait).
+  TokenBucket* bucket = nullptr;
   if (options_.tenant_rate_per_second > 0.0) {
     auto it = buckets_.find(tenant);
     if (it == buckets_.end()) {
@@ -45,7 +54,8 @@ Status AdmissionController::Admit(const std::string& tenant,
                                     options_.tenant_burst))
                .first;
     }
-    if (!it->second.TryAcquire(now_seconds)) {
+    bucket = &it->second;
+    if (!bucket->TryAcquire(now_seconds)) {
       out = AdmissionOutcome::kQuota;
       return Status::RejectedOverload("tenant '" + tenant +
                                       "' exceeded its admission quota");
@@ -57,6 +67,7 @@ Status AdmissionController::Admit(const std::string& tenant,
     return Status::Ok();
   }
   if (waiting_ >= options_.queue_limit) {
+    if (bucket != nullptr) bucket->Refund();
     out = AdmissionOutcome::kQueueFull;
     return Status::RejectedOverload(
         "admission queue full (" + std::to_string(waiting_) +
@@ -71,6 +82,7 @@ Status AdmissionController::Admit(const std::string& tenant,
       });
   --waiting_;
   if (!got_slot) {
+    if (bucket != nullptr) bucket->Refund();
     out = AdmissionOutcome::kTimeout;
     return Status::DeadlineExceeded(
         "deadline expired while queued for an estimation slot");
@@ -85,7 +97,11 @@ void AdmissionController::Release() {
     const std::lock_guard<std::mutex> lock(mu_);
     --in_flight_;
   }
-  slot_freed_.notify_one();
+  // notify_all, not notify_one: a notified waiter may have concurrently
+  // timed out and leave the wait without claiming the slot, and the other
+  // waiters would only re-check at their own deadlines — the freed
+  // capacity would sit stranded.
+  slot_freed_.notify_all();
 }
 
 int AdmissionController::in_flight() const {

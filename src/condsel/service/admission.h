@@ -47,6 +47,12 @@ class TokenBucket {
   // refills rate*elapsed tokens first, capped at burst.
   bool TryAcquire(double now_seconds);
 
+  // Returns the token of a TryAcquire whose request then got no service
+  // (shed by the full queue, or timed out waiting for a slot), capped at
+  // burst. Without the refund, a saturated service would burn a tenant's
+  // quota on requests it never ran.
+  void Refund();
+
   double tokens() const { return tokens_; }
 
  private:

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "condsel/baselines/feedback.h"
+#include "condsel/common/fault_injector.h"
 #include "condsel/exec/cardinality_cache.h"
 #include "condsel/sit/sit_matcher.h"
 
@@ -37,6 +38,15 @@ class SlotReleaser {
 };
 
 }  // namespace
+
+Status ClassifyAttemptException(const char* op, const std::exception& e) {
+  if (dynamic_cast<const TransientFault*>(&e) != nullptr) {
+    return Status::Unavailable(std::string(op) +
+                               " failed transiently: " + e.what());
+  }
+  return Status::Internal(std::string(op) +
+                          " threw an unexpected exception: " + e.what());
+}
 
 // Per-epoch feedback machinery. The snapshot handle pins the epoch the
 // matcher and evaluator borrow from, so a Refresh can never free the
@@ -87,7 +97,15 @@ EstimationBudget EstimationService::BudgetForMode(
       return budget;
   }
   if (remaining_seconds != kNoDeadline) {
-    const double capped = std::max(remaining_seconds, 0.0);
+    // Never clamp to 0: EstimationBudget reads deadline_seconds <= 0 as
+    // "no deadline" (Deadline::Arm disarms), which would hand an
+    // already-expired caller an unbounded attempt. Submit refuses to
+    // attempt once the caller's deadline is spent; the epsilon keeps the
+    // clock armed if the remainder goes non-positive between that check
+    // and the attempt (backoff sleeps and queue waits can overshoot).
+    constexpr double kMinArmedDeadlineSeconds = 1e-9;
+    const double capped =
+        std::max(remaining_seconds, kMinArmedDeadlineSeconds);
     budget.deadline_seconds = budget.deadline_seconds > 0.0
                                   ? std::min(budget.deadline_seconds, capped)
                                   : capped;
@@ -119,10 +137,12 @@ StatusOr<ServiceEstimate> EstimationService::Attempt(
     selectivity = sel.value();
     cardinality = card.value();
   } catch (const std::exception& e) {
-    // A fault unwound this attempt's session before it produced an
-    // estimate; nothing was settled, so a retry starts clean.
-    return StatusOr<ServiceEstimate>(Status::Unavailable(
-        std::string("estimation attempt failed transiently: ") + e.what()));
+    // The attempt's session unwound before it produced an estimate;
+    // nothing was settled, so a retry starts clean. Only the known
+    // TransientFault is retryable — anything else maps to terminal
+    // INTERNAL (a deterministic bug would fail every retry identically).
+    return StatusOr<ServiceEstimate>(
+        ClassifyAttemptException("estimation attempt", e));
   }
 
   ServiceEstimate out;
@@ -208,6 +228,19 @@ StatusOr<ServiceEstimate> EstimationService::Submit(const std::string& tenant,
   int attempt = 0;
   Status last_failure = Status::Ok();
   for (;;) {
+    if (deadline_at != kNoDeadline && remaining() <= 0.0) {
+      // The caller's deadline expired before this attempt could start —
+      // routine under overload, where the admission wait is capped at
+      // exactly the remaining deadline and backoff sleeps can overshoot
+      // it. Attempting anyway would run on the caller's clock with no
+      // clock at all (BudgetForMode documents why), so refuse instead;
+      // a degraded floor already in hand still ships below.
+      counters_.no_retry_deadline.fetch_add(1, std::memory_order_relaxed);
+      last_failure = Status::DeadlineExceeded(
+          "caller deadline expired before an estimation attempt could "
+          "start");
+      break;
+    }
     ++attempt;
     StatusOr<ServiceEstimate> result =
         Attempt(query, *snap, mode, remaining());
@@ -288,8 +321,7 @@ Status EstimationService::ObserveFeedback(const std::string& tenant,
     // observation before the throw — replaying would double-observe, so
     // this path never retries (DecideRetry documents the decision and the
     // counter makes it visible).
-    status = Status::Unavailable(
-        std::string("feedback observation failed transiently: ") + e.what());
+    status = ClassifyAttemptException("feedback observation", e);
   }
   if (status.ok()) {
     counters_.feedback_updates.fetch_add(1, std::memory_order_relaxed);

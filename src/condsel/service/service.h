@@ -88,6 +88,14 @@ struct SubmitOptions {
   double deadline_seconds = 0.0;
 };
 
+// Maps an exception that unwound an estimation attempt (or a feedback
+// observation) to the Status the retry classifier sees: the library's
+// known-transient TransientFault becomes retryable UNAVAILABLE; any other
+// std::exception is a deterministic bug and becomes terminal INTERNAL —
+// replaying it would fail the same way while burning retry budget. `op`
+// names the operation for the status message.
+Status ClassifyAttemptException(const char* op, const std::exception& e);
+
 struct ServiceEstimate {
   double selectivity = 1.0;
   double cardinality = 0.0;

@@ -14,7 +14,6 @@ namespace {
 ColumnRef Ra() { return {0, 0}; }
 ColumnRef Rx() { return {0, 1}; }
 ColumnRef Sy() { return {1, 0}; }
-ColumnRef Sb() { return {1, 1}; }
 
 class DistinctTest : public ::testing::Test {
  protected:

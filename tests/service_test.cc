@@ -21,6 +21,7 @@
 #include <cstring>
 #include <limits>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -213,6 +214,22 @@ TEST(TokenBucketTest, RefillCapsAtBurst) {
   EXPECT_EQ(admitted, 3);
 }
 
+TEST(TokenBucketTest, RefundReturnsTokenCappedAtBurst) {
+  TokenBucket bucket(1.0, 2.0);
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  bucket.Refund();
+  EXPECT_TRUE(bucket.TryAcquire(0.0));  // the refunded token is spendable
+  EXPECT_FALSE(bucket.TryAcquire(0.0));
+  // A spurious extra refund cannot bank tokens past the burst.
+  bucket.Refund();
+  bucket.Refund();
+  bucket.Refund();
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_FALSE(bucket.TryAcquire(0.0));
+}
+
 TEST(AdmissionTest, AdmitReleaseTracksInFlight) {
   AdmissionOptions opt;
   opt.max_concurrent = 2;
@@ -263,6 +280,37 @@ TEST(AdmissionTest, QueuedRequestTimesOutAsDeadline) {
   EXPECT_EQ(timed_out.code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(outcome, AdmissionOutcome::kTimeout);
   admission.Release();
+}
+
+TEST(AdmissionTest, ShedAndTimedOutRequestsRefundQuota) {
+  AdmissionOptions opt;
+  opt.max_concurrent = 1;
+  opt.queue_limit = 0;
+  opt.tenant_rate_per_second = 1e-9;  // negligible refill
+  opt.tenant_burst = 2.0;
+  AdmissionController admission(opt);
+  AdmissionOutcome outcome;
+  ASSERT_TRUE(admission.Admit("t", 0.0, 0.0, &outcome).ok());  // 1 token left
+  // Every shed request refunds its token: the rejection stays kQueueFull
+  // forever instead of decaying into kQuota once the burst is burned on
+  // requests that received no service.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(admission.Admit("t", 0.0, 0.0, &outcome).ok());
+    EXPECT_EQ(outcome, AdmissionOutcome::kQueueFull) << "shed " << i;
+  }
+  admission.Release();
+  ASSERT_TRUE(admission.Admit("t", 0.0, 0.0, &outcome).ok());  // 0 tokens left
+
+  // The same holds for requests that queue and then time out.
+  AdmissionOptions timed = opt;
+  timed.queue_limit = 4;
+  AdmissionController timed_admission(timed);
+  ASSERT_TRUE(timed_admission.Admit("t", 0.0, 0.0, &outcome).ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(timed_admission.Admit("t", 0.0, 0.0, &outcome).ok());
+    EXPECT_EQ(outcome, AdmissionOutcome::kTimeout) << "timeout " << i;
+  }
+  timed_admission.Release();
 }
 
 TEST(AdmissionTest, QueuedRequestGetsFreedSlot) {
@@ -608,6 +656,36 @@ TEST_F(ServiceTest, TransientFaultRetriesThenReportsUnavailable) {
   EXPECT_EQ(stats.retries, 2u);           // max_attempts - 1
   EXPECT_EQ(stats.failed, 1u);
   EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST_F(ServiceTest, ExpiredDeadlineRefusesToAttempt) {
+  EstimationService service;
+  ASSERT_TRUE(service.Refresh(catalog_, pool_).ok());
+  SubmitOptions submit;
+  submit.deadline_seconds = 1e-12;  // spent before admission completes
+  const StatusOr<ServiceEstimate> r = service.Submit("t", query_, submit);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.no_retry_deadline, 1u);
+  // No attempt ran: an expired caller must never get an unclocked search
+  // (deadline_seconds == 0 would mean "no deadline" to the budget).
+  EXPECT_EQ(stats.search.subproblems, 0u);
+  EXPECT_EQ(stats.search.atomic_considered, 0u);
+}
+
+TEST(ServiceExceptionTest, OnlyTransientFaultIsRetryable) {
+  const Status transient = ClassifyAttemptException(
+      "estimation attempt", TransientFault("injected: lookup failed"));
+  EXPECT_EQ(transient.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(RetryableStatusCode(transient.code()));
+  // Anything else escaping the library is a deterministic bug: terminal
+  // INTERNAL, never retried as if it could pass on the next try.
+  const Status bug = ClassifyAttemptException(
+      "estimation attempt", std::logic_error("broken invariant"));
+  EXPECT_EQ(bug.code(), StatusCode::kInternal);
+  EXPECT_FALSE(RetryableStatusCode(bug.code()));
 }
 
 TEST_F(ServiceTest, BreakerStepsDownThenRecovers) {

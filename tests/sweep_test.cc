@@ -135,10 +135,13 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepParam{3, 2, 1.0}, SweepParam{3, 3, 1.5},
                       SweepParam{4, 2, 1.0}, SweepParam{5, 2, 1.0},
                       SweepParam{5, 4, 1.5}),
-    [](const ::testing::TestParamInfo<SweepParam>& info) {
-      return "J" + std::to_string(info.param.num_joins) + "_pool" +
-             std::to_string(info.param.pool_j) + "_theta" +
-             std::to_string(static_cast<int>(info.param.zipf_theta * 10));
+    // `pinfo`, not gtest's customary `info`: the INSTANTIATE macro
+    // expands the lambda inside a function whose parameter is already
+    // named `info`, and -Wshadow rejects the collision.
+    [](const ::testing::TestParamInfo<SweepParam>& pinfo) {
+      return "J" + std::to_string(pinfo.param.num_joins) + "_pool" +
+             std::to_string(pinfo.param.pool_j) + "_theta" +
+             std::to_string(static_cast<int>(pinfo.param.zipf_theta * 10));
     });
 
 }  // namespace

@@ -86,13 +86,17 @@ bool ParseArgs(int argc, char** argv, Options* out) {
                  ? arg.c_str() + std::strlen(prefix)
                  : nullptr;
     };
-    if (const char* v = value("--db=")) {
+    // One hoisted cursor, not per-branch `const char* v` declarations:
+    // in an else-if chain each inner declaration sits inside the outer
+    // condition's scope, which -Wshadow rejects.
+    const char* v = nullptr;
+    if ((v = value("--db=")) != nullptr) {
       out->db = v;
-    } else if (const char* v = value("--scale=")) {
+    } else if ((v = value("--scale=")) != nullptr) {
       out->scale = std::atof(v);
-    } else if (const char* v = value("--sits=")) {
+    } else if ((v = value("--sits=")) != nullptr) {
       out->sits = std::atoi(v);
-    } else if (const char* v = value("--ranking=")) {
+    } else if ((v = value("--ranking=")) != nullptr) {
       if (std::string(v) == "nind") {
         out->ranking = Ranking::kNInd;
       } else if (std::string(v) == "diff") {
@@ -101,19 +105,19 @@ bool ParseArgs(int argc, char** argv, Options* out) {
         std::fprintf(stderr, "unknown ranking '%s'\n", v);
         return false;
       }
-    } else if (const char* v = value("--catalog=")) {
+    } else if ((v = value("--catalog=")) != nullptr) {
       out->catalog_path = v;
-    } else if (const char* v = value("--pool=")) {
+    } else if ((v = value("--pool=")) != nullptr) {
       out->pool_path = v;
-    } else if (const char* v = value("--max-subproblems=")) {
+    } else if ((v = value("--max-subproblems=")) != nullptr) {
       out->budget.max_subproblems =
           static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
-    } else if (const char* v = value("--max-atomic=")) {
+    } else if ((v = value("--max-atomic=")) != nullptr) {
       out->budget.max_atomic_decompositions =
           static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
-    } else if (const char* v = value("--deadline-ms=")) {
+    } else if ((v = value("--deadline-ms=")) != nullptr) {
       out->budget.deadline_seconds = std::atof(v) / 1000.0;
-    } else if (const char* v = value("--threads=")) {
+    } else if ((v = value("--threads=")) != nullptr) {
       out->budget.threads = std::max(1, std::atoi(v));
     } else if (arg == "--stats") {
       out->stats = true;
