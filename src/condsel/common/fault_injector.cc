@@ -10,14 +10,14 @@ FaultInjector& FaultInjector::Instance() {
 }
 
 void FaultInjector::Set(Fault f, bool on) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<OrderedMutex> lock(mu_);
   const bool was = faults_[Index(f)].exchange(on, std::memory_order_relaxed);
   if (was == on) return;
   armed_.fetch_add(on ? 1 : -1, std::memory_order_relaxed);
 }
 
 void FaultInjector::Reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<OrderedMutex> lock(mu_);
   for (int i = 0; i < kNumFaults; ++i) {
     faults_[i].store(false, std::memory_order_relaxed);
   }
@@ -26,7 +26,7 @@ void FaultInjector::Reset() {
 }
 
 void FaultInjector::SetSlowLookupMask(uint32_t mask) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<OrderedMutex> lock(mu_);
   slow_lookup_mask_.store(mask, std::memory_order_relaxed);
 }
 

@@ -52,6 +52,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "condsel/common/lock_ranks.h"
+#include "condsel/common/ordered_mutex.h"
 #include "condsel/common/thread_annotations.h"
 
 namespace condsel {
@@ -111,7 +113,9 @@ class FaultInjector {
   static constexpr int kNumFaults = 9;
   static int Index(Fault f) { return static_cast<int>(f); }
 
-  std::mutex mu_;              // serializes writers; reads are atomic
+  // Serializes writers; reads are atomic. Leaf rank: nothing may be
+  // acquired while holding it.
+  OrderedMutex mu_{lock_rank::kFaultInjector, "FaultInjector::mu_"};
   std::atomic<int> armed_{0};  // number of armed faults
   std::atomic<bool> faults_[kNumFaults] = {};
   std::atomic<uint32_t> slow_lookup_mask_{~0u};

@@ -1,0 +1,52 @@
+// Global lock-order ranks.
+//
+// Every rank-checked mutex in the library (common/ordered_mutex.h) is
+// constructed with one of these constants. The rule: a thread may only
+// acquire a mutex whose (rank, address) pair is lexicographically greater
+// than that of the last mutex it already holds — lower ranks are outer,
+// higher ranks are inner. Two mutexes share a rank only when they are
+// instances of the same multi-instance family (e.g. the parallel driver's
+// per-worker deque locks), in which case address order disambiguates.
+//
+// This table is mirrored by tools/lock_order.toml; tools/condsel_model.py
+// fails the build if the two drift apart or if any acquisition edge in
+// the source contradicts the order declared here. To add a mutex: pick a
+// rank consistent with every path that nests it, add the constant here,
+// add a [[mutex]] entry to tools/lock_order.toml, and construct the
+// OrderedMutex with both.
+
+#pragma once
+
+namespace condsel {
+namespace lock_rank {
+
+// service/: admission gate is the outermost lock a session path takes.
+inline constexpr int kAdmission = 10;
+// service/: snapshot refresh serialization; holds while building the
+// next epoch (sanctioned blocking, see snapshot.cc).
+inline constexpr int kSnapshotRefresh = 20;
+// service/: epoch ledger; innermost of the snapshot pair and the
+// designated "acquire path" lock of the blocking-reachability check.
+inline constexpr int kSnapshotEpoch = 30;
+// service/: feedback application takes jitter + cache locks inside it.
+inline constexpr int kServiceFeedback = 40;
+inline constexpr int kServiceJitter = 50;
+// service/: per-tenant circuit breaker ladder.
+inline constexpr int kCircuitBreaker = 60;
+// service/: GsStats aggregation ledger.
+inline constexpr int kGsStatsLedger = 70;
+// exec/: cardinality feedback cache; locked under kServiceFeedback via
+// EstimationService::ObserveFeedback.
+inline constexpr int kCardinalityCache = 80;
+// selectivity/: SIT memo (reader/writer).
+inline constexpr int kSelectivityMemo = 90;
+// selectivity/ parallel driver: per-worker deque locks; one rank for the
+// whole family, steal_batch orders the pair by address.
+inline constexpr int kWorkerDeque = 100;
+// selectivity/ parallel driver: first-error slot.
+inline constexpr int kParallelError = 110;
+// common/: fault injector registry; leaf — nothing is acquired under it.
+inline constexpr int kFaultInjector = 120;
+
+}  // namespace lock_rank
+}  // namespace condsel

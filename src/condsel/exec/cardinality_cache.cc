@@ -4,7 +4,7 @@ namespace condsel {
 
 const double* CardinalityCache::Lookup(
     const std::vector<Predicate>& key) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<OrderedMutex> lock(mu_);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -18,12 +18,12 @@ const double* CardinalityCache::Lookup(
 
 void CardinalityCache::Insert(const std::vector<Predicate>& key,
                               double cardinality) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<OrderedMutex> lock(mu_);
   cache_.emplace(key, cardinality);
 }
 
 size_t CardinalityCache::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<OrderedMutex> lock(mu_);
   return cache_.size();
 }
 

@@ -22,6 +22,8 @@
 #include <mutex>
 #include <vector>
 
+#include "condsel/common/lock_ranks.h"
+#include "condsel/common/ordered_mutex.h"
 #include "condsel/common/thread_annotations.h"
 #include "condsel/query/predicate.h"
 
@@ -44,7 +46,9 @@ class CardinalityCache {
   void ResetCounters();
 
  private:
-  mutable std::mutex mu_;
+  // Locked under EstimationService::feedback_mu_ by the feedback path.
+  mutable OrderedMutex mu_{lock_rank::kCardinalityCache,
+                           "CardinalityCache::mu_"};
   std::map<std::vector<Predicate>, double> cache_ CONDSEL_GUARDED_BY(mu_);
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};

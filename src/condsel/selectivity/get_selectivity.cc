@@ -471,8 +471,10 @@ const MemoEntry& GetSelectivity::ComputeParallel(PredSet p, int threads) {
     }
 
     struct WorkerDeque {
-      std::mutex mu;
-      std::vector<size_t> items;      // indices into `planned`
+      // One rank for the whole family; the thief's pair acquisition below
+      // disambiguates same-rank instances by address (== index) order.
+      OrderedMutex mu{lock_rank::kWorkerDeque, "WorkerDeque::mu"};
+      std::vector<size_t> items CONDSEL_GUARDED_BY(mu);  // into `planned`
       std::atomic<size_t> approx{0};  // lock-free size hint for thieves
     };
     auto deques = std::make_unique<WorkerDeque[]>(workers);
@@ -495,7 +497,8 @@ const MemoEntry& GetSelectivity::ComputeParallel(PredSet p, int threads) {
     // workers whose level counters will never reach zero.
     std::atomic<bool> abort{false};
     std::exception_ptr first_error;
-    std::mutex error_mu;
+    OrderedMutex error_mu{lock_rank::kParallelError,
+                          "parallel_driver::error_mu"};
 
     auto solve_item = [&](size_t idx, size_t w) {
       const PredSet s = planned[idx];
@@ -508,7 +511,7 @@ const MemoEntry& GetSelectivity::ComputeParallel(PredSet p, int threads) {
 
     auto pop_own = [&](size_t w, size_t* idx) {
       WorkerDeque& d = deques[w];
-      const std::lock_guard<std::mutex> lock(d.mu);
+      const std::lock_guard<OrderedMutex> lock(d.mu);
       if (d.items.empty()) return false;
       *idx = d.items.back();
       d.items.pop_back();
@@ -531,9 +534,14 @@ const MemoEntry& GetSelectivity::ComputeParallel(PredSet p, int threads) {
         }
       }
       if (best == 0) return false;
-      // Both deques locked together (deadlock-free via std::scoped_lock's
-      // ordering) so a concurrent thief of *this* deque stays consistent.
-      std::scoped_lock lock(deques[victim].mu, deques[w].mu);
+      // Both deques locked together so a concurrent thief of *this* deque
+      // stays consistent. Same rank, so acquisition must follow address
+      // order (std::scoped_lock's retry rotation can lock in either
+      // order, which the rank checker rightly rejects).
+      WorkerDeque& lo = deques[victim < w ? victim : w];
+      WorkerDeque& hi = deques[victim < w ? w : victim];
+      const std::lock_guard<OrderedMutex> outer(lo.mu);
+      const std::lock_guard<OrderedMutex> inner(hi.mu);
       std::vector<size_t>& from = deques[victim].items;
       if (from.empty()) return false;  // raced another thief
       const size_t take = std::max<size_t>(1, from.size() / 2);
@@ -576,7 +584,7 @@ const MemoEntry& GetSelectivity::ComputeParallel(PredSet p, int threads) {
               }
               {
                 WorkerDeque& d = deques[w];
-                const std::lock_guard<std::mutex> lock(d.mu);
+                const std::lock_guard<OrderedMutex> lock(d.mu);
                 for (size_t i = levels[l].first + w; i < levels[l].second;
                      i += workers) {
                   d.items.push_back(i);
@@ -590,7 +598,7 @@ const MemoEntry& GetSelectivity::ComputeParallel(PredSet p, int threads) {
             }
           } catch (...) {
             {
-              const std::lock_guard<std::mutex> lock(error_mu);
+              const std::lock_guard<OrderedMutex> lock(error_mu);
               if (first_error == nullptr) {
                 first_error = std::current_exception();
               }

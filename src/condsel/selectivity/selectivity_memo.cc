@@ -5,13 +5,13 @@
 namespace condsel {
 
 const MemoEntry* SelectivityMemo::Find(PredSet p) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<OrderedSharedMutex> lock(mu_);
   auto it = index_.find(p);
   return it == index_.end() ? nullptr : it->second;
 }
 
 const MemoEntry& SelectivityMemo::Insert(PredSet p, MemoEntry entry) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<OrderedSharedMutex> lock(mu_);
   auto it = index_.find(p);
   if (it != index_.end()) return *it->second;
   entries_.push_back(std::move(entry));
@@ -21,14 +21,14 @@ const MemoEntry& SelectivityMemo::Insert(PredSet p, MemoEntry entry) {
 }
 
 const DerivationAtom* SelectivityMemo::FindAtom(int pred) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<OrderedSharedMutex> lock(mu_);
   auto it = atoms_.find(pred);
   return it == atoms_.end() ? nullptr : &it->second;
 }
 
 const DerivationAtom& SelectivityMemo::InsertAtom(int pred, DerivationAtom atom,
                                                   bool* inserted) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<OrderedSharedMutex> lock(mu_);
   auto it = atoms_.find(pred);
   if (it != atoms_.end()) {
     if (inserted != nullptr) *inserted = false;
@@ -39,7 +39,7 @@ const DerivationAtom& SelectivityMemo::InsertAtom(int pred, DerivationAtom atom,
 }
 
 size_t SelectivityMemo::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<OrderedSharedMutex> lock(mu_);
   return entries_.size();
 }
 

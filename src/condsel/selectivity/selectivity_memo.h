@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "condsel/analysis/derivation.h"
+#include "condsel/common/lock_ranks.h"
+#include "condsel/common/ordered_mutex.h"
 #include "condsel/common/thread_annotations.h"
 #include "condsel/query/query.h"
 #include "condsel/selectivity/atomic_provider.h"
@@ -63,7 +65,8 @@ class SelectivityMemo {
   // Reader-writer: the parallel driver's workers Find far more often than
   // they Insert (every candidate tail is a read), so shared read locks
   // keep the memo off the contention path.
-  mutable std::shared_mutex mu_;
+  mutable OrderedSharedMutex mu_{lock_rank::kSelectivityMemo,
+                                 "SelectivityMemo::mu_"};
   std::deque<MemoEntry> entries_ CONDSEL_GUARDED_BY(mu_);
   std::unordered_map<PredSet, const MemoEntry*> index_
       CONDSEL_GUARDED_BY(mu_);

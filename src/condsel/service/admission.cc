@@ -40,7 +40,7 @@ Status AdmissionController::Admit(const std::string& tenant,
                                   AdmissionOutcome* outcome) {
   AdmissionOutcome scratch;
   AdmissionOutcome& out = outcome != nullptr ? *outcome : scratch;
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<OrderedMutex> lock(mu_);
   // Quota is charged only for requests that reach service: the shed and
   // timeout paths below refund the token (map nodes are stable, so the
   // pointer survives the unlocked wait).
@@ -94,7 +94,7 @@ Status AdmissionController::Admit(const std::string& tenant,
 
 void AdmissionController::Release() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const std::lock_guard<OrderedMutex> lock(mu_);
     --in_flight_;
   }
   // notify_all, not notify_one: a notified waiter may have concurrently
@@ -105,12 +105,12 @@ void AdmissionController::Release() {
 }
 
 int AdmissionController::in_flight() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<OrderedMutex> lock(mu_);
   return in_flight_;
 }
 
 int AdmissionController::waiting() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<OrderedMutex> lock(mu_);
   return waiting_;
 }
 

@@ -23,6 +23,8 @@
 #include <mutex>
 #include <string>
 
+#include "condsel/common/lock_ranks.h"
+#include "condsel/common/ordered_mutex.h"
 #include "condsel/common/status.h"
 #include "condsel/common/thread_annotations.h"
 
@@ -89,8 +91,11 @@ class AdmissionController {
 
  private:
   const AdmissionOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable slot_freed_;
+  mutable OrderedMutex mu_{lock_rank::kAdmission,
+                           "AdmissionController::mu_"};
+  // _any: waits on the rank-checked mutex, so the unlock/relock inside
+  // wait_for keeps the held-lock stack consistent.
+  std::condition_variable_any slot_freed_;
   int in_flight_ CONDSEL_GUARDED_BY(mu_) = 0;
   int waiting_ CONDSEL_GUARDED_BY(mu_) = 0;
   std::map<std::string, TokenBucket> buckets_ CONDSEL_GUARDED_BY(mu_);

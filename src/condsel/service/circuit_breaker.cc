@@ -18,13 +18,13 @@ CircuitBreakerLadder::CircuitBreakerLadder(const BreakerOptions& options)
     : options_(options) {}
 
 ServiceMode CircuitBreakerLadder::ModeFor(const std::string& tenant) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<OrderedMutex> lock(mu_);
   const auto it = tenants_.find(tenant);
   return it == tenants_.end() ? ServiceMode::kFull : it->second.mode;
 }
 
 ServiceMode CircuitBreakerLadder::RecordSuccess(const std::string& tenant) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<OrderedMutex> lock(mu_);
   TenantState& state = tenants_[tenant];
   state.consecutive_failures = 0;
   if (state.mode == ServiceMode::kFull) return state.mode;
@@ -37,7 +37,7 @@ ServiceMode CircuitBreakerLadder::RecordSuccess(const std::string& tenant) {
 }
 
 ServiceMode CircuitBreakerLadder::RecordFailure(const std::string& tenant) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<OrderedMutex> lock(mu_);
   TenantState& state = tenants_[tenant];
   state.consecutive_successes = 0;
   if (state.mode == ServiceMode::kIndependence) return state.mode;
@@ -50,12 +50,12 @@ ServiceMode CircuitBreakerLadder::RecordFailure(const std::string& tenant) {
 }
 
 uint64_t CircuitBreakerLadder::step_downs() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<OrderedMutex> lock(mu_);
   return step_downs_;
 }
 
 uint64_t CircuitBreakerLadder::step_ups() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<OrderedMutex> lock(mu_);
   return step_ups_;
 }
 

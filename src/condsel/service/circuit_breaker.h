@@ -25,6 +25,8 @@
 #include <mutex>
 #include <string>
 
+#include "condsel/common/lock_ranks.h"
+#include "condsel/common/ordered_mutex.h"
 #include "condsel/common/thread_annotations.h"
 
 namespace condsel {
@@ -69,7 +71,8 @@ class CircuitBreakerLadder {
   };
 
   const BreakerOptions options_;
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{lock_rank::kCircuitBreaker,
+                           "CircuitBreakerLadder::mu_"};
   std::map<std::string, TenantState> tenants_ CONDSEL_GUARDED_BY(mu_);
   uint64_t step_downs_ CONDSEL_GUARDED_BY(mu_) = 0;
   uint64_t step_ups_ CONDSEL_GUARDED_BY(mu_) = 0;

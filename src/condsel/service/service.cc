@@ -269,7 +269,7 @@ StatusOr<ServiceEstimate> EstimationService::Submit(const std::string& tenant,
     last_failure = attempt_status;
     RetryDecision decision;
     {
-      const std::lock_guard<std::mutex> lock(jitter_mu_);
+      const std::lock_guard<OrderedMutex> lock(jitter_mu_);
       decision = DecideRetry(options_.retry, attempt_status.code(), attempt,
                              /*idempotent=*/true, remaining(), &jitter_rng_);
     }
@@ -309,7 +309,7 @@ Status EstimationService::ObserveFeedback(const std::string& tenant,
     return Status::FailedPrecondition(
         "no statistics epoch has been published yet");
   }
-  const std::lock_guard<std::mutex> lock(feedback_mu_);
+  const std::lock_guard<OrderedMutex> lock(feedback_mu_);
   if (feedback_ == nullptr || feedback_->snap->epoch() != snap->epoch()) {
     feedback_ = std::make_unique<FeedbackState>(snap);
   }
@@ -330,7 +330,7 @@ Status EstimationService::ObserveFeedback(const std::string& tenant,
   counters_.feedback_failures.fetch_add(1, std::memory_order_relaxed);
   RetryDecision decision;
   {
-    const std::lock_guard<std::mutex> jitter_lock(jitter_mu_);
+    const std::lock_guard<OrderedMutex> jitter_lock(jitter_mu_);
     decision = DecideRetry(options_.retry, status.code(), /*attempt=*/1,
                            /*idempotent=*/false, kNoDeadline, &jitter_rng_);
   }
@@ -342,7 +342,7 @@ Status EstimationService::ObserveFeedback(const std::string& tenant,
 
 double EstimationService::FeedbackAdjustmentFor(ColumnRef col) const {
   const std::shared_ptr<const Snapshot> snap = publisher_.Acquire();
-  const std::lock_guard<std::mutex> lock(feedback_mu_);
+  const std::lock_guard<OrderedMutex> lock(feedback_mu_);
   // Adjustments are per-epoch: a state built for a retired epoch reads as
   // untrained (the next observation rebuilds it on the current epoch).
   if (feedback_ == nullptr || snap == nullptr ||

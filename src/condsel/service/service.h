@@ -41,6 +41,8 @@
 #include <string>
 
 #include "condsel/api.h"
+#include "condsel/common/lock_ranks.h"
+#include "condsel/common/ordered_mutex.h"
 #include "condsel/common/rng.h"
 #include "condsel/common/status.h"
 #include "condsel/common/thread_annotations.h"
@@ -175,11 +177,15 @@ class EstimationService {
   std::atomic<uint64_t> next_session_id_{1};
 
   // Backoff jitter stream; Rng is not thread-safe, so draws serialize.
-  mutable std::mutex jitter_mu_;
+  mutable OrderedMutex jitter_mu_{lock_rank::kServiceJitter,
+                                  "EstimationService::jitter_mu_"};
   Rng jitter_rng_ CONDSEL_GUARDED_BY(jitter_mu_);
 
   // Per-epoch feedback state, built lazily on first observation.
-  mutable std::mutex feedback_mu_;
+  // Outranked by jitter_mu_ and CardinalityCache::mu_: ObserveFeedback
+  // takes both while holding it.
+  mutable OrderedMutex feedback_mu_{lock_rank::kServiceFeedback,
+                                    "EstimationService::feedback_mu_"};
   std::unique_ptr<FeedbackState> feedback_ CONDSEL_GUARDED_BY(feedback_mu_);
 };
 

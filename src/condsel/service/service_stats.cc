@@ -43,19 +43,19 @@ double LatencyRecorder::QuantileSeconds(double q) const {
 }
 
 void GsStatsLedger::Settle(uint64_t session_id, const GsStats& cumulative) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<OrderedMutex> lock(mu_);
   GsStats& last = last_settled_[session_id];
   AddGsStats(DiffGsStats(cumulative, last), &total_);
   last = cumulative;
 }
 
 void GsStatsLedger::Forget(uint64_t session_id) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<OrderedMutex> lock(mu_);
   last_settled_.erase(session_id);
 }
 
 GsStats GsStatsLedger::total() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<OrderedMutex> lock(mu_);
   return total_;
 }
 

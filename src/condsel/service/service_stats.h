@@ -25,6 +25,8 @@
 #include <mutex>
 #include <string>
 
+#include "condsel/common/lock_ranks.h"
+#include "condsel/common/ordered_mutex.h"
 #include "condsel/common/thread_annotations.h"
 #include "condsel/selectivity/budget.h"
 
@@ -124,7 +126,7 @@ class GsStatsLedger {
   GsStats total() const CONDSEL_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{lock_rank::kGsStatsLedger, "GsStatsLedger::mu_"};
   GsStats total_ CONDSEL_GUARDED_BY(mu_);
   std::map<uint64_t, GsStats> last_settled_ CONDSEL_GUARDED_BY(mu_);
 };

@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "condsel/catalog/catalog.h"
+#include "condsel/common/lock_ranks.h"
+#include "condsel/common/ordered_mutex.h"
 #include "condsel/common/status.h"
 #include "condsel/common/thread_annotations.h"
 #include "condsel/sit/sit_pool.h"
@@ -102,8 +104,10 @@ class SnapshotPublisher {
 
  private:
   // Serializes whole refreshes; never taken by the estimate path.
-  std::mutex refresh_mu_;
-  mutable std::mutex epoch_mu_;
+  OrderedMutex refresh_mu_{lock_rank::kSnapshotRefresh,
+                           "SnapshotPublisher::refresh_mu_"};
+  mutable OrderedMutex epoch_mu_{lock_rank::kSnapshotEpoch,
+                                 "SnapshotPublisher::epoch_mu_"};
   uint64_t next_epoch_ CONDSEL_GUARDED_BY(epoch_mu_) = 1;
   // Weak ledger of every published epoch, pruned as refcounts hit zero.
   mutable std::vector<std::pair<uint64_t, std::weak_ptr<const Snapshot>>>

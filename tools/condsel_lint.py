@@ -32,12 +32,17 @@ comment on the same or the preceding line):
                         grep-able StatusIgnored() sink (status.h) with an
                         explicit allow.
   guarded-by-coverage   in a library header, data members declared after a
-                        std::mutex member must either carry a
-                        CONDSEL_GUARDED_BY / CONDSEL_PT_GUARDED_BY
-                        annotation or be synchronization-free by type
-                        (std::atomic, another mutex). Unannotated mutable
-                        state next to a mutex is where thread-safety
-                        claims silently rot.
+                        mutex member (std::mutex or condsel::OrderedMutex)
+                        must either carry a CONDSEL_GUARDED_BY /
+                        CONDSEL_PT_GUARDED_BY annotation or be
+                        synchronization-free by type (std::atomic, another
+                        mutex); in a library .cc, the same contract holds
+                        for file-/function-scope statics following a
+                        static mutex. The checker is shared with
+                        condsel_model (cpp_model_common), so the two tools
+                        cannot disagree about what "guarded" means.
+                        Unannotated mutable state next to a mutex is where
+                        thread-safety claims silently rot.
   no-raw-histogram-lookup
                         estimator code (src/condsel/{selectivity,baselines,
                         optimizer}/) must not call the histogram selectivity
@@ -83,10 +88,13 @@ import os
 import re
 import sys
 
-SCAN_DIRS = ("src", "tests", "tools", "fuzz", "bench", "examples")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cpp_model_common as cm  # noqa: E402
+
 EXTENSIONS = (".h", ".cc")
 
-ALLOW_RE = re.compile(r"condsel-lint:\s*allow\(([a-z0-9-]+)\)")
+ALLOW_RE = cm.LINT_ALLOW_RE
 
 
 class Finding:
@@ -259,48 +267,19 @@ def check_nodiscard_status(path: str, text: str,
     return findings
 
 
-MUTEX_MEMBER_RE = re.compile(
-    r"^\s*(?:mutable\s+)?std::(?:recursive_)?mutex\s+\w+_\s*;")
-# A data member by project convention: trailing-underscore name, optional
-# array extent / brace-or-equals initializer / GUARDED_BY annotation.
-MEMBER_DECL_RE = re.compile(
-    r"^\s*(?:mutable\s+)?(?P<type>[\w:]+(?:<[^;()]*>)?(?:\s*[*&])?)\s+"
-    r"\w+_\s*(?:\[[^\]]*\])?\s*(?:\{[^{}]*\}|=\s*[^;]*)?\s*"
-    r"(?:CONDSEL_(?:PT_)?GUARDED_BY\([^)]*\))?\s*;")
-# Types that synchronize themselves (or are the synchronization).
-SELF_SYNCED_TYPE_RE = re.compile(
-    r"std::(?:atomic\b|mutex\b|recursive_mutex\b|once_flag\b|"
-    r"condition_variable\b)")
-
-
 def check_guarded_by(path: str, text: str, lines: list[str]) -> list[Finding]:
-    if not path.startswith("src/") or not path.endswith(".h"):
+    """Header members after a mutex member, and .cc statics after a static
+    mutex, must be annotated. The checker itself lives in cpp_model_common
+    so condsel_model's guarded-field check cannot drift from this rule."""
+    if not path.startswith("src/"):
         return []
     findings = []
-    in_mutex_class = False
-    for i, line in enumerate(lines):
-        if MUTEX_MEMBER_RE.match(line):
-            in_mutex_class = True
-            continue
-        if not in_mutex_class:
-            continue
-        if re.match(r"\s*};", line):
-            in_mutex_class = False  # class (or nested aggregate) closed
-            continue
-        m = MEMBER_DECL_RE.match(line.split("//")[0])
-        if not m:
-            continue
-        if "GUARDED_BY" in line or "static" in m.group("type"):
-            continue
-        if SELF_SYNCED_TYPE_RE.search(m.group("type")):
-            continue
-        if _allowed(lines, i, "guarded-by-coverage"):
-            continue
-        findings.append(Finding(
-            path, i + 1, "guarded-by-coverage",
-            "data member follows a std::mutex member but carries no "
-            "CONDSEL_GUARDED_BY annotation (atomics are exempt); annotate "
-            "it or justify with an allow"))
+    for lineno, message in cm.guarded_field_findings(
+            path, lines,
+            lambda idx, rule: _allowed(lines, idx, rule),
+            "guarded-by-coverage"):
+        findings.append(
+            Finding(path, lineno, "guarded-by-coverage", message))
     return findings
 
 
@@ -359,16 +338,10 @@ def check_raw_set_deadline(path: str, text: str,
     return findings
 
 
-EPOCH_LOCK_RE = re.compile(
-    r"\bstd::(?:lock_guard|unique_lock|scoped_lock)\s*<[^>]*>\s*"
-    r"\w+\s*[({][^)}]*epoch_mu[^)}]*[)}]")
-# Calls that park the calling thread (or do unbounded work) — none of
-# them may run while an epoch lock is held.
-EPOCH_BLOCKING_RE = re.compile(
-    r"\b(?:sleep_for|sleep_until|wait_for|wait_until|"
-    r"make_shared|make_unique|"
-    r"Compute|TryEstimate\w*|Submit|Publish|Refresh)\s*\(|"
-    r"\.\s*(?:wait|join)\s*\(")
+# Shared with condsel_model, which generalizes this rule to every lock
+# the epoch lock can nest under (blocking-reachable).
+EPOCH_LOCK_RE = cm.EPOCH_LOCK_RE
+EPOCH_BLOCKING_RE = cm.BLOCKING_CALL_RE
 
 
 def check_epoch_lock_blocking(path: str, text: str,
@@ -420,20 +393,10 @@ def lint_text(rel_path: str, text: str) -> list[Finding]:
     return findings
 
 
-def iter_source_files(root: str):
-    for base in SCAN_DIRS:
-        top = os.path.join(root, base)
-        for dirpath, dirnames, filenames in os.walk(top):
-            dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
-            for name in sorted(filenames):
-                if name.endswith(EXTENSIONS):
-                    yield os.path.join(dirpath, name)
-
-
 def run_lint(root: str) -> int:
     findings: list[Finding] = []
     count = 0
-    for path in iter_source_files(root):
+    for path in cm.iter_source_files(root):
         count += 1
         rel = os.path.relpath(path, root).replace(os.sep, "/")
         with open(path, encoding="utf-8") as fh:

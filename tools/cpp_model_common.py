@@ -1,0 +1,452 @@
+#!/usr/bin/env python3
+"""cpp_model_common — the one copy of every C++-shape regex shared by
+condsel_lint.py (line-level rules) and condsel_model.py (the project
+model / lock-graph analyzer).
+
+Both tools reason about the same surface syntax — mutex declarations,
+GUARDED_BY annotations, lock-guard acquisition sites, blocking calls —
+and PR 7 deliberately routes those regexes through this module so the
+two tools cannot drift apart: a mutex shape condsel_model inventories is
+by construction the same shape condsel_lint's guarded-by rule keys on.
+
+Run `cpp_model_common.py --self-test` to validate every exported regex
+and helper against an embedded corpus of positive/negative examples.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Source tree shape.
+
+SCAN_DIRS = ("src", "tests", "tools", "fuzz", "bench", "examples")
+LIBRARY_DIRS = ("src",)
+EXTENSIONS = (".h", ".cc")
+
+
+def iter_source_files(root: str, dirs=SCAN_DIRS):
+    """Yields absolute paths of every .h/.cc under `dirs`, fixture
+    corpora excluded, in deterministic order."""
+    for base in dirs:
+        top = os.path.join(root, base)
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in ("lint_fixtures",
+                                              "model_fixtures"))
+            for name in sorted(filenames):
+                if name.endswith(EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def strip_line_comment(line: str) -> str:
+    """Code portion of a line (text before any // comment)."""
+    return line.split("//")[0]
+
+
+# --------------------------------------------------------------------------
+# Suppression markers. Each tool has its own marker; a checker shared by
+# both tools accepts a list so a site suppressed for one cannot silently
+# re-fire under the other.
+
+LINT_ALLOW_RE = re.compile(r"condsel-lint:\s*allow\(([a-z0-9-]+)\)")
+MODEL_ALLOW_RE = re.compile(r"condsel-model:\s*allow\(([a-z0-9-]+)\)")
+
+
+def make_allowed(lines, allow_res):
+    """Returns allowed(idx, rule) -> True when line idx (0-based) carries
+    or follows a matching allow marker for any regex in `allow_res`."""
+    def allowed(idx: int, rule: str) -> bool:
+        for probe in (idx, idx - 1):
+            if 0 <= probe < len(lines):
+                for allow_re in allow_res:
+                    for m in allow_re.finditer(lines[probe]):
+                        if m.group(1) == rule:
+                            return True
+        return False
+    return allowed
+
+
+# --------------------------------------------------------------------------
+# Mutex and member declarations.
+
+# Every lock type the project uses. OrderedMutex / OrderedSharedMutex
+# (common/ordered_mutex.h) are the rank-checked wrappers; plain std types
+# remain legal for externally-synchronized or single-lock classes.
+STD_MUTEX_TYPE = r"std::(?:recursive_)?mutex|std::shared_mutex"
+ORDERED_MUTEX_TYPE = r"(?:condsel::)?Ordered(?:Shared)?Mutex"
+ANY_MUTEX_TYPE = f"(?:{STD_MUTEX_TYPE}|{ORDERED_MUTEX_TYPE})"
+
+# A mutex data member (class/struct scope). Ordered types carry a brace
+# initializer with their rank and manifest name.
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?P<type>" + ANY_MUTEX_TYPE + r")\s+"
+    r"(?P<name>\w+)\s*(?P<init>\{[^;]*\})?\s*;")
+
+# A file-scope / function-scope static mutex in a .cc.
+STATIC_MUTEX_RE = re.compile(
+    r"^\s*static\s+(?:mutable\s+)?(?P<type>" + ANY_MUTEX_TYPE + r")\s+"
+    r"(?P<name>\w+)\s*(?P<init>\{[^;]*\})?\s*;")
+
+# An OrderedMutex construction site with its rank constant and manifest
+# name, e.g.:  mutable OrderedMutex mu_{lock_rank::kAdmission,
+#                                       "AdmissionController::mu_"};
+ORDERED_DECL_RE = re.compile(
+    r"\b(?P<type>Ordered(?:Shared)?Mutex)\s+(?P<name>\w+)\s*\{\s*"
+    r"lock_rank::(?P<const>k\w+)\s*,\s*\"(?P<label>[^\"]+)\"\s*\}")
+
+# A rank constant in common/lock_ranks.h.
+LOCK_RANK_CONST_RE = re.compile(
+    r"^\s*inline\s+constexpr\s+int\s+(?P<const>k\w+)\s*=\s*"
+    r"(?P<rank>\d+)\s*;")
+
+# A data member by project convention: trailing-underscore name, optional
+# array extent / brace-or-equals initializer / GUARDED_BY annotation.
+MEMBER_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?P<type>[\w:]+(?:<[^;()]*>)?(?:\s*[*&])?)\s+"
+    r"\w+_\s*(?:\[[^\]]*\])?\s*(?:\{[^{}]*\}|=\s*[^;]*)?\s*"
+    r"(?:CONDSEL_(?:PT_)?GUARDED_BY\([^)]*\))?\s*;")
+
+# A static local/file-scope data declaration (for the .cc static variant
+# of the guarded-by rule; no trailing-underscore convention there).
+STATIC_DECL_RE = re.compile(
+    r"^\s*static\s+(?:mutable\s+)?(?P<type>[\w:]+(?:<[^;()]*>)?"
+    r"(?:\s*[*&])?)\s+\w+\s*(?:\[[^\]]*\])?\s*"
+    r"(?:\{[^{}]*\}|=\s*[^;]*)?\s*"
+    r"(?:CONDSEL_(?:PT_)?GUARDED_BY\([^)]*\))?\s*;")
+
+# Types that synchronize themselves (or are the synchronization).
+SELF_SYNCED_TYPE_RE = re.compile(
+    r"std::(?:atomic\b|mutex\b|recursive_mutex\b|shared_mutex\b|"
+    r"once_flag\b|condition_variable\b|condition_variable_any\b)|"
+    r"\bOrdered(?:Shared)?Mutex\b")
+
+
+# --------------------------------------------------------------------------
+# Lock acquisition sites.
+
+# An RAII guard: std::lock_guard / unique_lock / scoped_lock /
+# shared_lock, with or without explicit template arguments (CTAD), paren
+# or brace initialized. `args` holds the raw argument list.
+GUARD_RE = re.compile(
+    r"\bstd::(?P<kind>lock_guard|unique_lock|scoped_lock|shared_lock)\s*"
+    r"(?:<[^<>]*>)?\s+\w+\s*[({](?P<args>[^;{}]*)[)}]")
+
+_TAG_ARGS = ("std::defer_lock", "std::adopt_lock", "std::try_to_lock")
+
+
+def guard_mutex_exprs(args: str):
+    """The mutex expressions a guard argument list names (lock tags and
+    duration arguments filtered out)."""
+    exprs = []
+    depth = 0
+    current = []
+    for ch in args:
+        if ch == "," and depth == 0:
+            exprs.append("".join(current).strip())
+            current = []
+            continue
+        if ch in "([<{":
+            depth += 1
+        elif ch in ")]>}":
+            depth -= 1
+        current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        exprs.append(tail)
+    return [e for e in exprs if e and e not in _TAG_ARGS]
+
+
+MUTEX_EXPR_NAME_RE = re.compile(r"([A-Za-z_]\w*)\s*$")
+
+
+def mutex_expr_name(expr: str) -> str | None:
+    """The final identifier of a mutex expression: `mu_` for
+    `publisher_.mu_`, `mu` for `deques[victim].mu`."""
+    m = MUTEX_EXPR_NAME_RE.search(expr.rstrip(")"))
+    if not m or m.group(1) == "this":
+        return None
+    return m.group(1)
+
+
+# --------------------------------------------------------------------------
+# Blocking calls. None of these may run while a mutex on the snapshot
+# acquire path is held (condsel_lint's no-blocking-under-epoch-lock rule,
+# generalized to graph reachability by condsel_model).
+
+BLOCKING_CALL_RE = re.compile(
+    r"\b(?:sleep_for|sleep_until|wait_for|wait_until|"
+    r"make_shared|make_unique|"
+    r"Compute|TryEstimate\w*|Submit|Publish|Refresh)\s*"
+    r"(?:<[^()]*>)?\s*\(|"
+    r"\.\s*(?:wait|join)\s*\(")
+
+# The epoch-lock acquisition shape condsel_lint's single-purpose rule
+# keys on (kept alongside the graph check: the lint rule runs even on
+# trees where the model's manifest is absent).
+EPOCH_LOCK_RE = re.compile(
+    r"\bstd::(?:lock_guard|unique_lock|scoped_lock)\s*<[^>]*>\s*"
+    r"\w+\s*[({][^)}]*epoch_mu[^)}]*[)}]")
+
+
+# --------------------------------------------------------------------------
+# Fault enumeration (common/fault_injector.h).
+
+FAULT_ENUM_OPEN_RE = re.compile(r"^\s*enum\s+class\s+Fault\s*\{")
+FAULT_ENUMERATOR_RE = re.compile(r"^\s*(k\w+)\s*[,=}]")
+NUM_FAULTS_RE = re.compile(
+    r"constexpr\s+int\s+kNumFaults\s*=\s*(\d+)\s*;")
+
+
+def parse_fault_enumerators(text: str):
+    """The Fault enumerators declared in fault_injector.h text, in
+    declaration order."""
+    enumerators = []
+    in_enum = False
+    for line in text.splitlines():
+        code = strip_line_comment(line)
+        if not in_enum:
+            if FAULT_ENUM_OPEN_RE.match(code):
+                in_enum = True
+            continue
+        if "}" in code and not FAULT_ENUMERATOR_RE.match(code):
+            break
+        m = FAULT_ENUMERATOR_RE.match(code)
+        if m:
+            enumerators.append(m.group(1))
+        if re.search(r"^\s*\};", code):
+            break
+    return enumerators
+
+
+# --------------------------------------------------------------------------
+# Shared guarded-by checker.
+#
+# Header (member) mode: data members declared after a mutex member must
+# carry CONDSEL_GUARDED_BY / CONDSEL_PT_GUARDED_BY or be
+# synchronization-free by type. .cc (static) mode: the same contract for
+# file-/function-scope statics following a static mutex.
+
+
+def guarded_field_findings(path: str, lines, allowed, rule: str):
+    """Yields (line_number_1based, message) for unannotated mutable state
+    declared after a mutex at the same scope. `allowed(idx, rule)` is the
+    suppression predicate; `rule` is the reporting tool's rule id."""
+    is_header = path.endswith(".h")
+    mutex_re = MUTEX_MEMBER_RE if is_header else STATIC_MUTEX_RE
+    decl_re = MEMBER_DECL_RE if is_header else STATIC_DECL_RE
+    scope_of = "a std::mutex member" if is_header else "a static mutex"
+    in_mutex_scope = False
+    for i, line in enumerate(lines):
+        if mutex_re.match(line):
+            in_mutex_scope = True
+            continue
+        if not in_mutex_scope:
+            continue
+        if re.match(r"\s*};", line) or re.match(r"\s*}\s*(?:\/\/.*)?$",
+                                                line):
+            in_mutex_scope = False  # class / namespace scope closed
+            continue
+        m = decl_re.match(strip_line_comment(line))
+        if not m:
+            continue
+        if "GUARDED_BY" in line or "static" in m.group("type"):
+            continue
+        if SELF_SYNCED_TYPE_RE.search(m.group("type")):
+            continue
+        if allowed(i, rule):
+            continue
+        yield (i + 1,
+               f"data member follows {scope_of} but carries no "
+               "CONDSEL_GUARDED_BY annotation (atomics are exempt); "
+               "annotate it or justify with an allow")
+
+
+# --------------------------------------------------------------------------
+# Self-test.
+
+_SELF_TEST_CASES = [
+    # (description, callable) pairs; each callable raises AssertionError.
+]
+
+
+def _case(description):
+    def wrap(fn):
+        _SELF_TEST_CASES.append((description, fn))
+        return fn
+    return wrap
+
+
+@_case("MUTEX_MEMBER_RE matches std and Ordered mutex members")
+def _t_mutex_member():
+    assert MUTEX_MEMBER_RE.match("  mutable std::mutex mu_;")
+    assert MUTEX_MEMBER_RE.match("  std::shared_mutex mu_;")
+    assert MUTEX_MEMBER_RE.match("  std::recursive_mutex big_lock_;")
+    assert MUTEX_MEMBER_RE.match(
+        '  mutable OrderedMutex mu_{lock_rank::kAdmission, "A::mu_"};')
+    assert MUTEX_MEMBER_RE.match(
+        '  OrderedSharedMutex mu_{lock_rank::kMemo, "M::mu_"};')
+    assert MUTEX_MEMBER_RE.match("  std::mutex mu;")  # aggregate member
+    assert not MUTEX_MEMBER_RE.match("  std::mutex* borrowed_;")
+    assert not MUTEX_MEMBER_RE.match("  // std::mutex mu_;")
+
+
+@_case("STATIC_MUTEX_RE matches only static declarations")
+def _t_static_mutex():
+    assert STATIC_MUTEX_RE.match("static std::mutex g_mu;")
+    assert STATIC_MUTEX_RE.match(
+        '  static OrderedMutex g_mu{lock_rank::kX, "g_mu"};')
+    assert not STATIC_MUTEX_RE.match("std::mutex mu_;")
+
+
+@_case("ORDERED_DECL_RE extracts rank constant and manifest label")
+def _t_ordered_decl():
+    m = ORDERED_DECL_RE.search(
+        "mutable OrderedMutex epoch_mu_{lock_rank::kSnapshotEpoch, "
+        '"SnapshotPublisher::epoch_mu_"};')
+    assert m and m.group("const") == "kSnapshotEpoch"
+    assert m.group("label") == "SnapshotPublisher::epoch_mu_"
+    assert m.group("name") == "epoch_mu_"
+    assert not ORDERED_DECL_RE.search("std::mutex mu_;")
+
+
+@_case("LOCK_RANK_CONST_RE parses lock_ranks.h constants")
+def _t_rank_const():
+    m = LOCK_RANK_CONST_RE.match("inline constexpr int kAdmission = 10;")
+    assert m and m.group("const") == "kAdmission"
+    assert m.group("rank") == "10"
+    assert not LOCK_RANK_CONST_RE.match("constexpr double kX = 1.0;")
+
+
+@_case("GUARD_RE matches every guard shape the repo uses")
+def _t_guard():
+    for text, want in [
+        ("const std::lock_guard<std::mutex> lock(mu_);", ["mu_"]),
+        ("std::unique_lock<OrderedMutex> lock(mu_);", ["mu_"]),
+        ("std::shared_lock<std::shared_mutex> lock(mu_);", ["mu_"]),
+        ("std::scoped_lock lock(deques[victim].mu, deques[w].mu);",
+         ["deques[victim].mu", "deques[w].mu"]),
+        ("std::shared_lock lock(mu_);", ["mu_"]),
+        ("std::unique_lock<std::mutex> lock(mu_, std::defer_lock);",
+         ["mu_"]),
+    ]:
+        m = GUARD_RE.search(text)
+        assert m, text
+        assert guard_mutex_exprs(m.group("args")) == want, text
+    assert not GUARD_RE.search("slot_freed_.wait_for(lock, dur);")
+    assert not GUARD_RE.search("// std::lock_guard<std::mutex> lock(mu_);"
+                               .split("//")[0])
+
+
+@_case("mutex_expr_name takes the final identifier")
+def _t_expr_name():
+    assert mutex_expr_name("mu_") == "mu_"
+    assert mutex_expr_name("d.mu") == "mu"
+    assert mutex_expr_name("deques[victim].mu") == "mu"
+    assert mutex_expr_name("publisher_.epoch_mu_") == "epoch_mu_"
+    assert mutex_expr_name("*this") is None
+
+
+@_case("BLOCKING_CALL_RE matches parks and slow work, not bookkeeping")
+def _t_blocking():
+    for text in [
+        "std::this_thread::sleep_for(ms);",
+        "cv.wait_for(lock, dur);",
+        "auto s = std::make_shared<const Snapshot>(1);",
+        "worker.join();",
+        "gs.Compute(p);",
+        "service.Submit(tenant, q);",
+    ]:
+        assert BLOCKING_CALL_RE.search(text), text
+    for text in [
+        "counters_.submitted.fetch_add(1);",
+        "ledger_.emplace_back(epoch, snap);",
+        "int waiting = 0;",
+    ]:
+        assert not BLOCKING_CALL_RE.search(text), text
+
+
+@_case("parse_fault_enumerators walks the enum body")
+def _t_faults():
+    text = """
+enum class Fault {
+  kDropSits = 0,
+  kCorruptHistograms,
+  kSlowRefresh,
+};
+"""
+    assert parse_fault_enumerators(text) == [
+        "kDropSits", "kCorruptHistograms", "kSlowRefresh"]
+    assert parse_fault_enumerators("enum class Other { kX };") == []
+
+
+@_case("guarded_field_findings: header members after a mutex")
+def _t_guarded_header():
+    lines = [
+        "class C {",
+        "  mutable std::mutex mu_;",
+        "  int covered_ CONDSEL_GUARDED_BY(mu_) = 0;",
+        "  std::atomic<int> free_{0};",
+        "  int naked_ = 0;",
+        "};",
+    ]
+    hits = list(guarded_field_findings(
+        "src/c.h", lines, lambda i, r: False, "guarded-field"))
+    assert [ln for ln, _ in hits] == [5], hits
+
+
+@_case("guarded_field_findings: .cc statics after a static mutex")
+def _t_guarded_static():
+    lines = [
+        "static std::mutex g_mu;",
+        "static int g_covered CONDSEL_GUARDED_BY(g_mu) = 0;",
+        "static std::atomic<int> g_free{0};",
+        "static int g_naked = 0;",
+    ]
+    hits = list(guarded_field_findings(
+        "src/c.cc", lines, lambda i, r: False, "guarded-field"))
+    assert [ln for ln, _ in hits] == [4], hits
+    # Member declarations in a .cc do not trip the static variant.
+    member_lines = ["std::mutex mu_;", "int naked_ = 0;"]
+    assert not list(guarded_field_findings(
+        "src/c.cc", member_lines, lambda i, r: False, "guarded-field"))
+
+
+@_case("make_allowed honors same-line and preceding-line markers")
+def _t_allowed():
+    lines = [
+        "// condsel-model: allow(lock-cycle)",
+        "code here",
+        "other code  // condsel-lint: allow(guarded-by-coverage)",
+    ]
+    allowed = make_allowed(lines, [LINT_ALLOW_RE, MODEL_ALLOW_RE])
+    assert allowed(1, "lock-cycle")
+    assert allowed(2, "guarded-by-coverage")
+    assert not allowed(1, "guarded-by-coverage")
+
+
+def run_self_test() -> int:
+    failures = 0
+    for description, fn in _SELF_TEST_CASES:
+        try:
+            fn()
+        except AssertionError as e:
+            failures += 1
+            print(f"self-test FAIL: {description}: {e}", file=sys.stderr)
+    total = len(_SELF_TEST_CASES)
+    if failures:
+        print(f"cpp_model_common --self-test: {failures}/{total} cases "
+              "failed", file=sys.stderr)
+        return 1
+    print(f"cpp_model_common --self-test: {total} cases ok",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    if "--self-test" in sys.argv[1:]:
+        sys.exit(run_self_test())
+    print(__doc__)
+    sys.exit(0)

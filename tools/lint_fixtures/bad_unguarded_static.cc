@@ -1,0 +1,17 @@
+// lint-fixture-path: src/condsel/common/bad_unguarded_static.cc
+// lint-expect: guarded-by-coverage
+//
+// A function-scope static following a static mutex with no
+// CONDSEL_GUARDED_BY: the .cc variant of the guarded-by rule must flag it.
+#include <mutex>
+
+namespace condsel {
+
+int NextTicket() {
+  static std::mutex mu;
+  static int next_ticket = 0;
+  const std::lock_guard<std::mutex> lock(mu);
+  return next_ticket++;
+}
+
+}  // namespace condsel

@@ -1,0 +1,22 @@
+// lint-fixture-path: src/condsel/common/good_guarded_static.cc
+//
+// The annotated twin of bad_unguarded_static.cc: a GUARDED_BY on the
+// static (or an atomic type) satisfies the .cc guarded-by rule.
+#include <atomic>
+#include <mutex>
+
+namespace condsel {
+
+int NextTicket() {
+  static std::mutex mu;
+  static int next_ticket CONDSEL_GUARDED_BY(mu) = 0;
+  const std::lock_guard<std::mutex> lock(mu);
+  return next_ticket++;
+}
+
+uint64_t NextSequence() {
+  static std::atomic<uint64_t> seq{0};
+  return seq.fetch_add(1);
+}
+
+}  // namespace condsel

@@ -1,0 +1,16 @@
+#include "demo.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace demo {
+
+// Seeded stall on the acquire path: a sleep while holding the lock that
+// every reader must take. blocking-reachable must flag the sleep site.
+void Epoch::Publish() {
+  const std::lock_guard<OrderedMutex> lock(epoch_mu_);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+}  // namespace demo

@@ -1,0 +1,15 @@
+#pragma once
+
+#include "lock_ranks.h"
+
+namespace demo {
+
+class Epoch {
+ public:
+  void Publish();
+
+ private:
+  OrderedMutex epoch_mu_{lock_rank::kEpoch, "Epoch::epoch_mu_"};
+};
+
+}  // namespace demo

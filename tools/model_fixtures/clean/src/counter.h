@@ -1,0 +1,20 @@
+#pragma once
+
+#include <mutex>
+
+namespace demo {
+
+// A correctly annotated lock/field pair: the model must stay silent.
+class Counter {
+ public:
+  void Add(int delta) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    total_ += delta;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int total_ CONDSEL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace demo

@@ -1,0 +1,20 @@
+#include <mutex>
+
+namespace demo {
+
+std::mutex g_ingest_mu;
+std::mutex g_flush_mu;
+
+// Seeded deadlock: Ingest nests flush under ingest, Flush nests the other
+// way around. The acquires-while-holding graph must report the cycle.
+void Ingest() {
+  const std::lock_guard<std::mutex> a(g_ingest_mu);
+  const std::lock_guard<std::mutex> b(g_flush_mu);
+}
+
+void Flush() {
+  const std::lock_guard<std::mutex> a(g_flush_mu);
+  const std::lock_guard<std::mutex> b(g_ingest_mu);
+}
+
+}  // namespace demo

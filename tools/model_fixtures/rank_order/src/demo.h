@@ -1,0 +1,16 @@
+#pragma once
+
+#include "lock_ranks.h"
+
+namespace demo {
+
+class Demo {
+ public:
+  void Update();
+
+ private:
+  OrderedMutex first_mu_{lock_rank::kFirst, "Demo::first_mu_"};
+  OrderedMutex second_mu_{lock_rank::kSecond, "Demo::second_mu_"};
+};
+
+}  // namespace demo

@@ -1,0 +1,8 @@
+#pragma once
+
+namespace demo::lock_rank {
+
+inline constexpr int kFirst = 10;
+inline constexpr int kSecond = 20;
+
+}  // namespace demo::lock_rank

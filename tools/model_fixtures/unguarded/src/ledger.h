@@ -1,0 +1,22 @@
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+namespace demo {
+
+// Seeded annotation gap: entries_ follows the mutex but carries no
+// CONDSEL_GUARDED_BY, so guarded-field must flag it.
+class Ledger {
+ public:
+  void Append(int value) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back(value);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<int> entries_;
+};
+
+}  // namespace demo

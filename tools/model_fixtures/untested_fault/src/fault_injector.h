@@ -1,0 +1,21 @@
+#pragma once
+
+#include <atomic>
+
+namespace demo {
+
+enum class Fault {
+  kDropPackets = 0,
+  kCorruptChecksum,
+};
+
+class FaultInjector {
+ public:
+  bool enabled(Fault f) const;
+
+ private:
+  static constexpr int kNumFaults = 2;
+  std::atomic<bool> faults_[kNumFaults] = {};
+};
+
+}  // namespace demo

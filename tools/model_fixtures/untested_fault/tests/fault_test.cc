@@ -1,0 +1,12 @@
+// Covers kDropPackets only; the checksum-corruption fault is deliberately
+// left untested so the fault census flags exactly that enumerator.
+#include "fault_injector.h"
+
+namespace demo {
+
+void ExerciseDropPackets() {
+  FaultInjector fi;
+  (void)fi.enabled(Fault::kDropPackets);
+}
+
+}  // namespace demo
