@@ -8,10 +8,13 @@
 
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <new>
 #include <string>
 #include <utility>
 #include <vector>
@@ -26,6 +29,21 @@
 
 namespace condsel {
 namespace bench {
+
+// Allocation counting: every BENCH_*.json records allocs/estimate
+// alongside latency, the dynamic baseline the arena / dense-memo work
+// will push toward zero (tools/alloc_budget.toml is the static census
+// of the same hot path). The counter works by replacing the
+// program-global operator new/delete below — each bench executable is a
+// single translation unit including this header, and a link-time
+// replacement covers allocations made inside libcondsel too. Relaxed
+// atomic increments cost ~1ns per allocation, cheap enough to count
+// every allocation rather than sample.
+inline std::atomic<uint64_t> g_alloc_count{0};
+
+inline uint64_t AllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
 
 inline int EnvInt(const char* name, int def) {
   if (const char* s = std::getenv(name)) {
@@ -204,4 +222,21 @@ struct BenchEnv {
 
 }  // namespace bench
 }  // namespace condsel
+
+// Program-global allocation hooks backing AllocCount() above. Only the
+// ordinary (unaligned, throwing) forms are replaced: libstdc++'s default
+// sized and nothrow variants forward here, and over-aligned allocations
+// are rare enough on the measured paths not to matter for the ratio.
+void* operator new(std::size_t size) {
+  condsel::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 

@@ -51,10 +51,17 @@ int main() {
     }
     subplans /= static_cast<double>(workload.size());
 
+    const uint64_t gs_alloc0 = AllocCount();
     const WorkloadRunResult gs =
         runner.Run(workload, pool, Technique::kGsNInd);
+    const double gs_allocs = static_cast<double>(AllocCount() - gs_alloc0) /
+                             static_cast<double>(workload.size());
+    const uint64_t gvm_alloc0 = AllocCount();
     const WorkloadRunResult gvm =
         runner.Run(workload, pool, Technique::kGvm);
+    const double gvm_allocs =
+        static_cast<double>(AllocCount() - gvm_alloc0) /
+        static_cast<double>(workload.size());
     const double ratio =
         gvm.avg_matcher_calls / std::max(1.0, gs.avg_matcher_calls);
     rows.push_back(
@@ -70,10 +77,12 @@ int main() {
             .Set("gs", Json::Object()
                            .Set("avg_matcher_calls", gs.avg_matcher_calls)
                            .Set("avg_estimate_ms", gs.avg_estimate_ms)
+                           .Set("allocs_per_estimate", gs_allocs)
                            .Set("per_query", PerQueryJson(gs)))
             .Set("gvm", Json::Object()
                             .Set("avg_matcher_calls", gvm.avg_matcher_calls)
                             .Set("avg_estimate_ms", gvm.avg_estimate_ms)
+                            .Set("allocs_per_estimate", gvm_allocs)
                             .Set("per_query", PerQueryJson(gvm))));
   }
   PrintTable(header, rows);

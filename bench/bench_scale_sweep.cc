@@ -132,8 +132,11 @@ int main() {
         runner.Run(workload, pool, Technique::kNoSit);
     const WorkloadRunResult gvm_run =
         runner.Run(workload, pool, Technique::kGvm);
+    const uint64_t gs_alloc0 = AllocCount();
     const WorkloadRunResult gs_run =
         runner.Run(workload, pool, Technique::kGsDiff);
+    const double gs_allocs = static_cast<double>(AllocCount() - gs_alloc0) /
+                             static_cast<double>(workload.size());
     const double no_sit = no_sit_run.avg_abs_error;
     const double gvm = gvm_run.avg_abs_error;
     const double gs = gs_run.avg_abs_error;
@@ -162,6 +165,7 @@ int main() {
             .Set("nosit_avg_abs_error", no_sit)
             .Set("gvm_ratio", no_sit > 0 ? gvm / no_sit : 1.0)
             .Set("gs_diff_ratio", no_sit > 0 ? gs / no_sit : 1.0)
+            .Set("gs_diff_allocs_per_estimate", gs_allocs)
             .Set("gs_diff_per_query", std::move(per_query)));
   }
   PrintTable(header, rows);
@@ -190,8 +194,16 @@ int main() {
     const SitPool pool = GenerateSitPool(workload, 4, builder);
 
     const int reps = EnvInt("CONDSEL_REPS", 3);
+    const uint64_t seq_alloc0 = AllocCount();
     const ThreadedRun seq = RunThreaded(workload, pool, /*threads=*/1, reps);
+    const uint64_t par_alloc0 = AllocCount();
     const ThreadedRun par = RunThreaded(workload, pool, /*threads=*/4, reps);
+    const double runs = static_cast<double>(workload.size()) *
+                        static_cast<double>(reps);
+    const double seq_allocs =
+        static_cast<double>(par_alloc0 - seq_alloc0) / runs;
+    const double par_allocs =
+        static_cast<double>(AllocCount() - par_alloc0) / runs;
     const bool identical = seq.estimates == par.estimates;
     const double speedup = seq.seconds / std::max(1e-12, par.seconds);
     const unsigned cores = std::thread::hardware_concurrency();
@@ -210,6 +222,8 @@ int main() {
         .Set("hardware_cores", static_cast<uint64_t>(cores))
         .Set("threads_1_seconds", seq.seconds)
         .Set("threads_4_seconds", par.seconds)
+        .Set("threads_1_allocs_per_estimate", seq_allocs)
+        .Set("threads_4_allocs_per_estimate", par_allocs)
         .Set("speedup", speedup)
         .Set("bit_identical", identical)
         .Set("threads_4_steals", par.steals)

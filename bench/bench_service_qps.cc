@@ -135,8 +135,14 @@ int main() {
       "%-12s %8s %10s %10s %10s %8s %8s %8s\n", "regime", "qps",
       "p50(ms)", "p99(ms)", "shed", "retries", "degr", "torn");
   for (const Regime& regime : kRegimes) {
+    const uint64_t alloc0 = AllocCount();
     const Measurement m =
         RunRegime(regime, env.catalog, pool, workload, submits);
+    const double allocs_per_submit =
+        m.stats.submitted > 0
+            ? static_cast<double>(AllocCount() - alloc0) /
+                  static_cast<double>(m.stats.submitted)
+            : 0.0;
     const double qps =
         m.wall_seconds > 0.0
             ? static_cast<double>(m.stats.submitted) / m.wall_seconds
@@ -178,6 +184,7 @@ int main() {
         .Set("incoherent_snapshots", m.stats.incoherent_snapshots)
         .Set("p50_seconds", m.stats.latency_p50_seconds)
         .Set("p99_seconds", m.stats.latency_p99_seconds)
+        .Set("allocs_per_estimate", allocs_per_submit)
         .Set("mean_seconds",
              m.stats.latency_count > 0
                  ? m.stats.latency_total_seconds /

@@ -112,7 +112,7 @@ Status Estimator::ValidatePool() const {
 }
 
 Status Estimator::ValidateQuery(const Query& query, PredSet subset) const {
-  if (Status s = ValidatePool(); !s.ok()) return s;
+  CONDSEL_RETURN_IF_ERROR(ValidatePool());
   if ((subset & ~query.all_predicates()) != 0) {
     return Status::InvalidArgument(
         "predicate set is not a subset of the query's predicates");
@@ -192,6 +192,24 @@ StatusOr<double> Estimator::TryEstimateSelectivity(const Query& query,
 
 StatusOr<double> Estimator::TryEstimateSelectivity(const Query& query) {
   return TryEstimateSelectivity(query, query.all_predicates());
+}
+
+StatusOr<double> Estimator::TryEstimateSelectivityStrict(const Query& query,
+                                                         PredSet p) {
+  StatusOr<double> sel = TryEstimateSelectivity(query, p);
+  if (!sel.ok()) return sel;
+  const GsStats* stats = StatsFor(query);
+  // invariant: the successful estimate above created this query's session
+  CONDSEL_CHECK(stats != nullptr);
+  if (stats->budget_exhausted || stats->degraded_subproblems > 0) {
+    return Status::ResourceExhausted(
+        "estimation degraded: budget exhausted with " +
+        std::to_string(stats->degraded_subproblems) +
+        " subproblem(s) on the independence fallback (raise "
+        "EstimationBudget or accept the degraded estimate via "
+        "TryEstimateSelectivity)");
+  }
+  return sel;
 }
 
 StatusOr<double> Estimator::TryEstimateCardinality(const Query& query,

@@ -75,6 +75,14 @@ class Estimator {
   StatusOr<double> TryEstimateCardinality(const Query& query);
   StatusOr<std::string> TryExplain(const Query& query);
 
+  // Like TryEstimateSelectivity, but treats graceful degradation as an
+  // error: if the estimation budget ran out or any subproblem fell back
+  // to the independence estimate, returns RESOURCE_EXHAUSTED instead of
+  // the (still well-formed) degraded value. For callers that would rather
+  // re-plan with a bigger budget than consume a low-fidelity estimate.
+  StatusOr<double> TryEstimateSelectivityStrict(const Query& query,
+                                                PredSet p);
+
   // Historical abort-on-error wrappers around the Try* methods.
   double EstimateSelectivity(const Query& query, PredSet p);
   double EstimateSelectivity(const Query& query);

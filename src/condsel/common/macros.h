@@ -36,3 +36,13 @@
 #define CONDSEL_DCHECK(cond) CONDSEL_CHECK(cond)
 #endif
 
+// Marks a function as part of the estimation hot path: the memo,
+// decomposer, parallel-driver, and provider inner loops that run once per
+// subproblem. Semantically a no-op — it expands to nothing — but
+// tools/condsel_flow.py keys its hot-path-alloc check on the annotation:
+// every heap-allocation site reachable from a CONDSEL_HOT function must be
+// sanctioned in tools/alloc_budget.toml, so a new allocation on the hot
+// path fails CI instead of landing silently. Put it on the definition,
+// before the return type.
+#define CONDSEL_HOT
+

@@ -146,3 +146,16 @@ void StatusIgnored(T&&) {}
 
 }  // namespace condsel
 
+// Propagates a non-OK Status to the caller; on OK, falls through. The
+// status-flow analyzer (tools/condsel_flow.py) recognizes the macro as an
+// escape, same as an explicit `if (Status s = expr; !s.ok()) return s;`,
+// and the enclosing function may return Status or any StatusOr<T> (the
+// error converts implicitly). Evaluates `expr` exactly once.
+#define CONDSEL_RETURN_IF_ERROR(expr)                   \
+  do {                                                  \
+    ::condsel::Status condsel_status_tmp_ = (expr);     \
+    if (!condsel_status_tmp_.ok()) {                    \
+      return condsel_status_tmp_;                       \
+    }                                                   \
+  } while (0)
+

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <string>
+#include <utility>
 
 #include "condsel/catalog/catalog.h"
+#include "condsel/common/status.h"
 #include "condsel/sit/sit_pool.h"
 
 namespace condsel {
@@ -24,6 +26,16 @@ struct IoResult {
     return {false, std::move(message)};
   }
 };
+
+// Lifts an IoResult into the library's Status vocabulary so callers that
+// already route Status (the service, CONDSEL_RETURN_IF_ERROR users) can
+// propagate (de)serialization failures without a second error type. A
+// failed read/write is DATA_LOSS: the bytes on disk (or the buffer) do
+// not decode into a usable catalog/pool.
+inline Status IoStatus(const IoResult& r) {
+  if (r.ok) return Status::Ok();
+  return Status::DataLoss(r.error);
+}
 
 // Catalog <-> file.
 IoResult WriteCatalog(const Catalog& catalog, const std::string& path);

@@ -123,9 +123,9 @@ bool AtomicSelectivityProvider::SupportedShape(const Query& query,
   return SplitShape(query, p, &join_pred, &filters);
 }
 
-FactorChoice AtomicSelectivityProvider::Score(const Query& query, PredSet p,
-                                              PredSet cond,
-                                              const Deadline* deadline) {
+CONDSEL_HOT FactorChoice AtomicSelectivityProvider::Score(
+    const Query& query, PredSet p, PredSet cond,
+    const Deadline* deadline) {
   // The throwing-lookup fault fires only on the public scoring path:
   // BaseAtom goes straight to ScoreImpl, so the independence fallback —
   // the degradation target — survives the fault, mirroring the deadline
@@ -137,9 +137,9 @@ FactorChoice AtomicSelectivityProvider::Score(const Query& query, PredSet p,
   return ScoreImpl(query, p, cond, deadline);
 }
 
-FactorChoice AtomicSelectivityProvider::ScoreImpl(const Query& query,
-                                                  PredSet p, PredSet cond,
-                                                  const Deadline* deadline) {
+CONDSEL_HOT FactorChoice AtomicSelectivityProvider::ScoreImpl(
+    const Query& query, PredSet p, PredSet cond,
+    const Deadline* deadline) {
   MaybeInjectSlowLookup(p);
   FactorChoice best;
   int join_pred;
@@ -223,7 +223,7 @@ FactorChoice AtomicSelectivityProvider::ScoreImpl(const Query& query,
   return best;
 }
 
-double AtomicSelectivityProvider::EstimateWith(
+CONDSEL_HOT double AtomicSelectivityProvider::EstimateWith(
     const Query& query, PredSet p, const std::vector<SitCandidate>& sits,
     std::vector<FactorProvenance>* provenance) const {
   int join_pred;
@@ -284,7 +284,7 @@ double AtomicSelectivityProvider::EstimateWith(
   return SanitizeSelectivity(sel);
 }
 
-double AtomicSelectivityProvider::Estimate(
+CONDSEL_HOT double AtomicSelectivityProvider::Estimate(
     const Query& query, PredSet p, const FactorChoice& choice,
     std::vector<FactorProvenance>* provenance) const {
   CONDSEL_CHECK(choice.feasible);

@@ -1,10 +1,12 @@
 #include "condsel/selectivity/decomposer.h"
 
+#include "condsel/common/macros.h"
+
 namespace condsel {
 
-std::vector<PredSet> AtomicFactorCandidates(const Query& query, PredSet p,
-                                            const Deadline* deadline,
-                                            bool* truncated) {
+CONDSEL_HOT std::vector<PredSet> AtomicFactorCandidates(
+    const Query& query, PredSet p, const Deadline* deadline,
+    bool* truncated) {
   if (truncated != nullptr) *truncated = false;
   std::vector<PredSet> candidates;
   auto expired = [&] {

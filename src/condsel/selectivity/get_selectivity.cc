@@ -39,7 +39,7 @@ GetSelectivity::GetSelectivity(const Query* query,
 
 GetSelectivity::~GetSelectivity() = default;
 
-SelEstimate GetSelectivity::Compute(PredSet p) {
+CONDSEL_HOT SelEstimate GetSelectivity::Compute(PredSet p) {
   // Arm the per-call deadline for the duration of this call (the count
   // caps are cumulative and need no per-call state). The clock is passed
   // down explicitly — Score's and AtomicFactorCandidates' deadline
@@ -62,7 +62,8 @@ const GsStats& GetSelectivity::stats() const {
   return stats_;
 }
 
-const DerivationAtom& GetSelectivity::SinglePredicateFallback(int i) {
+CONDSEL_HOT const DerivationAtom& GetSelectivity::SinglePredicateFallback(
+    int i) {
   if (const DerivationAtom* hit = memo_.FindAtom(i)) return *hit;
   DerivationAtom atom = provider_->BaseAtom(*query_, i, /*describe=*/true);
   bool inserted = false;
@@ -77,7 +78,8 @@ const DerivationAtom& GetSelectivity::SinglePredicateFallback(int i) {
   return stored;
 }
 
-MemoEntry GetSelectivity::DegradedEntry(PredSet p, FallbackReason reason) {
+CONDSEL_HOT MemoEntry GetSelectivity::DegradedEntry(PredSet p,
+                                                    FallbackReason reason) {
   MemoEntry entry;
   entry.kind = MemoEntryKind::kDegraded;
   entry.fallback = reason;
@@ -92,6 +94,10 @@ MemoEntry GetSelectivity::DegradedEntry(PredSet p, FallbackReason reason) {
 void GetSelectivity::RecordEntry(PredSet p, const MemoEntry& entry) {
   if (recorder_ == nullptr) return;
   DerivationNode& node = recorder_->AddNode(p);
+  // Recording mirrors the memo entry verbatim: its selectivity was
+  // sanitized when the entry was built, and re-wrapping here would
+  // mask an upstream sanitize regression from the audit.
+  // condsel-flow: allow(sanitize-flow)
   node.selectivity = entry.selectivity;
   node.error = entry.error;
   const FaultInjector& fi = FaultInjector::Instance();
@@ -146,7 +152,7 @@ void GetSelectivity::RecordEntry(PredSet p, const MemoEntry& entry) {
 }
 
 template <typename ChildFn>
-MemoEntry GetSelectivity::SolveNonSeparable(
+CONDSEL_HOT MemoEntry GetSelectivity::SolveNonSeparable(
     PredSet p, const std::vector<PredSet>& candidates, ChildFn&& child) {
   // Lines 9-17: non-separable — try every atomic decomposition
   // Sel(P'|Q) * Sel(Q) whose factor some SIT could approximate
@@ -231,7 +237,7 @@ MemoEntry GetSelectivity::SolveNonSeparable(
   return entry;
 }
 
-const MemoEntry& GetSelectivity::ComputeEntry(PredSet p) {
+CONDSEL_HOT const MemoEntry& GetSelectivity::ComputeEntry(PredSet p) {
   if (const MemoEntry* hit = memo_.Find(p)) {
     counters_.memo_hits.fetch_add(1, std::memory_order_relaxed);
     return *hit;
@@ -293,7 +299,8 @@ const MemoEntry& GetSelectivity::ComputeEntry(PredSet p) {
   return memo_.Insert(p, std::move(entry));
 }
 
-const MemoEntry& GetSelectivity::ComputeParallel(PredSet p, int threads) {
+CONDSEL_HOT const MemoEntry& GetSelectivity::ComputeParallel(PredSet p,
+                                                             int threads) {
   // Memo-served re-request: answered (and counted) exactly like the
   // sequential driver's top-of-recursion hit, so GsStats agree across
   // drivers on repeated Compute() calls.
@@ -390,6 +397,11 @@ const MemoEntry& GetSelectivity::ComputeParallel(PredSet p, int threads) {
         entry.components = node.components;
         double sel = 1.0;
         double err = 0.0;
+        // Bounded by the plan width (<= 32 components); a missing child
+        // only happens on a deadline-truncated plan, and the per-component
+        // fallback below IS the degradation path -- it must run to
+        // completion after expiry so the caller still gets an estimate.
+        // condsel-flow: allow(deadline-flow)
         for (PredSet comp : node.components) {
           const MemoEntry* ce = child(comp);
           if (ce == nullptr) {
@@ -663,6 +675,11 @@ const MemoEntry& GetSelectivity::ComputeParallel(PredSet p, int threads) {
   // across thread counts).
   if (recorder_ != nullptr) {
     std::unordered_set<PredSet> seen;
+    // Post-solve bookkeeping over the already-computed memo: bounded by
+    // |planned| and does no histogram work, so it intentionally runs to
+    // completion even when the deadline has expired (a half-recorded DAG
+    // would fail the derivation audit).
+    // condsel-flow: allow(deadline-flow)
     for (PredSet s : planned) {
       if (!seen.insert(s).second) continue;
       const MemoEntry* e = memo_.Find(s);

@@ -2,15 +2,18 @@
 
 #include <shared_mutex>
 
+#include "condsel/common/macros.h"
+
 namespace condsel {
 
-const MemoEntry* SelectivityMemo::Find(PredSet p) const {
+CONDSEL_HOT const MemoEntry* SelectivityMemo::Find(PredSet p) const {
   std::shared_lock<OrderedSharedMutex> lock(mu_);
   auto it = index_.find(p);
   return it == index_.end() ? nullptr : it->second;
 }
 
-const MemoEntry& SelectivityMemo::Insert(PredSet p, MemoEntry entry) {
+CONDSEL_HOT const MemoEntry& SelectivityMemo::Insert(PredSet p,
+                                                     MemoEntry entry) {
   std::unique_lock<OrderedSharedMutex> lock(mu_);
   auto it = index_.find(p);
   if (it != index_.end()) return *it->second;
@@ -20,13 +23,15 @@ const MemoEntry& SelectivityMemo::Insert(PredSet p, MemoEntry entry) {
   return *stored;
 }
 
-const DerivationAtom* SelectivityMemo::FindAtom(int pred) const {
+CONDSEL_HOT const DerivationAtom* SelectivityMemo::FindAtom(
+    int pred) const {
   std::shared_lock<OrderedSharedMutex> lock(mu_);
   auto it = atoms_.find(pred);
   return it == atoms_.end() ? nullptr : &it->second;
 }
 
-const DerivationAtom& SelectivityMemo::InsertAtom(int pred, DerivationAtom atom,
+CONDSEL_HOT const DerivationAtom& SelectivityMemo::InsertAtom(
+    int pred, DerivationAtom atom,
                                                   bool* inserted) {
   std::unique_lock<OrderedSharedMutex> lock(mu_);
   auto it = atoms_.find(pred);

@@ -301,6 +301,25 @@ StatusOr<ServiceEstimate> EstimationService::Submit(const std::string& tenant,
   return fail(std::move(last_failure));
 }
 
+size_t EstimationService::Prewarm(const std::string& tenant,
+                                  const std::vector<Query>& queries,
+                                  SubmitOptions options) {
+  size_t warmed = 0;
+  for (const Query& query : queries) {
+    StatusOr<ServiceEstimate> result = Submit(tenant, query, options);
+    if (result.ok()) {
+      ++warmed;
+      continue;
+    }
+    // Warming is advisory: an admission rejection or a mid-warm epoch
+    // swap only means the cache stays cold for that query. The sink is
+    // the sanctioned discard — condsel_flow's status-flow check accepts
+    // it, a silent drop here it would flag.
+    StatusIgnored(std::move(result));
+  }
+  return warmed;
+}
+
 Status EstimationService::ObserveFeedback(const std::string& tenant,
                                           const Query& query) {
   (void)tenant;  // feedback adjustments are shared statistics, not quota'd

@@ -39,6 +39,7 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "condsel/api.h"
 #include "condsel/common/lock_ranks.h"
@@ -135,6 +136,15 @@ class EstimationService {
   StatusOr<ServiceEstimate> Submit(const std::string& tenant,
                                    const Query& query,
                                    SubmitOptions options = {});
+
+  // Best-effort cache warming: runs each query through Submit so the
+  // snapshot's memo and sessions are hot before real traffic lands, and
+  // deliberately discards every per-query outcome (a cold standby being
+  // rejected by admission or racing a refresh is expected, not an
+  // error). Returns the number of prewarm submits that succeeded.
+  size_t Prewarm(const std::string& tenant,
+                 const std::vector<Query>& queries,
+                 SubmitOptions options = {});
 
   // Applies execution feedback (LEO-style observation) for `tenant` on
   // the current epoch. NON-IDEMPOTENT: observations accumulate, so this

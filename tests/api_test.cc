@@ -103,5 +103,27 @@ TEST_F(ApiTest, OutlivesTemporaryCallerQueries) {
   EXPECT_EQ(est.cached_queries(), 1u);
 }
 
+TEST_F(ApiTest, StrictRejectsDegradedEstimates) {
+  // One subproblem cannot cover the whole lattice of a two-predicate
+  // query, so the session degrades and Strict must refuse it.
+  EstimationBudget tight;
+  tight.max_subproblems = 1;
+  Estimator strict(&catalog_, &pool_, Ranking::kDiff, tight);
+  const StatusOr<double> degraded =
+      strict.TryEstimateSelectivityStrict(query_, query_.all_predicates());
+  ASSERT_FALSE(degraded.ok());
+  EXPECT_EQ(degraded.status().code(), StatusCode::kResourceExhausted);
+  // The lenient entry point still hands back the degraded value.
+  EXPECT_TRUE(strict.TryEstimateSelectivity(query_).ok());
+
+  // With the default budget nothing degrades and Strict matches the
+  // lenient estimate bit for bit.
+  Estimator relaxed(&catalog_, &pool_, Ranking::kDiff);
+  const StatusOr<double> full =
+      relaxed.TryEstimateSelectivityStrict(query_, query_.all_predicates());
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full.value(), relaxed.TryEstimateSelectivity(query_).value());
+}
+
 }  // namespace
 }  // namespace condsel

@@ -1,12 +1,16 @@
-// Tests for common utilities: RNG, Zipf sampler, aggregates.
+// Tests for common utilities: RNG, Zipf sampler, aggregates, and the
+// status/annotation plumbing the flow analyzer keys on.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <map>
+#include <utility>
 
+#include "condsel/common/macros.h"
 #include "condsel/common/rng.h"
 #include "condsel/common/stats.h"
+#include "condsel/common/status.h"
 #include "condsel/common/zipf.h"
 
 namespace condsel {
@@ -137,6 +141,72 @@ TEST(StatsTest, GeometricMean) {
   EXPECT_NEAR(GeometricMean({5.0}), 5.0, 1e-9);
   // Zeros clamp to the floor instead of collapsing the mean to 0.
   EXPECT_GT(GeometricMean({0.0, 100.0}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// CONDSEL_HOT: annotation-only, zero semantics. The other half of the
+// contract -- that the annotation is visible to the static model -- is
+// covered by `python3 tools/cpp_model_common.py --self-test` (the
+// function-inventory case asserts `hot` is set from the head text).
+
+CONDSEL_HOT int HotIdentity(int v) { return v; }
+
+TEST(MacrosTest, CondselHotExpandsToNothing) {
+  EXPECT_EQ(HotIdentity(7), 7);
+  // Still an ordinary function: addressable, normal type.
+  int (*fp)(int) = &HotIdentity;
+  EXPECT_EQ(fp(41), 41);
+}
+
+// ---------------------------------------------------------------------------
+// StatusIgnored and CONDSEL_RETURN_IF_ERROR: the two sanctioned ways a
+// [[nodiscard]] Status leaves a scope without an explicit return.
+
+TEST(StatusSinkTest, StatusIgnoredConsumesStatusAndStatusOr) {
+  // Compiles without a [[nodiscard]] warning and has no effect; both the
+  // prvalue and moved-lvalue forms used by callers must be accepted.
+  StatusIgnored(Status::Internal("discarded on purpose"));
+  StatusIgnored(StatusOr<double>(Status::Unavailable("also discarded")));
+  Status s = Status::InvalidArgument("moved into the sink");
+  StatusIgnored(std::move(s));
+}
+
+Status FailIf(bool fail) {
+  if (fail) return Status::NotFound("missing");
+  return Status::Ok();
+}
+
+Status Propagate(bool fail, bool* reached_end) {
+  CONDSEL_RETURN_IF_ERROR(FailIf(fail));
+  *reached_end = true;
+  return Status::Ok();
+}
+
+StatusOr<int> PropagateIntoStatusOr(bool fail) {
+  // The macro returns a plain Status; it must convert into any
+  // StatusOr<T> return type implicitly.
+  CONDSEL_RETURN_IF_ERROR(FailIf(fail));
+  return StatusOr<int>(42);
+}
+
+TEST(StatusSinkTest, ReturnIfErrorPropagatesAndFallsThrough) {
+  bool reached = false;
+  EXPECT_TRUE(Propagate(false, &reached).ok());
+  EXPECT_TRUE(reached);
+
+  reached = false;
+  const Status failed = Propagate(true, &reached);
+  EXPECT_EQ(failed.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(reached);
+}
+
+TEST(StatusSinkTest, ReturnIfErrorConvertsIntoStatusOr) {
+  const StatusOr<int> ok = PropagateIntoStatusOr(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  const StatusOr<int> err = PropagateIntoStatusOr(true);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -361,5 +361,13 @@ TEST_F(SerializeTest, RejectsNaNHistogramPayload) {
   EXPECT_NE(r.error.find("histogram"), std::string::npos);
 }
 
+TEST_F(SerializeTest, IoStatusLiftsResultsIntoStatusVocabulary) {
+  EXPECT_TRUE(IoStatus(IoResult::Ok()).ok());
+  const Status failed = IoStatus(IoResult::Fail("bad magic"));
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kDataLoss);
+  EXPECT_NE(failed.ToString().find("bad magic"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace condsel

@@ -825,5 +825,26 @@ TEST_F(ServiceTest, MalformedQueryIsTerminal) {
   EXPECT_EQ(stats.failed, 1u);
 }
 
+TEST_F(ServiceTest, PrewarmWarmsCachesAndSwallowsFailures) {
+  EstimationService service;
+  // Before any Refresh there is no epoch to warm against: every submit
+  // fails precondition and Prewarm reports zero warmed.
+  EXPECT_EQ(service.Prewarm("t", {query_}), 0u);
+
+  ASSERT_TRUE(service.Refresh(catalog_, pool_).ok());
+  const Query bad({Predicate::Filter({7, 3}, 1, 5)});
+  // One warmable query, one malformed: the failure is swallowed, not
+  // propagated, and the good query still warms.
+  EXPECT_EQ(service.Prewarm("t", {query_, bad}), 1u);
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.submitted, 3u);  // 1 pre-refresh + 2 post-refresh
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 2u);
+
+  // The warmed epoch serves real submits afterwards.
+  EXPECT_TRUE(service.Submit("t", query_).ok());
+}
+
 }  // namespace
 }  // namespace condsel

@@ -18,7 +18,25 @@ comment on the same or the preceding line):
                         eliminate — validate and return Status instead.
   sanitize-selectivity  a .cc under src/condsel/{selectivity,baselines}/
                         defining a double-returning Estimate method must
-                        route results through SanitizeSelectivity.
+                        route results through SanitizeSelectivity. This is
+                        the *fast pre-check*: it fires on the definition
+                        line with zero flow reasoning. The authoritative
+                        check is condsel_flow's sanitize-flow, which
+                        taint-tracks selectivity values through locals and
+                        arithmetic to every return and field write; this
+                        rule stays because its diagnostic is immediate and
+                        its false-negative space (a file that mentions
+                        SanitizeSelectivity anywhere) is exactly what the
+                        flow analyzer covers.
+  exhaustive-status-switch
+                        no `default:` label in a switch over StatusCode in
+                        library code. StatusCodeName and
+                        RetryableStatusCode stay exhaustive so that adding
+                        an enumerator breaks the build (-Wswitch +
+                        -Werror) at every classification site instead of
+                        silently falling into a default; condsel_flow's
+                        status-census then checks each enumerator is
+                        constructed, classified once, and tested.
   include-hygiene       no relative (`"../"`, `"./"`) or `"src/`-prefixed
                         includes; library code does not include
                         <iostream> (embedders own logging policy, and the
@@ -311,6 +329,53 @@ def check_raw_histogram_lookup(path: str, text: str,
     return findings
 
 
+SWITCH_RE = re.compile(r"\bswitch\s*\(")
+CASE_STATUS_RE = re.compile(r"\bcase\s+StatusCode::")
+DEFAULT_LABEL_RE = re.compile(r"^\s*default\s*:")
+
+
+def check_status_switch(path: str, text: str,
+                        lines: list[str]) -> list[Finding]:
+    """A switch over StatusCode must stay exhaustive: with -Wswitch (and
+    -Werror in CI) a new enumerator then fails to compile at every
+    classification site, instead of sliding into a default branch."""
+    if not path.startswith("src/"):
+        return []
+    findings = []
+    depth = 0
+    pending_switch = False  # saw `switch (` but not its `{` yet
+    # Open switch scopes: [scope depth, saw `case StatusCode::`,
+    # default-label line indices]. Judged at scope close so a default
+    # written above the cases is still caught.
+    stack: list[list] = []
+    for i, line in enumerate(lines):
+        code = line.split("//")[0]
+        if SWITCH_RE.search(code):
+            pending_switch = True
+        if pending_switch and "{" in code:
+            stack.append([depth, False, []])
+            pending_switch = False
+        if stack:
+            if CASE_STATUS_RE.search(code):
+                stack[-1][1] = True
+            if DEFAULT_LABEL_RE.match(code):
+                stack[-1][2].append(i)
+        depth += code.count("{") - code.count("}")
+        while stack and depth <= stack[-1][0]:
+            _, is_status, defaults = stack.pop()
+            if not is_status:
+                continue
+            for idx in defaults:
+                if _allowed(lines, idx, "exhaustive-status-switch"):
+                    continue
+                findings.append(Finding(
+                    path, idx + 1, "exhaustive-status-switch",
+                    "switch over StatusCode must not have a default: "
+                    "label — keep it exhaustive so -Wswitch flags every "
+                    "classification site when an enumerator is added"))
+    return findings
+
+
 RAW_SET_DEADLINE_RE = re.compile(r"\bset_deadline\s*\(")
 DEADLINE_EXEMPT_FILES = ("src/condsel/selectivity/budget.h",
                          "src/condsel/selectivity/budget.cc")
@@ -379,6 +444,7 @@ RULES = [
     check_no_abort,
     check_nodiscard_status,
     check_guarded_by,
+    check_status_switch,
     check_raw_histogram_lookup,
     check_raw_set_deadline,
     check_epoch_lock_blocking,

@@ -35,7 +35,8 @@ def iter_source_files(root: str, dirs=SCAN_DIRS):
         for dirpath, dirnames, filenames in os.walk(top):
             dirnames[:] = sorted(d for d in dirnames
                                  if d not in ("lint_fixtures",
-                                              "model_fixtures"))
+                                              "model_fixtures",
+                                              "flow_fixtures"))
             for name in sorted(filenames):
                 if name.endswith(EXTENSIONS):
                     yield os.path.join(dirpath, name)
@@ -53,6 +54,7 @@ def strip_line_comment(line: str) -> str:
 
 LINT_ALLOW_RE = re.compile(r"condsel-lint:\s*allow\(([a-z0-9-]+)\)")
 MODEL_ALLOW_RE = re.compile(r"condsel-model:\s*allow\(([a-z0-9-]+)\)")
+FLOW_ALLOW_RE = re.compile(r"condsel-flow:\s*allow\(([a-z0-9-]+)\)")
 
 
 def make_allowed(lines, allow_res):
@@ -265,6 +267,363 @@ def guarded_field_findings(path: str, lines, allowed, rule: str):
 
 
 # --------------------------------------------------------------------------
+# Function / call-site / return-statement inventory (condsel_flow.py).
+#
+# The flow analyzer reasons about whole function bodies — which callees a
+# loop reaches, which return statements mention a tainted variable — so it
+# needs a statement-level view of the tree that the line-oriented lint
+# rules never build. The parser below is deliberately regex-grade: it
+# strips strings and comments, joins multi-line signatures, and tracks
+# braces; it does not parse C++. That is the same precision contract as
+# the mutex inventory, and it gets the same embedded self-test corpus.
+
+_STR_LITERAL_RE = re.compile(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'')
+
+
+def strip_code(raw: str, in_block_comment: bool):
+    """Code portion of one raw line: string/char literals blanked, // and
+    /* */ comments removed. Returns (code, still_in_block_comment)."""
+    out = []
+    i, n = 0, len(raw)
+    while i < n:
+        if in_block_comment:
+            end = raw.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        ch = raw[i]
+        if ch in "\"'":
+            m = _STR_LITERAL_RE.match(raw, i)
+            if m:
+                out.append('""' if ch == '"' else "''")
+                i = m.end()
+                continue
+        if raw.startswith("//", i):
+            break
+        if raw.startswith("/*", i):
+            in_block_comment = True
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+# Keywords that look like `name (` but never are calls or definitions.
+CONTROL_KEYWORDS = frozenset((
+    "if", "for", "while", "switch", "return", "catch", "do", "else",
+    "sizeof", "alignof", "alignas", "decltype", "static_assert", "new",
+    "delete", "case", "defined", "noexcept", "throw", "co_return",
+    "co_await", "assert", "requires"))
+
+_HEAD_NAME_RE = re.compile(r"((?:[\w~]+\s*::\s*)*[\w~]+)\s*$")
+
+# A call site inside a body: optional `Qual::` chain plus the callee.
+INV_CALL_RE = re.compile(r"(?<![\w:])((?:\w+\s*::\s*)*[A-Za-z_]\w*)\s*\(")
+
+LOOP_HEAD_RE = re.compile(r"(?<!\w)(for|while)\s*\(|(?<!\w)do\s*\{")
+
+
+class FunctionDef:
+    """One function definition: identity, head text, stripped body lines,
+    and the harvested call sites / return statements / loops."""
+
+    __slots__ = ("path", "name", "cls", "line", "end_line", "head",
+                 "params", "hot", "body", "calls", "returns", "loops")
+
+    def __init__(self, path, name, cls, line, head, params):
+        self.path = path
+        self.name = name
+        self.cls = cls
+        self.line = line
+        self.end_line = line
+        self.head = head
+        self.params = params
+        self.hot = "CONDSEL_HOT" in head
+        self.body = []       # [(lineno_1based, stripped_code)]
+        self.calls = []      # [(lineno, callee_text)]  e.g. "Status::Internal"
+        self.returns = []    # [(lineno, full_return_statement)]
+        self.loops = []      # [(lineno, header_text, body_text, end_lineno)]
+
+    @property
+    def qual(self) -> str:
+        return f"{self.cls}::{self.name}" if self.cls else self.name
+
+    def body_text(self) -> str:
+        return "\n".join(code for _, code in self.body)
+
+
+def _extract_params(head: str) -> str:
+    start = head.index("(")
+    depth = 0
+    for k in range(start, len(head)):
+        if head[k] == "(":
+            depth += 1
+        elif head[k] == ")":
+            depth -= 1
+            if depth == 0:
+                return head[start + 1:k]
+    return head[start + 1:]
+
+
+def _validate_head(head: str):
+    """None, or (name, cls, params) when `head` (the text before a
+    top-level `{`) is a plausible function definition signature."""
+    if "(" not in head:
+        return None  # class/struct/namespace/extern blocks
+    stripped = head.strip()
+    if stripped.startswith("#"):
+        return None
+    if re.match(r"^(?:class|struct|enum|union|namespace|extern)\b",
+                stripped):
+        return None
+    before = head[:head.index("(")]
+    # Reject assignments before the parameter list: lambdas and
+    # brace-initialized globals (`auto f = [] (...) {`). operator= is the
+    # one legitimate `=` there.
+    if re.search(r"(?<![=!<>])=(?!=)", before.replace("operator=", "@")):
+        return None
+    m = _HEAD_NAME_RE.search(before)
+    if not m:
+        return None
+    qual = re.sub(r"\s+", "", m.group(1))
+    parts = qual.split("::")
+    name = parts[-1].lstrip("~")
+    cls = parts[-2] if len(parts) > 1 else None
+    if not name or name in CONTROL_KEYWORDS:
+        return None
+    return name, cls, _extract_params(head)
+
+
+def _match_head(code_lines, i):
+    """Try to read a function head starting at line i. Returns None or
+    (name, cls, params, head, open_idx, open_col) where open_idx/open_col
+    locate the body's opening `{`."""
+    first = code_lines[i].strip()
+    if not first or first.startswith("#") or first.startswith("}"):
+        return None
+    paren = 0
+    buf = []
+    for j in range(i, min(len(code_lines), i + 14)):
+        seg = code_lines[j]
+        for k, c in enumerate(seg):
+            if c == "(":
+                paren += 1
+            elif c == ")":
+                paren -= 1
+            elif c == ";":
+                return None
+            elif c == "{":
+                if paren > 0:
+                    continue  # brace inside a default argument
+                head = "".join(buf) + seg[:k]
+                v = _validate_head(head)
+                if v is None:
+                    return None
+                name, cls, params = v
+                return name, cls, params, head, j, k
+            elif c == "}" and paren == 0:
+                return None
+        buf.append(seg + "\n")
+    return None
+
+
+def _harvest(fn: FunctionDef):
+    """Fills calls / returns / loops from the recorded body lines."""
+    for lineno, code in fn.body:
+        for m in INV_CALL_RE.finditer(code):
+            callee = re.sub(r"\s+", "", m.group(1))
+            if callee.split("::")[-1] in CONTROL_KEYWORDS:
+                continue
+            fn.calls.append((lineno, callee))
+    # Return statements, joined to the terminating `;`.
+    body = fn.body
+    k = 0
+    while k < len(body):
+        lineno, code = body[k]
+        m = re.search(r"(?<![\w])return(?![\w])", code)
+        if not m:
+            k += 1
+            continue
+        stmt = code[m.start():]
+        j = k
+        while ";" not in stmt and j + 1 < len(body) and j - k < 10:
+            j += 1
+            stmt += " " + body[j][1]
+        stmt = re.sub(r"\s+", " ", stmt.split(";")[0]).strip()
+        fn.returns.append((lineno, stmt))
+        k = j + 1
+    # Loops: for/while/do with the nested body text extracted by brace
+    # matching over the flattened body.
+    flat_parts, line_at = [], []
+    for lineno, code in body:
+        flat_parts.append(code + "\n")
+        line_at.append(lineno)
+    flat = "".join(flat_parts)
+    offsets = []  # offset of each line start in flat
+    pos = 0
+    for part in flat_parts:
+        offsets.append(pos)
+        pos += len(part)
+
+    def line_of(off):
+        lo, hi = 0, len(offsets) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if offsets[mid] <= off:
+                lo = mid
+            else:
+                hi = mid - 1
+        return line_at[lo]
+
+    for m in LOOP_HEAD_RE.finditer(flat):
+        kw = m.group(1) or "do"
+        if kw == "do":
+            header = "do"
+            body_start = flat.index("{", m.start())
+        else:
+            depth = 0
+            p = flat.index("(", m.start())
+            q = p
+            while q < len(flat):
+                if flat[q] == "(":
+                    depth += 1
+                elif flat[q] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                q += 1
+            header = re.sub(r"\s+", " ", flat[m.start():q + 1])
+            r = q + 1
+            while r < len(flat) and flat[r] in " \t\n":
+                r += 1
+            if r >= len(flat):
+                continue
+            if flat[r] != "{":
+                # Single-statement loop body: up to the `;`.
+                end = flat.find(";", r)
+                if end < 0:
+                    end = len(flat) - 1
+                fn.loops.append((line_of(m.start()), header, flat[r:end],
+                                 line_of(end)))
+                continue
+            body_start = r
+        depth = 0
+        q = body_start
+        while q < len(flat):
+            if flat[q] == "{":
+                depth += 1
+            elif flat[q] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            q += 1
+        fn.loops.append((line_of(m.start()), header,
+                         flat[body_start + 1:q], line_of(min(q, len(flat) - 1))))
+
+
+def parse_functions(path: str, text: str):
+    """Every function definition in `text` with harvested calls, returns
+    and loops. `path` is recorded on each FunctionDef verbatim."""
+    in_block = False
+    code_lines = []
+    for rawline in text.splitlines():
+        code, in_block = strip_code(rawline, in_block)
+        code_lines.append(code)
+    funcs = []
+    i, n = 0, len(code_lines)
+    # Enclosing class/struct tracking so header-inline methods get their
+    # class name: a stack of (class_name, body_depth), maintained only
+    # over the lines between function definitions.
+    scope_stack = []
+    outer_depth = 0
+    pending_class = None
+    _CLASS_RE = re.compile(r"(?:^|[\s;{}])(?:class|struct)\s+"
+                           r"(?:alignas\s*\([^)]*\)\s*)?(\w+)")
+
+    def scan_outer_line(seg):
+        nonlocal outer_depth, pending_class
+        m = _CLASS_RE.search(re.sub(r"template\s*<[^<>]*>", "", seg))
+        if m:
+            pending_class = m.group(1)
+        for ch in seg:
+            if ch == "{":
+                outer_depth += 1
+                if pending_class is not None:
+                    scope_stack.append((pending_class, outer_depth))
+                    pending_class = None
+            elif ch == "}":
+                outer_depth -= 1
+                while scope_stack and scope_stack[-1][1] > outer_depth:
+                    scope_stack.pop()
+            elif ch == ";":
+                pending_class = None  # forward declaration
+
+    while i < n:
+        head = _match_head(code_lines, i)
+        if head is None:
+            scan_outer_line(code_lines[i])
+            i += 1
+            continue
+        name, cls, params, head_text, open_idx, open_col = head
+        if cls is None and scope_stack:
+            cls = scope_stack[-1][0]
+        fn = FunctionDef(path, name, cls, i + 1, head_text, params)
+        depth, end_idx, end_col = 0, None, None
+        j = open_idx
+        while j < n:
+            seg = code_lines[j]
+            k = open_col if j == open_idx else 0
+            while k < len(seg):
+                if seg[k] == "{":
+                    depth += 1
+                elif seg[k] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        end_idx, end_col = j, k
+                        break
+                k += 1
+            if end_idx is not None:
+                break
+            j += 1
+        if end_idx is None:
+            i = open_idx + 1  # unterminated body; skip the head
+            continue
+        if open_idx == end_idx:
+            fn.body = [(open_idx + 1,
+                        code_lines[open_idx][open_col + 1:end_col])]
+        else:
+            fn.body = [(open_idx + 1, code_lines[open_idx][open_col + 1:])]
+            fn.body += [(k + 1, code_lines[k])
+                        for k in range(open_idx + 1, end_idx)]
+            fn.body.append((end_idx + 1, code_lines[end_idx][:end_col]))
+        fn.end_line = end_idx + 1
+        _harvest(fn)
+        funcs.append(fn)
+        i = end_idx + 1
+    return funcs
+
+
+def build_function_inventory(root: str, dirs=LIBRARY_DIRS):
+    """parse_functions over every source file under `dirs`. Returns
+    (functions, by_name) where by_name maps simple name -> [FunctionDef]."""
+    functions = []
+    for path in iter_source_files(root, dirs):
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError:
+            continue
+        functions.extend(parse_functions(path, text))
+    by_name = {}
+    for fn in functions:
+        by_name.setdefault(fn.name, []).append(fn)
+    return functions, by_name
+
+
+# --------------------------------------------------------------------------
 # Self-test.
 
 _SELF_TEST_CASES = [
@@ -425,6 +784,96 @@ def _t_allowed():
     assert allowed(1, "lock-cycle")
     assert allowed(2, "guarded-by-coverage")
     assert not allowed(1, "guarded-by-coverage")
+
+
+_PARSE_CORPUS = """
+#include "x.h"
+
+namespace condsel {
+
+// A declaration, not a definition.
+double Declared(int x);
+
+CONDSEL_HOT double GetSelectivity::Compute(PredSet p) {
+  double sel = provider_->Estimate(q, p);  // comment with return junk
+  for (int i = 0; i < n; ++i) {
+    sel *= ComputeEntry(i).selectivity;
+  }
+  while (deadline_.Expired()) break;
+  return SanitizeSelectivity(sel);
+}
+
+class Memo {
+ public:
+  int Find(PredSet p) const { return table_.count(p); }
+
+ private:
+  int naked_ = 0;
+};
+
+Status Service::Submit(const std::string& tenant,
+                       const Query& query) {
+  Status s = Status::Internal("boom {not a brace}");
+  return
+      s;
+}
+
+}  // namespace condsel
+"""
+
+
+@_case("parse_functions finds definitions, skips declarations")
+def _t_parse_defs():
+    fns = parse_functions("src/x.cc", _PARSE_CORPUS)
+    quals = [f.qual for f in fns]
+    assert quals == ["GetSelectivity::Compute", "Memo::Find",
+                     "Service::Submit"], quals
+    assert all(f.name != "Declared" for f in fns)
+
+
+@_case("parse_functions records CONDSEL_HOT, params, line spans")
+def _t_parse_hot():
+    fns = {f.qual: f for f in parse_functions("src/x.cc", _PARSE_CORPUS)}
+    comp = fns["GetSelectivity::Compute"]
+    assert comp.hot and not fns["Memo::Find"].hot
+    assert "PredSet p" in comp.params
+    assert comp.end_line > comp.line
+    sub = fns["Service::Submit"]
+    assert "tenant" in sub.params and "query" in sub.params
+
+
+@_case("parse_functions harvests calls, multi-line returns, loops")
+def _t_parse_harvest():
+    fns = {f.qual: f for f in parse_functions("src/x.cc", _PARSE_CORPUS)}
+    comp = fns["GetSelectivity::Compute"]
+    callees = {c for _, c in comp.calls}
+    assert {"ComputeEntry", "SanitizeSelectivity", "Estimate",
+            "Expired"} <= callees, callees
+    assert "for" not in callees and "while" not in callees
+    assert [s for _, s in comp.returns] == ["return SanitizeSelectivity(sel)"]
+    heads = [h for _, h, _, _ in comp.loops]
+    assert any(h.startswith("for") for h in heads), heads
+    assert any(h.startswith("while") for h in heads), heads
+    start, _, for_body, end = next(
+        loop for loop in comp.loops if loop[1].startswith("for"))
+    assert "ComputeEntry" in for_body
+    assert end >= start
+    # Braces inside string literals must not confuse the brace tracking,
+    # and the joined return picks up the continuation line.
+    sub = fns["Service::Submit"]
+    assert [s for _, s in sub.returns] == ["return s"], sub.returns
+    assert any(c == "Status::Internal" for _, c in sub.calls)
+
+
+@_case("strip_code blanks strings and strips both comment styles")
+def _t_strip_code():
+    code, blk = strip_code('x = "a // b {" + y; // tail', False)
+    assert code == 'x = "" + y; ', code
+    assert not blk
+    code, blk = strip_code("a /* open", False)
+    assert code == "a " and blk
+    code, blk = strip_code("still comment */ b", True)
+    assert code == " b" and not blk
 
 
 def run_self_test() -> int:

@@ -1,0 +1,47 @@
+// Clean fixture: every status escapes, every working loop polls the
+// deadline, every selectivity return is sanitized, and the one hot-path
+// allocation is sanctioned in tools/alloc_budget.toml. condsel_flow must
+// report nothing here.
+#include <vector>
+
+namespace condsel {
+
+class Engine {
+ public:
+  Status Validate(int n) {
+    if (n < 0) {
+      return Status::InvalidArgument("negative");
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<double> Compute(int n) {
+    // Bound + consult: the canonical propagation shape.
+    Status checked = Validate(n);
+    if (!checked.ok()) return checked;
+    double sel = 1.0;
+    for (int i = 0; i < n; ++i) {
+      if (deadline_.Expired()) break;
+      sel *= provider_.Estimate(i);
+      sel = SanitizeSelectivity(sel);
+    }
+    return SanitizeSelectivity(sel);
+  }
+
+  CONDSEL_HOT double ScoreOne(int i) {
+    scores_.push_back(i);  // sanctioned in alloc_budget.toml
+    return SanitizeSelectivity(provider_.Estimate(i));
+  }
+
+  void Warm(int n) {
+    // Deliberate discard through the sanctioned sink.
+    StatusIgnored(Validate(n));
+  }
+
+ private:
+  Deadline deadline_;
+  Provider provider_;
+  std::vector<int> scores_;
+};
+
+}  // namespace condsel

@@ -1,0 +1,23 @@
+// Mutation: two ways to drop an error Status on the floor. Must trip
+// status-flow (and nothing else).
+
+namespace condsel {
+
+class Engine {
+ public:
+  Status Validate(int n) {
+    if (n < 0) {
+      return Status::InvalidArgument("negative");
+    }
+    return Status::Ok();
+  }
+
+  void Broken(int n) {
+    // Bug 1: a constructed error reaches no return / call / sink.
+    Status::Internal("constructed and immediately forgotten");
+    // Bug 2: bound to a local that is never consulted again.
+    Status checked = Validate(n);
+  }
+};
+
+}  // namespace condsel

@@ -1,0 +1,24 @@
+// Mutation: a CONDSEL_HOT function grew a second allocation site that
+// tools/alloc_budget.toml does not sanction (the budget says one
+// push_back; the source now has a push_back AND a make_unique). Must
+// trip hot-path-alloc only.
+#include <memory>
+#include <vector>
+
+namespace condsel {
+
+class Engine {
+ public:
+  CONDSEL_HOT double ScoreOne(int i) {
+    scores_.push_back(i);  // sanctioned: count = 1 in the budget
+    // Seeded regression: a fresh heap allocation on the hot path.
+    auto scratch = std::make_unique<double[]>(8);
+    scratch[0] = 0.5 * i;
+    return SanitizeSelectivity(scratch[0]);
+  }
+
+ private:
+  std::vector<int> scores_;
+};
+
+}  // namespace condsel

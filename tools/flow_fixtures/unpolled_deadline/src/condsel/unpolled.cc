@@ -1,0 +1,25 @@
+// Mutation: a loop reachable from Compute does library work while a
+// deadline is armed but never polls it. Must trip deadline-flow only.
+
+namespace condsel {
+
+class Engine {
+ public:
+  double Estimate(int i) { return 0.5 * i; }
+
+  double Compute(int n) {
+    deadline_.Arm(n);
+    double sel = 1.0;
+    for (int i = 0; i < n; ++i) {
+      // Bug: calls into the library every iteration, no Expired()/
+      // remaining()/BudgetExhausted() check anywhere in the loop.
+      sel = sel * Estimate(i);
+    }
+    return sel;
+  }
+
+ private:
+  Deadline deadline_;
+};
+
+}  // namespace condsel

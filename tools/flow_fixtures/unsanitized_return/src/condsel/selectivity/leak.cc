@@ -1,0 +1,25 @@
+// Mutation: a provider-sourced selectivity flows through intermediate
+// arithmetic and escapes a `double` return without ever passing
+// SanitizeSelectivity. Must trip sanitize-flow only.
+
+namespace condsel {
+
+class Baseline {
+ public:
+  double EstimateAll(int n) {
+    double sel = 1.0;
+    for (int i = 0; i < n; ++i) {
+      // Taint enters here...
+      sel *= provider_.Estimate(i);
+    }
+    // ...and the arithmetic result escapes unsanitized. A correct
+    // implementation returns SanitizeSelectivity(sel) or cleanses the
+    // variable with `sel = SanitizeSelectivity(sel);` first.
+    return sel;
+  }
+
+ private:
+  Provider provider_;
+};
+
+}  // namespace condsel

@@ -1,0 +1,21 @@
+// Fixture: a StatusCode switch hiding behind a default label. When an
+// enumerator is added, -Wswitch stays silent here and the new code is
+// silently classified as non-retryable — exactly the rot the
+// exhaustive-switch convention prevents.
+// lint-fixture-path: src/condsel/service/bad_default_status_switch.cc
+// lint-expect: exhaustive-status-switch
+
+#include "condsel/common/status.h"
+
+namespace condsel {
+
+bool LooksRetryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace condsel

@@ -1,0 +1,40 @@
+// Fixture: the sanctioned StatusCode switch shape — every enumerator
+// listed, no default, the unreachable fallthrough return outside the
+// switch. A default in an *unrelated* switch (over a local enum) stays
+// legal. Must produce zero findings.
+// lint-fixture-path: src/condsel/service/good_exhaustive_status_switch.cc
+
+#include "condsel/common/status.h"
+
+namespace condsel {
+
+enum class Lane { kFast, kSlow };
+
+int LaneWeight(Lane lane) {
+  switch (lane) {
+    case Lane::kFast:
+      return 1;
+    default:
+      return 4;  // non-StatusCode switches may default freely
+  }
+}
+
+bool IsTerminal(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+      return false;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDataLoss:
+    case StatusCode::kInternal:
+    case StatusCode::kRejectedOverload:
+      return true;
+  }
+  return true;
+}
+
+}  // namespace condsel
