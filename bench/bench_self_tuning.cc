@@ -76,11 +76,12 @@ int main() {
   {
     Rng qrng(23);
     const Table& fact = drifted.table(0);
+    const Column fact_c1 = fact.MaterializeColumn(1);
     for (int i = 0; i < 300; ++i) {
       const int64_t lo = qrng.NextInRange(0, 900);
       const int64_t hi = lo + qrng.NextInRange(20, 99);
       size_t c = 0;
-      for (int64_t v : fact.column(1).values()) c += (v >= lo && v <= hi);
+      for (int64_t v : fact_c1.values()) c += (v >= lo && v <= hi);
       tuned.Observe(lo, hi,
                     static_cast<double>(c) /
                         static_cast<double>(fact.num_rows()));

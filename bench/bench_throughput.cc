@@ -1,0 +1,143 @@
+// Multi-threaded estimation throughput over shared statistics.
+//
+// N threads run back-to-back getSelectivity passes against one shared,
+// immutable (catalog, pool, matcher, provider) set — the multi-core
+// follow-up to the sequential overhead bench: the provider's Score path
+// is lock-free over shared statistics, so estimates/sec should scale
+// with threads until memory bandwidth, not a lock, is the ceiling.
+// Partitioned pools (built through PartStatsMaintainer) run the
+// merge-at-Score loop, so this also prices the per-part merge under
+// concurrency.
+//
+// Emits BENCH_throughput.json for the CI bench-artifacts trajectory.
+//
+// Scale knobs: CONDSEL_SCALE, CONDSEL_QUERIES (bench_common.h), plus
+// CONDSEL_THROUGHPUT_ESTIMATES (estimates per thread, default 50).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "condsel/selectivity/atomic_provider.h"
+#include "condsel/selectivity/error_function.h"
+#include "condsel/selectivity/get_selectivity.h"
+#include "condsel/sit/sit_matcher.h"
+
+namespace condsel {
+namespace bench {
+namespace {
+
+struct Measurement {
+  double wall_seconds = 0.0;
+  uint64_t estimates = 0;
+  uint64_t allocs = 0;
+};
+
+// Each query gets one matcher/provider pair bound once up front; the
+// threads then share them read-only, exactly how the service shares a
+// snapshot epoch across concurrent submits.
+struct BoundQuery {
+  const Query* query;
+  std::unique_ptr<SitMatcher> matcher;
+  std::unique_ptr<AtomicSelectivityProvider> provider;
+};
+
+Measurement Run(const std::vector<BoundQuery>& bound, int threads,
+                int estimates_per_thread) {
+  std::atomic<uint64_t> done{0};
+  const uint64_t alloc0 = AllocCount();
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (int i = 0; i < estimates_per_thread; ++i) {
+        const BoundQuery& b = bound[(t + i) % bound.size()];
+        // A fresh GetSelectivity per estimate: back-to-back cold passes,
+        // not one warm memo amortized over the loop.
+        GetSelectivity gs(b.query, b.provider.get(), nullptr);
+        const SelEstimate e = gs.Compute(b.query->all_predicates());
+        if (e.selectivity >= 0.0) {
+          done.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  Measurement m;
+  m.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  m.estimates = done.load();
+  m.allocs = AllocCount() - alloc0;
+  return m;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace condsel
+
+int main() {
+  using namespace condsel;         // NOLINT: bench brevity
+  using namespace condsel::bench;  // NOLINT: bench brevity
+
+  BenchEnv env;
+  const int num_queries = EnvInt("CONDSEL_QUERIES", 6);
+  const int estimates = EnvInt("CONDSEL_THROUGHPUT_ESTIMATES", 50);
+  const std::vector<Query> workload = env.Workload(3, num_queries);
+  const SitPool pool = GenerateSitPool(workload, 2, *env.builder);
+  DiffError diff;
+
+  std::vector<BoundQuery> bound;
+  for (const Query& q : workload) {
+    BoundQuery b;
+    b.query = &q;
+    b.matcher = std::make_unique<SitMatcher>(&pool);
+    b.matcher->BindQuery(&q);
+    b.provider = std::make_unique<AtomicSelectivityProvider>(b.matcher.get(),
+                                                             &diff);
+    bound.push_back(std::move(b));
+  }
+
+  Json sweeps = Json::Array();
+  double single_thread_eps = 0.0;
+  std::printf("%-8s %14s %12s %10s %14s\n", "threads", "estimates/s",
+              "wall(s)", "speedup", "allocs/est");
+  for (const int threads : {1, 2, 4, 8}) {
+    const Measurement m = Run(bound, threads, estimates);
+    const double eps =
+        m.wall_seconds > 0.0
+            ? static_cast<double>(m.estimates) / m.wall_seconds
+            : 0.0;
+    if (threads == 1) single_thread_eps = eps;
+    const double speedup =
+        single_thread_eps > 0.0 ? eps / single_thread_eps : 0.0;
+    const double allocs_per_estimate =
+        m.estimates > 0
+            ? static_cast<double>(m.allocs) / static_cast<double>(m.estimates)
+            : 0.0;
+    std::printf("%-8d %14.0f %12.4f %10.2f %14.1f\n", threads, eps,
+                m.wall_seconds, speedup, allocs_per_estimate);
+
+    Json entry = Json::Object();
+    entry.Set("threads", threads)
+        .Set("estimates", m.estimates)
+        .Set("wall_seconds", m.wall_seconds)
+        .Set("estimates_per_second", eps)
+        .Set("speedup_vs_single_thread", speedup)
+        .Set("allocs_per_estimate", allocs_per_estimate);
+    sweeps.Push(std::move(entry));
+  }
+
+  Json root = Json::Object();
+  root.Set("bench", "throughput")
+      .Set("queries", num_queries)
+      .Set("estimates_per_thread", estimates)
+      .Set("pool_size", static_cast<uint64_t>(pool.size()))
+      .Set("sweeps", std::move(sweeps));
+  WriteBenchJson("BENCH_throughput.json", root);
+  return 0;
+}

@@ -17,10 +17,10 @@ Table MakeTable(const char* name,
   schema.name = name;
   schema.columns = std::move(columns);
   Table table(schema);
-  for (size_t c = 0; c < data.size(); ++c) {
-    table.mutable_column(static_cast<ColumnId>(c)).mutable_values() = data[c];
-  }
-  table.SealRows();
+  std::vector<Column> cols;
+  cols.reserve(data.size());
+  for (const auto& values : data) cols.emplace_back(values);
+  table.LoadPart(std::move(cols));
   return table;
 }
 

@@ -92,6 +92,30 @@ int main(int argc, char** argv) {
     }
   }
   {
+    // Part-stats image for the same catalog: a maintainer-built set over a
+    // small workload, so mutation starts from a valid spec/entry layout.
+    condsel::Catalog maintained = condsel::fuzzing::MakeFuzzCatalog();
+    const std::vector<condsel::Query> workload = {
+        condsel::Query({condsel::Predicate::Join(condsel::ColumnRef{0, 2},
+                                                 condsel::ColumnRef{1, 0}),
+                        condsel::Predicate::Filter(condsel::ColumnRef{0, 0},
+                                                   10, 60)})};
+    condsel::PartStatsMaintainer maintainer(&maintained, workload,
+                                            /*max_join_preds=*/1,
+                                            condsel::SitBuildOptions{});
+    if (!maintainer.BuildAll().ok() ||
+        !condsel::WritePartStats(maintainer.stats(),
+                                 sdir + "part_stats.bin").ok) {
+      std::fprintf(stderr, "ERROR: cannot write part_stats.bin\n");
+      return 1;
+    }
+    std::vector<uint8_t> bytes = Slurp(sdir + "part_stats.bin");
+    std::vector<uint8_t> truncated(
+        bytes.begin(),
+        bytes.begin() + static_cast<ptrdiff_t>(bytes.size() / 2));
+    WriteBytes(sdir + "part_stats_truncated.bin", truncated);
+  }
+  {
     // Damaged variants: truncation and a flipped interior byte.
     std::vector<uint8_t> bytes = Slurp(catalog_path);
     std::vector<uint8_t> truncated(

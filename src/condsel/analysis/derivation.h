@@ -65,6 +65,8 @@ struct FactorProvenance {
   std::string source;         // statistic description: attr [| expression]
   std::string histogram_kind; // "base", "sit-1d", "sit-2d", "join-input"
   int buckets_touched = 0;    // histogram buckets the estimate read
+  int merged_parts = 0;       // partitioned statistic: per-part pieces
+                              // merged into this factor (0: unpartitioned)
   std::string fallback;       // non-empty: why no statistic applied
 };
 

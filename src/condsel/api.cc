@@ -61,6 +61,11 @@ struct Estimator::Session {
   // sub-plan requests hit the memo.
   DerivationDag dag;
   size_t audited_nodes = 0;
+  // Pool generation the session was built against. The matcher's
+  // applicability index holds pointers into the pool's SIT vector, so a
+  // delta-refreshed pool (same object, new contents and generation)
+  // invalidates the whole session, not just the memo.
+  uint64_t pool_generation = 0;
 };
 
 Estimator::Estimator(const Catalog* catalog, const SitPool* pool,
@@ -77,8 +82,11 @@ Estimator::Estimator(const Catalog* catalog, const SitPool* pool,
 Estimator::~Estimator() = default;
 
 Status Estimator::ValidatePool() const {
-  if (pool_validated_) return pool_status_;
+  if (pool_validated_ && pool_generation_validated_ == pool_->generation()) {
+    return pool_status_;
+  }
   pool_validated_ = true;
+  pool_generation_validated_ = pool_->generation();
   pool_status_ = Status::Ok();
   // A pool is only meaningful against its own catalog; one deserialized
   // against a different database would make the matcher dereference
@@ -147,9 +155,17 @@ Estimator::Session& Estimator::SessionFor(const Query& query) {
   // memoized search.
   const std::vector<Predicate>& key = query.predicates();
   auto it = sessions_.find(key);
-  if (it != sessions_.end()) return *it->second;
+  if (it != sessions_.end()) {
+    if (it->second->pool_generation == pool_->generation()) {
+      return *it->second;
+    }
+    // The pool was refreshed in place (delta maintenance): the session's
+    // matcher points at SITs that no longer exist. Rebuild from scratch.
+    sessions_.erase(it);
+  }
 
   auto session = std::make_unique<Session>(query);
+  session->pool_generation = pool_->generation();
   session->matcher = std::make_unique<SitMatcher>(pool_);
   session->matcher->BindQuery(&session->query);
   // Leaked singletons: error functions are stateless, and static objects

@@ -137,9 +137,12 @@ class Estimator {
   Ranking ranking_;
   EstimationBudget budget_;
   bool audit_;
-  // Lazily computed, cached result of ValidatePool (the pool is borrowed
-  // const, so its validity cannot change under us).
+  // Lazily computed, cached result of ValidatePool, keyed by the pool's
+  // generation stamp: a delta-refreshed pool (same object, new contents)
+  // re-validates; a pool outside the maintenance path (generation 0,
+  // never changing) validates once.
   mutable bool pool_validated_ = false;
+  mutable uint64_t pool_generation_validated_ = 0;
   mutable Status pool_status_;
   std::map<std::vector<Predicate>, std::unique_ptr<Session>> sessions_;
 };

@@ -44,6 +44,10 @@
 //    taking the publication lock, simulating a slow statistics rebuild —
 //    estimates on the current epoch must keep flowing at full rate while
 //    the refresh drags (the no-blocking-under-epoch-lock discipline).
+//  - kCorruptPartStats: PartStatsSet::BuildMergedPool corrupts one
+//    working-copy piece (NaN source cardinality, the scalar a torn write
+//    would hit) before validation — the merge must answer DATA_LOSS, and
+//    a half-corrupt pool must never be published as a snapshot.
 
 #pragma once
 
@@ -78,6 +82,7 @@ enum class Fault {
   kThrowAtomicLookup,
   kFailSnapshotSwap,
   kSlowRefresh,
+  kCorruptPartStats,
 };
 
 class FaultInjector {
@@ -110,7 +115,7 @@ class FaultInjector {
 
  private:
   FaultInjector() = default;
-  static constexpr int kNumFaults = 9;
+  static constexpr int kNumFaults = 10;
   static int Index(Fault f) { return static_cast<int>(f); }
 
   // Serializes writers; reads are atomic. Leaf rank: nothing may be

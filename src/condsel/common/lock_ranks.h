@@ -22,6 +22,10 @@ namespace lock_rank {
 
 // service/: admission gate is the outermost lock a session path takes.
 inline constexpr int kAdmission = 10;
+// service/: delta-maintenance serialization; held across the part-stats
+// rebuild and the publish that follows, so it nests outside the snapshot
+// pair (sanctioned blocking, see service.cc).
+inline constexpr int kPartMaintenance = 15;
 // service/: snapshot refresh serialization; holds while building the
 // next epoch (sanctioned blocking, see snapshot.cc).
 inline constexpr int kSnapshotRefresh = 20;

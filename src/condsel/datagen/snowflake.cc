@@ -35,11 +35,10 @@ TableSchema MakeSchema(const std::string& name,
 Table MakeTable(TableSchema schema,
                 std::vector<std::vector<int64_t>> columns) {
   Table t(std::move(schema));
-  for (size_t c = 0; c < columns.size(); ++c) {
-    t.mutable_column(static_cast<ColumnId>(c)).mutable_values() =
-        std::move(columns[c]);
-  }
-  t.SealRows();
+  std::vector<Column> cols;
+  cols.reserve(columns.size());
+  for (auto& values : columns) cols.emplace_back(std::move(values));
+  t.LoadPart(std::move(cols));
   return t;
 }
 

@@ -36,6 +36,7 @@ Catalog BuildTpchLite(const TpchLiteOptions& opt) {
       t.AppendRow({static_cast<int64_t>(i), nation,
                    rng.NextInRange(0, 9999)});
     }
+    t.SealTail();
     catalog.AddTable(std::move(t));
     // Degenerate draws could leave a side empty; fall back to everyone.
     if (usa_keys.empty() || other_keys.empty()) {
@@ -72,6 +73,7 @@ Catalog BuildTpchLite(const TpchLiteOptions& opt) {
           pick[static_cast<size_t>(rng.NextBelow(pick.size()))];
       t.AppendRow({static_cast<int64_t>(i), cust, price});
     }
+    t.SealTail();
     catalog.AddTable(std::move(t));
   }
 
@@ -89,6 +91,7 @@ Catalog BuildTpchLite(const TpchLiteOptions& opt) {
                      rng.NextInRange(1, 5000)});
       }
     }
+    t.SealTail();
     catalog.AddTable(std::move(t));
   }
 

@@ -48,7 +48,7 @@ std::vector<ForeignKey> RandomConnectedEdges(const Catalog& catalog,
 
 // Sorted non-NULL values of a column (for selectivity-targeted ranges).
 std::vector<int64_t> SortedValues(const Catalog& catalog, ColumnRef col) {
-  const Column& c = catalog.table(col.table).column(col.column);
+  const Column c = catalog.table(col.table).MaterializeColumn(col.column);
   std::vector<int64_t> vals;
   vals.reserve(c.size());
   for (int64_t v : c.values()) {

@@ -20,8 +20,9 @@ Evaluator::Evaluator(const Catalog* catalog, CardinalityCache* cache)
   CONDSEL_CHECK(catalog != nullptr);  // invariant: constructor contract
 }
 
-std::vector<uint32_t> Evaluator::FilteredRows(const Query& q, PredSet filters,
-                                              TableId table) const {
+std::vector<uint32_t> Evaluator::FilteredRows(
+    const Query& q, PredSet filters, TableId table,
+    const RowRestriction* restriction) const {
   const Table& t = catalog_->table(table);
   // Collect the filters that apply to this table.
   std::vector<const Predicate*> preds;
@@ -29,9 +30,16 @@ std::vector<uint32_t> Evaluator::FilteredRows(const Query& q, PredSet filters,
     const Predicate& p = q.predicate(i);
     if (p.is_filter() && p.column().table == table) preds.push_back(&p);
   }
+  size_t begin = 0;
+  size_t end = t.num_rows();
+  if (restriction != nullptr && restriction->table == table) {
+    begin = restriction->begin;
+    end = restriction->end;
+    CONDSEL_CHECK(begin <= end && end <= t.num_rows());  // invariant
+  }
   std::vector<uint32_t> rows;
-  rows.reserve(t.num_rows());
-  for (size_t r = 0; r < t.num_rows(); ++r) {
+  rows.reserve(end - begin);
+  for (size_t r = begin; r < end; ++r) {
     bool ok = true;
     for (const Predicate* p : preds) {
       const int64_t v = t.value(r, p->column().column);
@@ -45,7 +53,8 @@ std::vector<uint32_t> Evaluator::FilteredRows(const Query& q, PredSet filters,
   return rows;
 }
 
-JoinResult Evaluator::EvaluateComponent(const Query& q, PredSet component) {
+JoinResult Evaluator::EvaluateComponent(const Query& q, PredSet component,
+                                        const RowRestriction* restriction) {
   JoinResult result;
   CONDSEL_CHECK(component != 0);  // invariant: caller passes components
 
@@ -55,7 +64,7 @@ JoinResult Evaluator::EvaluateComponent(const Query& q, PredSet component) {
   // Per-table filtered row lists.
   std::unordered_map<TableId, std::vector<uint32_t>> live;
   for (int t : table_ids) {
-    live[t] = FilteredRows(q, component, static_cast<TableId>(t));
+    live[t] = FilteredRows(q, component, static_cast<TableId>(t), restriction);
   }
 
   // Collect the component's join predicates.
@@ -261,15 +270,35 @@ double Evaluator::CountDistinct(const Query& q, PredSet subset,
 }
 
 ColumnProjection Evaluator::ProjectColumn(const Query& q, PredSet subset,
-                                          ColumnRef col) {
+                                          ColumnRef col,
+                                          const RowRestriction* restriction) {
   ColumnProjection out;
   if (subset == 0) {
     const Table& t = catalog_->table(col.table);
+    if (restriction != nullptr && restriction->table == col.table) {
+      const size_t begin = restriction->begin;
+      const size_t end = restriction->end;
+      CONDSEL_CHECK(begin <= end && end <= t.num_rows());  // invariant
+      out.total_tuples = end - begin;
+      out.values.reserve(end - begin);
+      for (size_t r = begin; r < end; ++r) {
+        const int64_t v = t.value(r, col.column);
+        if (!IsNull(v)) out.values.push_back(v);
+      }
+      return out;
+    }
     out.total_tuples = t.num_rows();
     out.values.reserve(t.num_rows());
-    const Column& c = t.column(col.column);
-    for (size_t r = 0; r < t.num_rows(); ++r) {
-      if (!IsNull(c[r])) out.values.push_back(c[r]);
+    // Walk sealed parts column-wise (no per-row part lookup), then the
+    // tail through value(); global row order is preserved.
+    for (size_t pi = 0; pi < t.num_parts(); ++pi) {
+      for (const int64_t v : t.part(pi).column(col.column).values()) {
+        if (!IsNull(v)) out.values.push_back(v);
+      }
+    }
+    for (size_t r = t.sealed_rows(); r < t.num_rows(); ++r) {
+      const int64_t v = t.value(r, col.column);
+      if (!IsNull(v)) out.values.push_back(v);
     }
     return out;
   }
@@ -278,7 +307,7 @@ ColumnProjection Evaluator::ProjectColumn(const Query& q, PredSet subset,
       ConnectedComponents(q.predicates(), subset);
   for (PredSet comp : comps) {
     if (!Contains(q.TablesOfSubset(comp), col.table)) continue;
-    const JoinResult jr = EvaluateComponent(q, comp);
+    const JoinResult jr = EvaluateComponent(q, comp, restriction);
     const int slot = jr.TableSlot(col.table);
     CONDSEL_CHECK(slot >= 0);  // invariant: comp covers col.table
     const Table& t = catalog_->table(col.table);

@@ -45,6 +45,18 @@ struct ColumnProjection {
   size_t total_tuples = 0;
 };
 
+// Restricts evaluation to rows [begin, end) of one table; every other
+// table contributes all of its rows. This is how per-part statistics are
+// built (catalog/part_stats.h): restricting the owning table to one part
+// partitions the expression result, because each result tuple selects
+// exactly one row of that table. A full-range restriction is equivalent
+// to none.
+struct RowRestriction {
+  TableId table = kInvalidTableId;
+  size_t begin = 0;
+  size_t end = 0;  // exclusive
+};
+
 class Evaluator {
  public:
   // `cache` may be nullptr to disable memoization (tests). Both pointers
@@ -71,7 +83,11 @@ class Evaluator {
   double TrueConditionalSelectivity(const Query& q, PredSet p, PredSet q_set);
 
   // Fully evaluates one *connected* predicate subset (a single component).
-  JoinResult EvaluateComponent(const Query& q, PredSet component);
+  // `restriction` (optional) limits one table to a row range; restricted
+  // evaluations never touch the CardinalityCache (the cache is keyed by
+  // predicates alone).
+  JoinResult EvaluateComponent(const Query& q, PredSet component,
+                               const RowRestriction* restriction = nullptr);
 
   // Exact count of distinct non-NULL values of `col` over
   // sigma_subset(...) — ground truth for GROUP BY cardinalities.
@@ -83,15 +99,18 @@ class Evaluator {
   // components scale every frequency uniformly and cancel out of any
   // normalized distribution.
   ColumnProjection ProjectColumn(const Query& q, PredSet subset,
-                                 ColumnRef col);
+                                 ColumnRef col,
+                                 const RowRestriction* restriction = nullptr);
 
   const Catalog& catalog() const { return *catalog_; }
 
  private:
   // Row indices of `table` passing all filters in `filters` (bitmask over
-  // q's predicates; only filters on `table` are applied).
+  // q's predicates; only filters on `table` are applied). A restriction
+  // on `table` narrows the scanned row range.
   std::vector<uint32_t> FilteredRows(const Query& q, PredSet filters,
-                                     TableId table) const;
+                                     TableId table,
+                                     const RowRestriction* restriction) const;
 
   const Catalog* catalog_;
   CardinalityCache* cache_;

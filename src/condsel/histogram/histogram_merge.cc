@@ -1,0 +1,105 @@
+#include "condsel/histogram/histogram_merge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "condsel/common/macros.h"
+
+namespace condsel {
+
+namespace {
+
+// Coalesces `buckets` down to at most `max_buckets` by merging runs of
+// adjacent buckets. Even-count runs keep the pass deterministic and cheap;
+// the merged summary is an introspection artifact, not the estimation
+// path, so boundary placement finesse buys nothing here.
+std::vector<Bucket> Coalesce(std::vector<Bucket> buckets, int max_buckets) {
+  const size_t cap = static_cast<size_t>(std::max(1, max_buckets));
+  if (buckets.size() <= cap) return buckets;
+  const size_t run = (buckets.size() + cap - 1) / cap;
+  std::vector<Bucket> out;
+  out.reserve(cap);
+  for (size_t i = 0; i < buckets.size(); i += run) {
+    const size_t j = std::min(buckets.size(), i + run);
+    Bucket b = buckets[i];
+    for (size_t k = i + 1; k < j; ++k) {
+      b.hi = buckets[k].hi;
+      b.frequency += buckets[k].frequency;
+      b.distinct += buckets[k].distinct;
+    }
+    b.distinct = std::min(b.distinct, b.Width());
+    out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram MergeHistograms(const std::vector<const Histogram*>& pieces,
+                          int max_buckets) {
+  double total_card = 0.0;
+  for (const Histogram* p : pieces) {
+    CONDSEL_CHECK(p != nullptr);
+    total_card += p->source_cardinality();
+  }
+
+  // Union of bucket boundaries: each boundary value starts a segment, so
+  // every piece bucket covers whole segments and its mass distributes by
+  // width fraction under the same uniform assumption the piece itself
+  // makes.
+  std::set<int64_t> starts;
+  for (const Histogram* p : pieces) {
+    for (const Bucket& b : p->buckets()) {
+      starts.insert(b.lo);
+      if (b.hi < std::numeric_limits<int64_t>::max()) starts.insert(b.hi + 1);
+    }
+  }
+  if (starts.empty() || total_card <= 0.0) {
+    return Histogram({}, total_card);
+  }
+
+  std::vector<int64_t> edges(starts.begin(), starts.end());
+  const size_t num_segments = edges.size();  // last segment is open-ended
+  std::vector<Bucket> segments(num_segments);
+  for (size_t i = 0; i < num_segments; ++i) {
+    segments[i].lo = edges[i];
+    segments[i].hi = (i + 1 < num_segments)
+                         ? edges[i + 1] - 1
+                         : std::numeric_limits<int64_t>::max();
+  }
+
+  for (const Histogram* p : pieces) {
+    const double weight = p->source_cardinality() / total_card;
+    if (weight <= 0.0) continue;
+    for (const Bucket& b : p->buckets()) {
+      // Segments covering [b.lo, b.hi]: contiguous, found by binary search.
+      size_t i = static_cast<size_t>(
+          std::upper_bound(edges.begin(), edges.end(), b.lo) -
+          edges.begin() - 1);
+      for (; i < num_segments && segments[i].lo <= b.hi; ++i) {
+        const double overlap =
+            std::min(static_cast<double>(b.hi),
+                     static_cast<double>(segments[i].hi)) -
+            std::max(static_cast<double>(b.lo),
+                     static_cast<double>(segments[i].lo)) +
+            1.0;
+        const double fraction = overlap / b.Width();
+        segments[i].frequency += weight * b.frequency * fraction;
+        segments[i].distinct += b.distinct * fraction;
+      }
+    }
+  }
+
+  std::vector<Bucket> buckets;
+  buckets.reserve(num_segments);
+  for (Bucket& s : segments) {
+    if (s.frequency <= 0.0 && s.distinct <= 0.0) continue;
+    s.distinct = std::min(s.distinct, s.Width());
+    buckets.push_back(s);
+  }
+  return Histogram(Coalesce(std::move(buckets), max_buckets), total_card);
+}
+
+}  // namespace condsel

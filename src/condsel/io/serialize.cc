@@ -3,14 +3,21 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <set>
 #include <vector>
 
 namespace condsel {
 namespace {
 
-constexpr uint32_t kCatalogMagic = 0x43435444;  // "CCTD"
-constexpr uint32_t kPoolMagic = 0x43435354;     // "CCST"
+constexpr uint32_t kCatalogMagic = 0x43435444;    // "CCTD"
+constexpr uint32_t kPoolMagic = 0x43435354;       // "CCST"
+constexpr uint32_t kPartStatsMagic = 0x43435053;  // "CCPS"
 constexpr uint32_t kVersion = 2;
+// Catalog v3 serializes the part structure (per-part id/generation/columns
+// plus the unsealed tail); v2 files — one flat column set per table — are
+// still readable and load as a single part.
+constexpr uint32_t kCatalogVersion = 3;
+constexpr uint32_t kPartStatsVersion = 1;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -248,7 +255,7 @@ IoResult WriteCatalog(const Catalog& catalog, const std::string& path) {
   if (!f) return IoResult::Fail("cannot open '" + path + "' for writing");
   Writer w(f.get());
   w.U32(kCatalogMagic);
-  w.U32(kVersion);
+  w.U32(kCatalogVersion);
   w.U32(static_cast<uint32_t>(catalog.num_tables()));
   for (TableId t = 0; t < catalog.num_tables(); ++t) {
     const Table& table = catalog.table(t);
@@ -260,8 +267,25 @@ IoResult WriteCatalog(const Catalog& catalog, const std::string& path) {
       w.I64(c.max_value);
       w.U32(c.is_key ? 1 : 0);
     }
+    w.U32(static_cast<uint32_t>(table.num_parts()));
+    for (size_t pi = 0; pi < table.num_parts(); ++pi) {
+      const Part& part = table.part(pi);
+      w.U32(static_cast<uint32_t>(part.id()));
+      w.U64(part.generation());
+      for (ColumnId c = 0; c < table.num_columns(); ++c) {
+        w.I64Vec(part.column(c).values());
+      }
+    }
+    // The unsealed tail rides along so a mid-churn catalog round-trips
+    // without forcing a seal (the writer takes the table by const ref).
+    w.U64(table.tail_rows());
     for (ColumnId c = 0; c < table.num_columns(); ++c) {
-      w.I64Vec(table.column(c).values());
+      std::vector<int64_t> tail;
+      tail.reserve(table.tail_rows());
+      for (size_t r = table.sealed_rows(); r < table.num_rows(); ++r) {
+        tail.push_back(table.value(r, c));
+      }
+      w.I64Vec(tail);
     }
   }
   w.U32(static_cast<uint32_t>(catalog.foreign_keys().size()));
@@ -283,7 +307,8 @@ IoResult ReadCatalogStream(std::FILE* file, const std::string& name,
   if (r.U32() != kCatalogMagic) {
     return IoResult::Fail(name + " is not a condsel catalog file");
   }
-  if (r.U32() != kVersion) {
+  const uint32_t version = r.U32();
+  if (version != kVersion && version != kCatalogVersion) {
     return IoResult::Fail("unsupported catalog version in " + name);
   }
   Catalog catalog;
@@ -307,21 +332,68 @@ IoResult ReadCatalogStream(std::FILE* file, const std::string& name,
       schema.columns.push_back(std::move(cs));
     }
     Table table(schema);
-    for (uint32_t c = 0; c < num_cols; ++c) {
-      table.mutable_column(static_cast<ColumnId>(c)).mutable_values() =
-          r.I64Vec();
-    }
-    if (!r.ok()) return IoResult::Fail("corrupt column data");
-    // All columns of a table must agree on the row count; SealRows treats
-    // a mismatch as an internal invariant violation (abort), so corrupt
-    // files are rejected here instead.
-    for (uint32_t c = 1; c < num_cols; ++c) {
-      if (table.column(static_cast<ColumnId>(c)).size() !=
-          table.column(0).size()) {
-        return IoResult::Fail("column lengths disagree within a table");
+
+    // Reads num_cols vectors and validates they agree on the row count
+    // (Part/RestoreTail treat a mismatch as an internal invariant
+    // violation — abort — so corrupt files are rejected here instead).
+    // nullptr on success, else the rejection message.
+    auto read_column_set = [&](std::vector<Column>* cols) -> const char* {
+      cols->clear();
+      for (uint32_t c = 0; c < num_cols; ++c) {
+        cols->emplace_back(r.I64Vec());
       }
+      if (!r.ok()) return "corrupt column data";
+      for (const Column& c : *cols) {
+        if (c.size() != (*cols)[0].size()) {
+          return "column lengths disagree";
+        }
+      }
+      return nullptr;
+    };
+
+    if (version == kVersion) {
+      // v2: one flat column set; loads as a single sealed part (empty
+      // tables stay part-free, matching LoadPart-built catalogs).
+      std::vector<Column> cols;
+      if (const char* err = read_column_set(&cols)) {
+        return IoResult::Fail(err);
+      }
+      if (num_cols > 0 && cols[0].size() > 0) {
+        table.LoadPart(std::move(cols));
+      }
+    } else {
+      const uint32_t num_parts = r.U32();
+      if (!r.ok() || num_parts > 4096) {
+        return IoResult::Fail("corrupt part count");
+      }
+      std::set<uint32_t> seen_ids;
+      for (uint32_t pi = 0; pi < num_parts; ++pi) {
+        const uint32_t id = r.U32();
+        const uint64_t generation = r.U64();
+        std::vector<Column> cols;
+        if (const char* err = read_column_set(&cols)) {
+          return IoResult::Fail(err);
+        }
+        // RestorePart CHECKs id uniqueness; reject corrupt files softly.
+        if (id > (1u << 20) || !seen_ids.insert(id).second) {
+          return IoResult::Fail("corrupt part id");
+        }
+        table.RestorePart(static_cast<PartId>(id), generation,
+                          std::move(cols));
+      }
+      const uint64_t tail_rows = r.U64();
+      if (!r.ok() || !r.Plausible(tail_rows, num_cols * sizeof(int64_t))) {
+        return IoResult::Fail("corrupt tail row count");
+      }
+      std::vector<Column> tail;
+      if (const char* err = read_column_set(&tail)) {
+        return IoResult::Fail(err);
+      }
+      if (!tail.empty() && tail[0].size() != tail_rows) {
+        return IoResult::Fail("tail rows disagree with tail columns");
+      }
+      table.RestoreTail(std::move(tail));
     }
-    table.SealRows();
     catalog.AddTable(std::move(table));
   }
   const uint32_t num_fks = r.U32();
@@ -458,6 +530,154 @@ IoResult ReadSitPoolStream(std::FILE* file, const std::string& name,
 }
 
 }  // namespace
+
+IoResult WritePartStats(const PartStatsSet& stats, const std::string& path) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) return IoResult::Fail("cannot open '" + path + "' for writing");
+  Writer w(f.get());
+  w.U32(kPartStatsMagic);
+  w.U32(kPartStatsVersion);
+  w.U32(static_cast<uint32_t>(stats.specs().size()));
+  for (const SitSpec& spec : stats.specs()) {
+    w.U32(static_cast<uint32_t>(spec.attr.table));
+    w.U32(static_cast<uint32_t>(spec.attr.column));
+    w.U32(static_cast<uint32_t>(spec.expression.size()));
+    for (const Predicate& p : spec.expression) WritePredicate(w, p);
+  }
+  w.U32(static_cast<uint32_t>(stats.entries().size()));
+  for (const auto& [key, entry] : stats.entries()) {
+    w.U32(static_cast<uint32_t>(entry.table));
+    w.U32(static_cast<uint32_t>(entry.part));
+    w.U64(entry.generation);
+    w.F64(entry.rows);
+    w.U32(static_cast<uint32_t>(entry.pieces.size()));
+    for (size_t i = 0; i < entry.pieces.size(); ++i) {
+      WriteHistogram(w, entry.pieces[i]);
+      w.F64(entry.diffs[i]);
+    }
+  }
+  if (!w.ok()) return IoResult::Fail("write failed for '" + path + "'");
+  return IoResult::Ok();
+}
+
+namespace {
+
+IoResult ReadPartStatsStream(std::FILE* file, const std::string& name,
+                             const Catalog& catalog, PartStatsSet* out) {
+  Reader r(file);
+  if (r.U32() != kPartStatsMagic) {
+    return IoResult::Fail(name + " is not a condsel part-stats file");
+  }
+  if (r.U32() != kPartStatsVersion) {
+    return IoResult::Fail("unsupported part-stats version in " + name);
+  }
+  PartStatsSet stats;
+  const uint32_t num_specs = r.U32();
+  if (!r.ok() || num_specs > (1u << 20)) {
+    return IoResult::Fail("corrupt spec count");
+  }
+  std::vector<SitSpec> specs;
+  specs.reserve(num_specs);
+  for (uint32_t i = 0; i < num_specs; ++i) {
+    SitSpec spec;
+    spec.attr = ColumnRef{static_cast<TableId>(r.U32()),
+                          static_cast<ColumnId>(r.U32())};
+    if (!r.ok() || !ValidColumn(catalog, spec.attr)) {
+      return IoResult::Fail("spec attribute does not exist in the catalog");
+    }
+    const uint32_t num_preds = r.U32();
+    if (!r.ok() || num_preds > 64) {
+      return IoResult::Fail("corrupt spec expression");
+    }
+    for (uint32_t p = 0; p < num_preds; ++p) {
+      Predicate pred = Predicate::Filter(ColumnRef{0, 0}, 0, 0);
+      if (!ReadPredicate(r, catalog, &pred)) {
+        return IoResult::Fail("corrupt spec expression predicate");
+      }
+      spec.expression.push_back(pred);
+    }
+    specs.push_back(std::move(spec));
+  }
+  stats.SetSpecs(std::move(specs));
+  const uint32_t num_entries = r.U32();
+  if (!r.ok() || num_entries > (1u << 20)) {
+    return IoResult::Fail("corrupt entry count");
+  }
+  for (uint32_t i = 0; i < num_entries; ++i) {
+    PartStatsEntry entry;
+    entry.table = static_cast<TableId>(r.U32());
+    entry.part = static_cast<PartId>(r.U32());
+    entry.generation = r.U64();
+    entry.rows = r.F64();
+    if (!r.ok() || entry.table < 0 || entry.table >= catalog.num_tables()) {
+      return IoResult::Fail("part-stats entry references an unknown table");
+    }
+    const Table& table = catalog.table(entry.table);
+    const int pi = table.part_index(entry.part);
+    if (pi < 0) {
+      return IoResult::Fail("part-stats entry references an unknown part");
+    }
+    // A stamp from before (or after) the live part's generation means the
+    // pieces describe rows this part no longer holds: stale statistics
+    // must be rebuilt, not loaded.
+    if (entry.generation != table.part(static_cast<size_t>(pi)).generation()) {
+      return IoResult::Fail("stale part-stats entry (generation mismatch)");
+    }
+    // Negated form rejects a NaN row count.
+    if (!(entry.rows >= 0.0)) {
+      return IoResult::Fail("corrupt part-stats row count");
+    }
+    const uint32_t num_pieces = r.U32();
+    const size_t owned = stats.SpecsOwnedBy(entry.table).size();
+    if (!r.ok() || num_pieces != owned) {
+      return IoResult::Fail("part-stats pieces disagree with the spec list");
+    }
+    for (uint32_t p = 0; p < num_pieces; ++p) {
+      Histogram piece;
+      // ReadHistogram validates bucket shape before the Histogram
+      // constructor runs, so NaN frequencies fail softly here.
+      if (!ReadHistogram(r, &piece)) {
+        return IoResult::Fail("corrupt part-stats piece");
+      }
+      // The constructor does not check the cardinality; the merge weights
+      // divide by it, so reject NaN/negative values here.
+      if (!(piece.source_cardinality() >= 0.0)) {
+        return IoResult::Fail("corrupt part-stats piece cardinality");
+      }
+      const double diff = r.F64();
+      if (!r.ok() || !(diff >= 0.0 && diff <= 1.0)) {
+        return IoResult::Fail("corrupt part-stats diff");
+      }
+      entry.pieces.push_back(std::move(piece));
+      entry.diffs.push_back(diff);
+    }
+    if (stats.FindEntry(entry.table, entry.part) != nullptr) {
+      return IoResult::Fail("duplicate part-stats entry");
+    }
+    stats.PutEntry(std::move(entry));
+  }
+  *out = std::move(stats);
+  return IoResult::Ok();
+}
+
+}  // namespace
+
+IoResult ReadPartStats(const std::string& path, const Catalog& catalog,
+                       PartStatsSet* out) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return IoResult::Fail("cannot open '" + path + "'");
+  return ReadPartStatsStream(f.get(), "'" + path + "'", catalog, out);
+}
+
+IoResult ReadPartStatsFromBuffer(const void* data, size_t size,
+                                 const Catalog& catalog, PartStatsSet* out) {
+  if (data == nullptr || size == 0) {
+    return IoResult::Fail("empty part-stats buffer");
+  }
+  File f(fmemopen(const_cast<void*>(data), size, "rb"));
+  if (!f) return IoResult::Fail("cannot map part-stats buffer");
+  return ReadPartStatsStream(f.get(), "buffer", catalog, out);
+}
 
 IoResult ReadSitPool(const std::string& path, const Catalog& catalog,
                      SitPool* out) {

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "condsel/catalog/catalog.h"
+#include "condsel/catalog/part_stats.h"
 #include "condsel/common/status.h"
 #include "condsel/sit/sit_pool.h"
 
@@ -47,6 +48,16 @@ IoResult WriteSitPool(const SitPool& pool, const std::string& path);
 IoResult ReadSitPool(const std::string& path, const Catalog& catalog,
                      SitPool* out);
 
+// Per-part statistics (catalog/part_stats.h) <-> file. Reading validates
+// the image against `catalog` before any Histogram is constructed:
+// unknown columns or parts, corrupt pieces (NaN frequencies,
+// cardinalities, or diffs), misaligned piece vectors, and entries whose
+// generation stamp disagrees with the live part (stale statistics from
+// before a delta) are all rejected by value.
+IoResult WritePartStats(const PartStatsSet& stats, const std::string& path);
+IoResult ReadPartStats(const std::string& path, const Catalog& catalog,
+                       PartStatsSet* out);
+
 // In-memory variants: parse a serialized image without touching the
 // filesystem. Same validation and failure modes as the file readers;
 // used by embedders that ship statistics over the network, and by the
@@ -54,6 +65,8 @@ IoResult ReadSitPool(const std::string& path, const Catalog& catalog,
 IoResult ReadCatalogFromBuffer(const void* data, size_t size, Catalog* out);
 IoResult ReadSitPoolFromBuffer(const void* data, size_t size,
                                const Catalog& catalog, SitPool* out);
+IoResult ReadPartStatsFromBuffer(const void* data, size_t size,
+                                 const Catalog& catalog, PartStatsSet* out);
 
 }  // namespace condsel
 

@@ -41,6 +41,49 @@ int BucketsInRange(const Histogram& h, int64_t lo, int64_t hi) {
   return n;
 }
 
+// Visits (histogram, merge weight) for every piece of a partitioned SIT,
+// or the flat histogram with weight 1.0 for an unpartitioned one. The
+// weight is the piece's share of the statistic's source cardinality: the
+// pieces describe disjoint slices of the expression result, so the
+// result's distribution is exactly their cardinality-weighted mixture.
+// The single-piece case multiplies by the literal 1.0 and accumulates
+// into 0.0, both exact in IEEE arithmetic — which is what keeps
+// unpartitioned (and single-part) databases bit-identical to the
+// pre-partitioning estimates through the shared loops below.
+template <typename Fn>
+CONDSEL_HOT void ForEachPiece(const Sit& sit, Fn&& fn) {
+  if (!sit.is_partitioned()) {
+    fn(sit.histogram, 1.0);
+    return;
+  }
+  double total = 0.0;
+  for (const SitPart& p : sit.parts) {
+    total += p.histogram.source_cardinality();
+  }
+  if (!(total > 0.0)) {
+    // All-empty pieces (or corrupt cardinalities already rejected
+    // upstream): fall back to the merged summary.
+    fn(sit.histogram, 1.0);
+    return;
+  }
+  for (const SitPart& p : sit.parts) {
+    fn(p.histogram, p.histogram.source_cardinality() / total);
+  }
+}
+
+// Sum of per-piece buckets a range lookup reads (provenance accounting).
+int BucketsInRangeMerged(const Sit& sit, int64_t lo, int64_t hi) {
+  int n = 0;
+  ForEachPiece(sit, [&](const Histogram& h, double) {
+    n += BucketsInRange(h, lo, hi);
+  });
+  return n;
+}
+
+int NumPieces(const Sit& sit) {
+  return static_cast<int>(sit.parts.size());
+}
+
 int BucketsInRange2d(const Histogram2d& h, int64_t x_lo, int64_t x_hi,
                      int64_t y_lo, int64_t y_hi) {
   int n = 0;
@@ -60,6 +103,7 @@ FactorProvenance MakeProvenance(const Sit& sit, const char* kind,
   prov.source = SitSource(sit);
   prov.histogram_kind = kind;
   prov.buckets_touched = buckets;
+  prov.merged_parts = NumPieces(sit);
   return prov;
 }
 
@@ -251,34 +295,55 @@ CONDSEL_HOT double AtomicSelectivityProvider::EstimateWith(
   }
   if (join_pred < 0) {
     CONDSEL_CHECK(sits.size() == 1);
+    const Sit& sit = *sits[0].sit;
     const Predicate& f = query.predicate(filters[0]);
     if (provenance != nullptr) {
-      const Sit& sit = *sits[0].sit;
-      provenance->push_back(MakeProvenance(
-          sit, sit.is_base() ? "base" : "sit-1d",
-          BucketsInRange(sit.histogram, f.lo(), f.hi())));
+      provenance->push_back(
+          MakeProvenance(sit, sit.is_base() ? "base" : "sit-1d",
+                         BucketsInRangeMerged(sit, f.lo(), f.hi())));
     }
-    return SanitizeSelectivity(
-        sits[0].sit->histogram.RangeSelectivity(f.lo(), f.hi()));
+    // Partitioned filter estimate: the pieces partition the source
+    // relation, so the selectivity is the cardinality-weighted sum of
+    // per-piece selectivities (one term with weight 1.0 when
+    // unpartitioned — the legacy lookup, bit for bit).
+    double sel = 0.0;
+    ForEachPiece(sit, [&](const Histogram& h, double w) {
+      sel += w * h.RangeSelectivity(f.lo(), f.hi());
+    });
+    return SanitizeSelectivity(sel);
   }
 
   CONDSEL_CHECK(sits.size() == 2);
-  const JoinEstimate je =
-      JoinHistograms(sits[0].sit->histogram, sits[1].sit->histogram);
-  double sel = je.selectivity;
-  // Example 3: remaining filters over the join attribute are estimated on
-  // the join's result histogram (frequencies are already normalized to
-  // the join result).
-  for (int f : filters) {
-    const Predicate& fp = query.predicate(f);
-    sel *= je.result.RangeSelectivity(fp.lo(), fp.hi());
-  }
+  const Sit& s0 = *sits[0].sit;
+  const Sit& s1 = *sits[1].sit;
+  // Partitioned join estimate: |R ⋈ S| = Σ_pq |R_p ⋈ S_q|, so the join
+  // selectivity (fraction of the cross product) is Σ_pq w_p w_q sel_pq.
+  // Remaining filters over the join attribute apply per pair on that
+  // pair's result histogram (Example 3), which keeps the filter factor
+  // aligned with the piece pair it restricts. An unpartitioned side is a
+  // single pseudo-piece of weight 1.0, so the unpartitioned ×
+  // unpartitioned case reproduces the legacy computation exactly.
+  double sel = 0.0;
+  ForEachPiece(s0, [&](const Histogram& h0, double w0) {
+    ForEachPiece(s1, [&](const Histogram& h1, double w1) {
+      const JoinEstimate je = JoinHistograms(h0, h1);
+      double pair_sel = je.selectivity;
+      for (int f : filters) {
+        const Predicate& fp = query.predicate(f);
+        pair_sel *= je.result.RangeSelectivity(fp.lo(), fp.hi());
+      }
+      sel += w0 * w1 * pair_sel;
+    });
+  });
   if (provenance != nullptr) {
-    // A histogram join walks every aligned bucket pair of its inputs.
+    // A histogram join walks every aligned bucket pair of its inputs
+    // (summed across pieces for a partitioned side).
     for (const SitCandidate& c : sits) {
-      provenance->push_back(MakeProvenance(
-          *c.sit, "join-input",
-          static_cast<int>(c.sit->histogram.buckets().size())));
+      int buckets = 0;
+      ForEachPiece(*c.sit, [&](const Histogram& h, double) {
+        buckets += static_cast<int>(h.buckets().size());
+      });
+      provenance->push_back(MakeProvenance(*c.sit, "join-input", buckets));
     }
   }
   return SanitizeSelectivity(sel);
@@ -323,13 +388,15 @@ std::vector<FactorProvenance> AtomicSelectivityProvider::Describe(
     const Sit& sit = *choice.sits.at(0).sit;
     const Predicate& f = query.predicate(filters[0]);
     out.push_back(MakeProvenance(sit, sit.is_base() ? "base" : "sit-1d",
-                                 BucketsInRange(sit.histogram, f.lo(),
-                                                f.hi())));
+                                 BucketsInRangeMerged(sit, f.lo(),
+                                                      f.hi())));
   } else {
     for (const SitCandidate& c : choice.sits) {
-      out.push_back(MakeProvenance(
-          *c.sit, "join-input",
-          static_cast<int>(c.sit->histogram.buckets().size())));
+      int buckets = 0;
+      ForEachPiece(*c.sit, [&](const Histogram& h, double) {
+        buckets += static_cast<int>(h.buckets().size());
+      });
+      out.push_back(MakeProvenance(*c.sit, "join-input", buckets));
     }
   }
   return out;
@@ -383,13 +450,16 @@ double AtomicSelectivityProvider::EstimateFilterWith(
   if (provenance != nullptr) {
     *provenance = MakeProvenance(
         *cand.sit, cand.sit->is_base() ? "base" : "sit-1d",
-        BucketsInRange(cand.sit->histogram, f.lo(), f.hi()));
+        BucketsInRangeMerged(*cand.sit, f.lo(), f.hi()));
   }
   // The raw histogram lookup does not sanitize — clamp here so a corrupted
   // bucket cannot leak a NaN factor into a product (or a recorded
   // derivation).
-  return SanitizeSelectivity(
-      cand.sit->histogram.RangeSelectivity(f.lo(), f.hi()));
+  double sel = 0.0;
+  ForEachPiece(*cand.sit, [&](const Histogram& h, double w) {
+    sel += w * h.RangeSelectivity(f.lo(), f.hi());
+  });
+  return SanitizeSelectivity(sel);
 }
 
 }  // namespace condsel

@@ -50,6 +50,10 @@ CONDSEL_HOT SelEstimate GetSelectivity::Compute(PredSet p) {
   // for the next call.
   const ScopedDeadline scoped(
       &deadline_, budget_ != nullptr ? budget_->deadline_seconds : 0.0);
+  // Bind the memo to the statistics generation behind the provider: if a
+  // delta refresh swapped the pool between Compute() calls, the cached
+  // subsets describe the old statistics and are dropped here.
+  memo_.BindGeneration(provider_->pool_generation());
   const int threads = budget_ != nullptr ? budget_->threads : 1;
   const MemoEntry& e =
       threads > 1 ? ComputeParallel(p, threads) : ComputeEntry(p);

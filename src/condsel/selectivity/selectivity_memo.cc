@@ -48,4 +48,24 @@ size_t SelectivityMemo::size() const {
   return entries_.size();
 }
 
+void SelectivityMemo::BindGeneration(uint64_t gen) {
+  std::unique_lock<OrderedSharedMutex> lock(mu_);
+  if (generation_bound_ && generation_ == gen) return;
+  if (generation_bound_) {
+    // Self-invalidation on a statistics refresh: an entry computed from
+    // the previous generation's histograms must never answer for the new
+    // one — that is precisely the staleness bug a bitmask-only key had.
+    index_.clear();
+    entries_.clear();
+    atoms_.clear();
+  }
+  generation_bound_ = true;
+  generation_ = gen;
+}
+
+uint64_t SelectivityMemo::bound_generation() const {
+  std::shared_lock<OrderedSharedMutex> lock(mu_);
+  return generation_;
+}
+
 }  // namespace condsel

@@ -61,6 +61,17 @@ class SelectivityMemo {
 
   size_t size() const CONDSEL_EXCLUDES(mu_);
 
+  // Binds the memo to a statistics generation. Entries cache estimates
+  // derived from one pool; a subset bitmask alone does not identify an
+  // estimate once the statistics behind it change. If `gen` differs from
+  // the bound generation (a delta refresh happened between Compute()
+  // calls), every entry and atom is dropped before rebinding. The first
+  // call binds without clearing. Entry references handed out before a
+  // rebind are invalidated — drivers call this only at the top of a
+  // Compute() pass, before taking any.
+  void BindGeneration(uint64_t gen) CONDSEL_EXCLUDES(mu_);
+  uint64_t bound_generation() const CONDSEL_EXCLUDES(mu_);
+
  private:
   // Reader-writer: the parallel driver's workers Find far more often than
   // they Insert (every candidate tail is a read), so shared read locks
@@ -71,6 +82,8 @@ class SelectivityMemo {
   std::unordered_map<PredSet, const MemoEntry*> index_
       CONDSEL_GUARDED_BY(mu_);
   std::unordered_map<int, DerivationAtom> atoms_ CONDSEL_GUARDED_BY(mu_);
+  bool generation_bound_ CONDSEL_GUARDED_BY(mu_) = false;
+  uint64_t generation_ CONDSEL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace condsel

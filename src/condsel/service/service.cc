@@ -78,6 +78,58 @@ StatusOr<uint64_t> EstimationService::Refresh(Catalog catalog, SitPool pool) {
   return publisher_.Publish(std::move(catalog), std::move(pool));
 }
 
+StatusOr<uint64_t> EstimationService::EnableDeltaMaintenance(
+    PartStatsMaintainer* maintainer) {
+  if (maintainer == nullptr) {
+    return StatusOr<uint64_t>(
+        Status::InvalidArgument("maintainer must not be null"));
+  }
+  const std::lock_guard<OrderedMutex> lock(maintenance_mu_);
+  maintainer_ = maintainer;
+  if (maintainer_->stats_generation() == 0) {
+    Status built = maintainer_->BuildAll();
+    if (!built.ok()) return StatusOr<uint64_t>(built);
+  }
+  StatusOr<std::shared_ptr<const SitPool>> pool = maintainer_->MergedPool();
+  if (!pool.ok()) return StatusOr<uint64_t>(pool.status());
+  // The snapshot gets its own catalog: Table copies share the immutable
+  // part data through their handles, so unchanged parts are never
+  // duplicated across epochs.
+  Catalog catalog = maintainer_->catalog();
+  SitPool pool_copy = *pool.value();
+  // The build and publish above block only other maintenance passes and
+  // refreshes; epoch_mu_ is taken only inside Publish's non-blocking
+  // scoped blocks, keeping the acquire path wait-free, hence:
+  // condsel-model: allow(blocking-reachable)
+  return publisher_.Publish(std::move(catalog), std::move(pool_copy));
+}
+
+StatusOr<DeltaReport> EstimationService::ApplyDelta(const DeltaBatch& batch) {
+  const std::lock_guard<OrderedMutex> lock(maintenance_mu_);
+  if (maintainer_ == nullptr) {
+    return StatusOr<DeltaReport>(Status::FailedPrecondition(
+        "delta maintenance is not enabled (call EnableDeltaMaintenance)"));
+  }
+  StatusOr<DeltaReport> report = maintainer_->ApplyDelta(batch);
+  if (!report.ok()) return report;
+  StatusOr<std::shared_ptr<const SitPool>> pool = maintainer_->MergedPool();
+  if (!pool.ok()) {
+    // The rebuilt entries failed validation (e.g. kCorruptPartStats):
+    // surface the error with the previous epoch still current rather
+    // than publish a poisoned pool.
+    return StatusOr<DeltaReport>(pool.status());
+  }
+  Catalog catalog = maintainer_->catalog();
+  SitPool pool_copy = *pool.value();
+  // Blocking here delays only other maintenance passes and refreshes;
+  // the acquire path stays wait-free (see EnableDeltaMaintenance), hence:
+  // condsel-model: allow(blocking-reachable)
+  StatusOr<uint64_t> epoch =
+      publisher_.Publish(std::move(catalog), std::move(pool_copy));
+  if (!epoch.ok()) return StatusOr<DeltaReport>(epoch.status());
+  return report;
+}
+
 EstimationBudget EstimationService::BudgetForMode(
     ServiceMode mode, double remaining_seconds) const {
   EstimationBudget budget;

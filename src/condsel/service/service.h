@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "condsel/api.h"
+#include "condsel/catalog/part_stats.h"
 #include "condsel/common/lock_ranks.h"
 #include "condsel/common/ordered_mutex.h"
 #include "condsel/common/rng.h"
@@ -123,6 +124,25 @@ class EstimationService {
   // epoch stays current.
   StatusOr<uint64_t> Refresh(Catalog catalog, SitPool pool);
 
+  // Wires `maintainer` (borrowed; must outlive the service) as the
+  // statistics maintenance back end and publishes its merged per-part
+  // statistics as a fresh epoch. Runs BuildAll first if the maintainer
+  // has never built its entries (stats_generation() == 0). Returns the
+  // published epoch.
+  StatusOr<uint64_t> EnableDeltaMaintenance(PartStatsMaintainer* maintainer)
+      CONDSEL_EXCLUDES(maintenance_mu_);
+
+  // Applies one insert/delete batch through the maintainer — rebuilding
+  // only the invalidated per-part statistics — and publishes the result
+  // as a delta-refreshed epoch. In-flight Submits keep their pinned
+  // epoch; the maintainer's catalog is never read by the estimate path,
+  // so concurrent Submit storms race only on the epoch swap. On any
+  // failure (invalid batch, corrupt rebuilt statistics, failed swap) the
+  // previous epoch stays current — a half-refreshed pool is never
+  // published. FAILED_PRECONDITION before EnableDeltaMaintenance.
+  StatusOr<DeltaReport> ApplyDelta(const DeltaBatch& batch)
+      CONDSEL_EXCLUDES(maintenance_mu_);
+
   // One estimation request for `tenant`. Runs admission, pins a
   // snapshot, estimates (with retries per the policy), and accounts the
   // outcome. Errors:
@@ -190,6 +210,15 @@ class EstimationService {
   mutable OrderedMutex jitter_mu_{lock_rank::kServiceJitter,
                                   "EstimationService::jitter_mu_"};
   Rng jitter_rng_ CONDSEL_GUARDED_BY(jitter_mu_);
+
+  // Serializes delta maintenance end-to-end: the catalog mutation, the
+  // part-stats rebuild, and the publish of the refreshed epoch. Outer to
+  // the snapshot pair (a maintenance pass finishes inside Publish); never
+  // taken by the estimate path.
+  mutable OrderedMutex maintenance_mu_{lock_rank::kPartMaintenance,
+                                       "EstimationService::maintenance_mu_"};
+  PartStatsMaintainer* maintainer_ CONDSEL_GUARDED_BY(maintenance_mu_) =
+      nullptr;
 
   // Per-epoch feedback state, built lazily on first observation.
   // Outranked by jitter_mu_ and CardinalityCache::mu_: ObserveFeedback

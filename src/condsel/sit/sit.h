@@ -16,12 +16,24 @@
 #include "condsel/histogram/histogram.h"
 #include "condsel/histogram/histogram2d.h"
 #include "condsel/query/predicate.h"
+#include "condsel/storage/part.h"
 
 namespace condsel {
 
 class Catalog;
 
 using SitId = int32_t;
+
+// One part's contribution to a partitioned SIT: the same statistic
+// restricted to the rows of part `part` (at `generation`) of the owning
+// table — always attr.table, whose parts partition the expression result.
+// The piece histogram's source_cardinality carries its merge weight.
+struct SitPart {
+  PartId part = kInvalidPartId;
+  uint64_t generation = 0;
+  Histogram histogram;      // unidimensional pieces
+  Histogram2d histogram2d;  // multidimensional pieces
+};
 
 struct Sit {
   SitId id = -1;
@@ -35,6 +47,14 @@ struct Sit {
   std::vector<Predicate> expression;
   Histogram histogram;      // unidimensional SITs
   Histogram2d histogram2d;  // multidimensional SITs
+  // Per-part pieces of a partitioned SIT (catalog/part_stats.h), in the
+  // owning table's part order. Empty for an unpartitioned SIT — every
+  // consumer then reads the flat histogram exactly as before, which is
+  // what keeps single-part databases bit-identical. When pieces are
+  // present, `histogram` holds the cardinality-weighted merged summary
+  // (introspection and distinct-count math); selectivity estimation
+  // merges the pieces directly (AtomicSelectivityProvider).
+  std::vector<SitPart> parts;
   // For unidimensional SITs: the Section 3.5 divergence between the base
   // distribution of `attr` and its distribution on the expression result
   // (0 for base histograms by definition). For multidimensional SITs:
@@ -44,6 +64,7 @@ struct Sit {
 
   bool is_base() const { return expression.empty(); }
   bool is_multidim() const { return attr2.table != kInvalidTableId; }
+  bool is_partitioned() const { return !parts.empty(); }
   std::string ToString(const Catalog& catalog) const;
 };
 

@@ -42,6 +42,12 @@ Sit SitBuilder::Build(ColumnRef attr,
 std::vector<Sit> SitBuilder::BuildMany(
     const std::vector<ColumnRef>& attrs,
     std::vector<Predicate> expression) const {
+  return BuildManyImpl(attrs, std::move(expression), /*restriction=*/nullptr);
+}
+
+std::vector<Sit> SitBuilder::BuildManyImpl(
+    const std::vector<ColumnRef>& attrs, std::vector<Predicate> expression,
+    const RowRestriction* restriction) const {
   CONDSEL_CHECK(!expression.empty());
   std::sort(expression.begin(), expression.end());
 
@@ -53,13 +59,19 @@ std::vector<Sit> SitBuilder::BuildMany(
 
   // Evaluate the expression once; project each attribute from the
   // materialized result.
-  const JoinResult jr = evaluator_->EvaluateComponent(expr_query, all);
+  const JoinResult jr =
+      evaluator_->EvaluateComponent(expr_query, all, restriction);
   const size_t width = jr.tables.size();
   const Catalog& catalog = evaluator_->catalog();
 
   std::vector<Sit> out;
   out.reserve(attrs.size());
   for (const ColumnRef& attr : attrs) {
+    // Under a restriction the attribute must live in the restricted
+    // table: that is what makes the pieces over a table's parts a
+    // partition of the expression result.
+    CONDSEL_CHECK(restriction == nullptr ||
+                  attr.table == restriction->table);
     const int slot = jr.TableSlot(attr.table);
     CONDSEL_CHECK_MSG(slot >= 0,
                       "SIT attribute's table must appear in its expression");
@@ -75,8 +87,8 @@ std::vector<Sit> SitBuilder::BuildMany(
     Sit sit;
     sit.attr = attr;
     sit.expression = expression;
-    const ColumnProjection base =
-        evaluator_->ProjectColumn(Query(std::vector<Predicate>{}), 0, attr);
+    const ColumnProjection base = evaluator_->ProjectColumn(
+        Query(std::vector<Predicate>{}), 0, attr, restriction);
     sit.histogram = BuildHistogram(options_.histogram_type, values,
                                    static_cast<double>(jr.num_tuples),
                                    options_.max_buckets);
@@ -84,6 +96,35 @@ std::vector<Sit> SitBuilder::BuildMany(
     out.push_back(std::move(sit));
   }
   return out;
+}
+
+Sit SitBuilder::BuildForRange(ColumnRef attr,
+                              std::vector<Predicate> expression,
+                              size_t row_begin, size_t row_end) const {
+  const RowRestriction restriction{attr.table, row_begin, row_end};
+  if (expression.empty()) {
+    const ColumnProjection base = evaluator_->ProjectColumn(
+        Query(std::vector<Predicate>{}), 0, attr, &restriction);
+    Sit sit;
+    sit.attr = attr;
+    sit.histogram =
+        BuildHistogram(options_.histogram_type, base.values,
+                       static_cast<double>(base.total_tuples),
+                       options_.max_buckets);
+    sit.diff = 0.0;
+    return sit;
+  }
+  std::vector<Sit> sits =
+      BuildManyImpl({attr}, std::move(expression), &restriction);
+  return std::move(sits[0]);
+}
+
+std::vector<Sit> SitBuilder::BuildManyForRange(
+    const std::vector<ColumnRef>& attrs, std::vector<Predicate> expression,
+    size_t row_begin, size_t row_end) const {
+  CONDSEL_CHECK(!attrs.empty());
+  const RowRestriction restriction{attrs[0].table, row_begin, row_end};
+  return BuildManyImpl(attrs, std::move(expression), &restriction);
 }
 
 

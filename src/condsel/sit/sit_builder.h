@@ -43,9 +43,26 @@ class SitBuilder {
   Sit Build2d(ColumnRef a, ColumnRef b,
               std::vector<Predicate> expression) const;
 
+  // Part-scoped builds: the same statistics with the owning table —
+  // attr.table (every attrs entry for BuildManyForRange) — restricted to
+  // rows [row_begin, row_end), i.e. one part's slice. Other expression
+  // tables contribute all rows, so the pieces over a table's parts
+  // partition the expression result exactly. The diff divergence is
+  // likewise computed against the part's own base distribution. A
+  // full-range restriction reproduces the unrestricted build bit for bit.
+  Sit BuildForRange(ColumnRef attr, std::vector<Predicate> expression,
+                    size_t row_begin, size_t row_end) const;
+  std::vector<Sit> BuildManyForRange(const std::vector<ColumnRef>& attrs,
+                                     std::vector<Predicate> expression,
+                                     size_t row_begin, size_t row_end) const;
+
   const Catalog& catalog() const;
 
  private:
+  std::vector<Sit> BuildManyImpl(const std::vector<ColumnRef>& attrs,
+                                 std::vector<Predicate> expression,
+                                 const RowRestriction* restriction) const;
+
   Evaluator* evaluator_;
   SitBuildOptions options_;
 };

@@ -36,8 +36,16 @@ class SitPool {
   // True if a SIT with this (attr, canonical expression) already exists.
   bool Has(ColumnRef attr, const std::vector<Predicate>& expression) const;
 
+  // Statistics generation this pool was built from (0 for pools outside
+  // the delta-maintenance path). Estimate caches keyed by predicate sets
+  // bind to this stamp: two pools with different generations may assign
+  // the same SitId to different statistics contents.
+  uint64_t generation() const { return generation_; }
+  void set_generation(uint64_t g) { generation_ = g; }
+
  private:
   std::vector<Sit> sits_;
+  uint64_t generation_ = 0;
   std::map<std::tuple<ColumnRef, ColumnRef, std::vector<Predicate>>,
            SitId>
       index_;

@@ -1,0 +1,16 @@
+#include "condsel/storage/part.h"
+
+#include <utility>
+
+#include "condsel/common/macros.h"
+
+namespace condsel {
+
+Part::Part(PartId id, uint64_t generation, std::vector<Column> columns)
+    : id_(id), generation_(generation), columns_(std::move(columns)) {
+  num_rows_ = columns_.empty() ? 0 : columns_[0].size();
+  // invariant: a part is rectangular.
+  for (const Column& c : columns_) CONDSEL_CHECK(c.size() == num_rows_);
+}
+
+}  // namespace condsel

@@ -1,0 +1,58 @@
+// Immutable storage segment of a Table.
+//
+// A Part owns a column-major slice of a table's rows and never changes
+// after construction. Tables are a sequence of parts plus a mutable tail
+// (table.h); deletes rewrite the owning part under the same id with a
+// bumped generation, and inserts seal the tail into a brand-new part.
+// Statistics are built per part and tagged with (id, generation), so a
+// maintainer can tell exactly which statistics a delta invalidated
+// (catalog/part_stats.h). Parts are shared by shared_ptr: copying a
+// Table — e.g. into a service snapshot — shares every sealed segment
+// structurally, which is what makes delta refreshes cheap.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "condsel/catalog/schema.h"
+#include "condsel/storage/column.h"
+
+namespace condsel {
+
+// Identifies a part within its table. Ids are assigned sequentially at
+// seal time and survive rewrites (a delete bumps the generation, not the
+// id); an id disappears only when every row of the part is deleted.
+using PartId = int32_t;
+
+inline constexpr PartId kInvalidPartId = -1;
+
+class Part {
+ public:
+  // All columns must agree on the row count.
+  Part(PartId id, uint64_t generation, std::vector<Column> columns);
+
+  PartId id() const { return id_; }
+  // Monotonically increasing per table; bumped when a delete rewrites
+  // the part. Statistics stamped with an older generation are stale.
+  uint64_t generation() const { return generation_; }
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(ColumnId c) const {
+    return columns_[static_cast<size_t>(c)];
+  }
+  int64_t value(size_t row, ColumnId c) const {
+    return columns_[static_cast<size_t>(c)][row];
+  }
+
+ private:
+  PartId id_;
+  uint64_t generation_;
+  size_t num_rows_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace condsel

@@ -1,26 +1,158 @@
 #include "condsel/storage/table.h"
 
+#include <utility>
+
 #include "condsel/common/macros.h"
 
 namespace condsel {
 
 Table::Table(TableSchema schema) : schema_(std::move(schema)) {
-  columns_.resize(schema_.columns.size());
+  tail_.resize(schema_.columns.size());
 }
 
 void Table::AppendRow(const std::vector<int64_t>& row) {
-  CONDSEL_CHECK(row.size() == columns_.size());
-  for (size_t c = 0; c < row.size(); ++c) columns_[c].Append(row[c]);
-  ++num_rows_;
+  CONDSEL_CHECK(row.size() == tail_.size());
+  for (size_t c = 0; c < row.size(); ++c) tail_[c].Append(row[c]);
+  ++tail_rows_;
 }
 
-void Table::SealRows() {
-  if (columns_.empty()) {
-    num_rows_ = 0;
-    return;
+PartId Table::SealTail() {
+  if (tail_rows_ == 0) return kInvalidPartId;
+  const PartId id = next_part_id_++;
+  parts_.push_back(std::make_shared<const Part>(id, next_generation_++,
+                                                std::move(tail_)));
+  ResetTail();
+  RecomputeOffsets();
+  return id;
+}
+
+PartId Table::LoadPart(std::vector<Column> columns) {
+  CONDSEL_CHECK(columns.size() == schema_.columns.size());
+  const PartId id = next_part_id_++;
+  parts_.push_back(std::make_shared<const Part>(id, next_generation_++,
+                                                std::move(columns)));
+  RecomputeOffsets();
+  return id;
+}
+
+void Table::RestorePart(PartId id, uint64_t generation,
+                        std::vector<Column> columns) {
+  CONDSEL_CHECK(columns.size() == schema_.columns.size());
+  CONDSEL_CHECK(part_index(id) < 0);  // invariant: ids are unique
+  parts_.push_back(std::make_shared<const Part>(id, generation,
+                                                std::move(columns)));
+  if (id >= next_part_id_) next_part_id_ = id + 1;
+  if (generation >= next_generation_) next_generation_ = generation + 1;
+  RecomputeOffsets();
+}
+
+void Table::RestoreTail(std::vector<Column> columns) {
+  CONDSEL_CHECK(columns.size() == schema_.columns.size());
+  const size_t rows = columns.empty() ? 0 : columns[0].size();
+  for (const Column& c : columns) CONDSEL_CHECK(c.size() == rows);
+  tail_ = std::move(columns);
+  tail_rows_ = rows;
+}
+
+int Table::part_index(PartId id) const {
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (parts_[i]->id() == id) return static_cast<int>(i);
   }
-  num_rows_ = columns_[0].size();
-  for (const Column& c : columns_) CONDSEL_CHECK(c.size() == num_rows_);
+  return -1;
+}
+
+std::vector<PartId> Table::DeleteRows(std::vector<size_t> rows) {
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  for (size_t r : rows) CONDSEL_CHECK(r < num_rows());
+  if (rows.empty()) return {};
+
+  std::vector<PartId> touched;
+  std::vector<std::shared_ptr<const Part>> rebuilt;
+  size_t next = 0;  // cursor into `rows`
+  for (size_t pi = 0; pi < parts_.size(); ++pi) {
+    const Part& p = *parts_[pi];
+    const size_t begin = offsets_[pi];
+    const size_t end = begin + p.num_rows();
+    // Local (part-relative) delete set for this part.
+    std::vector<size_t> local;
+    while (next < rows.size() && rows[next] < end) {
+      local.push_back(rows[next] - begin);
+      ++next;
+    }
+    if (local.empty()) {
+      rebuilt.push_back(parts_[pi]);
+      continue;
+    }
+    touched.push_back(p.id());
+    if (local.size() == p.num_rows()) continue;  // part fully deleted
+    std::vector<Column> cols(p.num_columns());
+    size_t li = 0;
+    std::vector<bool> gone(p.num_rows(), false);
+    for (size_t r : local) gone[r] = true;
+    for (size_t c = 0; c < p.num_columns(); ++c) {
+      std::vector<int64_t>& v = cols[c].mutable_values();
+      v.reserve(p.num_rows() - local.size());
+      const Column& src = p.column(static_cast<ColumnId>(c));
+      for (size_t r = 0; r < p.num_rows(); ++r) {
+        if (!gone[r]) v.push_back(src[r]);
+      }
+    }
+    (void)li;
+    rebuilt.push_back(std::make_shared<const Part>(
+        p.id(), next_generation_++, std::move(cols)));
+  }
+  parts_ = std::move(rebuilt);
+
+  // Tail deletes (global rows >= sealed_rows_, relative to the *old*
+  // sealed row count recorded in offsets_ before the rebuild).
+  if (next < rows.size()) {
+    std::vector<bool> gone(tail_rows_, false);
+    size_t removed = 0;
+    for (; next < rows.size(); ++next) {
+      gone[rows[next] - sealed_rows_] = true;
+      ++removed;
+    }
+    for (Column& col : tail_) {
+      std::vector<int64_t>& v = col.mutable_values();
+      std::vector<int64_t> kept;
+      kept.reserve(v.size() - removed);
+      for (size_t r = 0; r < v.size(); ++r) {
+        if (!gone[r]) kept.push_back(v[r]);
+      }
+      v = std::move(kept);
+    }
+    tail_rows_ -= removed;
+  }
+  RecomputeOffsets();
+  return touched;
+}
+
+Column Table::MaterializeColumn(ColumnId c) const {
+  Column out;
+  out.Reserve(num_rows());
+  for (const auto& p : parts_) {
+    for (const int64_t v : p->column(c).values()) out.Append(v);
+  }
+  const Column& tail = tail_[static_cast<size_t>(c)];
+  for (const int64_t v : tail.values()) out.Append(v);
+  return out;
+}
+
+void Table::RecomputeOffsets() {
+  offsets_.resize(parts_.size());
+  size_t off = 0;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    offsets_[i] = off;
+    off += parts_[i]->num_rows();
+  }
+  sealed_rows_ = off;
+}
+
+void Table::ResetTail() {
+  tail_.clear();
+  tail_.resize(schema_.columns.size());
+  tail_rows_ = 0;
 }
 
 }  // namespace condsel

@@ -1,13 +1,37 @@
-// Column-major in-memory table.
+// Column-major in-memory table, organized as immutable parts + a tail.
+//
+// Sealed rows live in immutable Part segments (part.h) shared by
+// shared_ptr; freshly appended rows accumulate in a mutable column-major
+// tail until SealTail() turns them into the next part. Row addressing is
+// global and stable across sealing: row r lives in the part whose
+// [offset, offset + part rows) range covers r, or in the tail past the
+// last sealed row. value()/num_rows() therefore behave exactly as they
+// did when the table was one flat column set — the executor and the
+// histogram builders are oblivious to partitioning.
+//
+// Mutation model:
+//  - AppendRow() extends the tail; SealTail() freezes it into a new part
+//    (fresh id, fresh generation);
+//  - LoadPart() bulk-loads prebuilt columns as one sealed part (datagen,
+//    deserialization);
+//  - DeleteRows() rewrites each part that lost rows in place — same id,
+//    bumped generation — so per-part statistics can be invalidated
+//    precisely; a part whose rows are all deleted disappears.
+//
+// Because parts are immutable and shared, copying a Table is O(parts):
+// snapshot epochs that differ by one delta share every untouched segment.
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "condsel/catalog/schema.h"
 #include "condsel/storage/column.h"
+#include "condsel/storage/part.h"
 
 namespace condsel {
 
@@ -17,32 +41,83 @@ class Table {
   explicit Table(TableSchema schema);
 
   const TableSchema& schema() const { return schema_; }
-  size_t num_rows() const { return num_rows_; }
+  size_t num_rows() const { return sealed_rows_ + tail_rows_; }
   ColumnId num_columns() const { return schema_.num_columns(); }
 
-  const Column& column(ColumnId c) const {
-    return columns_[static_cast<size_t>(c)];
-  }
-  Column& mutable_column(ColumnId c) {
-    return columns_[static_cast<size_t>(c)];
-  }
-
   int64_t value(size_t row, ColumnId c) const {
-    return columns_[static_cast<size_t>(c)][row];
+    if (row >= sealed_rows_) {
+      return tail_[static_cast<size_t>(c)][row - sealed_rows_];
+    }
+    const size_t pi = PartIndexOfRow(row);
+    return parts_[pi]->value(row - offsets_[pi], c);
   }
 
-  // Appends one row; `row` must have exactly num_columns() entries.
+  // Appends one row to the tail; `row` must have exactly num_columns()
+  // entries.
   void AppendRow(const std::vector<int64_t>& row);
 
-  // Declares the row count after columns were filled directly through
-  // mutable_column(); checks that every column has that many entries.
-  void SealRows();
+  // Freezes the tail into a new immutable part and returns its id, or
+  // kInvalidPartId when the tail is empty (no part is created).
+  PartId SealTail();
+
+  // Bulk-loads prebuilt columns (one per schema column, equal sizes) as
+  // one sealed part and returns its id.
+  PartId LoadPart(std::vector<Column> columns);
+
+  // Deserialization hooks: restore a sealed part under an explicit
+  // identity (parts must be restored in row order; the id/generation
+  // counters advance past the restored values), and restore the tail
+  // column set. Callers validate shape first — these CHECK.
+  void RestorePart(PartId id, uint64_t generation,
+                   std::vector<Column> columns);
+  void RestoreTail(std::vector<Column> columns);
+
+  // Deletes the given global row indices (any order, duplicates allowed;
+  // each must be < num_rows()). Every sealed part that lost rows is
+  // rewritten under its id with a bumped generation — or dropped when it
+  // lost all of them; tail rows are removed directly. Returns the ids of
+  // the touched parts (dropped ones included), in part order.
+  std::vector<PartId> DeleteRows(std::vector<size_t> rows);
+
+  // --- part inspection ---
+  size_t num_parts() const { return parts_.size(); }
+  const Part& part(size_t index) const { return *parts_[index]; }
+  // Shared ownership of a sealed segment; lets tests and the stats
+  // maintainer verify structural sharing across table copies.
+  std::shared_ptr<const Part> part_handle(size_t index) const {
+    return parts_[index];
+  }
+  // First global row of part `index`.
+  size_t part_row_offset(size_t index) const { return offsets_[index]; }
+  // Index of the part with id `id`, or -1 when no such part exists.
+  int part_index(PartId id) const;
+  // Rows sealed into parts (the tail starts at this global row).
+  size_t sealed_rows() const { return sealed_rows_; }
+  size_t tail_rows() const { return tail_rows_; }
+
+  // Concatenated copy of one column across parts and tail, in global row
+  // order. Cold-path convenience (generators, serialization, tests); the
+  // executor reads through value() instead.
+  Column MaterializeColumn(ColumnId c) const;
 
  private:
+  size_t PartIndexOfRow(size_t row) const {
+    // offsets_ is sorted; the owning part is the last offset <= row.
+    const auto it =
+        std::upper_bound(offsets_.begin(), offsets_.end(), row);
+    return static_cast<size_t>(it - offsets_.begin()) - 1;
+  }
+  void RecomputeOffsets();
+  void ResetTail();
+
   TableSchema schema_;
-  std::vector<Column> columns_;
-  size_t num_rows_ = 0;
+  std::vector<std::shared_ptr<const Part>> parts_;
+  std::vector<size_t> offsets_;  // start row of each part; offsets_[0] == 0
+  size_t sealed_rows_ = 0;
+  std::vector<Column> tail_;  // one per schema column
+  size_t tail_rows_ = 0;
+  PartId next_part_id_ = 0;
+  uint64_t next_generation_ = 1;
 };
 
 }  // namespace condsel
-

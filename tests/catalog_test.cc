@@ -35,15 +35,16 @@ TEST(TableTest, AppendRowAndAccess) {
   EXPECT_EQ(t.value(1, 1), 4);
 }
 
-TEST(TableTest, SealRowsChecksColumnLengths) {
+TEST(TableTest, LoadPartSealsColumns) {
   TableSchema s;
   s.name = "Y";
   s.columns = {{"c0", 0, 10, false}};
   Table t(s);
-  t.mutable_column(0).Append(1);
-  t.mutable_column(0).Append(2);
-  t.SealRows();
+  const PartId id = t.LoadPart({Column({1, 2})});
   EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_parts(), 1u);
+  EXPECT_EQ(t.part(0).id(), id);
+  EXPECT_EQ(t.tail_rows(), 0u);
 }
 
 TEST(SchemaTest, FindColumn) {

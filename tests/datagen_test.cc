@@ -103,8 +103,8 @@ TEST(SnowflakeTest, ForeignKeysMostlyResolve) {
   const Catalog c = BuildSnowflake(opt);
   // fact.fk_d2 has dangling NULLs; fact.fk_d1 does not.
   const Table& fact = c.table(c.FindTable("fact"));
-  EXPECT_EQ(fact.column(0).CountNonNull(), fact.num_rows());
-  const size_t non_null_d2 = fact.column(1).CountNonNull();
+  EXPECT_EQ(fact.MaterializeColumn(0).CountNonNull(), fact.num_rows());
+  const size_t non_null_d2 = fact.MaterializeColumn(1).CountNonNull();
   EXPECT_NEAR(static_cast<double>(non_null_d2),
               0.9 * static_cast<double>(fact.num_rows()),
               static_cast<double>(fact.num_rows()) * 0.02);
@@ -117,7 +117,7 @@ TEST(SnowflakeTest, FkSkewProducesJoinMultiplicitySkew) {
   const Catalog c = BuildSnowflake(opt);
   const Table& fact = c.table(c.FindTable("fact"));
   std::map<int64_t, int> counts;
-  for (int64_t v : fact.column(0).values()) ++counts[v];
+  for (int64_t v : fact.MaterializeColumn(0).values()) ++counts[v];
   // Dimension row 0 must be referenced far more often than the median row.
   const Table& dim1 = c.table(c.FindTable("dim1"));
   const int64_t mid = static_cast<int64_t>(dim1.num_rows() / 2);
@@ -167,7 +167,7 @@ TEST(TpchLiteTest, NationSkew) {
   const Table& cust = c.table(c.FindTable("customer"));
   const ColumnId nation = cust.schema().FindColumn("c_nation");
   size_t usa = 0;
-  for (int64_t v : cust.column(nation).values()) usa += (v == 0);
+  for (int64_t v : cust.MaterializeColumn(nation).values()) usa += (v == 0);
   EXPECT_NEAR(static_cast<double>(usa) / static_cast<double>(cust.num_rows()),
               0.7, 0.05);
 }

@@ -52,7 +52,8 @@ TEST_F(SerializeTest, CatalogRoundTrip) {
     for (ColumnId c = 0; c < a.num_columns(); ++c) {
       EXPECT_EQ(a.schema().columns[static_cast<size_t>(c)].is_key,
                 b.schema().columns[static_cast<size_t>(c)].is_key);
-      EXPECT_EQ(a.column(c).values(), b.column(c).values());
+      EXPECT_EQ(a.MaterializeColumn(c).values(),
+                b.MaterializeColumn(c).values());
     }
   }
   ASSERT_EQ(loaded.foreign_keys().size(), 1u);
@@ -359,6 +360,164 @@ TEST_F(SerializeTest, RejectsNaNHistogramPayload) {
   const IoResult r = ReadSitPool(path, catalog_, &p);
   ASSERT_FALSE(r.ok);
   EXPECT_NE(r.error.find("histogram"), std::string::npos);
+}
+
+class PartStatsSerializeTest : public SerializeTest {
+ protected:
+  PartStatsSerializeTest()
+      : workload_({Query({Predicate::Join({0, 1}, {1, 0}),
+                          Predicate::Filter({0, 0}, 1, 5)})}),
+        maintainer_(&catalog_, workload_, 1, {HistogramType::kMaxDiff, 64}) {
+    EXPECT_TRUE(maintainer_.BuildAll().ok());
+  }
+
+  // Wire layout of the image this fixture writes (see WritePartStats):
+  // magic + version + spec count (12), then 4 specs — three base specs
+  // (12 bytes each) and one with a single join predicate (12 + 20) — then
+  // the entry count (4) and the entries in (table, part) order. The first
+  // entry is R's: header 4 + 4 + 8, rows f64, piece count u32, then the
+  // first piece (base R.a) starting with its source-cardinality f64.
+  static constexpr size_t kFirstEntryRowsAt = 12 + (3 * 12 + 32) + 4 + 16;
+  static constexpr size_t kFirstPieceCountAt = kFirstEntryRowsAt + 8;
+  static constexpr size_t kFirstPieceCardinalityAt = kFirstPieceCountAt + 4;
+
+  std::vector<Query> workload_;
+  PartStatsMaintainer maintainer_;
+};
+
+TEST_F(PartStatsSerializeTest, RoundTrip) {
+  const std::string path = TempPath("part_stats.bin");
+  ASSERT_TRUE(WritePartStats(maintainer_.stats(), path).ok);
+  PartStatsSet loaded;
+  const IoResult r = ReadPartStats(path, catalog_, &loaded);
+  ASSERT_TRUE(r.ok) << r.error;
+
+  EXPECT_EQ(loaded.specs(), maintainer_.stats().specs());
+  ASSERT_EQ(loaded.entries().size(), maintainer_.stats().entries().size());
+  for (const auto& [key, want] : maintainer_.stats().entries()) {
+    const PartStatsEntry* got = loaded.FindEntry(key.first, key.second);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->generation, want.generation);
+    EXPECT_EQ(got->rows, want.rows);
+    EXPECT_EQ(got->diffs, want.diffs);
+    ASSERT_EQ(got->pieces.size(), want.pieces.size());
+    for (size_t i = 0; i < want.pieces.size(); ++i) {
+      EXPECT_EQ(got->pieces[i].source_cardinality(),
+                want.pieces[i].source_cardinality());
+      ASSERT_EQ(got->pieces[i].num_buckets(), want.pieces[i].num_buckets());
+      for (size_t b = 0; b < want.pieces[i].num_buckets(); ++b) {
+        EXPECT_EQ(got->pieces[i].buckets()[b].frequency,
+                  want.pieces[i].buckets()[b].frequency);
+      }
+    }
+  }
+  // The loaded set is immediately servable.
+  EXPECT_TRUE(loaded.Audit(catalog_).ok());
+  EXPECT_TRUE(loaded.BuildMergedPool(catalog_, 64).ok());
+}
+
+TEST_F(PartStatsSerializeTest, TruncationAtEveryOffsetFailsCleanly) {
+  const std::string path = TempPath("part_stats_full.bin");
+  ASSERT_TRUE(WritePartStats(maintainer_.stats(), path).ok);
+  const std::vector<unsigned char> bytes = ReadAll(path);
+  const std::string cut = TempPath("part_stats_cut.bin");
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    WriteAll(cut, {bytes.begin(), bytes.begin() + n});
+    PartStatsSet s;
+    const IoResult r = ReadPartStats(cut, catalog_, &s);
+    EXPECT_FALSE(r.ok) << "truncated at " << n;
+    EXPECT_FALSE(r.error.empty()) << "truncated at " << n;
+  }
+}
+
+TEST_F(PartStatsSerializeTest, RejectsNaNPieceCardinality) {
+  // NaN survives the Histogram constructor's bucket checks (it only
+  // CHECKs frequencies), so the reader must reject it by value — this is
+  // the serialized twin of the kCorruptPartStats fault.
+  const std::string path = TempPath("part_stats_nan.bin");
+  ASSERT_TRUE(WritePartStats(maintainer_.stats(), path).ok);
+  std::vector<unsigned char> bytes = ReadAll(path);
+  ASSERT_LT(kFirstPieceCardinalityAt + 8, bytes.size());
+  // Guard the offset arithmetic: both fields should read 10.0 (R has 10
+  // rows; the first piece is R.a's base histogram over those rows).
+  double probe = 0.0;
+  std::memcpy(&probe, &bytes[kFirstEntryRowsAt], sizeof(probe));
+  ASSERT_EQ(probe, 10.0);
+  std::memcpy(&probe, &bytes[kFirstPieceCardinalityAt], sizeof(probe));
+  ASSERT_EQ(probe, 10.0);
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::memcpy(&bytes[kFirstPieceCardinalityAt], &nan, sizeof(nan));
+  WriteAll(path, bytes);
+  PartStatsSet s;
+  const IoResult r = ReadPartStats(path, catalog_, &s);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("cardinality"), std::string::npos) << r.error;
+
+  // A NaN row count is rejected the same way.
+  bytes = ReadAll(TempPath("part_stats_nan.bin"));
+  std::memcpy(&bytes[kFirstEntryRowsAt], &nan, sizeof(nan));
+  WriteAll(path, bytes);
+  EXPECT_FALSE(ReadPartStats(path, catalog_, &s).ok);
+}
+
+TEST_F(PartStatsSerializeTest, RejectsMisalignedPieceVector) {
+  const std::string path = TempPath("part_stats_misaligned.bin");
+  ASSERT_TRUE(WritePartStats(maintainer_.stats(), path).ok);
+  std::vector<unsigned char> bytes = ReadAll(path);
+  // R owns three specs; claim two so the vector no longer aligns with
+  // SpecsOwnedBy.
+  ASSERT_EQ(bytes[kFirstPieceCountAt], 3u);
+  bytes[kFirstPieceCountAt] = 2;
+  WriteAll(path, bytes);
+  PartStatsSet s;
+  const IoResult r = ReadPartStats(path, catalog_, &s);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("disagree"), std::string::npos) << r.error;
+}
+
+TEST_F(PartStatsSerializeTest, RejectsStaleGenerationAfterDelta) {
+  // Statistics written before a data change must not load against the
+  // mutated catalog: the rewritten part carries a newer generation than
+  // the entry's stamp.
+  const std::string path = TempPath("part_stats_stale.bin");
+  ASSERT_TRUE(WritePartStats(maintainer_.stats(), path).ok);
+  catalog_.mutable_table(0).DeleteRows({0});
+  PartStatsSet s;
+  const IoResult r = ReadPartStats(path, catalog_, &s);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("stale"), std::string::npos) << r.error;
+}
+
+TEST_F(PartStatsSerializeTest, FlippedBytesNeverCrash) {
+  // Flip every byte in turn: loads may succeed when the byte is a
+  // don't-care, but anything accepted must satisfy the same invariants
+  // the fuzz harness enforces.
+  const std::string path = TempPath("part_stats_flip_base.bin");
+  ASSERT_TRUE(WritePartStats(maintainer_.stats(), path).ok);
+  const std::vector<unsigned char> bytes = ReadAll(path);
+  const std::string flipped = TempPath("part_stats_flipped.bin");
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<unsigned char> mutated = bytes;
+    mutated[i] ^= 0xFF;
+    WriteAll(flipped, mutated);
+    PartStatsSet s;
+    const IoResult r = ReadPartStats(flipped, catalog_, &s);
+    if (!r.ok) {
+      EXPECT_FALSE(r.error.empty()) << "byte " << i;
+      continue;
+    }
+    for (const auto& [key, entry] : s.entries()) {
+      const Table& table = catalog_.table(entry.table);
+      const int pi = table.part_index(entry.part);
+      ASSERT_GE(pi, 0) << "byte " << i;
+      EXPECT_EQ(entry.generation,
+                table.part(static_cast<size_t>(pi)).generation())
+          << "byte " << i;
+      EXPECT_EQ(entry.pieces.size(), s.SpecsOwnedBy(entry.table).size())
+          << "byte " << i;
+    }
+  }
 }
 
 TEST_F(SerializeTest, IoStatusLiftsResultsIntoStatusVocabulary) {

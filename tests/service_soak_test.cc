@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "condsel/api.h"
+#include "condsel/catalog/part_stats.h"
 #include "condsel/common/fault_injector.h"
 #include "condsel/datagen/snowflake.h"
 #include "condsel/datagen/workload.h"
@@ -38,6 +40,7 @@
 #include "condsel/sit/sit_builder.h"
 #include "condsel/sit/sit_matcher.h"
 #include "condsel/sit/sit_pool.h"
+#include "test_util.h"
 
 namespace condsel {
 namespace {
@@ -281,6 +284,102 @@ TEST_F(ServiceSoakTest, PinnedEpochSurvivesRefreshStorm) {
   refresher.join();
   EXPECT_GT(distinct_epochs, 1u);  // the storm really rotated under us
   EXPECT_EQ(service.Stats().incoherent_snapshots, 0u);
+}
+
+// A maintenance thread streams ApplyDelta batches (inserts sealing new
+// parts, deletes shrinking old ones) while session threads hammer
+// Submit. The maintainer mutates its own catalog under maintenance_mu_;
+// submits run against immutable snapshot copies, so the only shared
+// state is the atomic epoch swap — TSan (the CI chaos-soak step) proves
+// that claim.
+TEST(ServiceDeltaSoakTest, DeltaMaintenanceStorm) {
+  constexpr int kSessionThreads = 4;
+  constexpr int kSubmitsPerThread = 12;
+  constexpr int kDeltas = 15;
+
+  Catalog catalog;
+  {
+    Table fact = test::MakeTable("F", {"a", "d_id"}, {});
+    int row = 0;
+    for (int p = 0; p < 3; ++p) {
+      for (int r = 0; r < 20; ++r, ++row) {
+        fact.AppendRow({(row * 7) % 100, row % 10});
+      }
+      fact.SealTail();
+    }
+    catalog.AddTable(std::move(fact));
+    std::vector<std::vector<int64_t>> dim_rows;
+    for (int64_t i = 0; i < 10; ++i) dim_rows.push_back({i, i * 3});
+    Table dim = test::MakeTable("D", {"pk", "c"}, dim_rows, {true, false});
+    dim.SealTail();
+    catalog.AddTable(std::move(dim));
+  }
+  const Query query({Predicate::Join({0, 1}, {1, 0}),
+                     Predicate::Filter({0, 0}, 10, 60)});
+  PartStatsMaintainer maintainer(&catalog, {query}, 1,
+                                 {HistogramType::kMaxDiff, 64});
+
+  EstimationService service;
+  ASSERT_TRUE(service.EnableDeltaMaintenance(&maintainer).ok());
+
+  std::atomic<uint64_t> ok_count{0};
+  std::atomic<uint64_t> bad_estimates{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> deltas_failed{0};
+
+  std::thread maintenance([&]() {
+    for (int i = 0; i < kDeltas; ++i) {
+      DeltaBatch batch;
+      batch.table = 0;
+      batch.insert_rows = {{(i * 13) % 100, i % 10},
+                           {(i * 31) % 100, (i + 3) % 10}};
+      if (i % 4 == 3) batch.delete_rows = {0};
+      if (!service.ApplyDelta(batch).ok()) {
+        deltas_failed.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> sessions;
+  for (int t = 0; t < kSessionThreads; ++t) {
+    sessions.emplace_back([&, t]() {
+      const std::string tenant = "tenant-" + std::to_string(t);
+      for (int i = 0; i < kSubmitsPerThread; ++i) {
+        const StatusOr<ServiceEstimate> r = service.Submit(tenant, query);
+        if (!r.ok()) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        ok_count.fetch_add(1, std::memory_order_relaxed);
+        const double sel = r.value().selectivity;
+        if (!(sel >= 0.0) || !(sel <= 1.0) || r.value().epoch == 0) {
+          bad_estimates.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  maintenance.join();
+  for (std::thread& s : sessions) s.join();
+
+  EXPECT_EQ(deltas_failed.load(), 0u);
+  EXPECT_EQ(failed.load(), 0u);
+  EXPECT_EQ(bad_estimates.load(), 0u);
+  EXPECT_EQ(ok_count.load(),
+            static_cast<uint64_t>(kSessionThreads * kSubmitsPerThread));
+  // Every delta published exactly one epoch on top of the enable epoch.
+  EXPECT_EQ(service.current_epoch(), 1u + kDeltas);
+  EXPECT_EQ(service.Stats().incoherent_snapshots, 0u);
+
+  // At quiescence the service serves exactly the maintainer's final
+  // statistics, bit for bit.
+  SitPool pool = *maintainer.MergedPool().value();
+  Estimator direct(&maintainer.catalog(), &pool, Ranking::kDiff);
+  const StatusOr<double> sel = direct.TryEstimateSelectivity(query);
+  ASSERT_TRUE(sel.ok());
+  const StatusOr<ServiceEstimate> final_submit = service.Submit("t", query);
+  ASSERT_TRUE(final_submit.ok());
+  EXPECT_EQ(final_submit.value().selectivity, sel.value());
 }
 
 }  // namespace

@@ -64,13 +64,17 @@ comment on the same or the preceding line):
   no-raw-histogram-lookup
                         estimator code (src/condsel/{selectivity,baselines,
                         optimizer}/) must not call the histogram selectivity
-                        accessors (RangeSelectivity / EqualsSelectivity)
-                        directly — AtomicSelectivityProvider
+                        accessors (RangeSelectivity / EqualsSelectivity),
+                        read a SIT's per-part piece vector (`sit.parts`),
+                        or touch PartStatsSet/PartStatsEntry directly —
+                        AtomicSelectivityProvider
                         (selectivity/atomic_provider.cc, the one exempt
-                        file) is the single lookup layer, so sanitization,
-                        fault injection, and FactorProvenance cannot be
-                        bypassed. histogram/ itself and the non-estimator
-                        approximation layers are out of scope.
+                        file) is the single lookup *and* part-merge layer,
+                        so sanitization, fault injection, the
+                        cardinality-weighted merge, and FactorProvenance
+                        cannot be bypassed. histogram/ itself and the
+                        non-estimator approximation layers are out of
+                        scope.
   raw-set-deadline      library code under src/ must not park a deadline in
                         shared mutable state via a `set_deadline(...)`
                         setter: deadlines are per-call arguments (Score's
@@ -303,6 +307,13 @@ def check_guarded_by(path: str, text: str, lines: list[str]) -> list[Finding]:
 
 RAW_HISTOGRAM_RE = re.compile(
     r"(?:\.|->)\s*(RangeSelectivity|EqualsSelectivity)\s*\(")
+# Partitioned statistics: a Sit's per-part piece vector and the stored
+# PartStatsSet/PartStatsEntry containers. Estimator code reading these
+# directly would re-implement the cardinality-weighted merge (and skip
+# its validation); AtomicSelectivityProvider's ForEachPiece is the only
+# sanctioned merge loop.
+RAW_PART_PIECES_RE = re.compile(r"(?:\.|->)\s*parts\s*(?:\[|\.|\b)")
+RAW_PART_STATS_RE = re.compile(r"\bPartStats(?:Set|Entry)\b")
 ESTIMATOR_DIRS = ("src/condsel/selectivity/", "src/condsel/baselines/",
                   "src/condsel/optimizer/")
 
@@ -317,15 +328,30 @@ def check_raw_histogram_lookup(path: str, text: str,
     for i, line in enumerate(lines):
         code = line.split("//")[0]
         m = RAW_HISTOGRAM_RE.search(code)
-        if not m:
+        part_reason = None
+        if m:
+            part_reason = (
+                f"estimator code calls Histogram::{m.group(1)} directly; "
+                "route the lookup through AtomicSelectivityProvider so "
+                "sanitization, fault hooks, and provenance apply")
+        elif RAW_PART_PIECES_RE.search(code):
+            part_reason = (
+                "estimator code reads a SIT's per-part pieces directly; "
+                "the cardinality-weighted merge lives in "
+                "AtomicSelectivityProvider (ForEachPiece) so partitioned "
+                "and flat statistics estimate through one code path")
+        elif RAW_PART_STATS_RE.search(code):
+            part_reason = (
+                "estimator code touches PartStatsSet/PartStatsEntry "
+                "directly; estimators consume the merged SitPool — "
+                "per-part storage is the maintenance layer's, behind "
+                "BuildMergedPool's validation")
+        if part_reason is None:
             continue
         if _allowed(lines, i, "no-raw-histogram-lookup"):
             continue
         findings.append(Finding(
-            path, i + 1, "no-raw-histogram-lookup",
-            f"estimator code calls Histogram::{m.group(1)} directly; "
-            "route the lookup through AtomicSelectivityProvider so "
-            "sanitization, fault hooks, and provenance apply"))
+            path, i + 1, "no-raw-histogram-lookup", part_reason))
     return findings
 
 

@@ -1,0 +1,30 @@
+// Fixture: estimator code reaching into partitioned statistics directly
+// — iterating a SIT's per-part pieces and consuming a PartStatsSet —
+// instead of estimating through AtomicSelectivityProvider's merge loop.
+// Hand-rolled merges skip the cardinality weighting, the corrupt-piece
+// validation, and provenance recording.
+// lint-fixture-path: src/condsel/selectivity/bad_raw_part_stats_access.cc
+// lint-expect: no-raw-histogram-lookup
+
+#include "condsel/catalog/part_stats.h"
+#include "condsel/sit/sit.h"
+
+namespace condsel {
+
+double MergeByHand(const Sit& sit, int64_t lo, int64_t hi) {
+  double merged = 0.0;
+  for (const SitPart& piece : sit.parts) {
+    merged += piece.histogram.source_cardinality();
+  }
+  (void)lo;
+  (void)hi;
+  return merged;
+}
+
+double FirstPieceRows(const PartStatsSet& stats, TableId table,
+                      PartId part) {
+  const PartStatsEntry* entry = stats.FindEntry(table, part);
+  return entry != nullptr ? entry->rows : 0.0;
+}
+
+}  // namespace condsel

@@ -1,0 +1,27 @@
+// Fixture: the sanctioned merge layer. Inside atomic_provider.cc the
+// per-part piece iteration and the histogram selectivity accessors are
+// exactly where they belong — the rule's one exempt file — so this file
+// must produce zero findings despite doing everything the bad fixtures
+// are flagged for.
+// lint-fixture-path: src/condsel/selectivity/atomic_provider.cc
+
+#include "condsel/common/numeric.h"
+#include "condsel/sit/sit.h"
+
+namespace condsel {
+
+double MergePieces(const Sit& sit, int64_t lo, int64_t hi) {
+  if (!sit.is_partitioned()) {
+    return SanitizeSelectivity(sit.histogram.RangeSelectivity(lo, hi));
+  }
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const SitPart& piece : sit.parts) {
+    const double rows = piece.histogram.source_cardinality();
+    weighted += rows * piece.histogram.RangeSelectivity(lo, hi);
+    total += rows;
+  }
+  return SanitizeSelectivity(total > 0.0 ? weighted / total : 0.0);
+}
+
+}  // namespace condsel
