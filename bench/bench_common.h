@@ -220,13 +220,72 @@ struct BenchEnv {
   }
 };
 
+// Allocates through every replaced operator-new form below, checking the
+// counter moves for each. Returns nullptr on success, else the name of
+// the first form whose allocation the counter missed — benches CHECK this
+// at startup so allocs_per_estimate can't silently undercount, and
+// tests/bench_alloc_hook_test.cc asserts it per form. Direct calls to the
+// operator functions (not new-expressions) are used because the compiler
+// may legally elide paired new/delete expressions, which would make the
+// probe vacuous.
+inline const char* AllocHookSelfTest() {
+  struct Probe {
+    const char* name;
+    void* (*alloc)();
+    void (*free)(void*);
+  };
+  static const Probe kProbes[] = {
+      {"operator new", []() { return ::operator new(32); },
+       [](void* p) { ::operator delete(p); }},
+      {"operator new[]", []() { return ::operator new[](32); },
+       [](void* p) { ::operator delete[](p); }},
+      {"operator new(nothrow)",
+       []() { return ::operator new(32, std::nothrow); },
+       [](void* p) { ::operator delete(p, std::nothrow); }},
+      {"operator new[](nothrow)",
+       []() { return ::operator new[](32, std::nothrow); },
+       [](void* p) { ::operator delete[](p, std::nothrow); }},
+      {"operator new(align)",
+       []() { return ::operator new(64, std::align_val_t{64}); },
+       [](void* p) { ::operator delete(p, std::align_val_t{64}); }},
+      {"operator new[](align)",
+       []() { return ::operator new[](64, std::align_val_t{64}); },
+       [](void* p) { ::operator delete[](p, std::align_val_t{64}); }},
+      {"operator new(align, nothrow)",
+       []() {
+         return ::operator new(64, std::align_val_t{64}, std::nothrow);
+       },
+       [](void* p) {
+         ::operator delete(p, std::align_val_t{64}, std::nothrow);
+       }},
+      {"operator new[](align, nothrow)",
+       []() {
+         return ::operator new[](64, std::align_val_t{64}, std::nothrow);
+       },
+       [](void* p) {
+         ::operator delete[](p, std::align_val_t{64}, std::nothrow);
+       }},
+  };
+  for (const Probe& probe : kProbes) {
+    const uint64_t before = AllocCount();
+    void* p = probe.alloc();
+    const bool counted = AllocCount() > before;
+    if (p != nullptr) probe.free(p);
+    if (p == nullptr || !counted) return probe.name;
+  }
+  return nullptr;
+}
+
 }  // namespace bench
 }  // namespace condsel
 
-// Program-global allocation hooks backing AllocCount() above. Only the
-// ordinary (unaligned, throwing) forms are replaced: libstdc++'s default
-// sized and nothrow variants forward here, and over-aligned allocations
-// are rare enough on the measured paths not to matter for the ratio.
+// Program-global allocation hooks backing AllocCount() above. Every
+// replaceable allocation form is counted: ordinary, array, nothrow, and
+// over-aligned. The over-aligned forms must be replaced explicitly —
+// libstdc++'s defaults go straight to aligned_alloc rather than
+// forwarding to ordinary operator new, so leaving them out silently
+// undercounts every allocation of an alignas(>16) type.
+// AllocHookSelfTest() above exercises each form.
 void* operator new(std::size_t size) {
   condsel::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size ? size : 1)) return p;
@@ -235,8 +294,68 @@ void* operator new(std::size_t size) {
 
 void* operator new[](std::size_t size) { return ::operator new(size); }
 
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  condsel::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  condsel::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  // posix_memalign wants alignment ≥ sizeof(void*); align_val_t is
+  // already a power of two by construction.
+  std::size_t a = static_cast<std::size_t>(align);
+  if (a < sizeof(void*)) a = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, a, size ? size : 1) == 0) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  condsel::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  std::size_t a = static_cast<std::size_t>(align);
+  if (a < sizeof(void*)) a = sizeof(void*);
+  void* p = nullptr;
+  return posix_memalign(&p, a, size ? size : 1) == 0 ? p : nullptr;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, align, tag);
+}
+
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 

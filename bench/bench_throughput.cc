@@ -84,6 +84,11 @@ int main() {
   using namespace condsel;         // NOLINT: bench brevity
   using namespace condsel::bench;  // NOLINT: bench brevity
 
+  if (const char* missed = AllocHookSelfTest()) {
+    std::fprintf(stderr, "alloc hook self-test failed: %s not counted\n",
+                 missed);
+    return 1;
+  }
   BenchEnv env;
   const int num_queries = EnvInt("CONDSEL_QUERIES", 6);
   const int estimates = EnvInt("CONDSEL_THROUGHPUT_ESTIMATES", 50);

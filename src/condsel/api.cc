@@ -55,6 +55,9 @@ struct Estimator::Session {
   Query query;
   std::unique_ptr<SitMatcher> matcher;
   std::unique_ptr<AtomicSelectivityProvider> provider;
+  // Keeps the session's decomposition skeleton alive independently of
+  // the cache that handed it out.
+  std::shared_ptr<ShapeCache::Entry> shape;
   std::unique_ptr<GetSelectivity> gs;
   // Derivation recording + audit bookkeeping (audit mode only). The DAG
   // only grows on memo misses, so re-auditing is skipped while repeated
@@ -69,12 +72,14 @@ struct Estimator::Session {
 };
 
 Estimator::Estimator(const Catalog* catalog, const SitPool* pool,
-                     Ranking ranking, EstimationBudget budget)
+                     Ranking ranking, EstimationBudget budget,
+                     ShapeCache* shape_cache)
     : catalog_(catalog),
       pool_(pool),
       ranking_(ranking),
       budget_(budget),
-      audit_(DefaultAuditMode()) {
+      audit_(DefaultAuditMode()),
+      shape_cache_(shape_cache != nullptr ? shape_cache : &own_shapes_) {
   CONDSEL_CHECK(catalog != nullptr);  // invariant: constructor contract
   CONDSEL_CHECK(pool != nullptr);     // invariant: constructor contract
 }
@@ -178,8 +183,10 @@ Estimator::Session& Estimator::SessionFor(const Query& query) {
           : static_cast<const ErrorFunction*>(&diff);
   session->provider =
       std::make_unique<AtomicSelectivityProvider>(session->matcher.get(), fn);
+  session->shape = shape_cache_->Acquire(session->query);
   session->gs = std::make_unique<GetSelectivity>(
-      &session->query, session->provider.get(), &budget_);
+      &session->query, session->provider.get(), &budget_,
+      session->shape.get());
   if (audit_) session->gs->set_recorder(&session->dag);
   return *sessions_.emplace(key, std::move(session)).first->second;
 }

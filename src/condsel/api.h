@@ -39,6 +39,7 @@
 #include "condsel/exec/evaluator.h"
 #include "condsel/query/query.h"
 #include "condsel/selectivity/get_selectivity.h"
+#include "condsel/selectivity/shape_cache.h"
 #include "condsel/sit/sit_matcher.h"
 #include "condsel/sit/sit_pool.h"
 
@@ -52,10 +53,15 @@ class Estimator {
   // Both pointers are borrowed and must outlive the estimator. The pool
   // must contain base histograms for every column the queries reference
   // (TryEstimate* reports a violation as FAILED_PRECONDITION; the
-  // non-Try wrappers abort).
+  // non-Try wrappers abort). `shape_cache` (optional, borrowed) shares
+  // decomposition skeletons across estimators — a service passes one
+  // cache to every per-attempt estimator so structurally identical
+  // statements enumerate candidates once; when null, the estimator uses
+  // a private cache (still shared across its own sessions).
   Estimator(const Catalog* catalog, const SitPool* pool,
             Ranking ranking = Ranking::kDiff,
-            EstimationBudget budget = EstimationBudget{});
+            EstimationBudget budget = EstimationBudget{},
+            ShapeCache* shape_cache = nullptr);
   ~Estimator();
 
   Estimator(const Estimator&) = delete;
@@ -137,6 +143,10 @@ class Estimator {
   Ranking ranking_;
   EstimationBudget budget_;
   bool audit_;
+  // Decomposition-skeleton sharing: points at the caller's cache, or at
+  // own_shapes_ when none was provided.
+  ShapeCache own_shapes_;
+  ShapeCache* shape_cache_;
   // Lazily computed, cached result of ValidatePool, keyed by the pool's
   // generation stamp: a delta-refreshed pool (same object, new contents)
   // re-validates; a pool outside the maintenance path (generation 0,

@@ -42,6 +42,13 @@ inline constexpr int kGsStatsLedger = 70;
 // exec/: cardinality feedback cache; locked under kServiceFeedback via
 // EstimationService::ObserveFeedback.
 inline constexpr int kCardinalityCache = 80;
+// selectivity/: shape-keyed decomposition cache — the shape registry map
+// (Acquire, off the hot path) and the per-shape skeleton entries (looked
+// up mid-Compute). Never held together: Acquire releases the registry
+// lock before any skeleton lock is taken, but the entry rank sits inside
+// the registry's so a future nested acquisition would still be ordered.
+inline constexpr int kShapeCache = 84;
+inline constexpr int kShapeEntry = 86;
 // selectivity/: SIT memo (reader/writer).
 inline constexpr int kSelectivityMemo = 90;
 // selectivity/ parallel driver: per-worker deque locks; one rank for the

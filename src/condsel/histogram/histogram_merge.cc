@@ -11,6 +11,18 @@ namespace condsel {
 
 namespace {
 
+// Exact integer width of [lo, hi] as a double. Computed through uint64
+// subtraction: the difference is exact for spans below 2^53 and only then
+// rounded once, unlike casting each endpoint to double first, which loses
+// up to 1024 near ±2^63 (doubles there are 1024 apart) — enough to make an
+// open-ended bucket's width off by a whole kilo-range and overlap
+// fractions sum past 1.
+double SpanWidth(int64_t lo, int64_t hi) {
+  return static_cast<double>(static_cast<uint64_t>(hi) -
+                             static_cast<uint64_t>(lo)) +
+         1.0;
+}
+
 // Coalesces `buckets` down to at most `max_buckets` by merging runs of
 // adjacent buckets. Even-count runs keep the pass deterministic and cheap;
 // the merged summary is an introspection artifact, not the estimation
@@ -26,10 +38,12 @@ std::vector<Bucket> Coalesce(std::vector<Bucket> buckets, int max_buckets) {
     Bucket b = buckets[i];
     for (size_t k = i + 1; k < j; ++k) {
       b.hi = buckets[k].hi;
+      // Distinct values in disjoint ranges add exactly; no union estimate
+      // needed when concatenating segments of one already-merged summary.
       b.frequency += buckets[k].frequency;
       b.distinct += buckets[k].distinct;
     }
-    b.distinct = std::min(b.distinct, b.Width());
+    b.distinct = std::min(b.distinct, SpanWidth(b.lo, b.hi));
     out.push_back(b);
   }
   return out;
@@ -48,7 +62,9 @@ Histogram MergeHistograms(const std::vector<const Histogram*>& pieces,
   // Union of bucket boundaries: each boundary value starts a segment, so
   // every piece bucket covers whole segments and its mass distributes by
   // width fraction under the same uniform assumption the piece itself
-  // makes.
+  // makes. Open-ended buckets (hi == INT64_MAX) contribute only their lo
+  // boundary — the guard below keeps hi + 1 from overflowing — and end at
+  // the final, explicitly open-ended segment.
   std::set<int64_t> starts;
   for (const Histogram* p : pieces) {
     for (const Bucket& b : p->buckets()) {
@@ -70,33 +86,63 @@ Histogram MergeHistograms(const std::vector<const Histogram*>& pieces,
                          : std::numeric_limits<int64_t>::max();
   }
 
+  // Per-segment distinct-count accumulators. The pieces cover disjoint
+  // *rows*, not disjoint values: the same key range in every part means
+  // the same values over and over, so per-piece distinct contributions
+  // must combine sublinearly, not add. Model each piece's d_i distinct
+  // values in a width-W segment as uniform draws; the expected union is
+  //   W * (1 - Π_i (1 - d_i / W)),
+  // capped by both W and Σ d_i. A segment a single piece touches keeps
+  // that piece's estimate bit-for-bit (the single-part path estimators
+  // compare against). log1p/expm1 keep the complement product accurate
+  // when d_i / W underflows (the open-ended tail segment).
+  std::vector<double> log_miss(num_segments, 0.0);  // Σ log(1 - d_i/W)
+  std::vector<double> sum_distinct(num_segments, 0.0);
+  std::vector<int> contributors(num_segments, 0);
+
   for (const Histogram* p : pieces) {
     const double weight = p->source_cardinality() / total_card;
     if (weight <= 0.0) continue;
     for (const Bucket& b : p->buckets()) {
+      const double width = SpanWidth(b.lo, b.hi);
       // Segments covering [b.lo, b.hi]: contiguous, found by binary search.
       size_t i = static_cast<size_t>(
           std::upper_bound(edges.begin(), edges.end(), b.lo) -
           edges.begin() - 1);
       for (; i < num_segments && segments[i].lo <= b.hi; ++i) {
-        const double overlap =
-            std::min(static_cast<double>(b.hi),
-                     static_cast<double>(segments[i].hi)) -
-            std::max(static_cast<double>(b.lo),
-                     static_cast<double>(segments[i].lo)) +
-            1.0;
-        const double fraction = overlap / b.Width();
+        // Clamp in int64 first: the intersection endpoints are exact, and
+        // the uint64 subtraction in SpanWidth stays exact for any span
+        // below 2^53. Casting endpoints to double first rounds values near
+        // 2^63 to the same double, producing overlaps one kilo-range too
+        // wide (fractions summing past 1) or negative-width phantoms.
+        const int64_t lo_c = std::max(b.lo, segments[i].lo);
+        const int64_t hi_c = std::min(b.hi, segments[i].hi);
+        if (hi_c < lo_c) continue;
+        const double fraction = SpanWidth(lo_c, hi_c) / width;
         segments[i].frequency += weight * b.frequency * fraction;
-        segments[i].distinct += b.distinct * fraction;
+        const double d = b.distinct * fraction;
+        if (d <= 0.0) continue;
+        sum_distinct[i] += d;
+        const double seg_width = SpanWidth(segments[i].lo, segments[i].hi);
+        log_miss[i] += std::log1p(-std::min(d / seg_width, 1.0));
+        ++contributors[i];
       }
     }
   }
 
   std::vector<Bucket> buckets;
   buckets.reserve(num_segments);
-  for (Bucket& s : segments) {
+  for (size_t i = 0; i < num_segments; ++i) {
+    Bucket& s = segments[i];
+    const double seg_width = SpanWidth(s.lo, s.hi);
+    if (contributors[i] <= 1) {
+      s.distinct = sum_distinct[i];
+    } else {
+      const double unioned = seg_width * -std::expm1(log_miss[i]);
+      s.distinct = std::min(sum_distinct[i], unioned);
+    }
     if (s.frequency <= 0.0 && s.distinct <= 0.0) continue;
-    s.distinct = std::min(s.distinct, s.Width());
+    s.distinct = std::min(s.distinct, seg_width);
     buckets.push_back(s);
   }
   return Histogram(Coalesce(std::move(buckets), max_buckets), total_card);

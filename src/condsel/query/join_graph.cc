@@ -1,10 +1,41 @@
 #include "condsel/query/join_graph.h"
 
-#include <algorithm>
+#include <bit>
 
 #include "condsel/common/macros.h"
 
 namespace condsel {
+
+namespace {
+
+// Stack-resident union-find over the fixed 32-id universe (tables are
+// catalog ids < 32, like predicates). The heap-free replacement for
+// UnionFind on the estimation hot path, where ConnectedComponents runs
+// once per subset of the DP lattice.
+struct SmallUnionFind {
+  int parent[kMaxPredicates];
+
+  SmallUnionFind() {
+    for (int i = 0; i < kMaxPredicates; ++i) parent[i] = i;
+  }
+
+  int Find(int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+
+  void Union(int a, int b) {
+    const int ra = Find(a), rb = Find(b);
+    if (ra != rb) parent[ra] = rb;
+  }
+
+  bool Connected(int a, int b) { return Find(a) == Find(b); }
+};
+
+}  // namespace
 
 UnionFind::UnionFind(int n) : parent_(static_cast<size_t>(n)) {
   for (int i = 0; i < n; ++i) parent_[static_cast<size_t>(i)] = i;
@@ -24,48 +55,57 @@ void UnionFind::Union(int a, int b) {
   if (ra != rb) parent_[static_cast<size_t>(ra)] = rb;
 }
 
-std::vector<PredSet> ConnectedComponents(const std::vector<Predicate>& preds,
-                                         PredSet subset) {
-  std::vector<PredSet> components;
-  if (subset == 0) return components;
+ComponentList ConnectedComponentsFast(const std::vector<Predicate>& preds,
+                                      PredSet subset) {
+  ComponentList out;
+  if (subset == 0) return out;
 
   // Union tables linked by each predicate in the subset; two predicates
   // end up connected iff their table sets meet transitively.
-  UnionFind uf(32);
-  for (int i : SetElements(subset)) {
+  SmallUnionFind uf;
+  for (int i : SetBits(subset)) {
     const Predicate& p = preds[static_cast<size_t>(i)];
     if (p.is_join()) {
       uf.Union(p.left().table, p.right().table);
     }
   }
 
-  // Group predicates by the root of (any of) their tables. A filter
-  // belongs to the component of its single table; a join's two tables are
-  // already unioned.
-  std::vector<std::pair<int, int>> root_and_pred;  // (table root, pred idx)
-  for (int i : SetElements(subset)) {
+  // Group predicates by the root of (any of) their tables, keeping
+  // components ordered by lowest predicate index. A filter belongs to the
+  // component of its single table; a join's two tables are already
+  // unioned. Linear scan over seen roots: component counts are tiny and
+  // the array is stack-resident.
+  int seen_roots[kMaxPredicates];
+  for (int i : SetBits(subset)) {
     const Predicate& p = preds[static_cast<size_t>(i)];
-    const int root = uf.Find(
-        p.is_join() ? p.left().table : p.column().table);
-    root_and_pred.emplace_back(root, i);
-  }
-
-  // Stable grouping that keeps components ordered by lowest pred index.
-  std::vector<int> seen_roots;
-  for (const auto& [root, i] : root_and_pred) {
-    auto it = std::find(seen_roots.begin(), seen_roots.end(), root);
-    if (it == seen_roots.end()) {
-      seen_roots.push_back(root);
-      components.push_back(1u << i);
+    const int root =
+        uf.Find(p.is_join() ? p.left().table : p.column().table);
+    int slot = -1;
+    for (int k = 0; k < out.count; ++k) {
+      if (seen_roots[k] == root) {
+        slot = k;
+        break;
+      }
+    }
+    if (slot < 0) {
+      seen_roots[out.count] = root;
+      out.comps[out.count] = 1u << i;
+      ++out.count;
     } else {
-      components[static_cast<size_t>(it - seen_roots.begin())] |= 1u << i;
+      out.comps[slot] |= 1u << i;
     }
   }
-  return components;
+  return out;
+}
+
+std::vector<PredSet> ConnectedComponents(const std::vector<Predicate>& preds,
+                                         PredSet subset) {
+  const ComponentList fast = ConnectedComponentsFast(preds, subset);
+  return std::vector<PredSet>(fast.begin(), fast.end());
 }
 
 bool IsSeparable(const std::vector<Predicate>& preds, PredSet subset) {
-  return ConnectedComponents(preds, subset).size() >= 2;
+  return ConnectedComponentsFast(preds, subset).count >= 2;
 }
 
 std::vector<PredSet> ConnectedSubsets(const std::vector<Predicate>& preds,
@@ -82,7 +122,7 @@ std::vector<PredSet> ConnectedSubsets(const std::vector<Predicate>& preds,
         subset = With(subset, elems[static_cast<size_t>(b)]);
       }
     }
-    if (ConnectedComponents(preds, subset).size() == 1) {
+    if (ConnectedComponentsFast(preds, subset).count == 1) {
       out.push_back(subset);
     }
   }
@@ -92,14 +132,14 @@ std::vector<PredSet> ConnectedSubsets(const std::vector<Predicate>& preds,
 bool JoinsConnectTables(const std::vector<Predicate>& preds, PredSet subset) {
   const TableSet tables = TablesOf(preds, subset);
   if (tables == 0) return true;
-  UnionFind uf(32);
-  for (int i : SetElements(subset)) {
+  SmallUnionFind uf;
+  for (int i : SetBits(subset)) {
     const Predicate& p = preds[static_cast<size_t>(i)];
     if (p.is_join()) uf.Union(p.left().table, p.right().table);
   }
-  const std::vector<int> table_ids = SetElements(tables);
-  for (size_t k = 1; k < table_ids.size(); ++k) {
-    if (!uf.Connected(table_ids[0], table_ids[k])) return false;
+  const int first = std::countr_zero(tables);
+  for (int t : SetBits(tables)) {
+    if (!uf.Connected(first, t)) return false;
   }
   return true;
 }

@@ -28,9 +28,30 @@ class UnionFind {
   std::vector<int> parent_;
 };
 
+// Fixed-capacity component list: `subset` has at most kMaxPredicates
+// bits, so at most that many components. Returned by value — the whole
+// struct lives on the caller's stack, which is what makes the hot-path
+// decomposition allocation-free.
+struct ComponentList {
+  PredSet comps[kMaxPredicates];
+  int count = 0;
+
+  const PredSet* begin() const { return comps; }
+  const PredSet* end() const { return comps + count; }
+  size_t size() const { return static_cast<size_t>(count); }
+  bool empty() const { return count == 0; }
+  PredSet operator[](size_t i) const { return comps[i]; }
+};
+
 // Partitions `subset` (a bitmask over `preds`) into connected components.
 // Components are returned as bitmasks, ordered by their lowest predicate
 // index, which makes the output canonical (used by Lemma 2's uniqueness).
+// Performs no heap allocation.
+ComponentList ConnectedComponentsFast(const std::vector<Predicate>& preds,
+                                      PredSet subset);
+
+// Vector-returning wrapper over ConnectedComponentsFast for callers off
+// the hot path; identical contents and order.
 std::vector<PredSet> ConnectedComponents(const std::vector<Predicate>& preds,
                                          PredSet subset);
 

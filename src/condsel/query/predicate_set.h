@@ -30,6 +30,39 @@ inline bool IsSubset(uint32_t sub, uint32_t super) {
 // Expands a bitmask into element indices, low to high.
 std::vector<int> SetElements(uint32_t s);
 
+// Allocation-free range over the set bits of a mask, low to high:
+//   for (int i : SetBits(mask)) ...
+// The hot-path replacement for SetElements — identical iteration order,
+// no vector materialized.
+class SetBits {
+ public:
+  class Iterator {
+   public:
+    explicit Iterator(uint32_t rest) : rest_(rest) {}
+    int operator*() const { return std::countr_zero(rest_); }
+    Iterator& operator++() {
+      rest_ &= rest_ - 1;  // clear lowest set bit
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const {
+      return rest_ != other.rest_;
+    }
+    bool operator==(const Iterator& other) const {
+      return rest_ == other.rest_;
+    }
+
+   private:
+    uint32_t rest_;
+  };
+
+  explicit SetBits(uint32_t mask) : mask_(mask) {}
+  Iterator begin() const { return Iterator(mask_); }
+  Iterator end() const { return Iterator(0); }
+
+ private:
+  uint32_t mask_;
+};
+
 // Iterates all non-empty proper sub-masks of `s` in decreasing order:
 //   for (uint32_t sub = PrevSubmask(s, s); sub; sub = PrevSubmask(s, sub))
 // PrevSubmask(s, s) yields the largest proper submask.

@@ -129,31 +129,31 @@ AtomicSelectivityProvider::AtomicSelectivityProvider(
   CONDSEL_CHECK(error_fn != nullptr);
 }
 
-bool AtomicSelectivityProvider::SplitShape(
-    const Query& query, PredSet p, int* join_pred,
-    std::vector<int>* filter_preds) const {
+bool AtomicSelectivityProvider::SplitShape(const Query& query, PredSet p,
+                                           int* join_pred, int filter_preds[],
+                                           int* num_filters) const {
   *join_pred = -1;
-  filter_preds->clear();
-  for (int i : SetElements(p)) {
+  *num_filters = 0;
+  for (int i : SetBits(p)) {
     const Predicate& pred = query.predicate(i);
     if (pred.is_join()) {
       if (*join_pred >= 0) return false;  // at most one join
       *join_pred = i;
     } else {
-      filter_preds->push_back(i);
+      filter_preds[(*num_filters)++] = i;
     }
   }
   if (*join_pred < 0) {
     // Pure filters: a single filter (unidimensional SIT) or a pair of
     // filters (multidimensional SIT over the attribute pair).
-    return filter_preds->size() == 1 || filter_preds->size() == 2;
+    return *num_filters == 1 || *num_filters == 2;
   }
   // Join plus filters: every filter must be over one of the join columns
   // (Example 3: the join's result histogram covers exactly that
   // attribute).
   const Predicate& j = query.predicate(*join_pred);
-  for (int f : *filter_preds) {
-    const ColumnRef c = query.predicate(f).column();
+  for (int k = 0; k < *num_filters; ++k) {
+    const ColumnRef c = query.predicate(filter_preds[k]).column();
     if (c != j.left() && c != j.right()) return false;
   }
   return true;
@@ -163,13 +163,14 @@ bool AtomicSelectivityProvider::SupportedShape(const Query& query,
                                                PredSet p) const {
   if (p == 0) return false;
   int join_pred;
-  std::vector<int> filters;
-  return SplitShape(query, p, &join_pred, &filters);
+  int filters[kMaxPredicates];
+  int num_filters;
+  return SplitShape(query, p, &join_pred, filters, &num_filters);
 }
 
 CONDSEL_HOT FactorChoice AtomicSelectivityProvider::Score(
-    const Query& query, PredSet p, PredSet cond,
-    const Deadline* deadline) {
+    const Query& query, PredSet p, PredSet cond, const Deadline* deadline,
+    ScoreScratch* scratch) {
   // The throwing-lookup fault fires only on the public scoring path:
   // BaseAtom goes straight to ScoreImpl, so the independence fallback —
   // the degradation target — survives the fault, mirroring the deadline
@@ -178,17 +179,18 @@ CONDSEL_HOT FactorChoice AtomicSelectivityProvider::Score(
   if (fi.armed() && fi.enabled(Fault::kThrowAtomicLookup)) {
     throw TransientFault("injected: statistics lookup failed");
   }
-  return ScoreImpl(query, p, cond, deadline);
+  return ScoreImpl(query, p, cond, deadline, scratch);
 }
 
 CONDSEL_HOT FactorChoice AtomicSelectivityProvider::ScoreImpl(
-    const Query& query, PredSet p, PredSet cond,
-    const Deadline* deadline) {
+    const Query& query, PredSet p, PredSet cond, const Deadline* deadline,
+    ScoreScratch* scratch) {
   MaybeInjectSlowLookup(p);
   FactorChoice best;
   int join_pred;
-  std::vector<int> filters;
-  if (!SplitShape(query, p, &join_pred, &filters)) return best;
+  int filters[kMaxPredicates];
+  int num_filters;
+  if (!SplitShape(query, p, &join_pred, filters, &num_filters)) return best;
 
   // Section 3.4's pruning: a join factor conditioned on filter predicates
   // has no SIT that could reflect them (join columns carry only base
@@ -200,9 +202,14 @@ CONDSEL_HOT FactorChoice AtomicSelectivityProvider::ScoreImpl(
     return best;
   }
 
+  // Callers off the hot path score with call-local lists; drivers pass a
+  // reused scratch and amortize the capacity across the whole search.
+  ScoreScratch local;
+  if (scratch == nullptr) scratch = &local;
+
   const bool needs_estimate = error_fn_->NeedsEstimate();
 
-  auto consider = [&](std::vector<SitCandidate> sits) {
+  auto consider = [&](const SitVec& sits) {
     double estimate = -1.0;
     if (needs_estimate) {
       estimate = EstimateWith(query, p, sits, /*provenance=*/nullptr);
@@ -210,7 +217,7 @@ CONDSEL_HOT FactorChoice AtomicSelectivityProvider::ScoreImpl(
     const double err =
         error_fn_->FactorError(query, p, cond, sits, estimate);
     // Deterministic tie-break: prefer heavier conditioning (larger Q').
-    auto q_prime_size = [&](const std::vector<SitCandidate>& ss) {
+    auto q_prime_size = [&](const SitVec& ss) {
       PredSet m = 0;
       for (const SitCandidate& c : ss) m |= c.expr_mask;
       return SetSize(m & cond);
@@ -221,7 +228,7 @@ CONDSEL_HOT FactorChoice AtomicSelectivityProvider::ScoreImpl(
       best.feasible = true;
       best.error = err;
       best.estimate = estimate;
-      best.sits = std::move(sits);
+      best.sits = sits;
     }
   };
   // Deadline enforcement at lookup granularity: stop examining further
@@ -232,19 +239,24 @@ CONDSEL_HOT FactorChoice AtomicSelectivityProvider::ScoreImpl(
     return deadline != nullptr && deadline->Expired();
   };
 
-  if (join_pred < 0 && filters.size() == 2) {
+  if (join_pred < 0 && num_filters == 2) {
     // Filter pair: needs a multidimensional SIT over both attributes.
     const Predicate& fa = query.predicate(filters[0]);
     const Predicate& fb = query.predicate(filters[1]);
-    for (const SitCandidate& c :
-         matcher_->Candidates2(fa.column(), fb.column(), cond)) {
+    matcher_->Candidates2Into(fa.column(), fb.column(), cond,
+                              SitMatcher::CallAccounting::kIndexed,
+                              &scratch->left);
+    for (const SitCandidate& c : scratch->left) {
       if (expired()) break;
       consider({c});
     }
   } else if (join_pred < 0) {
     // Single filter.
     const Predicate& f = query.predicate(filters[0]);
-    for (const SitCandidate& c : matcher_->Candidates(f.column(), cond)) {
+    matcher_->CandidatesInto(f.column(), cond,
+                             SitMatcher::CallAccounting::kIndexed,
+                             &scratch->left);
+    for (const SitCandidate& c : scratch->left) {
       if (expired()) break;
       consider({c});
     }
@@ -252,13 +264,15 @@ CONDSEL_HOT FactorChoice AtomicSelectivityProvider::ScoreImpl(
     // One join (plus optional filters on its columns): pick one SIT per
     // side, try all maximal pairs.
     const Predicate& j = query.predicate(join_pred);
-    const std::vector<SitCandidate> left =
-        matcher_->Candidates(j.left(), cond);
-    const std::vector<SitCandidate> right =
-        matcher_->Candidates(j.right(), cond);
-    for (const SitCandidate& cl : left) {
+    matcher_->CandidatesInto(j.left(), cond,
+                             SitMatcher::CallAccounting::kIndexed,
+                             &scratch->left);
+    matcher_->CandidatesInto(j.right(), cond,
+                             SitMatcher::CallAccounting::kIndexed,
+                             &scratch->right);
+    for (const SitCandidate& cl : scratch->left) {
       if (expired()) break;
-      for (const SitCandidate& cr : right) {
+      for (const SitCandidate& cr : scratch->right) {
         if (expired()) break;
         consider({cl, cr});
       }
@@ -268,13 +282,14 @@ CONDSEL_HOT FactorChoice AtomicSelectivityProvider::ScoreImpl(
 }
 
 CONDSEL_HOT double AtomicSelectivityProvider::EstimateWith(
-    const Query& query, PredSet p, const std::vector<SitCandidate>& sits,
+    const Query& query, PredSet p, const SitVec& sits,
     std::vector<FactorProvenance>* provenance) const {
   int join_pred;
-  std::vector<int> filters;
-  CONDSEL_CHECK(SplitShape(query, p, &join_pred, &filters));
+  int filters[kMaxPredicates];
+  int num_filters;
+  CONDSEL_CHECK(SplitShape(query, p, &join_pred, filters, &num_filters));
 
-  if (join_pred < 0 && filters.size() == 2) {
+  if (join_pred < 0 && num_filters == 2) {
     CONDSEL_CHECK(sits.size() == 1);
     const Sit& sit = *sits[0].sit;
     CONDSEL_CHECK(sit.is_multidim());
@@ -328,8 +343,8 @@ CONDSEL_HOT double AtomicSelectivityProvider::EstimateWith(
     ForEachPiece(s1, [&](const Histogram& h1, double w1) {
       const JoinEstimate je = JoinHistograms(h0, h1);
       double pair_sel = je.selectivity;
-      for (int f : filters) {
-        const Predicate& fp = query.predicate(f);
+      for (int k = 0; k < num_filters; ++k) {
+        const Predicate& fp = query.predicate(filters[k]);
         pair_sel *= je.result.RangeSelectivity(fp.lo(), fp.hi());
       }
       sel += w0 * w1 * pair_sel;
@@ -371,10 +386,11 @@ std::vector<FactorProvenance> AtomicSelectivityProvider::Describe(
   std::vector<FactorProvenance> out;
   if (!choice.feasible) return out;
   int join_pred;
-  std::vector<int> filters;
-  CONDSEL_CHECK(SplitShape(query, p, &join_pred, &filters));
-  if (join_pred < 0 && filters.size() == 2) {
-    const Sit& sit = *choice.sits.at(0).sit;
+  int filters[kMaxPredicates];
+  int num_filters;
+  CONDSEL_CHECK(SplitShape(query, p, &join_pred, filters, &num_filters));
+  if (join_pred < 0 && num_filters == 2) {
+    const Sit& sit = *choice.sits[0].sit;
     const Predicate& fa = query.predicate(filters[0]);
     const Predicate& fb = query.predicate(filters[1]);
     const bool a_first = fa.column() == sit.attr;
@@ -385,7 +401,7 @@ std::vector<FactorProvenance> AtomicSelectivityProvider::Describe(
         BucketsInRange2d(sit.histogram2d, fx.lo(), fx.hi(), fy.lo(),
                          fy.hi())));
   } else if (join_pred < 0) {
-    const Sit& sit = *choice.sits.at(0).sit;
+    const Sit& sit = *choice.sits[0].sit;
     const Predicate& f = query.predicate(filters[0]);
     out.push_back(MakeProvenance(sit, sit.is_base() ? "base" : "sit-1d",
                                  BucketsInRangeMerged(sit, f.lo(),

@@ -53,10 +53,21 @@ struct FactorChoice {
   bool feasible = false;
   double error = kInfiniteError;
   // Chosen SITs: {filter SIT}, or {left join SIT, right join SIT}.
-  std::vector<SitCandidate> sits;
+  // Inline storage (SitVec): copying or memoizing a choice never touches
+  // the heap.
+  SitVec sits;
   // Filled by Score() only when the error function needs estimates;
   // otherwise computed later by Estimate().
   double estimate = -1.0;
+};
+
+// Reusable candidate-list scratch for Score(): the vectors are cleared
+// and refilled per call, retaining their capacity, so a warmed-up driver
+// scores factors without allocating. One instance per scoring thread —
+// the drivers own one per worker; never share an instance concurrently.
+struct ScoreScratch {
+  std::vector<SitCandidate> left;
+  std::vector<SitCandidate> right;
 };
 
 class AtomicSelectivityProvider {
@@ -73,9 +84,13 @@ class AtomicSelectivityProvider {
   // is the caller's per-call clock (borrowed for this call only; nullptr
   // = none): when it expires mid-scoring, the remaining candidates are
   // skipped and the best choice found so far stands (possibly infeasible)
-  // — the lookup, not the subproblem, bounds the overshoot.
+  // — the lookup, not the subproblem, bounds the overshoot. `scratch`
+  // (optional, borrowed for this call like the deadline) lets hot-path
+  // drivers reuse candidate-list storage across calls; nullptr scores
+  // with call-local lists.
   FactorChoice Score(const Query& query, PredSet p, PredSet cond,
-                     const Deadline* deadline = nullptr);
+                     const Deadline* deadline = nullptr,
+                     ScoreScratch* scratch = nullptr);
 
   // Histogram manipulation: evaluates the estimate of Sel(P' | Q) with
   // the chosen SITs. When `provenance` is non-null it is filled with one
@@ -125,15 +140,16 @@ class AtomicSelectivityProvider {
   // the degradation target and must stay available after the clock
   // expires (or a fault fires).
   FactorChoice ScoreImpl(const Query& query, PredSet p, PredSet cond,
-                         const Deadline* deadline);
+                         const Deadline* deadline,
+                         ScoreScratch* scratch = nullptr);
 
-  // Splits P' into its join predicate (if any) and filters; returns false
-  // for unsupported shapes.
+  // Splits P' into its join predicate (if any) and filters (a stack
+  // array — at most kMaxPredicates of them); returns false for
+  // unsupported shapes.
   bool SplitShape(const Query& query, PredSet p, int* join_pred,
-                  std::vector<int>* filter_preds) const;
+                  int filter_preds[], int* num_filters) const;
 
-  double EstimateWith(const Query& query, PredSet p,
-                      const std::vector<SitCandidate>& sits,
+  double EstimateWith(const Query& query, PredSet p, const SitVec& sits,
                       std::vector<FactorProvenance>* provenance) const;
 
   SitMatcher* matcher_;

@@ -40,6 +40,9 @@ void BudgetCounters::Add(GsStats* out) const {
   out->degraded_subproblems =
       degraded_subproblems.load(std::memory_order_relaxed);
   out->default_fallbacks = default_fallbacks.load(std::memory_order_relaxed);
+  out->shape_cache_hits = shape_cache_hits.load(std::memory_order_relaxed);
+  out->shape_cache_misses =
+      shape_cache_misses.load(std::memory_order_relaxed);
   out->budget_exhausted = budget_exhausted.load(std::memory_order_relaxed);
   out->analysis_seconds = analysis_seconds.load(std::memory_order_relaxed);
   out->histogram_seconds = histogram_seconds.load(std::memory_order_relaxed);
@@ -75,6 +78,8 @@ void AddGsStats(const GsStats& delta, GsStats* total) {
   total->budget_exhausted = total->budget_exhausted || delta.budget_exhausted;
   total->degraded_subproblems += delta.degraded_subproblems;
   total->default_fallbacks += delta.default_fallbacks;
+  total->shape_cache_hits += delta.shape_cache_hits;
+  total->shape_cache_misses += delta.shape_cache_misses;
   total->steals += delta.steals;
   total->stolen_subsets += delta.stolen_subsets;
   total->parallel_levels += delta.parallel_levels;
@@ -106,6 +111,10 @@ GsStats DiffGsStats(const GsStats& cumulative, const GsStats& prev) {
       SatSub(cumulative.degraded_subproblems, prev.degraded_subproblems);
   d.default_fallbacks =
       SatSub(cumulative.default_fallbacks, prev.default_fallbacks);
+  d.shape_cache_hits =
+      SatSub(cumulative.shape_cache_hits, prev.shape_cache_hits);
+  d.shape_cache_misses =
+      SatSub(cumulative.shape_cache_misses, prev.shape_cache_misses);
   d.steals = SatSub(cumulative.steals, prev.steals);
   d.stolen_subsets = SatSub(cumulative.stolen_subsets, prev.stolen_subsets);
   d.parallel_levels = SatSub(cumulative.parallel_levels, prev.parallel_levels);

@@ -78,6 +78,12 @@ struct GsStats {
   bool budget_exhausted = false;       // some knob of the budget ran out
   uint64_t degraded_subproblems = 0;   // entries answered by the fallback
   uint64_t default_fallbacks = 0;      // predicates with no base histogram
+  // Shape-keyed decomposition cache (shape_cache.h); both zero when no
+  // cache is attached. Warmth-dependent (a later session inherits the
+  // lists an earlier one stored), so excluded from the driver parity
+  // contract — a hit and a miss yield bit-identical candidate lists.
+  uint64_t shape_cache_hits = 0;     // subsets whose candidates were copied
+  uint64_t shape_cache_misses = 0;   // subsets enumerated from scratch
   // Work-stealing scheduler accounting (parallel driver only; the
   // sequential driver and inline small-plan runs report zeros). These are
   // schedule-dependent — excluded from the sequential-vs-parallel parity
@@ -143,6 +149,8 @@ struct BudgetCounters {
   std::atomic<uint64_t> atomic_considered{0};
   std::atomic<uint64_t> degraded_subproblems{0};
   std::atomic<uint64_t> default_fallbacks{0};
+  std::atomic<uint64_t> shape_cache_hits{0};
+  std::atomic<uint64_t> shape_cache_misses{0};
   std::atomic<bool> budget_exhausted{false};
   std::atomic<double> analysis_seconds{0.0};
   std::atomic<double> histogram_seconds{0.0};

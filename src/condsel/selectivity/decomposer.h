@@ -28,14 +28,23 @@
 
 #include <vector>
 
+#include "condsel/common/arena.h"
 #include "condsel/query/query.h"
 #include "condsel/selectivity/budget.h"
 
 namespace condsel {
 
-// Candidate head factors of `p`, in scoring order. `truncated` (optional)
-// is set iff the deadline expired mid-enumeration. A null or disarmed
-// deadline never truncates.
+// Appends the candidate head factors of `p`, in scoring order, to `out`
+// (arena-backed scratch owned by the calling Compute). `truncated`
+// (optional) is set iff the deadline expired mid-enumeration. A null or
+// disarmed deadline never truncates. This is the hot-path entry point —
+// it performs no heap allocation beyond `out`'s arena growth.
+void AtomicFactorCandidatesInto(const Query& query, PredSet p,
+                                const Deadline* deadline, bool* truncated,
+                                ArenaVector<PredSet>* out);
+
+// Vector-returning wrapper for callers off the hot path; identical
+// candidate list and order.
 std::vector<PredSet> AtomicFactorCandidates(const Query& query, PredSet p,
                                             const Deadline* deadline = nullptr,
                                             bool* truncated = nullptr);

@@ -5,7 +5,7 @@
 namespace condsel {
 
 double NIndError::FactorError(const Query& /*query*/, PredSet p, PredSet cond,
-                              const std::vector<SitCandidate>& sits,
+                              const SitVec& sits,
                               double /*estimate*/) const {
   // Q' = union of the matched SITs' expressions; P and Q - Q' are assumed
   // independent, contributing |P| * |Q - Q'| assumptions.
@@ -18,7 +18,7 @@ double NIndError::FactorError(const Query& /*query*/, PredSet p, PredSet cond,
 
 double DiffError::FactorError(const Query& /*query*/, PredSet p,
                               PredSet /*cond*/,
-                              const std::vector<SitCandidate>& sits,
+                              const SitVec& sits,
                               double /*estimate*/) const {
   // |P| * (1 - diff), with diff averaged when a factor (a join) uses more
   // than one SIT (see DESIGN.md; the paper defines the single-SIT case).
@@ -30,7 +30,7 @@ double DiffError::FactorError(const Query& /*query*/, PredSet p,
 }
 
 double OptError::FactorError(const Query& query, PredSet p, PredSet cond,
-                             const std::vector<SitCandidate>& /*sits*/,
+                             const SitVec& /*sits*/,
                              double estimate) const {
   // Log-ratio (q-error style) deviation: since decomposition factors
   // multiply, |log est - log truth| sums to a bound on the final

@@ -39,7 +39,7 @@ class ErrorFunction {
   // Error of approximating Sel(P | Q) with `sits` (their expressions are
   // the Q'_i ⊆ Q). `estimate` is only meaningful when NeedsEstimate().
   virtual double FactorError(const Query& query, PredSet p, PredSet cond,
-                             const std::vector<SitCandidate>& sits,
+                             const SitVec& sits,
                              double estimate) const = 0;
 
   // E_merge: all supported aggregates are sums.
@@ -50,7 +50,7 @@ class NIndError final : public ErrorFunction {
  public:
   const char* name() const override { return "nInd"; }
   double FactorError(const Query& query, PredSet p, PredSet cond,
-                     const std::vector<SitCandidate>& sits,
+                     const SitVec& sits,
                      double estimate) const override;
 };
 
@@ -58,7 +58,7 @@ class DiffError final : public ErrorFunction {
  public:
   const char* name() const override { return "Diff"; }
   double FactorError(const Query& query, PredSet p, PredSet cond,
-                     const std::vector<SitCandidate>& sits,
+                     const SitVec& sits,
                      double estimate) const override;
 };
 
@@ -72,7 +72,7 @@ class OptError final : public ErrorFunction {
   const char* name() const override { return "Opt"; }
   bool NeedsEstimate() const override { return true; }
   double FactorError(const Query& query, PredSet p, PredSet cond,
-                     const std::vector<SitCandidate>& sits,
+                     const SitVec& sits,
                      double estimate) const override;
 
  private:

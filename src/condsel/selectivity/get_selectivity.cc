@@ -31,8 +31,9 @@ double Seconds(Clock::time_point from, Clock::time_point to) {
 
 GetSelectivity::GetSelectivity(const Query* query,
                                AtomicSelectivityProvider* provider,
-                               const EstimationBudget* budget)
-    : query_(query), provider_(provider), budget_(budget) {
+                               const EstimationBudget* budget,
+                               ShapeCache::Entry* shape)
+    : query_(query), provider_(provider), budget_(budget), shape_(shape) {
   CONDSEL_CHECK(query != nullptr);
   CONDSEL_CHECK(provider != nullptr);
 }
@@ -54,6 +55,11 @@ CONDSEL_HOT SelEstimate GetSelectivity::Compute(PredSet p) {
   // delta refresh swapped the pool between Compute() calls, the cached
   // subsets describe the old statistics and are dropped here.
   memo_.BindGeneration(provider_->pool_generation());
+  // Rewind the scratch arena (its blocks are retained): everything the
+  // previous call carved out — candidate lists, the parallel plan's
+  // per-subset storage — is dead by contract, because no arena pointer
+  // escapes a Compute() call.
+  arena_.Reset();
   const int threads = budget_ != nullptr ? budget_->threads : 1;
   const MemoEntry& e =
       threads > 1 ? ComputeParallel(p, threads) : ComputeEntry(p);
@@ -80,6 +86,23 @@ CONDSEL_HOT const DerivationAtom& GetSelectivity::SinglePredicateFallback(
     counters_.default_fallbacks.fetch_add(1, std::memory_order_relaxed);
   }
   return stored;
+}
+
+CONDSEL_HOT void GetSelectivity::EnumerateCandidates(
+    PredSet p, ArenaVector<PredSet>* out) {
+  if (shape_ != nullptr && shape_->CopyCandidates(p, out)) {
+    counters_.shape_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  bool truncated = false;
+  AtomicFactorCandidatesInto(*query_, p, &deadline_, &truncated, out);
+  if (shape_ != nullptr) {
+    counters_.shape_cache_misses.fetch_add(1, std::memory_order_relaxed);
+    // A truncated list is an artifact of this call's deadline, not of the
+    // statement's shape — caching it would leak one call's degradation
+    // into every later structurally identical statement.
+    if (!truncated) shape_->StoreCandidates(p, *out);
+  }
 }
 
 CONDSEL_HOT MemoEntry GetSelectivity::DegradedEntry(PredSet p,
@@ -111,7 +134,7 @@ void GetSelectivity::RecordEntry(PredSet p, const MemoEntry& entry) {
       break;
     case MemoEntryKind::kSeparable:
       node.kind = DerivKind::kSeparableSplit;
-      node.tails = entry.components;
+      node.tails.assign(entry.components.begin(), entry.components.end());
       node.standard_split = true;
       break;
     case MemoEntryKind::kAtomic: {
@@ -157,7 +180,8 @@ void GetSelectivity::RecordEntry(PredSet p, const MemoEntry& entry) {
 
 template <typename ChildFn>
 CONDSEL_HOT MemoEntry GetSelectivity::SolveNonSeparable(
-    PredSet p, const std::vector<PredSet>& candidates, ChildFn&& child) {
+    PredSet p, const ArenaVector<PredSet>& candidates, ChildFn&& child,
+    ScoreScratch* scratch) {
   // Lines 9-17: non-separable — try every atomic decomposition
   // Sel(P'|Q) * Sel(Q) whose factor some SIT could approximate
   // (decomposer.h explains the candidate order, which first-seen-wins
@@ -197,7 +221,8 @@ CONDSEL_HOT MemoEntry GetSelectivity::SolveNonSeparable(
     }
     const auto t1 = Clock::now();
     ++considered;
-    FactorChoice choice = provider_->Score(*query_, p_prime, q, &deadline_);
+    FactorChoice choice =
+        provider_->Score(*query_, p_prime, q, &deadline_, scratch);
     analysis_acc += Seconds(t1, Clock::now());
     if (!choice.feasible) continue;
     const double merged = ErrorFunction::Merge(choice.error, qe->error);
@@ -270,7 +295,7 @@ CONDSEL_HOT const MemoEntry& GetSelectivity::ComputeEntry(PredSet p) {
   counters_.subproblems.fetch_add(1, std::memory_order_relaxed);
 
   const auto t0 = Clock::now();
-  const std::vector<PredSet> components = StandardDecomposition(*query_, p);
+  const ComponentList components = StandardDecompositionFast(*query_, p);
   if (components.size() > 1) {
     // Lines 3-7: separable — solve the standard decomposition's factors
     // independently; Property 2 makes the product exact.
@@ -294,11 +319,16 @@ CONDSEL_HOT const MemoEntry& GetSelectivity::ComputeEntry(PredSet p) {
   counters_.analysis_seconds.fetch_add(Seconds(t0, Clock::now()),
                                        std::memory_order_relaxed);
 
-  const std::vector<PredSet> candidates =
-      AtomicFactorCandidates(*query_, p, &deadline_);
+  // Candidates live in the per-Compute arena: the list is consumed within
+  // this frame (SolveNonSeparable iterates it; the recursion below builds
+  // its own lists further down the same arena) and dies at the next
+  // Compute()'s Reset.
+  ArenaVector<PredSet> candidates(&arena_);
+  EnumerateCandidates(p, &candidates);
   MemoEntry entry = SolveNonSeparable(
       p, candidates,
-      [this](PredSet q) -> const MemoEntry* { return &ComputeEntry(q); });
+      [this](PredSet q) -> const MemoEntry* { return &ComputeEntry(q); },
+      &scratch_);
   RecordEntry(p, entry);
   return memo_.Insert(p, std::move(entry));
 }
@@ -320,10 +350,11 @@ CONDSEL_HOT const MemoEntry& GetSelectivity::ComputeParallel(PredSet p,
   // the set the sequential recursion visits, which is what makes the two
   // drivers agree on budget-free runs.
   struct PlanNode {
+    explicit PlanNode(Arena* arena) : candidates(arena) {}
     bool separable = false;
     bool degrade = false;  // the deadline expired while planning
-    std::vector<PredSet> components;  // separable
-    std::vector<PredSet> candidates;  // non-separable
+    ComponentList components;          // separable
+    ArenaVector<PredSet> candidates;   // non-separable, per-Compute arena
   };
   std::unordered_map<PredSet, PlanNode> plan;
   std::vector<PredSet> planned;  // insertion order, deduplicated
@@ -333,21 +364,21 @@ CONDSEL_HOT const MemoEntry& GetSelectivity::ComputeParallel(PredSet p,
     const PredSet s = stack.back();
     stack.pop_back();
     if (plan.count(s) != 0 || memo_.Find(s) != nullptr) continue;
-    PlanNode node;
+    PlanNode node(&arena_);
     if (s != 0) {
       if (deadline_.Expired()) {
         // Plan no further: this subset (and everything only reachable
         // through it) degrades to the independence fallback.
         node.degrade = true;
       } else {
-        const std::vector<PredSet> components =
-            StandardDecomposition(*query_, s);
+        const ComponentList components =
+            StandardDecompositionFast(*query_, s);
         if (components.size() > 1) {
           node.separable = true;
           node.components = components;
           for (PredSet comp : components) stack.push_back(comp);
         } else {
-          node.candidates = AtomicFactorCandidates(*query_, s, &deadline_);
+          EnumerateCandidates(s, &node.candidates);
           for (PredSet p_prime : node.candidates) {
             stack.push_back(s & ~p_prime);
           }
@@ -386,7 +417,7 @@ CONDSEL_HOT const MemoEntry& GetSelectivity::ComputeParallel(PredSet p,
     return e;
   };
 
-  auto solve = [&](PredSet s, const PlanNode& node) {
+  auto solve = [&](PredSet s, const PlanNode& node, ScoreScratch* scratch) {
     MemoEntry entry;
     if (s == 0) {
       entry.kind = MemoEntryKind::kEmpty;
@@ -424,7 +455,7 @@ CONDSEL_HOT const MemoEntry& GetSelectivity::ComputeParallel(PredSet p,
         entry.selectivity = SanitizeSelectivity(sel);
         entry.error = err;
       } else {
-        entry = SolveNonSeparable(s, node.candidates, child);
+        entry = SolveNonSeparable(s, node.candidates, child, scratch);
       }
     }
     memo_.Insert(s, std::move(entry));
@@ -448,7 +479,7 @@ CONDSEL_HOT const MemoEntry& GetSelectivity::ComputeParallel(PredSet p,
   // a pool: thread startup would dwarf the scoring work.
   constexpr size_t kMinParallelNodes = 24;
   if (workers <= 1 || planned.size() < kMinParallelNodes) {
-    for (PredSet s : planned) solve(s, plan.at(s));
+    for (PredSet s : planned) solve(s, plan.at(s), &scratch_);
   } else {
     // In-level work stealing. Each worker owns a deque of item indices;
     // it publishes its deterministic slice of a level, drains its own
@@ -501,6 +532,7 @@ CONDSEL_HOT const MemoEntry& GetSelectivity::ComputeParallel(PredSet p,
       std::vector<uint64_t> solved;  // per level
       std::vector<uint64_t> steals;  // per level of the batch's first item
       std::vector<uint64_t> stolen;  // per level of each stolen item
+      ScoreScratch scratch;          // this worker's candidate-list scratch
     };
     std::vector<WorkerLocal> local(workers);
     for (WorkerLocal& wl : local) {
@@ -518,7 +550,7 @@ CONDSEL_HOT const MemoEntry& GetSelectivity::ComputeParallel(PredSet p,
 
     auto solve_item = [&](size_t idx, size_t w) {
       const PredSet s = planned[idx];
-      solve(s, plan.at(s));
+      solve(s, plan.at(s), &local[w].scratch);
       ++local[w].solved[level_of[idx]];
       // Release pairs with the gate's acquire: a worker that observes the
       // level complete also observes every entry the level inserted.

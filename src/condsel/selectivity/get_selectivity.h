@@ -54,10 +54,12 @@
 #include <vector>
 
 #include "condsel/analysis/derivation.h"
+#include "condsel/common/arena.h"
 #include "condsel/query/query.h"
 #include "condsel/selectivity/atomic_provider.h"
 #include "condsel/selectivity/budget.h"
 #include "condsel/selectivity/selectivity_memo.h"
+#include "condsel/selectivity/shape_cache.h"
 
 namespace condsel {
 
@@ -71,9 +73,14 @@ class GetSelectivity {
   // All pointers are borrowed and must outlive this object. The
   // provider's matcher must already be bound to `query`. `budget` may
   // be null (unlimited); it is re-read on every Compute() call, so the
-  // owner can tighten or relax it between requests.
+  // owner can tighten or relax it between requests. `shape` (optional)
+  // is the decomposition skeleton of `query`'s canonical shape
+  // (ShapeCache::Acquire): when attached, candidate enumeration is
+  // served from — and lazily fills — the shared skeleton, so
+  // structurally identical statements enumerate once.
   GetSelectivity(const Query* query, AtomicSelectivityProvider* provider,
-                 const EstimationBudget* budget = nullptr);
+                 const EstimationBudget* budget = nullptr,
+                 ShapeCache::Entry* shape = nullptr);
   ~GetSelectivity();
 
   // Most accurate estimation of Sel(P) within budget. Memoized across
@@ -106,13 +113,22 @@ class GetSelectivity {
   const MemoEntry& ComputeParallel(PredSet p, int threads);
 
   // Scores the atomic decompositions of non-separable `p` over
-  // `candidates`, estimates the winner, and returns the finished entry
-  // (possibly degraded). `child` maps a subset to its solved entry; the
-  // sequential driver recurses, the parallel driver reads the memo.
+  // `candidates` (arena-backed, built by the caller's enumeration pass),
+  // estimates the winner, and returns the finished entry (possibly
+  // degraded). `child` maps a subset to its solved entry; the sequential
+  // driver recurses, the parallel driver reads the memo. `scratch` is the
+  // calling thread's candidate-list scratch (one per worker — never
+  // shared concurrently).
   template <typename ChildFn>
-  MemoEntry SolveNonSeparable(PredSet p, const std::vector<PredSet>& candidates,
-                              ChildFn&& child);
+  MemoEntry SolveNonSeparable(PredSet p,
+                              const ArenaVector<PredSet>& candidates,
+                              ChildFn&& child, ScoreScratch* scratch);
 
+  // Candidate enumeration for non-separable `p`, through the shape cache
+  // when one is attached: a warm subset copies the skeleton's list, a
+  // cold one enumerates and (if the pass was not deadline-truncated)
+  // stores it. Cached and fresh lists are bit-identical by construction.
+  void EnumerateCandidates(PredSet p, ArenaVector<PredSet>* out);
   // Independence-assumption fallback entry for `p` (the noSit path).
   MemoEntry DegradedEntry(PredSet p, FallbackReason reason);
   // Base-histogram estimate of one predicate; neutral 1.0 when no base
@@ -125,8 +141,19 @@ class GetSelectivity {
   const Query* query_;
   AtomicSelectivityProvider* provider_;
   const EstimationBudget* budget_;
+  ShapeCache::Entry* shape_;  // may be null: no shape cache attached
   DerivationDag* recorder_ = nullptr;
   SelectivityMemo memo_;
+  // Per-Compute() scratch arena for candidate lists and the parallel
+  // plan's per-subset storage. Reset (retaining its blocks) at the top of
+  // every Compute() call, so a warmed-up estimator enumerates without
+  // allocating. Lifetime rule: no pointer into the arena may escape the
+  // Compute() call that allocated it — memo entries store everything
+  // inline (ComponentList, SitVec) for exactly this reason.
+  Arena arena_;
+  // Candidate-list scratch for the sequential driver's Score calls (the
+  // parallel driver's workers each carry their own).
+  ScoreScratch scratch_;
   BudgetCounters counters_;
   // Deadline for the in-flight top-level Compute() call, armed via
   // ScopedDeadline and passed down explicitly per call (Score's deadline

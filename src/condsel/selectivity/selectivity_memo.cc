@@ -1,5 +1,6 @@
 #include "condsel/selectivity/selectivity_memo.h"
 
+#include <algorithm>
 #include <shared_mutex>
 
 #include "condsel/common/macros.h"
@@ -8,39 +9,58 @@ namespace condsel {
 
 CONDSEL_HOT const MemoEntry* SelectivityMemo::Find(PredSet p) const {
   std::shared_lock<OrderedSharedMutex> lock(mu_);
-  auto it = index_.find(p);
-  return it == index_.end() ? nullptr : it->second;
+  if (p < kDenseSlots) {
+    return p < dense_.size() ? dense_[p] : nullptr;
+  }
+  auto it = overflow_.find(p);
+  return it == overflow_.end() ? nullptr : it->second;
 }
 
 CONDSEL_HOT const MemoEntry& SelectivityMemo::Insert(PredSet p,
                                                      MemoEntry entry) {
   std::unique_lock<OrderedSharedMutex> lock(mu_);
-  auto it = index_.find(p);
-  if (it != index_.end()) return *it->second;
+  if (p < kDenseSlots) {
+    if (p >= dense_.size()) {
+      // Geometric growth keyed to the largest subset seen: one resize
+      // covers the whole universe (the root subset arrives early in both
+      // drivers), and the storage is retained across generation rebinds.
+      size_t cap = std::max<size_t>(dense_.size(), 64);
+      while (cap <= p) cap *= 2;
+      dense_.resize(cap, nullptr);
+    }
+    if (dense_[p] != nullptr) return *dense_[p];
+    entries_.push_back(std::move(entry));
+    const MemoEntry* stored = &entries_.back();
+    dense_[p] = stored;
+    return *stored;
+  }
+  auto it = overflow_.find(p);
+  if (it != overflow_.end()) return *it->second;
   entries_.push_back(std::move(entry));
   const MemoEntry* stored = &entries_.back();
-  index_.emplace(p, stored);
+  overflow_.emplace(p, stored);
   return *stored;
 }
 
 CONDSEL_HOT const DerivationAtom* SelectivityMemo::FindAtom(
     int pred) const {
+  CONDSEL_CHECK(pred >= 0 && pred < kMaxPredicates);
   std::shared_lock<OrderedSharedMutex> lock(mu_);
-  auto it = atoms_.find(pred);
-  return it == atoms_.end() ? nullptr : &it->second;
+  return atom_present_[pred] ? &atoms_[pred] : nullptr;
 }
 
 CONDSEL_HOT const DerivationAtom& SelectivityMemo::InsertAtom(
-    int pred, DerivationAtom atom,
-                                                  bool* inserted) {
+    int pred, DerivationAtom atom, bool* inserted) {
+  CONDSEL_CHECK(pred >= 0 && pred < kMaxPredicates);
   std::unique_lock<OrderedSharedMutex> lock(mu_);
-  auto it = atoms_.find(pred);
-  if (it != atoms_.end()) {
+  if (atom_present_[pred]) {
     if (inserted != nullptr) *inserted = false;
-    return it->second;
+    return atoms_[pred];
   }
   if (inserted != nullptr) *inserted = true;
-  return atoms_.emplace(pred, std::move(atom)).first->second;
+  atoms_[pred] = atom;
+  atom_present_[pred] = true;
+  return atoms_[pred];
 }
 
 size_t SelectivityMemo::size() const {
@@ -55,9 +75,12 @@ void SelectivityMemo::BindGeneration(uint64_t gen) {
     // Self-invalidation on a statistics refresh: an entry computed from
     // the previous generation's histograms must never answer for the new
     // one — that is precisely the staleness bug a bitmask-only key had.
-    index_.clear();
+    // The dense table keeps its capacity (only the slots are reset), so
+    // steady-state rebinds do not allocate.
+    std::fill(dense_.begin(), dense_.end(), nullptr);
+    overflow_.clear();
     entries_.clear();
-    atoms_.clear();
+    std::fill(atom_present_, atom_present_ + kMaxPredicates, false);
   }
   generation_bound_ = true;
   generation_ = gen;

@@ -9,9 +9,22 @@
 // both are bit-identical on budget-free runs, so which one wins is
 // unobservable.
 //
+// The index is two-tier, chosen by the key value alone so lookups stay
+// branch-cheap and bit-identical either way:
+//  - keys below kDenseSlots (every query of at most kDenseBits
+//    predicates) resolve through a dense pointer table indexed directly
+//    by the bitmask — one bounds check and one load under the shared
+//    lock, no hashing. The table grows geometrically on insert and is
+//    retained across generation rebinds (refilled with nullptr), so a
+//    warmed-up estimator indexes without allocating.
+//  - larger keys (17..32-predicate universes) fall back to the hash map.
+// A single Find may consult both tiers only when the overflow map is
+// non-empty, which cannot happen for small universes.
+//
 // The memo also holds the per-predicate independence-fallback atoms
-// (the noSit path re-entered by every degraded superset), memoized under
-// the same lock.
+// (the noSit path re-entered by every degraded superset) in a fixed
+// 32-slot array — one per possible predicate index — memoized under the
+// same lock.
 
 #pragma once
 
@@ -24,6 +37,7 @@
 #include "condsel/common/lock_ranks.h"
 #include "condsel/common/ordered_mutex.h"
 #include "condsel/common/thread_annotations.h"
+#include "condsel/query/join_graph.h"
 #include "condsel/query/query.h"
 #include "condsel/selectivity/atomic_provider.h"
 
@@ -39,12 +53,20 @@ struct MemoEntry {
   PredSet best_p_prime = 0;         // kAtomic: the factor's P'
   FactorChoice choice;              // kAtomic: chosen SITs
   double factor_selectivity = 1.0;  // kAtomic: Sel(P'|Q) as estimated
-  std::vector<PredSet> components;  // kSeparable
+  // kSeparable: the standard decomposition, inline (at most one component
+  // per predicate) — copying or memoizing an entry never touches the heap.
+  ComponentList components;
   FallbackReason fallback = FallbackReason::kNone;  // kDegraded
 };
 
 class SelectivityMemo {
  public:
+  // Universes of up to this many predicates are served entirely by the
+  // dense table (2^16 pointer slots = 512 KiB fully grown; the table only
+  // grows to cover the largest key actually inserted).
+  static constexpr int kDenseBits = 16;
+  static constexpr uint64_t kDenseSlots = uint64_t{1} << kDenseBits;
+
   // The entry for `p`, or nullptr. The reference stays valid for the
   // memo's lifetime.
   const MemoEntry* Find(PredSet p) const CONDSEL_EXCLUDES(mu_);
@@ -65,10 +87,11 @@ class SelectivityMemo {
   // derived from one pool; a subset bitmask alone does not identify an
   // estimate once the statistics behind it change. If `gen` differs from
   // the bound generation (a delta refresh happened between Compute()
-  // calls), every entry and atom is dropped before rebinding. The first
-  // call binds without clearing. Entry references handed out before a
-  // rebind are invalidated — drivers call this only at the top of a
-  // Compute() pass, before taking any.
+  // calls), every entry and atom is dropped before rebinding — the dense
+  // table keeps its storage and is refilled with nullptr, so the rebind
+  // itself allocates nothing. The first call binds without clearing.
+  // Entry references handed out before a rebind are invalidated — drivers
+  // call this only at the top of a Compute() pass, before taking any.
   void BindGeneration(uint64_t gen) CONDSEL_EXCLUDES(mu_);
   uint64_t bound_generation() const CONDSEL_EXCLUDES(mu_);
 
@@ -79,9 +102,13 @@ class SelectivityMemo {
   mutable OrderedSharedMutex mu_{lock_rank::kSelectivityMemo,
                                  "SelectivityMemo::mu_"};
   std::deque<MemoEntry> entries_ CONDSEL_GUARDED_BY(mu_);
-  std::unordered_map<PredSet, const MemoEntry*> index_
+  // Dense tier: slot p holds the entry for subset p (nullptr = absent).
+  std::vector<const MemoEntry*> dense_ CONDSEL_GUARDED_BY(mu_);
+  // Overflow tier for keys >= kDenseSlots.
+  std::unordered_map<PredSet, const MemoEntry*> overflow_
       CONDSEL_GUARDED_BY(mu_);
-  std::unordered_map<int, DerivationAtom> atoms_ CONDSEL_GUARDED_BY(mu_);
+  DerivationAtom atoms_[kMaxPredicates] CONDSEL_GUARDED_BY(mu_);
+  bool atom_present_[kMaxPredicates] CONDSEL_GUARDED_BY(mu_) = {};
   bool generation_bound_ CONDSEL_GUARDED_BY(mu_) = false;
   uint64_t generation_ CONDSEL_GUARDED_BY(mu_) = 0;
 };

@@ -12,4 +12,8 @@ std::vector<PredSet> StandardDecomposition(const Query& query, PredSet p) {
   return ConnectedComponents(query.predicates(), p);
 }
 
+ComponentList StandardDecompositionFast(const Query& query, PredSet p) {
+  return ConnectedComponentsFast(query.predicates(), p);
+}
+
 }  // namespace condsel

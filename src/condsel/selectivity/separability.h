@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "condsel/query/join_graph.h"
 #include "condsel/query/query.h"
 
 namespace condsel {
@@ -21,6 +22,10 @@ bool IsSeparableSel(const Query& query, PredSet p, PredSet cond = 0);
 // of P, each a non-separable unconditioned factor, ordered canonically by
 // lowest predicate index.
 std::vector<PredSet> StandardDecomposition(const Query& query, PredSet p);
+
+// Allocation-free variant for the per-subset DP hot path; identical
+// contents and order, returned on the stack.
+ComponentList StandardDecompositionFast(const Query& query, PredSet p);
 
 }  // namespace condsel
 

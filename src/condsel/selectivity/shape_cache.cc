@@ -1,0 +1,96 @@
+#include "condsel/selectivity/shape_cache.h"
+
+#include <shared_mutex>
+
+#include "condsel/common/macros.h"
+
+namespace condsel {
+namespace {
+
+// Canonical id for `c` under first-appearance renaming. One flat map
+// keyed by the raw (table, column) pair; table ids get their own
+// first-appearance numbering so join-graph topology survives renaming.
+struct Renamer {
+  std::unordered_map<int64_t, int> tables;
+  std::unordered_map<int64_t, int> columns;
+
+  static int64_t ColKey(ColumnRef c) {
+    return (static_cast<int64_t>(c.table) << 32) |
+           static_cast<int64_t>(static_cast<uint32_t>(c.column));
+  }
+
+  void Encode(ColumnRef c, std::string* out) {
+    const auto t = tables.emplace(c.table, static_cast<int>(tables.size()));
+    const auto k =
+        columns.emplace(ColKey(c), static_cast<int>(columns.size()));
+    out->append(std::to_string(t.first->second));
+    out->push_back('.');
+    out->append(std::to_string(k.first->second));
+  }
+};
+
+}  // namespace
+
+std::string CanonicalShapeKey(const Query& query) {
+  Renamer renamer;
+  std::string key;
+  key.reserve(static_cast<size_t>(query.num_predicates()) * 8);
+  for (const Predicate& pred : query.predicates()) {
+    if (pred.is_filter()) {
+      key.push_back('F');
+      renamer.Encode(pred.column(), &key);
+    } else {
+      key.push_back('J');
+      renamer.Encode(pred.left(), &key);
+      key.push_back('=');
+      renamer.Encode(pred.right(), &key);
+    }
+    key.push_back(';');
+  }
+  return key;
+}
+
+CONDSEL_HOT bool ShapeCache::Entry::CopyCandidates(
+    PredSet p, ArenaVector<PredSet>* out) const {
+  std::shared_lock<OrderedSharedMutex> lock(mu_);
+  auto it = nodes_.find(p);
+  if (it == nodes_.end()) return false;
+  out->clear();
+  for (PredSet c : it->second) out->Append(c);
+  return true;
+}
+
+void ShapeCache::Entry::StoreCandidates(
+    PredSet p, const ArenaVector<PredSet>& candidates) {
+  std::unique_lock<OrderedSharedMutex> lock(mu_);
+  if (nodes_.find(p) != nodes_.end()) return;  // first-wins
+  nodes_.emplace(p,
+                 std::vector<PredSet>(candidates.begin(), candidates.end()));
+}
+
+size_t ShapeCache::Entry::cached_subsets() const {
+  std::shared_lock<OrderedSharedMutex> lock(mu_);
+  return nodes_.size();
+}
+
+std::shared_ptr<ShapeCache::Entry> ShapeCache::Acquire(const Query& query) {
+  const std::string key = CanonicalShapeKey(query);
+  {
+    std::shared_lock<OrderedSharedMutex> lock(mu_);
+    auto it = shapes_.find(key);
+    if (it != shapes_.end()) return it->second;
+  }
+  std::unique_lock<OrderedSharedMutex> lock(mu_);
+  auto it = shapes_.find(key);
+  if (it != shapes_.end()) return it->second;
+  auto entry = std::make_shared<Entry>();
+  shapes_.emplace(key, entry);
+  return entry;
+}
+
+size_t ShapeCache::shapes() const {
+  std::shared_lock<OrderedSharedMutex> lock(mu_);
+  return shapes_.size();
+}
+
+}  // namespace condsel

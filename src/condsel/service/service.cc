@@ -178,7 +178,7 @@ StatusOr<ServiceEstimate> EstimationService::Attempt(
   const uint64_t session_id =
       next_session_id_.fetch_add(1, std::memory_order_relaxed);
   Estimator estimator(&snap.catalog(), &snap.pool(), options_.ranking,
-                      budget);
+                      budget, &shape_cache_);
   double selectivity = 0.0;
   double cardinality = 0.0;
   try {

@@ -204,6 +204,12 @@ class EstimationService {
   CircuitBreakerLadder breaker_;
   ServiceCounters counters_;
   GsStatsLedger ledger_;
+  // Decomposition skeletons shared across every per-attempt estimator
+  // (the per-attempt sessions are otherwise cold): Prewarm fills it, and
+  // repeated statement shapes skip candidate enumeration from then on.
+  // Holds query structure only — no statistics — so snapshot epoch swaps
+  // and delta refreshes never invalidate it (see shape_cache.h).
+  ShapeCache shape_cache_;
   std::atomic<uint64_t> next_session_id_{1};
 
   // Backoff jitter stream; Rng is not thread-safe, so draws serialize.

@@ -46,9 +46,10 @@ void SitMatcher::BindQuery(const Query* query) {
   }
 }
 
-std::vector<SitCandidate> SitMatcher::FilterMaximal(
+CONDSEL_HOT void SitMatcher::FilterMaximalInto(
     const std::vector<SitCandidate>* list, PredSet cond,
-    CallAccounting accounting) {
+    CallAccounting accounting, std::vector<SitCandidate>* out) {
+  out->clear();
   if (accounting == CallAccounting::kIndexed) {
     ++num_calls_;
   } else {
@@ -57,51 +58,65 @@ std::vector<SitCandidate> SitMatcher::FilterMaximal(
     num_calls_ +=
         list == nullptr ? 1 : std::max<size_t>(1, list->size());
   }
-  std::vector<SitCandidate> consistent;
-  if (list == nullptr) return consistent;
+  if (list == nullptr) return;
   // Fault injection: behave as if no SIT (not even a base histogram)
   // matched, simulating a pool that failed to load. Downstream must
   // degrade, never abort.
   {
     const FaultInjector& fi = FaultInjector::Instance();
-    if (fi.armed() && fi.enabled(Fault::kDropSits)) return consistent;
+    if (fi.armed() && fi.enabled(Fault::kDropSits)) return;
   }
+  // Consistency (rule 2) and maximality (rule 3) in one pass: keep
+  // candidates with expr ⊆ cond whose expression no other consistent
+  // candidate's expression strictly contains. Applicability lists are
+  // short (SITs per attribute), so the quadratic domination scan beats
+  // materializing the consistent subset first.
   for (const SitCandidate& c : *list) {
-    if (IsSubset(c.expr_mask, cond)) consistent.push_back(c);
-  }
-
-  // Maximality (rule 3): drop candidates whose expression is strictly
-  // contained in another consistent candidate's expression.
-  std::vector<SitCandidate> maximal;
-  for (const SitCandidate& c : consistent) {
+    if (!IsSubset(c.expr_mask, cond)) continue;
     bool dominated = false;
-    for (const SitCandidate& d : consistent) {
+    for (const SitCandidate& d : *list) {
+      if (!IsSubset(d.expr_mask, cond)) continue;
       if (d.sit != c.sit && IsSubset(c.expr_mask, d.expr_mask) &&
           c.expr_mask != d.expr_mask) {
         dominated = true;
         break;
       }
     }
-    if (!dominated) maximal.push_back(c);
+    if (!dominated) out->push_back(c);
   }
-  return maximal;
+}
+
+void SitMatcher::CandidatesInto(ColumnRef attr, PredSet cond,
+                                CallAccounting accounting,
+                                std::vector<SitCandidate>* out) {
+  CONDSEL_CHECK(query_ != nullptr);
+  auto it = applicable_.find(attr);
+  FilterMaximalInto(it == applicable_.end() ? nullptr : &it->second, cond,
+                    accounting, out);
+}
+
+void SitMatcher::Candidates2Into(ColumnRef a, ColumnRef b, PredSet cond,
+                                 CallAccounting accounting,
+                                 std::vector<SitCandidate>* out) {
+  CONDSEL_CHECK(query_ != nullptr);
+  if (b < a) std::swap(a, b);
+  auto it = applicable2_.find({a, b});
+  FilterMaximalInto(it == applicable2_.end() ? nullptr : &it->second, cond,
+                    accounting, out);
 }
 
 std::vector<SitCandidate> SitMatcher::Candidates(
     ColumnRef attr, PredSet cond, CallAccounting accounting) {
-  CONDSEL_CHECK(query_ != nullptr);
-  auto it = applicable_.find(attr);
-  return FilterMaximal(it == applicable_.end() ? nullptr : &it->second,
-                       cond, accounting);
+  std::vector<SitCandidate> out;
+  CandidatesInto(attr, cond, accounting, &out);
+  return out;
 }
 
 std::vector<SitCandidate> SitMatcher::Candidates2(
     ColumnRef a, ColumnRef b, PredSet cond, CallAccounting accounting) {
-  CONDSEL_CHECK(query_ != nullptr);
-  if (b < a) std::swap(a, b);
-  auto it = applicable2_.find({a, b});
-  return FilterMaximal(it == applicable2_.end() ? nullptr : &it->second,
-                       cond, accounting);
+  std::vector<SitCandidate> out;
+  Candidates2Into(a, b, cond, accounting, &out);
+  return out;
 }
 
 }  // namespace condsel

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <vector>
 
@@ -25,6 +26,36 @@ struct SitCandidate {
   // The SIT's expression as a bitmask over the bound query's predicates
   // (Q' above). Empty for base histograms.
   PredSet expr_mask = 0;
+};
+
+// Fixed-capacity list of the SITs chosen for one factor: a single SIT for
+// filter shapes, one per side for a join — never more than two. Inline
+// storage replaces std::vector in FactorChoice so constructing, copying,
+// and memoizing a choice performs no heap allocation; the
+// initializer_list constructor keeps `{c}` / `{cl, cr}` call sites and
+// test literals working unchanged.
+class SitVec {
+ public:
+  static constexpr size_t kCapacity = 2;
+
+  SitVec() = default;
+  SitVec(std::initializer_list<SitCandidate> list) {  // NOLINT
+    for (const SitCandidate& c : list) Append(c);
+  }
+
+  void Append(const SitCandidate& c) { data_[size_++] = c; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const SitCandidate& operator[](size_t i) const { return data_[i]; }
+  SitCandidate& operator[](size_t i) { return data_[i]; }
+  const SitCandidate& front() const { return data_[0]; }
+  const SitCandidate* begin() const { return data_; }
+  const SitCandidate* end() const { return data_ + size_; }
+
+ private:
+  SitCandidate data_[kCapacity];
+  size_t size_ = 0;
 };
 
 class SitMatcher {
@@ -64,6 +95,17 @@ class SitMatcher {
       ColumnRef a, ColumnRef b, PredSet cond,
       CallAccounting accounting = CallAccounting::kIndexed);
 
+  // Scratch-filling variants for the estimation hot path: `out` is
+  // cleared and refilled, retaining its capacity, so a caller reusing one
+  // vector across calls reaches a steady state of zero allocations per
+  // lookup. Identical contents and order to the returning forms.
+  void CandidatesInto(ColumnRef attr, PredSet cond,
+                      CallAccounting accounting,
+                      std::vector<SitCandidate>* out);
+  void Candidates2Into(ColumnRef a, ColumnRef b, PredSet cond,
+                       CallAccounting accounting,
+                       std::vector<SitCandidate>* out);
+
   uint64_t num_calls() const {
     return num_calls_.load(std::memory_order_relaxed);
   }
@@ -72,10 +114,11 @@ class SitMatcher {
   const SitPool& pool() const { return *pool_; }
 
  private:
-  // Shared consistency + maximality filtering over an applicability list.
-  std::vector<SitCandidate> FilterMaximal(
-      const std::vector<SitCandidate>* list, PredSet cond,
-      CallAccounting accounting);
+  // Shared consistency + maximality filtering over an applicability list,
+  // single pass, no intermediate storage beyond `out`.
+  void FilterMaximalInto(const std::vector<SitCandidate>* list, PredSet cond,
+                         CallAccounting accounting,
+                         std::vector<SitCandidate>* out);
 
   const SitPool* pool_;
   const Query* query_ = nullptr;

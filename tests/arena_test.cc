@@ -1,0 +1,130 @@
+// Arena / ArenaVector: the per-Compute bump allocator's contract —
+// alignment, block reuse across Reset (the zero-steady-state-allocations
+// property the benches measure), oversized requests, and vector growth.
+
+#include "condsel/common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "condsel/query/predicate_set.h"
+
+namespace condsel {
+namespace {
+
+TEST(ArenaTest, AllocatesAligned) {
+  Arena arena;
+  for (size_t align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    void* p = arena.Allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+        << "align=" << align;
+  }
+}
+
+TEST(ArenaTest, DistinctLiveAllocations) {
+  Arena arena;
+  int* a = arena.AllocateArray<int>(10);
+  int* b = arena.AllocateArray<int>(10);
+  for (int i = 0; i < 10; ++i) {
+    a[i] = i;
+    b[i] = 100 + i;
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a[i], i);
+    EXPECT_EQ(b[i], 100 + i);
+  }
+}
+
+TEST(ArenaTest, ResetRetainsBlocks) {
+  Arena arena(1024);
+  // Fill past the first block so several get chained.
+  for (int i = 0; i < 100; ++i) arena.Allocate(128);
+  const size_t blocks = arena.BlockCount();
+  const size_t capacity = arena.TotalCapacity();
+  EXPECT_GT(blocks, 1u);
+  // Steady state: the same allocation pattern after Reset must reuse the
+  // chain without growing it.
+  for (int round = 0; round < 5; ++round) {
+    arena.Reset();
+    for (int i = 0; i < 100; ++i) arena.Allocate(128);
+    EXPECT_EQ(arena.BlockCount(), blocks);
+    EXPECT_EQ(arena.TotalCapacity(), capacity);
+  }
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedBlock) {
+  Arena arena(256);
+  char* big = static_cast<char*>(arena.Allocate(10000));
+  std::memset(big, 0xAB, 10000);
+  EXPECT_GE(arena.TotalCapacity(), 10000u);
+  // Reset then reallocate: the oversized block is reused, not re-chained.
+  const size_t blocks = arena.BlockCount();
+  arena.Reset();
+  char* again = static_cast<char*>(arena.Allocate(10000));
+  std::memset(again, 0xCD, 10000);
+  EXPECT_EQ(arena.BlockCount(), blocks);
+}
+
+TEST(ArenaTest, MixedSizesAfterResetReuseChain) {
+  Arena arena(512);
+  // First epoch creates a mix of normal and oversized blocks.
+  arena.Allocate(100);
+  arena.Allocate(4000);
+  arena.Allocate(100);
+  const size_t blocks = arena.BlockCount();
+  // A later epoch with small-then-large requests walks the same chain.
+  for (int round = 0; round < 3; ++round) {
+    arena.Reset();
+    for (int i = 0; i < 8; ++i) arena.Allocate(50);
+    arena.Allocate(4000);
+    EXPECT_EQ(arena.BlockCount(), blocks) << "round " << round;
+  }
+}
+
+TEST(ArenaVectorTest, AppendAndIterate) {
+  Arena arena;
+  ArenaVector<int> v(&arena);
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 100; ++i) v.Append(i * 3);
+  EXPECT_EQ(v.size(), 100u);
+  int expect = 0;
+  for (int x : v) {
+    EXPECT_EQ(x, expect);
+    expect += 3;
+  }
+  EXPECT_EQ(v[99], 297);
+  EXPECT_EQ(v.back(), 297);
+}
+
+TEST(ArenaVectorTest, GrowthPreservesContents) {
+  Arena arena(256);
+  ArenaVector<uint32_t> v(&arena);
+  for (uint32_t i = 0; i < 1000; ++i) v.Append(i ^ 0xDEADu);
+  for (uint32_t i = 0; i < 1000; ++i) EXPECT_EQ(v[i], i ^ 0xDEADu);
+}
+
+TEST(ArenaVectorTest, ClearKeepsStorage) {
+  Arena arena;
+  ArenaVector<int> v(&arena);
+  for (int i = 0; i < 10; ++i) v.Append(i);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.Append(42);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 42);
+}
+
+TEST(SetBitsTest, MatchesSetElements) {
+  for (uint32_t mask : {0u, 1u, 0b1010u, 0x80000000u, 0xFFFFFFFFu,
+                        0x00F0F00Fu}) {
+    const std::vector<int> expect = SetElements(mask);
+    std::vector<int> got;
+    for (int i : SetBits(mask)) got.push_back(i);
+    EXPECT_EQ(got, expect) << "mask=" << mask;
+  }
+}
+
+}  // namespace
+}  // namespace condsel

@@ -1,0 +1,102 @@
+// Self-test for the bench allocation-counting hooks: every replaceable
+// operator-new form (ordinary, array, nothrow, over-aligned, and their
+// combinations) must bump g_alloc_count, or allocs_per_estimate in the
+// BENCH_*.json artifacts silently undercounts. Including bench_common.h
+// replaces the global operators for this whole test binary, exactly as it
+// does for each bench executable.
+
+#include "bench/bench_common.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <new>
+
+namespace condsel {
+namespace bench {
+namespace {
+
+// Each form is exercised by calling the operator function directly: a
+// new-*expression* paired with its delete may legally be elided by the
+// compiler, which would turn these probes into no-ops.
+
+TEST(AllocHookTest, OrdinaryFormCounted) {
+  const uint64_t before = AllocCount();
+  void* p = ::operator new(32);
+  EXPECT_GT(AllocCount(), before);
+  ::operator delete(p);
+}
+
+TEST(AllocHookTest, ArrayFormCounted) {
+  const uint64_t before = AllocCount();
+  void* p = ::operator new[](32);
+  EXPECT_GT(AllocCount(), before);
+  ::operator delete[](p);
+}
+
+TEST(AllocHookTest, NothrowFormsCounted) {
+  uint64_t before = AllocCount();
+  void* p = ::operator new(32, std::nothrow);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GT(AllocCount(), before);
+  ::operator delete(p, std::nothrow);
+
+  before = AllocCount();
+  p = ::operator new[](32, std::nothrow);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GT(AllocCount(), before);
+  ::operator delete[](p, std::nothrow);
+}
+
+TEST(AllocHookTest, OverAlignedFormsCounted) {
+  uint64_t before = AllocCount();
+  void* p = ::operator new(128, std::align_val_t{128});
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 128, 0u);
+  EXPECT_GT(AllocCount(), before);
+  ::operator delete(p, std::align_val_t{128});
+
+  before = AllocCount();
+  p = ::operator new[](128, std::align_val_t{128});
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 128, 0u);
+  EXPECT_GT(AllocCount(), before);
+  ::operator delete[](p, std::align_val_t{128});
+}
+
+TEST(AllocHookTest, OverAlignedNothrowFormsCounted) {
+  uint64_t before = AllocCount();
+  void* p = ::operator new(64, std::align_val_t{64}, std::nothrow);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GT(AllocCount(), before);
+  ::operator delete(p, std::align_val_t{64}, std::nothrow);
+
+  before = AllocCount();
+  p = ::operator new[](64, std::align_val_t{64}, std::nothrow);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GT(AllocCount(), before);
+  ::operator delete[](p, std::align_val_t{64}, std::nothrow);
+}
+
+// An over-aligned new-expression must route through the aligned form and
+// produce correctly aligned storage (the original hook left these to
+// libstdc++'s aligned_alloc default, bypassing the counter entirely).
+TEST(AllocHookTest, OverAlignedNewExpressionCountedAndAligned) {
+  struct alignas(64) Wide {
+    double d[8];
+  };
+  const uint64_t before = AllocCount();
+  Wide* volatile w = new Wide();
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(w) % 64, 0u);
+  EXPECT_GT(AllocCount(), before);
+  delete w;
+}
+
+// The startup probe the benches run: nullptr means every form counted.
+TEST(AllocHookTest, SelfTestPasses) {
+  EXPECT_EQ(AllocHookSelfTest(), nullptr);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace condsel

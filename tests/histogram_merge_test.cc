@@ -1,0 +1,187 @@
+// Tests for MergeHistograms — the partitioned-statistics merge path.
+//
+// The regression tests pin the two accounting bugs the merge shipped
+// with: distinct counts summed linearly across pieces (double-counting
+// values present in every part), and overlap math run through
+// double-cast int64 endpoints (losing 1024-wide precision near 2^63 on
+// open-ended buckets). The property tests check mass conservation under
+// unequal part cardinalities and zero-row parts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "condsel/common/rng.h"
+#include "condsel/histogram/histogram.h"
+#include "condsel/histogram/histogram_merge.h"
+
+namespace condsel {
+namespace {
+
+constexpr int64_t kInt64Max = std::numeric_limits<int64_t>::max();
+
+Histogram OneBucket(int64_t lo, int64_t hi, double frequency,
+                    double distinct, double cardinality) {
+  Bucket b;
+  b.lo = lo;
+  b.hi = hi;
+  b.frequency = frequency;
+  b.distinct = distinct;
+  return Histogram({b}, cardinality);
+}
+
+double MergedDistinct(const Histogram& h) {
+  double d = 0.0;
+  for (const Bucket& b : h.buckets()) d += b.distinct;
+  return d;
+}
+
+// Regression (distinct double-count): the same key range lives in every
+// part. Values are shared across parts — summing per-piece distincts
+// counts each value once per part, and the clamp to the segment width
+// then silently reports a fully dense domain. The capped union estimate
+// must land strictly below the width.
+TEST(HistogramMergeTest, SharedKeyRangeDoesNotDoubleCountDistincts) {
+  const Histogram a = OneBucket(0, 99, 1.0, 60.0, 100.0);
+  const Histogram b = OneBucket(0, 99, 1.0, 60.0, 100.0);
+  const Histogram c = OneBucket(0, 99, 1.0, 60.0, 100.0);
+  const Histogram merged = MergeHistograms({&a, &b, &c}, 16);
+  ASSERT_EQ(merged.num_buckets(), 1u);
+  const double d = merged.buckets()[0].distinct;
+  // Pre-fix: 3 * 60 = 180, clamped to the width (exactly 100): the merge
+  // claimed every value of the domain is present.
+  EXPECT_LT(d, 99.0);
+  // Uniform-draw union estimate: 100 * (1 - (1 - 0.6)^3) = 93.6.
+  EXPECT_NEAR(d, 93.6, 1e-9);
+  // Never below the largest single piece, never above the sum.
+  EXPECT_GE(d, 60.0);
+  EXPECT_LE(d, 180.0);
+}
+
+// A segment only one piece touches keeps that piece's distinct estimate
+// exactly — the single-part path must stay bit-identical to the piece.
+TEST(HistogramMergeTest, SinglePieceDistinctsUnchanged) {
+  const Histogram a = OneBucket(0, 99, 1.0, 60.0, 100.0);
+  const Histogram merged = MergeHistograms({&a}, 16);
+  ASSERT_EQ(merged.num_buckets(), 1u);
+  EXPECT_EQ(merged.buckets()[0].distinct, 60.0);
+  EXPECT_EQ(merged.buckets()[0].frequency, 1.0);
+}
+
+// Disjoint key ranges share no values: distincts must still add exactly
+// (the union estimate only applies within a shared segment).
+TEST(HistogramMergeTest, DisjointRangesAddDistincts) {
+  const Histogram a = OneBucket(0, 99, 1.0, 50.0, 100.0);
+  const Histogram b = OneBucket(100, 199, 1.0, 70.0, 100.0);
+  const Histogram merged = MergeHistograms({&a, &b}, 16);
+  EXPECT_NEAR(MergedDistinct(merged), 120.0, 1e-9);
+}
+
+// Regression (2^63 precision): near INT64_MAX, doubles are 1024 apart, so
+// overlap math on double-cast endpoints inflates overlap fractions past 1
+// and the merged mass past the weighted piece mass. Integer-clamped
+// intersections keep the fractions exact.
+TEST(HistogramMergeTest, OpenEndedBucketsNearInt64MaxConserveMass) {
+  // Piece A spans two segments; its bucket endpoints collapse to the same
+  // double as the segment boundary introduced by piece B.
+  const Histogram a = OneBucket(kInt64Max - 1023, kInt64Max, 1.0, 512.0,
+                                100.0);
+  const Histogram b = OneBucket(kInt64Max - 511, kInt64Max, 1.0, 256.0,
+                                100.0);
+  const Histogram merged = MergeHistograms({&a, &b}, 16);
+  // Each piece carries total frequency 1.0 and weight 0.5: the merged
+  // total must be exactly 1.0. Pre-fix it lands near 1.25 (piece A's
+  // fractions sum to 1025/1024 + 513/1024 ≈ 1.5).
+  EXPECT_NEAR(merged.total_frequency(), 1.0, 1e-9);
+  for (const Bucket& bk : merged.buckets()) {
+    EXPECT_GE(bk.frequency, 0.0);
+    EXPECT_LE(bk.frequency, 1.0 + 1e-12);
+  }
+}
+
+// A fully open-ended bucket (hi == INT64_MAX) must survive the boundary
+// build (no hi + 1 overflow) and keep its mass and width sane.
+TEST(HistogramMergeTest, FullyOpenEndedBucketBoundary) {
+  const Histogram a = OneBucket(0, kInt64Max, 0.5, 1000.0, 100.0);
+  const Histogram b = OneBucket(0, 999, 1.0, 500.0, 100.0);
+  const Histogram merged = MergeHistograms({&a, &b}, 16);
+  EXPECT_NEAR(merged.total_frequency(), 0.75, 1e-9);
+  ASSERT_FALSE(merged.empty());
+  EXPECT_EQ(merged.buckets().back().hi, kInt64Max);
+  for (const Bucket& bk : merged.buckets()) {
+    EXPECT_TRUE(std::isfinite(bk.frequency));
+    EXPECT_TRUE(std::isfinite(bk.distinct));
+    EXPECT_GE(bk.distinct, 0.0);
+  }
+}
+
+// Mass conservation property: with unequal part cardinalities the merged
+// total frequency is the cardinality-weighted mean of the pieces', and
+// the merged cardinality is the sum.
+TEST(HistogramMergeTest, MassConservationUnequalCardinalities) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Histogram> pieces;
+    std::vector<const Histogram*> ptrs;
+    double expected_mass = 0.0;
+    double total_card = 0.0;
+    const int n = 2 + static_cast<int>(rng.NextInRange(0, 3));
+    for (int i = 0; i < n; ++i) {
+      const int64_t lo = rng.NextInRange(0, 500);
+      const int64_t hi = lo + rng.NextInRange(0, 500);
+      const double freq =
+          static_cast<double>(rng.NextInRange(1, 1000)) / 1000.0;
+      const double width = static_cast<double>(hi - lo) + 1.0;
+      const double distinct =
+          std::max(1.0, width * static_cast<double>(rng.NextInRange(1, 99)) /
+                            100.0);
+      const double card = static_cast<double>(rng.NextInRange(1, 10000));
+      pieces.push_back(OneBucket(lo, hi, freq, distinct, card));
+      expected_mass += card * freq;
+      total_card += card;
+    }
+    for (const Histogram& h : pieces) ptrs.push_back(&h);
+    const Histogram merged = MergeHistograms(ptrs, 64);
+    EXPECT_DOUBLE_EQ(merged.source_cardinality(), total_card);
+    EXPECT_NEAR(merged.total_frequency() * total_card, expected_mass,
+                1e-6 * expected_mass);
+  }
+}
+
+// Weight-0 (zero-row) pieces contribute no mass, but their boundaries
+// still split segments — and they must not drop segments other pieces
+// populate.
+TEST(HistogramMergeTest, ZeroRowPartsDropNoSegments) {
+  const Histogram empty_part = OneBucket(50, 149, 1.0, 10.0, 0.0);
+  const Histogram live_part = OneBucket(0, 199, 1.0, 100.0, 1000.0);
+  const Histogram merged = MergeHistograms({&empty_part, &live_part}, 64);
+  // All the live mass survives; the zero-row piece adds none.
+  EXPECT_NEAR(merged.total_frequency(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(merged.source_cardinality(), 1000.0);
+  // The live piece's full domain stays covered (the zero-row piece's
+  // boundaries may split it, never truncate it).
+  ASSERT_FALSE(merged.empty());
+  EXPECT_EQ(merged.buckets().front().lo, 0);
+  EXPECT_EQ(merged.buckets().back().hi, 199);
+  double covered = 0.0;
+  for (const Bucket& bk : merged.buckets()) {
+    covered += static_cast<double>(bk.hi - bk.lo) + 1.0;
+  }
+  EXPECT_DOUBLE_EQ(covered, 200.0);
+}
+
+// All pieces empty of rows: the merge degrades to an empty histogram with
+// zero cardinality rather than dividing by zero.
+TEST(HistogramMergeTest, AllZeroRowParts) {
+  const Histogram a = OneBucket(0, 9, 1.0, 5.0, 0.0);
+  const Histogram b = OneBucket(10, 19, 1.0, 5.0, 0.0);
+  const Histogram merged = MergeHistograms({&a, &b}, 16);
+  EXPECT_TRUE(merged.empty());
+  EXPECT_DOUBLE_EQ(merged.source_cardinality(), 0.0);
+}
+
+}  // namespace
+}  // namespace condsel

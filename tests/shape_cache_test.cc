@@ -1,0 +1,159 @@
+// Tests for the shape-keyed decomposition cache (shape_cache.h): the
+// canonical-shape key, skeleton sharing across structurally identical
+// statements, bit-identity of cached vs fresh enumeration, and the
+// no-truncated-lists storage gate.
+
+#include <gtest/gtest.h>
+
+#include "condsel/api.h"
+#include "condsel/common/fault_injector.h"
+#include "condsel/exec/evaluator.h"
+#include "condsel/selectivity/get_selectivity.h"
+#include "condsel/selectivity/shape_cache.h"
+#include "condsel/sit/sit_builder.h"
+#include "condsel/sit/sit_pool.h"
+#include "test_util.h"
+
+namespace condsel {
+namespace {
+
+ColumnRef Ra() { return {0, 0}; }
+ColumnRef Rx() { return {0, 1}; }
+ColumnRef Sy() { return {1, 0}; }
+ColumnRef Sb() { return {1, 1}; }
+ColumnRef Tz() { return {2, 0}; }
+ColumnRef Tc() { return {2, 1}; }
+
+Query ChainQuery(int64_t filter_lo, int64_t filter_hi) {
+  return Query({Predicate::Filter(Ra(), filter_lo, filter_hi),
+                Predicate::Join(Rx(), Sy()),
+                Predicate::Join(Sb(), Tz()),
+                Predicate::Filter(Tc(), 1, 3)});
+}
+
+TEST(CanonicalShapeKeyTest, ConstantsDoNotChangeTheKey) {
+  EXPECT_EQ(CanonicalShapeKey(ChainQuery(1, 5)),
+            CanonicalShapeKey(ChainQuery(2, 9)));
+}
+
+TEST(CanonicalShapeKeyTest, PredicateKindChangesTheKey) {
+  const Query filters({Predicate::Filter(Ra(), 1, 5),
+                       Predicate::Filter(Sb(), 1, 5)});
+  const Query join({Predicate::Filter(Ra(), 1, 5),
+                    Predicate::Join(Rx(), Sy())});
+  EXPECT_NE(CanonicalShapeKey(filters), CanonicalShapeKey(join));
+}
+
+TEST(CanonicalShapeKeyTest, ColumnAttachmentChangesTheKey) {
+  // Filter on the join's own column vs on an unrelated column of the
+  // same table: the attachment pattern feeds candidate enumeration, so
+  // the keys must differ.
+  const Query attached({Predicate::Filter(Rx(), 1, 5),
+                        Predicate::Join(Rx(), Sy())});
+  const Query detached({Predicate::Filter(Ra(), 1, 5),
+                        Predicate::Join(Rx(), Sy())});
+  EXPECT_NE(CanonicalShapeKey(attached), CanonicalShapeKey(detached));
+}
+
+TEST(CanonicalShapeKeyTest, RenamingCollapsesTableIdentity) {
+  // Same structure over different concrete tables: first-appearance
+  // renaming maps both to one key.
+  const Query over_rs({Predicate::Filter(Ra(), 1, 5),
+                       Predicate::Join(Rx(), Sy())});
+  const Query over_st({Predicate::Filter(Sb(), 1, 5),
+                       Predicate::Join(Sy(), Tz())});
+  EXPECT_EQ(CanonicalShapeKey(over_rs), CanonicalShapeKey(over_st));
+}
+
+class ShapeCacheTest : public ::testing::Test {
+ protected:
+  ShapeCacheTest()
+      : catalog_(test::MakeTinyCatalog()),
+        eval_(&catalog_, &cache_),
+        builder_(&eval_, {HistogramType::kMaxDiff, 64}) {}
+
+  Catalog catalog_;
+  CardinalityCache cache_;
+  Evaluator eval_;
+  SitBuilder builder_;
+  DiffError diff_;
+};
+
+TEST_F(ShapeCacheTest, SecondStatementOfSameShapeHitsAndMatchesBitForBit) {
+  const Query q1 = ChainQuery(1, 5);
+  const Query q2 = ChainQuery(2, 9);  // same shape, different constants
+  const SitPool pool = GenerateSitPool({q1}, 2, builder_);
+
+  ShapeCache shapes;
+  const std::shared_ptr<ShapeCache::Entry> e1 = shapes.Acquire(q1);
+  const std::shared_ptr<ShapeCache::Entry> e2 = shapes.Acquire(q2);
+  ASSERT_EQ(e1.get(), e2.get());  // one shape, one skeleton
+  EXPECT_EQ(shapes.shapes(), 1u);
+
+  SitMatcher m1(&pool);
+  m1.BindQuery(&q1);
+  AtomicSelectivityProvider p1(&m1, &diff_);
+  GetSelectivity gs1(&q1, &p1, nullptr, e1.get());
+  gs1.Compute(q1.all_predicates());
+  EXPECT_GT(gs1.stats().shape_cache_misses, 0u);
+  EXPECT_EQ(gs1.stats().shape_cache_hits, 0u);
+  EXPECT_GT(e1->cached_subsets(), 0u);
+
+  // The warm statement serves every enumeration from the skeleton...
+  SitMatcher m2(&pool);
+  m2.BindQuery(&q2);
+  AtomicSelectivityProvider p2(&m2, &diff_);
+  GetSelectivity gs2(&q2, &p2, nullptr, e2.get());
+  const SelEstimate warm = gs2.Compute(q2.all_predicates());
+  EXPECT_GT(gs2.stats().shape_cache_hits, 0u);
+  EXPECT_EQ(gs2.stats().shape_cache_misses, 0u);
+
+  // ...and produces exactly the estimate an uncached search would.
+  SitMatcher m3(&pool);
+  m3.BindQuery(&q2);
+  AtomicSelectivityProvider p3(&m3, &diff_);
+  GetSelectivity cold(&q2, &p3);
+  EXPECT_EQ(warm.selectivity, cold.Compute(q2.all_predicates()).selectivity);
+  EXPECT_EQ(gs2.stats().subproblems, cold.stats().subproblems);
+  EXPECT_EQ(cold.stats().shape_cache_hits, 0u);  // no cache attached
+}
+
+TEST_F(ShapeCacheTest, TruncatedEnumerationIsNeverStored) {
+  const Query q = ChainQuery(1, 5);
+  const SitPool pool = GenerateSitPool({q}, 2, builder_);
+  SitMatcher matcher(&pool);
+  matcher.BindQuery(&q);
+  AtomicSelectivityProvider provider(&matcher, &diff_);
+
+  ShapeCache shapes;
+  const std::shared_ptr<ShapeCache::Entry> entry = shapes.Acquire(q);
+  EstimationBudget budget;
+  budget.deadline_seconds = 3600.0;  // armed, expiry forced by the fault
+  GetSelectivity gs(&q, &provider, &budget, entry.get());
+  {
+    ScopedFault expire(Fault::kExpireDeadline);
+    gs.Compute(q.all_predicates());
+  }
+  // Whatever the truncated pass enumerated, none of it may have been
+  // cached: a later statement of this shape must enumerate afresh.
+  EXPECT_EQ(entry->cached_subsets(), 0u);
+}
+
+TEST_F(ShapeCacheTest, EstimatorSharesShapesAcrossSessions) {
+  const Query q1 = ChainQuery(1, 5);
+  const Query q2 = ChainQuery(2, 9);
+  const SitPool pool = GenerateSitPool({q1}, 2, builder_);
+  Estimator estimator(&catalog_, &pool);
+  ASSERT_TRUE(estimator.TryEstimateSelectivity(q1).ok());
+  ASSERT_TRUE(estimator.TryEstimateSelectivity(q2).ok());
+  const GsStats* s1 = estimator.StatsFor(q1);
+  const GsStats* s2 = estimator.StatsFor(q2);
+  ASSERT_NE(s1, nullptr);
+  ASSERT_NE(s2, nullptr);
+  EXPECT_GT(s1->shape_cache_misses, 0u);  // cold shape: enumerated
+  EXPECT_EQ(s2->shape_cache_misses, 0u);  // warm shape: copied
+  EXPECT_GT(s2->shape_cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace condsel

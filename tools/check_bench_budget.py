@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Fail when a bench allocation counter regresses above its ceiling.
+
+Reads the BENCH_*.json artifacts a bench run wrote (in --bench-dir,
+default the current directory) and compares the allocation counters
+against tools/bench_alloc_ceiling.toml. Exits non-zero, naming each
+offending counter, when any measured value exceeds its ceiling.
+
+Allocation counts are deterministic for the pinned bench configuration,
+unlike wall-clock numbers, which is what makes a hard CI gate viable.
+A missing artifact is an error too: a bench that silently stopped
+writing its JSON must not look like a pass.
+
+Usage: python3 tools/check_bench_budget.py [--bench-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tomllib
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+CEILING_FILE = REPO / "tools" / "bench_alloc_ceiling.toml"
+
+
+def fail(errors: list[str]) -> int:
+    for e in errors:
+        print(f"check_bench_budget: {e}", file=sys.stderr)
+    print(
+        "check_bench_budget: a ceiling in tools/bench_alloc_ceiling.toml "
+        "was exceeded (or an artifact is missing). If the regression is "
+        "intended, raise the ceiling in the same PR and say why.",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def check_fig6(bench_dir: pathlib.Path, rules: list[dict],
+               errors: list[str]) -> None:
+    path = bench_dir / "BENCH_fig6_efficiency.json"
+    if not path.is_file():
+        errors.append(f"missing artifact {path}")
+        return
+    doc = json.loads(path.read_text())
+    by_joins = {w["num_joins"]: w for w in doc.get("workloads", [])}
+    for rule in rules:
+        joins, ceiling = rule["num_joins"], rule["ceiling"]
+        workload = by_joins.get(joins)
+        if workload is None:
+            errors.append(f"{path.name}: no {joins}-way workload recorded")
+            continue
+        measured = workload["gs"]["allocs_per_estimate"]
+        if measured > ceiling:
+            errors.append(
+                f"{path.name}: {joins}-way gs.allocs_per_estimate = "
+                f"{measured:.1f} exceeds ceiling {ceiling:.1f}")
+        else:
+            print(f"ok: fig6 {joins}-way gs allocs/estimate "
+                  f"{measured:.1f} <= {ceiling:.1f}")
+
+
+def check_throughput(bench_dir: pathlib.Path, rule: dict,
+                     errors: list[str]) -> None:
+    path = bench_dir / "BENCH_throughput.json"
+    if not path.is_file():
+        errors.append(f"missing artifact {path}")
+        return
+    doc = json.loads(path.read_text())
+    threads, ceiling = rule["threads"], rule["ceiling"]
+    sweep = next((s for s in doc.get("sweeps", [])
+                  if s["threads"] == threads), None)
+    if sweep is None:
+        errors.append(f"{path.name}: no {threads}-thread sweep recorded")
+        return
+    measured = sweep["allocs_per_estimate"]
+    if measured > ceiling:
+        errors.append(
+            f"{path.name}: {threads}-thread allocs_per_estimate = "
+            f"{measured:.1f} exceeds ceiling {ceiling:.1f}")
+    else:
+        print(f"ok: throughput {threads}-thread allocs/estimate "
+              f"{measured:.1f} <= {ceiling:.1f}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench-dir", type=pathlib.Path,
+                        default=pathlib.Path("."),
+                        help="directory holding the BENCH_*.json artifacts")
+    args = parser.parse_args()
+
+    ceilings = tomllib.loads(CEILING_FILE.read_text())
+    errors: list[str] = []
+    check_fig6(args.bench_dir, ceilings["fig6_gs"], errors)
+    check_throughput(args.bench_dir, ceilings["throughput"], errors)
+    if errors:
+        return fail(errors)
+    print("check_bench_budget: all counters within ceilings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

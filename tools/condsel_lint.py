@@ -84,6 +84,16 @@ comment on the same or the preceding line):
                         each other's clock. selectivity/budget.{h,cc}
                         (which define the sanctioned primitives) are
                         exempt.
+  arena-no-escape       memory obtained from an Arena (common/arena.h) is
+                        scratch for the Compute() that allocated it:
+                        Reset() recycles blocks without destructors or
+                        poisoning. Library code must not declare a
+                        static/thread_local arena (outlives every call,
+                        shared across threads), pin an Allocate result in
+                        a member, or hand out a pointer/reference to an
+                        ArenaVector from a function — copy values out
+                        instead. arena.h itself (the primitives) is
+                        exempt.
   no-blocking-under-epoch-lock
                         library code holding a lock on an `*epoch_mu*`
                         mutex must not block while it is held: no sleeps,
@@ -429,6 +439,55 @@ def check_raw_set_deadline(path: str, text: str,
     return findings
 
 
+ARENA_EXEMPT_FILES = ("src/condsel/common/arena.h",)
+# A static or thread_local Arena/ArenaVector outlives every Compute().
+ARENA_STATIC_RE = re.compile(
+    r"\b(?:static|thread_local)\s+(?:const\s+)?(?:condsel::)?"
+    r"Arena(?:Vector<[^;{>]*>)?\s+\w")
+# `member_ = <arena>.Allocate...` pins recycled memory past the call.
+ARENA_MEMBER_STORE_RE = re.compile(
+    r"\b[A-Za-z]\w*_\s*(?:\[[^\]]*\])?\s*=(?!=)[^;=]*"
+    r"\b\w*[Aa]rena\w*\s*(?:\.|->)\s*Allocate(?:Array)?\b")
+# A function returning ArenaVector& / ArenaVector* aliases arena storage
+# for the caller. Parameters of those types don't match: the name must be
+# followed by `(`, i.e. this is a declarator, not a parameter.
+ARENA_REF_RETURN_RE = re.compile(
+    r"\bArenaVector<[^>]*>\s*[&*]\s*[A-Za-z_][\w:]*\s*\(")
+
+
+def check_arena_no_escape(path: str, text: str,
+                          lines: list[str]) -> list[Finding]:
+    if not path.startswith("src/"):
+        return []
+    if path in ARENA_EXEMPT_FILES:
+        return []  # the allocator itself manages its own blocks
+    findings = []
+    for i, line in enumerate(lines):
+        code = line.split("//")[0]
+        reason = None
+        if ARENA_STATIC_RE.search(code):
+            reason = (
+                "static/thread_local arena outlives every Compute() and is "
+                "shared across threads; arenas live inside one estimator "
+                "instance and are Reset() per call (common/arena.h)")
+        elif ARENA_MEMBER_STORE_RE.search(code):
+            reason = (
+                "arena allocation pinned in a member; Reset() recycles the "
+                "block at the next Compute() without running destructors, "
+                "so the member dangles — copy the values out instead")
+        elif ARENA_REF_RETURN_RE.search(code):
+            reason = (
+                "function hands out a pointer/reference to an ArenaVector; "
+                "arena-backed memory is scratch for the Compute() that "
+                "allocated it — copy values out to let them outlive it")
+        if reason is None:
+            continue
+        if _allowed(lines, i, "arena-no-escape"):
+            continue
+        findings.append(Finding(path, i + 1, "arena-no-escape", reason))
+    return findings
+
+
 # Shared with condsel_model, which generalizes this rule to every lock
 # the epoch lock can nest under (blocking-reachable).
 EPOCH_LOCK_RE = cm.EPOCH_LOCK_RE
@@ -474,6 +533,7 @@ RULES = [
     check_raw_histogram_lookup,
     check_raw_set_deadline,
     check_epoch_lock_blocking,
+    check_arena_no_escape,
 ]
 
 

@@ -1,0 +1,33 @@
+// Fixture: arena-backed scratch escaping its Compute() three ways — a
+// static arena shared across every call and thread, a member pinned to
+// an Allocate() result that dangles after the next Reset(), and an
+// accessor handing the caller a reference into arena storage.
+// lint-fixture-path: src/condsel/selectivity/bad_arena_escape.cc
+// lint-expect: arena-no-escape
+
+#include "condsel/common/arena.h"
+
+namespace condsel {
+
+// Outlives every Compute() and is shared across threads.
+static Arena g_scratch_arena(1 << 12);
+
+class EscapingEstimator {
+ public:
+  void Compute() {
+    arena_.Reset();
+    // Pins arena memory in a member: the next Reset() recycles the block
+    // underneath cached_ without running destructors.
+    cached_ = arena_.AllocateArray<int>(64);
+  }
+
+  // Hands the caller a reference into arena storage.
+  ArenaVector<int>& scratch() { return scratch_; }
+
+ private:
+  Arena arena_;
+  ArenaVector<int> scratch_{&arena_};
+  int* cached_ = nullptr;
+};
+
+}  // namespace condsel

@@ -1,0 +1,32 @@
+// Fixture: disciplined arena use — the arena is an instance member,
+// scratch containers are locals, helpers receive the scratch by
+// pointer parameter (which must not trip the escaping-declarator
+// pattern), and anything that outlives the call is copied by value.
+// lint-fixture-path: src/condsel/selectivity/good_arena_scratch.cc
+
+#include <vector>
+
+#include "condsel/common/arena.h"
+
+namespace condsel {
+
+class ScratchUser {
+ public:
+  std::vector<int> Harvest() {
+    arena_.Reset();
+    ArenaVector<int> scratch(&arena_);
+    Fill(&scratch);
+    // Values are copied out; no pointer into the arena survives the call.
+    return std::vector<int>(scratch.begin(), scratch.end());
+  }
+
+ private:
+  // An ArenaVector* parameter is a sink, not an escape.
+  void Fill(ArenaVector<int>* out) {
+    for (int i = 0; i < 8; ++i) out->Append(i);
+  }
+
+  Arena arena_;
+};
+
+}  // namespace condsel
